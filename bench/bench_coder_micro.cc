@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Coder microbenchmarks (google-benchmark).
+ *
+ * Throughput of the three coders and the bus-invert baseline on
+ * warp-sized blocks. The coders are single-gate-depth transforms in
+ * hardware; in software they should run at memory bandwidth, which
+ * these numbers verify for the simulator's accounting hot path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <vector>
+
+#include "coder/bus_invert.hh"
+#include "coder/isa_coder.hh"
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
+#include "common/rng.hh"
+#include "isa/encoding.hh"
+
+using namespace bvf;
+
+namespace
+{
+
+std::vector<Word>
+randomBlock(std::size_t n)
+{
+    Rng rng(123);
+    std::vector<Word> block(n);
+    for (Word &w : block)
+        w = rng.nextU32();
+    return block;
+}
+
+void
+BM_NvEncode(benchmark::State &state)
+{
+    const coder::NvCoder nv;
+    auto block = randomBlock(32);
+    for (auto _ : state) {
+        nv.encodeSpan(block);
+        benchmark::DoNotOptimize(block.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_NvEncode);
+
+void
+BM_VsEncode(benchmark::State &state)
+{
+    const coder::VsCoder vs(static_cast<int>(state.range(0)));
+    auto block = randomBlock(32);
+    for (auto _ : state) {
+        vs.encode(block);
+        benchmark::DoNotOptimize(block.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_VsEncode)->Arg(0)->Arg(21);
+
+void
+BM_IsaEncode(benchmark::State &state)
+{
+    const coder::IsaCoder isa_coder(
+        isa::paperIsaMask(isa::GpuArch::Pascal));
+    Rng rng(7);
+    std::vector<Word64> instrs(64);
+    for (Word64 &w : instrs)
+        w = rng.nextU64();
+    for (auto _ : state) {
+        isa_coder.encodeSpan(instrs);
+        benchmark::DoNotOptimize(instrs.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_IsaEncode);
+
+void
+BM_BusInvert(benchmark::State &state)
+{
+    coder::BusInvertChannel channel(8);
+    Rng rng(99);
+    std::vector<Word> flit(8);
+    std::vector<bool> parity;
+    for (auto _ : state) {
+        for (Word &w : flit)
+            w = rng.nextU32();
+        benchmark::DoNotOptimize(channel.encode(flit, parity));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_BusInvert);
+
+void
+BM_RoundTrip(benchmark::State &state)
+{
+    const coder::NvCoder nv;
+    const coder::VsCoder vs(21);
+    auto block = randomBlock(32);
+    for (auto _ : state) {
+        nv.encodeSpan(block);
+        vs.encode(block);
+        vs.decode(block);
+        nv.decodeSpan(block);
+        benchmark::DoNotOptimize(block.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_RoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

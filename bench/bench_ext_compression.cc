@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Extension: BVF coders vs BDI compression (Section 7.3).
+ *
+ * The paper argues the BVF design composes with register/cache
+ * compression: NV and ISA coders operate at bit level and do not touch
+ * the value-similarity structure compression relies on, while the VS
+ * coder "mostly does not break" it since non-pivot lanes still hold
+ * similar (now mostly-1) values. This bench measures BDI
+ * compressibility of warp blocks before and after each coder, across a
+ * cross-suite application sample.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "coder/bdi.hh"
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "workload/app_spec.hh"
+#include "workload/value_model.hh"
+
+using namespace bvf;
+
+namespace
+{
+
+struct CompressionStats
+{
+    double compressibleFrac = 0.0;
+    double meanRatio = 0.0;
+};
+
+CompressionStats
+measure(const workload::AppSpec &spec, bool nv_on, bool vs_on,
+        int samples)
+{
+    workload::ValueModel model(spec.values, spec.seed() ^ 0xbd1);
+    const coder::NvCoder nv;
+    const coder::VsCoder vs(21);
+    CompressionStats out;
+    double ratio_sum = 0.0;
+    int compressible = 0;
+    for (int t = 0; t < samples; ++t) {
+        const auto tile = model.tile();
+        std::vector<Word> block(tile.begin(), tile.end());
+        if (nv_on)
+            nv.encodeSpan(block);
+        if (vs_on)
+            vs.encode(block);
+        const auto res = coder::bdiCompress(block);
+        compressible += res.compressible ? 1 : 0;
+        ratio_sum += res.ratio();
+    }
+    out.compressibleFrac =
+        static_cast<double>(compressible) / samples;
+    out.meanRatio = ratio_sum / samples;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int samples = 4000;
+    const char *apps[] = {"ATA", "BFS", "SGE", "HSP", "GES", "SSP",
+                          "BLA", "RED"};
+
+    TextTable table("Extension: BDI compressibility of warp blocks "
+                    "under the BVF coders");
+    table.header({"App", "Raw comp%", "Raw ratio", "NV comp%",
+                  "NV ratio", "NV+VS comp%", "NV+VS ratio"});
+    double raw_sum = 0.0, nv_sum = 0.0, all_sum = 0.0;
+    for (const char *abbr : apps) {
+        const auto &spec = workload::findApp(abbr);
+        const auto raw = measure(spec, false, false, samples);
+        const auto nv = measure(spec, true, false, samples);
+        const auto all = measure(spec, true, true, samples);
+        raw_sum += raw.meanRatio;
+        nv_sum += nv.meanRatio;
+        all_sum += all.meanRatio;
+        table.row({abbr, TextTable::pct(raw.compressibleFrac),
+                   TextTable::num(raw.meanRatio, 2),
+                   TextTable::pct(nv.compressibleFrac),
+                   TextTable::num(nv.meanRatio, 2),
+                   TextTable::pct(all.compressibleFrac),
+                   TextTable::num(all.meanRatio, 2)});
+    }
+    table.print();
+
+    const double n = std::size(apps);
+    std::printf("\nmean BDI ratio: raw %.2f, after NV %.2f, after NV+VS "
+                "%.2f\n", raw_sum / n, nv_sum / n, all_sum / n);
+    std::printf(
+        "finding: NV costs BDI a little (flipped words keep arithmetic "
+        "structure); in-place BDI *after* VS collapses,\n"
+        "because the raw pivot is an arithmetic outlier among the "
+        "XNOR-coded lanes -- stricter than the paper's optimism\n"
+        "(Section 7.3). The compatible composition the paper actually "
+        "proposes still holds: the coders are invertible and\n"
+        "transparent, so a compressor placed on the decoded stream "
+        "(before the BVF-space ports) is unaffected; a\n"
+        "BVF-aware compressor is the paper's open future-work item.\n");
+    return 0;
+}

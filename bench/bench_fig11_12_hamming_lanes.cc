@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figures 11 and 12: inter-lane Hamming-distance profiling.
+ *
+ * Figure 11: the suite-mean Hamming distance of each warp lane to the
+ * other 31 lanes, normalized to the worst lane; the paper finds lane 21
+ * (not lane 0) minimal, with lane 0 roughly 20% worse. Figure 12: how
+ * close lane 21 is to the per-application optimal pivot lane.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/profiler.hh"
+
+using namespace bvf;
+
+int
+main()
+{
+    // ---- Figure 11 -----------------------------------------------------
+    const auto lanes = core::suiteLaneProfile(6000);
+    TextTable fig11("Figure 11: normalized mean Hamming distance per "
+                    "lane (suite average)");
+    fig11.header({"Lane", "NormDistance"});
+    int best_lane = 0;
+    for (int i = 0; i < 32; ++i) {
+        if (lanes[static_cast<std::size_t>(i)]
+            < lanes[static_cast<std::size_t>(best_lane)]) {
+            best_lane = i;
+        }
+        fig11.row({TextTable::num(i, 0),
+                   TextTable::num(lanes[static_cast<std::size_t>(i)], 4)});
+    }
+    fig11.print();
+    std::printf("\nbest pivot lane: %d (paper: 21); lane0/lane21 = %.3f "
+                "(paper: ~1.20-1.25x)\n\n",
+                best_lane, lanes[0] / lanes[21]);
+
+    // ---- Figure 12 -----------------------------------------------------
+    TextTable fig12("Figure 12: lane-21 Hamming distance vs the "
+                    "per-application optimal lane");
+    fig12.header({"App", "OptLane", "Lane21/Opt"});
+    double worst = 1.0;
+    for (const auto &spec : workload::evaluationSuite()) {
+        const auto res = core::profileLanes(spec);
+        worst = std::max(worst, res.lane21Excess);
+        fig12.row({spec.abbr, TextTable::num(res.optimalLane, 0),
+                   TextTable::num(res.lane21Excess, 3)});
+    }
+    fig12.print();
+    std::printf("\nworst-case lane-21 excess over the optimal pivot: "
+                "%.3f (paper: lane 21 appropriate for most apps)\n",
+                worst);
+    return 0;
+}

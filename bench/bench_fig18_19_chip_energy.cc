@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figures 18 and 19: chip-level energy reduction per application.
+ *
+ * The paper's headline: the combined BVF design cuts total GPU chip
+ * energy by ~21% at 28nm and ~24% at 40nm (47% / 53% over the
+ * BVF-coverable units), with memory-intensive applications (ATA, BFS,
+ * BIC, CON, COR, GES, SYK, SYR, MD) saving the most and
+ * compute-intensive ones (BLA, CP, DXT, LIB, NQU, PAT, SGE) the least.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace bvf;
+
+namespace
+{
+
+double
+report(const core::ExperimentDriver &driver,
+       const std::vector<core::AppRun> &runs, circuit::TechNode node)
+{
+    core::Pricing pricing;
+    pricing.node = node;
+    const auto energies = driver.evaluate(runs, pricing);
+
+    TextTable table(strFormat(
+        "Figure %s: chip energy, BVF vs baseline (%s)",
+        node == circuit::TechNode::N28 ? "18" : "19",
+        circuit::techNodeName(node).c_str()));
+    table.header({"App", "Class", "Chip reduction", "BVF-units "
+                                                    "reduction"});
+    for (const auto &e : energies) {
+        const double chip = 1.0
+                            - e.at(coder::Scenario::AllCoders).chipTotal()
+                                  / e.at(coder::Scenario::Baseline)
+                                        .chipTotal();
+        const double units =
+            1.0
+            - e.at(coder::Scenario::AllCoders).bvfUnitsTotal()
+                  / e.at(coder::Scenario::Baseline).bvfUnitsTotal();
+        table.row({e.abbr, e.memoryIntensive ? "mem" : "comp",
+                   TextTable::pct(chip), TextTable::pct(units)});
+    }
+
+    const double mean_chip = 1.0
+                             - core::ExperimentDriver::meanChipRatio(
+                                 energies, coder::Scenario::AllCoders);
+    const double mean_units =
+        1.0
+        - core::ExperimentDriver::meanBvfUnitsRatio(
+            energies, coder::Scenario::AllCoders);
+    table.row({"AVG", "-", TextTable::pct(mean_chip),
+               TextTable::pct(mean_units)});
+    table.print();
+
+    // Memory- vs compute-intensive split.
+    double mem_sum = 0.0, comp_sum = 0.0;
+    int mem_n = 0, comp_n = 0;
+    for (const auto &e : energies) {
+        const double chip = 1.0
+                            - e.at(coder::Scenario::AllCoders).chipTotal()
+                                  / e.at(coder::Scenario::Baseline)
+                                        .chipTotal();
+        if (e.memoryIntensive) {
+            mem_sum += chip;
+            ++mem_n;
+        } else {
+            comp_sum += chip;
+            ++comp_n;
+        }
+    }
+    std::printf("\nmemory-intensive mean: %.1f%%   "
+                "compute-intensive mean: %.1f%%\n",
+                100.0 * mem_sum / mem_n, 100.0 * comp_sum / comp_n);
+    std::printf("paper (%s): chip -%s, BVF units -%s\n\n",
+                circuit::techNodeName(node).c_str(),
+                node == circuit::TechNode::N28 ? "21%" : "24%",
+                node == circuit::TechNode::N28 ? "47%" : "53%");
+    return mean_chip;
+}
+
+} // namespace
+
+int
+main()
+{
+    core::ExperimentDriver driver(gpu::baselineConfig());
+    std::printf("simulating the 58-application suite...\n");
+    const auto runs = driver.runSuite();
+
+    const double r28 = report(driver, runs, circuit::TechNode::N28);
+    const double r40 = report(driver, runs, circuit::TechNode::N40);
+    std::printf("measured means: 28nm -%.1f%%, 40nm -%.1f%% "
+                "(paper: -21%%, -24%%)\n",
+                100.0 * r28, 100.0 * r40);
+    return 0;
+}

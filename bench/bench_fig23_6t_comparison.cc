@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 23: 6T vs 8T vs BVF-8T chip energy.
+ *
+ * All bars normalized to the 40nm 1.2V 6T machine. The 8T bars include
+ * the ~30% cell-area static-power penalty over 6T; the BVF-8T design
+ * beats 6T by ~31.6% / 32.7% (28nm / 40nm) at nominal voltage, and 8T
+ * additionally unlocks the 0.6V near-threshold point where 6T cannot
+ * operate.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace bvf;
+
+int
+main()
+{
+    core::ExperimentDriver driver(gpu::baselineConfig());
+    std::printf("simulating the 58-application suite...\n");
+    const auto runs = driver.runSuite();
+
+    struct Config
+    {
+        const char *label;
+        circuit::CellKind kind;
+        gpu::PState pstate;
+        coder::Scenario scenario;
+    };
+    const Config configs[] = {
+        {"6T @1.2V (baseline)", circuit::CellKind::Sram6T,
+         gpu::pstateNominal(), coder::Scenario::Baseline},
+        {"Conv-8T @1.2V", circuit::CellKind::Sram8T, gpu::pstateNominal(),
+         coder::Scenario::Baseline},
+        {"BVF-8T @1.2V + coders", circuit::CellKind::SramBvf8T,
+         gpu::pstateNominal(), coder::Scenario::AllCoders},
+        {"Conv-8T @0.6V", circuit::CellKind::Sram8T, gpu::pstateLow(),
+         coder::Scenario::Baseline},
+        {"BVF-8T @0.6V + coders", circuit::CellKind::SramBvf8T,
+         gpu::pstateLow(), coder::Scenario::AllCoders},
+    };
+
+    TextTable table("Figure 23: chip energy by cell family "
+                    "(normalized to 40nm 1.2V 6T)");
+    table.header({"Design", "28nm", "40nm"});
+
+    double norm = 0.0;
+    std::map<std::string, std::array<double, 2>> rows;
+    std::array<double, 2> six_t{};
+    for (const Config &c : configs) {
+        std::array<double, 2> vals{};
+        int idx = 0;
+        for (const auto node :
+             {circuit::TechNode::N28, circuit::TechNode::N40}) {
+            core::Pricing pricing;
+            pricing.node = node;
+            pricing.pstate = c.pstate;
+            pricing.cellKind = c.kind;
+            const auto energies = driver.evaluate(runs, pricing);
+            double sum = 0.0;
+            for (const auto &e : energies)
+                sum += e.at(c.scenario).chipTotal();
+            vals[static_cast<std::size_t>(idx)] =
+                sum / static_cast<double>(energies.size());
+            ++idx;
+        }
+        if (norm == 0.0)
+            norm = vals[1]; // 40nm 6T
+        if (c.kind == circuit::CellKind::Sram6T)
+            six_t = vals;
+        table.row({c.label, TextTable::num(vals[0] / norm),
+                   TextTable::num(vals[1] / norm)});
+        rows[c.label] = vals;
+    }
+    table.print();
+
+    const auto &bvf12 = rows.at("BVF-8T @1.2V + coders");
+    std::printf("\nBVF-8T vs 6T at 1.2V: 28nm -%.1f%%, 40nm -%.1f%% "
+                "(paper: -31.6%%, -32.7%%)\n",
+                100.0 * (1.0 - bvf12[0] / six_t[0]),
+                100.0 * (1.0 - bvf12[1] / six_t[1]));
+    std::printf("6T cannot operate at 0.6V (model refuses: "
+                "operatesAt(0.6V)=%s)\n",
+                circuit::makeCellModel(circuit::CellKind::Sram6T,
+                                       circuit::techParams(
+                                           circuit::TechNode::N28),
+                                       1.2, 128)
+                        ->operatesAt(0.6)
+                    ? "true"
+                    : "false");
+    return 0;
+}

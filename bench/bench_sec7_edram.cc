@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Section 7.2: BVF with gain-cell eDRAM.
+ *
+ * The paper observes that the 3T PMOS gain cell favors bit-1 for read,
+ * write and refresh, making eDRAM another BVF-capable fabric. This
+ * bench prices the same suite simulations on an eDRAM-celled machine
+ * and compares the coder benefit against the BVF-8T design.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace bvf;
+
+int
+main()
+{
+    core::ExperimentDriver driver(gpu::baselineConfig());
+    std::printf("simulating the 58-application suite...\n");
+    const auto runs = driver.runSuite();
+
+    TextTable table("Section 7.2: coder benefit by memory fabric "
+                    "(suite means, 28nm)");
+    table.header({"Fabric", "Chip reduction", "BVF-units reduction"});
+
+    for (const auto kind :
+         {circuit::CellKind::SramBvf8T, circuit::CellKind::Edram3T}) {
+        core::Pricing pricing;
+        pricing.node = circuit::TechNode::N28;
+        pricing.cellKind = kind;
+        const auto energies = driver.evaluate(runs, pricing);
+        const double chip = 1.0
+                            - core::ExperimentDriver::meanChipRatio(
+                                energies, coder::Scenario::AllCoders);
+        const double units =
+            1.0
+            - core::ExperimentDriver::meanBvfUnitsRatio(
+                energies, coder::Scenario::AllCoders);
+        table.row({circuit::cellKindName(kind), TextTable::pct(chip),
+                   TextTable::pct(units)});
+    }
+    table.print();
+    std::printf("\npaper: the 3T gain cell favors 1 on read, write and "
+                "refresh, so the coders transfer to eDRAM fabrics\n");
+    return 0;
+}

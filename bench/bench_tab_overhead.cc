@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Section 6.3 design-overhead table.
+ *
+ * The coders add XNOR gates at every BVF-space port: the paper counts
+ * 133,920 gates on the Table 3 machine, costing 46.5/60.5 mW dynamic
+ * and 18.7/24.2 uW static at 28/40nm, 0.207/0.294 mm^2 of area
+ * (0.056% of the baseline die). This bench rebuilds the gate inventory
+ * from the machine description and prints both it and the paper's
+ * fixed-inventory figures.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "gpu/gpu_config.hh"
+#include "power/overhead.hh"
+
+using namespace bvf;
+
+int
+main()
+{
+    const gpu::GpuConfig config = gpu::baselineConfig();
+
+    TextTable table("Section 6.3: coder design overhead");
+    table.header({"Quantity", "28nm", "40nm", "Paper (28/40nm)"});
+
+    const auto oh28 = power::coderOverhead(config, circuit::TechNode::N28);
+    const auto oh40 = power::coderOverhead(config, circuit::TechNode::N40);
+
+    table.row({"XNOR gates (rebuilt inventory)",
+               TextTable::num(static_cast<double>(oh28.xnorGates), 0),
+               TextTable::num(static_cast<double>(oh40.xnorGates), 0),
+               "133920"});
+    table.row({"Dynamic power [mW]",
+               TextTable::num(toMilli(oh28.dynamicPower), 1),
+               TextTable::num(toMilli(oh40.dynamicPower), 1),
+               "46.5 / 60.5"});
+    table.row({"Static power [uW]",
+               TextTable::num(oh28.staticPower * 1e6, 1),
+               TextTable::num(oh40.staticPower * 1e6, 1),
+               "18.7 / 24.2"});
+    table.row({"Area [mm^2]", TextTable::num(oh28.area * 1e6, 3),
+               TextTable::num(oh40.area * 1e6, 3), "0.207 / 0.294"});
+    table.row({"Die fraction",
+               TextTable::pct(oh28.areaFraction(power::baselineDieArea()),
+                              3),
+               TextTable::pct(oh40.areaFraction(power::baselineDieArea()),
+                              3),
+               "0.056%"});
+    table.print();
+
+    const auto paper28 = power::coderOverheadForNode(circuit::TechNode::N28);
+    std::printf("\nfixed-inventory check (133,920 gates @28nm): "
+                "%.1f mW dynamic, %.1f uW static, %.3f mm^2\n",
+                toMilli(paper28.dynamicPower), paper28.staticPower * 1e6,
+                paper28.area * 1e6);
+    std::printf("note: the precharge NMOS swap adds no area (NMOS "
+                "drives ~1.5-2x the current of an equally sized PMOS)\n");
+    return 0;
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * bvf_sim: a command-line front end for the whole library.
+ *
+ * Run any suite application (or all of them) on a configurable machine
+ * and print the per-scenario chip energy report, optionally dumping the
+ * access trace (the paper's methodology artifact) for offline analysis.
+ *
+ * Usage:
+ *   bvf_sim [options] APP...
+ *   bvf_sim --list
+ *
+ * Options:
+ *   --node 28|40          technology node       (default 28)
+ *   --pstate 700|500|300  DVFS point            (default 700)
+ *   --sched gto|lrr|two   warp scheduler        (default gto)
+ *   --cell bvf8t|8t|6t|edram  SRAM cell family  (default bvf8t)
+ *   --arch fermi|kepler|maxwell|pascal          (default pascal)
+ *   --pivot N             VS register pivot     (default 21)
+ *   --dynamic-isa         per-app ISA mask      (default static)
+ *   --trace FILE          dump the access trace
+ *   --list                list the 58 applications and exit
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/trace.hh"
+#include "workload/kernel_builder.hh"
+
+using namespace bvf;
+
+namespace
+{
+
+struct Options
+{
+    circuit::TechNode node = circuit::TechNode::N28;
+    gpu::PState pstate = gpu::pstateNominal();
+    gpu::SchedulerPolicy sched = gpu::SchedulerPolicy::Gto;
+    circuit::CellKind cell = circuit::CellKind::SramBvf8T;
+    isa::GpuArch arch = isa::GpuArch::Pascal;
+    int pivot = 21;
+    bool dynamicIsa = false;
+    std::string traceFile;
+    std::vector<std::string> apps;
+    bool list = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bvf_sim [--node 28|40] [--pstate 700|500|300] "
+                 "[--sched gto|lrr|two]\n"
+                 "               [--cell bvf8t|8t|6t|edram] "
+                 "[--arch fermi|kepler|maxwell|pascal]\n"
+                 "               [--pivot N] [--dynamic-isa] "
+                 "[--trace FILE] APP... | --list\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--node") {
+            const auto v = next();
+            o.node = v == "40" ? circuit::TechNode::N40
+                               : circuit::TechNode::N28;
+        } else if (arg == "--pstate") {
+            const auto v = next();
+            o.pstate = v == "300"   ? gpu::pstateLow()
+                       : v == "500" ? gpu::pstateMid()
+                                    : gpu::pstateNominal();
+        } else if (arg == "--sched") {
+            const auto v = next();
+            o.sched = v == "lrr"   ? gpu::SchedulerPolicy::Lrr
+                      : v == "two" ? gpu::SchedulerPolicy::TwoLevel
+                                   : gpu::SchedulerPolicy::Gto;
+        } else if (arg == "--cell") {
+            const auto v = next();
+            o.cell = v == "8t"      ? circuit::CellKind::Sram8T
+                     : v == "6t"    ? circuit::CellKind::Sram6T
+                     : v == "edram" ? circuit::CellKind::Edram3T
+                                    : circuit::CellKind::SramBvf8T;
+        } else if (arg == "--arch") {
+            const auto v = next();
+            o.arch = v == "fermi"     ? isa::GpuArch::Fermi
+                     : v == "kepler"  ? isa::GpuArch::Kepler
+                     : v == "maxwell" ? isa::GpuArch::Maxwell
+                                      : isa::GpuArch::Pascal;
+        } else if (arg == "--pivot") {
+            o.pivot = std::atoi(next().c_str());
+        } else if (arg == "--dynamic-isa") {
+            o.dynamicIsa = true;
+        } else if (arg == "--trace") {
+            o.traceFile = next();
+        } else if (arg == "--list") {
+            o.list = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            usage();
+        } else {
+            o.apps.push_back(arg);
+        }
+    }
+    if (!o.list && o.apps.empty())
+        usage();
+    return o;
+}
+
+void
+runOne(const Options &o, const workload::AppSpec &spec)
+{
+    gpu::GpuConfig config = gpu::baselineConfig();
+    config.scheduler = o.sched;
+    config.arch = o.arch;
+    core::ExperimentDriver driver(config);
+
+    core::AccountantOptions acc_opts;
+    acc_opts.arch = o.arch;
+    acc_opts.vsRegisterPivot = o.pivot;
+
+    isa::Program program = workload::buildProgram(spec);
+    if (o.dynamicIsa) {
+        const isa::InstructionEncoder encoder(o.arch);
+        acc_opts.dynamicIsaMask =
+            isa::extractPreferenceMask(encoder.encode(program.body));
+    }
+
+    auto accountant = std::make_shared<core::EnergyAccountant>(
+        driver.unitCapacities(), acc_opts);
+
+    gpu::GpuStats stats;
+    std::uint64_t trace_records = 0;
+    if (!o.traceFile.empty()) {
+        std::ofstream out(o.traceFile, std::ios::binary);
+        fatal_if(!out, "cannot open trace file '%s'",
+                 o.traceFile.c_str());
+        core::TraceWriter writer(out);
+        core::TeeSink tee(*accountant, writer);
+        gpu::Gpu machine(config, std::move(program), tee);
+        stats = machine.run();
+        trace_records = writer.records();
+    } else {
+        gpu::Gpu machine(config, std::move(program), *accountant);
+        stats = machine.run();
+    }
+    accountant->finalize(stats.cycles);
+
+    power::ChipPowerModel model(o.node, o.pstate.vdd, o.pstate.frequency,
+                                o.cell, config);
+
+    TextTable table(strFormat(
+        "%s (%s) on %s / %s / %s cells / %s scheduler",
+        spec.name.c_str(), spec.abbr.c_str(),
+        circuit::techNodeName(o.node).c_str(), o.pstate.name.c_str(),
+        circuit::cellKindName(o.cell).c_str(),
+        gpu::schedulerName(o.sched).c_str()));
+    table.header({"Scenario", "Chip[uJ]", "vs baseline", "Units[uJ]",
+                  "NoC 1-density"});
+    double base_chip = 0.0;
+    for (const auto s : coder::allScenarios) {
+        const auto &noc = accountant->noc(s);
+        const auto energy = model.evaluate(
+            accountant->unitStats(s), noc.toggles, noc.flits, stats,
+            s != coder::Scenario::Baseline);
+        if (s == coder::Scenario::Baseline)
+            base_chip = energy.chipTotal();
+        table.row(
+            {coder::scenarioName(s),
+             TextTable::num(energy.chipTotal() * 1e6, 3),
+             TextTable::pct(1.0 - energy.chipTotal() / base_chip),
+             TextTable::num(energy.bvfUnitsTotal() * 1e6, 3),
+             noc.payloadBits
+                 ? TextTable::pct(static_cast<double>(noc.payloadOnes)
+                                  / static_cast<double>(noc.payloadBits))
+                 : "-"});
+    }
+    table.print();
+    std::printf("cycles %llu, instructions %llu, flits %llu, "
+                "pivot-divergent writes %llu",
+                static_cast<unsigned long long>(stats.cycles),
+                static_cast<unsigned long long>(stats.sm.issued),
+                static_cast<unsigned long long>(stats.noc.flits),
+                static_cast<unsigned long long>(
+                    stats.sm.pivotDivergentWrites));
+    if (trace_records) {
+        std::printf(", trace records %llu -> %s",
+                    static_cast<unsigned long long>(trace_records),
+                    o.traceFile.c_str());
+    }
+    std::printf("\n\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    if (o.list) {
+        TextTable table("The 58-application evaluation suite");
+        table.header({"Abbr", "Name", "Suite", "Class"});
+        for (const auto &spec : workload::evaluationSuite()) {
+            table.row({spec.abbr, spec.name,
+                       workload::suiteName(spec.suite),
+                       spec.memoryIntensive ? "memory" : "compute"});
+        }
+        table.print();
+        return 0;
+    }
+    for (const auto &abbr : o.apps) {
+        if (abbr == "all") {
+            for (const auto &spec : workload::evaluationSuite())
+                runOne(o, spec);
+        } else {
+            runOne(o, workload::findApp(abbr));
+        }
+    }
+    return 0;
+}

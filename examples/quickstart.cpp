@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Quickstart: the BVF idea end to end in one page.
+ *
+ * 1. Build a BVF-8T SRAM array model and show its value-dependent
+ *    per-bit energies.
+ * 2. Encode a buffer of realistic GPU data with the NV + VS coders and
+ *    show the Hamming-weight gain.
+ * 3. Price the buffer's read energy before and after coding.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "circuit/array_model.hh"
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "workload/app_spec.hh"
+#include "workload/value_model.hh"
+
+using namespace bvf;
+
+int
+main()
+{
+    // --- 1. the circuit: a BVF 8T SRAM array at 28nm, 1.2V ------------
+    const auto &tech = circuit::techParams(circuit::TechNode::N28);
+    circuit::ArrayGeometry geom;
+    geom.sets = 256;
+    geom.blockBytes = 16;
+    const circuit::ArrayModel array(circuit::CellKind::SramBvf8T, tech,
+                                    tech.vddNominal, geom);
+
+    std::printf("BVF-8T per-bit energies (28nm, 1.2V):\n");
+    std::printf("  read 0 : %6.2f fJ\n", toFemto(array.bitReadEnergy(0)));
+    std::printf("  read 1 : %6.2f fJ\n", toFemto(array.bitReadEnergy(1)));
+    std::printf("  write 0: %6.2f fJ\n", toFemto(array.bitWriteEnergy(0)));
+    std::printf("  write 1: %6.2f fJ\n", toFemto(array.bitWriteEnergy(1)));
+
+    // --- 2. the coders: maximize 1s in a warp's data -------------------
+    const auto &spec = workload::findApp("ATA");
+    workload::ValueModel values(spec.values, 42);
+
+    const coder::NvCoder nv;
+    const coder::VsCoder vs; // pivot lane 21
+
+    std::uint64_t raw_ones = 0, coded_ones = 0, total_bits = 0;
+    double raw_energy = 0.0, coded_energy = 0.0;
+    const int tiles = 2000;
+    for (int t = 0; t < tiles; ++t) {
+        const auto tile = values.tile();
+        std::vector<Word> block(tile.begin(), tile.end());
+
+        for (const Word w : block)
+            raw_ones += static_cast<std::uint64_t>(hammingWeight(w));
+        raw_energy += array.readBits(
+            static_cast<int>(hammingWeight(std::span<const Word>(block))),
+            32 * 32).total;
+
+        nv.encodeSpan(block);
+        vs.encode(block);
+        for (const Word w : block)
+            coded_ones += static_cast<std::uint64_t>(hammingWeight(w));
+        coded_energy += array.readBits(
+            static_cast<int>(hammingWeight(std::span<const Word>(block))),
+            32 * 32).total;
+        total_bits += 32 * 32;
+    }
+
+    std::printf("\nWarp data from '%s' over %d tiles:\n",
+                spec.name.c_str(), tiles);
+    std::printf("  raw 1-bit fraction  : %5.1f%%\n",
+                100.0 * static_cast<double>(raw_ones)
+                    / static_cast<double>(total_bits));
+    std::printf("  coded 1-bit fraction: %5.1f%% (NV + VS, pivot 21)\n",
+                100.0 * static_cast<double>(coded_ones)
+                    / static_cast<double>(total_bits));
+
+    // --- 3. energy effect ----------------------------------------------
+    std::printf("\nRead energy for the same data:\n");
+    std::printf("  baseline: %8.2f pJ\n", toPico(raw_energy));
+    std::printf("  BVF     : %8.2f pJ  (%.1f%% saved)\n",
+                toPico(coded_energy),
+                100.0 * (1.0 - coded_energy / raw_energy));
+
+    std::printf("\nRound-trip check: ");
+    {
+        const auto tile = values.tile();
+        std::vector<Word> block(tile.begin(), tile.end());
+        const std::vector<Word> original = block;
+        nv.encodeSpan(block);
+        vs.encode(block);
+        vs.decode(block);
+        nv.decodeSpan(block);
+        std::printf("%s\n", block == original ? "ok" : "FAILED");
+        return block == original ? 0 : 1;
+    }
+}

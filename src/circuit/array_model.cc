@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Array-level energy composition.
+ */
+
+#include "circuit/array_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace bvf::circuit
+{
+
+ArrayModel::ArrayModel(CellKind kind, const TechParams &tech, double vdd,
+                       ArrayGeometry geom)
+    : geom_(geom), cell_(makeCellModel(kind, tech, vdd,
+                                       geom.cellsPerBitline))
+{
+    fatal_if(geom.sets <= 0 || geom.blockBytes <= 0,
+             "array geometry must be positive");
+
+    // Row decode scales ~log2(sets); H-tree distribution grows with the
+    // physical word path across the mat (width of the accessed block and
+    // the square root of total array bits).
+    const double decode = tech.scaleDynamic(tech.decoderEnergyAtNominal, vdd)
+                          * std::log2(std::max(2, geom.sets));
+    const double bits = static_cast<double>(totalBits());
+    const double htree_wire_len =
+        std::sqrt(bits) * tech.cellWidth * 0.5;
+    const double htree =
+        tech.wireCapPerLength * htree_wire_len * vdd * vdd
+        * (geom.wordBits() / 32.0);
+    fixedAccess_ = decode + htree;
+}
+
+AccessEnergy
+ArrayModel::readBits(int ones, int width) const
+{
+    panic_if(ones < 0 || ones > width, "bad bit count");
+    AccessEnergy e;
+    e.fixedPart = fixedAccess_ * (static_cast<double>(width)
+                                  / geom_.wordBits());
+    e.bitPart = ones * cell_->readEnergy(1)
+                + (width - ones) * cell_->readEnergy(0);
+    e.total = e.fixedPart + e.bitPart;
+    return e;
+}
+
+AccessEnergy
+ArrayModel::writeBits(int ones, int width) const
+{
+    panic_if(ones < 0 || ones > width, "bad bit count");
+    AccessEnergy e;
+    e.fixedPart = fixedAccess_ * (static_cast<double>(width)
+                                  / geom_.wordBits());
+    e.bitPart = ones * cell_->writeEnergy(1)
+                + (width - ones) * cell_->writeEnergy(0);
+    e.total = e.fixedPart + e.bitPart;
+    return e;
+}
+
+AccessEnergy
+ArrayModel::readWord(Word word) const
+{
+    return readBits(hammingWeight(word), 32);
+}
+
+AccessEnergy
+ArrayModel::writeWord(Word word) const
+{
+    return writeBits(hammingWeight(word), 32);
+}
+
+double
+ArrayModel::holdPower(double onesFraction) const
+{
+    panic_if(onesFraction < 0.0 || onesFraction > 1.0,
+             "onesFraction out of range");
+    const double bits = static_cast<double>(totalBits());
+    return bits * (onesFraction * cell_->holdLeakage(1)
+                   + (1.0 - onesFraction) * cell_->holdLeakage(0));
+}
+
+long
+ArrayModel::totalBits() const
+{
+    return static_cast<long>(geom_.sets) * geom_.blockBytes * 8;
+}
+
+double
+ArrayModel::area() const
+{
+    // Cell area plus ~18% periphery.
+    return static_cast<double>(totalBits()) * cell_->cellArea() * 1.18;
+}
+
+} // namespace bvf::circuit

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SRAM array energy model.
+ *
+ * Composes the per-bit cell model with word-level overheads (row decode,
+ * wordline drive, H-tree data distribution) into the per-access energy a
+ * whole array sees. This is the interface the architecture layer consumes:
+ * given a data word and an operation, how much energy does the access
+ * cost, bit values considered.
+ */
+
+#ifndef BVF_CIRCUIT_ARRAY_MODEL_HH
+#define BVF_CIRCUIT_ARRAY_MODEL_HH
+
+#include <memory>
+
+#include "circuit/mem_cell.hh"
+#include "common/bitops.hh"
+
+namespace bvf::circuit
+{
+
+/** Geometry of one SRAM array (a bank in the architecture layer). */
+struct ArrayGeometry
+{
+    int sets = 32;           //!< number of decoded rows
+    int blockBytes = 16;     //!< bytes delivered per access
+    int cellsPerBitline = 128; //!< column height (mat partitioning)
+
+    int wordBits() const { return blockBytes * 8; }
+};
+
+/**
+ * Per-access energy summary for a data word, split so callers can
+ * attribute cost to values vs overheads.
+ */
+struct AccessEnergy
+{
+    double total = 0.0;    //!< full access energy [J]
+    double bitPart = 0.0;  //!< value-dependent bitline part [J]
+    double fixedPart = 0.0; //!< decode/wordline/htree part [J]
+};
+
+/**
+ * Energy model of a complete array built from one cell family.
+ */
+class ArrayModel
+{
+  public:
+    /**
+     * @param kind cell family
+     * @param tech technology parameters
+     * @param vdd supply voltage [V]
+     * @param geom array geometry
+     */
+    ArrayModel(CellKind kind, const TechParams &tech, double vdd,
+               ArrayGeometry geom);
+
+    /** Energy to read @p word (32 bits of it) from the array. */
+    AccessEnergy readWord(Word word) const;
+
+    /** Energy to write @p word into the array. */
+    AccessEnergy writeWord(Word word) const;
+
+    /** Read energy for a w-bit word with @p ones bits set. */
+    AccessEnergy readBits(int ones, int width) const;
+
+    /** Write energy for a w-bit word with @p ones bits set. */
+    AccessEnergy writeBits(int ones, int width) const;
+
+    /** Leakage power of the whole array holding @p onesFraction 1s. */
+    double holdPower(double onesFraction) const;
+
+    /** Per-bit read energy for value @p bit; exposes the raw asymmetry. */
+    double bitReadEnergy(int bit) const { return cell_->readEnergy(bit); }
+
+    /** Per-bit write energy for value @p bit. */
+    double bitWriteEnergy(int bit) const { return cell_->writeEnergy(bit); }
+
+    /** Per-bit hold leakage for value @p bit [W]. */
+    double bitHoldLeakage(int bit) const { return cell_->holdLeakage(bit); }
+
+    /** Fixed word overhead (decode + wordline + H-tree) per access [J]. */
+    double fixedAccessEnergy() const { return fixedAccess_; }
+
+    /** Total bits stored in the array. */
+    long totalBits() const;
+
+    /** Array silicon area [m^2]. */
+    double area() const;
+
+    const ArrayGeometry &geometry() const { return geom_; }
+    const MemCellModel &cell() const { return *cell_; }
+    double vdd() const { return cell_->vdd(); }
+
+  private:
+    ArrayGeometry geom_;
+    std::unique_ptr<MemCellModel> cell_;
+    double fixedAccess_; //!< decode + wordline + H-tree energy [J]
+};
+
+} // namespace bvf::circuit
+
+#endif // BVF_CIRCUIT_ARRAY_MODEL_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Bitline capacitance extraction.
+ */
+
+#include "circuit/bitline.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::circuit
+{
+
+Bitline::Bitline(const TechParams &tech, int cellsPerBitline,
+                 double accessWidthMultiple)
+    : tech_(tech), cells_(cellsPerBitline)
+{
+    panic_if(cellsPerBitline <= 0, "bitline needs at least one cell");
+    const Mosfet access(tech, MosType::Nmos, accessWidthMultiple);
+    const double wire_cap =
+        tech.wireCapPerLength * tech.cellHeight * cellsPerBitline;
+    const double drain_cap = access.drainCap() * cellsPerBitline;
+    cap_ = wire_cap + drain_cap;
+}
+
+} // namespace bvf::circuit

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bitline electrical model.
+ *
+ * A bitline is shared by every cell in a column; its capacitance (wire
+ * plus the drain junctions of all attached access devices) dominates
+ * array dynamic power -- the paper cites >50% of SRAM dynamic power in
+ * bitlines. Read/write energy asymmetry in BVF cells is entirely a story
+ * about which bitlines swing, so this model is the heart of the circuit
+ * layer.
+ */
+
+#ifndef BVF_CIRCUIT_BITLINE_HH
+#define BVF_CIRCUIT_BITLINE_HH
+
+#include "circuit/technology.hh"
+#include "circuit/transistor.hh"
+
+namespace bvf::circuit
+{
+
+/**
+ * One column bitline with @p cellsPerBitline attached access devices.
+ */
+class Bitline
+{
+  public:
+    /**
+     * @param tech technology parameters
+     * @param cellsPerBitline number of cells sharing this bitline
+     * @param accessWidthMultiple width multiple of the per-cell access
+     *        transistor whose drain loads the line
+     */
+    Bitline(const TechParams &tech, int cellsPerBitline,
+            double accessWidthMultiple = 1.0);
+
+    /** Total capacitance: wire + attached drains [F]. */
+    double capacitance() const { return cap_; }
+
+    /** Number of attached cells. */
+    int cells() const { return cells_; }
+
+    /**
+     * Energy to swing the line through @p swing volts and restore it,
+     * with the supply at @p vdd: E = C * Vdd * swing.
+     */
+    double
+    swingEnergy(double vdd, double swing) const
+    {
+        return cap_ * vdd * swing;
+    }
+
+    /** Energy for a full-rail discharge + precharge cycle at @p vdd. */
+    double
+    fullSwingEnergy(double vdd) const
+    {
+        return cap_ * vdd * vdd;
+    }
+
+    /**
+     * Differential sensing swing developed before the sense amp fires
+     * [V]. Small-signal reads on 6T arrays only discharge the line by
+     * this much.
+     */
+    static constexpr double senseSwing = 0.13;
+
+  private:
+    const TechParams &tech_;
+    int cells_;
+    double cap_;
+};
+
+} // namespace bvf::circuit
+
+#endif // BVF_CIRCUIT_BITLINE_HH

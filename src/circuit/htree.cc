@@ -1,0 +1,83 @@
+/**
+ * @file
+ * H-tree implementation.
+ */
+
+#include "circuit/htree.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::circuit
+{
+
+HTree::HTree(const TechParams &tech, double vdd, int leaves,
+             double matSide, int busBits)
+    : tech_(tech), vdd_(vdd), busBits_(busBits)
+{
+    fatal_if(leaves <= 0 || (leaves & (leaves - 1)) != 0,
+             "H-tree leaves must be a power of two");
+    fatal_if(matSide <= 0.0, "mat side must be positive");
+    fatal_if(busBits <= 0, "bus width must be positive");
+
+    // Root segment spans half the mat; each level halves, alternating
+    // the traversal axis (classic H recursion keeps the same halving
+    // in total path length).
+    int levels = 0;
+    for (int n = leaves; n > 1; n >>= 1)
+        ++levels;
+    double len = matSide / 2.0;
+    for (int l = 0; l < levels; ++l) {
+        segments_.push_back(len);
+        len /= 2.0;
+    }
+    if (segments_.empty())
+        segments_.push_back(matSide / 4.0); // degenerate single leaf
+}
+
+double
+HTree::segmentLength(int level) const
+{
+    panic_if(level < 0 || level >= levels(), "level out of range");
+    return segments_[static_cast<std::size_t>(level)];
+}
+
+double
+HTree::segmentCap(int level) const
+{
+    return tech_.wireCapPerLength * segmentLength(level);
+}
+
+double
+HTree::pathCap() const
+{
+    double cap = 0.0;
+    for (int l = 0; l < levels(); ++l)
+        cap += segmentCap(l);
+    return cap;
+}
+
+double
+HTree::transferEnergy(int toggledBits) const
+{
+    panic_if(toggledBits < 0 || toggledBits > busBits_,
+             "toggled bits out of range");
+    // Each toggled wire swings the full root-to-leaf path.
+    return static_cast<double>(toggledBits) * pathCap() * vdd_ * vdd_;
+}
+
+double
+HTree::streamEnergy(std::span<const Word> words) const
+{
+    // Words stream over a 32-wire slice of the bus; every toggled wire
+    // swings the full root-to-leaf path.
+    double energy = 0.0;
+    Word prev = 0; // wires start discharged
+    for (const Word w : words) {
+        energy += static_cast<double>(hammingDistance(prev, w))
+                  * pathCap() * vdd_ * vdd_;
+        prev = w;
+    }
+    return energy;
+}
+
+} // namespace bvf::circuit

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * H-tree data-distribution network model.
+ *
+ * Large SRAM arrays are partitioned into banks/mats/subarrays connected
+ * by a binary H-tree (Section 3.2 of the paper; CACTI's organization).
+ * Data words traverse log2(leaves) levels of wire segments between the
+ * array port and the accessed subarray; each level's segment halves in
+ * length. Like the NoC, H-tree wires burn energy on *toggles*, so the
+ * same bit-value coding that helps the bitlines also quiets the tree.
+ *
+ * The ArrayModel uses a lumped version of this for its fixed access
+ * cost; this class exposes the structure explicitly for studies that
+ * care about distribution-network energy in isolation.
+ */
+
+#ifndef BVF_CIRCUIT_HTREE_HH
+#define BVF_CIRCUIT_HTREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/technology.hh"
+#include "common/bitops.hh"
+
+namespace bvf::circuit
+{
+
+/**
+ * A binary H-tree over @p leaves subarrays spanning a square mat.
+ */
+class HTree
+{
+  public:
+    /**
+     * @param tech technology parameters
+     * @param vdd supply voltage [V]
+     * @param leaves number of subarrays (power of two)
+     * @param matSide physical side length of the mat [m]
+     * @param busBits width of the data bus on every level
+     */
+    HTree(const TechParams &tech, double vdd, int leaves, double matSide,
+          int busBits = 128);
+
+    /** Number of tree levels (log2 of leaves). */
+    int levels() const { return static_cast<int>(segments_.size()); }
+
+    /** Wire length of one segment at @p level (0 = root) [m]. */
+    double segmentLength(int level) const;
+
+    /** Capacitance of one bus wire segment at @p level [F]. */
+    double segmentCap(int level) const;
+
+    /** Total root-to-leaf wire capacitance of one bus wire [F]. */
+    double pathCap() const;
+
+    /**
+     * Energy to move one word to/from a leaf, given how many bus wires
+     * toggle: E = toggles/busBits * pathCap * Vdd^2 per word-width
+     * slice of the bus.
+     *
+     * @param toggledBits wires that change level this transfer
+     */
+    double transferEnergy(int toggledBits) const;
+
+    /**
+     * Energy for a sequence of words sent back to back along the same
+     * path (toggle-exact, like the NoC accounting).
+     */
+    double streamEnergy(std::span<const Word> words) const;
+
+    int busBits() const { return busBits_; }
+
+  private:
+    const TechParams &tech_;
+    double vdd_;
+    int busBits_;
+    std::vector<double> segments_; //!< per-level segment length [m]
+};
+
+} // namespace bvf::circuit
+
+#endif // BVF_CIRCUIT_HTREE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Transient read-disturb simulation for the BVF-6T speculation
+ * (Section 7.1 of the paper).
+ *
+ * A 6T cell with the BVF asymmetric precharge (BL at Vdd, /BL at ground)
+ * performs a destructive differential read. When the cell stores 0, the
+ * high BL injects charge into the low storage node through the access
+ * transistor; if the bitline capacitance (which grows with cells per
+ * bitline) is large enough, the node is dragged past the inverter trip
+ * point before the cell's pull-down can win, flipping the stored value.
+ *
+ * This module integrates the two storage-node voltages with forward Euler
+ * against simple MOSFET I-V curves and reports whether the read was
+ * stable. The paper's finding -- flips appear beyond 16 cells/bitline at
+ * 28nm -- is the calibration target (see tests).
+ */
+
+#ifndef BVF_CIRCUIT_READ_DISTURB_HH
+#define BVF_CIRCUIT_READ_DISTURB_HH
+
+#include "circuit/technology.hh"
+
+namespace bvf::circuit
+{
+
+/** Result of one simulated read transient. */
+struct ReadDisturbResult
+{
+    bool flipped = false;   //!< did the stored value flip?
+    double peakNodeV = 0.0; //!< highest excursion of the low node [V]
+    double finalNodeV = 0.0; //!< low-node voltage at the end [V]
+    int steps = 0;          //!< integration steps executed
+};
+
+/**
+ * Forward-Euler transient simulator of a 6T cell under a read with a
+ * selectable precharge scheme.
+ */
+class ReadDisturbSim
+{
+  public:
+    /**
+     * @param tech technology parameters
+     * @param vdd supply voltage [V]
+     */
+    ReadDisturbSim(const TechParams &tech, double vdd);
+
+    /**
+     * Simulate a read of a cell storing 0 under the BVF precharge
+     * (BL = Vdd, /BL = 0).
+     *
+     * @param cellsPerBitline column height; sets bitline capacitance
+     * @param duration simulated wordline pulse [s]
+     * @param dt integration step [s]
+     */
+    ReadDisturbResult simulateBvfRead0(int cellsPerBitline,
+                                       double duration = 1.2e-9,
+                                       double dt = 1.0e-12) const;
+
+    /**
+     * Simulate a read under the conventional precharge (both lines at
+     * Vdd); used as the stability reference.
+     */
+    ReadDisturbResult simulateConventionalRead0(int cellsPerBitline,
+                                                double duration = 1.2e-9,
+                                                double dt = 1.0e-12) const;
+
+    /**
+     * Smallest cells/bitline at which the BVF read-0 flips the cell, or
+     * -1 if none up to @p maxCells.
+     */
+    int findFlipThreshold(int maxCells = 256) const;
+
+  private:
+    ReadDisturbResult simulate(int cellsPerBitline, double blInit,
+                               double blbInit, double duration,
+                               double dt) const;
+
+    const TechParams &tech_;
+    double vdd_;
+};
+
+} // namespace bvf::circuit
+
+#endif // BVF_CIRCUIT_READ_DISTURB_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Technology parameter tables.
+ */
+
+#include "circuit/technology.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace bvf::circuit
+{
+
+std::string
+techNodeName(TechNode node)
+{
+    switch (node) {
+      case TechNode::N28:
+        return "28nm";
+      case TechNode::N40:
+        return "40nm";
+    }
+    panic("unknown tech node");
+}
+
+namespace
+{
+
+// Constants below are analytic PDK stand-ins (see file header in
+// technology.hh). Capacitances follow ITRS-era scaling between the two
+// nodes; leakage constants are fitted so hold-state ratios match the
+// paper's Spectre results.
+const TechParams params28 = {
+    .node = TechNode::N28,
+    .featureSize = nano(28),
+    .vddNominal = 1.2,
+    .vddNearThreshold = 0.6,
+    .vth = 0.38,
+    .gateCapPerWidth = 1.05e-9,           // ~1.05 fF/um
+    .drainCapPerWidth = 0.60e-9,          // ~0.60 fF/um
+    .wireCapPerLength = 0.18e-9,          // ~0.18 fF/um local metal
+    .cellHeight = nano(210),
+    .cellWidth = nano(500),
+    .ioffPerWidth = 0.55e-3,              // ~3.8 nA/um at nominal
+    .draginFactor = 0.10,
+    .minWidthNmos = nano(90),
+    .minWidthPmos = nano(120),
+    .senseAmpEnergyAtNominal = femto(2.6),
+    .decoderEnergyAtNominal = femto(9.0),
+};
+
+const TechParams params40 = {
+    .node = TechNode::N40,
+    .featureSize = nano(40),
+    .vddNominal = 1.2,
+    .vddNearThreshold = 0.6,
+    .vth = 0.42,
+    .gateCapPerWidth = 1.20e-9,           // ~1.20 fF/um
+    .drainCapPerWidth = 0.72e-9,          // ~0.72 fF/um
+    .wireCapPerLength = 0.21e-9,          // ~0.21 fF/um local metal
+    .cellHeight = nano(300),
+    .cellWidth = nano(710),
+    .ioffPerWidth = 0.35e-3,              // ~2.4 nA/um at nominal
+    .draginFactor = 0.09,
+    .minWidthNmos = nano(120),
+    .minWidthPmos = nano(160),
+    .senseAmpEnergyAtNominal = femto(3.1),
+    .decoderEnergyAtNominal = femto(10.5),
+};
+
+} // namespace
+
+const TechParams &
+techParams(TechNode node)
+{
+    switch (node) {
+      case TechNode::N28:
+        return params28;
+      case TechNode::N40:
+        return params40;
+    }
+    panic("unknown tech node");
+}
+
+} // namespace bvf::circuit

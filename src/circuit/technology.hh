@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Process-technology parameter sets.
+ *
+ * The paper characterizes its SRAM designs with commercial 28nm and 40nm
+ * PDKs under Cadence Spectre. We have no access to those kits, so this
+ * module carries analytic stand-ins: per-node capacitance, threshold and
+ * leakage constants chosen to land in the published ranges (see
+ * DESIGN.md, substitution table). All downstream energy numbers are
+ * derived from these constants; nothing else in the library hard-codes
+ * process data.
+ */
+
+#ifndef BVF_CIRCUIT_TECHNOLOGY_HH
+#define BVF_CIRCUIT_TECHNOLOGY_HH
+
+#include <string>
+
+namespace bvf::circuit
+{
+
+/** Supported process nodes. */
+enum class TechNode
+{
+    N28, //!< 28nm planar bulk CMOS
+    N40, //!< 40nm planar bulk CMOS
+};
+
+/** Human-readable node name, e.g. "28nm". */
+std::string techNodeName(TechNode node);
+
+/**
+ * Per-node electrical constants.
+ *
+ * Units: meters, farads, volts, amperes unless noted. Values are analytic
+ * stand-ins for PDK data, fitted so that cell-level energies reproduce the
+ * paper's normalized Figures 5/6.
+ */
+struct TechParams
+{
+    TechNode node;
+    double featureSize;      //!< drawn feature size [m]
+    double vddNominal;       //!< nominal supply [V]
+    double vddNearThreshold; //!< near-threshold supply usable by 8T [V]
+    double vth;              //!< long-channel threshold voltage [V]
+
+    double gateCapPerWidth;  //!< gate capacitance per unit width [F/m]
+    double drainCapPerWidth; //!< drain junction cap per unit width [F/m]
+    double wireCapPerLength; //!< local interconnect cap [F/m]
+    double cellHeight;       //!< bitcell pitch along a bitline [m]
+    double cellWidth;        //!< bitcell pitch along a wordline [m]
+
+    double ioffPerWidth;     //!< subthreshold off-current at vddNominal [A/m]
+    double draginFactor;     //!< DIBL-like leakage sensitivity to Vds [1/V]
+
+    double minWidthNmos;     //!< minimum NMOS width [m]
+    double minWidthPmos;     //!< minimum PMOS width [m]
+
+    double senseAmpEnergyAtNominal;  //!< sense-amp fire energy at Vdd_nom [J]
+    double decoderEnergyAtNominal;   //!< row-decoder energy per access [J]
+
+    /** Scale a capacitive energy C*V^2 from nominal Vdd to @p vdd. */
+    double
+    scaleDynamic(double energyAtNominal, double vdd) const
+    {
+        const double r = vdd / vddNominal;
+        return energyAtNominal * r * r;
+    }
+};
+
+/** Canonical parameter set for a node. */
+const TechParams &techParams(TechNode node);
+
+} // namespace bvf::circuit
+
+#endif // BVF_CIRCUIT_TECHNOLOGY_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal MOSFET model used by the cell and transient simulations.
+ *
+ * The model is an alpha-power-law drain current with a simple
+ * subthreshold-exponential leakage tail -- enough fidelity to compare
+ * relative cell energies and to integrate read-disturb transients, while
+ * staying far from a real SPICE model (which we do not have; see
+ * DESIGN.md).
+ */
+
+#ifndef BVF_CIRCUIT_TRANSISTOR_HH
+#define BVF_CIRCUIT_TRANSISTOR_HH
+
+#include "circuit/technology.hh"
+
+namespace bvf::circuit
+{
+
+/** Transistor polarity. */
+enum class MosType
+{
+    Nmos,
+    Pmos,
+};
+
+/**
+ * A sized MOSFET instance in a given technology.
+ *
+ * Currents are positive magnitudes; callers apply sign conventions.
+ */
+class Mosfet
+{
+  public:
+    /**
+     * @param tech technology parameter set
+     * @param type polarity
+     * @param widthMultiple width as a multiple of the minimum width
+     */
+    Mosfet(const TechParams &tech, MosType type, double widthMultiple = 1.0);
+
+    MosType type() const { return type_; }
+
+    /** Physical gate width [m]. */
+    double width() const { return width_; }
+
+    /** Gate capacitance [F]. */
+    double gateCap() const;
+
+    /** Drain junction capacitance [F]. */
+    double drainCap() const;
+
+    /**
+     * Drain current magnitude for gate overdrive and drain bias, using
+     * the alpha-power law (alpha = 1.3 for short-channel devices).
+     *
+     * @param vgs gate-source voltage magnitude [V]
+     * @param vds drain-source voltage magnitude [V]
+     * @return current magnitude [A]
+     */
+    double drainCurrent(double vgs, double vds) const;
+
+    /**
+     * Subthreshold (off-state) leakage current magnitude with the gate
+     * off and @p vds across the channel [A].
+     */
+    double offCurrent(double vds) const;
+
+    /** Effective threshold voltage [V]. */
+    double vth() const { return vth_; }
+
+  private:
+    const TechParams &tech_;
+    MosType type_;
+    double width_;
+    double vth_;
+    double kSat_; //!< saturation transconductance factor [A/V^alpha]
+};
+
+} // namespace bvf::circuit
+
+#endif // BVF_CIRCUIT_TRANSISTOR_HH

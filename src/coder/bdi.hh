@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Base-Delta-Immediate (BDI) compression model.
+ *
+ * Section 7.3 of the paper argues BVF composes with register/cache
+ * compression schemes like Warped-Compression because the VS coder
+ * "mostly does not break the value-similarity pattern" those schemes
+ * rely on. This module implements the standard BDI check -- can a block
+ * be stored as one base plus small per-element deltas? -- so that claim
+ * can be measured rather than asserted (see bench_ext_compression).
+ *
+ * The model covers the classic configurations: zero block, repeated
+ * block, and base(4B) with delta widths 1/2/4 bytes, evaluated against
+ * both the block's first element and zero as bases.
+ */
+
+#ifndef BVF_CODER_BDI_HH
+#define BVF_CODER_BDI_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/bitops.hh"
+
+namespace bvf::coder
+{
+
+/** Outcome of a BDI compressibility check on one block. */
+struct BdiResult
+{
+    bool compressible = false;
+    int compressedBytes = 0; //!< encoded size incl. metadata byte
+    int originalBytes = 0;
+    std::string scheme;      //!< e.g. "zeros", "rep", "b4d1"
+
+    double
+    ratio() const
+    {
+        return compressedBytes > 0
+                   ? static_cast<double>(originalBytes)
+                         / static_cast<double>(compressedBytes)
+                   : 1.0;
+    }
+};
+
+/**
+ * Evaluate BDI on a block of 32-bit words (a warp register or a cache
+ * line). Picks the smallest applicable encoding.
+ */
+BdiResult bdiCompress(std::span<const Word> block);
+
+} // namespace bvf::coder
+
+#endif // BVF_CODER_BDI_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bus-invert channel implementation.
+ */
+
+#include "coder/bus_invert.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::coder
+{
+
+BusInvertChannel::BusInvertChannel(std::size_t lanes)
+    : prev_(lanes, 0), prevParity_(lanes, false)
+{
+    fatal_if(lanes == 0, "bus-invert channel needs at least one lane");
+}
+
+std::uint64_t
+BusInvertChannel::encode(std::span<Word> words, std::vector<bool> &parity)
+{
+    panic_if(words.size() != prev_.size(),
+             "transfer width %zu != channel lanes %zu", words.size(),
+             prev_.size());
+    parity.assign(words.size(), false);
+
+    std::uint64_t transfer_toggles = 0;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const int plain = hammingDistance(words[i], prev_[i]);
+        const int inverted = hammingDistance(~words[i], prev_[i]);
+        bool invert = inverted < plain;
+        if (invert)
+            words[i] = ~words[i];
+        parity[i] = invert;
+
+        std::uint64_t t =
+            static_cast<std::uint64_t>(invert ? inverted : plain);
+        if (invert != prevParity_[i])
+            ++t; // the parity wire itself toggles
+        transfer_toggles += t;
+
+        prev_[i] = words[i];
+        prevParity_[i] = invert;
+    }
+    toggles_ += transfer_toggles;
+    return transfer_toggles;
+}
+
+void
+BusInvertChannel::decode(std::span<Word> words,
+                         const std::vector<bool> &parity)
+{
+    panic_if(words.size() != parity.size(),
+             "parity width mismatch: %zu vs %zu", words.size(),
+             parity.size());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        if (parity[i])
+            words[i] = ~words[i];
+    }
+}
+
+} // namespace bvf::coder

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bus-invert coding baseline (Stan & Burleson style).
+ *
+ * The classic low-power bus code: before each transfer, if more than half
+ * of the wires would toggle relative to the previous transfer, invert the
+ * word and raise a parity wire. It minimizes Hamming *distance* between
+ * consecutive transfers but is indifferent to the 0/1 balance within a
+ * word -- the opposite optimization target from BVF -- and it needs an
+ * extra parity line per word. It is implemented here as a comparison
+ * baseline for the NoC experiments.
+ */
+
+#ifndef BVF_CODER_BUS_INVERT_HH
+#define BVF_CODER_BUS_INVERT_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitops.hh"
+
+namespace bvf::coder
+{
+
+/**
+ * Stateful per-channel bus-invert encoder.
+ *
+ * Each lane of the channel (a 32-bit wire group) keeps its previous
+ * transmitted value; encode() decides per lane whether to invert.
+ */
+class BusInvertChannel
+{
+  public:
+    /** @param lanes number of 32-bit wire groups on the channel */
+    explicit BusInvertChannel(std::size_t lanes);
+
+    /**
+     * Encode one transfer in place.
+     *
+     * @param words exactly `lanes()` words to put on the wires
+     * @param parity out-param: per-lane inversion flags
+     * @return number of wire toggles this transfer causes (including the
+     *         parity wires)
+     */
+    std::uint64_t encode(std::span<Word> words, std::vector<bool> &parity);
+
+    /** Decode a transfer given its parity flags. */
+    static void decode(std::span<Word> words,
+                       const std::vector<bool> &parity);
+
+    std::size_t lanes() const { return prev_.size(); }
+
+    /** Cumulative wire toggles since construction. */
+    std::uint64_t totalToggles() const { return toggles_; }
+
+  private:
+    std::vector<Word> prev_;
+    std::vector<bool> prevParity_;
+    std::uint64_t toggles_ = 0;
+};
+
+} // namespace bvf::coder
+
+#endif // BVF_CODER_BUS_INVERT_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * BVF space registry implementation.
+ */
+
+#include "coder/bvf_space.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::coder
+{
+
+std::string
+unitName(UnitId unit)
+{
+    switch (unit) {
+      case UnitId::Reg:
+        return "REG";
+      case UnitId::Sme:
+        return "SME";
+      case UnitId::L1D:
+        return "L1D";
+      case UnitId::L1T:
+        return "L1T";
+      case UnitId::L1C:
+        return "L1C";
+      case UnitId::L1I:
+        return "L1I";
+      case UnitId::Ifb:
+        return "IFB";
+      case UnitId::Noc:
+        return "NoC";
+      case UnitId::L2:
+        return "L2";
+    }
+    panic("unknown unit");
+}
+
+const std::vector<UnitId> &
+allUnits()
+{
+    static const std::vector<UnitId> units = {
+        UnitId::Reg, UnitId::Sme, UnitId::L1D, UnitId::L1T, UnitId::L1C,
+        UnitId::L1I, UnitId::Ifb, UnitId::Noc, UnitId::L2,
+    };
+    return units;
+}
+
+bool
+isInstructionUnit(UnitId unit)
+{
+    return unit == UnitId::L1I || unit == UnitId::Ifb;
+}
+
+BvfSpace::BvfSpace(std::string name, std::set<UnitId> units,
+                   CoderChain chain)
+    : name_(std::move(name)), units_(std::move(units)),
+      chain_(std::move(chain))
+{
+    fatal_if(units_.empty(), "BVF space '%s' covers no units",
+             name_.c_str());
+}
+
+std::size_t
+SpaceRegistry::add(BvfSpace space)
+{
+    spaces_.push_back(std::move(space));
+    return spaces_.size() - 1;
+}
+
+CoderChain
+SpaceRegistry::chainFor(UnitId unit) const
+{
+    // Property (I): a unit inside a space always sees that space's full
+    // chain; property (II): composition across overlapping spaces keeps
+    // every space independently decodable because all stages are
+    // invertible and ordered consistently (registration order).
+    CoderChain out;
+    for (const BvfSpace &s : spaces_) {
+        if (s.covers(unit))
+            out.append(s.chain());
+    }
+    return out;
+}
+
+std::vector<std::string>
+SpaceRegistry::spacesCovering(UnitId unit) const
+{
+    std::vector<std::string> names;
+    for (const BvfSpace &s : spaces_) {
+        if (s.covers(unit))
+            names.push_back(s.name());
+    }
+    return names;
+}
+
+std::set<UnitId>
+nvSpaceUnits()
+{
+    return {UnitId::Reg, UnitId::Sme, UnitId::L1D, UnitId::L1T,
+            UnitId::L1C, UnitId::Noc, UnitId::L2};
+}
+
+std::set<UnitId>
+vsRegisterSpaceUnits()
+{
+    return {UnitId::Reg};
+}
+
+std::set<UnitId>
+vsCacheSpaceUnits()
+{
+    return {UnitId::L1D, UnitId::L1T, UnitId::L1C, UnitId::Noc, UnitId::L2};
+}
+
+std::set<UnitId>
+isaSpaceUnits()
+{
+    return {UnitId::Ifb, UnitId::L1I, UnitId::Noc, UnitId::L2};
+}
+
+} // namespace bvf::coder

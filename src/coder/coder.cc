@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CoderChain implementation.
+ */
+
+#include "coder/coder.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::coder
+{
+
+void
+CoderChain::addWord(std::shared_ptr<const WordCoder> coder)
+{
+    panic_if(!coder, "null word coder");
+    stages_.push_back(Stage{std::move(coder), nullptr});
+}
+
+void
+CoderChain::addBlock(std::shared_ptr<const BlockCoder> coder)
+{
+    panic_if(!coder, "null block coder");
+    stages_.push_back(Stage{nullptr, std::move(coder)});
+}
+
+void
+CoderChain::append(const CoderChain &other)
+{
+    for (const Stage &s : other.stages_)
+        stages_.push_back(s);
+}
+
+void
+CoderChain::encode(std::span<Word> block) const
+{
+    for (const Stage &s : stages_) {
+        if (s.word)
+            s.word->encodeSpan(block);
+        else
+            s.block->encode(block);
+    }
+}
+
+void
+CoderChain::decode(std::span<Word> block) const
+{
+    for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+        if (it->word)
+            it->word->decodeSpan(block);
+        else
+            it->block->decode(block);
+    }
+}
+
+std::string
+CoderChain::name() const
+{
+    if (stages_.empty())
+        return "baseline";
+    std::string out;
+    for (const Stage &s : stages_) {
+        if (!out.empty())
+            out += "+";
+        out += s.word ? s.word->name() : s.block->name();
+    }
+    return out;
+}
+
+} // namespace bvf::coder

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * ISA coder implementation.
+ */
+
+#include "coder/isa_coder.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::coder
+{
+
+std::string
+IsaCoder::name() const
+{
+    return strFormat("isa(0x%016llx)",
+                     static_cast<unsigned long long>(mask_));
+}
+
+} // namespace bvf::coder

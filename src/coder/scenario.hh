@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Evaluation scenarios.
+ *
+ * Every simulation is accounted simultaneously under five coding
+ * scenarios so a single run produces the baseline, the three per-coder
+ * results (Figures 16/17) and the combined design (Figures 18/19). The
+ * coders are architecturally transparent -- they never change what the
+ * program computes -- so multi-scenario accounting of one run is exact.
+ */
+
+#ifndef BVF_CODER_SCENARIO_HH
+#define BVF_CODER_SCENARIO_HH
+
+#include <array>
+#include <string>
+
+namespace bvf::coder
+{
+
+/** Coding configurations evaluated side by side. */
+enum class Scenario
+{
+    Baseline, //!< no coders
+    NvOnly,   //!< narrow-value coder alone
+    VsOnly,   //!< value-similarity coders alone
+    IsaOnly,  //!< ISA-preference coder alone
+    AllCoders, //!< the full BVF design
+};
+
+/** Number of scenarios. */
+constexpr int numScenarios = 5;
+
+/** All scenarios in reporting order. */
+constexpr std::array<Scenario, numScenarios> allScenarios = {
+    Scenario::Baseline, Scenario::NvOnly, Scenario::VsOnly,
+    Scenario::IsaOnly, Scenario::AllCoders,
+};
+
+/** Display name, e.g. "NV". */
+inline std::string
+scenarioName(Scenario s)
+{
+    switch (s) {
+      case Scenario::Baseline:
+        return "Baseline";
+      case Scenario::NvOnly:
+        return "NV";
+      case Scenario::VsOnly:
+        return "VS";
+      case Scenario::IsaOnly:
+        return "ISA";
+      case Scenario::AllCoders:
+        return "BVF";
+    }
+    return "?";
+}
+
+/** Dense index for array storage. */
+constexpr int
+scenarioIndex(Scenario s)
+{
+    return static_cast<int>(s);
+}
+
+} // namespace bvf::coder
+
+#endif // BVF_CODER_SCENARIO_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * VS coder implementation.
+ */
+
+#include "coder/vs_coder.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::coder
+{
+
+VsCoder::VsCoder(int pivot) : pivot_(pivot)
+{
+    fatal_if(pivot < 0, "pivot index must be non-negative");
+}
+
+int
+VsCoder::effectivePivot(std::size_t blockSize) const
+{
+    return static_cast<std::size_t>(pivot_) < blockSize ? pivot_ : 0;
+}
+
+void
+VsCoder::encode(std::span<Word> block) const
+{
+    if (block.empty())
+        return;
+    const int p = effectivePivot(block.size());
+    const Word pivot_value = block[static_cast<std::size_t>(p)];
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        if (static_cast<int>(i) != p)
+            block[i] = xnorWord(block[i], pivot_value);
+    }
+}
+
+void
+VsCoder::decode(std::span<Word> block) const
+{
+    // XNOR with the (unmodified) pivot is self-inverse.
+    encode(block);
+}
+
+std::string
+VsCoder::name() const
+{
+    return strFormat("vs(%d)", pivot_);
+}
+
+} // namespace bvf::coder

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Bit-level utilities used across the BVF library.
+ *
+ * Everything here operates on raw 32/64-bit words. These helpers are the
+ * vocabulary of the paper: Hamming weight (number of 1 bits in a word),
+ * Hamming distance (differing bit positions between two words), and
+ * sign-adjusted leading-zero counts (the "clz" profiling of Figure 8).
+ */
+
+#ifndef BVF_COMMON_BITOPS_HH
+#define BVF_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace bvf
+{
+
+/** 32-bit data word, the native GPU register granule. */
+using Word = std::uint32_t;
+
+/** 64-bit word, the instruction-binary granule. */
+using Word64 = std::uint64_t;
+
+/** Number of 1 bits in a 32-bit word. */
+constexpr int
+hammingWeight(Word w)
+{
+    return std::popcount(w);
+}
+
+/** Number of 1 bits in a 64-bit word. */
+constexpr int
+hammingWeight64(Word64 w)
+{
+    return std::popcount(w);
+}
+
+/** Number of 0 bits in a 32-bit word. */
+constexpr int
+zeroCount(Word w)
+{
+    return 32 - std::popcount(w);
+}
+
+/** Number of bit positions at which @p a and @p b differ. */
+constexpr int
+hammingDistance(Word a, Word b)
+{
+    return std::popcount(a ^ b);
+}
+
+/** Number of bit positions at which two 64-bit words differ. */
+constexpr int
+hammingDistance64(Word64 a, Word64 b)
+{
+    return std::popcount(a ^ b);
+}
+
+/** Leading zero count of a 32-bit word (32 for w == 0). */
+constexpr int
+leadingZeros(Word w)
+{
+    return std::countl_zero(w);
+}
+
+/**
+ * Sign-adjusted leading-zero count, as profiled by the paper (Fig. 8):
+ * negative values (MSB set) are bit-inverted before counting, so the
+ * result measures the run of redundant sign bits at the top of the word.
+ */
+constexpr int
+signAdjustedLeadingZeros(Word w)
+{
+    Word v = (w & 0x80000000u) ? ~w : w;
+    return std::countl_zero(v);
+}
+
+/**
+ * XNOR of two words. The paper's three coders are all built from XNOR:
+ * a XNOR b has a 1 wherever a and b agree.
+ */
+constexpr Word
+xnorWord(Word a, Word b)
+{
+    return ~(a ^ b);
+}
+
+/** XNOR of two 64-bit words. */
+constexpr Word64
+xnorWord64(Word64 a, Word64 b)
+{
+    return ~(a ^ b);
+}
+
+/**
+ * Broadcast the sign bit (bit 31) of @p w across all 32 positions.
+ * Yields 0xffffffff for negative words and 0 for non-negative ones.
+ */
+constexpr Word
+broadcastSign(Word w)
+{
+    return static_cast<Word>(static_cast<std::int32_t>(w) >> 31);
+}
+
+/** Total Hamming weight over a span of 32-bit words. */
+inline std::uint64_t
+hammingWeight(std::span<const Word> words)
+{
+    std::uint64_t total = 0;
+    for (Word w : words)
+        total += std::popcount(w);
+    return total;
+}
+
+/**
+ * Total number of toggled bit positions between two equally sized word
+ * sequences, i.e. the switching activity a bus would see when the second
+ * sequence follows the first on the same wires.
+ */
+inline std::uint64_t
+toggleCount(std::span<const Word> prev, std::span<const Word> next)
+{
+    std::uint64_t total = 0;
+    const std::size_t n = prev.size() < next.size() ? prev.size()
+                                                    : next.size();
+    for (std::size_t i = 0; i < n; ++i)
+        total += std::popcount(prev[i] ^ next[i]);
+    return total;
+}
+
+/** Extract bit @p pos (0 = LSB) of a 64-bit word. */
+constexpr int
+bitAt64(Word64 w, int pos)
+{
+    return static_cast<int>((w >> pos) & 1u);
+}
+
+/** Set bit @p pos (0 = LSB) of a 64-bit word to @p value. */
+constexpr Word64
+withBit64(Word64 w, int pos, bool value)
+{
+    const Word64 mask = Word64(1) << pos;
+    return value ? (w | mask) : (w & ~mask);
+}
+
+/** Extract a bit field [lo, lo+width) from a 64-bit word. */
+constexpr Word64
+bitField64(Word64 w, int lo, int width)
+{
+    return (w >> lo) & ((Word64(1) << width) - 1);
+}
+
+/** Insert @p value into bit field [lo, lo+width) of a 64-bit word. */
+constexpr Word64
+withField64(Word64 w, int lo, int width, Word64 value)
+{
+    const Word64 mask = ((Word64(1) << width) - 1) << lo;
+    return (w & ~mask) | ((value << lo) & mask);
+}
+
+} // namespace bvf
+
+#endif // BVF_COMMON_BITOPS_HH

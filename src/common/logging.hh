@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 spirit.
+ *
+ * panic()  -- internal invariant broken; aborts.
+ * fatal()  -- user/configuration error; exits with status 1.
+ * warn()   -- functionality approximated; execution continues.
+ * inform() -- plain status message.
+ */
+
+#ifndef BVF_COMMON_LOGGING_HH
+#define BVF_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace bvf
+{
+
+/** Verbosity control for inform(); warnings and errors always print. */
+void setVerbose(bool verbose);
+bool verbose();
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace bvf
+
+#define panic(...) \
+    ::bvf::panicImpl(__FILE__, __LINE__, ::bvf::strFormat(__VA_ARGS__))
+#define fatal(...) \
+    ::bvf::fatalImpl(__FILE__, __LINE__, ::bvf::strFormat(__VA_ARGS__))
+#define warn(...) ::bvf::warnImpl(::bvf::strFormat(__VA_ARGS__))
+#define inform(...) ::bvf::informImpl(::bvf::strFormat(__VA_ARGS__))
+
+/** panic() unless @p cond holds; used for internal invariants. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            panic(__VA_ARGS__);                                           \
+    } while (0)
+
+/** fatal() unless configuration condition holds. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            fatal(__VA_ARGS__);                                           \
+    } while (0)
+
+#endif // BVF_COMMON_LOGGING_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Lightweight statistics primitives: counters, running means, histograms.
+ *
+ * Every unit in the simulator exposes its activity through these types;
+ * the experiment driver then converts counts into energy via the circuit
+ * and power models.
+ */
+
+#ifndef BVF_COMMON_STATS_HH
+#define BVF_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bvf
+{
+
+/** Running mean/min/max/variance over double-valued samples. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (n_ == 1 || x < min_)
+            min_ = x;
+        if (n_ == 1 || x > max_)
+            max_ = x;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    void
+    merge(const RunningStat &other)
+    {
+        if (other.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = other;
+            return;
+        }
+        const double delta = other.mean_ - mean_;
+        const std::uint64_t total = n_ + other.n_;
+        m2_ += other.m2_ + delta * delta
+               * static_cast<double>(n_) * static_cast<double>(other.n_)
+               / static_cast<double>(total);
+        mean_ += delta * static_cast<double>(other.n_)
+                 / static_cast<double>(total);
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+        n_ = total;
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bin integer histogram over [0, bins). Out-of-range clamps. */
+class Histogram
+{
+  public:
+    explicit Histogram(int bins) : counts_(static_cast<std::size_t>(bins), 0)
+    {}
+
+    void
+    add(int value, std::uint64_t weight = 1)
+    {
+        if (value < 0)
+            value = 0;
+        if (value >= static_cast<int>(counts_.size()))
+            value = static_cast<int>(counts_.size()) - 1;
+        counts_[static_cast<std::size_t>(value)] += weight;
+        total_ += weight;
+    }
+
+    std::uint64_t at(int bin) const
+    {
+        return counts_[static_cast<std::size_t>(bin)];
+    }
+    int bins() const { return static_cast<int>(counts_.size()); }
+    std::uint64_t total() const { return total_; }
+
+    /** Weighted mean bin index. */
+    double
+    mean() const
+    {
+        if (total_ == 0)
+            return 0.0;
+        double sum = 0.0;
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            sum += static_cast<double>(i) * static_cast<double>(counts_[i]);
+        return sum / static_cast<double>(total_);
+    }
+
+    void
+    merge(const Histogram &other)
+    {
+        for (int i = 0; i < other.bins() && i < bins(); ++i) {
+            counts_[static_cast<std::size_t>(i)] +=
+                other.counts_[static_cast<std::size_t>(i)];
+        }
+        total_ += other.total_;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Bit-stream statistics: how many 0s and 1s flowed through a port, and
+ * how many wire toggles occurred. This is exactly what the paper's trace
+ * parser computes per BVF unit.
+ */
+struct BitStats
+{
+    std::uint64_t ones = 0;      //!< 1-bits observed
+    std::uint64_t zeros = 0;     //!< 0-bits observed
+    std::uint64_t accesses = 0;  //!< word-level accesses
+    std::uint64_t toggles = 0;   //!< bit transitions vs previous transfer
+
+    std::uint64_t bits() const { return ones + zeros; }
+
+    /** Fraction of observed bits that were 1; 0 if no traffic. */
+    double
+    oneRatio() const
+    {
+        const std::uint64_t b = bits();
+        return b ? static_cast<double>(ones) / static_cast<double>(b) : 0.0;
+    }
+
+    void
+    merge(const BitStats &o)
+    {
+        ones += o.ones;
+        zeros += o.zeros;
+        accesses += o.accesses;
+        toggles += o.toggles;
+    }
+};
+
+} // namespace bvf
+
+#endif // BVF_COMMON_STATS_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "common/table.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace bvf
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    return strFormat("%.*f", precision, value);
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    return strFormat("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].size() > widths[i])
+                widths[i] = cells[i].size();
+        }
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto renderRow = [&widths](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i]
+                                                       : std::string();
+            line += cell;
+            line.append(widths[i] - cell.size(), ' ');
+            if (i + 1 < widths.size())
+                line += "  ";
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        line += '\n';
+        return line;
+    };
+
+    std::string out;
+    if (!title_.empty())
+        out += "== " + title_ + " ==\n";
+    if (!header_.empty()) {
+        out += renderRow(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        out.append(total > 2 ? total - 2 : total, '-');
+        out += '\n';
+    }
+    for (const auto &r : rows_)
+        out += renderRow(r);
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace bvf

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table formatting for bench and example output.
+ *
+ * Benches print rows shaped like the paper's figures/tables; this class
+ * keeps alignment readable without dragging in a formatting library.
+ */
+
+#ifndef BVF_COMMON_TABLE_HH
+#define BVF_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace bvf
+{
+
+/** Column-aligned ASCII table with an optional title and header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; short rows are padded with empty cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 3);
+
+    /** Convenience: format a percentage such as "-21.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the full table. */
+    std::string str() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bvf
+
+#endif // BVF_COMMON_TABLE_HH

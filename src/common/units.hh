@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Physical-unit conventions used throughout the library.
+ *
+ * All energies are carried in joules, capacitances in farads, voltages in
+ * volts, times in seconds and powers in watts, as plain doubles. The
+ * constexpr helpers below exist so literals in model code read with their
+ * natural unit (e.g. `0.12_fF_v` style is avoided in favour of femto(0.12)).
+ */
+
+#ifndef BVF_COMMON_UNITS_HH
+#define BVF_COMMON_UNITS_HH
+
+namespace bvf
+{
+
+constexpr double kilo(double v) { return v * 1e3; }
+constexpr double mega(double v) { return v * 1e6; }
+constexpr double giga(double v) { return v * 1e9; }
+constexpr double milli(double v) { return v * 1e-3; }
+constexpr double micro(double v) { return v * 1e-6; }
+constexpr double nano(double v) { return v * 1e-9; }
+constexpr double pico(double v) { return v * 1e-12; }
+constexpr double femto(double v) { return v * 1e-15; }
+constexpr double atto(double v) { return v * 1e-18; }
+
+/** Convert joules to picojoules for reporting. */
+constexpr double toPico(double v) { return v * 1e12; }
+
+/** Convert joules to femtojoules for reporting. */
+constexpr double toFemto(double v) { return v * 1e15; }
+
+/** Convert watts to milliwatts for reporting. */
+constexpr double toMilli(double v) { return v * 1e3; }
+
+} // namespace bvf
+
+#endif // BVF_COMMON_UNITS_HH

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * EnergyAccountant implementation.
+ */
+
+#include "core/accountant.hh"
+
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
+#include "common/logging.hh"
+
+namespace bvf::core
+{
+
+using coder::CoderChain;
+using coder::Scenario;
+using coder::UnitId;
+
+EnergyAccountant::EnergyAccountant(
+    const std::map<UnitId, std::uint64_t> &capacities,
+    const AccountantOptions &options)
+    : options_(options),
+      isaCoder_(options.dynamicIsaMask != 0
+                    ? options.dynamicIsaMask
+                    : isa::paperIsaMask(options.arch))
+{
+    for (const auto &[unit, bits] : capacities)
+        accounts_.emplace(unit, sram::UnitAccount(unit, bits));
+
+    const auto nv = std::make_shared<const coder::NvCoder>();
+    const auto vs_reg = std::make_shared<const coder::VsCoder>(
+        options.vsRegisterPivot);
+    const auto vs_line = std::make_shared<const coder::VsCoder>(
+        coder::VsCoder::cacheLinePivot);
+
+    auto &nv_chains =
+        chains_[static_cast<std::size_t>(
+            coder::scenarioIndex(Scenario::NvOnly))];
+    for (UnitId unit : coder::nvSpaceUnits()) {
+        CoderChain c;
+        c.addWord(nv);
+        nv_chains.emplace(unit, std::move(c));
+    }
+
+    auto &vs_chains =
+        chains_[static_cast<std::size_t>(
+            coder::scenarioIndex(Scenario::VsOnly))];
+    for (UnitId unit : coder::vsRegisterSpaceUnits()) {
+        CoderChain c;
+        c.addBlock(vs_reg);
+        vs_chains.emplace(unit, std::move(c));
+    }
+    for (UnitId unit : coder::vsCacheSpaceUnits()) {
+        CoderChain c;
+        c.addBlock(vs_line);
+        vs_chains.emplace(unit, std::move(c));
+    }
+
+    auto &all_chains =
+        chains_[static_cast<std::size_t>(
+            coder::scenarioIndex(Scenario::AllCoders))];
+    for (UnitId unit : coder::allUnits()) {
+        CoderChain c;
+        if (coder::nvSpaceUnits().count(unit))
+            c.addWord(nv);
+        if (coder::vsRegisterSpaceUnits().count(unit))
+            c.addBlock(vs_reg);
+        else if (coder::vsCacheSpaceUnits().count(unit))
+            c.addBlock(vs_line);
+        if (!c.empty())
+            all_chains.emplace(unit, std::move(c));
+    }
+}
+
+const CoderChain &
+EnergyAccountant::chainFor(Scenario s, UnitId unit) const
+{
+    static const CoderChain empty;
+    const auto &per_unit =
+        chains_[static_cast<std::size_t>(coder::scenarioIndex(s))];
+    auto it = per_unit.find(unit);
+    return it == per_unit.end() ? empty : it->second;
+}
+
+bool
+EnergyAccountant::isaApplies(Scenario s) const
+{
+    return s == Scenario::IsaOnly || s == Scenario::AllCoders;
+}
+
+void
+EnergyAccountant::onAccess(UnitId unit, sram::AccessType type,
+                           std::span<const Word> block,
+                           std::uint32_t activeMask, std::uint64_t cycle)
+{
+    auto acc_it = accounts_.find(unit);
+    panic_if(acc_it == accounts_.end(), "access to unaccounted unit %s",
+             coder::unitName(unit).c_str());
+    sram::UnitAccount &account = acc_it->second;
+
+    for (const Scenario s : coder::allScenarios) {
+        const CoderChain &chain = chainFor(s, unit);
+        std::uint64_t ones = 0;
+        std::uint64_t bits = 0;
+        if (chain.empty()) {
+            for (std::size_t i = 0; i < block.size(); ++i) {
+                if (!((activeMask >> i) & 1u))
+                    continue;
+                ones += static_cast<std::uint64_t>(
+                    hammingWeight(block[i]));
+                bits += 32;
+            }
+        } else {
+            scratch_.assign(block.begin(), block.end());
+            chain.encode(scratch_);
+            for (std::size_t i = 0; i < scratch_.size(); ++i) {
+                if (!((activeMask >> i) & 1u))
+                    continue;
+                ones += static_cast<std::uint64_t>(
+                    hammingWeight(scratch_[i]));
+                bits += 32;
+            }
+        }
+        if (type == sram::AccessType::Read)
+            account.recordRead(s, ones, bits, cycle);
+        else
+            account.recordWrite(s, ones, bits, cycle);
+    }
+}
+
+void
+EnergyAccountant::onFetch(UnitId unit, sram::AccessType type,
+                          std::span<const Word64> instrs,
+                          std::uint64_t cycle)
+{
+    auto acc_it = accounts_.find(unit);
+    panic_if(acc_it == accounts_.end(), "fetch to unaccounted unit %s",
+             coder::unitName(unit).c_str());
+    sram::UnitAccount &account = acc_it->second;
+
+    for (const Scenario s : coder::allScenarios) {
+        std::uint64_t ones = 0;
+        const std::uint64_t bits = 64 * instrs.size();
+        if (isaApplies(s)) {
+            for (Word64 w : instrs) {
+                ones += static_cast<std::uint64_t>(
+                    hammingWeight64(isaCoder_.encode(w)));
+            }
+        } else {
+            for (Word64 w : instrs) {
+                ones +=
+                    static_cast<std::uint64_t>(hammingWeight64(w));
+            }
+        }
+        if (type == sram::AccessType::Read)
+            account.recordRead(s, ones, bits, cycle);
+        else
+            account.recordWrite(s, ones, bits, cycle);
+    }
+}
+
+void
+EnergyAccountant::onNocPacket(int channel, std::span<const Word> payload,
+                              bool instrStream, std::uint64_t cycle)
+{
+    (void)cycle;
+    constexpr std::size_t flit_words = 8; // 32B flits (Table 3)
+    ChannelState &state = channels_[channel];
+
+    for (const Scenario s : coder::allScenarios) {
+        const auto idx =
+            static_cast<std::size_t>(coder::scenarioIndex(s));
+        scratch_.assign(payload.begin(), payload.end());
+
+        // Encode the packet as one block: VS pivots on the line's
+        // leading element exactly as the paper's cache-space coder does.
+        if (instrStream) {
+            // Instruction payloads carry 64-bit binaries as word pairs.
+            if (isaApplies(s)) {
+                for (std::size_t i = 0; i + 1 < scratch_.size(); i += 2) {
+                    const Word64 w =
+                        static_cast<Word64>(scratch_[i])
+                        | (static_cast<Word64>(scratch_[i + 1]) << 32);
+                    const Word64 e = isaCoder_.encode(w);
+                    scratch_[i] = static_cast<Word>(e);
+                    scratch_[i + 1] = static_cast<Word>(e >> 32);
+                }
+            }
+        } else {
+            const CoderChain &chain = chainFor(s, UnitId::Noc);
+            if (!chain.empty())
+                chain.encode(scratch_);
+        }
+
+        // Segment into flits and walk the channel wires.
+        auto &prev = state.prev[idx];
+        if (prev.size() != flit_words)
+            prev.assign(flit_words, 0); // wires start discharged
+        NocAccount &acct = noc_[idx];
+        for (std::size_t base = 0; base < scratch_.size();
+             base += flit_words) {
+            std::uint64_t toggles = 0;
+            for (std::size_t i = 0; i < flit_words; ++i) {
+                const std::size_t src = base + i;
+                const Word w =
+                    src < scratch_.size() ? scratch_[src] : Word(0);
+                toggles += static_cast<std::uint64_t>(
+                    hammingDistance(prev[i], w));
+                prev[i] = w;
+                acct.payloadOnes +=
+                    static_cast<std::uint64_t>(hammingWeight(w));
+            }
+            acct.toggles += toggles;
+            ++acct.flits;
+            acct.payloadBits += 32 * flit_words;
+        }
+    }
+}
+
+void
+EnergyAccountant::finalize(std::uint64_t endCycle)
+{
+    for (auto &[unit, account] : accounts_)
+        account.finalize(endCycle);
+}
+
+const sram::UnitAccount &
+EnergyAccountant::unitAccount(UnitId unit) const
+{
+    auto it = accounts_.find(unit);
+    panic_if(it == accounts_.end(), "no account for unit %s",
+             coder::unitName(unit).c_str());
+    return it->second;
+}
+
+std::map<UnitId, sram::UnitScenarioStats>
+EnergyAccountant::unitStats(Scenario s) const
+{
+    std::map<UnitId, sram::UnitScenarioStats> out;
+    for (const auto &[unit, account] : accounts_)
+        out.emplace(unit, account.stats(s));
+    return out;
+}
+
+} // namespace bvf::core

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Multi-scenario energy accountant: the AccessSink implementation that
+ * evaluates all coding scenarios side by side during one simulation.
+ *
+ * For every unit access it applies, per scenario, the coder chain that
+ * Table 1 assigns to the unit (NV everywhere on the data path, VS with
+ * lane pivot 21 at registers / element pivot 0 at cache-line units, the
+ * ISA mask on the instruction stream) and accumulates encoded bit
+ * statistics. NoC channels additionally keep, per scenario, the last
+ * flit transmitted so wire toggles are counted exactly.
+ */
+
+#ifndef BVF_CORE_ACCOUNTANT_HH
+#define BVF_CORE_ACCOUNTANT_HH
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "coder/bvf_space.hh"
+#include "coder/coder.hh"
+#include "coder/isa_coder.hh"
+#include "coder/scenario.hh"
+#include "coder/vs_coder.hh"
+#include "isa/encoding.hh"
+#include "sram/access_sink.hh"
+#include "sram/unit_account.hh"
+
+namespace bvf::core
+{
+
+/** Per-scenario NoC statistics. */
+struct NocAccount
+{
+    std::uint64_t toggles = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t payloadOnes = 0;
+    std::uint64_t payloadBits = 0;
+};
+
+/** Options controlling the accountant's coder wiring. */
+struct AccountantOptions
+{
+    int vsRegisterPivot = coder::VsCoder::defaultRegisterPivot;
+    isa::GpuArch arch = isa::GpuArch::Pascal;
+
+    /**
+     * Override the Table 2 mask with a per-application mask (the
+     * paper's "dynamic" ISA-coder variant, Section 4.3: the assembler
+     * counts 0/1 occurrence in this binary and programs a mask register
+     * at kernel launch). Zero value = use the static Table 2 mask.
+     */
+    Word64 dynamicIsaMask = 0;
+};
+
+/**
+ * The accountant. Construct one per simulated run with the unit
+ * capacities of the machine.
+ */
+class EnergyAccountant : public sram::AccessSink
+{
+  public:
+    /**
+     * @param capacities capacity in bits per unit (NoC excluded)
+     * @param options coder wiring knobs
+     */
+    EnergyAccountant(
+        const std::map<coder::UnitId, std::uint64_t> &capacities,
+        const AccountantOptions &options = {});
+
+    // --- AccessSink ----------------------------------------------------
+    void onAccess(coder::UnitId unit, sram::AccessType type,
+                  std::span<const Word> block, std::uint32_t activeMask,
+                  std::uint64_t cycle) override;
+    void onFetch(coder::UnitId unit, sram::AccessType type,
+                 std::span<const Word64> instrs,
+                 std::uint64_t cycle) override;
+    void onNocPacket(int channel, std::span<const Word> payload,
+                     bool instrStream, std::uint64_t cycle) override;
+
+    /** Finish leakage integration at the end of the run. */
+    void finalize(std::uint64_t endCycle);
+
+    /** Access statistics for @p unit. */
+    const sram::UnitAccount &unitAccount(coder::UnitId unit) const;
+
+    /** Per-unit stats map for one scenario (power-model input). */
+    std::map<coder::UnitId, sram::UnitScenarioStats> unitStats(
+        coder::Scenario s) const;
+
+    /** NoC account for @p s. */
+    const NocAccount &
+    noc(coder::Scenario s) const
+    {
+        return noc_[static_cast<std::size_t>(coder::scenarioIndex(s))];
+    }
+
+    /** The ISA mask in use. */
+    Word64 isaMask() const { return isaCoder_.mask(); }
+
+  private:
+    /** Does scenario @p s apply coder chains to @p unit's data path? */
+    const coder::CoderChain &chainFor(coder::Scenario s,
+                                      coder::UnitId unit) const;
+
+    bool isaApplies(coder::Scenario s) const;
+
+    std::map<coder::UnitId, sram::UnitAccount> accounts_;
+    AccountantOptions options_;
+    coder::IsaCoder isaCoder_;
+
+    // chains_[scenario][unit] -> chain (possibly empty).
+    std::array<std::map<coder::UnitId, coder::CoderChain>,
+               coder::numScenarios>
+        chains_;
+
+    // Per-channel, per-scenario previous flit for toggle counting.
+    struct ChannelState
+    {
+        std::array<std::vector<Word>, coder::numScenarios> prev;
+    };
+    std::map<int, ChannelState> channels_;
+    std::array<NocAccount, coder::numScenarios> noc_;
+
+    mutable std::vector<Word> scratch_;
+};
+
+} // namespace bvf::core
+
+#endif // BVF_CORE_ACCOUNTANT_HH

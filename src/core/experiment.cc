@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Experiment driver implementation.
+ */
+
+#include "core/experiment.hh"
+
+#include "common/logging.hh"
+#include "workload/kernel_builder.hh"
+
+namespace bvf::core
+{
+
+using coder::Scenario;
+using coder::UnitId;
+
+ExperimentDriver::ExperimentDriver(gpu::GpuConfig config)
+    : config_(std::move(config))
+{
+}
+
+std::map<UnitId, std::uint64_t>
+ExperimentDriver::unitCapacities() const
+{
+    const auto sms = static_cast<std::uint64_t>(config_.numSms);
+    std::map<UnitId, std::uint64_t> caps;
+    caps[UnitId::Reg] = sms * config_.regFileBytes * 8;
+    caps[UnitId::Sme] = sms * config_.sharedMemBytes * 8;
+    caps[UnitId::L1D] = sms * config_.l1dBytes * 8;
+    caps[UnitId::L1I] = sms * config_.l1iBytes * 8;
+    caps[UnitId::L1C] = sms * config_.l1cBytes * 8;
+    caps[UnitId::L1T] = sms * config_.l1tBytes * 8;
+    caps[UnitId::Ifb] =
+        sms * static_cast<std::uint64_t>(config_.maxWarpsPerSm) * 64 * 8;
+    caps[UnitId::L2] =
+        static_cast<std::uint64_t>(config_.l2TotalBytes()) * 8;
+    return caps;
+}
+
+AppRun
+ExperimentDriver::runApp(const workload::AppSpec &spec,
+                         bool dynamicIsa) const
+{
+    AppRun run;
+    run.name = spec.name;
+    run.abbr = spec.abbr;
+    run.memoryIntensive = spec.memoryIntensive;
+
+    isa::Program program = workload::buildProgram(spec);
+
+    AccountantOptions opts;
+    opts.arch = config_.arch;
+    if (dynamicIsa) {
+        // The "assembler" profiles this binary and programs the mask
+        // register at launch (Section 4.3, dynamic method).
+        const isa::InstructionEncoder encoder(config_.arch);
+        const auto binary = encoder.encode(program.body);
+        opts.dynamicIsaMask = isa::extractPreferenceMask(binary);
+    }
+    run.accountant = std::make_shared<EnergyAccountant>(unitCapacities(),
+                                                        opts);
+
+    gpu::Gpu machine(config_, std::move(program), *run.accountant);
+    run.gpuStats = machine.run();
+    run.accountant->finalize(run.gpuStats.cycles);
+    return run;
+}
+
+std::vector<AppRun>
+ExperimentDriver::runSuite() const
+{
+    std::vector<AppRun> runs;
+    for (const auto &spec : workload::evaluationSuite()) {
+        inform("simulating %s (%s)", spec.name.c_str(), spec.abbr.c_str());
+        runs.push_back(runApp(spec));
+    }
+    return runs;
+}
+
+AppEnergy
+ExperimentDriver::evaluate(const AppRun &run, const Pricing &pricing) const
+{
+    power::ChipPowerModel model(pricing.node, pricing.pstate.vdd,
+                                pricing.pstate.frequency, pricing.cellKind,
+                                config_);
+    AppEnergy out;
+    out.abbr = run.abbr;
+    out.memoryIntensive = run.memoryIntensive;
+    for (const Scenario s : coder::allScenarios) {
+        const auto &noc = run.accountant->noc(s);
+        out.byScenario[static_cast<std::size_t>(coder::scenarioIndex(s))] =
+            model.evaluate(run.accountant->unitStats(s), noc.toggles,
+                           noc.flits, run.gpuStats,
+                           s != Scenario::Baseline);
+    }
+    return out;
+}
+
+std::vector<AppEnergy>
+ExperimentDriver::evaluate(const std::vector<AppRun> &runs,
+                           const Pricing &pricing) const
+{
+    std::vector<AppEnergy> out;
+    out.reserve(runs.size());
+    for (const AppRun &run : runs)
+        out.push_back(evaluate(run, pricing));
+    return out;
+}
+
+double
+ExperimentDriver::meanChipRatio(const std::vector<AppEnergy> &energies,
+                                Scenario scenario)
+{
+    fatal_if(energies.empty(), "no energies to average");
+    double sum = 0.0;
+    for (const AppEnergy &e : energies) {
+        sum += e.at(scenario).chipTotal()
+               / e.at(Scenario::Baseline).chipTotal();
+    }
+    return sum / static_cast<double>(energies.size());
+}
+
+double
+ExperimentDriver::meanBvfUnitsRatio(const std::vector<AppEnergy> &energies,
+                                    Scenario scenario)
+{
+    fatal_if(energies.empty(), "no energies to average");
+    double sum = 0.0;
+    for (const AppEnergy &e : energies) {
+        sum += e.at(scenario).bvfUnitsTotal()
+               / e.at(Scenario::Baseline).bvfUnitsTotal();
+    }
+    return sum / static_cast<double>(energies.size());
+}
+
+} // namespace bvf::core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Experiment driver: run applications through the GPU model and produce
+ * per-scenario energy reports.
+ *
+ * One runApp() call simulates an application once and accounts all five
+ * scenarios; evaluate() then prices the statistics under any
+ * (technology node, P-state, cell family) combination without
+ * re-simulating -- exactly how the paper derives Figures 16-23 from one
+ * set of GPGPU-Sim traces.
+ */
+
+#ifndef BVF_CORE_EXPERIMENT_HH
+#define BVF_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/accountant.hh"
+#include "gpu/gpu.hh"
+#include "power/chip_model.hh"
+#include "workload/app_spec.hh"
+
+namespace bvf::core
+{
+
+/** One application's simulation outcome (scenario-independent parts). */
+struct AppRun
+{
+    std::string name;
+    std::string abbr;
+    bool memoryIntensive = false;
+    gpu::GpuStats gpuStats;
+    std::shared_ptr<EnergyAccountant> accountant;
+};
+
+/** Per-scenario chip energy for one app under one pricing. */
+struct AppEnergy
+{
+    std::string abbr;
+    bool memoryIntensive = false;
+    std::array<power::ChipEnergy, coder::numScenarios> byScenario;
+
+    const power::ChipEnergy &
+    at(coder::Scenario s) const
+    {
+        return byScenario[static_cast<std::size_t>(
+            coder::scenarioIndex(s))];
+    }
+};
+
+/** Pricing configuration: where and how energy is evaluated. */
+struct Pricing
+{
+    circuit::TechNode node = circuit::TechNode::N28;
+    gpu::PState pstate = {700.0e6, 1.2, "700MHz@1.2V"};
+    circuit::CellKind cellKind = circuit::CellKind::SramBvf8T;
+};
+
+/**
+ * Runs applications and prices their energy.
+ */
+class ExperimentDriver
+{
+  public:
+    explicit ExperimentDriver(gpu::GpuConfig config);
+
+    /**
+     * Simulate one application (all scenarios accounted).
+     *
+     * @param dynamicIsa use a per-application ISA mask extracted from
+     *        this kernel's binary (Section 4.3 "dynamic" variant)
+     *        instead of the static Table 2 mask
+     */
+    AppRun runApp(const workload::AppSpec &spec,
+                  bool dynamicIsa = false) const;
+
+    /** Simulate every app of the 58-app suite. */
+    std::vector<AppRun> runSuite() const;
+
+    /** Price one run under @p pricing. */
+    AppEnergy evaluate(const AppRun &run, const Pricing &pricing) const;
+
+    /** Price a set of runs. */
+    std::vector<AppEnergy> evaluate(const std::vector<AppRun> &runs,
+                                    const Pricing &pricing) const;
+
+    /**
+     * Suite-mean relative chip energy of @p scenario vs baseline
+     * (e.g. 0.79 => 21% reduction).
+     */
+    static double meanChipRatio(const std::vector<AppEnergy> &energies,
+                                coder::Scenario scenario);
+
+    /** Suite-mean relative energy over the BVF units only. */
+    static double meanBvfUnitsRatio(const std::vector<AppEnergy> &energies,
+                                    coder::Scenario scenario);
+
+    const gpu::GpuConfig &config() const { return config_; }
+
+    /** Unit capacities of the configured machine [bits]. */
+    std::map<coder::UnitId, std::uint64_t> unitCapacities() const;
+
+  private:
+    gpu::GpuConfig config_;
+};
+
+} // namespace bvf::core
+
+#endif // BVF_CORE_EXPERIMENT_HH

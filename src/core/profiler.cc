@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Profiler implementations.
+ */
+
+#include "core/profiler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "workload/kernel_builder.hh"
+#include "workload/value_model.hh"
+
+namespace bvf::core
+{
+
+ValueProfileResult
+profileValues(const workload::AppSpec &spec, int samples)
+{
+    fatal_if(samples <= 0, "need a positive sample count");
+    workload::ValueModel model(spec.values, spec.seed() ^ 0x11d);
+
+    ValueProfileResult res;
+    res.abbr = spec.abbr;
+    std::uint64_t lead = 0;
+    std::uint64_t zero_bits = 0;
+    std::uint64_t zero_values = 0;
+    std::uint64_t n = 0;
+    for (int t = 0; t < samples; ++t) {
+        const auto tile = model.tile();
+        for (const Word w : tile) {
+            lead += static_cast<std::uint64_t>(
+                signAdjustedLeadingZeros(w));
+            zero_bits += static_cast<std::uint64_t>(zeroCount(w));
+            zero_values += w == 0 ? 1 : 0;
+            ++n;
+        }
+    }
+    res.meanLeadingZeros =
+        static_cast<double>(lead) / static_cast<double>(n);
+    res.meanZeroBits =
+        static_cast<double>(zero_bits) / static_cast<double>(n);
+    res.zeroValueFrac =
+        static_cast<double>(zero_values) / static_cast<double>(n);
+    return res;
+}
+
+LaneProfileResult
+profileLanes(const workload::AppSpec &spec, int samples)
+{
+    fatal_if(samples <= 0, "need a positive sample count");
+    workload::ValueModel model(spec.values, spec.seed() ^ 0x2a7);
+
+    LaneProfileResult res;
+    res.abbr = spec.abbr;
+    std::array<std::uint64_t, 32> sums{};
+    for (int t = 0; t < samples; ++t) {
+        const auto tile = model.tile();
+        for (int i = 0; i < 32; ++i) {
+            for (int j = 0; j < 32; ++j) {
+                if (i == j)
+                    continue;
+                sums[static_cast<std::size_t>(i)] +=
+                    static_cast<std::uint64_t>(hammingDistance(
+                        tile[static_cast<std::size_t>(i)],
+                        tile[static_cast<std::size_t>(j)]));
+            }
+        }
+    }
+    const double denom = static_cast<double>(samples) * 31.0;
+    for (int i = 0; i < 32; ++i) {
+        res.lanePairDistance[static_cast<std::size_t>(i)] =
+            static_cast<double>(sums[static_cast<std::size_t>(i)])
+            / denom;
+    }
+    res.optimalLane = static_cast<int>(
+        std::min_element(res.lanePairDistance.begin(),
+                         res.lanePairDistance.end())
+        - res.lanePairDistance.begin());
+    const double best =
+        res.lanePairDistance[static_cast<std::size_t>(res.optimalLane)];
+    res.lane21Excess = best > 0.0 ? res.lanePairDistance[21] / best : 1.0;
+    return res;
+}
+
+std::array<double, 32>
+suiteLaneProfile(int samplesPerApp)
+{
+    std::array<double, 32> total{};
+    for (const auto &spec : workload::evaluationSuite()) {
+        const auto res = profileLanes(spec, samplesPerApp);
+        for (int i = 0; i < 32; ++i) {
+            total[static_cast<std::size_t>(i)] +=
+                res.lanePairDistance[static_cast<std::size_t>(i)];
+        }
+    }
+    const double max_v = *std::max_element(total.begin(), total.end());
+    if (max_v > 0.0) {
+        for (double &v : total)
+            v /= max_v;
+    }
+    return total;
+}
+
+namespace
+{
+
+/** Assemble all suite kernels for @p arch into one binary corpus. */
+std::vector<Word64>
+buildCorpus(isa::GpuArch arch)
+{
+    const isa::InstructionEncoder encoder(arch);
+    std::vector<Word64> corpus;
+    for (const auto &spec : workload::evaluationSuite()) {
+        const isa::Program prog = workload::buildProgram(spec);
+        const auto bin = encoder.encode(prog.body);
+        corpus.insert(corpus.end(), bin.begin(), bin.end());
+    }
+    return corpus;
+}
+
+} // namespace
+
+Word64
+suiteIsaMask(isa::GpuArch arch)
+{
+    const auto corpus = buildCorpus(arch);
+    return isa::extractPreferenceMask(corpus);
+}
+
+std::vector<double>
+suiteBitProbabilities(isa::GpuArch arch)
+{
+    const auto corpus = buildCorpus(arch);
+    return isa::bitPositionOneProbability(corpus);
+}
+
+std::size_t
+suiteCorpusSize(isa::GpuArch arch)
+{
+    return buildCorpus(arch).size();
+}
+
+} // namespace bvf::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Data/instruction profilers replicating the paper's characterization
+ * passes (Figures 8, 9, 11, 12 and 14).
+ *
+ * These run on the workload value streams directly (the paper used PTX
+ * "clz" instrumentation on a Tesla P100): global load/store values for
+ * narrow-value and 0/1-ratio statistics, warp-shaped register tiles for
+ * per-lane Hamming distance, and assembled kernel binaries for the
+ * per-bit-position instruction statistics that feed Table 2.
+ */
+
+#ifndef BVF_CORE_PROFILER_HH
+#define BVF_CORE_PROFILER_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.hh"
+#include "workload/app_spec.hh"
+
+namespace bvf::core
+{
+
+/** Figure 8/9 statistics for one application. */
+struct ValueProfileResult
+{
+    std::string abbr;
+    double meanLeadingZeros = 0.0; //!< sign-adjusted, of 32 (Fig. 8)
+    double meanZeroBits = 0.0;     //!< zeros per 32-bit word (Fig. 9)
+    double zeroValueFrac = 0.0;    //!< P(word == 0)
+};
+
+/** Figure 11/12 statistics for one application. */
+struct LaneProfileResult
+{
+    std::string abbr;
+    /** Mean Hamming distance of lane i to the other 31 lanes. */
+    std::array<double, 32> lanePairDistance{};
+    int optimalLane = 0;    //!< argmin of lanePairDistance
+    double lane21Excess = 0.0; //!< lane21 distance / optimal distance
+};
+
+/**
+ * Profile @p samples warp tiles of an application's value stream.
+ */
+ValueProfileResult profileValues(const workload::AppSpec &spec,
+                                 int samples = 4000);
+
+/** Profile inter-lane Hamming distances (Figs. 11/12). */
+LaneProfileResult profileLanes(const workload::AppSpec &spec,
+                               int samples = 4000);
+
+/** Suite-mean per-lane distances, normalized to the maximum lane. */
+std::array<double, 32> suiteLaneProfile(int samplesPerApp = 2000);
+
+/**
+ * Assemble every suite application for @p arch and extract the
+ * statistical preference mask over all instruction binaries (Table 2).
+ */
+Word64 suiteIsaMask(isa::GpuArch arch);
+
+/** Per-bit-position P(bit==1) over the suite's binaries (Fig. 14). */
+std::vector<double> suiteBitProbabilities(isa::GpuArch arch);
+
+/** Total instruction binaries in the suite corpus for @p arch. */
+std::size_t suiteCorpusSize(isa::GpuArch arch);
+
+} // namespace bvf::core
+
+#endif // BVF_CORE_PROFILER_HH

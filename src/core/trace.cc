@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Trace serialization implementation.
+ */
+
+#include "core/trace.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace bvf::core
+{
+
+namespace
+{
+
+constexpr char magic[4] = {'B', 'V', 'F', 'T'};
+constexpr std::uint32_t version = 1;
+
+enum class RecordKind : std::uint8_t
+{
+    Access = 1,
+    Fetch = 2,
+    Noc = 3,
+};
+
+template <typename T>
+void
+writeRaw(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readRaw(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    return value;
+}
+
+struct RecordHeader
+{
+    std::uint8_t kind;
+    std::uint8_t a; //!< unit, or channel low byte
+    std::uint8_t b; //!< access type, or channel high byte
+    std::uint8_t flags;
+    std::uint32_t activeMask;
+    std::uint64_t cycle;
+    std::uint32_t count;
+};
+
+} // namespace
+
+TraceWriter::TraceWriter(std::ostream &out) : out_(out)
+{
+    out_.write(magic, sizeof(magic));
+    writeRaw(out_, version);
+}
+
+void
+TraceWriter::onAccess(coder::UnitId unit, sram::AccessType type,
+                      std::span<const Word> block,
+                      std::uint32_t activeMask, std::uint64_t cycle)
+{
+    RecordHeader h{};
+    h.kind = static_cast<std::uint8_t>(RecordKind::Access);
+    h.a = static_cast<std::uint8_t>(unit);
+    h.b = static_cast<std::uint8_t>(type);
+    h.activeMask = activeMask;
+    h.cycle = cycle;
+    h.count = static_cast<std::uint32_t>(block.size());
+    writeRaw(out_, h);
+    out_.write(reinterpret_cast<const char *>(block.data()),
+               static_cast<std::streamsize>(block.size_bytes()));
+    ++records_;
+}
+
+void
+TraceWriter::onFetch(coder::UnitId unit, sram::AccessType type,
+                     std::span<const Word64> instrs, std::uint64_t cycle)
+{
+    RecordHeader h{};
+    h.kind = static_cast<std::uint8_t>(RecordKind::Fetch);
+    h.a = static_cast<std::uint8_t>(unit);
+    h.b = static_cast<std::uint8_t>(type);
+    h.cycle = cycle;
+    h.count = static_cast<std::uint32_t>(instrs.size());
+    writeRaw(out_, h);
+    out_.write(reinterpret_cast<const char *>(instrs.data()),
+               static_cast<std::streamsize>(instrs.size_bytes()));
+    ++records_;
+}
+
+void
+TraceWriter::onNocPacket(int channel, std::span<const Word> payload,
+                         bool instrStream, std::uint64_t cycle)
+{
+    RecordHeader h{};
+    h.kind = static_cast<std::uint8_t>(RecordKind::Noc);
+    h.a = static_cast<std::uint8_t>(channel & 0xff);
+    h.b = static_cast<std::uint8_t>((channel >> 8) & 0xff);
+    h.flags = instrStream ? 1 : 0;
+    h.cycle = cycle;
+    h.count = static_cast<std::uint32_t>(payload.size());
+    writeRaw(out_, h);
+    out_.write(reinterpret_cast<const char *>(payload.data()),
+               static_cast<std::streamsize>(payload.size_bytes()));
+    ++records_;
+}
+
+std::uint64_t
+replayTrace(std::istream &in, sram::AccessSink &sink)
+{
+    char m[4];
+    in.read(m, sizeof(m));
+    fatal_if(!in || m[0] != 'B' || m[1] != 'V' || m[2] != 'F'
+                 || m[3] != 'T',
+             "not a BVF trace stream");
+    const auto v = readRaw<std::uint32_t>(in);
+    fatal_if(v != version, "unsupported trace version %u", v);
+
+    std::uint64_t replayed = 0;
+    std::vector<Word> words;
+    std::vector<Word64> instrs;
+    for (;;) {
+        const auto h = readRaw<RecordHeader>(in);
+        if (!in)
+            break; // clean EOF at a record boundary
+        switch (static_cast<RecordKind>(h.kind)) {
+          case RecordKind::Access: {
+            words.resize(h.count);
+            in.read(reinterpret_cast<char *>(words.data()),
+                    static_cast<std::streamsize>(h.count * sizeof(Word)));
+            fatal_if(!in, "truncated access record");
+            sink.onAccess(static_cast<coder::UnitId>(h.a),
+                          static_cast<sram::AccessType>(h.b), words,
+                          h.activeMask, h.cycle);
+            break;
+          }
+          case RecordKind::Fetch: {
+            instrs.resize(h.count);
+            in.read(reinterpret_cast<char *>(instrs.data()),
+                    static_cast<std::streamsize>(h.count
+                                                 * sizeof(Word64)));
+            fatal_if(!in, "truncated fetch record");
+            sink.onFetch(static_cast<coder::UnitId>(h.a),
+                         static_cast<sram::AccessType>(h.b), instrs,
+                         h.cycle);
+            break;
+          }
+          case RecordKind::Noc: {
+            words.resize(h.count);
+            in.read(reinterpret_cast<char *>(words.data()),
+                    static_cast<std::streamsize>(h.count * sizeof(Word)));
+            fatal_if(!in, "truncated NoC record");
+            const int channel = static_cast<int>(h.a)
+                                | (static_cast<int>(h.b) << 8);
+            sink.onNocPacket(channel, words, h.flags != 0, h.cycle);
+            break;
+          }
+          default:
+            fatal("corrupt trace record kind %u", h.kind);
+        }
+        ++replayed;
+    }
+    return replayed;
+}
+
+} // namespace bvf::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Access-trace capture and replay.
+ *
+ * The paper's methodology dumps the access trace of every BVF unit from
+ * GPGPU-Sim (tens of GB per application) and parses it offline. This
+ * module provides the same workflow for our simulator: a TraceWriter
+ * sink serializes every unit access, fetch and NoC packet to a compact
+ * binary stream; replayTrace() feeds a recorded stream back into any
+ * AccessSink (e.g. an EnergyAccountant), producing statistics identical
+ * to online accounting. A TeeSink allows doing both at once.
+ *
+ * Binary format (little-endian, versioned header):
+ *   "BVFT" u32_version
+ *   records: u8 kind, u8 unit/channelLo, u8 type/channelHi, u8 flags,
+ *            u32 activeMask, u64 cycle, u32 count, count x payload
+ *            (u32 words for kind=Access/Noc, u64 for kind=Fetch)
+ */
+
+#ifndef BVF_CORE_TRACE_HH
+#define BVF_CORE_TRACE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "sram/access_sink.hh"
+
+namespace bvf::core
+{
+
+/** Forwards every event to two sinks (account online while dumping). */
+class TeeSink : public sram::AccessSink
+{
+  public:
+    TeeSink(sram::AccessSink &first, sram::AccessSink &second)
+        : first_(first), second_(second)
+    {}
+
+    void
+    onAccess(coder::UnitId unit, sram::AccessType type,
+             std::span<const Word> block, std::uint32_t activeMask,
+             std::uint64_t cycle) override
+    {
+        first_.onAccess(unit, type, block, activeMask, cycle);
+        second_.onAccess(unit, type, block, activeMask, cycle);
+    }
+
+    void
+    onFetch(coder::UnitId unit, sram::AccessType type,
+            std::span<const Word64> instrs, std::uint64_t cycle) override
+    {
+        first_.onFetch(unit, type, instrs, cycle);
+        second_.onFetch(unit, type, instrs, cycle);
+    }
+
+    void
+    onNocPacket(int channel, std::span<const Word> payload,
+                bool instrStream, std::uint64_t cycle) override
+    {
+        first_.onNocPacket(channel, payload, instrStream, cycle);
+        second_.onNocPacket(channel, payload, instrStream, cycle);
+    }
+
+  private:
+    sram::AccessSink &first_;
+    sram::AccessSink &second_;
+};
+
+/** Serializes the access stream to a binary ostream. */
+class TraceWriter : public sram::AccessSink
+{
+  public:
+    /** @param out stream the trace is written to (kept by reference) */
+    explicit TraceWriter(std::ostream &out);
+
+    void onAccess(coder::UnitId unit, sram::AccessType type,
+                  std::span<const Word> block, std::uint32_t activeMask,
+                  std::uint64_t cycle) override;
+    void onFetch(coder::UnitId unit, sram::AccessType type,
+                 std::span<const Word64> instrs,
+                 std::uint64_t cycle) override;
+    void onNocPacket(int channel, std::span<const Word> payload,
+                     bool instrStream, std::uint64_t cycle) override;
+
+    /** Records written so far. */
+    std::uint64_t records() const { return records_; }
+
+  private:
+    std::ostream &out_;
+    std::uint64_t records_ = 0;
+};
+
+/**
+ * Replay a recorded trace into @p sink.
+ *
+ * @return number of records replayed
+ * @throws exits via fatal() on a malformed stream
+ */
+std::uint64_t replayTrace(std::istream &in, sram::AccessSink &sink);
+
+} // namespace bvf::core
+
+#endif // BVF_CORE_TRACE_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Top-level GPU: SMs, crossbar NoC, banked L2 and FR-FCFS memory
+ * controllers, driven by a single core-clock loop.
+ *
+ * The machine runs one Program to completion, emitting every BVF-unit
+ * access through the AccessSink. Functional memory is a single
+ * architectural copy owned here; caches track tags only.
+ */
+
+#ifndef BVF_GPU_GPU_HH
+#define BVF_GPU_GPU_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gpu/cache.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/mem_ctrl.hh"
+#include "gpu/sm.hh"
+#include "isa/encoding.hh"
+#include "isa/program.hh"
+#include "noc/crossbar.hh"
+#include "sram/access_sink.hh"
+
+namespace bvf::gpu
+{
+
+/** Chip-wide run statistics. */
+struct GpuStats
+{
+    std::uint64_t cycles = 0;
+    SmStats sm; //!< aggregated over all SMs
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    noc::NocStats noc;
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
+};
+
+/**
+ * The simulated GPU.
+ */
+class Gpu : public ChipInterface
+{
+  public:
+    /**
+     * @param config machine description
+     * @param program kernel + memory images (copied; the global image
+     *        is mutated by stores)
+     * @param sink accounting sink
+     */
+    Gpu(const GpuConfig &config, isa::Program program,
+        sram::AccessSink &sink);
+
+    /** Run the kernel to completion; returns chip statistics. */
+    GpuStats run();
+
+    // --- ChipInterface -------------------------------------------------
+    void sendReadRequest(int smId, std::uint32_t lineAddr, bool instr,
+                         std::uint64_t cycle) override;
+    void sendWriteRequest(int smId, std::uint32_t lineAddr,
+                          std::vector<Word> payload,
+                          std::uint64_t cycle) override;
+    Word readGlobalWord(std::uint32_t addr) const override;
+    void writeGlobalWord(std::uint32_t addr, Word value) override;
+    Word64 instrBinary(int pc) const override;
+
+    const GpuConfig &config() const { return config_; }
+    const isa::Program &program() const { return program_; }
+
+    /** Encoded kernel binary (arch-specific). */
+    const std::vector<Word64> &binary() const { return binary_; }
+
+  private:
+    int bankOf(std::uint32_t lineAddr) const;
+    void handleRequestAtBank(const noc::Packet &pkt);
+    void handleReplyAtSm(const noc::Packet &pkt);
+    void onDramComplete(const DramRequest &req, std::uint64_t cycle);
+    void scheduleReply(std::uint64_t cycle, noc::Packet pkt);
+    void accountL2Line(std::uint32_t lineAddr, sram::AccessType type,
+                       bool instr, std::uint64_t cycle);
+    std::vector<Word> lineData(std::uint32_t lineAddr) const;
+    std::vector<Word> instrLineData(std::uint32_t lineAddr) const;
+
+    GpuConfig config_;
+    isa::Program program_;
+    sram::AccessSink &sink_;
+    isa::InstructionEncoder encoder_;
+    std::vector<Word64> binary_;
+
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::unique_ptr<noc::Crossbar> noc_;
+    std::vector<TagCache> l2_;
+    std::unique_ptr<MemoryController> mc_;
+
+    // Requests waiting on a DRAM fill, keyed by line address.
+    std::map<std::uint32_t, std::vector<noc::Packet>> dramWaiting_;
+    // Replies in flight inside L2 (modelling L2 access latency).
+    std::multimap<std::uint64_t, noc::Packet> delayedReplies_;
+
+    std::uint64_t cycle_ = 0;
+    std::uint64_t nextRequestId_ = 1;
+    int nextBlock_ = 0;
+    GpuStats stats_;
+};
+
+} // namespace bvf::gpu
+
+#endif // BVF_GPU_GPU_HH

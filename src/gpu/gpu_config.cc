@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Machine configuration tables.
+ */
+
+#include "gpu/gpu_config.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::gpu
+{
+
+std::string
+schedulerName(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::Gto:
+        return "GTO";
+      case SchedulerPolicy::Lrr:
+        return "LRR";
+      case SchedulerPolicy::TwoLevel:
+        return "Two-Level";
+    }
+    panic("unknown scheduler");
+}
+
+const PState &
+pstateNominal()
+{
+    static const PState p = {700.0e6, 1.2, "700MHz@1.2V"};
+    return p;
+}
+
+const PState &
+pstateMid()
+{
+    static const PState p = {500.0e6, 0.9, "500MHz@0.9V"};
+    return p;
+}
+
+const PState &
+pstateLow()
+{
+    static const PState p = {300.0e6, 0.6, "300MHz@0.6V"};
+    return p;
+}
+
+GpuConfig
+baselineConfig()
+{
+    return GpuConfig{};
+}
+
+GpuConfig
+gtx480Config()
+{
+    GpuConfig c;
+    c.name = "GTX-480";
+    return c;
+}
+
+GpuConfig
+teslaP100Config()
+{
+    // Table 4: scaled SRAM capacities on the GPGPU-Sim machine model.
+    GpuConfig c;
+    c.name = "Tesla-P100";
+    c.numSms = 56;
+    c.regFileBytes = 256 * 1024;
+    c.l1iBytes = 16 * 1024;
+    c.l1dBytes = 16 * 1024;
+    c.l2Banks = 12;
+    c.l2BytesPerBank = 128 * 1024; // 1536KB total
+    c.l1tBytes = 48 * 1024;
+    c.l1cBytes = 8 * 1024;
+    c.sharedMemBytes = 112 * 1024;
+    return c;
+}
+
+GpuConfig
+teslaK80Config()
+{
+    GpuConfig c;
+    c.name = "Tesla-K80";
+    c.numSms = 13;
+    c.regFileBytes = 512 * 1024;
+    c.l1iBytes = 16 * 1024;
+    c.l1dBytes = 48 * 1024;
+    c.l2Banks = 16;
+    c.l2BytesPerBank = 256 * 1024; // 4096KB total
+    c.l1tBytes = 48 * 1024;
+    c.l1cBytes = 10 * 1024;
+    c.sharedMemBytes = 64 * 1024;
+    return c;
+}
+
+} // namespace bvf::gpu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * GPU machine configuration (paper Tables 3 and 4).
+ *
+ * The baseline machine follows Table 3: 15 SMs, 48 warps/SM, 128KB
+ * registers and 48KB shared memory per SM, 16KB 4-way L1D with 128B
+ * lines, a 768KB 6-bank 16-way L2, 32B NoC flits, 6 FR-FCFS memory
+ * channels, 700MHz. Table 4's GTX-480 / Tesla-P100 / Tesla-K80 capacity
+ * variants feed the Figure 22 sensitivity study.
+ */
+
+#ifndef BVF_GPU_GPU_CONFIG_HH
+#define BVF_GPU_GPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/encoding.hh"
+
+namespace bvf::gpu
+{
+
+/** Warp scheduling policies evaluated in Figure 21. */
+enum class SchedulerPolicy
+{
+    Gto,      //!< greedy-then-oldest (baseline)
+    Lrr,      //!< loose round-robin
+    TwoLevel, //!< two-level active/pending pools
+};
+
+/** Display name, e.g. "GTO". */
+std::string schedulerName(SchedulerPolicy policy);
+
+/** DVFS operating point (Figure 20). */
+struct PState
+{
+    double frequency;  //!< core clock [Hz]
+    double vdd;        //!< supply [V]
+    std::string name;  //!< e.g. "700MHz@1.2V"
+};
+
+/** The three P-states the paper evaluates. */
+const PState &pstateNominal();  //!< 700 MHz, 1.2 V
+const PState &pstateMid();      //!< 500 MHz, 0.9 V
+const PState &pstateLow();      //!< 300 MHz, 0.6 V
+
+/** Machine description. */
+struct GpuConfig
+{
+    std::string name = "GTX480-like";
+    isa::GpuArch arch = isa::GpuArch::Pascal;
+
+    int numSms = 15;
+    int maxWarpsPerSm = 48;
+    SchedulerPolicy scheduler = SchedulerPolicy::Gto;
+
+    // Per-SM storage.
+    std::uint32_t regFileBytes = 128 * 1024;
+    std::uint32_t sharedMemBytes = 48 * 1024;
+    std::uint32_t l1dBytes = 16 * 1024;
+    int l1dAssoc = 4;
+    std::uint32_t l1iBytes = 2 * 1024;
+    std::uint32_t l1cBytes = 8 * 1024;
+    std::uint32_t l1tBytes = 12 * 1024;
+    std::uint32_t lineBytes = 128;
+
+    // Chip-level storage.
+    int l2Banks = 6;
+    std::uint32_t l2BytesPerBank = 128 * 1024;
+    int l2Assoc = 16;
+
+    // Memory system.
+    int dramChannels = 6;
+    int mshrsPerSm = 32;
+
+    // Timing.
+    PState pstate = {700.0e6, 1.2, "700MHz@1.2V"};
+    int l1HitLatency = 28;
+    int l2Latency = 36;
+    int dramRowHitLatency = 80;
+    int dramRowMissLatency = 160;
+    int sharedMemLatency = 24;
+    int constHitLatency = 20;
+    int constMissLatency = 200;
+    int texHitLatency = 40;
+    int texMissLatency = 300;
+
+    std::uint32_t l2TotalBytes() const
+    {
+        return static_cast<std::uint32_t>(l2Banks) * l2BytesPerBank;
+    }
+
+    double clockPeriod() const { return 1.0 / pstate.frequency; }
+};
+
+/** Table 3 baseline machine. */
+GpuConfig baselineConfig();
+
+/** Table 4 capacity variants for Figure 22. */
+GpuConfig gtx480Config();
+GpuConfig teslaP100Config();
+GpuConfig teslaK80Config();
+
+} // namespace bvf::gpu
+
+#endif // BVF_GPU_GPU_CONFIG_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FR-FCFS implementation.
+ */
+
+#include "gpu/mem_ctrl.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::gpu
+{
+
+MemoryController::MemoryController(int channels, std::uint32_t rowBytes,
+                                   int rowHitLatency, int rowMissLatency)
+    : rowHitLatency_(rowHitLatency), rowMissLatency_(rowMissLatency),
+      rowBytes_(rowBytes)
+{
+    fatal_if(channels <= 0, "need at least one DRAM channel");
+    fatal_if(rowBytes == 0 || (rowBytes & (rowBytes - 1)) != 0,
+             "row size must be a power of two");
+    channels_.resize(static_cast<std::size_t>(channels));
+}
+
+int
+MemoryController::channelOf(std::uint32_t lineAddr) const
+{
+    // Line-interleave across channels (128B granularity).
+    return static_cast<int>((lineAddr >> 7)
+                            % static_cast<std::uint32_t>(channels_.size()));
+}
+
+void
+MemoryController::enqueue(std::uint32_t lineAddr, std::uint64_t token,
+                          std::uint64_t cycle)
+{
+    auto &ch = channels_[static_cast<std::size_t>(channelOf(lineAddr))];
+    ch.queue.push_back(DramRequest{lineAddr, token, cycle});
+}
+
+void
+MemoryController::step(std::uint64_t cycle)
+{
+    for (auto &ch : channels_) {
+        if (ch.serving) {
+            if (cycle >= ch.doneCycle) {
+                ch.serving = false;
+                ch.openRow = ch.current.lineAddr / rowBytes_;
+                panic_if(!complete_, "no completion handler installed");
+                complete_(ch.current);
+            }
+            continue;
+        }
+        if (ch.queue.empty())
+            continue;
+
+        // FR-FCFS: oldest row-hit first, else the overall oldest.
+        auto pick = ch.queue.end();
+        for (auto it = ch.queue.begin(); it != ch.queue.end(); ++it) {
+            if (it->lineAddr / rowBytes_ == ch.openRow) {
+                pick = it;
+                break;
+            }
+        }
+        bool row_hit = pick != ch.queue.end();
+        if (!row_hit)
+            pick = ch.queue.begin();
+
+        ch.current = *pick;
+        ch.queue.erase(pick);
+        ch.serving = true;
+        ch.doneCycle =
+            cycle + static_cast<std::uint64_t>(row_hit ? rowHitLatency_
+                                                       : rowMissLatency_);
+        if (row_hit)
+            ++rowHits_;
+        else
+            ++rowMisses_;
+    }
+}
+
+bool
+MemoryController::busy() const
+{
+    for (const auto &ch : channels_) {
+        if (ch.serving || !ch.queue.empty())
+            return true;
+    }
+    return false;
+}
+
+} // namespace bvf::gpu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memory controller with FR-FCFS scheduling over multiple DRAM channels.
+ *
+ * Requests that miss in L2 queue here. Each channel keeps an open-row
+ * register; first-ready (row-hit) requests are served before older
+ * row-miss requests (FR-FCFS), with row hits completing faster. The
+ * controller affects only timing and ordering -- DRAM itself is off-chip
+ * and outside the paper's power scope (the BVF design is transparent to
+ * off-chip units).
+ */
+
+#ifndef BVF_GPU_MEM_CTRL_HH
+#define BVF_GPU_MEM_CTRL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace bvf::gpu
+{
+
+/** One in-flight DRAM request. */
+struct DramRequest
+{
+    std::uint32_t lineAddr = 0;
+    std::uint64_t token = 0;     //!< caller-supplied identifier
+    std::uint64_t enqueueCycle = 0;
+};
+
+/**
+ * FR-FCFS memory controller.
+ */
+class MemoryController
+{
+  public:
+    using CompleteFn = std::function<void(const DramRequest &)>;
+
+    /**
+     * @param channels number of DRAM channels
+     * @param rowBytes bytes per DRAM row (row-hit granularity)
+     * @param rowHitLatency service cycles on a row hit
+     * @param rowMissLatency service cycles on a row miss
+     */
+    MemoryController(int channels, std::uint32_t rowBytes,
+                     int rowHitLatency, int rowMissLatency);
+
+    void setCompleteHandler(CompleteFn fn) { complete_ = std::move(fn); }
+
+    /** Channel owning @p lineAddr (line-interleaved). */
+    int channelOf(std::uint32_t lineAddr) const;
+
+    /** Enqueue a line request. */
+    void enqueue(std::uint32_t lineAddr, std::uint64_t token,
+                 std::uint64_t cycle);
+
+    /** Advance one cycle; fires completions. */
+    void step(std::uint64_t cycle);
+
+    bool busy() const;
+
+    std::uint64_t rowHits() const { return rowHits_; }
+    std::uint64_t rowMisses() const { return rowMisses_; }
+
+  private:
+    struct Channel
+    {
+        std::deque<DramRequest> queue;
+        std::uint32_t openRow = ~0u;
+        bool serving = false;
+        DramRequest current;
+        std::uint64_t doneCycle = 0;
+    };
+
+    int rowHitLatency_;
+    int rowMissLatency_;
+    std::uint32_t rowBytes_;
+    std::vector<Channel> channels_;
+    CompleteFn complete_;
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowMisses_ = 0;
+};
+
+} // namespace bvf::gpu
+
+#endif // BVF_GPU_MEM_CTRL_HH

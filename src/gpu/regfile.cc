@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Register bank-conflict model.
+ */
+
+#include "gpu/regfile.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace bvf::gpu
+{
+
+RegFileModel::RegFileModel(int numBanks) : numBanks_(numBanks)
+{
+    fatal_if(numBanks <= 0, "register file needs at least one bank");
+}
+
+CollectResult
+RegFileModel::collect(std::span<const int> sourceRegs) const
+{
+    std::array<int, 64> load{};
+    panic_if(numBanks_ > static_cast<int>(load.size()),
+             "bank count exceeds model limit");
+    CollectResult res;
+    int max_load = 0;
+    for (const int reg : sourceRegs) {
+        const int bank = bankOf(reg);
+        const int l = ++load[static_cast<std::size_t>(bank)];
+        if (l == 1)
+            ++res.banksTouched;
+        if (l > max_load)
+            max_load = l;
+    }
+    res.conflictCycles = max_load > 1 ? max_load - 1 : 0;
+    return res;
+}
+
+} // namespace bvf::gpu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Register-file banking and operand collection.
+ *
+ * GPU register files are dense, highly banked SRAM arrays (the paper's
+ * Section 4, footnote 2); an instruction's source operands are gathered
+ * by operand collectors over one or more cycles depending on how its
+ * registers spread over the banks. The paper leans on exactly this
+ * structure in Section 6.3: because collectors already buffer operands,
+ * the XNOR coder's gate delay hides in the operand-collection stage.
+ *
+ * This model maps registers to banks, counts per-instruction bank
+ * conflicts (extra collection cycles), and feeds the SM's issue timing.
+ */
+
+#ifndef BVF_GPU_REGFILE_HH
+#define BVF_GPU_REGFILE_HH
+
+#include <cstdint>
+#include <span>
+
+namespace bvf::gpu
+{
+
+/** Outcome of collecting one instruction's operands. */
+struct CollectResult
+{
+    int banksTouched = 0;
+    int conflictCycles = 0; //!< extra cycles beyond the first access
+};
+
+/**
+ * Banked register file model.
+ *
+ * Warp-wide registers stripe across banks by register index (the common
+ * organization: one warp-register is one row of one bank).
+ */
+class RegFileModel
+{
+  public:
+    /**
+     * @param numBanks banks per SM register file
+     */
+    explicit RegFileModel(int numBanks = 4);
+
+    int numBanks() const { return numBanks_; }
+
+    /** Bank holding warp-register @p reg. */
+    int
+    bankOf(int reg) const
+    {
+        return reg % numBanks_;
+    }
+
+    /**
+     * Collect the given source registers for one instruction. Registers
+     * mapping to the same bank serialize: n same-bank reads cost n-1
+     * extra cycles.
+     */
+    CollectResult collect(std::span<const int> sourceRegs) const;
+
+    /** Cumulative conflict cycles observed. */
+    std::uint64_t totalConflictCycles() const { return conflicts_; }
+
+    /** Record a collection (non-const bookkeeping wrapper). */
+    CollectResult
+    record(std::span<const int> sourceRegs)
+    {
+        const auto res = collect(sourceRegs);
+        conflicts_ += static_cast<std::uint64_t>(res.conflictCycles);
+        return res;
+    }
+
+  private:
+    int numBanks_;
+    std::uint64_t conflicts_ = 0;
+};
+
+} // namespace bvf::gpu
+
+#endif // BVF_GPU_REGFILE_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Warp scheduler implementations.
+ */
+
+#include "gpu/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bvf::gpu
+{
+
+std::unique_ptr<WarpScheduler>
+makeScheduler(SchedulerPolicy policy, int numWarps)
+{
+    switch (policy) {
+      case SchedulerPolicy::Gto:
+        return std::make_unique<GtoScheduler>(numWarps);
+      case SchedulerPolicy::Lrr:
+        return std::make_unique<LrrScheduler>(numWarps);
+      case SchedulerPolicy::TwoLevel:
+        return std::make_unique<TwoLevelScheduler>(numWarps);
+    }
+    panic("unknown scheduler policy");
+}
+
+// ------------------------------------------------------------- GTO --
+
+GtoScheduler::GtoScheduler(int numWarps)
+{
+    fatal_if(numWarps <= 0, "scheduler needs warps");
+}
+
+int
+GtoScheduler::pick(const std::vector<bool> &ready,
+                   const std::vector<std::uint64_t> &lastIssue,
+                   std::uint64_t)
+{
+    if (greedy_ >= 0 && greedy_ < static_cast<int>(ready.size())
+        && ready[static_cast<std::size_t>(greedy_)]) {
+        return greedy_;
+    }
+    // Oldest: smallest last-issue cycle among ready warps.
+    int best = -1;
+    for (int w = 0; w < static_cast<int>(ready.size()); ++w) {
+        if (!ready[static_cast<std::size_t>(w)])
+            continue;
+        if (best < 0
+            || lastIssue[static_cast<std::size_t>(w)]
+                   < lastIssue[static_cast<std::size_t>(best)]) {
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+GtoScheduler::issued(int warp, std::uint64_t)
+{
+    greedy_ = warp;
+}
+
+// ------------------------------------------------------------- LRR --
+
+LrrScheduler::LrrScheduler(int numWarps) : numWarps_(numWarps)
+{
+    fatal_if(numWarps <= 0, "scheduler needs warps");
+}
+
+int
+LrrScheduler::pick(const std::vector<bool> &ready,
+                   const std::vector<std::uint64_t> &, std::uint64_t)
+{
+    for (int probe = 0; probe < numWarps_; ++probe) {
+        const int w = (next_ + probe) % numWarps_;
+        if (w < static_cast<int>(ready.size())
+            && ready[static_cast<std::size_t>(w)]) {
+            return w;
+        }
+    }
+    return -1;
+}
+
+void
+LrrScheduler::issued(int warp, std::uint64_t)
+{
+    next_ = (warp + 1) % numWarps_;
+}
+
+// ------------------------------------------------------- Two-level --
+
+TwoLevelScheduler::TwoLevelScheduler(int numWarps, int activePoolSize)
+    : numWarps_(numWarps), poolSize_(std::min(activePoolSize, numWarps))
+{
+    fatal_if(numWarps <= 0, "scheduler needs warps");
+    for (int w = 0; w < numWarps; ++w) {
+        if (w < poolSize_)
+            active_.push_back(w);
+        else
+            pending_.push_back(w);
+    }
+}
+
+void
+TwoLevelScheduler::refill(const std::vector<bool> &ready)
+{
+    // Rotate stalled warps out of the active pool.
+    for (auto it = active_.begin(); it != active_.end();) {
+        const int w = *it;
+        const bool is_ready = w < static_cast<int>(ready.size())
+                              && ready[static_cast<std::size_t>(w)];
+        if (!is_ready && !pending_.empty()) {
+            pending_.push_back(w);
+            it = active_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    while (static_cast<int>(active_.size()) < poolSize_
+           && !pending_.empty()) {
+        active_.push_back(pending_.front());
+        pending_.erase(pending_.begin());
+    }
+}
+
+int
+TwoLevelScheduler::pick(const std::vector<bool> &ready,
+                        const std::vector<std::uint64_t> &, std::uint64_t)
+{
+    refill(ready);
+    if (active_.empty())
+        return -1;
+    const int n = static_cast<int>(active_.size());
+    for (int probe = 0; probe < n; ++probe) {
+        const int idx = (rr_ + probe) % n;
+        const int w = active_[static_cast<std::size_t>(idx)];
+        if (w < static_cast<int>(ready.size())
+            && ready[static_cast<std::size_t>(w)]) {
+            rr_ = (idx + 1) % n;
+            return w;
+        }
+    }
+    return -1;
+}
+
+void
+TwoLevelScheduler::issued(int, std::uint64_t)
+{
+}
+
+} // namespace bvf::gpu

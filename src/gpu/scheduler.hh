@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Warp schedulers: GTO, loose round-robin and two-level.
+ *
+ * The scheduler picks which ready warp issues each cycle. Different
+ * policies reorder the memory access stream seen by the SRAM units and
+ * the NoC, which is the sensitivity Figure 21 studies.
+ */
+
+#ifndef BVF_GPU_SCHEDULER_HH
+#define BVF_GPU_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpu/gpu_config.hh"
+
+namespace bvf::gpu
+{
+
+/**
+ * Scheduler interface: given the set of ready warps, pick one.
+ */
+class WarpScheduler
+{
+  public:
+    virtual ~WarpScheduler() = default;
+
+    /**
+     * @param ready per-warp readiness flags (index = warp slot)
+     * @param lastIssue per-warp cycle of last issue
+     * @param cycle current cycle
+     * @return selected warp slot, or -1 if none ready
+     */
+    virtual int pick(const std::vector<bool> &ready,
+                     const std::vector<std::uint64_t> &lastIssue,
+                     std::uint64_t cycle) = 0;
+
+    /** Notify that @p warp issued (policy bookkeeping). */
+    virtual void issued(int warp, std::uint64_t cycle) = 0;
+};
+
+/** Factory for the configured policy. */
+std::unique_ptr<WarpScheduler> makeScheduler(SchedulerPolicy policy,
+                                             int numWarps);
+
+/**
+ * Greedy-then-oldest: keep issuing the same warp while it stays ready;
+ * otherwise fall back to the warp that has waited longest.
+ */
+class GtoScheduler : public WarpScheduler
+{
+  public:
+    explicit GtoScheduler(int numWarps);
+    int pick(const std::vector<bool> &ready,
+             const std::vector<std::uint64_t> &lastIssue,
+             std::uint64_t cycle) override;
+    void issued(int warp, std::uint64_t cycle) override;
+
+  private:
+    int greedy_ = -1;
+};
+
+/** Loose round-robin over warp slots. */
+class LrrScheduler : public WarpScheduler
+{
+  public:
+    explicit LrrScheduler(int numWarps);
+    int pick(const std::vector<bool> &ready,
+             const std::vector<std::uint64_t> &lastIssue,
+             std::uint64_t cycle) override;
+    void issued(int warp, std::uint64_t cycle) override;
+
+  private:
+    int numWarps_;
+    int next_ = 0;
+};
+
+/**
+ * Two-level scheduler: a small active pool issues round-robin; warps
+ * that stall (stop being ready) rotate out for pending warps.
+ */
+class TwoLevelScheduler : public WarpScheduler
+{
+  public:
+    TwoLevelScheduler(int numWarps, int activePoolSize = 8);
+    int pick(const std::vector<bool> &ready,
+             const std::vector<std::uint64_t> &lastIssue,
+             std::uint64_t cycle) override;
+    void issued(int warp, std::uint64_t cycle) override;
+
+  private:
+    void refill(const std::vector<bool> &ready);
+
+    int numWarps_;
+    int poolSize_;
+    std::vector<int> active_;   //!< warp slots in the active pool
+    std::vector<int> pending_;  //!< remaining slots, FIFO
+    int rr_ = 0;
+};
+
+} // namespace bvf::gpu
+
+#endif // BVF_GPU_SCHEDULER_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Instruction printing.
+ */
+
+#include "isa/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::isa
+{
+
+std::string
+Instruction::toString() const
+{
+    std::string out = opcodeName(op);
+    if (pred != predTrue || predNegate) {
+        out = strFormat("@%sP%d %s", predNegate ? "!" : "", pred,
+                        out.c_str());
+    }
+    if (writesRegister(op))
+        out += strFormat(" R%d", dst);
+    if (op == Opcode::SetP)
+        out += strFormat(" P%d", dst);
+    if (readsSrcA(op))
+        out += strFormat(", R%d", srcA);
+    if (readsSrcB(op)) {
+        if (immB)
+            out += strFormat(", %d", imm);
+        else
+            out += strFormat(", R%d", srcB);
+    }
+    if (isMemoryOp(op))
+        out += strFormat(" [R%d + %d]", srcA, imm);
+    if (op == Opcode::Bra)
+        out += strFormat(" -> %d (join %d)", imm, reconv);
+    return out;
+}
+
+} // namespace bvf::isa

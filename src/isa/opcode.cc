@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Opcode classification tables.
+ */
+
+#include "isa/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::isa
+{
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ffma: return "FFMA";
+      case Opcode::Fadd: return "FADD";
+      case Opcode::Fmul: return "FMUL";
+      case Opcode::IAdd: return "IADD";
+      case Opcode::Mov: return "MOV";
+      case Opcode::Ldg: return "LDG";
+      case Opcode::Stg: return "STG";
+      case Opcode::IMad: return "IMAD";
+      case Opcode::S2R: return "S2R";
+      case Opcode::SetP: return "SETP";
+      case Opcode::Lds: return "LDS";
+      case Opcode::Sts: return "STS";
+      case Opcode::IMul: return "IMUL";
+      case Opcode::ISub: return "ISUB";
+      case Opcode::Shl: return "SHL";
+      case Opcode::Shr: return "SHR";
+      case Opcode::And: return "AND";
+      case Opcode::Or: return "OR";
+      case Opcode::Xor: return "XOR";
+      case Opcode::Ldc: return "LDC";
+      case Opcode::Ldt: return "LDT";
+      case Opcode::I2F: return "I2F";
+      case Opcode::F2I: return "F2I";
+      case Opcode::Clz: return "CLZ";
+      case Opcode::Min: return "MIN";
+      case Opcode::Max: return "MAX";
+      case Opcode::Bra: return "BRA";
+      case Opcode::Exit: return "EXIT";
+      case Opcode::Bar: return "BAR";
+      case Opcode::Nop: return "NOP";
+      case Opcode::NumOpcodes: break;
+    }
+    panic("unknown opcode");
+}
+
+bool
+isMemoryOp(Opcode op)
+{
+    return isLoadOp(op) || isStoreOp(op);
+}
+
+bool
+isLoadOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldg:
+      case Opcode::Lds:
+      case Opcode::Ldc:
+      case Opcode::Ldt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStoreOp(Opcode op)
+{
+    return op == Opcode::Stg || op == Opcode::Sts;
+}
+
+bool
+isControlOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Bra:
+      case Opcode::Exit:
+      case Opcode::Bar:
+      case Opcode::Nop:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesRegister(Opcode op)
+{
+    if (isControlOp(op) || isStoreOp(op) || op == Opcode::SetP)
+        return false;
+    return true;
+}
+
+bool
+readsSrcA(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov:
+      case Opcode::S2R:
+      case Opcode::Bra:
+      case Opcode::Exit:
+      case Opcode::Bar:
+      case Opcode::Nop:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+readsSrcB(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ffma:
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::IAdd:
+      case Opcode::IMad:
+      case Opcode::IMul:
+      case Opcode::ISub:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Min:
+      case Opcode::Max:
+      case Opcode::SetP:
+      case Opcode::Mov:
+      case Opcode::Stg:
+      case Opcode::Sts:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+opcodeLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ffma:
+      case Opcode::IMad:
+        return 6;
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::IMul:
+        return 5;
+      case Opcode::Ldg:
+      case Opcode::Ldt:
+        return 0; // variable; resolved by the memory system
+      case Opcode::Lds:
+      case Opcode::Sts:
+        return 24;
+      case Opcode::Ldc:
+        return 0; // via constant cache
+      default:
+        return 4;
+    }
+}
+
+} // namespace bvf::isa

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The PTX-like operation set executed by the GPU model.
+ *
+ * This is a compact SASS-style ISA: enough integer/FP arithmetic to give
+ * kernels realistic value behaviour, the full set of memory spaces the
+ * paper's BVF units cover (global, shared, constant, texture), and
+ * structured SIMT control flow. Opcodes are ordered roughly by dynamic
+ * frequency so that encoded opcode fields are low-biased (see
+ * isa/encoding.hh).
+ */
+
+#ifndef BVF_ISA_OPCODE_HH
+#define BVF_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bvf::isa
+{
+
+/** Operation codes. Values are part of the binary encoding. */
+enum class Opcode : std::uint8_t
+{
+    Ffma = 0,  //!< d = a * b + d (fp32)
+    Fadd,      //!< d = a + b (fp32)
+    Fmul,      //!< d = a * b (fp32)
+    IAdd,      //!< d = a + b
+    Mov,       //!< d = b (register or immediate)
+    Ldg,       //!< global load:  d = mem[a + imm]
+    Stg,       //!< global store: mem[a + imm] = b
+    IMad,      //!< d = a * b + d
+    S2R,       //!< d = special register (imm selects which)
+    SetP,      //!< pred[dst] = compare(a, b) (flags select cmp)
+    Lds,       //!< shared load:  d = smem[a + imm]
+    Sts,       //!< shared store: smem[a + imm] = b
+    IMul,      //!< d = a * b
+    ISub,      //!< d = a - b
+    Shl,       //!< d = a << (b & 31)
+    Shr,       //!< d = a >> (b & 31) (logical)
+    And,       //!< d = a & b
+    Or,        //!< d = a | b
+    Xor,       //!< d = a ^ b
+    Ldc,       //!< constant load: d = cmem[a + imm]
+    Ldt,       //!< texture load:  d = tmem[a + imm]
+    I2F,       //!< d = float(a)
+    F2I,       //!< d = int(a_float)
+    Clz,       //!< d = count leading zeros of a
+    Min,       //!< d = min(a, b) signed
+    Max,       //!< d = max(a, b) signed
+    // Control opcodes: these clear the encoding framing bits (they are
+    // the statistical minority that keeps Table 2 masks "statistical").
+    Bra,       //!< predicated branch to imm, reconverge at target2
+    Exit,      //!< warp terminates
+    Bar,       //!< block-wide barrier
+    Nop,       //!< no operation
+    NumOpcodes,
+};
+
+/** Special registers selectable by S2R. */
+enum class SpecialReg : std::uint8_t
+{
+    LaneId = 0,   //!< lane within the warp [0,32)
+    WarpId,       //!< warp within the block
+    TidX,         //!< thread id within the block
+    CtaIdX,       //!< block id within the grid
+    NTidX,        //!< block dimension
+    GridDimX,     //!< grid dimension
+};
+
+/** Comparison selector for SetP (carried in the flags field). */
+enum class CmpOp : std::uint8_t
+{
+    Lt = 0,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+};
+
+/** Mnemonic, e.g. "FFMA". */
+std::string opcodeName(Opcode op);
+
+/** Does the opcode access memory? */
+bool isMemoryOp(Opcode op);
+
+/** Does the opcode read from memory? */
+bool isLoadOp(Opcode op);
+
+/** Does the opcode write to memory? */
+bool isStoreOp(Opcode op);
+
+/** Control-flow / no-data opcodes (clear the encoding framing bits). */
+bool isControlOp(Opcode op);
+
+/** Does the opcode produce a destination register value? */
+bool writesRegister(Opcode op);
+
+/** Does the opcode read the srcA register? */
+bool readsSrcA(Opcode op);
+
+/** Does the opcode read the srcB register (when not immediate)? */
+bool readsSrcB(Opcode op);
+
+/** Execution latency in core cycles (dependency-visible). */
+int opcodeLatency(Opcode op);
+
+} // namespace bvf::isa
+
+#endif // BVF_ISA_OPCODE_HH

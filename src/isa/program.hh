@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A complete GPU program: kernel body, launch geometry and memory images.
+ *
+ * This is the artifact the workload layer produces and the GPU model
+ * executes -- the moral equivalent of a CUDA binary plus its input
+ * buffers.
+ */
+
+#ifndef BVF_ISA_PROGRAM_HH
+#define BVF_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "isa/instruction.hh"
+
+namespace bvf::isa
+{
+
+/** Launch geometry (1-D, which all our kernels use). */
+struct LaunchDims
+{
+    int gridBlocks = 1;      //!< blocks in the grid
+    int blockThreads = 128;  //!< threads per block (multiple of 32)
+
+    int warpsPerBlock() const { return (blockThreads + 31) / 32; }
+    int totalThreads() const { return gridBlocks * blockThreads; }
+};
+
+/** Base virtual address of the global segment. */
+constexpr std::uint32_t globalSegmentBase = 0x10000u;
+
+/**
+ * A runnable program.
+ *
+ * Memory images are word arrays; the global segment is addressed in
+ * bytes starting at globalSegmentBase, the constant and texture segments
+ * start at byte 0 of their own address spaces.
+ */
+struct Program
+{
+    std::string name;                  //!< owning application name
+    std::vector<Instruction> body;     //!< kernel instructions
+    LaunchDims launch;
+
+    std::vector<Word> global;          //!< global memory image (words)
+    std::vector<Word> constants;       //!< constant segment (words)
+    std::vector<Word> texture;         //!< texture segment (words)
+    std::uint32_t sharedBytesPerBlock = 0;
+
+    /** Size of the global segment in bytes. */
+    std::uint32_t
+    globalBytes() const
+    {
+        return static_cast<std::uint32_t>(global.size() * 4);
+    }
+};
+
+} // namespace bvf::isa
+
+#endif // BVF_ISA_PROGRAM_HH

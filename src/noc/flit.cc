@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Packet flit materialization.
+ */
+
+#include "noc/flit.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::noc
+{
+
+std::vector<Word>
+Packet::flitPayload(int idx) const
+{
+    panic_if(idx < 0 || idx >= flitCount(), "flit index out of range");
+    std::vector<Word> words(flitWords, 0);
+    if (idx == 0) {
+        // Header: control word, address, ids. Remaining wires idle (0).
+        words[0] = (static_cast<Word>(type) << 24)
+                   | (static_cast<Word>(srcSm & 0xff) << 16)
+                   | static_cast<Word>(dstBank & 0xffff);
+        words[1] = address;
+        words[2] = static_cast<Word>(requestId & 0xffffffffu);
+        words[3] = static_cast<Word>(requestId >> 32);
+        return words;
+    }
+    const std::size_t start =
+        static_cast<std::size_t>(idx - 1) * flitWords;
+    for (int w = 0; w < flitWords; ++w) {
+        const std::size_t src = start + static_cast<std::size_t>(w);
+        if (src < payload.size())
+            words[static_cast<std::size_t>(w)] = payload[src];
+    }
+    return words;
+}
+
+} // namespace bvf::noc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Flits and packets on the on-chip interconnect.
+ *
+ * The NoC moves memory transactions between SMs and L2 banks. Packets
+ * are segmented into fixed 32-byte flits (Table 3 of the paper); energy
+ * on a channel is proportional to the number of wire toggles between
+ * consecutive flits, which is what the accounting layer measures per
+ * scenario.
+ */
+
+#ifndef BVF_NOC_FLIT_HH
+#define BVF_NOC_FLIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+
+namespace bvf::noc
+{
+
+/** Flit payload size in bytes (paper Table 3). */
+constexpr int flitBytes = 32;
+
+/** Words per flit. */
+constexpr int flitWords = flitBytes / 4;
+
+/** Memory-transaction packet types. */
+enum class PacketType : std::uint8_t
+{
+    ReadRequest,   //!< SM -> L2: address only
+    ReadReply,     //!< L2 -> SM: full line data
+    WriteRequest,  //!< SM -> L2: address + store data
+    WriteAck,      //!< L2 -> SM: completion token
+    InstrRequest,  //!< SM -> L2: ifetch miss
+    InstrReply,    //!< L2 -> SM: instruction line
+};
+
+/** Is this packet part of the instruction stream? */
+constexpr bool
+isInstrPacket(PacketType t)
+{
+    return t == PacketType::InstrRequest || t == PacketType::InstrReply;
+}
+
+/** One NoC packet; segmented into flits at the channel. */
+struct Packet
+{
+    PacketType type = PacketType::ReadRequest;
+    int srcSm = 0;          //!< originating SM (or -1 from L2 side)
+    int dstBank = 0;        //!< L2 bank
+    std::uint32_t address = 0;
+    std::vector<Word> payload; //!< line/store data (empty for requests)
+    std::uint64_t requestId = 0; //!< matches replies to requests
+    std::uint64_t issueCycle = 0;
+
+    /** Number of flits this packet occupies on a channel. */
+    int
+    flitCount() const
+    {
+        // One header flit (type/address/control) plus payload flits.
+        const int payload_flits =
+            (static_cast<int>(payload.size()) + flitWords - 1) / flitWords;
+        return 1 + payload_flits;
+    }
+
+    /**
+     * Materialize flit @p idx as raw words for toggle accounting. The
+     * header flit carries address and control bits; payload flits carry
+     * data words (zero-padded tail).
+     */
+    std::vector<Word> flitPayload(int idx) const;
+};
+
+} // namespace bvf::noc
+
+#endif // BVF_NOC_FLIT_HH

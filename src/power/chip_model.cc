@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Chip power model implementation.
+ */
+
+#include "power/chip_model.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "power/overhead.hh"
+
+namespace bvf::power
+{
+
+using coder::UnitId;
+
+NonSramEnergies
+NonSramEnergies::forNode(circuit::TechNode node)
+{
+    // Per-event energies at nominal 1.2V. Values are in the GPUWattch
+    // range for the Table 3 machine and calibrated so BVF-coverable
+    // units carry ~48% of baseline chip energy on the suite average.
+    // Per *warp-level* event (32 lanes): an FP instruction fires 32 FPUs.
+    if (node == circuit::TechNode::N28) {
+        return NonSramEnergies{
+            .fpOp = pico(105.0),
+            .intOp = pico(40.0),
+            .issueOverhead = pico(30.0),
+            .loadStoreUnit = pico(18.0),
+            .mcRequest = pico(22.0),
+            .nocPerToggle = femto(150.0),
+            .nocPerFlit = pico(1.1),
+            .otherLeakage = milli(26.0),
+        };
+    }
+    return NonSramEnergies{
+        .fpOp = pico(148.0),
+        .intOp = pico(58.0),
+        .issueOverhead = pico(40.0),
+        .loadStoreUnit = pico(26.0),
+        .mcRequest = pico(32.0),
+        .nocPerToggle = femto(215.0),
+        .nocPerFlit = pico(1.6),
+        .otherLeakage = milli(38.0),
+    };
+}
+
+NonSramEnergies
+NonSramEnergies::scaledTo(double vdd) const
+{
+    const double r = (vdd / 1.2) * (vdd / 1.2);
+    NonSramEnergies e = *this;
+    e.fpOp *= r;
+    e.intOp *= r;
+    e.issueOverhead *= r;
+    e.loadStoreUnit *= r;
+    e.mcRequest *= r;
+    e.nocPerToggle *= r;
+    e.nocPerFlit *= r;
+    // Leakage shrinks superlinearly with voltage.
+    const double v = vdd / 1.2;
+    e.otherLeakage *= v * v * v;
+    return e;
+}
+
+double
+ChipEnergy::bvfUnitsTotal() const
+{
+    double total = nocDynamic;
+    for (const auto &[unit, e] : units)
+        total += e.total();
+    return total;
+}
+
+double
+ChipEnergy::chipTotal() const
+{
+    return bvfUnitsTotal() + computeDynamic + otherDynamic + otherLeakage
+           + coderOverhead;
+}
+
+ChipPowerModel::ChipPowerModel(circuit::TechNode node, double vdd,
+                               double frequency,
+                               circuit::CellKind cellKind,
+                               const gpu::GpuConfig &config)
+    : node_(node), vdd_(vdd), frequency_(frequency), cellKind_(cellKind),
+      config_(config),
+      energies_(NonSramEnergies::forNode(node).scaledTo(vdd))
+{
+    const auto &tech = circuit::techParams(node);
+    const auto sms = static_cast<std::uint64_t>(config.numSms);
+
+    capacities_[UnitId::Reg] = sms * config.regFileBytes * 8;
+    capacities_[UnitId::Sme] = sms * config.sharedMemBytes * 8;
+    capacities_[UnitId::L1D] = sms * config.l1dBytes * 8;
+    capacities_[UnitId::L1I] = sms * config.l1iBytes * 8;
+    capacities_[UnitId::L1C] = sms * config.l1cBytes * 8;
+    capacities_[UnitId::L1T] = sms * config.l1tBytes * 8;
+    // IFB: one fetch group (64B) per warp slot.
+    capacities_[UnitId::Ifb] =
+        sms * static_cast<std::uint64_t>(config.maxWarpsPerSm) * 64 * 8;
+    capacities_[UnitId::L2] =
+        static_cast<std::uint64_t>(config.l2TotalBytes()) * 8;
+
+    for (const auto &[unit, bits] : capacities_) {
+        circuit::ArrayGeometry geom;
+        geom.blockBytes = unit == UnitId::Reg ? 128
+                                              : static_cast<int>(
+                                                  config.lineBytes);
+        geom.sets = static_cast<int>(
+            bits / (static_cast<std::uint64_t>(geom.blockBytes) * 8));
+        if (geom.sets < 1)
+            geom.sets = 1;
+        geom.cellsPerBitline = 128;
+        arrays_[unit] = std::make_unique<circuit::ArrayModel>(
+            cellKind, tech, vdd, geom);
+    }
+}
+
+std::uint64_t
+ChipPowerModel::unitCapacityBits(UnitId unit) const
+{
+    auto it = capacities_.find(unit);
+    panic_if(it == capacities_.end(), "no capacity for unit %s",
+             coder::unitName(unit).c_str());
+    return it->second;
+}
+
+const circuit::ArrayModel &
+ChipPowerModel::unitArray(UnitId unit) const
+{
+    auto it = arrays_.find(unit);
+    panic_if(it == arrays_.end(), "no array model for unit %s",
+             coder::unitName(unit).c_str());
+    return *it->second;
+}
+
+ChipEnergy
+ChipPowerModel::evaluate(
+    const std::map<UnitId, sram::UnitScenarioStats> &unitStats,
+    std::uint64_t nocToggles, std::uint64_t nocFlits,
+    const gpu::GpuStats &gpuStats, bool applyCoderOverhead) const
+{
+    ChipEnergy out;
+    const double seconds =
+        static_cast<double>(gpuStats.cycles) / frequency_;
+
+    for (const auto &[unit, stats] : unitStats) {
+        auto array_it = arrays_.find(unit);
+        if (array_it == arrays_.end())
+            continue; // NoC has no storage array
+        out.units[unit] = sram::evaluateUnitEnergy(
+            stats, *array_it->second, unitCapacityBits(unit),
+            gpuStats.cycles, 1.0 / frequency_);
+    }
+
+    out.nocDynamic =
+        static_cast<double>(nocToggles) * energies_.nocPerToggle
+        + static_cast<double>(nocFlits) * energies_.nocPerFlit;
+
+    out.computeDynamic =
+        static_cast<double>(gpuStats.sm.fpOps) * energies_.fpOp
+        + static_cast<double>(gpuStats.sm.intOps) * energies_.intOp;
+    out.otherDynamic =
+        static_cast<double>(gpuStats.sm.issued) * energies_.issueOverhead
+        + static_cast<double>(gpuStats.sm.loads + gpuStats.sm.stores)
+              * energies_.loadStoreUnit
+        + static_cast<double>(gpuStats.dramRowHits
+                              + gpuStats.dramRowMisses)
+              * energies_.mcRequest;
+    out.otherLeakage = energies_.otherLeakage * seconds;
+
+    if (applyCoderOverhead) {
+        const CoderOverhead oh = coderOverheadForNode(node_);
+        // Dynamic: one XNOR evaluation per coded bit crossing a BVF
+        // port; static: the full gate inventory leaks for the run.
+        std::uint64_t coded_bits = 0;
+        for (const auto &[unit, stats] : unitStats)
+            coded_bits += stats.reads.bits() + stats.writes.bits();
+        // Per-gate switching energy: published dynamic power at 700MHz
+        // with every gate toggling each cycle.
+        const double per_gate =
+            oh.dynamicPower / static_cast<double>(oh.xnorGates) / 700.0e6;
+        out.coderOverhead =
+            static_cast<double>(coded_bits) * per_gate
+                * (vdd_ * vdd_) / (1.2 * 1.2)
+            + oh.staticPower * seconds;
+    }
+    return out;
+}
+
+} // namespace bvf::power

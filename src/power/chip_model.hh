@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Chip-level power/energy model (GPUWattch-style).
+ *
+ * Composes:
+ *  - the BVF units (REG, SME, L1D/I/C/T, IFB, L2): dynamic energy from
+ *    per-bit cell energies x the accounted bit volumes, plus leakage
+ *    from occupancy-weighted hold power;
+ *  - the NoC: toggle-proportional link energy plus per-flit control;
+ *  - the non-BVF remainder (compute units, fetch/decode/issue, memory
+ *    controllers, clock tree): per-event energies from the simulator's
+ *    dynamic statistics plus a constant leakage floor.
+ *
+ * Constants are calibrated so the BVF-coverable units contribute ~48%
+ * of baseline chip energy, the share GPUWattch reports for on-chip SRAM
+ * + NoC on the Table 3 machine [paper Section 4].
+ */
+
+#ifndef BVF_POWER_CHIP_MODEL_HH
+#define BVF_POWER_CHIP_MODEL_HH
+
+#include <map>
+#include <memory>
+
+#include "circuit/array_model.hh"
+#include "coder/bvf_space.hh"
+#include "coder/scenario.hh"
+#include "gpu/gpu.hh"
+#include "sram/unit_energy.hh"
+
+namespace bvf::power
+{
+
+/** Per-event energies for the non-SRAM parts of the chip [J]. */
+struct NonSramEnergies
+{
+    double fpOp;
+    double intOp;
+    double issueOverhead; //!< fetch/decode/operand-collect per instruction
+    double loadStoreUnit; //!< per memory instruction
+    double mcRequest;     //!< per DRAM transaction
+    double nocPerToggle;  //!< per wire toggle
+    double nocPerFlit;    //!< per flit control/arbitration
+    double otherLeakage;  //!< non-SRAM chip leakage [W]
+
+    /** Calibrated defaults for a node at nominal voltage. */
+    static NonSramEnergies forNode(circuit::TechNode node);
+
+    /** Scale dynamic constants quadratically to @p vdd (from 1.2V). */
+    NonSramEnergies scaledTo(double vdd) const;
+};
+
+/** Energy breakdown of one scenario over a run [J]. */
+struct ChipEnergy
+{
+    std::map<coder::UnitId, sram::UnitEnergy> units;
+    double nocDynamic = 0.0;
+    double computeDynamic = 0.0;
+    double otherDynamic = 0.0;  //!< issue + LSU + MC
+    double otherLeakage = 0.0;
+    double coderOverhead = 0.0; //!< XNOR gates (non-baseline scenarios)
+
+    /** Energy of the BVF-coverable units (SRAM structures + NoC). */
+    double bvfUnitsTotal() const;
+
+    /** Whole-chip energy. */
+    double chipTotal() const;
+};
+
+/**
+ * Chip power model for one (technology node, supply, cell family)
+ * configuration.
+ */
+class ChipPowerModel
+{
+  public:
+    /**
+     * @param node process technology
+     * @param vdd supply voltage
+     * @param frequency core clock [Hz]
+     * @param cellKind SRAM cell family used for the BVF units
+     * @param config machine (capacities per unit)
+     */
+    ChipPowerModel(circuit::TechNode node, double vdd, double frequency,
+                   circuit::CellKind cellKind,
+                   const gpu::GpuConfig &config);
+
+    /** Capacity in bits of @p unit on this machine. */
+    std::uint64_t unitCapacityBits(coder::UnitId unit) const;
+
+    /** The circuit model backing @p unit. */
+    const circuit::ArrayModel &unitArray(coder::UnitId unit) const;
+
+    /**
+     * Evaluate one scenario.
+     *
+     * @param unitStats per-unit accounted statistics for the scenario
+     * @param nocToggles wire toggles for the scenario
+     * @param nocFlits flits transferred
+     * @param gpuStats dynamic instruction statistics
+     * @param applyCoderOverhead charge the XNOR coder power
+     */
+    ChipEnergy evaluate(
+        const std::map<coder::UnitId, sram::UnitScenarioStats> &unitStats,
+        std::uint64_t nocToggles, std::uint64_t nocFlits,
+        const gpu::GpuStats &gpuStats, bool applyCoderOverhead) const;
+
+    circuit::TechNode node() const { return node_; }
+    double vdd() const { return vdd_; }
+    circuit::CellKind cellKind() const { return cellKind_; }
+    const NonSramEnergies &nonSram() const { return energies_; }
+
+  private:
+    circuit::TechNode node_;
+    double vdd_;
+    double frequency_;
+    circuit::CellKind cellKind_;
+    const gpu::GpuConfig &config_;
+    NonSramEnergies energies_;
+    std::map<coder::UnitId, std::unique_ptr<circuit::ArrayModel>> arrays_;
+    std::map<coder::UnitId, std::uint64_t> capacities_;
+};
+
+} // namespace bvf::power
+
+#endif // BVF_POWER_CHIP_MODEL_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Coder overhead accounting.
+ */
+
+#include "power/overhead.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace bvf::power
+{
+
+namespace
+{
+
+/** Per-XNOR-gate figures by node (PDK-derived stand-ins). */
+struct GateFigures
+{
+    double area;         //!< layout area incl. wiring share [m^2]
+    double dynamicPower; //!< [W] toggling every cycle at 700MHz, 1.2V
+    double staticPower;  //!< [W]
+};
+
+GateFigures
+gateFigures(circuit::TechNode node)
+{
+    // Chosen so that the paper's 133,920-gate machine lands on its
+    // published totals: 0.207/0.294 mm^2, 46.5/60.5 mW dynamic and
+    // 18.7/24.2 uW static for 28nm/40nm.
+    if (node == circuit::TechNode::N28) {
+        return GateFigures{
+            .area = 0.207e-6 / 133920.0,
+            .dynamicPower = 46.5e-3 / 133920.0,
+            .staticPower = 18.7e-6 / 133920.0,
+        };
+    }
+    return GateFigures{
+        .area = 0.294e-6 / 133920.0,
+        .dynamicPower = 60.5e-3 / 133920.0,
+        .staticPower = 24.2e-6 / 133920.0,
+    };
+}
+
+} // namespace
+
+CoderOverhead
+coderOverhead(const gpu::GpuConfig &config, circuit::TechNode node)
+{
+    const auto sms = static_cast<std::uint64_t>(config.numSms);
+    const auto banks = static_cast<std::uint64_t>(config.l2Banks);
+
+    std::uint64_t gates = 0;
+
+    // NV coders: 31 XNORs per 32-bit word lane. Upper interface at the
+    // register ports (one warp-wide read/write port pair per SM: 2 ports
+    // x 32 lanes) plus shared-memory ports (32 lanes), lower interface
+    // at each MC/L2-bank port (line width / 32 bits).
+    const std::uint64_t line_words = config.lineBytes / 4;
+    gates += sms * (2 * 32 + 32) * 31;
+    gates += banks * line_words * 31 * 2; // bank in + out
+
+    // VS coders: 32 XNORs per non-pivot word. Register space: warp-wide
+    // port pair per SM (31 non-pivot lanes); cache space: line ports at
+    // L1D/L1T/L1C fill+read and both L2-bank sides.
+    gates += sms * 2 * 31 * 32;
+    gates += sms * 3 * (line_words - 1) * 32;
+    gates += banks * 2 * (line_words - 1) * 32;
+
+    // ISA coders: 64 XNORs per instruction port: IFB issue port per SM
+    // and the instruction-side MC port per bank.
+    gates += sms * 64;
+    gates += banks * 64;
+
+    const GateFigures fig = gateFigures(node);
+    CoderOverhead oh;
+    oh.xnorGates = gates;
+    oh.area = static_cast<double>(gates) * fig.area;
+    oh.dynamicPower = static_cast<double>(gates) * fig.dynamicPower;
+    oh.staticPower = static_cast<double>(gates) * fig.staticPower;
+    return oh;
+}
+
+CoderOverhead
+coderOverheadForNode(circuit::TechNode node)
+{
+    // The paper's fixed inventory on the Table 3 machine.
+    const GateFigures fig = gateFigures(node);
+    CoderOverhead oh;
+    oh.xnorGates = 133920;
+    oh.area = static_cast<double>(oh.xnorGates) * fig.area;
+    oh.dynamicPower = static_cast<double>(oh.xnorGates) * fig.dynamicPower;
+    oh.staticPower = static_cast<double>(oh.xnorGates) * fig.staticPower;
+    return oh;
+}
+
+double
+baselineDieArea()
+{
+    // GTX480-class die: ~529 mm^2; the paper reports the coder area as
+    // 0.056% of the baseline die.
+    return 529.0e-6;
+}
+
+} // namespace bvf::power

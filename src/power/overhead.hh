@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Coder design-overhead model (paper Section 6.3).
+ *
+ * The three coders are pure XNOR arrays: one gate per covered bit line
+ * at every BVF-space port. The paper counts 133,920 XNOR gates chip-wide
+ * and reports their area and power from the commercial PDKs; this module
+ * reproduces the gate inventory from the machine description and scales
+ * per-gate figures by node.
+ */
+
+#ifndef BVF_POWER_OVERHEAD_HH
+#define BVF_POWER_OVERHEAD_HH
+
+#include <cstdint>
+
+#include "circuit/technology.hh"
+#include "gpu/gpu_config.hh"
+
+namespace bvf::power
+{
+
+/** Chip-wide coder overhead summary. */
+struct CoderOverhead
+{
+    std::uint64_t xnorGates = 0;
+    double area = 0.0;         //!< [m^2], including wiring
+    double dynamicPower = 0.0; //!< [W] with every gate active each cycle
+    double staticPower = 0.0;  //!< [W]
+
+    /** Fraction of @p dieArea consumed. */
+    double
+    areaFraction(double dieArea) const
+    {
+        return dieArea > 0.0 ? area / dieArea : 0.0;
+    }
+};
+
+/**
+ * Count the XNOR gates the three coders need on @p config:
+ *  - NV: 31 gates per 32-bit word port (sign bit passes through);
+ *  - VS: 32 gates per non-pivot lane/element word at register and
+ *    cache-line ports;
+ *  - ISA: 64 gates per instruction port.
+ * Ports follow Figure 7: register read/write, shared-memory, L1 fill
+ * and MC-side interfaces per SM plus the L2-side interfaces per bank.
+ */
+CoderOverhead coderOverhead(const gpu::GpuConfig &config,
+                            circuit::TechNode node);
+
+/** The paper's fixed-machine overhead figures for @p node. */
+CoderOverhead coderOverheadForNode(circuit::TechNode node);
+
+/** Approximate die area of the baseline GPU [m^2] (for fractions). */
+double baselineDieArea();
+
+} // namespace bvf::power
+
+#endif // BVF_POWER_OVERHEAD_HH

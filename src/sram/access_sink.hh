@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Observation interface between the GPU behavioural model and the
+ * energy-accounting layer.
+ *
+ * The GPU simulator emits every access to a BVF unit through this
+ * interface with the raw (unencoded) data; implementations (the core
+ * layer's EnergyAccountant, test probes) apply per-scenario coder chains
+ * and collect bit statistics. This mirrors the paper's methodology of
+ * dumping access traces from GPGPU-Sim and parsing them offline -- here
+ * the "trace" is consumed online to avoid tens of GB of files.
+ */
+
+#ifndef BVF_SRAM_ACCESS_SINK_HH
+#define BVF_SRAM_ACCESS_SINK_HH
+
+#include <cstdint>
+#include <span>
+
+#include "coder/bvf_space.hh"
+#include "common/bitops.hh"
+
+namespace bvf::sram
+{
+
+/** Access direction. */
+enum class AccessType
+{
+    Read,
+    Write,
+};
+
+/** Receives every BVF-unit access with raw data. */
+class AccessSink
+{
+  public:
+    virtual ~AccessSink() = default;
+
+    /**
+     * A data-block access to an SRAM unit.
+     *
+     * @param unit which BVF unit was touched
+     * @param type read or write
+     * @param block raw data words (lane block or cache-line block)
+     * @param activeMask bit i set => word i is live (partial warps,
+     *        partial line transactions); low @c block.size() bits used
+     * @param cycle core clock at the access
+     */
+    virtual void onAccess(coder::UnitId unit, AccessType type,
+                          std::span<const Word> block,
+                          std::uint32_t activeMask,
+                          std::uint64_t cycle) = 0;
+
+    /**
+     * An instruction-stream access (IFB issue or L1I line fill).
+     *
+     * @param unit Ifb or L1I
+     * @param type read (fetch) or write (fill)
+     * @param instrs raw 64-bit instruction binaries
+     * @param cycle core clock at the access
+     */
+    virtual void onFetch(coder::UnitId unit, AccessType type,
+                         std::span<const Word64> instrs,
+                         std::uint64_t cycle) = 0;
+
+    /**
+     * One packet's payload crossing a NoC channel.
+     *
+     * Flits of one packet travel back to back on their channel, so
+     * packet-granular reporting is toggle-exact: implementations encode
+     * the payload as one block (the paper's per-line VS pivot) and then
+     * segment it into flits for wire-toggle accounting.
+     *
+     * @param channel global channel index (stable per physical link)
+     * @param payload raw packet payload words (line or store data)
+     * @param instrStream true when the packet carries instruction bits
+     * @param cycle interconnect clock at the transfer
+     */
+    virtual void onNocPacket(int channel, std::span<const Word> payload,
+                             bool instrStream, std::uint64_t cycle) = 0;
+};
+
+/** A sink that drops everything (for functional-only runs). */
+class NullSink : public AccessSink
+{
+  public:
+    void
+    onAccess(coder::UnitId, AccessType, std::span<const Word>,
+             std::uint32_t, std::uint64_t) override
+    {}
+
+    void
+    onFetch(coder::UnitId, AccessType, std::span<const Word64>,
+            std::uint64_t) override
+    {}
+
+    void
+    onNocPacket(int, std::span<const Word>, bool, std::uint64_t) override
+    {}
+};
+
+} // namespace bvf::sram
+
+#endif // BVF_SRAM_ACCESS_SINK_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit accounting implementation.
+ */
+
+#include "sram/unit_account.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::sram
+{
+
+UnitAccount::UnitAccount(coder::UnitId unit, std::uint64_t capacityBits)
+    : unit_(unit), capacityBits_(capacityBits)
+{
+    fatal_if(capacityBits == 0, "unit %s has zero capacity",
+             coder::unitName(unit).c_str());
+    // Untouched BVF cells are initialized to 1 (the paper exploits the
+    // cheap hold-1 state); the baseline powers up at 0. The stored
+    // fraction of *allocated* capacity starts at the same value.
+    for (const auto s : coder::allScenarios) {
+        live_[static_cast<std::size_t>(coder::scenarioIndex(s))]
+            .storedOnesFrac = initValue(s);
+    }
+}
+
+int
+UnitAccount::initValue(coder::Scenario s)
+{
+    return s == coder::Scenario::Baseline ? 0 : 1;
+}
+
+void
+UnitAccount::integrateTo(coder::Scenario s, std::uint64_t cycle)
+{
+    auto &ls = live_[static_cast<std::size_t>(coder::scenarioIndex(s))];
+    auto &st =
+        perScenario_[static_cast<std::size_t>(coder::scenarioIndex(s))];
+    if (cycle <= ls.lastCycle)
+        return;
+    const double dt = static_cast<double>(cycle - ls.lastCycle);
+    // Stored fraction over the whole capacity: allocated part holds the
+    // live estimate, untouched part holds the init value.
+    const double init = initValue(s);
+    const double frac = ls.allocatedFrac * ls.storedOnesFrac
+                        + (1.0 - ls.allocatedFrac) * init;
+    st.storedOnesFracCycles += frac * dt;
+    st.allocatedFracCycles += ls.allocatedFrac * dt;
+    ls.lastCycle = cycle;
+}
+
+void
+UnitAccount::recordRead(coder::Scenario s, std::uint64_t ones,
+                        std::uint64_t bits, std::uint64_t cycle)
+{
+    panic_if(ones > bits, "more ones than bits");
+    integrateTo(s, cycle);
+    auto &st =
+        perScenario_[static_cast<std::size_t>(coder::scenarioIndex(s))];
+    st.reads.ones += ones;
+    st.reads.zeros += bits - ones;
+    ++st.reads.accesses;
+}
+
+void
+UnitAccount::recordWrite(coder::Scenario s, std::uint64_t ones,
+                         std::uint64_t bits, std::uint64_t cycle)
+{
+    panic_if(ones > bits, "more ones than bits");
+    integrateTo(s, cycle);
+    auto &st =
+        perScenario_[static_cast<std::size_t>(coder::scenarioIndex(s))];
+    st.writes.ones += ones;
+    st.writes.zeros += bits - ones;
+    ++st.writes.accesses;
+
+    auto &ls = live_[static_cast<std::size_t>(coder::scenarioIndex(s))];
+    if (bits == 0)
+        return;
+    // Blend the stored-state estimate towards this write's 1-fraction,
+    // weighted by how much of the allocated capacity it replaces.
+    ls.bytesWritten += bits / 8;
+    const double cap = static_cast<double>(capacityBits_);
+    ls.allocatedFrac = std::min(
+        1.0, static_cast<double>(ls.bytesWritten) * 8.0 / cap);
+    const double write_frac =
+        static_cast<double>(ones) / static_cast<double>(bits);
+    const double weight =
+        std::min(1.0, static_cast<double>(bits)
+                          / (cap * std::max(0.02, ls.allocatedFrac)));
+    ls.storedOnesFrac =
+        ls.storedOnesFrac * (1.0 - weight) + write_frac * weight;
+}
+
+void
+UnitAccount::finalize(std::uint64_t endCycle)
+{
+    for (const auto s : coder::allScenarios)
+        integrateTo(s, endCycle);
+}
+
+} // namespace bvf::sram

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Per-unit, per-scenario access statistics and standby-state tracking.
+ *
+ * A UnitAccount receives already-encoded blocks (the core layer applies
+ * the scenario's coder chain first) and accumulates exactly the
+ * quantities the paper's trace parser computes: 0/1 bit volumes for
+ * reads and writes, and an occupancy-weighted estimate of the stored
+ * 1-bit fraction over time for standby-leakage evaluation.
+ *
+ * Stored-state tracking is an exponential estimate driven by write
+ * traffic (full per-scenario shadow copies of every SRAM would multiply
+ * simulation memory by the scenario count for no change in the paper's
+ * metrics). Unallocated capacity holds the initialization value --
+ * bit 0 for the baseline cell, bit 1 for BVF cells, which the paper
+ * initializes to 1 deliberately.
+ */
+
+#ifndef BVF_SRAM_UNIT_ACCOUNT_HH
+#define BVF_SRAM_UNIT_ACCOUNT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "coder/bvf_space.hh"
+#include "coder/scenario.hh"
+#include "common/stats.hh"
+
+namespace bvf::sram
+{
+
+/** Statistics for one unit under one scenario. */
+struct UnitScenarioStats
+{
+    BitStats reads;   //!< bits delivered by read ports
+    BitStats writes;  //!< bits absorbed by write ports
+
+    /** Time integral of the stored 1-fraction [fraction * cycles]. */
+    double storedOnesFracCycles = 0.0;
+
+    /** Time integral of the allocated fraction [fraction * cycles]. */
+    double allocatedFracCycles = 0.0;
+
+    /** Mean stored-1 fraction over [0, totalCycles]. */
+    double
+    meanStoredOnesFrac(std::uint64_t totalCycles) const
+    {
+        return totalCycles ? storedOnesFracCycles
+                                 / static_cast<double>(totalCycles)
+                           : 0.0;
+    }
+
+    double
+    meanAllocatedFrac(std::uint64_t totalCycles) const
+    {
+        return totalCycles ? allocatedFracCycles
+                                 / static_cast<double>(totalCycles)
+                           : 0.0;
+    }
+};
+
+/**
+ * Accounting state for one BVF unit across all scenarios.
+ */
+class UnitAccount
+{
+  public:
+    /**
+     * @param unit which unit this tracks
+     * @param capacityBits physical capacity (chip-wide total)
+     * @param initOnesFrac stored-1 fraction of untouched capacity per
+     *        scenario (baseline cells power up as 0, BVF cells as 1)
+     */
+    UnitAccount(coder::UnitId unit, std::uint64_t capacityBits);
+
+    coder::UnitId unit() const { return unit_; }
+    std::uint64_t capacityBits() const { return capacityBits_; }
+
+    /**
+     * Record an encoded read of @p ones 1-bits out of @p bits total.
+     */
+    void recordRead(coder::Scenario s, std::uint64_t ones,
+                    std::uint64_t bits, std::uint64_t cycle);
+
+    /**
+     * Record an encoded write; updates the stored-state estimate.
+     */
+    void recordWrite(coder::Scenario s, std::uint64_t ones,
+                     std::uint64_t bits, std::uint64_t cycle);
+
+    /** Integrate stored-state up to the end of simulation. */
+    void finalize(std::uint64_t endCycle);
+
+    const UnitScenarioStats &
+    stats(coder::Scenario s) const
+    {
+        return perScenario_[static_cast<std::size_t>(
+            coder::scenarioIndex(s))];
+    }
+
+    /** Initialization value of untouched cells for @p s (0 or 1). */
+    static int initValue(coder::Scenario s);
+
+  private:
+    void integrateTo(coder::Scenario s, std::uint64_t cycle);
+
+    coder::UnitId unit_;
+    std::uint64_t capacityBits_;
+
+    struct LiveState
+    {
+        double storedOnesFrac = 0.0;   //!< of allocated capacity
+        double allocatedFrac = 0.0;
+        std::uint64_t lastCycle = 0;
+        std::uint64_t bytesWritten = 0;
+    };
+
+    std::array<UnitScenarioStats, coder::numScenarios> perScenario_;
+    std::array<LiveState, coder::numScenarios> live_;
+};
+
+} // namespace bvf::sram
+
+#endif // BVF_SRAM_UNIT_ACCOUNT_HH

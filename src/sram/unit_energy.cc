@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Unit energy evaluation.
+ */
+
+#include "sram/unit_energy.hh"
+
+namespace bvf::sram
+{
+
+UnitEnergy
+evaluateUnitEnergy(const UnitScenarioStats &stats,
+                   const circuit::ArrayModel &array,
+                   std::uint64_t capacityBits, std::uint64_t totalCycles,
+                   double clockPeriod)
+{
+    UnitEnergy e;
+
+    e.readDynamic =
+        static_cast<double>(stats.reads.ones) * array.bitReadEnergy(1)
+        + static_cast<double>(stats.reads.zeros) * array.bitReadEnergy(0);
+    e.writeDynamic =
+        static_cast<double>(stats.writes.ones) * array.bitWriteEnergy(1)
+        + static_cast<double>(stats.writes.zeros)
+              * array.bitWriteEnergy(0);
+
+    const double word_bits = array.geometry().wordBits();
+    const double read_words =
+        static_cast<double>(stats.reads.bits()) / word_bits;
+    const double write_words =
+        static_cast<double>(stats.writes.bits()) / word_bits;
+    e.fixedDynamic =
+        (read_words + write_words) * array.fixedAccessEnergy();
+
+    const double seconds =
+        static_cast<double>(totalCycles) * clockPeriod;
+    const double ones_frac = stats.meanStoredOnesFrac(totalCycles);
+    const double leak_per_bit =
+        ones_frac * array.bitHoldLeakage(1)
+        + (1.0 - ones_frac) * array.bitHoldLeakage(0);
+    e.standby = static_cast<double>(capacityBits) * leak_per_bit * seconds;
+
+    return e;
+}
+
+} // namespace bvf::sram

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Turning unit access statistics into energy.
+ *
+ * Combines a UnitAccount's bit volumes with a circuit-level ArrayModel
+ * to produce dynamic read/write energy, NoC-independent standby energy,
+ * and the fixed per-access overheads. This is the point where the BVF
+ * cell's value asymmetry meets the architecture's bit statistics.
+ */
+
+#ifndef BVF_SRAM_UNIT_ENERGY_HH
+#define BVF_SRAM_UNIT_ENERGY_HH
+
+#include "circuit/array_model.hh"
+#include "sram/unit_account.hh"
+
+namespace bvf::sram
+{
+
+/** Energy breakdown of one unit under one scenario [J]. */
+struct UnitEnergy
+{
+    double readDynamic = 0.0;
+    double writeDynamic = 0.0;
+    double fixedDynamic = 0.0; //!< decode/wordline/H-tree overheads
+    double standby = 0.0;      //!< leakage over the run
+
+    double
+    total() const
+    {
+        return readDynamic + writeDynamic + fixedDynamic + standby;
+    }
+};
+
+/**
+ * Evaluate @p stats against @p array.
+ *
+ * @param stats per-scenario statistics (already encoded bits)
+ * @param array circuit model of the unit's banks
+ * @param totalCycles simulated core cycles
+ * @param clockPeriod seconds per cycle (for leakage integration)
+ */
+UnitEnergy evaluateUnitEnergy(const UnitScenarioStats &stats,
+                              const circuit::ArrayModel &array,
+                              std::uint64_t capacityBits,
+                              std::uint64_t totalCycles,
+                              double clockPeriod);
+
+} // namespace bvf::sram
+
+#endif // BVF_SRAM_UNIT_ENERGY_HH

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Kernel builder implementation.
+ *
+ * Register convention used by generated code:
+ *   r1..r3   special values (lane/cta/ntid)
+ *   r4       global element index
+ *   r5       byte offset of this thread's current element
+ *   r6..r9   array base addresses (64KB-aligned, so a MOV+SHL pair
+ *            materializes them)
+ *   r10      loop counter
+ *   r11      per-iteration byte-offset advance
+ *   r12..r15 address/hash temporaries
+ *   r16..r23 loaded data
+ *   r24..r27 accumulators
+ */
+
+#include "workload/kernel_builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bvf::workload
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+using isa::SpecialReg;
+using isa::CmpOp;
+
+namespace
+{
+
+/** Minimum array slot size; bases stay 64KB-aligned. */
+constexpr std::uint32_t minArraySlotBytes = 0x10000; // 64KB
+
+/** Incremental program emitter with branch-target convenience. */
+class Emitter
+{
+  public:
+    int
+    emit(Instruction instr)
+    {
+        body_.push_back(instr);
+        return static_cast<int>(body_.size()) - 1;
+    }
+
+    Instruction &at(int idx) { return body_[static_cast<std::size_t>(idx)]; }
+
+    int next() const { return static_cast<int>(body_.size()); }
+
+    std::vector<Instruction> take() { return std::move(body_); }
+
+    // --- helpers for common shapes -----------------------------------
+
+    void
+    s2r(int dst, SpecialReg sr)
+    {
+        Instruction i;
+        i.op = Opcode::S2R;
+        i.dst = static_cast<std::uint8_t>(dst);
+        i.flags = static_cast<std::uint8_t>(sr);
+        emit(i);
+    }
+
+    void
+    movImm(int dst, int imm)
+    {
+        Instruction i;
+        i.op = Opcode::Mov;
+        i.dst = static_cast<std::uint8_t>(dst);
+        i.immB = true;
+        i.imm = imm;
+        emit(i);
+    }
+
+    void
+    alu(Opcode op, int dst, int a, int b)
+    {
+        Instruction i;
+        i.op = op;
+        i.dst = static_cast<std::uint8_t>(dst);
+        i.srcA = static_cast<std::uint8_t>(a);
+        i.srcB = static_cast<std::uint8_t>(b);
+        emit(i);
+    }
+
+    void
+    aluImm(Opcode op, int dst, int a, int imm)
+    {
+        Instruction i;
+        i.op = op;
+        i.dst = static_cast<std::uint8_t>(dst);
+        i.srcA = static_cast<std::uint8_t>(a);
+        i.immB = true;
+        i.imm = imm;
+        emit(i);
+    }
+
+    /** Materialize a 64KB-aligned 32-bit constant: MOV hi; SHL 16. */
+    void
+    materializeAligned(int dst, std::uint32_t value)
+    {
+        panic_if(value & 0xffffu, "constant must be 64KB aligned");
+        movImm(dst, static_cast<int>(value >> 16));
+        aluImm(Opcode::Shl, dst, dst, 16);
+    }
+
+    void
+    load(Opcode op, int dst, int addrReg, int offset)
+    {
+        Instruction i;
+        i.op = op;
+        i.dst = static_cast<std::uint8_t>(dst);
+        i.srcA = static_cast<std::uint8_t>(addrReg);
+        i.imm = offset;
+        emit(i);
+    }
+
+    void
+    store(Opcode op, int addrReg, int dataReg, int offset)
+    {
+        Instruction i;
+        i.op = op;
+        i.srcA = static_cast<std::uint8_t>(addrReg);
+        i.srcB = static_cast<std::uint8_t>(dataReg);
+        i.imm = offset;
+        emit(i);
+    }
+
+    void
+    setp(int predIdx, CmpOp cmp, int a, int b)
+    {
+        Instruction i;
+        i.op = Opcode::SetP;
+        i.dst = static_cast<std::uint8_t>(predIdx);
+        i.srcA = static_cast<std::uint8_t>(a);
+        i.srcB = static_cast<std::uint8_t>(b);
+        i.flags = static_cast<std::uint8_t>(cmp);
+        emit(i);
+    }
+
+    void
+    setpImm(int predIdx, CmpOp cmp, int a, int imm)
+    {
+        Instruction i;
+        i.op = Opcode::SetP;
+        i.dst = static_cast<std::uint8_t>(predIdx);
+        i.srcA = static_cast<std::uint8_t>(a);
+        i.immB = true;
+        i.imm = imm;
+        i.flags = static_cast<std::uint8_t>(cmp);
+        emit(i);
+    }
+
+    /** Predicated branch; target/reconv patched later if needed. */
+    int
+    bra(int predIdx, bool negate, int target, int reconv)
+    {
+        Instruction i;
+        i.op = Opcode::Bra;
+        i.pred = static_cast<std::uint8_t>(predIdx);
+        i.predNegate = negate;
+        i.imm = target;
+        i.reconv = reconv;
+        return emit(i);
+    }
+
+  private:
+    std::vector<Instruction> body_;
+};
+
+/** Round @p n up to the next power of two. */
+std::uint32_t
+nextPow2(std::uint32_t n)
+{
+    std::uint32_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+KernelBuilder::KernelBuilder(const AppSpec &spec) : spec_(spec)
+{
+    fatal_if(spec.blockThreads % 32 != 0,
+             "blockThreads must be a warp multiple");
+    fatal_if(spec.gridBlocks <= 0 || spec.loopIters <= 0,
+             "launch geometry must be positive");
+}
+
+Program
+KernelBuilder::build() const
+{
+    Program prog;
+    prog.name = spec_.name;
+    prog.launch.gridBlocks = spec_.gridBlocks;
+    prog.launch.blockThreads = spec_.blockThreads;
+
+    const int total_threads = prog.launch.totalThreads();
+    const std::uint32_t elems_per_array = nextPow2(
+        static_cast<std::uint32_t>(total_threads * spec_.loopIters));
+    // Power-of-two slot sized to the arrays keeps every base 64KB
+    // aligned (so a MOV+SHL pair materializes it) at any launch scale.
+    const std::uint32_t arraySlotBytes =
+        std::max(minArraySlotBytes, nextPow2(elems_per_array * 4));
+
+    // One input array per global load (capped by the register
+    // convention -- extra loads round-robin over the arrays), plus one
+    // output array.
+    const int num_inputs =
+        std::clamp(spec_.mix.globalLoads, 1, 4);
+    const int num_arrays = num_inputs + 1;
+
+    Rng rng(spec_.seed());
+    ValueModel values(spec_.values, rng.nextU64());
+
+    // ---- memory images ----------------------------------------------
+    const std::size_t words_per_slot = arraySlotBytes / 4;
+    prog.global.assign(words_per_slot * static_cast<std::size_t>(num_arrays),
+                       0);
+    for (int a = 0; a < num_inputs; ++a) {
+        std::vector<Word> img;
+        values.fillImage(img, elems_per_array);
+        std::copy(img.begin(), img.end(),
+                  prog.global.begin()
+                      + static_cast<std::ptrdiff_t>(words_per_slot
+                                                    * static_cast<std::size_t>(a)));
+    }
+    // Output slot (last) stays zero: first-writes dominate.
+
+    if (spec_.mix.constantLoads > 0) {
+        values.fillImage(prog.constants, 2048);
+    }
+    if (spec_.mix.textureLoads > 0) {
+        values.fillImage(prog.texture, elems_per_array);
+    }
+    if (spec_.mix.sharedOps > 0) {
+        prog.sharedBytesPerBlock =
+            static_cast<std::uint32_t>(spec_.blockThreads) * 8;
+    }
+
+    // ---- code generation --------------------------------------------
+    Emitter e;
+
+    // Prologue: global index and byte offset.
+    e.s2r(1, SpecialReg::TidX);
+    e.s2r(2, SpecialReg::CtaIdX);
+    e.s2r(3, SpecialReg::NTidX);
+    e.alu(Opcode::Mov, 4, 0, 1);     // r4 = tid
+    e.alu(Opcode::IMad, 4, 2, 3);    // r4 += ctaid * ntid
+    e.aluImm(Opcode::Shl, 5, 4, 2);  // r5 = r4 * 4 (byte offset)
+    if (spec_.pattern == AccessPattern::Strided) {
+        const int log_stride = std::max(
+            1, 31 - leadingZeros(static_cast<Word>(spec_.stride)));
+        e.aluImm(Opcode::Shl, 5, 5, log_stride);
+        // Keep strided offsets inside the slot.
+        e.aluImm(Opcode::And, 5, 5,
+                 static_cast<int>((elems_per_array * 4 - 1) & 0x7fff));
+    }
+
+    // Array bases: inputs in r6..r9, output reuses r12 when needed.
+    std::vector<int> base_regs;
+    for (int a = 0; a < num_inputs && a < 4; ++a) {
+        const int reg = 6 + a;
+        e.materializeAligned(
+            reg, isa::globalSegmentBase
+                     + static_cast<std::uint32_t>(a) * arraySlotBytes);
+        base_regs.push_back(reg);
+    }
+    const std::uint32_t out_base =
+        isa::globalSegmentBase
+        + static_cast<std::uint32_t>(num_inputs) * arraySlotBytes;
+
+    // Hash constant for random access patterns (Knuth multiplicative).
+    if (spec_.pattern == AccessPattern::Random)
+        e.materializeAligned(15, 0x61c80000u);
+
+    e.movImm(10, 0); // loop counter
+    e.movImm(11, total_threads * 4); // per-iteration advance
+    e.movImm(24, 0); // accumulator
+    e.alu(Opcode::Mov, 25, 0, 4); // second accumulator seeded with index
+    // Fixed per-thread output offset: every thread owns one output
+    // word, so results are scheduler-independent (the streaming offset
+    // r5 wraps and would alias across threads).
+    e.aluImm(Opcode::Shl, 28, 4, 2);
+
+    const int loop_start = e.next();
+
+    // Random accesses are confined to a frontier-sized window (real
+    // irregular kernels have working-set locality; unbounded randomness
+    // would serialize the run on DRAM and say nothing about coding).
+    const std::uint32_t random_window =
+        std::min<std::uint32_t>(elems_per_array, 16384);
+
+    // Resolve the per-lane address into r12 for input array @p a.
+    // Random patterns hash 8-lane clusters (gather codes fetch
+    // neighbour runs, not 32 unrelated lines) and add the lane offset
+    // within the cluster, giving realistic memory divergence of a few
+    // lines per warp access.
+    auto emit_address = [&](int base_reg) {
+        if (spec_.pattern == AccessPattern::Random) {
+            const int log_clusters =
+                static_cast<int>(31 - leadingZeros(random_window)) - 3;
+            e.aluImm(Opcode::Shr, 12, 4, 3);   // cluster id
+            e.alu(Opcode::IMul, 12, 12, 15);   // hash
+            e.aluImm(Opcode::Shr, 12, 12, 32 - log_clusters);
+            e.aluImm(Opcode::Shl, 12, 12, 5);  // 8 elems * 4B
+            e.aluImm(Opcode::And, 13, 4, 7);   // lane within cluster
+            e.aluImm(Opcode::Shl, 13, 13, 2);
+            e.alu(Opcode::IAdd, 12, 12, 13);
+            e.alu(Opcode::IAdd, 12, 12, base_reg);
+        } else {
+            e.alu(Opcode::IAdd, 12, 5, base_reg);
+        }
+    };
+
+    // Global loads into r16..r23.
+    int next_data = 16;
+    std::vector<int> data_regs;
+    for (int l = 0; l < spec_.mix.globalLoads; ++l) {
+        emit_address(base_regs[static_cast<std::size_t>(
+            l % static_cast<int>(base_regs.size()))]);
+        const int dreg = next_data < 23 ? next_data++ : 23;
+        e.load(Opcode::Ldg, dreg, 12, 0);
+        data_regs.push_back(dreg);
+    }
+
+    // Constant / texture loads.
+    for (int c = 0; c < spec_.mix.constantLoads; ++c) {
+        e.aluImm(Opcode::And, 13, 4, 0x1ffc);
+        const int dreg = next_data < 23 ? next_data++ : 23;
+        e.load(Opcode::Ldc, dreg, 13, c * 4);
+        data_regs.push_back(dreg);
+    }
+    for (int t = 0; t < spec_.mix.textureLoads; ++t) {
+        e.aluImm(Opcode::And, 13, 5,
+                 static_cast<int>((elems_per_array * 4 - 1) & 0x7ffc));
+        const int dreg = next_data < 23 ? next_data++ : 23;
+        e.load(Opcode::Ldt, dreg, 13, 0);
+        data_regs.push_back(dreg);
+    }
+
+    if (data_regs.empty())
+        data_regs.push_back(25);
+
+    // Shared-memory staging: store a datum, barrier, load a rotated
+    // one. A trailing barrier closes the classic produce/consume window
+    // so the next iteration's stores cannot race this iteration's loads
+    // (results must not depend on warp scheduling).
+    if (spec_.mix.sharedOps > 0) {
+        e.aluImm(Opcode::Shl, 14, 1, 2); // smem addr = tid * 4
+        for (int s = 0; s < spec_.mix.sharedOps; ++s) {
+            e.store(Opcode::Sts, 14,
+                    data_regs[static_cast<std::size_t>(
+                        s % static_cast<int>(data_regs.size()))], 0);
+            Instruction barrier;
+            barrier.op = Opcode::Bar;
+            e.emit(barrier);
+            e.load(Opcode::Lds, 26, 14, 4);
+            e.alu(Opcode::Xor, 25, 25, 26);
+            e.emit(barrier);
+        }
+    }
+
+    // Arithmetic chain.
+    for (int f = 0; f < spec_.mix.fpOps; ++f) {
+        const int a = data_regs[static_cast<std::size_t>(
+            f % static_cast<int>(data_regs.size()))];
+        const int b = data_regs[static_cast<std::size_t>(
+            (f + 1) % static_cast<int>(data_regs.size()))];
+        switch (f % 3) {
+          case 0:
+            e.alu(Opcode::Ffma, 24, a, b);
+            break;
+          case 1:
+            e.alu(Opcode::Fadd, 24, 24, a);
+            break;
+          default:
+            e.alu(Opcode::Fmul, 24, 24, b);
+            break;
+        }
+    }
+    for (int k = 0; k < spec_.mix.intOps; ++k) {
+        const int a = data_regs[static_cast<std::size_t>(
+            k % static_cast<int>(data_regs.size()))];
+        switch (k % 4) {
+          case 0:
+            e.alu(Opcode::IAdd, 25, 25, a);
+            break;
+          case 1:
+            e.alu(Opcode::Xor, 25, 25, a);
+            break;
+          case 2:
+            e.aluImm(Opcode::Shr, 27, a, 3);
+            e.alu(Opcode::IAdd, 25, 25, 27);
+            break;
+          default:
+            e.alu(Opcode::Max, 25, 25, a);
+            break;
+        }
+    }
+
+    // Data-dependent divergence: lanes with odd data skip extra work.
+    if (rng.nextBool(std::min(1.0, spec_.divergenceProb * 2.0))) {
+        const int dreg = data_regs[0];
+        e.aluImm(Opcode::And, 27, dreg, 1);
+        e.setpImm(1, CmpOp::Ne, 27, 0);
+        const int bra_idx = e.bra(1, false, 0, 0);
+        // Extra (skipped) work.
+        e.alu(Opcode::Ffma, 24, 24, dreg);
+        e.alu(Opcode::IAdd, 25, 25, dreg);
+        const int join = e.next();
+        e.at(bra_idx).imm = join;
+        e.at(bra_idx).reconv = join;
+    }
+
+    // Stores to the output array.
+    // Each store lands in its own thread-private slot: slot s of the
+    // output array is offset by s grid-widths (r11 = grid bytes).
+    const int result_regs[2] = {24, 25};
+    e.materializeAligned(13, out_base);
+    e.alu(Opcode::IAdd, 13, 13, 28);
+    for (int s = 0; s < std::max(1, spec_.mix.globalStores); ++s) {
+        if (s > 0)
+            e.alu(Opcode::IAdd, 13, 13, 11);
+        e.store(Opcode::Stg, 13, result_regs[s % 2], 0);
+    }
+
+    // Loop control: advance offset, test, branch back (warp-uniform).
+    e.alu(Opcode::IAdd, 5, 5, 11);
+    e.aluImm(Opcode::And, 5, 5,
+             static_cast<int>((elems_per_array * 4 - 1) & 0x7ffc));
+    e.aluImm(Opcode::IAdd, 10, 10, 1);
+    e.setpImm(2, CmpOp::Lt, 10, spec_.loopIters);
+    const int back = e.bra(2, false, loop_start, 0);
+    e.at(back).reconv = e.next();
+
+    Instruction exit;
+    exit.op = Opcode::Exit;
+    e.emit(exit);
+
+    prog.body = e.take();
+    return prog;
+}
+
+isa::Program
+buildProgram(const AppSpec &spec)
+{
+    return KernelBuilder(spec).build();
+}
+
+} // namespace bvf::workload

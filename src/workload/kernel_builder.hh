@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Kernel synthesis: AppSpec -> runnable isa::Program.
+ *
+ * The generated kernels follow the canonical data-parallel shape --
+ * compute a global index, loop over tiles, load inputs, run an
+ * arithmetic chain, optionally stage through shared memory, optionally
+ * diverge on a data-dependent condition, store results -- with the
+ * instruction mix, access pattern and value statistics of the AppSpec.
+ * Memory images are filled by the app's ValueModel so that coalesced
+ * warps observe lane-correlated data.
+ */
+
+#ifndef BVF_WORKLOAD_KERNEL_BUILDER_HH
+#define BVF_WORKLOAD_KERNEL_BUILDER_HH
+
+#include "isa/program.hh"
+#include "workload/app_spec.hh"
+
+namespace bvf::workload
+{
+
+/** Builds the program for one application. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(const AppSpec &spec);
+
+    /**
+     * Generate the kernel and its memory images. Deterministic: equal
+     * specs produce identical programs.
+     */
+    isa::Program build() const;
+
+  private:
+    const AppSpec &spec_;
+};
+
+/** Convenience: build the program for @p spec. */
+isa::Program buildProgram(const AppSpec &spec);
+
+} // namespace bvf::workload
+
+#endif // BVF_WORKLOAD_KERNEL_BUILDER_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Value-model implementation.
+ */
+
+#include "workload/value_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace bvf::workload
+{
+
+ValueModel::ValueModel(const ValueProfile &profile, std::uint64_t seed)
+    : profile_(profile), rng_(seed)
+{
+    fatal_if(profile.pivotCentre < 0 || profile.pivotCentre >= warpWidth,
+             "pivot centre %d outside a warp", profile.pivotCentre);
+}
+
+Word
+ValueModel::narrowInt()
+{
+    // Magnitude with a geometric number of effective bits: most values
+    // are narrow (over-provisioned types, indices, counters, flags).
+    const int bits = 1 + rng_.nextGeometric(profile_.narrowGeomP,
+                                            profile_.maxEffectiveBits - 1);
+    Word magnitude = static_cast<Word>(
+        rng_.nextBounded(Word64(1) << bits));
+    if (magnitude == 0)
+        magnitude = 1;
+    if (rng_.nextBool(profile_.negativeProb))
+        return static_cast<Word>(-static_cast<std::int32_t>(magnitude));
+    return magnitude;
+}
+
+Word
+ValueModel::narrowFloat()
+{
+    // fp32 values with modest exponent spread and a narrow mantissa:
+    // data converted from integers or normalized sensor ranges carries
+    // few significant bits.
+    const int exp_offset = static_cast<int>(
+        std::lround(rng_.nextGaussian() * profile_.floatExponentSpread));
+    const int exponent = 127 + std::clamp(exp_offset, -30, 30);
+    const int mant_bits = rng_.nextGeometric(0.05, 23);
+    const Word mantissa = static_cast<Word>(
+        rng_.nextBounded(Word64(1) << mant_bits))
+        << (23 - mant_bits);
+    const Word sign = rng_.nextBool(profile_.negativeProb)
+                          ? 0x80000000u : 0u;
+    return sign | (static_cast<Word>(exponent) << 23) | mantissa;
+}
+
+Word
+ValueModel::scalar()
+{
+    if (rng_.nextBool(profile_.zeroValueProb))
+        return 0;
+    if (rng_.nextBool(profile_.floatFraction))
+        return narrowFloat();
+    return narrowInt();
+}
+
+double
+ValueModel::laneWeight(int lane) const
+{
+    // Deltas grow with distance from the stability centre; lane 0 (and
+    // to a lesser degree lane 31) carries boundary work.
+    const double dist = std::abs(lane - profile_.pivotCentre)
+                        / static_cast<double>(warpWidth - 1);
+    return 1.0 + profile_.edgePenalty * 4.0 * dist;
+}
+
+std::array<Word, warpWidth>
+ValueModel::tile()
+{
+    std::array<Word, warpWidth> out;
+    const Word base = scalar();
+    for (int lane = 0; lane < warpWidth; ++lane) {
+        if (rng_.nextBool(profile_.laneOutlierProb)) {
+            // Divergent lane: unrelated value.
+            out[static_cast<std::size_t>(lane)] = scalar();
+            continue;
+        }
+        if (base == 0) {
+            // Sparse regions are sparse across the whole tile: zero
+            // pages, zero-initialized buffers and padded halos produce
+            // runs of exact zeros, which is what makes the NV coder's
+            // all-1 words stable across consecutive NoC flits.
+            out[static_cast<std::size_t>(lane)] =
+                rng_.nextBool(0.12) ? scalar() : 0;
+            continue;
+        }
+        if (rng_.nextBool(profile_.laneEqualProb)) {
+            // Exact value repetition: XNOR against the pivot pins these
+            // words at all-1s, independent of what the base value does
+            // from tile to tile.
+            out[static_cast<std::size_t>(lane)] = base;
+            continue;
+        }
+        // Perturb the base in its low bits; width scaled by lane weight.
+        const double w = laneWeight(lane);
+        const int delta_bits = std::min<int>(
+            profile_.maxDeltaBits,
+            static_cast<int>(std::lround(
+                w * (1 + rng_.nextGeometric(profile_.laneDeltaP,
+                                            profile_.maxDeltaBits - 1)))));
+        const Word delta = static_cast<Word>(
+            rng_.nextBounded(Word64(1) << delta_bits));
+        out[static_cast<std::size_t>(lane)] = base ^ delta;
+    }
+    return out;
+}
+
+void
+ValueModel::fillImage(std::vector<Word> &out, std::size_t words)
+{
+    out.clear();
+    out.reserve(words);
+    while (out.size() + warpWidth <= words) {
+        const auto t = tile();
+        out.insert(out.end(), t.begin(), t.end());
+    }
+    while (out.size() < words)
+        out.push_back(scalar());
+}
+
+} // namespace bvf::workload

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic data-value generation.
+ *
+ * The coders' benefit depends entirely on the bit-level statistics of
+ * application data: how many values are exactly zero, how narrow the
+ * non-zero values are (leading-zero runs), how similar neighbouring
+ * SIMD lanes are, and the integer/floating-point mix. We have no CUDA
+ * binaries or GPU hardware, so this module generates value streams whose
+ * statistics are calibrated to the paper's published profiling of 58
+ * applications on a Tesla P100 (Figures 8, 9, 11 and 12):
+ *
+ *  - ~9/32 mean sign-adjusted leading zeros,
+ *  - ~22/32 mean zero bits per word,
+ *  - lane 21 as the mean-optimal Hamming pivot (~20% below lane 0).
+ *
+ * The lane-similarity model generates a per-warp-tile base value plus
+ * per-lane deltas whose magnitude grows with the lane's distance from a
+ * "stability centre" (default 21): lanes near the warp edges diverge
+ * more (boundary handling, partial tiles), exactly the paper's
+ * explanation for why lane 0 is a poor pivot.
+ */
+
+#ifndef BVF_WORKLOAD_VALUE_MODEL_HH
+#define BVF_WORKLOAD_VALUE_MODEL_HH
+
+#include <array>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace bvf::workload
+{
+
+/** Number of lanes in a warp / elements in a similarity tile. */
+constexpr int warpWidth = 32;
+
+/** Parameters describing one application's value behaviour. */
+struct ValueProfile
+{
+    double zeroValueProb = 0.25;   //!< P(word == 0)
+    double negativeProb = 0.08;    //!< P(value negative | non-zero int)
+    double floatFraction = 0.35;   //!< fraction of fp32 bit patterns
+    double narrowGeomP = 0.012;     //!< geometric p for int effective bits
+    int maxEffectiveBits = 30;     //!< cap on int magnitude bits
+    double laneEqualProb = 0.42;   //!< P(lane == tile base exactly);
+                                   //!< value locality/similarity per
+                                   //!< Wong et al. (~34% locality plus
+                                   //!< broadcast operands)
+    double laneDeltaP = 0.45;      //!< geometric p for lane-delta bits
+    int maxDeltaBits = 16;         //!< cap on per-lane delta bits
+    double laneOutlierProb = 0.06; //!< P(lane ignores the tile base)
+    int pivotCentre = 21;          //!< lane with minimum expected delta
+    double edgePenalty = 0.55;     //!< how strongly deltas grow off-centre
+
+    /** fp32 exponent spread around 2^0 (stddev of exponent offset). */
+    double floatExponentSpread = 3.0;
+};
+
+/**
+ * Value generator for one application, deterministic per seed.
+ */
+class ValueModel
+{
+  public:
+    ValueModel(const ValueProfile &profile, std::uint64_t seed);
+
+    /** One scalar word following the marginal distribution. */
+    Word scalar();
+
+    /**
+     * A 32-element tile of lane-correlated values, e.g. the contents of
+     * one warp-wide register or 32 consecutive array elements touched by
+     * a coalesced access.
+     */
+    std::array<Word, warpWidth> tile();
+
+    /**
+     * Fill @p out with @p words values arranged as consecutive tiles
+     * (tail shorter than a tile falls back to scalars). Used to build
+     * memory images so coalesced warps see lane-correlated data.
+     */
+    void fillImage(std::vector<Word> &out, std::size_t words);
+
+    const ValueProfile &profile() const { return profile_; }
+
+  private:
+    Word narrowInt();
+    Word narrowFloat();
+
+    /** Expected delta scale multiplier for @p lane. */
+    double laneWeight(int lane) const;
+
+    ValueProfile profile_;
+    Rng rng_;
+};
+
+} // namespace bvf::workload
+
+#endif // BVF_WORKLOAD_VALUE_MODEL_HH

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the multi-scenario energy accountant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accountant.hh"
+
+namespace bvf::core
+{
+namespace
+{
+
+using coder::Scenario;
+using coder::UnitId;
+using sram::AccessType;
+
+std::map<UnitId, std::uint64_t>
+tinyCapacities()
+{
+    std::map<UnitId, std::uint64_t> caps;
+    for (const auto unit : coder::allUnits()) {
+        if (unit != UnitId::Noc)
+            caps[unit] = 1 << 20;
+    }
+    return caps;
+}
+
+TEST(Accountant, BaselineCountsRawBits)
+{
+    EnergyAccountant acc(tinyCapacities());
+    const std::vector<Word> block = {0x0000000fu, 0xf0000000u};
+    acc.onAccess(UnitId::L1D, AccessType::Read, block, 0x3, 1);
+    const auto &stats =
+        acc.unitAccount(UnitId::L1D).stats(Scenario::Baseline);
+    EXPECT_EQ(stats.reads.ones, 8u);
+    EXPECT_EQ(stats.reads.zeros, 56u);
+}
+
+TEST(Accountant, ActiveMaskGatesAccounting)
+{
+    EnergyAccountant acc(tinyCapacities());
+    const std::vector<Word> block = {0xffffffffu, 0xffffffffu,
+                                     0xffffffffu};
+    acc.onAccess(UnitId::Reg, AccessType::Write, block, 0x5, 1);
+    const auto &stats =
+        acc.unitAccount(UnitId::Reg).stats(Scenario::Baseline);
+    EXPECT_EQ(stats.writes.bits(), 64u); // lanes 0 and 2 only
+    EXPECT_EQ(stats.writes.ones, 64u);
+}
+
+TEST(Accountant, NvScenarioFlipsPositiveData)
+{
+    EnergyAccountant acc(tinyCapacities());
+    const std::vector<Word> block = {0x00000001u};
+    acc.onAccess(UnitId::L1D, AccessType::Read, block, 0x1, 1);
+    const auto &acct = acc.unitAccount(UnitId::L1D);
+    EXPECT_EQ(acct.stats(Scenario::Baseline).reads.ones, 1u);
+    // NV: sign 0 kept, the other 31 bits flip -> 30 ones.
+    EXPECT_EQ(acct.stats(Scenario::NvOnly).reads.ones, 30u);
+}
+
+TEST(Accountant, VsUsesLanePivotAtRegisters)
+{
+    EnergyAccountant acc(tinyCapacities());
+    std::vector<Word> block(32, 0x12345678u);
+    acc.onAccess(UnitId::Reg, AccessType::Read, block, 0xffffffffu, 1);
+    const auto &acct = acc.unitAccount(UnitId::Reg);
+    // 31 identical non-pivot lanes -> 31 * 32 ones + pivot's own weight.
+    const auto vs_ones = acct.stats(Scenario::VsOnly).reads.ones;
+    EXPECT_EQ(vs_ones,
+              31u * 32u
+                  + static_cast<std::uint64_t>(
+                      hammingWeight(0x12345678u)));
+}
+
+TEST(Accountant, SmeHasNoVsCoder)
+{
+    // Table 1: shared memory is not in any VS space.
+    EnergyAccountant acc(tinyCapacities());
+    std::vector<Word> block(32, 0x0fu);
+    acc.onAccess(UnitId::Sme, AccessType::Read, block, 0xffffffffu, 1);
+    const auto &acct = acc.unitAccount(UnitId::Sme);
+    EXPECT_EQ(acct.stats(Scenario::VsOnly).reads.ones,
+              acct.stats(Scenario::Baseline).reads.ones);
+    // But NV covers SME.
+    EXPECT_GT(acct.stats(Scenario::NvOnly).reads.ones,
+              acct.stats(Scenario::Baseline).reads.ones);
+}
+
+TEST(Accountant, FetchUsesIsaMask)
+{
+    AccountantOptions opts;
+    opts.arch = isa::GpuArch::Pascal;
+    EnergyAccountant acc(tinyCapacities(), opts);
+    // An instruction equal to the mask encodes to all ones.
+    const std::vector<Word64> instrs = {acc.isaMask()};
+    acc.onFetch(UnitId::L1I, AccessType::Read, instrs, 1);
+    const auto &acct = acc.unitAccount(UnitId::L1I);
+    EXPECT_EQ(acct.stats(Scenario::IsaOnly).reads.ones, 64u);
+    EXPECT_EQ(acct.stats(Scenario::Baseline).reads.ones,
+              static_cast<std::uint64_t>(
+                  hammingWeight64(acc.isaMask())));
+    // Data coders leave the instruction stream alone.
+    EXPECT_EQ(acct.stats(Scenario::NvOnly).reads.ones,
+              acct.stats(Scenario::Baseline).reads.ones);
+}
+
+TEST(Accountant, NocTogglesTrackedPerScenario)
+{
+    EnergyAccountant acc(tinyCapacities());
+    std::vector<Word> flit(8, 0u);
+    acc.onNocPacket(3, flit, false, 1);
+    // All-zero packet from reset wires: no toggles in baseline.
+    EXPECT_EQ(acc.noc(Scenario::Baseline).toggles, 0u);
+    // NV flips zeros to 0x7fffffff: 31 toggles per word from reset.
+    EXPECT_EQ(acc.noc(Scenario::NvOnly).toggles, 8u * 31u);
+
+    // Sending the same packet again toggles nothing anywhere.
+    const auto nv_before = acc.noc(Scenario::NvOnly).toggles;
+    acc.onNocPacket(3, flit, false, 2);
+    EXPECT_EQ(acc.noc(Scenario::NvOnly).toggles, nv_before);
+    EXPECT_EQ(acc.noc(Scenario::Baseline).toggles, 0u);
+}
+
+TEST(Accountant, NocChannelsIndependent)
+{
+    EnergyAccountant acc(tinyCapacities());
+    std::vector<Word> ones(8, 0xffffffffu);
+    acc.onNocPacket(0, ones, false, 1);
+    const auto after_first = acc.noc(Scenario::Baseline).toggles;
+    EXPECT_EQ(after_first, 8u * 32u);
+    // Different channel starts from its own reset wires.
+    acc.onNocPacket(1, ones, false, 2);
+    EXPECT_EQ(acc.noc(Scenario::Baseline).toggles, 2u * 8u * 32u);
+}
+
+TEST(Accountant, MultiFlitPacketSegmentation)
+{
+    EnergyAccountant acc(tinyCapacities());
+    std::vector<Word> line(32, 0u); // 4 flits
+    acc.onNocPacket(0, line, false, 1);
+    EXPECT_EQ(acc.noc(Scenario::Baseline).flits, 4u);
+    EXPECT_EQ(acc.noc(Scenario::Baseline).payloadBits, 4u * 256u);
+}
+
+TEST(Accountant, VsPivotIsPerPacketNotPerFlit)
+{
+    // A line of identical words: with the line-level pivot, words 1..31
+    // code to all-ones (992 of 1024 bits), so consecutive identical
+    // lines toggle nothing and the one-density is high.
+    EnergyAccountant acc(tinyCapacities());
+    std::vector<Word> line(32, 0xa5a5a5a5u);
+    acc.onNocPacket(0, line, false, 1);
+    const auto &vs = acc.noc(Scenario::VsOnly);
+    EXPECT_EQ(vs.payloadOnes,
+              31u * 32u
+                  + static_cast<std::uint64_t>(
+                      hammingWeight(0xa5a5a5a5u)));
+}
+
+TEST(Accountant, FinalizeIntegratesLeakage)
+{
+    EnergyAccountant acc(tinyCapacities());
+    std::vector<Word> block(32, 0xffffffffu);
+    acc.onAccess(UnitId::Reg, AccessType::Write, block, 0xffffffffu, 10);
+    acc.finalize(1000);
+    const auto &stats =
+        acc.unitAccount(UnitId::Reg).stats(Scenario::Baseline);
+    EXPECT_GT(stats.storedOnesFracCycles, 0.0);
+}
+
+TEST(Accountant, UnitStatsSnapshotComplete)
+{
+    EnergyAccountant acc(tinyCapacities());
+    const auto snapshot = acc.unitStats(Scenario::Baseline);
+    EXPECT_EQ(snapshot.size(), tinyCapacities().size());
+}
+
+TEST(Accountant, CustomPivotOption)
+{
+    AccountantOptions opts;
+    opts.vsRegisterPivot = 0;
+    EnergyAccountant acc(tinyCapacities(), opts);
+    std::vector<Word> block(32, 0u);
+    block[0] = 0xffffffffu; // pivot-0 value
+    acc.onAccess(UnitId::Reg, AccessType::Read, block, 0xffffffffu, 1);
+    // XNOR(0, 0xffffffff) = 0: all non-pivot words stay 0... meaning
+    // ones come only from the pivot itself.
+    EXPECT_EQ(acc.unitAccount(UnitId::Reg)
+                  .stats(Scenario::VsOnly)
+                  .reads.ones,
+              32u);
+}
+
+} // namespace
+} // namespace bvf::core

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the array-level energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/array_model.hh"
+
+namespace bvf::circuit
+{
+namespace
+{
+
+ArrayModel
+makeArray(CellKind kind = CellKind::SramBvf8T, double vdd = 1.2,
+          int sets = 64, int blockBytes = 16)
+{
+    ArrayGeometry geom;
+    geom.sets = sets;
+    geom.blockBytes = blockBytes;
+    return ArrayModel(kind, techParams(TechNode::N28), vdd, geom);
+}
+
+TEST(ArrayModel, EnergyMonotoneInOnes)
+{
+    // For a BVF array, more 1s => cheaper access, strictly.
+    const auto array = makeArray();
+    double prev_read = array.readBits(0, 32).total;
+    double prev_write = array.writeBits(0, 32).total;
+    for (int ones = 1; ones <= 32; ++ones) {
+        const double r = array.readBits(ones, 32).total;
+        const double w = array.writeBits(ones, 32).total;
+        EXPECT_LT(r, prev_read) << "ones=" << ones;
+        EXPECT_LT(w, prev_write) << "ones=" << ones;
+        prev_read = r;
+        prev_write = w;
+    }
+}
+
+TEST(ArrayModel, WordHelpersMatchBitCounts)
+{
+    const auto array = makeArray();
+    const Word w = 0xf0f0a5a5u;
+    EXPECT_DOUBLE_EQ(array.readWord(w).total,
+                     array.readBits(hammingWeight(w), 32).total);
+    EXPECT_DOUBLE_EQ(array.writeWord(w).total,
+                     array.writeBits(hammingWeight(w), 32).total);
+}
+
+TEST(ArrayModel, AccessDecomposition)
+{
+    const auto array = makeArray();
+    const auto e = array.readBits(10, 32);
+    EXPECT_NEAR(e.total, e.bitPart + e.fixedPart, 1e-21);
+    EXPECT_GT(e.bitPart, 0.0);
+    EXPECT_GT(e.fixedPart, 0.0);
+}
+
+TEST(ArrayModel, FixedPartScalesWithWidth)
+{
+    const auto array = makeArray();
+    const auto half = array.readBits(0, 64);
+    const auto full = array.readBits(0, 128);
+    EXPECT_NEAR(full.fixedPart / half.fixedPart, 2.0, 1e-9);
+}
+
+TEST(ArrayModel, HoldPowerInterpolatesLinearly)
+{
+    const auto array = makeArray();
+    const double p0 = array.holdPower(0.0);
+    const double p1 = array.holdPower(1.0);
+    const double p_half = array.holdPower(0.5);
+    EXPECT_LT(p1, p0); // storing 1s leaks less in BVF cells
+    EXPECT_NEAR(p_half, 0.5 * (p0 + p1), 1e-15);
+}
+
+TEST(ArrayModel, CapacityAndArea)
+{
+    const auto array = makeArray(CellKind::SramBvf8T, 1.2, 128, 32);
+    EXPECT_EQ(array.totalBits(), 128L * 32 * 8);
+    EXPECT_GT(array.area(), 0.0);
+    const auto bigger = makeArray(CellKind::SramBvf8T, 1.2, 256, 32);
+    EXPECT_GT(bigger.area(), array.area());
+}
+
+TEST(ArrayModel, VoltageScalingQuadraticOnBitPart)
+{
+    const auto nom = makeArray(CellKind::SramBvf8T, 1.2);
+    const auto low = makeArray(CellKind::SramBvf8T, 0.6);
+    const double ratio = low.readBits(0, 32).bitPart
+                         / nom.readBits(0, 32).bitPart;
+    EXPECT_NEAR(ratio, 0.25, 0.01);
+}
+
+TEST(ArrayModel, LargerArraysCostMoreFixedEnergy)
+{
+    const auto small = makeArray(CellKind::Sram8T, 1.2, 32);
+    const auto large = makeArray(CellKind::Sram8T, 1.2, 4096);
+    EXPECT_GT(large.fixedAccessEnergy(), small.fixedAccessEnergy());
+}
+
+TEST(ArrayModel, Bvf6TGeometryGuard)
+{
+    // The factory refuses BVF-6T with tall columns (Section 7.1).
+    ArrayGeometry geom;
+    geom.sets = 8;
+    geom.blockBytes = 4;
+    geom.cellsPerBitline = 16;
+    const TechParams &tech = techParams(TechNode::N28);
+    EXPECT_NO_THROW({
+        ArrayModel ok(CellKind::SramBvf6T, tech, 1.2, geom);
+        (void)ok;
+    });
+    // >16 cells/bitline exits via fatal(); verified in death test below.
+}
+
+using ArrayModelDeath = ::testing::Test;
+
+TEST(ArrayModelDeath, Bvf6TTallColumnRefused)
+{
+    ArrayGeometry geom;
+    geom.sets = 8;
+    geom.blockBytes = 4;
+    geom.cellsPerBitline = 64;
+    const TechParams &tech = techParams(TechNode::N28);
+    EXPECT_EXIT(
+        {
+            ArrayModel bad(CellKind::SramBvf6T, tech, 1.2, geom);
+            (void)bad;
+        },
+        ::testing::ExitedWithCode(1), "unreliable beyond");
+}
+
+} // namespace
+} // namespace bvf::circuit

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the BDI compression model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coder/bdi.hh"
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
+#include "common/rng.hh"
+
+namespace bvf::coder
+{
+namespace
+{
+
+TEST(Bdi, ZeroBlock)
+{
+    const std::vector<Word> block(32, 0);
+    const auto res = bdiCompress(block);
+    EXPECT_TRUE(res.compressible);
+    EXPECT_EQ(res.scheme, "zeros");
+    EXPECT_EQ(res.compressedBytes, 1);
+    EXPECT_GT(res.ratio(), 100.0);
+}
+
+TEST(Bdi, RepeatedBlock)
+{
+    const std::vector<Word> block(32, 0xdeadbeefu);
+    const auto res = bdiCompress(block);
+    EXPECT_TRUE(res.compressible);
+    EXPECT_EQ(res.scheme, "rep");
+    EXPECT_EQ(res.compressedBytes, 5);
+}
+
+TEST(Bdi, BaseDeltaOneByte)
+{
+    std::vector<Word> block;
+    for (Word i = 0; i < 32; ++i)
+        block.push_back(0x10000000u + i); // deltas fit one byte
+    const auto res = bdiCompress(block);
+    EXPECT_TRUE(res.compressible);
+    EXPECT_EQ(res.scheme, "b4d1");
+    EXPECT_EQ(res.compressedBytes, 1 + 4 + 32);
+}
+
+TEST(Bdi, BaseDeltaTwoBytes)
+{
+    std::vector<Word> block;
+    for (Word i = 0; i < 32; ++i)
+        block.push_back(0x10000000u + i * 300); // needs two bytes
+    const auto res = bdiCompress(block);
+    EXPECT_TRUE(res.compressible);
+    EXPECT_EQ(res.scheme, "b4d2");
+}
+
+TEST(Bdi, RandomDataIncompressible)
+{
+    Rng rng(5);
+    std::vector<Word> block(32);
+    for (Word &w : block)
+        w = rng.nextU32();
+    const auto res = bdiCompress(block);
+    EXPECT_FALSE(res.compressible);
+    EXPECT_EQ(res.compressedBytes, res.originalBytes);
+    EXPECT_DOUBLE_EQ(res.ratio(), 1.0);
+}
+
+TEST(Bdi, NegativeDeltasHandled)
+{
+    std::vector<Word> block;
+    for (int i = 0; i < 32; ++i) {
+        block.push_back(static_cast<Word>(0x20000000 + (i % 2 ? -i : i)));
+    }
+    const auto res = bdiCompress(block);
+    EXPECT_TRUE(res.compressible);
+}
+
+TEST(Bdi, NearbyLeadingOutlierStillCompresses)
+{
+    // Element 0 is 256 away from the others in two's complement (small
+    // positive vs near -1): the element-1 base covers everything with
+    // 2-byte deltas.
+    std::vector<Word> block;
+    block.push_back(0x00000001u);
+    for (Word i = 1; i < 32; ++i)
+        block.push_back(0xffffff00u + i);
+    const auto res = bdiCompress(block);
+    EXPECT_TRUE(res.compressible);
+    EXPECT_EQ(res.scheme, "b4d2");
+}
+
+TEST(Bdi, DistantPivotDefeatsCompression)
+{
+    // A genuinely distant element (a float bit pattern among near -1
+    // words) cannot fit any delta width with the rest -- the VS-pivot
+    // effect the compression bench reports.
+    std::vector<Word> block;
+    block.push_back(0x40490fdbu); // pi as fp32
+    for (Word i = 1; i < 32; ++i)
+        block.push_back(0xffffff00u + i);
+    const auto res = bdiCompress(block);
+    EXPECT_FALSE(res.compressible);
+}
+
+TEST(Bdi, EmptyBlock)
+{
+    const auto res = bdiCompress({});
+    EXPECT_FALSE(res.compressible);
+    EXPECT_EQ(res.originalBytes, 0);
+}
+
+TEST(Bdi, NvCodingPreservesZeroAndRepStructure)
+{
+    // NV maps all-zero blocks to all-0x7fffffff (repeated), so the two
+    // cheapest BDI classes survive NV coding.
+    const NvCoder nv;
+    std::vector<Word> zeros(32, 0);
+    nv.encodeSpan(zeros);
+    const auto res = bdiCompress(zeros);
+    EXPECT_TRUE(res.compressible);
+    EXPECT_EQ(res.scheme, "rep");
+}
+
+TEST(Bdi, VsCodingKeepsIdenticalBlocksCompressible)
+{
+    // Identical lanes -> pivot + 31 x 0xffffffff: still delta-
+    // compressible? Pivot is the outlier, so no; but a block that was
+    // all equal to 0xffffffff stays "rep".
+    const VsCoder vs(21);
+    std::vector<Word> block(32, 0xffffffffu);
+    vs.encode(block);
+    const auto res = bdiCompress(block);
+    EXPECT_TRUE(res.compressible);
+    EXPECT_EQ(res.scheme, "rep");
+}
+
+} // namespace
+} // namespace bvf::coder

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for common/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace bvf
+{
+namespace
+{
+
+TEST(Bitops, HammingWeightBasics)
+{
+    EXPECT_EQ(hammingWeight(0u), 0);
+    EXPECT_EQ(hammingWeight(0xffffffffu), 32);
+    EXPECT_EQ(hammingWeight(0x80000001u), 2);
+    EXPECT_EQ(zeroCount(0x80000001u), 30);
+}
+
+TEST(Bitops, HammingWeight64)
+{
+    EXPECT_EQ(hammingWeight64(0ull), 0);
+    EXPECT_EQ(hammingWeight64(~0ull), 64);
+    EXPECT_EQ(hammingWeight64(0x8000000000000001ull), 2);
+}
+
+TEST(Bitops, HammingDistance)
+{
+    EXPECT_EQ(hammingDistance(0u, 0u), 0);
+    EXPECT_EQ(hammingDistance(0u, 0xffffffffu), 32);
+    EXPECT_EQ(hammingDistance(0b1010u, 0b0101u), 4);
+    // The paper's example: 0x1000 vs 0x0000 differ in exactly one bit
+    // despite being arithmetically distant.
+    EXPECT_EQ(hammingDistance(0x1000u, 0x0000u), 1);
+}
+
+TEST(Bitops, LeadingZeros)
+{
+    EXPECT_EQ(leadingZeros(0u), 32);
+    EXPECT_EQ(leadingZeros(1u), 31);
+    EXPECT_EQ(leadingZeros(0x80000000u), 0);
+}
+
+TEST(Bitops, SignAdjustedLeadingZeros)
+{
+    // Positive narrow value: counts real leading zeros.
+    EXPECT_EQ(signAdjustedLeadingZeros(0x000000ffu), 24);
+    // Negative value: inverted before counting, so -1 -> ~(-1) = 0.
+    EXPECT_EQ(signAdjustedLeadingZeros(0xffffffffu), 32);
+    // -256 = 0xffffff00 -> inverted 0x000000ff -> 24 leading zeros.
+    EXPECT_EQ(signAdjustedLeadingZeros(0xffffff00u), 24);
+    EXPECT_EQ(signAdjustedLeadingZeros(0u), 32);
+}
+
+TEST(Bitops, XnorSelfInverse)
+{
+    const Word a = 0xdeadbeefu;
+    const Word b = 0x12345678u;
+    EXPECT_EQ(xnorWord(xnorWord(a, b), b), a);
+    EXPECT_EQ(xnorWord64(xnorWord64(Word64(a) << 7, Word64(b)), Word64(b)),
+              Word64(a) << 7);
+}
+
+TEST(Bitops, XnorCountsAgreement)
+{
+    // a XNOR a is all ones.
+    EXPECT_EQ(xnorWord(0xabcd1234u, 0xabcd1234u), 0xffffffffu);
+    EXPECT_EQ(hammingWeight(xnorWord(0xffff0000u, 0x0000ffffu)), 0);
+}
+
+TEST(Bitops, BroadcastSign)
+{
+    EXPECT_EQ(broadcastSign(0x7fffffffu), 0u);
+    EXPECT_EQ(broadcastSign(0x80000000u), 0xffffffffu);
+}
+
+TEST(Bitops, SpanHelpers)
+{
+    const std::vector<Word> prev = {0u, 0xffffffffu, 0x0f0f0f0fu};
+    const std::vector<Word> next = {0xffffffffu, 0xffffffffu, 0xf0f0f0f0u};
+    EXPECT_EQ(toggleCount(prev, next), 32u + 0u + 32u);
+    EXPECT_EQ(hammingWeight(std::span<const Word>(next)), 32u + 32u + 16u);
+}
+
+TEST(Bitops, BitField64RoundTrip)
+{
+    Word64 w = 0;
+    w = withField64(w, 5, 7, 0x55);
+    EXPECT_EQ(bitField64(w, 5, 7), 0x55u);
+    w = withField64(w, 40, 16, 0xbeef);
+    EXPECT_EQ(bitField64(w, 40, 16), 0xbeefu);
+    EXPECT_EQ(bitField64(w, 5, 7), 0x55u);
+    w = withBit64(w, 63, true);
+    EXPECT_EQ(bitAt64(w, 63), 1);
+    w = withBit64(w, 63, false);
+    EXPECT_EQ(bitAt64(w, 63), 0);
+}
+
+} // namespace
+} // namespace bvf

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the bus-invert baseline code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coder/bus_invert.hh"
+#include "common/rng.hh"
+
+namespace bvf::coder
+{
+namespace
+{
+
+TEST(BusInvert, RoundTrip)
+{
+    BusInvertChannel channel(4);
+    Rng rng(2);
+    for (int t = 0; t < 1000; ++t) {
+        std::vector<Word> words(4);
+        for (Word &w : words)
+            w = rng.nextU32();
+        const auto original = words;
+        std::vector<bool> parity;
+        channel.encode(words, parity);
+        BusInvertChannel::decode(words, parity);
+        EXPECT_EQ(words, original);
+    }
+}
+
+TEST(BusInvert, InvertsWhenMajorityWouldToggle)
+{
+    BusInvertChannel channel(1);
+    std::vector<bool> parity;
+    // First transfer from the all-zero reset state: all-ones word would
+    // toggle 32 wires, so it must be inverted.
+    std::vector<Word> words = {0xffffffffu};
+    channel.encode(words, parity);
+    EXPECT_TRUE(parity[0]);
+    EXPECT_EQ(words[0], 0u);
+}
+
+TEST(BusInvert, NoInvertWhenFewToggles)
+{
+    BusInvertChannel channel(1);
+    std::vector<bool> parity;
+    std::vector<Word> words = {0x1u};
+    channel.encode(words, parity);
+    EXPECT_FALSE(parity[0]);
+    EXPECT_EQ(words[0], 0x1u);
+}
+
+TEST(BusInvert, TogglesNeverExceedHalfPlusParity)
+{
+    // The classic bus-invert bound: at most bits/2 + 1 toggles per
+    // 32-bit lane per transfer.
+    BusInvertChannel channel(2);
+    Rng rng(7);
+    for (int t = 0; t < 5000; ++t) {
+        std::vector<Word> words(2);
+        for (Word &w : words)
+            w = rng.nextU32();
+        std::vector<bool> parity;
+        const auto toggles = channel.encode(words, parity);
+        EXPECT_LE(toggles, 2u * (16u + 1u));
+    }
+}
+
+TEST(BusInvert, BeatsRawTogglesOnRandomData)
+{
+    Rng rng(11);
+    BusInvertChannel channel(1);
+    std::uint64_t raw = 0;
+    Word prev = 0;
+    for (int t = 0; t < 20000; ++t) {
+        std::vector<Word> words = {rng.nextU32()};
+        raw += static_cast<std::uint64_t>(hammingDistance(prev, words[0]));
+        prev = words[0];
+        std::vector<bool> parity;
+        channel.encode(words, parity);
+    }
+    EXPECT_LT(channel.totalToggles(), raw);
+}
+
+TEST(BusInvert, CumulativeTogglesMonotone)
+{
+    BusInvertChannel channel(1);
+    std::vector<bool> parity;
+    std::vector<Word> a = {0x0fu};
+    channel.encode(a, parity);
+    const auto first = channel.totalToggles();
+    std::vector<Word> b = {0xf0u};
+    channel.encode(b, parity);
+    EXPECT_GE(channel.totalToggles(), first);
+}
+
+} // namespace
+} // namespace bvf::coder

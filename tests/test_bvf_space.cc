@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for BVF spaces and the coder-chain composition rules
+ * (the paper's Section 3.3 properties I and II).
+ */
+
+#include <gtest/gtest.h>
+
+#include "coder/bvf_space.hh"
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
+#include "common/rng.hh"
+
+namespace bvf::coder
+{
+namespace
+{
+
+SpaceRegistry
+paperRegistry()
+{
+    SpaceRegistry reg;
+    CoderChain nv_chain;
+    nv_chain.addWord(std::make_shared<NvCoder>());
+    reg.add(BvfSpace("nv", nvSpaceUnits(), nv_chain));
+
+    CoderChain vs_reg_chain;
+    vs_reg_chain.addBlock(std::make_shared<VsCoder>(21));
+    reg.add(BvfSpace("vs-reg", vsRegisterSpaceUnits(), vs_reg_chain));
+
+    CoderChain vs_line_chain;
+    vs_line_chain.addBlock(std::make_shared<VsCoder>(0));
+    reg.add(BvfSpace("vs-line", vsCacheSpaceUnits(), vs_line_chain));
+    return reg;
+}
+
+TEST(BvfSpace, Table1UnitSets)
+{
+    // Table 1: NV covers REG, SME, L1D, L1T, L1C, NoC, L2.
+    const auto nv = nvSpaceUnits();
+    EXPECT_EQ(nv.size(), 7u);
+    EXPECT_TRUE(nv.count(UnitId::Reg));
+    EXPECT_TRUE(nv.count(UnitId::Sme));
+    EXPECT_FALSE(nv.count(UnitId::L1I));
+    EXPECT_FALSE(nv.count(UnitId::Ifb));
+
+    // VS covers REG (lane space) and the cache-line space minus SME.
+    EXPECT_TRUE(vsRegisterSpaceUnits().count(UnitId::Reg));
+    EXPECT_FALSE(vsCacheSpaceUnits().count(UnitId::Sme));
+    EXPECT_TRUE(vsCacheSpaceUnits().count(UnitId::L2));
+
+    // ISA covers IFB, L1I, NoC, L2.
+    const auto isa_units = isaSpaceUnits();
+    EXPECT_EQ(isa_units.size(), 4u);
+    EXPECT_TRUE(isa_units.count(UnitId::Ifb));
+    EXPECT_TRUE(isa_units.count(UnitId::L1I));
+    EXPECT_FALSE(isa_units.count(UnitId::Reg));
+}
+
+TEST(BvfSpace, PropertyOneSameChainForAllPorts)
+{
+    // Every unit of a space resolves to a chain containing that space's
+    // stage, in the same order, regardless of which port asks.
+    const auto reg = paperRegistry();
+    const auto chain_l1d = reg.chainFor(UnitId::L1D);
+    const auto chain_l2 = reg.chainFor(UnitId::L2);
+    EXPECT_EQ(chain_l1d.name(), chain_l2.name());
+    EXPECT_EQ(chain_l1d.name(), "nv+vs(0)");
+}
+
+TEST(BvfSpace, RegisterFileGetsLanePivot)
+{
+    const auto reg = paperRegistry();
+    EXPECT_EQ(reg.chainFor(UnitId::Reg).name(), "nv+vs(21)");
+}
+
+TEST(BvfSpace, SharedMemoryGetsNvOnly)
+{
+    const auto reg = paperRegistry();
+    EXPECT_EQ(reg.chainFor(UnitId::Sme).name(), "nv");
+}
+
+TEST(BvfSpace, UncoveredUnitGetsEmptyChain)
+{
+    const auto reg = paperRegistry();
+    EXPECT_TRUE(reg.chainFor(UnitId::Ifb).empty());
+    EXPECT_EQ(reg.chainFor(UnitId::Ifb).name(), "baseline");
+}
+
+TEST(BvfSpace, PropertyTwoOverlappingSpacesStayInvertible)
+{
+    // Overlapping spaces must not break each other's reconstruction:
+    // the composed chain decodes exactly.
+    const auto reg = paperRegistry();
+    Rng rng(4);
+    for (const UnitId unit : allUnits()) {
+        const auto chain = reg.chainFor(unit);
+        for (int t = 0; t < 200; ++t) {
+            std::vector<Word> block(32);
+            for (Word &w : block)
+                w = rng.nextU32();
+            const auto original = block;
+            chain.encode(block);
+            chain.decode(block);
+            EXPECT_EQ(block, original) << unitName(unit);
+        }
+    }
+}
+
+TEST(BvfSpace, SpacesCoveringNames)
+{
+    const auto reg = paperRegistry();
+    const auto names = reg.spacesCovering(UnitId::L1D);
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "nv");
+    EXPECT_EQ(names[1], "vs-line");
+}
+
+TEST(BvfSpace, InstructionUnitClassifier)
+{
+    EXPECT_TRUE(isInstructionUnit(UnitId::L1I));
+    EXPECT_TRUE(isInstructionUnit(UnitId::Ifb));
+    EXPECT_FALSE(isInstructionUnit(UnitId::L2));
+    EXPECT_FALSE(isInstructionUnit(UnitId::Reg));
+}
+
+TEST(BvfSpace, UnitNamesComplete)
+{
+    for (const UnitId unit : allUnits())
+        EXPECT_FALSE(unitName(unit).empty());
+    EXPECT_EQ(allUnits().size(), 9u);
+}
+
+TEST(CoderChain, AppendSharesStages)
+{
+    CoderChain a;
+    a.addWord(std::make_shared<NvCoder>());
+    CoderChain b;
+    b.addBlock(std::make_shared<VsCoder>(3));
+    CoderChain combined;
+    combined.append(a);
+    combined.append(b);
+    EXPECT_EQ(combined.size(), 2u);
+    EXPECT_EQ(combined.name(), "nv+vs(3)");
+}
+
+TEST(CoderChain, DecodeReversesStageOrder)
+{
+    CoderChain chain;
+    chain.addWord(std::make_shared<NvCoder>());
+    chain.addBlock(std::make_shared<VsCoder>(2));
+    Rng rng(8);
+    std::vector<Word> block(8);
+    for (Word &w : block)
+        w = rng.nextU32();
+    const auto original = block;
+    chain.encode(block);
+    EXPECT_NE(block, original);
+    chain.decode(block);
+    EXPECT_EQ(block, original);
+}
+
+} // namespace
+} // namespace bvf::coder

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the chip-level power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/chip_model.hh"
+
+namespace bvf::power
+{
+namespace
+{
+
+using coder::UnitId;
+
+gpu::GpuConfig
+config()
+{
+    return gpu::baselineConfig();
+}
+
+ChipPowerModel
+makeModel(circuit::TechNode node = circuit::TechNode::N28,
+          double vdd = 1.2)
+{
+    static const gpu::GpuConfig cfg = config();
+    return ChipPowerModel(node, vdd, 700e6,
+                          circuit::CellKind::SramBvf8T, cfg);
+}
+
+gpu::GpuStats
+someStats()
+{
+    gpu::GpuStats s;
+    s.cycles = 10000;
+    s.sm.issued = 5000;
+    s.sm.fpOps = 2000;
+    s.sm.intOps = 2000;
+    s.sm.loads = 500;
+    s.sm.stores = 200;
+    s.dramRowHits = 100;
+    s.dramRowMisses = 50;
+    return s;
+}
+
+std::map<UnitId, sram::UnitScenarioStats>
+someUnitStats(double oneFrac)
+{
+    std::map<UnitId, sram::UnitScenarioStats> stats;
+    for (const auto unit : coder::allUnits()) {
+        if (unit == UnitId::Noc)
+            continue;
+        sram::UnitScenarioStats s;
+        s.reads.ones = static_cast<std::uint64_t>(100000 * oneFrac);
+        s.reads.zeros = 100000 - s.reads.ones;
+        s.writes.ones = static_cast<std::uint64_t>(40000 * oneFrac);
+        s.writes.zeros = 40000 - s.writes.ones;
+        s.storedOnesFracCycles = oneFrac * 10000;
+        stats[unit] = s;
+    }
+    return stats;
+}
+
+TEST(ChipModel, CapacitiesMatchConfig)
+{
+    const auto model = makeModel();
+    const auto &cfg = config();
+    EXPECT_EQ(model.unitCapacityBits(UnitId::Reg),
+              static_cast<std::uint64_t>(cfg.numSms) * cfg.regFileBytes
+                  * 8);
+    EXPECT_EQ(model.unitCapacityBits(UnitId::L2),
+              static_cast<std::uint64_t>(cfg.l2TotalBytes()) * 8);
+}
+
+TEST(ChipModel, MoreOnesMeansLessEnergy)
+{
+    const auto model = makeModel();
+    const auto stats = someStats();
+    const auto sparse = model.evaluate(someUnitStats(0.3), 1000000, 10000,
+                                       stats, false);
+    const auto dense = model.evaluate(someUnitStats(0.85), 1000000, 10000,
+                                      stats, false);
+    EXPECT_LT(dense.bvfUnitsTotal(), sparse.bvfUnitsTotal());
+    EXPECT_LT(dense.chipTotal(), sparse.chipTotal());
+    // Non-BVF components identical.
+    EXPECT_DOUBLE_EQ(dense.computeDynamic, sparse.computeDynamic);
+    EXPECT_DOUBLE_EQ(dense.otherLeakage, sparse.otherLeakage);
+}
+
+TEST(ChipModel, TogglesDriveNocEnergy)
+{
+    const auto model = makeModel();
+    const auto stats = someStats();
+    const auto few = model.evaluate(someUnitStats(0.5), 100000, 10000,
+                                    stats, false);
+    const auto many = model.evaluate(someUnitStats(0.5), 1000000, 10000,
+                                     stats, false);
+    EXPECT_GT(many.nocDynamic, few.nocDynamic);
+}
+
+TEST(ChipModel, CoderOverheadOnlyWhenRequested)
+{
+    const auto model = makeModel();
+    const auto stats = someStats();
+    const auto off = model.evaluate(someUnitStats(0.5), 0, 0, stats,
+                                    false);
+    const auto on = model.evaluate(someUnitStats(0.5), 0, 0, stats, true);
+    EXPECT_DOUBLE_EQ(off.coderOverhead, 0.0);
+    EXPECT_GT(on.coderOverhead, 0.0);
+    // Negligible relative to the chip (paper: ~0.04% dynamic).
+    EXPECT_LT(on.coderOverhead, 0.02 * on.chipTotal());
+}
+
+TEST(ChipModel, VoltageScalingReducesEverything)
+{
+    const auto nom = makeModel(circuit::TechNode::N28, 1.2);
+    const auto low = makeModel(circuit::TechNode::N28, 0.6);
+    const auto stats = someStats();
+    const auto e_nom = nom.evaluate(someUnitStats(0.5), 100000, 1000,
+                                    stats, false);
+    const auto e_low = low.evaluate(someUnitStats(0.5), 100000, 1000,
+                                    stats, false);
+    EXPECT_LT(e_low.chipTotal(), 0.5 * e_nom.chipTotal());
+}
+
+TEST(ChipModel, FortyNmCostsMoreThanTwentyEight)
+{
+    const auto n28 = makeModel(circuit::TechNode::N28);
+    const auto n40 = makeModel(circuit::TechNode::N40);
+    const auto stats = someStats();
+    EXPECT_GT(n40.evaluate(someUnitStats(0.5), 100000, 1000, stats, false)
+                  .chipTotal(),
+              n28.evaluate(someUnitStats(0.5), 100000, 1000, stats,
+                           false)
+                  .chipTotal());
+}
+
+TEST(ChipModel, ChipTotalIsSumOfParts)
+{
+    const auto model = makeModel();
+    const auto e = model.evaluate(someUnitStats(0.5), 100000, 1000,
+                                  someStats(), true);
+    double units = e.nocDynamic;
+    for (const auto &[unit, ue] : e.units)
+        units += ue.total();
+    EXPECT_NEAR(e.chipTotal(),
+                units + e.computeDynamic + e.otherDynamic
+                    + e.otherLeakage + e.coderOverhead,
+                e.chipTotal() * 1e-12);
+}
+
+TEST(ChipModel, NonSramScalingQuadratic)
+{
+    const auto base = NonSramEnergies::forNode(circuit::TechNode::N28);
+    const auto scaled = base.scaledTo(0.6);
+    EXPECT_NEAR(scaled.fpOp / base.fpOp, 0.25, 1e-9);
+    EXPECT_NEAR(scaled.nocPerToggle / base.nocPerToggle, 0.25, 1e-9);
+    // Leakage shrinks faster than quadratic.
+    EXPECT_LT(scaled.otherLeakage / base.otherLeakage, 0.25);
+}
+
+} // namespace
+} // namespace bvf::power

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the experiment driver: single-app end-to-end energy
+ * evaluation and the headline orderings the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace bvf::core
+{
+namespace
+{
+
+using coder::Scenario;
+
+class ExperimentTest : public ::testing::Test
+{
+  protected:
+    static const AppRun &
+    run()
+    {
+        static const AppRun r = [] {
+            ExperimentDriver driver(gpu::baselineConfig());
+            return driver.runApp(workload::findApp("ATA"));
+        }();
+        return r;
+    }
+
+    static AppEnergy
+    price(circuit::TechNode node)
+    {
+        ExperimentDriver driver(gpu::baselineConfig());
+        Pricing pricing;
+        pricing.node = node;
+        return driver.evaluate(run(), pricing);
+    }
+};
+
+TEST_F(ExperimentTest, BvfReducesChipEnergy)
+{
+    const auto e = price(circuit::TechNode::N28);
+    EXPECT_LT(e.at(Scenario::AllCoders).chipTotal(),
+              e.at(Scenario::Baseline).chipTotal());
+}
+
+TEST_F(ExperimentTest, CombinedBeatsEveryIndividualCoder)
+{
+    const auto e = price(circuit::TechNode::N28);
+    const double all = e.at(Scenario::AllCoders).bvfUnitsTotal();
+    for (const auto s :
+         {Scenario::NvOnly, Scenario::VsOnly, Scenario::IsaOnly})
+        EXPECT_LT(all, e.at(s).bvfUnitsTotal());
+}
+
+TEST_F(ExperimentTest, EveryCoderHelpsAlone)
+{
+    const auto e = price(circuit::TechNode::N28);
+    const double base = e.at(Scenario::Baseline).bvfUnitsTotal();
+    for (const auto s :
+         {Scenario::NvOnly, Scenario::VsOnly, Scenario::IsaOnly})
+        EXPECT_LT(e.at(s).bvfUnitsTotal(), base);
+}
+
+TEST_F(ExperimentTest, FortyNmSavesMoreThanTwentyEight)
+{
+    // The paper's ordering: -24% at 40nm vs -21% at 28nm.
+    const auto e28 = price(circuit::TechNode::N28);
+    const auto e40 = price(circuit::TechNode::N40);
+    const double r28 = e28.at(Scenario::AllCoders).chipTotal()
+                       / e28.at(Scenario::Baseline).chipTotal();
+    const double r40 = e40.at(Scenario::AllCoders).chipTotal()
+                       / e40.at(Scenario::Baseline).chipTotal();
+    EXPECT_LT(r40, r28);
+}
+
+TEST_F(ExperimentTest, ChipReductionInPaperBand)
+{
+    // Single memory-bound app: reduction should be in the ballpark the
+    // paper's Figure 18 shows for ATA (stronger than the mean).
+    const auto e = price(circuit::TechNode::N28);
+    const double red = 1.0
+                       - e.at(Scenario::AllCoders).chipTotal()
+                             / e.at(Scenario::Baseline).chipTotal();
+    EXPECT_GT(red, 0.12);
+    EXPECT_LT(red, 0.40);
+}
+
+TEST_F(ExperimentTest, CoderOverheadCharged)
+{
+    const auto e = price(circuit::TechNode::N28);
+    EXPECT_DOUBLE_EQ(e.at(Scenario::Baseline).coderOverhead, 0.0);
+    EXPECT_GT(e.at(Scenario::AllCoders).coderOverhead, 0.0);
+    EXPECT_LT(e.at(Scenario::AllCoders).coderOverhead,
+              0.02 * e.at(Scenario::AllCoders).chipTotal());
+}
+
+TEST_F(ExperimentTest, MeanHelpersAverageCorrectly)
+{
+    ExperimentDriver driver(gpu::baselineConfig());
+    Pricing pricing;
+    const std::vector<AppEnergy> both = {price(circuit::TechNode::N28),
+                                         price(circuit::TechNode::N28)};
+    const double mean =
+        ExperimentDriver::meanChipRatio(both, Scenario::AllCoders);
+    const double single = both[0].at(Scenario::AllCoders).chipTotal()
+                          / both[0].at(Scenario::Baseline).chipTotal();
+    EXPECT_NEAR(mean, single, 1e-12);
+}
+
+TEST_F(ExperimentTest, UnitCapacitiesCoverAllSramUnits)
+{
+    ExperimentDriver driver(gpu::baselineConfig());
+    const auto caps = driver.unitCapacities();
+    EXPECT_EQ(caps.size(), 8u); // all units except the NoC
+    EXPECT_EQ(caps.count(coder::UnitId::Noc), 0u);
+}
+
+TEST_F(ExperimentTest, DvfsKeepsReductionConsistent)
+{
+    // Figure 20's claim at single-app granularity.
+    ExperimentDriver driver(gpu::baselineConfig());
+    Pricing nominal, low;
+    nominal.node = circuit::TechNode::N40;
+    low.node = circuit::TechNode::N40;
+    low.pstate = gpu::pstateLow();
+    const auto e_nom = driver.evaluate(run(), nominal);
+    const auto e_low = driver.evaluate(run(), low);
+    const double red_nom = 1.0
+                           - e_nom.at(Scenario::AllCoders).chipTotal()
+                                 / e_nom.at(Scenario::Baseline)
+                                       .chipTotal();
+    const double red_low = 1.0
+                           - e_low.at(Scenario::AllCoders).chipTotal()
+                                 / e_low.at(Scenario::Baseline)
+                                       .chipTotal();
+    EXPECT_NEAR(red_nom, red_low, 0.03);
+    // And the low P-state costs far less absolute energy.
+    EXPECT_LT(e_low.at(Scenario::Baseline).chipTotal(),
+              0.5 * e_nom.at(Scenario::Baseline).chipTotal());
+}
+
+} // namespace
+} // namespace bvf::core

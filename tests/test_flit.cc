@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for NoC packets and flit materialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/flit.hh"
+
+namespace bvf::noc
+{
+namespace
+{
+
+TEST(Flit, HeaderOnlyPacketIsOneFlit)
+{
+    Packet pkt;
+    pkt.type = PacketType::ReadRequest;
+    EXPECT_EQ(pkt.flitCount(), 1);
+}
+
+TEST(Flit, LinePayloadSegmentsInto32ByteFlits)
+{
+    Packet pkt;
+    pkt.type = PacketType::ReadReply;
+    pkt.payload.assign(32, 0xabcd1234u); // 128B line
+    EXPECT_EQ(pkt.flitCount(), 1 + 4);
+}
+
+TEST(Flit, PartialPayloadRoundsUp)
+{
+    Packet pkt;
+    pkt.type = PacketType::WriteRequest;
+    pkt.payload.assign(9, 1u); // 36B -> 2 payload flits
+    EXPECT_EQ(pkt.flitCount(), 3);
+}
+
+TEST(Flit, HeaderCarriesRouting)
+{
+    Packet pkt;
+    pkt.type = PacketType::InstrRequest;
+    pkt.srcSm = 7;
+    pkt.dstBank = 3;
+    pkt.address = 0xdeadbeefu;
+    pkt.requestId = 0x123456789abcull;
+    const auto header = pkt.flitPayload(0);
+    ASSERT_EQ(header.size(), static_cast<std::size_t>(flitWords));
+    EXPECT_EQ(header[1], 0xdeadbeefu);
+    EXPECT_EQ((header[0] >> 16) & 0xff, 7u);
+    EXPECT_EQ(header[0] & 0xffff, 3u);
+    EXPECT_EQ(header[2], 0x56789abcu);
+}
+
+TEST(Flit, PayloadFlitsCarryDataInOrder)
+{
+    Packet pkt;
+    pkt.type = PacketType::ReadReply;
+    for (Word i = 0; i < 20; ++i)
+        pkt.payload.push_back(i);
+    const auto f1 = pkt.flitPayload(1);
+    const auto f3 = pkt.flitPayload(3);
+    EXPECT_EQ(f1[0], 0u);
+    EXPECT_EQ(f1[7], 7u);
+    EXPECT_EQ(f3[0], 16u);
+    EXPECT_EQ(f3[3], 19u);
+    EXPECT_EQ(f3[4], 0u); // zero-padded tail
+}
+
+TEST(Flit, InstrPacketClassifier)
+{
+    EXPECT_TRUE(isInstrPacket(PacketType::InstrRequest));
+    EXPECT_TRUE(isInstrPacket(PacketType::InstrReply));
+    EXPECT_FALSE(isInstrPacket(PacketType::ReadReply));
+    EXPECT_FALSE(isInstrPacket(PacketType::WriteRequest));
+}
+
+TEST(Flit, OutOfRangeFlitIndexPanics)
+{
+    Packet pkt;
+    EXPECT_DEATH((void)pkt.flitPayload(1), "flit index");
+}
+
+} // namespace
+} // namespace bvf::noc

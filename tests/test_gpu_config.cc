@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for machine configurations (Tables 3 and 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_config.hh"
+
+namespace bvf::gpu
+{
+namespace
+{
+
+TEST(GpuConfig, Table3Baseline)
+{
+    const auto c = baselineConfig();
+    EXPECT_EQ(c.numSms, 15);
+    EXPECT_EQ(c.maxWarpsPerSm, 48);
+    EXPECT_EQ(c.regFileBytes, 128u * 1024u);
+    EXPECT_EQ(c.sharedMemBytes, 48u * 1024u);
+    EXPECT_EQ(c.l1dBytes, 16u * 1024u);
+    EXPECT_EQ(c.l1dAssoc, 4);
+    EXPECT_EQ(c.lineBytes, 128u);
+    EXPECT_EQ(c.l2Banks, 6);
+    EXPECT_EQ(c.l2TotalBytes(), 768u * 1024u);
+    EXPECT_EQ(c.l2Assoc, 16);
+    EXPECT_EQ(c.dramChannels, 6);
+    EXPECT_EQ(c.mshrsPerSm, 32);
+    EXPECT_EQ(c.scheduler, SchedulerPolicy::Gto);
+    EXPECT_DOUBLE_EQ(c.pstate.frequency, 700.0e6);
+    EXPECT_DOUBLE_EQ(c.pstate.vdd, 1.2);
+}
+
+TEST(GpuConfig, ClockPeriodInverse)
+{
+    const auto c = baselineConfig();
+    EXPECT_NEAR(c.clockPeriod() * c.pstate.frequency, 1.0, 1e-12);
+}
+
+TEST(GpuConfig, Table4Variants)
+{
+    const auto p100 = teslaP100Config();
+    EXPECT_EQ(p100.numSms, 56);
+    EXPECT_EQ(p100.regFileBytes, 256u * 1024u);
+    EXPECT_EQ(p100.l2TotalBytes(), 1536u * 1024u);
+    EXPECT_EQ(p100.sharedMemBytes, 112u * 1024u);
+
+    const auto k80 = teslaK80Config();
+    EXPECT_EQ(k80.numSms, 13);
+    EXPECT_EQ(k80.regFileBytes, 512u * 1024u);
+    EXPECT_EQ(k80.l2TotalBytes(), 4096u * 1024u);
+    EXPECT_EQ(k80.l1dBytes, 48u * 1024u);
+
+    // The GTX-480 variant equals the Table 3 baseline (different name).
+    const auto gtx = gtx480Config();
+    EXPECT_EQ(gtx.numSms, baselineConfig().numSms);
+    EXPECT_EQ(gtx.name, "GTX-480");
+}
+
+TEST(GpuConfig, PStatesOrdered)
+{
+    EXPECT_GT(pstateNominal().frequency, pstateMid().frequency);
+    EXPECT_GT(pstateMid().frequency, pstateLow().frequency);
+    EXPECT_GT(pstateNominal().vdd, pstateMid().vdd);
+    EXPECT_GT(pstateMid().vdd, pstateLow().vdd);
+    EXPECT_DOUBLE_EQ(pstateLow().vdd, 0.6);
+}
+
+TEST(GpuConfig, LatenciesIncreaseDownTheHierarchy)
+{
+    const auto c = baselineConfig();
+    EXPECT_LT(c.l1HitLatency, c.dramRowHitLatency);
+    EXPECT_LT(c.dramRowHitLatency, c.dramRowMissLatency);
+    EXPECT_LT(c.constHitLatency, c.constMissLatency);
+    EXPECT_LT(c.texHitLatency, c.texMissLatency);
+}
+
+} // namespace
+} // namespace bvf::gpu

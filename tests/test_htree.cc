@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the H-tree distribution-network model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/htree.hh"
+#include "common/units.hh"
+
+namespace bvf::circuit
+{
+namespace
+{
+
+HTree
+makeTree(int leaves = 16, double vdd = 1.2)
+{
+    return HTree(techParams(TechNode::N28), vdd, leaves, micro(500));
+}
+
+TEST(HTree, LevelsAreLog2Leaves)
+{
+    EXPECT_EQ(makeTree(16).levels(), 4);
+    EXPECT_EQ(makeTree(2).levels(), 1);
+    EXPECT_EQ(makeTree(64).levels(), 6);
+}
+
+TEST(HTree, SegmentsHalveEachLevel)
+{
+    const auto tree = makeTree(16);
+    for (int l = 1; l < tree.levels(); ++l) {
+        EXPECT_NEAR(tree.segmentLength(l),
+                    tree.segmentLength(l - 1) / 2.0, 1e-15);
+    }
+    EXPECT_NEAR(tree.segmentLength(0), micro(250), 1e-12);
+}
+
+TEST(HTree, PathCapIsSumOfSegments)
+{
+    const auto tree = makeTree(8);
+    double sum = 0.0;
+    for (int l = 0; l < tree.levels(); ++l)
+        sum += tree.segmentCap(l);
+    EXPECT_NEAR(tree.pathCap(), sum, 1e-20);
+    EXPECT_GT(tree.pathCap(), 0.0);
+}
+
+TEST(HTree, DeeperTreesLongerPaths)
+{
+    // More leaves in the same mat: more levels but geometrically
+    // shrinking segments; total path approaches the mat side.
+    EXPECT_GT(makeTree(64).pathCap(), makeTree(4).pathCap());
+    EXPECT_LT(makeTree(1024).pathCap(),
+              techParams(TechNode::N28).wireCapPerLength * micro(500));
+}
+
+TEST(HTree, TransferEnergyLinearInToggles)
+{
+    const auto tree = makeTree();
+    EXPECT_DOUBLE_EQ(tree.transferEnergy(0), 0.0);
+    EXPECT_NEAR(tree.transferEnergy(32), 2.0 * tree.transferEnergy(16),
+                1e-20);
+}
+
+TEST(HTree, VoltageScalingQuadratic)
+{
+    const auto nom = makeTree(16, 1.2);
+    const auto low = makeTree(16, 0.6);
+    EXPECT_NEAR(low.transferEnergy(16) / nom.transferEnergy(16), 0.25,
+                1e-9);
+}
+
+TEST(HTree, StreamEnergyTracksToggles)
+{
+    const auto tree = makeTree();
+    // Identical words after the first: only the initial charge costs.
+    const std::vector<Word> steady(8, 0xffffffffu);
+    const double e_steady = tree.streamEnergy(steady);
+    // Alternating words toggle every wire every cycle.
+    std::vector<Word> noisy;
+    for (int i = 0; i < 8; ++i)
+        noisy.push_back(i % 2 ? 0u : 0xffffffffu);
+    const double e_noisy = tree.streamEnergy(noisy);
+    EXPECT_GT(e_noisy, 3.0 * e_steady);
+    EXPECT_NEAR(e_steady, tree.transferEnergy(32), 1e-20);
+}
+
+TEST(HTree, MostlyOnesStreamCheaperThanMixed)
+{
+    // The BVF connection: coded (mostly-1, stable) streams toggle less.
+    const auto tree = makeTree();
+    std::vector<Word> coded(16, 0xfffffff0u);
+    std::vector<Word> mixed;
+    for (int i = 0; i < 16; ++i)
+        mixed.push_back(0x0f0f0f0fu << (i % 4));
+    EXPECT_LT(tree.streamEnergy(coded), tree.streamEnergy(mixed));
+}
+
+TEST(HTree, InvalidGeometryRejected)
+{
+    EXPECT_EXIT(
+        {
+            HTree bad(techParams(TechNode::N28), 1.2, 12, micro(500));
+            (void)bad;
+        },
+        ::testing::ExitedWithCode(1), "power of two");
+}
+
+} // namespace
+} // namespace bvf::circuit

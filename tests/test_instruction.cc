@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the decoded-instruction representation and printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace bvf::isa
+{
+namespace
+{
+
+TEST(Instruction, DefaultIsCanonicalNop)
+{
+    const Instruction i;
+    EXPECT_EQ(i.op, Opcode::Nop);
+    EXPECT_EQ(i.dst, 0);
+    EXPECT_EQ(i.pred, predTrue);
+    EXPECT_FALSE(i.immB);
+    EXPECT_EQ(i, Instruction{});
+}
+
+TEST(Instruction, EqualityCoversAllFields)
+{
+    Instruction a, b;
+    a.op = b.op = Opcode::IAdd;
+    a.dst = b.dst = 5;
+    EXPECT_EQ(a, b);
+    b.imm = 1;
+    EXPECT_NE(a, b);
+    b = a;
+    b.predNegate = true;
+    EXPECT_NE(a, b);
+}
+
+TEST(Instruction, PrintingShapes)
+{
+    Instruction i;
+    i.op = Opcode::IAdd;
+    i.dst = 3;
+    i.srcA = 1;
+    i.srcB = 2;
+    EXPECT_EQ(i.toString(), "IADD R3, R1, R2");
+
+    i.immB = true;
+    i.imm = 42;
+    EXPECT_EQ(i.toString(), "IADD R3, R1, 42");
+
+    Instruction ld;
+    ld.op = Opcode::Ldg;
+    ld.dst = 9;
+    ld.srcA = 5;
+    ld.imm = 16;
+    const auto s = ld.toString();
+    EXPECT_NE(s.find("LDG R9"), std::string::npos);
+    EXPECT_NE(s.find("[R5 + 16]"), std::string::npos);
+
+    Instruction br;
+    br.op = Opcode::Bra;
+    br.pred = 1;
+    br.predNegate = true;
+    br.imm = 7;
+    br.reconv = 9;
+    const auto bs = br.toString();
+    EXPECT_NE(bs.find("@!P1"), std::string::npos);
+    EXPECT_NE(bs.find("-> 7"), std::string::npos);
+    EXPECT_NE(bs.find("join 9"), std::string::npos);
+}
+
+TEST(LaunchDims, WarpArithmetic)
+{
+    LaunchDims d;
+    d.gridBlocks = 3;
+    d.blockThreads = 100;
+    EXPECT_EQ(d.warpsPerBlock(), 4); // 100 threads -> 4 warps (tail)
+    EXPECT_EQ(d.totalThreads(), 300);
+}
+
+TEST(Program, GlobalBytes)
+{
+    Program p;
+    p.global.assign(100, 0);
+    EXPECT_EQ(p.globalBytes(), 400u);
+    EXPECT_EQ(globalSegmentBase % 0x10000u, 0u); // 64KB aligned
+}
+
+} // namespace
+} // namespace bvf::isa

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for kernel synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/kernel_builder.hh"
+
+namespace bvf::workload
+{
+namespace
+{
+
+TEST(KernelBuilder, Deterministic)
+{
+    const auto &spec = findApp("ATA");
+    const auto a = buildProgram(spec);
+    const auto b = buildProgram(spec);
+    EXPECT_EQ(a.body, b.body);
+    EXPECT_EQ(a.global, b.global);
+}
+
+TEST(KernelBuilder, EndsWithExit)
+{
+    for (const char *abbr : {"ATA", "BFS", "SGE", "TRA", "NQU"}) {
+        const auto prog = buildProgram(findApp(abbr));
+        ASSERT_FALSE(prog.body.empty());
+        EXPECT_EQ(prog.body.back().op, isa::Opcode::Exit) << abbr;
+    }
+}
+
+TEST(KernelBuilder, BranchTargetsInRange)
+{
+    for (const auto &spec : evaluationSuite()) {
+        const auto prog = buildProgram(spec);
+        const int n = static_cast<int>(prog.body.size());
+        for (const auto &instr : prog.body) {
+            if (instr.op == isa::Opcode::Bra) {
+                EXPECT_GE(instr.imm, 0) << spec.abbr;
+                EXPECT_LT(instr.imm, n) << spec.abbr;
+                EXPECT_GE(instr.reconv, 0) << spec.abbr;
+                EXPECT_LE(instr.reconv, n) << spec.abbr;
+            }
+        }
+    }
+}
+
+TEST(KernelBuilder, RegistersWithinConvention)
+{
+    for (const auto &spec : evaluationSuite()) {
+        const auto prog = buildProgram(spec);
+        for (const auto &instr : prog.body) {
+            EXPECT_LT(instr.dst, 32) << spec.abbr;
+            EXPECT_LT(instr.srcA, 32) << spec.abbr;
+            EXPECT_LT(instr.srcB, 32) << spec.abbr;
+        }
+    }
+}
+
+TEST(KernelBuilder, InstructionMixHonoured)
+{
+    const auto &spec = findApp("SGE"); // fp-heavy
+    const auto prog = buildProgram(spec);
+    int fp = 0, mem = 0;
+    for (const auto &instr : prog.body) {
+        const auto op = instr.op;
+        fp += (op == isa::Opcode::Ffma || op == isa::Opcode::Fadd
+               || op == isa::Opcode::Fmul)
+                  ? 1
+                  : 0;
+        mem += isa::isMemoryOp(op) ? 1 : 0;
+    }
+    EXPECT_GT(fp, 10);
+    EXPECT_GT(mem, 0);
+}
+
+TEST(KernelBuilder, SharedMemoryAppsDeclareShared)
+{
+    const auto prog = buildProgram(findApp("SGE"));
+    EXPECT_GT(prog.sharedBytesPerBlock, 0u);
+    bool has_bar = false;
+    for (const auto &instr : prog.body)
+        has_bar = has_bar || instr.op == isa::Opcode::Bar;
+    EXPECT_TRUE(has_bar);
+
+    const auto no_shared = buildProgram(findApp("TRI"));
+    EXPECT_EQ(no_shared.sharedBytesPerBlock, 0u);
+}
+
+TEST(KernelBuilder, ConstantAndTextureImages)
+{
+    const auto with_const = buildProgram(findApp("KMN"));
+    EXPECT_FALSE(with_const.constants.empty());
+    const auto with_tex = buildProgram(findApp("IMD"));
+    EXPECT_FALSE(with_tex.texture.empty());
+    const auto plain = buildProgram(findApp("TRI"));
+    EXPECT_TRUE(plain.constants.empty());
+    EXPECT_TRUE(plain.texture.empty());
+}
+
+TEST(KernelBuilder, GlobalImageCoversAllArrays)
+{
+    const auto &spec = findApp("GES"); // 6 loads -> 4 arrays + output
+    const auto prog = buildProgram(spec);
+    const std::uint32_t elems = static_cast<std::uint32_t>(
+        spec.gridBlocks * spec.blockThreads * spec.loopIters);
+    EXPECT_GE(prog.global.size() * 4, 5u * elems * 4u);
+}
+
+TEST(KernelBuilder, ImmediatesFitSixteenBits)
+{
+    for (const auto &spec : evaluationSuite()) {
+        const auto prog = buildProgram(spec);
+        for (const auto &instr : prog.body) {
+            EXPECT_GE(instr.imm, -32768) << spec.abbr;
+            EXPECT_LE(instr.imm, 32767) << spec.abbr;
+        }
+    }
+}
+
+TEST(KernelBuilder, LaunchMatchesSpec)
+{
+    const auto &spec = findApp("MMU");
+    const auto prog = buildProgram(spec);
+    EXPECT_EQ(prog.launch.gridBlocks, spec.gridBlocks);
+    EXPECT_EQ(prog.launch.blockThreads, spec.blockThreads);
+    EXPECT_EQ(prog.name, spec.name);
+}
+
+TEST(KernelBuilder, LoopBranchIsBackward)
+{
+    const auto prog = buildProgram(findApp("ATA"));
+    bool found_backward = false;
+    for (std::size_t i = 0; i < prog.body.size(); ++i) {
+        const auto &instr = prog.body[i];
+        if (instr.op == isa::Opcode::Bra
+            && instr.imm < static_cast<int>(i)) {
+            found_backward = true;
+        }
+    }
+    EXPECT_TRUE(found_backward);
+}
+
+} // namespace
+} // namespace bvf::workload

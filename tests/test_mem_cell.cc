@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the memory-cell energy models: the Bit-Value-Favor
+ * properties the whole paper rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/mem_cell.hh"
+
+namespace bvf::circuit
+{
+namespace
+{
+
+class MemCellTest : public ::testing::TestWithParam<TechNode>
+{
+  protected:
+    const TechParams &tech() const { return techParams(GetParam()); }
+
+    std::unique_ptr<MemCellModel>
+    cell(CellKind kind, double vdd = 1.2, int cells = 128) const
+    {
+        return makeCellModel(kind, tech(), vdd, cells);
+    }
+};
+
+TEST_P(MemCellTest, Conv8TFavorsRead1)
+{
+    const auto c = cell(CellKind::Sram8T);
+    EXPECT_LT(c->readEnergy(1), 0.5 * c->readEnergy(0));
+}
+
+TEST_P(MemCellTest, Conv8TWriteSymmetric)
+{
+    const auto c = cell(CellKind::Sram8T);
+    EXPECT_DOUBLE_EQ(c->writeEnergy(0), c->writeEnergy(1));
+}
+
+TEST_P(MemCellTest, Bvf8TFavorsWrite1)
+{
+    const auto c = cell(CellKind::SramBvf8T);
+    EXPECT_LT(c->writeEnergy(1), 0.3 * c->writeEnergy(0));
+}
+
+TEST_P(MemCellTest, Bvf8TMissRoughlyDoublesConventionalWrite)
+{
+    const auto conv = cell(CellKind::Sram8T);
+    const auto bvf = cell(CellKind::SramBvf8T);
+    const double ratio = bvf->writeEnergy(0) / conv->writeEnergy(0);
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 2.2);
+}
+
+TEST_P(MemCellTest, Bvf8TReadMatchesConv8T)
+{
+    const auto conv = cell(CellKind::Sram8T);
+    const auto bvf = cell(CellKind::SramBvf8T);
+    EXPECT_DOUBLE_EQ(bvf->readEnergy(0), conv->readEnergy(0));
+    EXPECT_DOUBLE_EQ(bvf->readEnergy(1), conv->readEnergy(1));
+}
+
+TEST_P(MemCellTest, Sram6TIsValueBlind)
+{
+    const auto c = cell(CellKind::Sram6T);
+    EXPECT_DOUBLE_EQ(c->readEnergy(0), c->readEnergy(1));
+    EXPECT_DOUBLE_EQ(c->writeEnergy(0), c->writeEnergy(1));
+    EXPECT_DOUBLE_EQ(c->holdLeakage(0), c->holdLeakage(1));
+}
+
+TEST_P(MemCellTest, LeakageRatiosMatchPaper)
+{
+    // Section 3.1: -0.43% (hold 0), -3.01% (hold 1) vs conventional 8T;
+    // hold-1 9.61% below hold-0 within BVF-8T.
+    const auto conv = cell(CellKind::Sram8T);
+    const auto bvf = cell(CellKind::SramBvf8T);
+    EXPECT_NEAR(1.0 - bvf->holdLeakage(0) / conv->holdLeakage(0), 0.0043,
+                0.0002);
+    EXPECT_NEAR(1.0 - bvf->holdLeakage(1) / conv->holdLeakage(1), 0.0301,
+                0.002);
+    EXPECT_NEAR(1.0 - bvf->holdLeakage(1) / bvf->holdLeakage(0), 0.0961,
+                0.0002);
+}
+
+TEST_P(MemCellTest, VoltageScalingShrinksEnergy)
+{
+    for (const auto kind :
+         {CellKind::Sram8T, CellKind::SramBvf8T, CellKind::Edram3T}) {
+        const auto nom = cell(kind, 1.2);
+        const auto low = cell(kind, 0.6);
+        EXPECT_LT(low->readEnergy(0), nom->readEnergy(0));
+        EXPECT_LT(low->writeEnergy(0), nom->writeEnergy(0));
+        EXPECT_LT(low->holdLeakage(0), nom->holdLeakage(0));
+    }
+}
+
+TEST_P(MemCellTest, AsymmetryHoldsAtNearThreshold)
+{
+    const auto c = cell(CellKind::SramBvf8T, 0.6);
+    EXPECT_LT(c->readEnergy(1), c->readEnergy(0));
+    EXPECT_LT(c->writeEnergy(1), c->writeEnergy(0));
+    EXPECT_LT(c->holdLeakage(1), c->holdLeakage(0));
+}
+
+TEST_P(MemCellTest, SixTCannotOperateNearThreshold)
+{
+    EXPECT_FALSE(cell(CellKind::Sram6T)->operatesAt(0.6));
+    EXPECT_TRUE(cell(CellKind::Sram6T)->operatesAt(1.2));
+    EXPECT_TRUE(cell(CellKind::Sram8T)->operatesAt(0.6));
+}
+
+TEST_P(MemCellTest, EightTAreaPenalty)
+{
+    const auto t6 = cell(CellKind::Sram6T);
+    const auto t8 = cell(CellKind::Sram8T);
+    EXPECT_NEAR(t8->cellArea() / t6->cellArea(), 1.3, 0.01);
+}
+
+TEST_P(MemCellTest, EdramFavorsOneEverywhere)
+{
+    // Section 7.2: the 3T gain cell favors 1 for read, write and
+    // refresh (hold).
+    const auto c = cell(CellKind::Edram3T);
+    EXPECT_LT(c->readEnergy(1), c->readEnergy(0));
+    EXPECT_LT(c->writeEnergy(1), c->writeEnergy(0));
+    EXPECT_LT(c->holdLeakage(1), c->holdLeakage(0));
+}
+
+TEST_P(MemCellTest, Bvf6TFavorsOneButLimited)
+{
+    const auto c = cell(CellKind::SramBvf6T, 1.2, 16);
+    EXPECT_LT(c->readEnergy(1), c->readEnergy(0));
+    EXPECT_LT(c->writeEnergy(1), c->writeEnergy(0));
+}
+
+TEST_P(MemCellTest, EnergyGrowsWithColumnHeight)
+{
+    for (const auto kind : {CellKind::Sram6T, CellKind::Sram8T}) {
+        const auto small = cell(kind, 1.2, 32);
+        const auto tall = cell(kind, 1.2, 256);
+        EXPECT_GT(tall->readEnergy(0), small->readEnergy(0));
+        EXPECT_GT(tall->writeEnergy(0), small->writeEnergy(0));
+    }
+}
+
+TEST_P(MemCellTest, BvfFlagClassification)
+{
+    EXPECT_FALSE(cellKindHasBvf(CellKind::Sram6T));
+    EXPECT_TRUE(cellKindHasBvf(CellKind::Sram8T));
+    EXPECT_TRUE(cellKindHasBvf(CellKind::SramBvf8T));
+    EXPECT_TRUE(cellKindHasBvf(CellKind::Edram3T));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothNodes, MemCellTest,
+                         ::testing::Values(TechNode::N28, TechNode::N40),
+                         [](const auto &info) {
+                             return techNodeName(info.param);
+                         });
+
+TEST(MemCellNames, AllDistinct)
+{
+    EXPECT_EQ(cellKindName(CellKind::Sram6T), "6T");
+    EXPECT_EQ(cellKindName(CellKind::Sram8T), "Conv-8T");
+    EXPECT_EQ(cellKindName(CellKind::SramBvf8T), "BVF-8T");
+    EXPECT_EQ(cellKindName(CellKind::SramBvf6T), "BVF-6T");
+    EXPECT_EQ(cellKindName(CellKind::Edram3T), "eDRAM-3T");
+}
+
+} // namespace
+} // namespace bvf::circuit

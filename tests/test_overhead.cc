@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the coder design-overhead model (Section 6.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/overhead.hh"
+
+namespace bvf::power
+{
+namespace
+{
+
+TEST(Overhead, PaperInventoryFiguresExact)
+{
+    const auto oh28 = coderOverheadForNode(circuit::TechNode::N28);
+    EXPECT_EQ(oh28.xnorGates, 133920u);
+    EXPECT_NEAR(oh28.dynamicPower, 46.5e-3, 1e-6);
+    EXPECT_NEAR(oh28.staticPower, 18.7e-6, 1e-9);
+    EXPECT_NEAR(oh28.area, 0.207e-6, 1e-10);
+
+    const auto oh40 = coderOverheadForNode(circuit::TechNode::N40);
+    EXPECT_NEAR(oh40.dynamicPower, 60.5e-3, 1e-6);
+    EXPECT_NEAR(oh40.staticPower, 24.2e-6, 1e-9);
+    EXPECT_NEAR(oh40.area, 0.294e-6, 1e-10);
+}
+
+TEST(Overhead, RebuiltInventoryNearPaperCount)
+{
+    // Our port-by-port reconstruction should land within ~15% of the
+    // paper's 133,920 gates.
+    const auto oh =
+        coderOverhead(gpu::baselineConfig(), circuit::TechNode::N28);
+    EXPECT_GT(oh.xnorGates, 110000u);
+    EXPECT_LT(oh.xnorGates, 160000u);
+}
+
+TEST(Overhead, AreaFractionNegligible)
+{
+    // Paper: 0.056% of the die.
+    const auto oh =
+        coderOverhead(gpu::baselineConfig(), circuit::TechNode::N40);
+    const double frac = oh.areaFraction(baselineDieArea());
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LT(frac, 0.002);
+}
+
+TEST(Overhead, ScalesWithMachineSize)
+{
+    auto small = gpu::baselineConfig();
+    auto big = gpu::baselineConfig();
+    big.numSms *= 2;
+    big.l2Banks *= 2;
+    const auto oh_small = coderOverhead(small, circuit::TechNode::N28);
+    const auto oh_big = coderOverhead(big, circuit::TechNode::N28);
+    EXPECT_NEAR(static_cast<double>(oh_big.xnorGates)
+                    / static_cast<double>(oh_small.xnorGates),
+                2.0, 0.01);
+}
+
+TEST(Overhead, FortyNmGatesCostMore)
+{
+    const auto cfg = gpu::baselineConfig();
+    const auto oh28 = coderOverhead(cfg, circuit::TechNode::N28);
+    const auto oh40 = coderOverhead(cfg, circuit::TechNode::N40);
+    EXPECT_EQ(oh28.xnorGates, oh40.xnorGates); // same logic
+    EXPECT_GT(oh40.area, oh28.area);
+    EXPECT_GT(oh40.dynamicPower, oh28.dynamicPower);
+}
+
+TEST(Overhead, ZeroDieAreaSafe)
+{
+    CoderOverhead oh;
+    oh.area = 1.0;
+    EXPECT_DOUBLE_EQ(oh.areaFraction(0.0), 0.0);
+}
+
+} // namespace
+} // namespace bvf::power

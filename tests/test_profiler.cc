@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the Figure 8/9/11/12/14 profilers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+
+namespace bvf::core
+{
+namespace
+{
+
+TEST(Profiler, ValueProfileDeterministic)
+{
+    const auto &app = workload::findApp("ATA");
+    const auto a = profileValues(app, 500);
+    const auto b = profileValues(app, 500);
+    EXPECT_DOUBLE_EQ(a.meanLeadingZeros, b.meanLeadingZeros);
+    EXPECT_DOUBLE_EQ(a.meanZeroBits, b.meanZeroBits);
+}
+
+TEST(Profiler, ValueProfileRanges)
+{
+    for (const char *abbr : {"BFS", "SGE", "BLA", "NQU"}) {
+        const auto res = profileValues(workload::findApp(abbr), 800);
+        EXPECT_GE(res.meanLeadingZeros, 0.0) << abbr;
+        EXPECT_LE(res.meanLeadingZeros, 32.0) << abbr;
+        EXPECT_GE(res.meanZeroBits, 0.0) << abbr;
+        EXPECT_LE(res.meanZeroBits, 32.0) << abbr;
+        EXPECT_GE(res.zeroValueFrac, 0.0) << abbr;
+        EXPECT_LE(res.zeroValueFrac, 1.0) << abbr;
+    }
+}
+
+TEST(Profiler, IntAppsHaveMoreLeadingZerosThanFloatApps)
+{
+    const auto graph = profileValues(workload::findApp("BFS"), 1000);
+    const auto fp = profileValues(workload::findApp("BLA"), 1000);
+    EXPECT_GT(graph.meanLeadingZeros, fp.meanLeadingZeros);
+}
+
+TEST(Profiler, LaneProfileFindsCentredPivot)
+{
+    const auto res = profileLanes(workload::findApp("ATA"), 2000);
+    // Optimal lane near 21, and lane 21 within a few percent of it.
+    EXPECT_NEAR(res.optimalLane, 21, 4);
+    EXPECT_LT(res.lane21Excess, 1.1);
+    EXPECT_GE(res.lane21Excess, 1.0);
+}
+
+TEST(Profiler, LaneZeroWorseThanLane21)
+{
+    const auto res = profileLanes(workload::findApp("GEM"), 2000);
+    EXPECT_GT(res.lanePairDistance[0], res.lanePairDistance[21]);
+}
+
+TEST(Profiler, SuiteLaneProfileShape)
+{
+    const auto lanes = suiteLaneProfile(300);
+    // Normalized: max is 1, min at/near lane 21, lane 0 ~20% above it.
+    const double max_v =
+        *std::max_element(lanes.begin(), lanes.end());
+    EXPECT_DOUBLE_EQ(max_v, 1.0);
+    int best = 0;
+    for (int i = 1; i < 32; ++i) {
+        if (lanes[static_cast<std::size_t>(i)]
+            < lanes[static_cast<std::size_t>(best)]) {
+            best = i;
+        }
+    }
+    EXPECT_NEAR(best, 21, 2);
+    EXPECT_GT(lanes[0] / lanes[21], 1.1);
+}
+
+TEST(Profiler, SuiteMaskMatchesTable2ForPascal)
+{
+    EXPECT_EQ(suiteIsaMask(isa::GpuArch::Pascal),
+              isa::paperIsaMask(isa::GpuArch::Pascal));
+}
+
+TEST(Profiler, CorpusIsSubstantial)
+{
+    EXPECT_GT(suiteCorpusSize(isa::GpuArch::Pascal), 2000u);
+}
+
+TEST(Profiler, BitProbabilitiesMatchMask)
+{
+    const auto probs = suiteBitProbabilities(isa::GpuArch::Maxwell);
+    const Word64 mask = isa::paperIsaMask(isa::GpuArch::Maxwell);
+    for (int bit = 0; bit < 64; ++bit) {
+        if ((mask >> bit) & 1)
+            EXPECT_GT(probs[static_cast<std::size_t>(bit)], 0.5) << bit;
+        else
+            EXPECT_LE(probs[static_cast<std::size_t>(bit)], 0.5) << bit;
+    }
+}
+
+} // namespace
+} // namespace bvf::core

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Cross-module property tests: randomized coder compositions and
+ * parameterized sweeps of the circuit invariants the BVF design rests
+ * on, across every cell family, node and operating voltage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/mem_cell.hh"
+#include "coder/bvf_space.hh"
+#include "coder/isa_coder.hh"
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
+#include "common/rng.hh"
+
+namespace bvf
+{
+namespace
+{
+
+// ------------------------------------------------------------------
+// Randomized coder-chain properties
+// ------------------------------------------------------------------
+
+coder::CoderChain
+randomChain(Rng &rng, int stages)
+{
+    coder::CoderChain chain;
+    for (int s = 0; s < stages; ++s) {
+        if (rng.nextBool(0.5)) {
+            chain.addWord(std::make_shared<coder::NvCoder>());
+        } else {
+            chain.addBlock(std::make_shared<coder::VsCoder>(
+                static_cast<int>(rng.nextBounded(32))));
+        }
+    }
+    return chain;
+}
+
+TEST(CoderProperties, RandomChainsRoundTrip)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto chain =
+            randomChain(rng, 1 + static_cast<int>(rng.nextBounded(5)));
+        std::vector<Word> block(32);
+        for (Word &w : block)
+            w = rng.nextU32();
+        const auto original = block;
+        chain.encode(block);
+        chain.decode(block);
+        EXPECT_EQ(block, original) << "trial " << trial;
+    }
+}
+
+TEST(CoderProperties, ChainsPreserveBitVolume)
+{
+    // No coder may change the number of bits moved, only their values.
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto chain = randomChain(rng, 3);
+        std::vector<Word> block(32);
+        for (Word &w : block)
+            w = rng.nextU32();
+        const std::size_t before = block.size();
+        chain.encode(block);
+        EXPECT_EQ(block.size(), before);
+    }
+}
+
+TEST(CoderProperties, EncodersCommutePerWordVsSpan)
+{
+    // Word coders applied via a span must match per-word application,
+    // regardless of the surrounding chain.
+    const coder::NvCoder nv;
+    Rng rng(9);
+    std::vector<Word> block(64);
+    for (Word &w : block)
+        w = rng.nextU32();
+    auto span_version = block;
+    nv.encodeSpan(span_version);
+    for (std::size_t i = 0; i < block.size(); ++i)
+        EXPECT_EQ(span_version[i], nv.encode(block[i]));
+}
+
+TEST(CoderProperties, IsaMaskComposesWithItself)
+{
+    // Two different masks applied in sequence compose to XNOR with an
+    // XOR-combined mask -- and still invert cleanly.
+    const coder::IsaCoder a(0x4818000000070201ull);
+    const coder::IsaCoder b(0xe0800000001c0012ull);
+    Rng rng(11);
+    for (int t = 0; t < 1000; ++t) {
+        const Word64 w = rng.nextU64();
+        const Word64 twice = b.encode(a.encode(w));
+        EXPECT_EQ(a.decode(b.decode(twice)), w);
+        // b(a(w)) = ~((~(w^ma))^mb) = w ^ ma ^ mb.
+        EXPECT_EQ(twice, w ^ a.mask() ^ b.mask());
+    }
+}
+
+// ------------------------------------------------------------------
+// Circuit invariants swept over (cell, node, vdd)
+// ------------------------------------------------------------------
+
+struct CircuitPoint
+{
+    circuit::CellKind kind;
+    circuit::TechNode node;
+    double vdd;
+};
+
+class CircuitSweep : public ::testing::TestWithParam<CircuitPoint>
+{
+  protected:
+    std::unique_ptr<circuit::MemCellModel>
+    cell() const
+    {
+        const auto &p = GetParam();
+        const int cells =
+            p.kind == circuit::CellKind::SramBvf6T ? 16 : 128;
+        return circuit::makeCellModel(p.kind, circuit::techParams(p.node),
+                                      p.vdd, cells);
+    }
+};
+
+TEST_P(CircuitSweep, EnergiesArePositive)
+{
+    const auto c = cell();
+    for (const int bit : {0, 1}) {
+        EXPECT_GT(c->readEnergy(bit), 0.0);
+        EXPECT_GT(c->writeEnergy(bit), 0.0);
+        EXPECT_GT(c->holdLeakage(bit), 0.0);
+    }
+}
+
+TEST_P(CircuitSweep, OneNeverCostsMoreThanZero)
+{
+    // The defining BVF inequality, weak form (6T is the equality case).
+    const auto c = cell();
+    EXPECT_LE(c->readEnergy(1), c->readEnergy(0));
+    EXPECT_LE(c->writeEnergy(1), c->writeEnergy(0));
+    EXPECT_LE(c->holdLeakage(1), c->holdLeakage(0));
+}
+
+TEST_P(CircuitSweep, AreaIsPositive)
+{
+    EXPECT_GT(cell()->cellArea(), 0.0);
+}
+
+std::vector<CircuitPoint>
+sweepPoints()
+{
+    std::vector<CircuitPoint> points;
+    for (const auto kind :
+         {circuit::CellKind::Sram6T, circuit::CellKind::Sram8T,
+          circuit::CellKind::SramBvf8T, circuit::CellKind::SramBvf6T,
+          circuit::CellKind::Edram3T}) {
+        for (const auto node :
+             {circuit::TechNode::N28, circuit::TechNode::N40}) {
+            for (const double vdd : {1.2, 0.9, 0.6})
+                points.push_back(CircuitPoint{kind, node, vdd});
+        }
+    }
+    return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCellsNodesVoltages, CircuitSweep,
+    ::testing::ValuesIn(sweepPoints()),
+    [](const auto &info) {
+        const auto &p = info.param;
+        std::string name = circuit::cellKindName(p.kind) + "_"
+                           + circuit::techNodeName(p.node) + "_"
+                           + std::to_string(static_cast<int>(
+                               p.vdd * 10));
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace bvf

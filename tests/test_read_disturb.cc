@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the Section 7.1 read-disturb transient solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/read_disturb.hh"
+
+namespace bvf::circuit
+{
+namespace
+{
+
+ReadDisturbSim
+makeSim()
+{
+    const auto &tech = techParams(TechNode::N28);
+    return ReadDisturbSim(tech, tech.vddNominal);
+}
+
+TEST(ReadDisturb, ShortColumnsAreStable)
+{
+    const auto sim = makeSim();
+    for (int cells : {1, 4, 8, 16}) {
+        EXPECT_FALSE(sim.simulateBvfRead0(cells).flipped)
+            << cells << " cells/bitline";
+    }
+}
+
+TEST(ReadDisturb, TallColumnsFlipUnderBvfPrecharge)
+{
+    const auto sim = makeSim();
+    for (int cells : {32, 64, 128})
+        EXPECT_TRUE(sim.simulateBvfRead0(cells).flipped) << cells;
+}
+
+TEST(ReadDisturb, ConventionalPrechargeNeverFlips)
+{
+    const auto sim = makeSim();
+    for (int cells : {4, 16, 64, 256}) {
+        EXPECT_FALSE(sim.simulateConventionalRead0(cells).flipped)
+            << cells;
+    }
+}
+
+TEST(ReadDisturb, ThresholdMatchesPaper)
+{
+    // Paper: "when the cells per bitline exceeds 16, reading 0 may flip
+    // the data content".
+    const int threshold = makeSim().findFlipThreshold();
+    EXPECT_GT(threshold, 16);
+    EXPECT_LE(threshold, 20);
+}
+
+TEST(ReadDisturb, DisturbGrowsWithColumnHeight)
+{
+    const auto sim = makeSim();
+    const auto short_col = sim.simulateBvfRead0(4);
+    const auto tall_col = sim.simulateBvfRead0(16);
+    EXPECT_GE(tall_col.peakNodeV, short_col.peakNodeV);
+}
+
+TEST(ReadDisturb, FlippedCellEndsHigh)
+{
+    const auto sim = makeSim();
+    const auto res = sim.simulateBvfRead0(64);
+    ASSERT_TRUE(res.flipped);
+    EXPECT_GT(res.finalNodeV, 0.6);
+}
+
+TEST(ReadDisturb, StableCellEndsLow)
+{
+    const auto sim = makeSim();
+    const auto res = sim.simulateBvfRead0(4);
+    ASSERT_FALSE(res.flipped);
+    EXPECT_LT(res.finalNodeV, 0.6);
+}
+
+TEST(ReadDisturb, StepsBounded)
+{
+    const auto sim = makeSim();
+    const auto res = sim.simulateBvfRead0(8, 1.2e-9, 1.0e-12);
+    EXPECT_GT(res.steps, 0);
+    EXPECT_LE(res.steps, 1200);
+}
+
+} // namespace
+} // namespace bvf::circuit

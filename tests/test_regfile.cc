@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for register-file banking / operand collection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/regfile.hh"
+
+namespace bvf::gpu
+{
+namespace
+{
+
+TEST(RegFile, BankStriping)
+{
+    const RegFileModel rf(4);
+    EXPECT_EQ(rf.bankOf(0), 0);
+    EXPECT_EQ(rf.bankOf(1), 1);
+    EXPECT_EQ(rf.bankOf(4), 0);
+    EXPECT_EQ(rf.bankOf(7), 3);
+}
+
+TEST(RegFile, DisjointBanksNoConflict)
+{
+    const RegFileModel rf(4);
+    const int regs[] = {0, 1, 2};
+    const auto res = rf.collect(regs);
+    EXPECT_EQ(res.banksTouched, 3);
+    EXPECT_EQ(res.conflictCycles, 0);
+}
+
+TEST(RegFile, SameBankSerializes)
+{
+    const RegFileModel rf(4);
+    const int regs[] = {0, 4, 8}; // all bank 0
+    const auto res = rf.collect(regs);
+    EXPECT_EQ(res.banksTouched, 1);
+    EXPECT_EQ(res.conflictCycles, 2);
+}
+
+TEST(RegFile, MixedConflict)
+{
+    const RegFileModel rf(4);
+    const int regs[] = {1, 5, 2}; // banks 1,1,2
+    const auto res = rf.collect(regs);
+    EXPECT_EQ(res.banksTouched, 2);
+    EXPECT_EQ(res.conflictCycles, 1);
+}
+
+TEST(RegFile, EmptyCollection)
+{
+    const RegFileModel rf(4);
+    const auto res = rf.collect({});
+    EXPECT_EQ(res.banksTouched, 0);
+    EXPECT_EQ(res.conflictCycles, 0);
+}
+
+TEST(RegFile, RecordAccumulates)
+{
+    RegFileModel rf(2);
+    const int conflicting[] = {0, 2};
+    rf.record(conflicting);
+    rf.record(conflicting);
+    EXPECT_EQ(rf.totalConflictCycles(), 2u);
+    const int clean[] = {0, 1};
+    rf.record(clean);
+    EXPECT_EQ(rf.totalConflictCycles(), 2u);
+}
+
+TEST(RegFile, SingleBankAlwaysConflicts)
+{
+    const RegFileModel rf(1);
+    const int regs[] = {3, 9};
+    EXPECT_EQ(rf.collect(regs).conflictCycles, 1);
+}
+
+TEST(RegFile, InvalidBankCount)
+{
+    EXPECT_EXIT(
+        {
+            RegFileModel bad(0);
+            (void)bad;
+        },
+        ::testing::ExitedWithCode(1), "at least one bank");
+}
+
+} // namespace
+} // namespace bvf::gpu

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+
+namespace bvf
+{
+namespace
+{
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a() == b() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(37), 37u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(11);
+    std::map<std::uint64_t, int> seen;
+    for (int i = 0; i < 10000; ++i)
+        ++seen[rng.nextBounded(8)];
+    EXPECT_EQ(seen.size(), 8u);
+    for (const auto &[v, n] : seen)
+        EXPECT_GT(n, 10000 / 8 / 2) << "value " << v << " undersampled";
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo = hit_lo || v == -3;
+        hit_hi = hit_hi || v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(9);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GeometricMeanAndCap)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const int g = rng.nextGeometric(0.5, 10);
+        EXPECT_LE(g, 10);
+        EXPECT_GE(g, 0);
+        sum += g;
+    }
+    // E[min(Geom(0.5), 10)] ~= 1.0.
+    EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(21);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += parent() == child() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+} // namespace
+} // namespace bvf

@@ -1,0 +1,570 @@
+/**
+ * @file
+ * Functional-execution tests: small hand-written kernels run on a
+ * single-SM machine, checking architectural results (register values
+ * written to memory) and SIMT semantics.
+ */
+
+#include <bit>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+
+namespace bvf::gpu
+{
+namespace
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+using isa::SpecialReg;
+using isa::CmpOp;
+
+GpuConfig
+tinyConfig()
+{
+    GpuConfig c = baselineConfig();
+    c.numSms = 1;
+    return c;
+}
+
+/** Emit helpers mirroring the kernel builder's conventions. */
+struct Asm
+{
+    std::vector<Instruction> body;
+
+    int
+    emit(Instruction i)
+    {
+        body.push_back(i);
+        return static_cast<int>(body.size()) - 1;
+    }
+
+    void
+    s2r(int dst, SpecialReg sr)
+    {
+        Instruction i;
+        i.op = Opcode::S2R;
+        i.dst = static_cast<std::uint8_t>(dst);
+        i.flags = static_cast<std::uint8_t>(sr);
+        emit(i);
+    }
+
+    void
+    movImm(int dst, int imm)
+    {
+        Instruction i;
+        i.op = Opcode::Mov;
+        i.dst = static_cast<std::uint8_t>(dst);
+        i.immB = true;
+        i.imm = imm;
+        emit(i);
+    }
+
+    void
+    alu(Opcode op, int dst, int a, int b)
+    {
+        Instruction i;
+        i.op = op;
+        i.dst = static_cast<std::uint8_t>(dst);
+        i.srcA = static_cast<std::uint8_t>(a);
+        i.srcB = static_cast<std::uint8_t>(b);
+        emit(i);
+    }
+
+    void
+    aluImm(Opcode op, int dst, int a, int imm)
+    {
+        Instruction i;
+        i.op = op;
+        i.dst = static_cast<std::uint8_t>(dst);
+        i.srcA = static_cast<std::uint8_t>(a);
+        i.immB = true;
+        i.imm = imm;
+        emit(i);
+    }
+
+    /** r(dst) = globalSegmentBase (64KB aligned). */
+    void
+    base(int dst)
+    {
+        movImm(dst, static_cast<int>(isa::globalSegmentBase >> 16));
+        aluImm(Opcode::Shl, dst, dst, 16);
+    }
+
+    void
+    exit()
+    {
+        Instruction i;
+        i.op = Opcode::Exit;
+        emit(i);
+    }
+};
+
+/** Run a 1-block kernel and return the final global memory. */
+std::vector<Word>
+run(Asm &prog, int threads = 32, std::size_t globalWords = 1024)
+{
+    Program p;
+    p.name = "test";
+    p.body = std::move(prog.body);
+    p.launch.gridBlocks = 1;
+    p.launch.blockThreads = threads;
+    p.global.assign(globalWords, 0);
+
+    sram::NullSink sink;
+    Gpu gpu(tinyConfig(), std::move(p), sink);
+    gpu.run();
+    return gpu.program().global;
+}
+
+TEST(SmExec, StoreLaneIds)
+{
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    // mem[tid] = tid * 3
+    a.movImm(7, 3);
+    a.alu(Opcode::IMul, 8, 1, 7);
+    {
+        Instruction st;
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 8;
+        a.emit(st);
+    }
+    a.exit();
+
+    const auto mem = run(a);
+    for (Word t = 0; t < 32; ++t)
+        EXPECT_EQ(mem[t], t * 3) << "lane " << t;
+}
+
+TEST(SmExec, LoadComputeStore)
+{
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    {
+        Instruction ld; // r9 = mem[tid]
+        ld.op = Opcode::Ldg;
+        ld.dst = 9;
+        ld.srcA = 5;
+        a.emit(ld);
+    }
+    a.aluImm(Opcode::IAdd, 9, 9, 100);
+    {
+        Instruction st; // mem[tid + 32] = r9
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 9;
+        st.imm = 128;
+        a.emit(st);
+    }
+    a.exit();
+
+    Program p;
+    p.body = std::move(a.body);
+    p.launch.gridBlocks = 1;
+    p.launch.blockThreads = 32;
+    p.global.assign(1024, 0);
+    for (Word t = 0; t < 32; ++t)
+        p.global[t] = t * 7;
+
+    sram::NullSink sink;
+    Gpu gpu(tinyConfig(), std::move(p), sink);
+    gpu.run();
+    for (Word t = 0; t < 32; ++t)
+        EXPECT_EQ(gpu.program().global[32 + t], t * 7 + 100);
+}
+
+TEST(SmExec, PredicatedStoreOnlyOddLanes)
+{
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    a.aluImm(Opcode::And, 7, 1, 1);
+    {
+        Instruction sp; // p1 = (tid & 1) != 0
+        sp.op = Opcode::SetP;
+        sp.dst = 1;
+        sp.srcA = 7;
+        sp.immB = true;
+        sp.imm = 0;
+        sp.flags = static_cast<std::uint8_t>(CmpOp::Ne);
+        a.emit(sp);
+    }
+    a.movImm(8, 55);
+    {
+        Instruction st; // @p1 mem[tid] = 55
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 8;
+        st.pred = 1;
+        a.emit(st);
+    }
+    a.exit();
+
+    const auto mem = run(a);
+    for (Word t = 0; t < 32; ++t)
+        EXPECT_EQ(mem[t], (t % 2) ? 55u : 0u) << "lane " << t;
+}
+
+TEST(SmExec, DivergentBranchBothPathsExecute)
+{
+    // if (tid < 16) r8 = 1; else r8 = 2;  mem[tid] = r8
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    {
+        Instruction sp; // p1 = tid >= 16
+        sp.op = Opcode::SetP;
+        sp.dst = 1;
+        sp.srcA = 1;
+        sp.immB = true;
+        sp.imm = 16;
+        sp.flags = static_cast<std::uint8_t>(CmpOp::Ge);
+        a.emit(sp);
+    }
+    // @p1 BRA else (filled below)
+    Instruction br;
+    br.op = Opcode::Bra;
+    br.pred = 1;
+    const int bra_idx = a.emit(br);
+    a.movImm(8, 1);                  // then: r8 = 1
+    Instruction skip;                // BRA join (unconditional)
+    skip.op = Opcode::Bra;
+    const int skip_idx = a.emit(skip);
+    const int else_pc = static_cast<int>(a.body.size());
+    a.movImm(8, 2);                  // else: r8 = 2
+    const int join_pc = static_cast<int>(a.body.size());
+    {
+        Instruction st;
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 8;
+        a.emit(st);
+    }
+    a.exit();
+    a.body[static_cast<std::size_t>(bra_idx)].imm = else_pc;
+    a.body[static_cast<std::size_t>(bra_idx)].reconv = join_pc;
+    a.body[static_cast<std::size_t>(skip_idx)].imm = join_pc;
+    a.body[static_cast<std::size_t>(skip_idx)].reconv = join_pc;
+
+    const auto mem = run(a);
+    for (Word t = 0; t < 32; ++t)
+        EXPECT_EQ(mem[t], t < 16 ? 1u : 2u) << "lane " << t;
+}
+
+TEST(SmExec, SharedMemoryRotation)
+{
+    // smem[tid] = tid; barrier; r9 = smem[tid+1]; mem[tid] = r9.
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.aluImm(Opcode::Shl, 14, 1, 2);
+    {
+        Instruction st;
+        st.op = Opcode::Sts;
+        st.srcA = 14;
+        st.srcB = 1;
+        a.emit(st);
+    }
+    {
+        Instruction bar;
+        bar.op = Opcode::Bar;
+        a.emit(bar);
+    }
+    {
+        Instruction ld;
+        ld.op = Opcode::Lds;
+        ld.dst = 9;
+        ld.srcA = 14;
+        ld.imm = 4;
+        a.emit(ld);
+    }
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    {
+        Instruction st;
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 9;
+        a.emit(st);
+    }
+    a.exit();
+
+    Program p;
+    p.body = std::move(a.body);
+    p.launch.gridBlocks = 1;
+    p.launch.blockThreads = 32;
+    p.global.assign(1024, 0);
+    p.sharedBytesPerBlock = 256;
+
+    sram::NullSink sink;
+    Gpu gpu(tinyConfig(), std::move(p), sink);
+    gpu.run();
+    // Lane t sees smem[t+1] = t+1, wrapping at the 64-word shared size.
+    for (Word t = 0; t < 31; ++t)
+        EXPECT_EQ(gpu.program().global[t], t + 1) << "lane " << t;
+}
+
+TEST(SmExec, FloatPipeline)
+{
+    // r16 = float(tid); r24 = r16 * 2.0f + r24(0); f2i; store.
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.alu(Opcode::I2F, 16, 1, 0);
+    a.movImm(17, 0x4000); // 2.0f == 0x40000000; build via shl
+    a.aluImm(Opcode::Shl, 17, 17, 16);
+    a.movImm(24, 0);
+    a.alu(Opcode::Ffma, 24, 16, 17);
+    a.alu(Opcode::F2I, 25, 24, 0);
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    {
+        Instruction st;
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 25;
+        a.emit(st);
+    }
+    a.exit();
+
+    const auto mem = run(a);
+    for (Word t = 0; t < 32; ++t)
+        EXPECT_EQ(mem[t], 2 * t) << "lane " << t;
+}
+
+TEST(SmExec, LoopAccumulates)
+{
+    // r10 = 0; r25 = 0; do { r25 += 2; r10 += 1; } while (r10 < 5);
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.movImm(10, 0);
+    a.movImm(25, 0);
+    const int loop = static_cast<int>(a.body.size());
+    a.aluImm(Opcode::IAdd, 25, 25, 2);
+    a.aluImm(Opcode::IAdd, 10, 10, 1);
+    {
+        Instruction sp;
+        sp.op = Opcode::SetP;
+        sp.dst = 2;
+        sp.srcA = 10;
+        sp.immB = true;
+        sp.imm = 5;
+        sp.flags = static_cast<std::uint8_t>(CmpOp::Lt);
+        a.emit(sp);
+    }
+    Instruction br;
+    br.op = Opcode::Bra;
+    br.pred = 2;
+    br.imm = loop;
+    const int br_idx = a.emit(br);
+    a.body[static_cast<std::size_t>(br_idx)].reconv =
+        static_cast<int>(a.body.size());
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    {
+        Instruction st;
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 25;
+        a.emit(st);
+    }
+    a.exit();
+
+    const auto mem = run(a);
+    for (Word t = 0; t < 32; ++t)
+        EXPECT_EQ(mem[t], 10u);
+}
+
+TEST(SmExec, BitwiseAndShiftOps)
+{
+    // mem[tid] = ((tid << 3) | 1) ^ (tid & 6), exercising SHL/OR/XOR/AND.
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.aluImm(Opcode::Shl, 16, 1, 3);
+    a.aluImm(Opcode::Or, 16, 16, 1);
+    a.aluImm(Opcode::And, 17, 1, 6);
+    a.alu(Opcode::Xor, 18, 16, 17);
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    {
+        Instruction st;
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 18;
+        a.emit(st);
+    }
+    a.exit();
+
+    const auto mem = run(a);
+    for (Word t = 0; t < 32; ++t)
+        EXPECT_EQ(mem[t], ((t << 3) | 1u) ^ (t & 6u)) << "lane " << t;
+}
+
+TEST(SmExec, ClzMinMax)
+{
+    // mem[tid] = clz(tid) + min(tid, 5) + max(tid, 20).
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.alu(Opcode::Clz, 16, 1, 0);
+    a.aluImm(Opcode::Min, 17, 1, 5);
+    a.aluImm(Opcode::Max, 18, 1, 20);
+    a.alu(Opcode::IAdd, 19, 16, 17);
+    a.alu(Opcode::IAdd, 19, 19, 18);
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    {
+        Instruction st;
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 19;
+        a.emit(st);
+    }
+    a.exit();
+
+    const auto mem = run(a);
+    for (Word t = 0; t < 32; ++t) {
+        const Word expect = static_cast<Word>(std::countl_zero(t))
+                            + std::min<Word>(t, 5)
+                            + std::max<Word>(t, 20);
+        EXPECT_EQ(mem[t], expect) << "lane " << t;
+    }
+}
+
+TEST(SmExec, ConstantLoadBroadcast)
+{
+    // r16 = cmem[4 bytes]; mem[tid] = r16 (same word for every lane).
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.movImm(13, 0);
+    {
+        Instruction ld;
+        ld.op = Opcode::Ldc;
+        ld.dst = 16;
+        ld.srcA = 13;
+        ld.imm = 4;
+        a.emit(ld);
+    }
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    {
+        Instruction st;
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 16;
+        a.emit(st);
+    }
+    a.exit();
+
+    Program p;
+    p.body = std::move(a.body);
+    p.launch.gridBlocks = 1;
+    p.launch.blockThreads = 32;
+    p.global.assign(1024, 0);
+    p.constants = {111u, 222u, 333u};
+
+    sram::NullSink sink;
+    Gpu gpu(tinyConfig(), std::move(p), sink);
+    gpu.run();
+    for (Word t = 0; t < 32; ++t)
+        EXPECT_EQ(gpu.program().global[t], 222u);
+}
+
+TEST(SmExec, TextureLoadPerLane)
+{
+    // r16 = tmem[tid]; mem[tid] = r16.
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.aluImm(Opcode::Shl, 13, 1, 2);
+    {
+        Instruction ld;
+        ld.op = Opcode::Ldt;
+        ld.dst = 16;
+        ld.srcA = 13;
+        a.emit(ld);
+    }
+    a.aluImm(Opcode::Shl, 5, 1, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    {
+        Instruction st;
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 16;
+        a.emit(st);
+    }
+    a.exit();
+
+    Program p;
+    p.body = std::move(a.body);
+    p.launch.gridBlocks = 1;
+    p.launch.blockThreads = 32;
+    p.global.assign(1024, 0);
+    for (Word i = 0; i < 64; ++i)
+        p.texture.push_back(i * 11);
+
+    sram::NullSink sink;
+    Gpu gpu(tinyConfig(), std::move(p), sink);
+    gpu.run();
+    for (Word t = 0; t < 32; ++t)
+        EXPECT_EQ(gpu.program().global[t], t * 11) << "lane " << t;
+}
+
+TEST(SmExec, MultiBlockGridComputesAllThreads)
+{
+    // Every thread writes its global index: checks block distribution
+    // over SMs and the CTAID/NTID special registers.
+    Asm a;
+    a.s2r(1, SpecialReg::TidX);
+    a.s2r(2, SpecialReg::CtaIdX);
+    a.s2r(3, SpecialReg::NTidX);
+    a.alu(Opcode::Mov, 4, 0, 1);
+    a.alu(Opcode::IMad, 4, 2, 3);
+    a.aluImm(Opcode::Shl, 5, 4, 2);
+    a.base(6);
+    a.alu(Opcode::IAdd, 5, 5, 6);
+    {
+        Instruction st;
+        st.op = Opcode::Stg;
+        st.srcA = 5;
+        st.srcB = 4;
+        a.emit(st);
+    }
+    a.exit();
+
+    Program p;
+    p.body = std::move(a.body);
+    p.launch.gridBlocks = 6;
+    p.launch.blockThreads = 64;
+    p.global.assign(4096, 0xdeadu);
+
+    GpuConfig config = baselineConfig();
+    config.numSms = 2; // force multiple blocks per SM
+    sram::NullSink sink;
+    Gpu gpu(config, std::move(p), sink);
+    gpu.run();
+    for (Word i = 0; i < 6 * 64; ++i)
+        EXPECT_EQ(gpu.program().global[i], i) << "thread " << i;
+}
+
+} // namespace
+} // namespace bvf::gpu

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace bvf
+{
+namespace
+{
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.37 - 3.0;
+        if (i % 2)
+            a.add(x);
+        else
+            b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(4);
+    h.add(-5);     // clamps to 0
+    h.add(0);
+    h.add(2);
+    h.add(99);     // clamps to 3
+    EXPECT_EQ(h.at(0), 2u);
+    EXPECT_EQ(h.at(2), 1u);
+    EXPECT_EQ(h.at(3), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, WeightedMean)
+{
+    Histogram h(10);
+    h.add(2, 3);
+    h.add(4, 1);
+    EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 4.0) / 4.0);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a(4), b(4);
+    a.add(1);
+    b.add(1);
+    b.add(3);
+    a.merge(b);
+    EXPECT_EQ(a.at(1), 2u);
+    EXPECT_EQ(a.at(3), 1u);
+    EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(BitStats, RatiosAndMerge)
+{
+    BitStats s;
+    s.ones = 30;
+    s.zeros = 70;
+    s.accesses = 4;
+    EXPECT_EQ(s.bits(), 100u);
+    EXPECT_DOUBLE_EQ(s.oneRatio(), 0.3);
+
+    BitStats t;
+    t.ones = 70;
+    t.zeros = 30;
+    t.toggles = 5;
+    s.merge(t);
+    EXPECT_EQ(s.bits(), 200u);
+    EXPECT_DOUBLE_EQ(s.oneRatio(), 0.5);
+    EXPECT_EQ(s.toggles, 5u);
+}
+
+TEST(BitStats, EmptyRatioIsZero)
+{
+    BitStats s;
+    EXPECT_DOUBLE_EQ(s.oneRatio(), 0.0);
+}
+
+} // namespace
+} // namespace bvf

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the 58-application evaluation suite and its
+ * calibration against the paper's published profiling numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/profiler.hh"
+#include "workload/app_spec.hh"
+
+namespace bvf::workload
+{
+namespace
+{
+
+TEST(Suite, Exactly58Applications)
+{
+    EXPECT_EQ(evaluationSuite().size(), 58u);
+}
+
+TEST(Suite, AbbreviationsUnique)
+{
+    std::set<std::string> abbrs;
+    for (const auto &app : evaluationSuite())
+        EXPECT_TRUE(abbrs.insert(app.abbr).second) << app.abbr;
+}
+
+TEST(Suite, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &app : evaluationSuite())
+        EXPECT_TRUE(names.insert(app.name).second) << app.name;
+}
+
+TEST(Suite, AllSevenSuitesRepresented)
+{
+    std::set<Suite> suites;
+    for (const auto &app : evaluationSuite())
+        suites.insert(app.suite);
+    EXPECT_EQ(suites.size(), 7u);
+}
+
+TEST(Suite, PaperMemoryIntensiveAppsFlagged)
+{
+    // Figure 18's callouts.
+    for (const char *abbr :
+         {"ATA", "BFS", "BIC", "CON", "COR", "GES", "SYK", "SYR", "MD"})
+        EXPECT_TRUE(findApp(abbr).memoryIntensive) << abbr;
+    for (const char *abbr : {"BLA", "CP", "DXT", "LIB", "NQU", "SGE"})
+        EXPECT_FALSE(findApp(abbr).memoryIntensive) << abbr;
+}
+
+TEST(Suite, LaunchGeometriesValid)
+{
+    for (const auto &app : evaluationSuite()) {
+        EXPECT_GT(app.gridBlocks, 0) << app.abbr;
+        EXPECT_EQ(app.blockThreads % 32, 0) << app.abbr;
+        EXPECT_GT(app.loopIters, 0) << app.abbr;
+        EXPECT_GE(app.divergenceProb, 0.0);
+        EXPECT_LE(app.divergenceProb, 1.0);
+    }
+}
+
+TEST(Suite, SeedsAreStableAndDistinct)
+{
+    const auto &apps = evaluationSuite();
+    EXPECT_EQ(findApp("ATA").seed(), findApp("ATA").seed());
+    std::set<std::uint64_t> seeds;
+    for (const auto &app : apps)
+        seeds.insert(app.seed());
+    EXPECT_EQ(seeds.size(), apps.size());
+}
+
+TEST(Suite, FindAppUnknownAborts)
+{
+    EXPECT_EXIT(findApp("ZZZ"), ::testing::ExitedWithCode(1),
+                "unknown application");
+}
+
+TEST(SuiteCalibration, MeanLeadingZerosNearPaper)
+{
+    // Figure 8: ~9 of 32 leading redundant bits on average.
+    double sum = 0.0;
+    for (const auto &app : evaluationSuite())
+        sum += core::profileValues(app, 1500).meanLeadingZeros;
+    const double mean = sum / 58.0;
+    EXPECT_GT(mean, 7.5);
+    EXPECT_LT(mean, 13.0);
+}
+
+TEST(SuiteCalibration, MeanZeroBitsNearPaper)
+{
+    // Figure 9: ~22 of 32 bits are zero on average.
+    double sum = 0.0;
+    for (const auto &app : evaluationSuite())
+        sum += core::profileValues(app, 1500).meanZeroBits;
+    const double mean = sum / 58.0;
+    EXPECT_GT(mean, 20.0);
+    EXPECT_LT(mean, 24.5);
+}
+
+TEST(SuiteCalibration, GraphCodesDivergeMost)
+{
+    EXPECT_GT(findApp("BFS").divergenceProb,
+              findApp("SGE").divergenceProb);
+    EXPECT_GT(findApp("SSP").divergenceProb,
+              findApp("BLA").divergenceProb);
+}
+
+TEST(SuiteCalibration, LinearAlgebraIsFloatHeavy)
+{
+    EXPECT_GT(findApp("GEM").values.floatFraction, 0.8);
+    EXPECT_LT(findApp("BFS").values.floatFraction, 0.1);
+}
+
+TEST(Suite, SuiteNamesRender)
+{
+    for (const auto s :
+         {Suite::Rodinia, Suite::Parboil, Suite::CudaSdk, Suite::Shoc,
+          Suite::Lonestar, Suite::Polybench, Suite::GpgpuSim})
+        EXPECT_FALSE(suiteName(s).empty());
+}
+
+} // namespace
+} // namespace bvf::workload

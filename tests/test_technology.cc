@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for technology parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/technology.hh"
+
+namespace bvf::circuit
+{
+namespace
+{
+
+TEST(Technology, NamesAndNodes)
+{
+    EXPECT_EQ(techNodeName(TechNode::N28), "28nm");
+    EXPECT_EQ(techNodeName(TechNode::N40), "40nm");
+    EXPECT_EQ(techParams(TechNode::N28).node, TechNode::N28);
+    EXPECT_EQ(techParams(TechNode::N40).node, TechNode::N40);
+}
+
+TEST(Technology, BothNodesShareNominalVoltages)
+{
+    // The paper evaluates both nodes at 1.2V nominal / 0.6V NT.
+    for (const auto node : {TechNode::N28, TechNode::N40}) {
+        const auto &t = techParams(node);
+        EXPECT_DOUBLE_EQ(t.vddNominal, 1.2);
+        EXPECT_DOUBLE_EQ(t.vddNearThreshold, 0.6);
+    }
+}
+
+TEST(Technology, CapacitancesScaleWithFeatureSize)
+{
+    const auto &t28 = techParams(TechNode::N28);
+    const auto &t40 = techParams(TechNode::N40);
+    EXPECT_LT(t28.featureSize, t40.featureSize);
+    EXPECT_LT(t28.gateCapPerWidth, t40.gateCapPerWidth);
+    EXPECT_LT(t28.cellHeight, t40.cellHeight);
+    EXPECT_LT(t28.cellWidth, t40.cellWidth);
+}
+
+TEST(Technology, DynamicScalingIsQuadratic)
+{
+    const auto &t = techParams(TechNode::N28);
+    const double e_nom = 10.0;
+    EXPECT_DOUBLE_EQ(t.scaleDynamic(e_nom, 1.2), e_nom);
+    EXPECT_NEAR(t.scaleDynamic(e_nom, 0.6), e_nom * 0.25, 1e-12);
+    EXPECT_NEAR(t.scaleDynamic(e_nom, 0.9), e_nom * 0.5625, 1e-12);
+}
+
+TEST(Technology, ParamsArePositive)
+{
+    for (const auto node : {TechNode::N28, TechNode::N40}) {
+        const auto &t = techParams(node);
+        EXPECT_GT(t.gateCapPerWidth, 0.0);
+        EXPECT_GT(t.drainCapPerWidth, 0.0);
+        EXPECT_GT(t.wireCapPerLength, 0.0);
+        EXPECT_GT(t.ioffPerWidth, 0.0);
+        EXPECT_GT(t.minWidthNmos, 0.0);
+        EXPECT_GT(t.minWidthPmos, 0.0);
+        EXPECT_GT(t.senseAmpEnergyAtNominal, 0.0);
+        EXPECT_GT(t.decoderEnergyAtNominal, 0.0);
+        EXPECT_GT(t.vth, 0.0);
+        EXPECT_LT(t.vth, t.vddNominal);
+    }
+}
+
+} // namespace
+} // namespace bvf::circuit

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for trace capture/replay: offline parsing must reproduce online
+ * accounting exactly (the paper's dump-then-parse methodology).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/accountant.hh"
+#include "core/experiment.hh"
+#include "core/trace.hh"
+#include "gpu/gpu.hh"
+#include "workload/kernel_builder.hh"
+
+namespace bvf::core
+{
+namespace
+{
+
+using coder::Scenario;
+using coder::UnitId;
+using sram::AccessType;
+
+std::map<UnitId, std::uint64_t>
+caps()
+{
+    std::map<UnitId, std::uint64_t> m;
+    for (const auto unit : coder::allUnits()) {
+        if (unit != UnitId::Noc)
+            m[unit] = 1 << 20;
+    }
+    return m;
+}
+
+TEST(Trace, RoundTripSingleRecords)
+{
+    std::stringstream buffer;
+    {
+        TraceWriter writer(buffer);
+        const std::vector<Word> block = {1u, 2u, 3u};
+        writer.onAccess(UnitId::L1D, AccessType::Read, block, 0x7, 42);
+        const std::vector<Word64> instrs = {0xdeadbeefcafef00dull};
+        writer.onFetch(UnitId::L1I, AccessType::Write, instrs, 43);
+        const std::vector<Word> payload(8, 0xffu);
+        writer.onNocPacket(300, payload, true, 44);
+        EXPECT_EQ(writer.records(), 3u);
+    }
+
+    EnergyAccountant acc(caps());
+    EXPECT_EQ(replayTrace(buffer, acc), 3u);
+    EXPECT_EQ(acc.unitAccount(UnitId::L1D)
+                  .stats(Scenario::Baseline)
+                  .reads.accesses,
+              1u);
+    EXPECT_EQ(acc.unitAccount(UnitId::L1I)
+                  .stats(Scenario::Baseline)
+                  .writes.accesses,
+              1u);
+    EXPECT_EQ(acc.noc(Scenario::Baseline).flits, 1u);
+}
+
+TEST(Trace, OfflineReplayEqualsOnlineAccounting)
+{
+    const auto &spec = workload::findApp("KMN");
+    const auto capacities = caps();
+
+    // Online: account while simulating, and dump the trace via a tee.
+    EnergyAccountant online(capacities);
+    std::stringstream buffer;
+    TraceWriter writer(buffer);
+    TeeSink tee(online, writer);
+    {
+        gpu::GpuConfig config = gpu::baselineConfig();
+        gpu::Gpu machine(config, workload::buildProgram(spec), tee);
+        const auto stats = machine.run();
+        online.finalize(stats.cycles);
+    }
+    ASSERT_GT(writer.records(), 1000u);
+
+    // Offline: replay the dump into a fresh accountant.
+    EnergyAccountant offline(capacities);
+    EXPECT_EQ(replayTrace(buffer, offline), writer.records());
+
+    for (const auto unit : coder::allUnits()) {
+        if (unit == UnitId::Noc)
+            continue;
+        for (const auto s : coder::allScenarios) {
+            const auto &a = online.unitAccount(unit).stats(s);
+            const auto &b = offline.unitAccount(unit).stats(s);
+            EXPECT_EQ(a.reads.ones, b.reads.ones)
+                << coder::unitName(unit);
+            EXPECT_EQ(a.reads.zeros, b.reads.zeros);
+            EXPECT_EQ(a.writes.ones, b.writes.ones);
+            EXPECT_EQ(a.writes.accesses, b.writes.accesses);
+        }
+    }
+    for (const auto s : coder::allScenarios) {
+        EXPECT_EQ(online.noc(s).toggles, offline.noc(s).toggles);
+        EXPECT_EQ(online.noc(s).flits, offline.noc(s).flits);
+        EXPECT_EQ(online.noc(s).payloadOnes, offline.noc(s).payloadOnes);
+    }
+}
+
+TEST(Trace, RejectsGarbage)
+{
+    std::stringstream buffer("not a trace at all");
+    sram::NullSink sink;
+    EXPECT_EXIT(replayTrace(buffer, sink), ::testing::ExitedWithCode(1),
+                "not a BVF trace");
+}
+
+TEST(Trace, EmptyTraceReplaysZeroRecords)
+{
+    std::stringstream buffer;
+    {
+        TraceWriter writer(buffer);
+        (void)writer;
+    }
+    sram::NullSink sink;
+    EXPECT_EQ(replayTrace(buffer, sink), 0u);
+}
+
+TEST(Trace, TeeDeliversToBothSinks)
+{
+    EnergyAccountant a(caps()), b(caps());
+    TeeSink tee(a, b);
+    const std::vector<Word> block = {0xffffffffu};
+    tee.onAccess(UnitId::Reg, AccessType::Write, block, 0x1, 5);
+    EXPECT_EQ(
+        a.unitAccount(UnitId::Reg).stats(Scenario::Baseline).writes.ones,
+        32u);
+    EXPECT_EQ(
+        b.unitAccount(UnitId::Reg).stats(Scenario::Baseline).writes.ones,
+        32u);
+}
+
+} // namespace
+} // namespace bvf::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for per-unit access accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sram/unit_account.hh"
+
+namespace bvf::sram
+{
+namespace
+{
+
+using coder::Scenario;
+using coder::UnitId;
+
+TEST(UnitAccount, ReadWriteTally)
+{
+    UnitAccount acc(UnitId::Reg, 1024);
+    acc.recordRead(Scenario::Baseline, 10, 32, 1);
+    acc.recordRead(Scenario::Baseline, 20, 32, 2);
+    acc.recordWrite(Scenario::Baseline, 5, 32, 3);
+    const auto &s = acc.stats(Scenario::Baseline);
+    EXPECT_EQ(s.reads.ones, 30u);
+    EXPECT_EQ(s.reads.zeros, 34u);
+    EXPECT_EQ(s.reads.accesses, 2u);
+    EXPECT_EQ(s.writes.ones, 5u);
+    EXPECT_EQ(s.writes.accesses, 1u);
+}
+
+TEST(UnitAccount, ScenariosIndependent)
+{
+    UnitAccount acc(UnitId::L2, 4096);
+    acc.recordRead(Scenario::Baseline, 4, 32, 1);
+    acc.recordRead(Scenario::AllCoders, 28, 32, 1);
+    EXPECT_EQ(acc.stats(Scenario::Baseline).reads.ones, 4u);
+    EXPECT_EQ(acc.stats(Scenario::AllCoders).reads.ones, 28u);
+    EXPECT_EQ(acc.stats(Scenario::NvOnly).reads.accesses, 0u);
+}
+
+TEST(UnitAccount, InitValuePerScenario)
+{
+    // Baseline arrays power up at 0; BVF cells are initialized to 1
+    // (the paper exploits cheap hold-1).
+    EXPECT_EQ(UnitAccount::initValue(Scenario::Baseline), 0);
+    EXPECT_EQ(UnitAccount::initValue(Scenario::AllCoders), 1);
+    EXPECT_EQ(UnitAccount::initValue(Scenario::NvOnly), 1);
+}
+
+TEST(UnitAccount, UntouchedUnitHoldsInitValue)
+{
+    UnitAccount acc(UnitId::Sme, 8192);
+    acc.finalize(1000);
+    EXPECT_DOUBLE_EQ(
+        acc.stats(Scenario::Baseline).meanStoredOnesFrac(1000), 0.0);
+    EXPECT_DOUBLE_EQ(
+        acc.stats(Scenario::AllCoders).meanStoredOnesFrac(1000), 1.0);
+}
+
+TEST(UnitAccount, StoredFractionFollowsWrites)
+{
+    UnitAccount acc(UnitId::L1D, 1024);
+    // Fill the whole capacity with all-ones data at cycle 0.
+    acc.recordWrite(Scenario::Baseline, 1024, 1024, 0);
+    acc.finalize(1000);
+    const double frac =
+        acc.stats(Scenario::Baseline).meanStoredOnesFrac(1000);
+    EXPECT_GT(frac, 0.9);
+}
+
+TEST(UnitAccount, AllocatedFractionGrows)
+{
+    UnitAccount acc(UnitId::L1D, 2048);
+    acc.recordWrite(Scenario::Baseline, 0, 1024, 0);
+    acc.finalize(100);
+    const double alloc =
+        acc.stats(Scenario::Baseline).meanAllocatedFrac(100);
+    EXPECT_NEAR(alloc, 0.5, 0.01);
+}
+
+TEST(UnitAccount, ZeroCyclesSafe)
+{
+    UnitAccount acc(UnitId::L1C, 128);
+    EXPECT_DOUBLE_EQ(acc.stats(Scenario::Baseline).meanStoredOnesFrac(0),
+                     0.0);
+}
+
+TEST(UnitAccount, OnesBoundedByBits)
+{
+    UnitAccount acc(UnitId::Reg, 64);
+    EXPECT_DEATH(acc.recordRead(Scenario::Baseline, 40, 32, 1),
+                 "more ones than bits");
+}
+
+TEST(UnitAccount, CapacityRequired)
+{
+    EXPECT_EXIT(
+        {
+            UnitAccount bad(UnitId::Reg, 0);
+            (void)bad;
+        },
+        ::testing::ExitedWithCode(1), "zero capacity");
+}
+
+} // namespace
+} // namespace bvf::sram

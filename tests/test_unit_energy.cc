@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the stats -> energy evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sram/unit_energy.hh"
+
+namespace bvf::sram
+{
+namespace
+{
+
+circuit::ArrayModel
+makeArray(circuit::CellKind kind = circuit::CellKind::SramBvf8T)
+{
+    circuit::ArrayGeometry geom;
+    geom.sets = 64;
+    geom.blockBytes = 16;
+    return circuit::ArrayModel(kind,
+                               circuit::techParams(circuit::TechNode::N28),
+                               1.2, geom);
+}
+
+TEST(UnitEnergy, MoreOnesCheaperOnBvf)
+{
+    const auto array = makeArray();
+    UnitScenarioStats sparse, dense;
+    sparse.reads.ones = 100;
+    sparse.reads.zeros = 900;
+    dense.reads.ones = 900;
+    dense.reads.zeros = 100;
+
+    const auto e_sparse =
+        evaluateUnitEnergy(sparse, array, 1 << 20, 1000, 1e-9);
+    const auto e_dense =
+        evaluateUnitEnergy(dense, array, 1 << 20, 1000, 1e-9);
+    EXPECT_LT(e_dense.readDynamic, e_sparse.readDynamic);
+    // Same bit volume: same fixed cost.
+    EXPECT_DOUBLE_EQ(e_dense.fixedDynamic, e_sparse.fixedDynamic);
+}
+
+TEST(UnitEnergy, ValueBlindOn6T)
+{
+    const auto array = makeArray(circuit::CellKind::Sram6T);
+    UnitScenarioStats sparse, dense;
+    sparse.writes.ones = 0;
+    sparse.writes.zeros = 1000;
+    dense.writes.ones = 1000;
+    dense.writes.zeros = 0;
+    const auto e0 = evaluateUnitEnergy(sparse, array, 1 << 20, 10, 1e-9);
+    const auto e1 = evaluateUnitEnergy(dense, array, 1 << 20, 10, 1e-9);
+    EXPECT_DOUBLE_EQ(e0.writeDynamic, e1.writeDynamic);
+}
+
+TEST(UnitEnergy, StandbyScalesWithTimeAndCapacity)
+{
+    const auto array = makeArray();
+    UnitScenarioStats stats;
+    stats.storedOnesFracCycles = 0.0; // all zeros stored
+    const auto short_run =
+        evaluateUnitEnergy(stats, array, 1 << 20, 1000, 1e-9);
+    const auto long_run =
+        evaluateUnitEnergy(stats, array, 1 << 20, 2000, 1e-9);
+    EXPECT_NEAR(long_run.standby / short_run.standby, 2.0, 1e-9);
+
+    const auto big = evaluateUnitEnergy(stats, array, 1 << 21, 1000, 1e-9);
+    EXPECT_NEAR(big.standby / short_run.standby, 2.0, 1e-9);
+}
+
+TEST(UnitEnergy, StoringOnesLeaksLess)
+{
+    const auto array = makeArray();
+    UnitScenarioStats zeros, ones;
+    const std::uint64_t cycles = 1000;
+    zeros.storedOnesFracCycles = 0.0;
+    ones.storedOnesFracCycles = static_cast<double>(cycles);
+    const auto e0 = evaluateUnitEnergy(zeros, array, 1 << 20, cycles, 1e-9);
+    const auto e1 = evaluateUnitEnergy(ones, array, 1 << 20, cycles, 1e-9);
+    EXPECT_LT(e1.standby, e0.standby);
+    // The 9.61% hold-1 favor from the paper.
+    EXPECT_NEAR(1.0 - e1.standby / e0.standby, 0.0961, 0.002);
+}
+
+TEST(UnitEnergy, TotalIsSumOfParts)
+{
+    const auto array = makeArray();
+    UnitScenarioStats stats;
+    stats.reads.ones = 500;
+    stats.reads.zeros = 500;
+    stats.writes.ones = 100;
+    stats.writes.zeros = 300;
+    stats.storedOnesFracCycles = 400.0;
+    const auto e = evaluateUnitEnergy(stats, array, 1 << 20, 1000, 1e-9);
+    EXPECT_NEAR(e.total(),
+                e.readDynamic + e.writeDynamic + e.fixedDynamic
+                    + e.standby,
+                1e-18);
+    EXPECT_GT(e.readDynamic, 0.0);
+    EXPECT_GT(e.writeDynamic, 0.0);
+    EXPECT_GT(e.standby, 0.0);
+}
+
+TEST(UnitEnergy, EmptyStatsOnlyLeak)
+{
+    const auto array = makeArray();
+    UnitScenarioStats stats;
+    const auto e = evaluateUnitEnergy(stats, array, 1 << 20, 1000, 1e-9);
+    EXPECT_DOUBLE_EQ(e.readDynamic, 0.0);
+    EXPECT_DOUBLE_EQ(e.writeDynamic, 0.0);
+    EXPECT_DOUBLE_EQ(e.fixedDynamic, 0.0);
+    EXPECT_GT(e.standby, 0.0);
+}
+
+} // namespace
+} // namespace bvf::sram

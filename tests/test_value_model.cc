@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the synthetic value models, including the calibration
+ * properties the paper's profiling figures rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/value_model.hh"
+
+namespace bvf::workload
+{
+namespace
+{
+
+TEST(ValueModel, DeterministicPerSeed)
+{
+    const ValueProfile profile;
+    ValueModel a(profile, 5), b(profile, 5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.scalar(), b.scalar());
+    EXPECT_EQ(a.tile(), b.tile());
+}
+
+TEST(ValueModel, ZeroFractionTracksProfile)
+{
+    ValueProfile profile;
+    profile.zeroValueProb = 0.4;
+    ValueModel model(profile, 9);
+    int zeros = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        zeros += model.scalar() == 0 ? 1 : 0;
+    EXPECT_NEAR(zeros / static_cast<double>(n), 0.4, 0.02);
+}
+
+TEST(ValueModel, FloatFractionProducesExponents)
+{
+    ValueProfile profile;
+    profile.zeroValueProb = 0.0;
+    profile.floatFraction = 1.0;
+    profile.negativeProb = 0.0;
+    ValueModel model(profile, 3);
+    for (int i = 0; i < 1000; ++i) {
+        const Word w = model.scalar();
+        const int exponent = static_cast<int>((w >> 23) & 0xff);
+        EXPECT_GT(exponent, 90);
+        EXPECT_LT(exponent, 160);
+    }
+}
+
+TEST(ValueModel, IntsRespectEffectiveBitCap)
+{
+    ValueProfile profile;
+    profile.zeroValueProb = 0.0;
+    profile.floatFraction = 0.0;
+    profile.negativeProb = 0.0;
+    profile.maxEffectiveBits = 12;
+    profile.narrowGeomP = 0.2;
+    ValueModel model(profile, 4);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(model.scalar(), 1u << 12);
+}
+
+TEST(ValueModel, TileLanesCorrelateWithBase)
+{
+    ValueProfile profile;
+    profile.zeroValueProb = 0.0;
+    profile.laneOutlierProb = 0.0;
+    ValueModel model(profile, 6);
+    double mean_hd = 0.0;
+    const int n = 500;
+    for (int t = 0; t < n; ++t) {
+        const auto tile = model.tile();
+        for (int i = 1; i < warpWidth; ++i) {
+            mean_hd += hammingDistance(tile[0],
+                                       tile[static_cast<std::size_t>(i)]);
+        }
+    }
+    mean_hd /= n * 31.0;
+    // Correlated lanes: far below the ~16 of independent words.
+    EXPECT_LT(mean_hd, 10.0);
+}
+
+TEST(ValueModel, PivotCentreMinimizesDistance)
+{
+    ValueProfile profile;
+    profile.pivotCentre = 21;
+    ValueModel model(profile, 8);
+    std::array<double, warpWidth> dist{};
+    for (int t = 0; t < 4000; ++t) {
+        const auto tile = model.tile();
+        for (int i = 0; i < warpWidth; ++i) {
+            for (int j = 0; j < warpWidth; ++j) {
+                if (i != j) {
+                    dist[static_cast<std::size_t>(i)] += hammingDistance(
+                        tile[static_cast<std::size_t>(i)],
+                        tile[static_cast<std::size_t>(j)]);
+                }
+            }
+        }
+    }
+    int best = 0;
+    for (int i = 1; i < warpWidth; ++i) {
+        if (dist[static_cast<std::size_t>(i)]
+            < dist[static_cast<std::size_t>(best)]) {
+            best = i;
+        }
+    }
+    // The optimum should sit near the configured centre, and lane 0
+    // must be clearly worse than the centre (the paper's observation).
+    EXPECT_NEAR(best, 21, 3);
+    EXPECT_GT(dist[0], 1.1 * dist[21]);
+}
+
+TEST(ValueModel, ZeroBaseMakesSparseTiles)
+{
+    ValueProfile profile;
+    profile.zeroValueProb = 1.0; // every base is zero
+    ValueModel model(profile, 10);
+    const auto tile = model.tile();
+    int zeros = 0;
+    for (const Word w : tile)
+        zeros += w == 0 ? 1 : 0;
+    EXPECT_GT(zeros, warpWidth / 2);
+}
+
+TEST(ValueModel, ExactRepetitionExists)
+{
+    ValueProfile profile;
+    profile.zeroValueProb = 0.0;
+    profile.laneOutlierProb = 0.0;
+    profile.laneEqualProb = 0.5;
+    ValueModel model(profile, 12);
+    int equal = 0, total = 0;
+    for (int t = 0; t < 1000; ++t) {
+        const auto tile = model.tile();
+        // Count lanes equal to the modal value.
+        for (int i = 0; i < warpWidth; ++i) {
+            for (int j = i + 1; j < warpWidth; ++j) {
+                equal += tile[static_cast<std::size_t>(i)]
+                                 == tile[static_cast<std::size_t>(j)]
+                             ? 1
+                             : 0;
+                ++total;
+            }
+        }
+    }
+    EXPECT_GT(static_cast<double>(equal) / total, 0.15);
+}
+
+TEST(ValueModel, FillImageTilesAligned)
+{
+    const ValueProfile profile;
+    ValueModel model(profile, 14);
+    std::vector<Word> img;
+    model.fillImage(img, 100);
+    EXPECT_EQ(img.size(), 100u);
+    model.fillImage(img, 64);
+    EXPECT_EQ(img.size(), 64u);
+}
+
+TEST(ValueModel, InvalidPivotRejected)
+{
+    ValueProfile profile;
+    profile.pivotCentre = 40;
+    EXPECT_EXIT(
+        {
+            ValueModel bad(profile, 1);
+            (void)bad;
+        },
+        ::testing::ExitedWithCode(1), "pivot centre");
+}
+
+} // namespace
+} // namespace bvf::workload

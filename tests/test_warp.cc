@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for warp state and the SIMT reconvergence stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/warp.hh"
+
+namespace bvf::gpu
+{
+namespace
+{
+
+TEST(Warp, InitState)
+{
+    Warp w;
+    w.init(2, 5, 128);
+    EXPECT_FALSE(w.done());
+    EXPECT_EQ(w.pc(), 0);
+    EXPECT_EQ(w.activeMask(), fullMask);
+    EXPECT_EQ(w.warpIdInBlock(), 2);
+    EXPECT_EQ(w.blockId(), 5);
+    EXPECT_EQ(w.stackDepth(), 1u);
+}
+
+TEST(Warp, TailWarpPartialMask)
+{
+    Warp w;
+    w.init(3, 0, 112); // 3.5 warps: tail warp has 16 live lanes
+    EXPECT_EQ(w.existMask(), 0x0000ffffu);
+    EXPECT_EQ(w.activeMask(), 0x0000ffffu);
+}
+
+TEST(Warp, RegisterStoragePerLane)
+{
+    Warp w;
+    w.init(0, 0, 32);
+    w.setReg(5, 10, 0xdead);
+    w.setReg(6, 10, 0xbeef);
+    EXPECT_EQ(w.reg(5, 10), 0xdeadu);
+    EXPECT_EQ(w.reg(6, 10), 0xbeefu);
+    EXPECT_EQ(w.reg(5, 11), 0u);
+    const auto block = w.regBlock(10);
+    EXPECT_EQ(block[5], 0xdeadu);
+    EXPECT_EQ(block[6], 0xbeefu);
+}
+
+TEST(Warp, GuardMaskUnpredicated)
+{
+    Warp w;
+    w.init(0, 0, 32);
+    isa::Instruction i;
+    i.op = isa::Opcode::IAdd;
+    EXPECT_EQ(w.guardMask(i), fullMask);
+}
+
+TEST(Warp, GuardMaskFollowsPredicate)
+{
+    Warp w;
+    w.init(0, 0, 32);
+    for (int lane = 0; lane < warpSize; ++lane)
+        w.setPredicate(lane, 1, lane % 2 == 0);
+    isa::Instruction i;
+    i.op = isa::Opcode::IAdd;
+    i.pred = 1;
+    EXPECT_EQ(w.guardMask(i), 0x55555555u);
+    i.predNegate = true;
+    EXPECT_EQ(w.guardMask(i), 0xaaaaaaaau);
+}
+
+TEST(Warp, DivergeAndReconverge)
+{
+    Warp w;
+    w.init(0, 0, 32);
+    w.setPc(10);
+    // Lanes 0-15 take the branch to 20; reconverge at 30.
+    w.diverge(0x0000ffffu, 20, 11, 30);
+    EXPECT_EQ(w.stackDepth(), 3u);
+    EXPECT_EQ(w.pc(), 20);
+    EXPECT_EQ(w.activeMask(), 0x0000ffffu);
+
+    // Taken side runs to the reconvergence point.
+    w.setPc(30);
+    w.reconvergeIfNeeded();
+    EXPECT_EQ(w.pc(), 11);
+    EXPECT_EQ(w.activeMask(), 0xffff0000u);
+
+    // Fall-through side reaches it too.
+    w.setPc(30);
+    w.reconvergeIfNeeded();
+    EXPECT_EQ(w.pc(), 30);
+    EXPECT_EQ(w.activeMask(), fullMask);
+    EXPECT_EQ(w.stackDepth(), 1u);
+}
+
+TEST(Warp, NestedDivergence)
+{
+    Warp w;
+    w.init(0, 0, 32);
+    w.setPc(5);
+    w.diverge(0x000000ffu, 10, 6, 40);
+    EXPECT_EQ(w.activeMask(), 0x000000ffu);
+    // Inner divergence within the taken side.
+    w.diverge(0x0000000fu, 20, 11, 30);
+    EXPECT_EQ(w.activeMask(), 0x0000000fu);
+    EXPECT_EQ(w.stackDepth(), 5u);
+
+    w.setPc(30);
+    w.reconvergeIfNeeded();
+    EXPECT_EQ(w.activeMask(), 0x000000f0u);
+    w.setPc(30);
+    w.reconvergeIfNeeded();
+    EXPECT_EQ(w.activeMask(), 0x000000ffu);
+    EXPECT_EQ(w.pc(), 30);
+
+    w.setPc(40);
+    w.reconvergeIfNeeded();
+    EXPECT_EQ(w.activeMask(), 0xffffff00u);
+}
+
+TEST(Warp, MaskConservationThroughDivergence)
+{
+    Warp w;
+    w.init(0, 0, 32);
+    w.setPc(1);
+    w.diverge(0x13570000u, 8, 2, 9);
+    const auto taken = w.activeMask();
+    w.setPc(9);
+    w.reconvergeIfNeeded();
+    const auto fall = w.activeMask();
+    EXPECT_EQ(taken | fall, fullMask);
+    EXPECT_EQ(taken & fall, 0u);
+}
+
+TEST(Warp, ScoreboardDefaultsReady)
+{
+    Warp w;
+    w.init(0, 0, 32);
+    EXPECT_EQ(w.regReadyCycle(7), 0u);
+    w.setRegReadyCycle(7, 100);
+    EXPECT_EQ(w.regReadyCycle(7), 100u);
+    w.setPredReadyCycle(1, 55);
+    EXPECT_EQ(w.predReadyCycle(1), 55u);
+}
+
+TEST(Warp, ReinitClearsState)
+{
+    Warp w;
+    w.init(0, 0, 32);
+    w.setReg(3, 9, 77);
+    w.setRegReadyCycle(9, 1000);
+    w.setDone();
+    w.init(1, 2, 64);
+    EXPECT_FALSE(w.done());
+    EXPECT_EQ(w.reg(3, 9), 0u);
+    EXPECT_EQ(w.regReadyCycle(9), 0u);
+}
+
+} // namespace
+} // namespace bvf::gpu
