@@ -14,12 +14,20 @@
  *   --node 28|40          technology node       (default 28)
  *   --pstate 700|500|300  DVFS point            (default 700)
  *   --sched gto|lrr|two   warp scheduler        (default gto)
- *   --cell bvf8t|8t|6t|edram  SRAM cell family  (default bvf8t)
+ *   --cell bvf8t|bvf6t|8t|6t|edram  SRAM cells  (default bvf8t)
  *   --arch fermi|kepler|maxwell|pascal          (default pascal)
  *   --pivot N             VS register pivot     (default 21)
  *   --dynamic-isa         per-app ISA mask      (default static)
  *   --trace FILE          dump the access trace
+ *   --fault-rate R        per-bit soft-error rate per read (default 0)
+ *   --fault-seed N        fault-stream seed     (default 1)
+ *   --ecc                 SECDED(72,64) on every SRAM read port
+ *   --cells-bitline N     bitline column height (default 128)
  *   --list                list the 58 applications and exit
+ *
+ * Selecting --cell bvf6t additionally arms the Section 7.1 read-disturb
+ * model: the per-bit flip probability is derived from the transient
+ * solver at the chosen node, Vdd and --cells-bitline.
  */
 
 #include <cstdio>
@@ -32,6 +40,7 @@
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "core/trace.hh"
+#include "fault/fault_sink.hh"
 #include "workload/kernel_builder.hh"
 
 using namespace bvf;
@@ -49,6 +58,10 @@ struct Options
     int pivot = 21;
     bool dynamicIsa = false;
     std::string traceFile;
+    double faultRate = 0.0;
+    std::uint64_t faultSeed = 1;
+    bool ecc = false;
+    int cellsBitline = 128;
     std::vector<std::string> apps;
     bool list = false;
 };
@@ -59,10 +72,13 @@ usage()
     std::fprintf(stderr,
                  "usage: bvf_sim [--node 28|40] [--pstate 700|500|300] "
                  "[--sched gto|lrr|two]\n"
-                 "               [--cell bvf8t|8t|6t|edram] "
+                 "               [--cell bvf8t|bvf6t|8t|6t|edram] "
                  "[--arch fermi|kepler|maxwell|pascal]\n"
                  "               [--pivot N] [--dynamic-isa] "
-                 "[--trace FILE] APP... | --list\n");
+                 "[--trace FILE]\n"
+                 "               [--fault-rate R] [--fault-seed N] "
+                 "[--ecc] [--cells-bitline N]\n"
+                 "               APP... | --list\n");
     std::exit(2);
 }
 
@@ -95,6 +111,7 @@ parse(int argc, char **argv)
             const auto v = next();
             o.cell = v == "8t"      ? circuit::CellKind::Sram8T
                      : v == "6t"    ? circuit::CellKind::Sram6T
+                     : v == "bvf6t" ? circuit::CellKind::SramBvf6T
                      : v == "edram" ? circuit::CellKind::Edram3T
                                     : circuit::CellKind::SramBvf8T;
         } else if (arg == "--arch") {
@@ -109,6 +126,14 @@ parse(int argc, char **argv)
             o.dynamicIsa = true;
         } else if (arg == "--trace") {
             o.traceFile = next();
+        } else if (arg == "--fault-rate") {
+            o.faultRate = std::atof(next().c_str());
+        } else if (arg == "--fault-seed") {
+            o.faultSeed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--ecc") {
+            o.ecc = true;
+        } else if (arg == "--cells-bitline") {
+            o.cellsBitline = std::atoi(next().c_str());
         } else if (arg == "--list") {
             o.list = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -133,6 +158,7 @@ runOne(const Options &o, const workload::AppSpec &spec)
     core::AccountantOptions acc_opts;
     acc_opts.arch = o.arch;
     acc_opts.vsRegisterPivot = o.pivot;
+    acc_opts.eccAccounting = o.ecc;
 
     isa::Program program = workload::buildProgram(spec);
     if (o.dynamicIsa) {
@@ -144,6 +170,26 @@ runOne(const Options &o, const workload::AppSpec &spec)
     auto accountant = std::make_shared<core::EnergyAccountant>(
         driver.unitCapacities(), acc_opts);
 
+    // Fault model: explicit soft errors, plus the physics-derived
+    // read-disturb rate if a BVF-6T machine was selected.
+    fault::FaultConfig fault_cfg;
+    fault_cfg.seed = o.faultSeed;
+    fault_cfg.softErrorRate = o.faultRate;
+    fault_cfg.readDisturbRate = fault::readDisturbFlipProbability(
+        o.cell, o.node, o.pstate.vdd, o.cellsBitline);
+    fault_cfg.ecc = o.ecc ? fault::EccScheme::Secded72_64
+                          : fault::EccScheme::None;
+    fault_cfg.enabled =
+        o.faultRate > 0.0 || fault_cfg.readDisturbRate > 0.0;
+
+    std::unique_ptr<fault::FaultSink> fault_sink;
+    sram::AccessSink *sink = accountant.get();
+    if (fault_cfg.anyFaults()) {
+        fault_sink =
+            std::make_unique<fault::FaultSink>(*accountant, fault_cfg);
+        sink = fault_sink.get();
+    }
+
     gpu::GpuStats stats;
     std::uint64_t trace_records = 0;
     if (!o.traceFile.empty()) {
@@ -151,18 +197,28 @@ runOne(const Options &o, const workload::AppSpec &spec)
         fatal_if(!out, "cannot open trace file '%s'",
                  o.traceFile.c_str());
         core::TraceWriter writer(out);
-        core::TeeSink tee(*accountant, writer);
+        core::TeeSink tee(*sink, writer);
         gpu::Gpu machine(config, std::move(program), tee);
         stats = machine.run();
-        trace_records = writer.records();
+        const auto finished = writer.finish();
+        fatal_if(!finished.ok(), "trace dump to '%s' failed: %s",
+                 o.traceFile.c_str(),
+                 finished.error().describe().c_str());
+        trace_records = finished.value();
     } else {
-        gpu::Gpu machine(config, std::move(program), *accountant);
+        gpu::Gpu machine(config, std::move(program), *sink);
         stats = machine.run();
     }
     accountant->finalize(stats.cycles);
 
+    power::ChipModelOptions array_opts;
+    array_opts.ecc = o.ecc;
+    array_opts.cellsPerBitline = o.cellsBitline;
+    // A modelled read disturb is the only licence to price a BVF-6T
+    // array past its reliability limit.
+    array_opts.allowUnreliableCells = fault_cfg.readDisturbRate > 0.0;
     power::ChipPowerModel model(o.node, o.pstate.vdd, o.pstate.frequency,
-                                o.cell, config);
+                                o.cell, config, array_opts);
 
     TextTable table(strFormat(
         "%s (%s) on %s / %s / %s cells / %s scheduler",
@@ -191,6 +247,39 @@ runOne(const Options &o, const workload::AppSpec &spec)
                  : "-"});
     }
     table.print();
+
+    if (fault_sink || o.ecc) {
+        TextTable faults(strFormat(
+            "Faults and ECC (seed %llu, soft %.2e, disturb %.2e, "
+            "%d cells/bitline, %s)",
+            static_cast<unsigned long long>(fault_cfg.seed),
+            fault_cfg.softErrorRate, fault_cfg.readDisturbRate,
+            o.cellsBitline, fault::eccSchemeName(fault_cfg.ecc)));
+        faults.header({"Unit", "Codewords", "Flips", "Corrected",
+                       "Uncorrectable", "Silent", "Residual bits",
+                       "Uncorr. rate"});
+        auto count = [](std::uint64_t v) {
+            return strFormat("%llu", static_cast<unsigned long long>(v));
+        };
+        auto row = [&](const std::string &name,
+                       const fault::FaultSiteStats &st) {
+            faults.row({name, count(st.codewords),
+                        count(st.injected.total()), count(st.corrected),
+                        count(st.uncorrectable), count(st.silentErrors),
+                        count(st.residualBitErrors),
+                        strFormat("%.3e", st.uncorrectableRate())});
+        };
+        if (fault_sink) {
+            for (const auto &[unit, st] : fault_sink->unitStats())
+                row(coder::unitName(unit), st);
+            row("TOTAL", fault_sink->totals());
+        } else {
+            faults.row({"(no fault mechanism armed)", "-", "-", "-", "-",
+                        "-", "-", "-"});
+        }
+        faults.print();
+    }
+
     std::printf("cycles %llu, instructions %llu, flits %llu, "
                 "pivot-divergent writes %llu",
                 static_cast<unsigned long long>(stats.cycles),

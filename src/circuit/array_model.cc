@@ -15,7 +15,8 @@ namespace bvf::circuit
 ArrayModel::ArrayModel(CellKind kind, const TechParams &tech, double vdd,
                        ArrayGeometry geom)
     : geom_(geom), cell_(makeCellModel(kind, tech, vdd,
-                                       geom.cellsPerBitline))
+                                       geom.cellsPerBitline,
+                                       geom.allowUnreliable))
 {
     fatal_if(geom.sets <= 0 || geom.blockBytes <= 0,
              "array geometry must be positive");

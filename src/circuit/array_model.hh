@@ -27,6 +27,13 @@ struct ArrayGeometry
     int blockBytes = 16;     //!< bytes delivered per access
     int cellsPerBitline = 128; //!< column height (mat partitioning)
 
+    /**
+     * Build BVF-6T columns past the Section 7.1 reliability limit
+     * instead of fataling. Only fault studies that model the resulting
+     * read disturb explicitly should set this.
+     */
+    bool allowUnreliable = false;
+
     int wordBits() const { return blockBytes * 8; }
 };
 

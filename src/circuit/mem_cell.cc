@@ -352,7 +352,7 @@ class CellEdram3T : public MemCellModel
 
 std::unique_ptr<MemCellModel>
 makeCellModel(CellKind kind, const TechParams &tech, double vdd,
-              int cellsPerBitline)
+              int cellsPerBitline, bool allowUnreliable)
 {
     fatal_if(cellsPerBitline <= 0, "cellsPerBitline must be positive");
     switch (kind) {
@@ -363,8 +363,9 @@ makeCellModel(CellKind kind, const TechParams &tech, double vdd,
       case CellKind::SramBvf8T:
         return std::make_unique<CellBvf8T>(tech, vdd, cellsPerBitline);
       case CellKind::SramBvf6T:
-        fatal_if(cellsPerBitline
-                     > CellBvf6T::maxReliableCellsPerBitline,
+        fatal_if(!allowUnreliable
+                     && cellsPerBitline
+                            > CellBvf6T::maxReliableCellsPerBitline,
                  "BVF-6T is unreliable beyond %d cells/bitline "
                  "(destructive read; see Section 7.1)",
                  CellBvf6T::maxReliableCellsPerBitline);

@@ -103,10 +103,15 @@ class MemCellModel
 /**
  * Factory: build the energy model for @p kind at @p vdd with
  * @p cellsPerBitline cells sharing each column.
+ *
+ * @param allowUnreliable build BVF-6T columns past the Section 7.1
+ *        reliability limit instead of fataling. Reserved for fault
+ *        studies that model the resulting read disturb explicitly --
+ *        regular machine configuration must keep the guard.
  */
 std::unique_ptr<MemCellModel> makeCellModel(
     CellKind kind, const TechParams &tech, double vdd,
-    int cellsPerBitline = 128);
+    int cellsPerBitline = 128, bool allowUnreliable = false);
 
 } // namespace bvf::circuit
 

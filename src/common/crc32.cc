@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CRC-32 implementation (table-driven, reflected polynomial).
+ */
+
+#include "common/crc32.hh"
+
+#include <array>
+
+namespace bvf
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> &
+table()
+{
+    static const auto t = makeTable();
+    return t;
+}
+
+} // namespace
+
+void
+Crc32::update(const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    const auto &t = table();
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < len; ++i)
+        c = t[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    state_ = c;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    Crc32 crc;
+    crc.update(data, len);
+    return crc.value();
+}
+
+} // namespace bvf

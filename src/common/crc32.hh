@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+ *
+ * Used by the trace format to make corruption and truncation of
+ * serialized access streams detectable before any record is replayed
+ * into an accountant.
+ */
+
+#ifndef BVF_COMMON_CRC32_HH
+#define BVF_COMMON_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bvf
+{
+
+/** Incremental CRC-32 accumulator. */
+class Crc32
+{
+  public:
+    /** Fold @p len bytes at @p data into the running checksum. */
+    void update(const void *data, std::size_t len);
+
+    /** Finalized checksum of everything updated so far. */
+    std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  private:
+    std::uint32_t state_ = 0xffffffffu;
+};
+
+/** One-shot CRC-32 of a byte range. */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+} // namespace bvf
+
+#endif // BVF_COMMON_CRC32_HH

@@ -14,6 +14,23 @@ namespace bvf
 namespace
 {
 bool verboseFlag = false;
+thread_local int fatalTrapDepth = 0;
+}
+
+ScopedFatalTrap::ScopedFatalTrap()
+{
+    ++fatalTrapDepth;
+}
+
+ScopedFatalTrap::~ScopedFatalTrap()
+{
+    --fatalTrapDepth;
+}
+
+bool
+ScopedFatalTrap::active()
+{
+    return fatalTrapDepth > 0;
 }
 
 void
@@ -57,6 +74,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (ScopedFatalTrap::active())
+        throw FatalError(strFormat("%s (%s:%d)", msg.c_str(), file, line));
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace bvf
@@ -21,6 +22,33 @@ namespace bvf
 /** Verbosity control for inform(); warnings and errors always print. */
 void setVerbose(bool verbose);
 bool verbose();
+
+/** Thrown instead of exiting when a ScopedFatalTrap is active. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While alive on this thread, fatal() throws FatalError instead of
+ * terminating the process. Lets drivers isolate one bad configuration
+ * (a malformed app spec, an unusable option combination) from a long
+ * sweep instead of losing the whole run. panic() -- a broken internal
+ * invariant -- still aborts regardless.
+ */
+class ScopedFatalTrap
+{
+  public:
+    ScopedFatalTrap();
+    ~ScopedFatalTrap();
+
+    ScopedFatalTrap(const ScopedFatalTrap &) = delete;
+    ScopedFatalTrap &operator=(const ScopedFatalTrap &) = delete;
+
+    /** Is a trap active on this thread? */
+    static bool active();
+};
 
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);

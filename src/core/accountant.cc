@@ -8,6 +8,7 @@
 #include "coder/nv_coder.hh"
 #include "coder/vs_coder.hh"
 #include "common/logging.hh"
+#include "fault/secded.hh"
 
 namespace bvf::core
 {
@@ -102,23 +103,35 @@ EnergyAccountant::onAccess(UnitId unit, sram::AccessType type,
         const CoderChain &chain = chainFor(s, unit);
         std::uint64_t ones = 0;
         std::uint64_t bits = 0;
-        if (chain.empty()) {
-            for (std::size_t i = 0; i < block.size(); ++i) {
-                if (!((activeMask >> i) & 1u))
-                    continue;
-                ones += static_cast<std::uint64_t>(
-                    hammingWeight(block[i]));
-                bits += 32;
-            }
-        } else {
+        std::span<const Word> stored = block;
+        if (!chain.empty()) {
             scratch_.assign(block.begin(), block.end());
             chain.encode(scratch_);
-            for (std::size_t i = 0; i < scratch_.size(); ++i) {
-                if (!((activeMask >> i) & 1u))
+            stored = scratch_;
+        }
+        for (std::size_t i = 0; i < stored.size(); ++i) {
+            if (!((activeMask >> i) & 1u))
+                continue;
+            ones += static_cast<std::uint64_t>(
+                hammingWeight(stored[i]));
+            bits += 32;
+        }
+        if (options_.eccAccounting) {
+            // A codeword spans a word pair; its check byte moves with
+            // the pair whenever either half is touched.
+            for (std::size_t base = 0; base < stored.size(); base += 2) {
+                const bool low = (activeMask >> base) & 1u;
+                const bool high = base + 1 < stored.size()
+                                  && ((activeMask >> (base + 1)) & 1u);
+                if (!low && !high)
                     continue;
-                ones += static_cast<std::uint64_t>(
-                    hammingWeight(scratch_[i]));
-                bits += 32;
+                Word64 w = static_cast<Word64>(stored[base]);
+                if (base + 1 < stored.size()) {
+                    w |= static_cast<Word64>(stored[base + 1]) << 32;
+                }
+                ones += static_cast<std::uint64_t>(hammingWeight(
+                    static_cast<Word>(fault::secdedEncode(w))));
+                bits += fault::eccCheckBits(fault::EccScheme::Secded72_64);
             }
         }
         if (type == sram::AccessType::Read)
@@ -140,16 +153,14 @@ EnergyAccountant::onFetch(UnitId unit, sram::AccessType type,
 
     for (const Scenario s : coder::allScenarios) {
         std::uint64_t ones = 0;
-        const std::uint64_t bits = 64 * instrs.size();
-        if (isaApplies(s)) {
-            for (Word64 w : instrs) {
-                ones += static_cast<std::uint64_t>(
-                    hammingWeight64(isaCoder_.encode(w)));
-            }
-        } else {
-            for (Word64 w : instrs) {
-                ones +=
-                    static_cast<std::uint64_t>(hammingWeight64(w));
+        std::uint64_t bits = 64 * instrs.size();
+        for (Word64 w : instrs) {
+            const Word64 stored = isaApplies(s) ? isaCoder_.encode(w) : w;
+            ones += static_cast<std::uint64_t>(hammingWeight64(stored));
+            if (options_.eccAccounting) {
+                ones += static_cast<std::uint64_t>(hammingWeight(
+                    static_cast<Word>(fault::secdedEncode(stored))));
+                bits += fault::eccCheckBits(fault::EccScheme::Secded72_64);
             }
         }
         if (type == sram::AccessType::Read)

@@ -53,6 +53,14 @@ struct AccountantOptions
      * at kernel launch). Zero value = use the static Table 2 mask.
      */
     Word64 dynamicIsaMask = 0;
+
+    /**
+     * Account SECDED(72,64) check bits alongside the data bits. The
+     * check byte is computed over the *post-coder* word pair, because
+     * that is what the array stores: XNOR coding changes the 0/1 mix of
+     * the data and therefore of the parity bits protecting it.
+     */
+    bool eccAccounting = false;
 };
 
 /**

@@ -41,6 +41,15 @@ AppRun
 ExperimentDriver::runApp(const workload::AppSpec &spec,
                          bool dynamicIsa) const
 {
+    RunOptions options;
+    options.dynamicIsa = dynamicIsa;
+    return runApp(spec, options);
+}
+
+AppRun
+ExperimentDriver::runApp(const workload::AppSpec &spec,
+                         const RunOptions &options) const
+{
     AppRun run;
     run.name = spec.name;
     run.abbr = spec.abbr;
@@ -50,7 +59,8 @@ ExperimentDriver::runApp(const workload::AppSpec &spec,
 
     AccountantOptions opts;
     opts.arch = config_.arch;
-    if (dynamicIsa) {
+    opts.eccAccounting = options.fault.ecc == fault::EccScheme::Secded72_64;
+    if (options.dynamicIsa) {
         // The "assembler" profiles this binary and programs the mask
         // register at launch (Section 4.3, dynamic method).
         const isa::InstructionEncoder encoder(config_.arch);
@@ -60,7 +70,18 @@ ExperimentDriver::runApp(const workload::AppSpec &spec,
     run.accountant = std::make_shared<EnergyAccountant>(unitCapacities(),
                                                         opts);
 
-    gpu::Gpu machine(config_, std::move(program), *run.accountant);
+    // The fault layer sits between the machine and the accountant, so
+    // the accountant prices what a faulty array would actually deliver.
+    // With faults disabled no layer is inserted and the access stream
+    // is untouched.
+    sram::AccessSink *sink = run.accountant.get();
+    if (options.fault.anyFaults()) {
+        run.faults = std::make_shared<fault::FaultSink>(*run.accountant,
+                                                        options.fault);
+        sink = run.faults.get();
+    }
+
+    gpu::Gpu machine(config_, std::move(program), *sink);
     run.gpuStats = machine.run();
     run.accountant->finalize(run.gpuStats.cycles);
     return run;
@@ -69,20 +90,64 @@ ExperimentDriver::runApp(const workload::AppSpec &spec,
 std::vector<AppRun>
 ExperimentDriver::runSuite() const
 {
-    std::vector<AppRun> runs;
-    for (const auto &spec : workload::evaluationSuite()) {
-        inform("simulating %s (%s)", spec.name.c_str(), spec.abbr.c_str());
-        runs.push_back(runApp(spec));
+    SuiteResult result = runSuiteChecked();
+    for (const AppFailure &f : result.failures) {
+        warn("skipping %s (%s): %s", f.name.c_str(), f.abbr.c_str(),
+             f.error.describe().c_str());
     }
-    return runs;
+    return std::move(result.runs);
+}
+
+SuiteResult
+ExperimentDriver::runSuiteChecked(std::span<const workload::AppSpec> apps,
+                                  const RunOptions &options) const
+{
+    SuiteResult result;
+    for (const workload::AppSpec &spec : apps) {
+        inform("simulating %s (%s)", spec.name.c_str(), spec.abbr.c_str());
+        Error last{ErrorCode::Failed, "unknown failure"};
+        int attempts = 0;
+        bool done = false;
+        for (int attempt = 0; attempt < 2 && !done; ++attempt) {
+            ++attempts;
+            workload::AppSpec trial = spec;
+            trial.seedSalt = spec.seedSalt + attempt;
+            if (attempt > 0) {
+                warn("retrying %s with fresh seed", spec.abbr.c_str());
+            }
+            try {
+                ScopedFatalTrap trap;
+                result.runs.push_back(runApp(trial, options));
+                done = true;
+            } catch (const FatalError &e) {
+                last = Error{ErrorCode::Failed, e.what()};
+            } catch (const std::exception &e) {
+                last = Error{ErrorCode::Failed, e.what()};
+            }
+        }
+        if (!done)
+            result.failures.push_back({spec.name, spec.abbr, last,
+                                       attempts});
+    }
+    return result;
+}
+
+SuiteResult
+ExperimentDriver::runSuiteChecked(const RunOptions &options) const
+{
+    return runSuiteChecked(workload::evaluationSuite(), options);
 }
 
 AppEnergy
 ExperimentDriver::evaluate(const AppRun &run, const Pricing &pricing) const
 {
+    power::ChipModelOptions array_opts;
+    array_opts.ecc = pricing.ecc;
+    array_opts.cellsPerBitline = pricing.cellsPerBitline;
+    array_opts.allowUnreliableCells = pricing.allowUnreliableCells;
     power::ChipPowerModel model(pricing.node, pricing.pstate.vdd,
                                 pricing.pstate.frequency, pricing.cellKind,
-                                config_);
+                                config_, array_opts);
     AppEnergy out;
     out.abbr = run.abbr;
     out.memoryIntensive = run.memoryIntensive;

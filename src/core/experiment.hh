@@ -15,10 +15,13 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/result.hh"
 #include "core/accountant.hh"
+#include "fault/fault_sink.hh"
 #include "gpu/gpu.hh"
 #include "power/chip_model.hh"
 #include "workload/app_spec.hh"
@@ -34,6 +37,9 @@ struct AppRun
     bool memoryIntensive = false;
     gpu::GpuStats gpuStats;
     std::shared_ptr<EnergyAccountant> accountant;
+
+    /** Fault-injection layer; null when the run was fault-free. */
+    std::shared_ptr<fault::FaultSink> faults;
 };
 
 /** Per-scenario chip energy for one app under one pricing. */
@@ -57,6 +63,50 @@ struct Pricing
     circuit::TechNode node = circuit::TechNode::N28;
     gpu::PState pstate = {700.0e6, 1.2, "700MHz@1.2V"};
     circuit::CellKind cellKind = circuit::CellKind::SramBvf8T;
+
+    /** Price SECDED(72,64) storage (pair with RunOptions ECC). */
+    bool ecc = false;
+
+    /** Bitline length of every BVF array (Table 3 machine: 128). */
+    int cellsPerBitline = 128;
+
+    /** Price BVF-6T arrays past their reliability limit (fault study). */
+    bool allowUnreliableCells = false;
+};
+
+/** Per-run simulation knobs. */
+struct RunOptions
+{
+    /**
+     * Use a per-application ISA mask extracted from this kernel's
+     * binary (Section 4.3 "dynamic" variant) instead of the static
+     * Table 2 mask.
+     */
+    bool dynamicIsa = false;
+
+    /**
+     * Fault injection + ECC. When fault.ecc is SECDED the accountant
+     * also prices the check bits (they change the stored 0/1 mix).
+     * The all-defaults config changes nothing: no FaultSink is
+     * inserted and accounted numbers stay bit-identical.
+     */
+    fault::FaultConfig fault;
+};
+
+/** Why one application of a suite run could not be simulated. */
+struct AppFailure
+{
+    std::string name;
+    std::string abbr;
+    Error error;
+    int attempts = 0; //!< 2 = failed, was reseeded, failed again
+};
+
+/** Fail-soft suite outcome: completed runs plus isolated failures. */
+struct SuiteResult
+{
+    std::vector<AppRun> runs;
+    std::vector<AppFailure> failures;
 };
 
 /**
@@ -77,8 +127,24 @@ class ExperimentDriver
     AppRun runApp(const workload::AppSpec &spec,
                   bool dynamicIsa = false) const;
 
+    /** Simulate one application with full per-run options. */
+    AppRun runApp(const workload::AppSpec &spec,
+                  const RunOptions &options) const;
+
     /** Simulate every app of the 58-app suite. */
     std::vector<AppRun> runSuite() const;
+
+    /**
+     * Fail-soft suite run: a bad spec (or any fatal() raised while
+     * simulating it) is retried once with a fresh seed and, if it still
+     * fails, recorded as an AppFailure instead of killing the process.
+     * 57 good apps survive one broken one.
+     */
+    SuiteResult runSuiteChecked(std::span<const workload::AppSpec> apps,
+                                const RunOptions &options = {}) const;
+
+    /** Fail-soft run of the full 58-app suite. */
+    SuiteResult runSuiteChecked(const RunOptions &options = {}) const;
 
     /** Price one run under @p pricing. */
     AppEnergy evaluate(const AppRun &run, const Pricing &pricing) const;

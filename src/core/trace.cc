@@ -5,9 +5,11 @@
 
 #include "core/trace.hh"
 
+#include <cstring>
 #include <istream>
 #include <ostream>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
 
 namespace bvf::core
@@ -17,7 +19,16 @@ namespace
 {
 
 constexpr char magic[4] = {'B', 'V', 'F', 'T'};
-constexpr std::uint32_t version = 1;
+constexpr char batchMagic[4] = {'B', 'T', 'C', 'H'};
+constexpr char footerMagic[4] = {'B', 'V', 'F', 'E'};
+constexpr std::uint32_t version = 2;
+constexpr std::uint32_t legacyVersion = 1;
+
+/** Flush threshold: one CRC per ~64KiB of records. */
+constexpr std::size_t batchFlushBytes = 64 * 1024;
+
+/** Upper bound on a batch payload a reader will allocate. */
+constexpr std::uint32_t maxBatchBytes = 1u << 30;
 
 enum class RecordKind : std::uint8_t
 {
@@ -53,12 +64,209 @@ struct RecordHeader
     std::uint32_t count;
 };
 
+/** Bounds-checked cursor over an in-memory batch payload. */
+class ByteReader
+{
+  public:
+    ByteReader(const char *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    bool
+    read(void *dst, std::size_t n)
+    {
+        if (off_ + n > size_)
+            return false;
+        std::memcpy(dst, data_ + off_, n);
+        off_ += n;
+        return true;
+    }
+
+    bool done() const { return off_ == size_; }
+    std::size_t offset() const { return off_; }
+
+  private:
+    const char *data_;
+    std::size_t size_;
+    std::size_t off_ = 0;
+};
+
+/**
+ * Decode one record from @p reader and deliver it to @p sink.
+ * Returns an error description on malformed input, empty on success.
+ */
+std::string
+dispatchRecord(ByteReader &reader, sram::AccessSink &sink,
+               std::vector<Word> &words, std::vector<Word64> &instrs)
+{
+    RecordHeader h{};
+    if (!reader.read(&h, sizeof(h)))
+        return "truncated record header";
+    switch (static_cast<RecordKind>(h.kind)) {
+      case RecordKind::Access:
+        words.resize(h.count);
+        if (!reader.read(words.data(), h.count * sizeof(Word)))
+            return "truncated access record";
+        sink.onAccess(static_cast<coder::UnitId>(h.a),
+                      static_cast<sram::AccessType>(h.b), words,
+                      h.activeMask, h.cycle);
+        return {};
+      case RecordKind::Fetch:
+        instrs.resize(h.count);
+        if (!reader.read(instrs.data(), h.count * sizeof(Word64)))
+            return "truncated fetch record";
+        sink.onFetch(static_cast<coder::UnitId>(h.a),
+                     static_cast<sram::AccessType>(h.b), instrs,
+                     h.cycle);
+        return {};
+      case RecordKind::Noc: {
+        words.resize(h.count);
+        if (!reader.read(words.data(), h.count * sizeof(Word)))
+            return "truncated NoC record";
+        const int channel =
+            static_cast<int>(h.a) | (static_cast<int>(h.b) << 8);
+        sink.onNocPacket(channel, words, h.flags != 0, h.cycle);
+        return {};
+      }
+      default:
+        return strFormat("corrupt record kind %u", h.kind);
+    }
+}
+
+/**
+ * Close out a replay that hit damage: salvage keeps the prefix,
+ * otherwise the damage becomes the caller's error.
+ */
+Result<ReplaySummary>
+failOrSalvage(ReplaySummary summary, const ReplayOptions &opts,
+              ErrorCode code, std::string what)
+{
+    if (!opts.salvage)
+        return Error{code, std::move(what)};
+    summary.salvaged = true;
+    summary.warning = std::move(what);
+    return summary;
+}
+
+/** Version-1 stream: raw records, no batching, no checksums. */
+Result<ReplaySummary>
+replayLegacy(std::istream &in, sram::AccessSink &sink,
+             const ReplayOptions &opts)
+{
+    ReplaySummary summary;
+    std::vector<Word> words;
+    std::vector<Word64> instrs;
+    for (;;) {
+        const auto h = readRaw<RecordHeader>(in);
+        if (!in && in.eof())
+            return summary; // clean EOF at a record boundary
+        if (!in) {
+            return failOrSalvage(summary, opts, ErrorCode::Io,
+                                 "stream failure mid-record");
+        }
+        // Re-dispatch through the bounds-checked path by staging the
+        // payload; header fields drive the payload length.
+        const std::size_t payload_bytes =
+            static_cast<RecordKind>(h.kind) == RecordKind::Fetch
+                ? h.count * sizeof(Word64)
+                : h.count * sizeof(Word);
+        std::vector<char> staged(sizeof(h) + payload_bytes);
+        std::memcpy(staged.data(), &h, sizeof(h));
+        in.read(staged.data() + sizeof(h),
+                static_cast<std::streamsize>(payload_bytes));
+        if (!in) {
+            return failOrSalvage(
+                summary, opts, ErrorCode::Truncated,
+                strFormat("record %llu truncated",
+                          static_cast<unsigned long long>(
+                              summary.records)));
+        }
+        ByteReader reader(staged.data(), staged.size());
+        const std::string err =
+            dispatchRecord(reader, sink, words, instrs);
+        if (!err.empty()) {
+            return failOrSalvage(
+                summary, opts, ErrorCode::Corrupt,
+                strFormat("record %llu: %s",
+                          static_cast<unsigned long long>(
+                              summary.records),
+                          err.c_str()));
+        }
+        ++summary.records;
+    }
+}
+
 } // namespace
 
 TraceWriter::TraceWriter(std::ostream &out) : out_(out)
 {
     out_.write(magic, sizeof(magic));
     writeRaw(out_, version);
+    if (!out_)
+        ioError_ = true;
+    batch_.reserve(batchFlushBytes + 4096);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (finished_)
+        return;
+    const auto result = finish();
+    if (!result.ok())
+        warn("trace writer: %s", result.error().describe().c_str());
+}
+
+void
+TraceWriter::appendRecord(const void *header, std::size_t headerBytes,
+                          const void *payload, std::size_t payloadBytes)
+{
+    const auto *hp = static_cast<const char *>(header);
+    batch_.insert(batch_.end(), hp, hp + headerBytes);
+    if (payloadBytes > 0) {
+        const auto *pp = static_cast<const char *>(payload);
+        batch_.insert(batch_.end(), pp, pp + payloadBytes);
+    }
+    ++batchRecords_;
+    ++records_;
+    if (batch_.size() >= batchFlushBytes)
+        flushBatch();
+}
+
+void
+TraceWriter::flushBatch()
+{
+    if (batch_.empty())
+        return;
+    out_.write(batchMagic, sizeof(batchMagic));
+    writeRaw(out_, static_cast<std::uint32_t>(batch_.size()));
+    writeRaw(out_, batchRecords_);
+    writeRaw(out_, crc32(batch_.data(), batch_.size()));
+    out_.write(batch_.data(),
+               static_cast<std::streamsize>(batch_.size()));
+    if (!out_)
+        ioError_ = true;
+    batch_.clear();
+    batchRecords_ = 0;
+}
+
+Result<std::uint64_t>
+TraceWriter::finish()
+{
+    if (!finished_) {
+        flushBatch();
+        out_.write(footerMagic, sizeof(footerMagic));
+        writeRaw(out_, records_);
+        writeRaw(out_, crc32(&records_, sizeof(records_)));
+        out_.flush();
+        if (!out_)
+            ioError_ = true;
+        finished_ = true;
+    }
+    if (ioError_) {
+        return Error{ErrorCode::Io,
+                     "trace stream write failed; output is incomplete"};
+    }
+    return records_;
 }
 
 void
@@ -73,10 +281,7 @@ TraceWriter::onAccess(coder::UnitId unit, sram::AccessType type,
     h.activeMask = activeMask;
     h.cycle = cycle;
     h.count = static_cast<std::uint32_t>(block.size());
-    writeRaw(out_, h);
-    out_.write(reinterpret_cast<const char *>(block.data()),
-               static_cast<std::streamsize>(block.size_bytes()));
-    ++records_;
+    appendRecord(&h, sizeof(h), block.data(), block.size_bytes());
 }
 
 void
@@ -89,10 +294,7 @@ TraceWriter::onFetch(coder::UnitId unit, sram::AccessType type,
     h.b = static_cast<std::uint8_t>(type);
     h.cycle = cycle;
     h.count = static_cast<std::uint32_t>(instrs.size());
-    writeRaw(out_, h);
-    out_.write(reinterpret_cast<const char *>(instrs.data()),
-               static_cast<std::streamsize>(instrs.size_bytes()));
-    ++records_;
+    appendRecord(&h, sizeof(h), instrs.data(), instrs.size_bytes());
 }
 
 void
@@ -106,68 +308,134 @@ TraceWriter::onNocPacket(int channel, std::span<const Word> payload,
     h.flags = instrStream ? 1 : 0;
     h.cycle = cycle;
     h.count = static_cast<std::uint32_t>(payload.size());
-    writeRaw(out_, h);
-    out_.write(reinterpret_cast<const char *>(payload.data()),
-               static_cast<std::streamsize>(payload.size_bytes()));
-    ++records_;
+    appendRecord(&h, sizeof(h), payload.data(), payload.size_bytes());
 }
 
-std::uint64_t
-replayTrace(std::istream &in, sram::AccessSink &sink)
+Result<ReplaySummary>
+replayTrace(std::istream &in, sram::AccessSink &sink,
+            const ReplayOptions &opts)
 {
     char m[4];
     in.read(m, sizeof(m));
-    fatal_if(!in || m[0] != 'B' || m[1] != 'V' || m[2] != 'F'
-                 || m[3] != 'T',
-             "not a BVF trace stream");
+    if (!in || std::memcmp(m, magic, sizeof(magic)) != 0)
+        return Error{ErrorCode::Corrupt, "not a BVF trace stream"};
     const auto v = readRaw<std::uint32_t>(in);
-    fatal_if(v != version, "unsupported trace version %u", v);
+    if (!in)
+        return Error{ErrorCode::Truncated, "trace ends inside header"};
+    if (v == legacyVersion)
+        return replayLegacy(in, sink, opts);
+    if (v != version) {
+        return Error{ErrorCode::Unsupported,
+                     strFormat("unsupported trace version %u", v)};
+    }
 
-    std::uint64_t replayed = 0;
+    ReplaySummary summary;
+    std::vector<char> payload;
     std::vector<Word> words;
     std::vector<Word64> instrs;
     for (;;) {
-        const auto h = readRaw<RecordHeader>(in);
-        if (!in)
-            break; // clean EOF at a record boundary
-        switch (static_cast<RecordKind>(h.kind)) {
-          case RecordKind::Access: {
-            words.resize(h.count);
-            in.read(reinterpret_cast<char *>(words.data()),
-                    static_cast<std::streamsize>(h.count * sizeof(Word)));
-            fatal_if(!in, "truncated access record");
-            sink.onAccess(static_cast<coder::UnitId>(h.a),
-                          static_cast<sram::AccessType>(h.b), words,
-                          h.activeMask, h.cycle);
-            break;
-          }
-          case RecordKind::Fetch: {
-            instrs.resize(h.count);
-            in.read(reinterpret_cast<char *>(instrs.data()),
-                    static_cast<std::streamsize>(h.count
-                                                 * sizeof(Word64)));
-            fatal_if(!in, "truncated fetch record");
-            sink.onFetch(static_cast<coder::UnitId>(h.a),
-                         static_cast<sram::AccessType>(h.b), instrs,
-                         h.cycle);
-            break;
-          }
-          case RecordKind::Noc: {
-            words.resize(h.count);
-            in.read(reinterpret_cast<char *>(words.data()),
-                    static_cast<std::streamsize>(h.count * sizeof(Word)));
-            fatal_if(!in, "truncated NoC record");
-            const int channel = static_cast<int>(h.a)
-                                | (static_cast<int>(h.b) << 8);
-            sink.onNocPacket(channel, words, h.flags != 0, h.cycle);
-            break;
-          }
-          default:
-            fatal("corrupt trace record kind %u", h.kind);
+        char section[4];
+        in.read(section, sizeof(section));
+        if (!in && in.eof() && in.gcount() == 0) {
+            // v2 streams must end with a footer: a clean EOF here means
+            // trailing batches (or the whole tail) were lost.
+            return failOrSalvage(summary, opts, ErrorCode::Truncated,
+                                 "trace ends without footer");
         }
-        ++replayed;
+        if (!in) {
+            return failOrSalvage(summary, opts, ErrorCode::Truncated,
+                                 "trace ends inside a section marker");
+        }
+
+        if (std::memcmp(section, footerMagic, sizeof(footerMagic)) == 0) {
+            const auto total = readRaw<std::uint64_t>(in);
+            const auto crc = readRaw<std::uint32_t>(in);
+            if (!in) {
+                return failOrSalvage(summary, opts, ErrorCode::Truncated,
+                                     "trace ends inside footer");
+            }
+            if (crc32(&total, sizeof(total)) != crc) {
+                return failOrSalvage(summary, opts, ErrorCode::Corrupt,
+                                     "footer checksum mismatch");
+            }
+            if (total != summary.records) {
+                return failOrSalvage(
+                    summary, opts, ErrorCode::Truncated,
+                    strFormat("footer records %llu but replayed %llu: "
+                              "batches are missing",
+                              static_cast<unsigned long long>(total),
+                              static_cast<unsigned long long>(
+                                  summary.records)));
+            }
+            summary.sawFooter = true;
+            return summary;
+        }
+
+        if (std::memcmp(section, batchMagic, sizeof(batchMagic)) != 0) {
+            return failOrSalvage(
+                summary, opts, ErrorCode::Corrupt,
+                strFormat("corrupt section marker after batch %llu",
+                          static_cast<unsigned long long>(
+                              summary.batches)));
+        }
+
+        const auto bytes = readRaw<std::uint32_t>(in);
+        const auto record_count = readRaw<std::uint32_t>(in);
+        const auto crc = readRaw<std::uint32_t>(in);
+        if (!in) {
+            return failOrSalvage(summary, opts, ErrorCode::Truncated,
+                                 "trace ends inside a batch header");
+        }
+        if (bytes == 0 || bytes > maxBatchBytes) {
+            return failOrSalvage(
+                summary, opts, ErrorCode::Corrupt,
+                strFormat("implausible batch size %u", bytes));
+        }
+        payload.resize(bytes);
+        in.read(payload.data(), static_cast<std::streamsize>(bytes));
+        if (!in) {
+            return failOrSalvage(
+                summary, opts, ErrorCode::Truncated,
+                strFormat("batch %llu truncated",
+                          static_cast<unsigned long long>(
+                              summary.batches)));
+        }
+        if (crc32(payload.data(), payload.size()) != crc) {
+            return failOrSalvage(
+                summary, opts, ErrorCode::Corrupt,
+                strFormat("batch %llu checksum mismatch",
+                          static_cast<unsigned long long>(
+                              summary.batches)));
+        }
+
+        // The batch is intact; only now may records reach the sink.
+        ByteReader reader(payload.data(), payload.size());
+        std::uint32_t replayed = 0;
+        while (!reader.done()) {
+            const std::string err =
+                dispatchRecord(reader, sink, words, instrs);
+            if (!err.empty()) {
+                return failOrSalvage(
+                    summary, opts, ErrorCode::Corrupt,
+                    strFormat("batch %llu record %u: %s",
+                              static_cast<unsigned long long>(
+                                  summary.batches),
+                              replayed, err.c_str()));
+            }
+            ++replayed;
+            ++summary.records;
+        }
+        if (replayed != record_count) {
+            return failOrSalvage(
+                summary, opts, ErrorCode::Corrupt,
+                strFormat("batch %llu holds %u records, header claims "
+                          "%u",
+                          static_cast<unsigned long long>(
+                              summary.batches),
+                          replayed, record_count));
+        }
+        ++summary.batches;
     }
-    return replayed;
 }
 
 } // namespace bvf::core

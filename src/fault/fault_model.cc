@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Fault model implementation.
+ */
+
+#include "fault/fault_model.hh"
+
+#include <cmath>
+
+#include "circuit/read_disturb.hh"
+#include "circuit/technology.hh"
+#include "common/logging.hh"
+
+namespace bvf::fault
+{
+
+namespace
+{
+
+/** SplitMix64: decorrelates stuck-at site hashes from the fault Rng. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Position (0-based) of the k-th set bit of @p v; v must have > k. */
+int
+kthSetBit64(Word64 v, std::int64_t k)
+{
+    while (k-- > 0)
+        v &= v - 1;
+    return std::countr_zero(v);
+}
+
+} // namespace
+
+double
+readDisturbFlipProbability(circuit::CellKind kind, circuit::TechNode node,
+                           double vdd, int cellsPerBitline)
+{
+    if (kind != circuit::CellKind::SramBvf6T)
+        return 0.0;
+    const auto &tech = circuit::techParams(node);
+    const circuit::ReadDisturbSim sim(tech, vdd);
+    const auto transient = sim.simulateBvfRead0(cellsPerBitline);
+
+    // The nominal cell either survives or flips outright; silicon has a
+    // spread. Compare the disturbed node's peak excursion against a
+    // Gaussian-distributed inverter trip point (sigma from Vth
+    // variation) -- the tail probability is the per-read flip rate.
+    const double vtrip = 0.55 * vdd;
+    const double sigma = 0.02 * vdd;
+    const double z = (transient.peakNodeV - vtrip) / sigma;
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    fatal_if(config_.softErrorRate < 0.0 || config_.softErrorRate > 1.0,
+             "soft-error rate %g outside [0,1]", config_.softErrorRate);
+    fatal_if(config_.readDisturbRate < 0.0
+                 || config_.readDisturbRate > 1.0,
+             "read-disturb rate %g outside [0,1]",
+             config_.readDisturbRate);
+    fatal_if(config_.stuckAtFraction < 0.0
+                 || config_.stuckAtFraction > 1.0,
+             "stuck-at fraction %g outside [0,1]",
+             config_.stuckAtFraction);
+    if (config_.readDisturbRate > 0.0)
+        disturbGap_ = nextGap(config_.readDisturbRate);
+    if (config_.softErrorRate > 0.0)
+        seuGap_ = nextGap(config_.softErrorRate);
+}
+
+std::int64_t
+FaultInjector::nextGap(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    // Geometric gap: one draw per *event* instead of per bit, so tiny
+    // rates cost almost nothing per access.
+    const double u = rng_.nextDouble();
+    return static_cast<std::int64_t>(
+        std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+const FaultInjector::StuckSites &
+FaultInjector::stuckSitesFor(coder::UnitId unit, std::uint64_t pairIdx)
+{
+    const auto key = std::make_pair(static_cast<int>(unit), pairIdx);
+    auto it = stuckCache_.find(key);
+    if (it != stuckCache_.end())
+        return it->second;
+
+    StuckSites sites;
+    const std::uint64_t base = mix64(config_.seed)
+                               ^ (static_cast<std::uint64_t>(unit) << 48)
+                               ^ (pairIdx << 8);
+    for (int bit = 0; bit < 72; ++bit) {
+        const std::uint64_t h = mix64(base + static_cast<std::uint64_t>(bit));
+        const double u =
+            static_cast<double>(h >> 11) * 0x1.0p-53;
+        if (u >= config_.stuckAtFraction)
+            continue;
+        const bool value = (h & 1u) != 0;
+        if (bit < 64) {
+            sites.dataMask |= Word64(1) << bit;
+            if (value)
+                sites.dataValue |= Word64(1) << bit;
+        } else {
+            sites.checkMask |=
+                static_cast<std::uint8_t>(1u << (bit - 64));
+            if (value)
+                sites.checkValue |=
+                    static_cast<std::uint8_t>(1u << (bit - 64));
+        }
+    }
+    return stuckCache_.emplace(key, sites).first->second;
+}
+
+FlipBreakdown
+FaultInjector::corrupt(coder::UnitId unit, std::uint64_t pairIdx,
+                       Word64 &data, std::uint8_t &check, int checkBits)
+{
+    FlipBreakdown flips;
+    const std::uint8_t checkMask =
+        checkBits > 0 ? static_cast<std::uint8_t>((1u << checkBits) - 1)
+                      : 0;
+
+    // Stuck-at sites are positional: the same (unit, pairIdx, bit)
+    // misbehaves on every access.
+    if (config_.stuckAtFraction > 0.0) {
+        const StuckSites &s = stuckSitesFor(unit, pairIdx);
+        const Word64 changed = (data ^ s.dataValue) & s.dataMask;
+        data ^= changed;
+        std::uint8_t cchanged = 0;
+        if (checkBits > 0) {
+            cchanged = static_cast<std::uint8_t>(
+                (check ^ s.checkValue) & s.checkMask & checkMask);
+            check ^= cchanged;
+        }
+        flips.stuckAt +=
+            static_cast<std::uint64_t>(hammingWeight64(changed))
+            + static_cast<std::uint64_t>(
+                std::popcount(static_cast<unsigned>(cchanged)));
+    }
+
+    // Read disturb: each stored 0 in the codeword flips to 1 with the
+    // configured probability (the BL-high precharge can only drag the
+    // low node up, never the high node down).
+    if (disturbGap_ >= 0) {
+        Word64 zeroData = ~data;
+        std::uint8_t zeroCheck =
+            static_cast<std::uint8_t>(~check & checkMask);
+        std::int64_t n =
+            hammingWeight64(zeroData)
+            + std::popcount(static_cast<unsigned>(zeroCheck));
+        std::int64_t cursor = 0;
+        while (disturbGap_ < n - cursor) {
+            const std::int64_t k = cursor + disturbGap_;
+            const std::int64_t dataZeros = hammingWeight64(zeroData);
+            if (k < dataZeros) {
+                data |= Word64(1) << kthSetBit64(zeroData, k);
+            } else {
+                check = static_cast<std::uint8_t>(
+                    check
+                    | (1u << kthSetBit64(zeroCheck, k - dataZeros)));
+            }
+            ++flips.readDisturb;
+            cursor = k + 1;
+            disturbGap_ = nextGap(config_.readDisturbRate);
+        }
+        disturbGap_ -= n - cursor;
+    }
+
+    // Soft errors: any bit, either direction.
+    if (seuGap_ >= 0) {
+        const std::int64_t n = 64 + checkBits;
+        std::int64_t cursor = 0;
+        while (seuGap_ < n - cursor) {
+            const std::int64_t k = cursor + seuGap_;
+            if (k < 64)
+                data ^= Word64(1) << k;
+            else
+                check = static_cast<std::uint8_t>(
+                    check ^ (1u << (k - 64)));
+            ++flips.softError;
+            cursor = k + 1;
+            seuGap_ = nextGap(config_.softErrorRate);
+        }
+        seuGap_ -= n - cursor;
+    }
+
+    return flips;
+}
+
+} // namespace bvf::fault

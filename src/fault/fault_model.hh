@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Deterministic, seeded fault models for SRAM units.
+ *
+ * Three physical mechanisms are modelled, all manifesting when data is
+ * read out of an array:
+ *
+ *  - **read disturb** (Section 7.1): the BVF precharge makes a 6T read
+ *    of a stored 0 destructive once the bitline capacitance is large
+ *    enough. The per-bit flip probability is derived from the
+ *    circuit-level transient solver: the peak excursion of the low
+ *    storage node is compared against the inverter trip point under a
+ *    Gaussian threshold-variation model, so the probability is a
+ *    function of (cell kind, cells/bitline, Vdd) rather than a free
+ *    parameter. Flips are 0 -> 1 only.
+ *  - **soft errors** (SEU): any stored bit flips in either direction
+ *    with a configured per-bit, per-access probability.
+ *  - **stuck-at faults**: a configured fraction of physical bit sites
+ *    is permanently stuck at a deterministic value; the same
+ *    (unit, site) always misbehaves identically for a given seed.
+ *
+ * Everything is driven by one seeded Rng so a fixed (seed, workload)
+ * pair reproduces the exact same fault pattern.
+ */
+
+#ifndef BVF_FAULT_FAULT_MODEL_HH
+#define BVF_FAULT_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "circuit/mem_cell.hh"
+#include "coder/bvf_space.hh"
+#include "common/rng.hh"
+#include "fault/secded.hh"
+
+namespace bvf::fault
+{
+
+/** Knobs for fault injection over one simulation. */
+struct FaultConfig
+{
+    bool enabled = false;        //!< master switch (default: no faults)
+    std::uint64_t seed = 1;      //!< fault-stream seed
+
+    /** Per-bit flip probability per read access (SEU). */
+    double softErrorRate = 0.0;
+
+    /** Per stored-0-bit flip probability per read (read disturb). */
+    double readDisturbRate = 0.0;
+
+    /** Fraction of physical bit sites stuck at a fixed value. */
+    double stuckAtFraction = 0.0;
+
+    /** ECC protection applied at every SRAM read port. */
+    EccScheme ecc = EccScheme::None;
+
+    /** Any fault mechanism active? */
+    bool
+    anyFaults() const
+    {
+        return enabled
+               && (softErrorRate > 0.0 || readDisturbRate > 0.0
+                   || stuckAtFraction > 0.0);
+    }
+};
+
+/**
+ * Per-read-of-a-stored-0 flip probability of @p kind at
+ * @p cellsPerBitline column height, derived from the read-disturb
+ * transient solver. Zero for every family except the speculative
+ * BVF-6T, whose destructive read is the paper's Section 7.1 hazard.
+ */
+double readDisturbFlipProbability(circuit::CellKind kind,
+                                  circuit::TechNode node, double vdd,
+                                  int cellsPerBitline);
+
+/** Flip counts by mechanism. */
+struct FlipBreakdown
+{
+    std::uint64_t readDisturb = 0;
+    std::uint64_t softError = 0;
+    std::uint64_t stuckAt = 0;
+
+    std::uint64_t total() const { return readDisturb + softError + stuckAt; }
+
+    void
+    merge(const FlipBreakdown &o)
+    {
+        readDisturb += o.readDisturb;
+        softError += o.softError;
+        stuckAt += o.stuckAt;
+    }
+};
+
+/**
+ * Applies the configured fault mechanisms to 72-bit codewords
+ * (64 data bits + up to 8 check bits) as they are read.
+ *
+ * Rare events use geometric gap sampling (one RNG draw per *event*,
+ * not per bit), so the zero-overhead of low fault rates is near-free;
+ * the resulting stream is still exactly reproducible per seed.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config);
+
+    /**
+     * Corrupt one codeword in place.
+     *
+     * @param unit the unit being read (keys the stuck-at site map)
+     * @param pairIdx codeword index within the accessed block
+     * @param data 64 data bits
+     * @param check stored check bits (ignored when @p checkBits is 0)
+     * @param checkBits how many check bits accompany the data (0 or 8)
+     * @return flips applied, by mechanism
+     */
+    FlipBreakdown corrupt(coder::UnitId unit, std::uint64_t pairIdx,
+                          Word64 &data, std::uint8_t &check,
+                          int checkBits);
+
+    const FaultConfig &config() const { return config_; }
+
+  private:
+    /** Stuck-at masks for one (unit, pairIdx) site group. */
+    struct StuckSites
+    {
+        Word64 dataMask = 0;  //!< stuck data positions
+        Word64 dataValue = 0; //!< value they are stuck at
+        std::uint8_t checkMask = 0;
+        std::uint8_t checkValue = 0;
+    };
+
+    const StuckSites &stuckSitesFor(coder::UnitId unit,
+                                    std::uint64_t pairIdx);
+
+    /** Bits until the next event at probability @p p (geometric). */
+    std::int64_t nextGap(double p);
+
+    FaultConfig config_;
+    Rng rng_;
+    std::int64_t disturbGap_ = -1; //!< counted in eligible (0) bits
+    std::int64_t seuGap_ = -1;     //!< counted in all bits
+    std::map<std::pair<int, std::uint64_t>, StuckSites> stuckCache_;
+};
+
+} // namespace bvf::fault
+
+#endif // BVF_FAULT_FAULT_MODEL_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * FaultSink implementation.
+ */
+
+#include "fault/fault_sink.hh"
+
+namespace bvf::fault
+{
+
+FaultSink::FaultSink(sram::AccessSink &downstream,
+                     const FaultConfig &config)
+    : down_(downstream), config_(config), injector_(config)
+{
+}
+
+Word64
+FaultSink::processCodeword(coder::UnitId unit, std::uint64_t pairIdx,
+                           Word64 data, FaultSiteStats &st)
+{
+    ++st.codewords;
+    const Word64 original = data;
+    const bool ecc = config_.ecc == EccScheme::Secded72_64;
+    std::uint8_t check = ecc ? secdedEncode(data) : 0;
+
+    const FlipBreakdown flips = injector_.corrupt(
+        unit, pairIdx, data, check, ecc ? eccCheckBits(config_.ecc) : 0);
+    st.injected.merge(flips);
+    if (flips.total() == 0)
+        return data;
+
+    if (ecc) {
+        const SecdedDecoded decoded = secdedDecode(data, check);
+        if (decoded.status == EccStatus::Corrected)
+            ++st.corrected;
+        else if (decoded.status == EccStatus::Uncorrectable)
+            ++st.uncorrectable;
+        data = decoded.data;
+        // Three or more flips can land on (or miscorrect onto) another
+        // valid codeword: the decoder is satisfied but the data is
+        // wrong. That silent escape is the quantity that matters for
+        // the Section 7.1 safety argument, so count it explicitly.
+        if (decoded.status != EccStatus::Uncorrectable
+            && data != original) {
+            ++st.silentErrors;
+        }
+    } else if (data != original) {
+        ++st.silentErrors;
+    }
+    st.residualBitErrors += static_cast<std::uint64_t>(
+        hammingDistance64(data, original));
+    return data;
+}
+
+void
+FaultSink::onAccess(coder::UnitId unit, sram::AccessType type,
+                    std::span<const Word> block, std::uint32_t activeMask,
+                    std::uint64_t cycle)
+{
+    if (type != sram::AccessType::Read || !config_.anyFaults()) {
+        down_.onAccess(unit, type, block, activeMask, cycle);
+        return;
+    }
+
+    FaultSiteStats &st = stats_[unit];
+    ++st.readAccesses;
+    scratchWords_.assign(block.begin(), block.end());
+    // Pair 32-bit words into the 64-bit ECC granule; an odd tail word
+    // forms a zero-padded codeword of its own.
+    for (std::size_t base = 0; base < scratchWords_.size(); base += 2) {
+        Word64 data = static_cast<Word64>(scratchWords_[base]);
+        const bool hasHigh = base + 1 < scratchWords_.size();
+        if (hasHigh)
+            data |= static_cast<Word64>(scratchWords_[base + 1]) << 32;
+        data = processCodeword(unit, base / 2, data, st);
+        scratchWords_[base] = static_cast<Word>(data);
+        if (hasHigh)
+            scratchWords_[base + 1] = static_cast<Word>(data >> 32);
+    }
+    down_.onAccess(unit, type, scratchWords_, activeMask, cycle);
+}
+
+void
+FaultSink::onFetch(coder::UnitId unit, sram::AccessType type,
+                   std::span<const Word64> instrs, std::uint64_t cycle)
+{
+    if (type != sram::AccessType::Read || !config_.anyFaults()) {
+        down_.onFetch(unit, type, instrs, cycle);
+        return;
+    }
+
+    FaultSiteStats &st = stats_[unit];
+    ++st.readAccesses;
+    scratchInstrs_.assign(instrs.begin(), instrs.end());
+    for (std::size_t i = 0; i < scratchInstrs_.size(); ++i) {
+        scratchInstrs_[i] =
+            processCodeword(unit, i, scratchInstrs_[i], st);
+    }
+    down_.onFetch(unit, type, scratchInstrs_, cycle);
+}
+
+void
+FaultSink::onNocPacket(int channel, std::span<const Word> payload,
+                       bool instrStream, std::uint64_t cycle)
+{
+    // Link faults are out of scope: the Section 7.1 hazard lives in the
+    // storage arrays, not the wires.
+    down_.onNocPacket(channel, payload, instrStream, cycle);
+}
+
+FaultSiteStats
+FaultSink::totals() const
+{
+    FaultSiteStats total;
+    for (const auto &[unit, st] : stats_)
+        total.merge(st);
+    return total;
+}
+
+} // namespace bvf::fault

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fault-injecting AccessSink decorator with per-unit fault-site
+ * accounting and an optional SECDED repair stage.
+ *
+ * Sits between the GPU behavioural model and whatever consumes the
+ * access stream (EnergyAccountant, TraceWriter, test probes):
+ *
+ *     Gpu -> FaultSink -> [ECC decode] -> downstream sink
+ *
+ * Read data (unit reads and instruction fetches) is corrupted by the
+ * configured FaultInjector; with SECDED enabled every 64-bit chunk is
+ * encoded, the 72-bit codeword exposed to faults, then decoded --
+ * single flips are repaired before the downstream sink sees the data,
+ * double flips are counted as uncorrectable and delivered corrupt
+ * (fail-soft: the simulation continues and the damage is accounted).
+ * Writes and NoC packets pass through untouched; stored-data faults
+ * manifest at the read port. With no fault mechanism active the sink
+ * forwards spans unmodified, so the default path is bit-identical to
+ * not having the sink at all.
+ */
+
+#ifndef BVF_FAULT_FAULT_SINK_HH
+#define BVF_FAULT_FAULT_SINK_HH
+
+#include <map>
+#include <vector>
+
+#include "fault/fault_model.hh"
+#include "sram/access_sink.hh"
+
+namespace bvf::fault
+{
+
+/** Per-unit fault bookkeeping. */
+struct FaultSiteStats
+{
+    std::uint64_t readAccesses = 0; //!< reads exposed to injection
+    std::uint64_t codewords = 0;    //!< 64-bit chunks processed
+    FlipBreakdown injected;         //!< raw flips, by mechanism
+
+    std::uint64_t corrected = 0;     //!< codewords repaired by ECC
+    std::uint64_t uncorrectable = 0; //!< ECC detected, not repairable
+    std::uint64_t silentErrors = 0;  //!< corrupt codewords, no ECC
+
+    /** Bit flips that reached the downstream sink. */
+    std::uint64_t residualBitErrors = 0;
+
+    /** Uncorrectable (or silent) codewords per codeword read. */
+    double
+    uncorrectableRate() const
+    {
+        return codewords ? static_cast<double>(uncorrectable
+                                               + silentErrors)
+                               / static_cast<double>(codewords)
+                         : 0.0;
+    }
+
+    void
+    merge(const FaultSiteStats &o)
+    {
+        readAccesses += o.readAccesses;
+        codewords += o.codewords;
+        injected.merge(o.injected);
+        corrected += o.corrected;
+        uncorrectable += o.uncorrectable;
+        silentErrors += o.silentErrors;
+        residualBitErrors += o.residualBitErrors;
+    }
+};
+
+/** The decorator. Construct per simulated run. */
+class FaultSink : public sram::AccessSink
+{
+  public:
+    /**
+     * @param downstream sink receiving the post-fault, post-ECC stream
+     * @param config fault mechanisms, seed and ECC scheme
+     */
+    FaultSink(sram::AccessSink &downstream, const FaultConfig &config);
+
+    void onAccess(coder::UnitId unit, sram::AccessType type,
+                  std::span<const Word> block, std::uint32_t activeMask,
+                  std::uint64_t cycle) override;
+    void onFetch(coder::UnitId unit, sram::AccessType type,
+                 std::span<const Word64> instrs,
+                 std::uint64_t cycle) override;
+    void onNocPacket(int channel, std::span<const Word> payload,
+                     bool instrStream, std::uint64_t cycle) override;
+
+    /** Per-unit accounting. */
+    const std::map<coder::UnitId, FaultSiteStats> &
+    unitStats() const
+    {
+        return stats_;
+    }
+
+    /** Suite-wide totals over all units. */
+    FaultSiteStats totals() const;
+
+    const FaultConfig &config() const { return config_; }
+
+  private:
+    /**
+     * Run one codeword through inject + ECC; updates @p st and returns
+     * the data to deliver downstream.
+     */
+    Word64 processCodeword(coder::UnitId unit, std::uint64_t pairIdx,
+                           Word64 data, FaultSiteStats &st);
+
+    sram::AccessSink &down_;
+    FaultConfig config_;
+    FaultInjector injector_;
+    std::map<coder::UnitId, FaultSiteStats> stats_;
+    std::vector<Word> scratchWords_;
+    std::vector<Word64> scratchInstrs_;
+};
+
+} // namespace bvf::fault
+
+#endif // BVF_FAULT_FAULT_SINK_HH

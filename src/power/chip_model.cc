@@ -82,11 +82,15 @@ ChipEnergy::chipTotal() const
 ChipPowerModel::ChipPowerModel(circuit::TechNode node, double vdd,
                                double frequency,
                                circuit::CellKind cellKind,
-                               const gpu::GpuConfig &config)
+                               const gpu::GpuConfig &config,
+                               const ChipModelOptions &options)
     : node_(node), vdd_(vdd), frequency_(frequency), cellKind_(cellKind),
-      config_(config),
+      options_(options), config_(config),
       energies_(NonSramEnergies::forNode(node).scaledTo(vdd))
 {
+    fatal_if(options.cellsPerBitline < 1,
+             "cellsPerBitline must be positive, got %d",
+             options.cellsPerBitline);
     const auto &tech = circuit::techParams(node);
     const auto sms = static_cast<std::uint64_t>(config.numSms);
 
@@ -102,6 +106,14 @@ ChipPowerModel::ChipPowerModel(circuit::TechNode node, double vdd,
     capacities_[UnitId::L2] =
         static_cast<std::uint64_t>(config.l2TotalBytes()) * 8;
 
+    if (options_.ecc) {
+        // SECDED(72,64): 8 check bits ride along with every 64 data
+        // bits, so each array physically holds 9/8 of its data capacity
+        // (and leaks accordingly).
+        for (auto &[unit, bits] : capacities_)
+            bits = bits * 9 / 8;
+    }
+
     for (const auto &[unit, bits] : capacities_) {
         circuit::ArrayGeometry geom;
         geom.blockBytes = unit == UnitId::Reg ? 128
@@ -111,7 +123,8 @@ ChipPowerModel::ChipPowerModel(circuit::TechNode node, double vdd,
             bits / (static_cast<std::uint64_t>(geom.blockBytes) * 8));
         if (geom.sets < 1)
             geom.sets = 1;
-        geom.cellsPerBitline = 128;
+        geom.cellsPerBitline = options_.cellsPerBitline;
+        geom.allowUnreliable = options_.allowUnreliableCells;
         arrays_[unit] = std::make_unique<circuit::ArrayModel>(
             cellKind, tech, vdd, geom);
     }

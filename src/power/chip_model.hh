@@ -67,6 +67,30 @@ struct ChipEnergy
     double chipTotal() const;
 };
 
+/** Array-level knobs of the modelled machine. */
+struct ChipModelOptions
+{
+    /**
+     * Price SECDED(72,64) storage: every SRAM array grows by 8 check
+     * bits per 64 data bits (9/8 capacity, leakage and area), matching
+     * an accountant run with ECC accounting enabled.
+     */
+    bool ecc = false;
+
+    /**
+     * Cells sharing one bitline in every BVF array. The paper's Table 3
+     * machine uses 128; the Section 7.1 reliability study sweeps this.
+     */
+    int cellsPerBitline = 128;
+
+    /**
+     * Permit BVF-6T arrays beyond their 16 cells/bitline reliability
+     * limit (the guard otherwise fatals). Set only by fault studies
+     * that inject the resulting read disturb.
+     */
+    bool allowUnreliableCells = false;
+};
+
 /**
  * Chip power model for one (technology node, supply, cell family)
  * configuration.
@@ -80,10 +104,12 @@ class ChipPowerModel
      * @param frequency core clock [Hz]
      * @param cellKind SRAM cell family used for the BVF units
      * @param config machine (capacities per unit)
+     * @param options array-level knobs (ECC, bitline length)
      */
     ChipPowerModel(circuit::TechNode node, double vdd, double frequency,
                    circuit::CellKind cellKind,
-                   const gpu::GpuConfig &config);
+                   const gpu::GpuConfig &config,
+                   const ChipModelOptions &options = {});
 
     /** Capacity in bits of @p unit on this machine. */
     std::uint64_t unitCapacityBits(coder::UnitId unit) const;
@@ -109,12 +135,14 @@ class ChipPowerModel
     double vdd() const { return vdd_; }
     circuit::CellKind cellKind() const { return cellKind_; }
     const NonSramEnergies &nonSram() const { return energies_; }
+    const ChipModelOptions &options() const { return options_; }
 
   private:
     circuit::TechNode node_;
     double vdd_;
     double frequency_;
     circuit::CellKind cellKind_;
+    ChipModelOptions options_;
     const gpu::GpuConfig &config_;
     NonSramEnergies energies_;
     std::map<coder::UnitId, std::unique_ptr<circuit::ArrayModel>> arrays_;

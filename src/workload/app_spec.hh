@@ -73,7 +73,14 @@ struct AppSpec
     int loopIters = 6;
     bool memoryIntensive = false; //!< paper's Fig 18 classification
 
-    /** Deterministic per-app seed derived from the name. */
+    /**
+     * Extra entropy folded into seed(). Zero (the default) keeps the
+     * historical per-name seed; the experiment driver bumps it to retry
+     * a failed application with fresh value/divergence draws.
+     */
+    std::uint64_t seedSalt = 0;
+
+    /** Deterministic per-app seed derived from the name and seedSalt. */
     std::uint64_t seed() const;
 };
 

@@ -49,6 +49,10 @@ AppSpec::seed() const
         h ^= static_cast<unsigned char>(c);
         h *= 0x100000001b3ull;
     }
+    // seedSalt perturbs every bit so a retry-with-reseed redraws the
+    // whole value stream, not a shifted copy of it.
+    if (seedSalt != 0)
+        h ^= (seedSalt + 0x9e3779b97f4a7c15ull) * 0xff51afd7ed558ccdull;
     return h ^ 0xb5f0ull;
 }
 

@@ -141,5 +141,85 @@ TEST_F(ExperimentTest, DvfsKeepsReductionConsistent)
               0.5 * e_nom.at(Scenario::Baseline).chipTotal());
 }
 
+TEST_F(ExperimentTest, FailSoftSuiteIsolatesBrokenSpecs)
+{
+    ExperimentDriver driver(gpu::baselineConfig());
+    std::vector<workload::AppSpec> apps;
+    apps.push_back(workload::findApp("ATA"));
+    workload::AppSpec broken = workload::findApp("ATA");
+    broken.name = "broken-app";
+    broken.abbr = "BRK";
+    broken.blockThreads = 33; // not a multiple of the warp size
+    apps.push_back(broken);
+    apps.push_back(workload::findApp("GES"));
+
+    const SuiteResult result = driver.runSuiteChecked(apps);
+    ASSERT_EQ(result.runs.size(), 2u);
+    EXPECT_EQ(result.runs[0].abbr, "ATA");
+    EXPECT_EQ(result.runs[1].abbr, "GES");
+    ASSERT_EQ(result.failures.size(), 1u);
+    EXPECT_EQ(result.failures[0].abbr, "BRK");
+    EXPECT_EQ(result.failures[0].attempts, 2); // retried with a reseed
+    EXPECT_EQ(result.failures[0].error.code, ErrorCode::Failed);
+    EXPECT_FALSE(result.failures[0].error.message.empty());
+}
+
+TEST_F(ExperimentTest, SeedSaltChangesTheDraws)
+{
+    workload::AppSpec spec = workload::findApp("ATA");
+    const std::uint64_t base = spec.seed();
+    spec.seedSalt = 1;
+    EXPECT_NE(spec.seed(), base);
+    spec.seedSalt = 0;
+    EXPECT_EQ(spec.seed(), base); // salt 0 is the historical seed
+}
+
+TEST_F(ExperimentTest, FaultInjectionLeavesAccountingDeterministic)
+{
+    // Same seed, same fault pattern, same accounted energy.
+    ExperimentDriver driver(gpu::baselineConfig());
+    RunOptions options;
+    options.fault.enabled = true;
+    options.fault.seed = 17;
+    options.fault.softErrorRate = 1e-6;
+    options.fault.ecc = fault::EccScheme::Secded72_64;
+
+    const auto a = driver.runApp(workload::findApp("ATA"), options);
+    const auto b = driver.runApp(workload::findApp("ATA"), options);
+    ASSERT_TRUE(a.faults && b.faults);
+    EXPECT_EQ(a.faults->totals().injected.total(),
+              b.faults->totals().injected.total());
+    EXPECT_GT(a.faults->totals().codewords, 0u);
+
+    Pricing pricing;
+    pricing.ecc = true;
+    const auto ea = driver.evaluate(a, pricing);
+    const auto eb = driver.evaluate(b, pricing);
+    EXPECT_DOUBLE_EQ(ea.at(Scenario::Baseline).chipTotal(),
+                     eb.at(Scenario::Baseline).chipTotal());
+}
+
+TEST_F(ExperimentTest, EccPricingCostsEnergy)
+{
+    // SECDED check bits must show up as extra stored bits and extra
+    // dynamic energy relative to the unprotected machine.
+    ExperimentDriver driver(gpu::baselineConfig());
+    RunOptions ecc_run;
+    ecc_run.fault.ecc = fault::EccScheme::Secded72_64;
+    const auto protected_run =
+        driver.runApp(workload::findApp("ATA"), ecc_run);
+    EXPECT_EQ(protected_run.faults, nullptr); // ECC alone injects nothing
+
+    Pricing plain, ecc;
+    ecc.ecc = true;
+    const auto e_plain = driver.evaluate(run(), plain);
+    const auto e_ecc = driver.evaluate(protected_run, ecc);
+    EXPECT_GT(e_ecc.at(Scenario::Baseline).chipTotal(),
+              e_plain.at(Scenario::Baseline).chipTotal());
+    // ...but by a modest factor (12.5% storage, not a blowup).
+    EXPECT_LT(e_ecc.at(Scenario::Baseline).chipTotal(),
+              1.3 * e_plain.at(Scenario::Baseline).chipTotal());
+}
+
 } // namespace
 } // namespace bvf::core

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the fault models and the FaultSink decorator: determinism
+ * per seed, physical plausibility of each mechanism, ECC repair at the
+ * sink, and bit-exact passthrough when disabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/technology.hh"
+#include "fault/fault_model.hh"
+#include "fault/fault_sink.hh"
+
+namespace bvf::fault
+{
+namespace
+{
+
+using coder::UnitId;
+using sram::AccessType;
+
+/** Records the words each event delivered. */
+class CaptureSink : public sram::AccessSink
+{
+  public:
+    void
+    onAccess(UnitId, AccessType, std::span<const Word> block,
+             std::uint32_t, std::uint64_t) override
+    {
+        words.assign(block.begin(), block.end());
+        ++events;
+    }
+
+    void
+    onFetch(UnitId, AccessType, std::span<const Word64> instrs,
+            std::uint64_t) override
+    {
+        instrWords.assign(instrs.begin(), instrs.end());
+        ++events;
+    }
+
+    void
+    onNocPacket(int, std::span<const Word> payload, bool,
+                std::uint64_t) override
+    {
+        words.assign(payload.begin(), payload.end());
+        ++events;
+    }
+
+    std::vector<Word> words;
+    std::vector<Word64> instrWords;
+    int events = 0;
+};
+
+TEST(FaultModel, ReadDisturbProbabilityTracksTheSolver)
+{
+    // Only the speculative BVF-6T suffers the destructive read.
+    for (const auto kind :
+         {circuit::CellKind::Sram6T, circuit::CellKind::Sram8T,
+          circuit::CellKind::SramBvf8T, circuit::CellKind::Edram3T}) {
+        EXPECT_EQ(readDisturbFlipProbability(kind,
+                                             circuit::TechNode::N28,
+                                             1.2, 128),
+                  0.0);
+    }
+
+    const auto p = [](int cells) {
+        return readDisturbFlipProbability(circuit::CellKind::SramBvf6T,
+                                          circuit::TechNode::N28, 1.2,
+                                          cells);
+    };
+    // Below the Section 7.1 limit the flip probability is negligible;
+    // one cell past it the read is essentially always destructive.
+    EXPECT_LT(p(8), 1e-9);
+    EXPECT_LT(p(16), 1e-4);
+    EXPECT_GT(p(17), 0.99);
+    EXPECT_GT(p(32), 0.99);
+    // Monotone in column height.
+    EXPECT_LE(p(8), p(12));
+    EXPECT_LE(p(12), p(16));
+    EXPECT_LE(p(16), p(17));
+}
+
+TEST(FaultModel, DeterministicPerSeed)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 99;
+    cfg.softErrorRate = 0.01;
+    cfg.stuckAtFraction = 0.001;
+
+    auto run = [&](std::uint64_t seed) {
+        FaultConfig c = cfg;
+        c.seed = seed;
+        FaultInjector inj(c);
+        std::vector<Word64> out;
+        for (std::uint64_t i = 0; i < 200; ++i) {
+            Word64 data = 0xa5a5a5a5a5a5a5a5ull;
+            std::uint8_t check = 0;
+            inj.corrupt(UnitId::L1D, i, data, check, 0);
+            out.push_back(data);
+        }
+        return out;
+    };
+
+    EXPECT_EQ(run(99), run(99));   // same seed, same fault pattern
+    EXPECT_NE(run(99), run(100));  // different seed, different pattern
+}
+
+TEST(FaultModel, ReadDisturbOnlyFlipsZerosToOnes)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 5;
+    cfg.readDisturbRate = 1.0; // every stored 0 flips
+    FaultInjector inj(cfg);
+
+    Word64 data = 0x00ff00ff00ff00ffull;
+    std::uint8_t check = 0;
+    const FlipBreakdown flips = inj.corrupt(UnitId::Reg, 0, data, check, 0);
+    EXPECT_EQ(data, ~Word64(0));
+    EXPECT_EQ(flips.readDisturb, 32u);
+    EXPECT_EQ(flips.softError, 0u);
+    EXPECT_EQ(flips.stuckAt, 0u);
+}
+
+TEST(FaultModel, StuckAtSitesAreStablePerLocation)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 21;
+    cfg.stuckAtFraction = 0.05;
+    FaultInjector inj(cfg);
+
+    // The same (unit, site) must misbehave identically on every read,
+    // regardless of the data passing through.
+    Word64 a = 0, b = ~Word64(0);
+    std::uint8_t check = 0;
+    inj.corrupt(UnitId::Sme, 3, a, check, 0);
+    inj.corrupt(UnitId::Sme, 3, b, check, 0);
+    // a shows sites stuck at 1, b shows sites stuck at 0; together they
+    // reconstruct one consistent mask.
+    Word64 a2 = 0, b2 = ~Word64(0);
+    inj.corrupt(UnitId::Sme, 3, a2, check, 0);
+    inj.corrupt(UnitId::Sme, 3, b2, check, 0);
+    EXPECT_EQ(a, a2);
+    EXPECT_EQ(b, b2);
+    // A different site has (almost surely) a different mask signature.
+    Word64 c = 0;
+    inj.corrupt(UnitId::Sme, 4, c, check, 0);
+    Word64 c2 = 0;
+    inj.corrupt(UnitId::Sme, 4, c2, check, 0);
+    EXPECT_EQ(c, c2);
+}
+
+TEST(FaultSinkTest, DisabledConfigIsBitIdenticalPassthrough)
+{
+    CaptureSink capture;
+    FaultConfig cfg; // all defaults: disabled
+    FaultSink sink(capture, cfg);
+
+    const std::vector<Word> block = {0xdeadbeefu, 0x1234u, 0x0u};
+    sink.onAccess(UnitId::L1D, AccessType::Read, block, 0x7, 1);
+    EXPECT_EQ(capture.words, block);
+    const std::vector<Word64> instrs = {0xcafef00d12345678ull};
+    sink.onFetch(UnitId::L1I, AccessType::Read, instrs, 2);
+    EXPECT_EQ(capture.instrWords, instrs);
+    EXPECT_TRUE(sink.unitStats().empty());
+    EXPECT_EQ(sink.totals().injected.total(), 0u);
+}
+
+TEST(FaultSinkTest, WritesAreNeverCorrupted)
+{
+    CaptureSink capture;
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 2;
+    cfg.softErrorRate = 1.0; // every bit would flip on a read
+    FaultSink sink(capture, cfg);
+
+    const std::vector<Word> block = {0xffffffffu, 0x0u};
+    sink.onAccess(UnitId::Reg, AccessType::Write, block, 0x3, 9);
+    EXPECT_EQ(capture.words, block); // stored faults manifest on read
+    EXPECT_EQ(sink.totals().codewords, 0u);
+}
+
+TEST(FaultSinkTest, SecdedRepairsSparseSoftErrors)
+{
+    CaptureSink capture;
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 3;
+    cfg.softErrorRate = 3e-5; // sparse enough that flips arrive alone
+    cfg.ecc = EccScheme::Secded72_64;
+    FaultSink sink(capture, cfg);
+
+    const std::vector<Word> block(16, 0x5a5a5a5au);
+    for (std::uint64_t cycle = 0; cycle < 4000; ++cycle) {
+        sink.onAccess(UnitId::L1D, AccessType::Read, block, 0xffffu,
+                      cycle);
+        // Single-bit events dominate at this rate: SECDED must deliver
+        // the original data downstream every time.
+        for (const Word w : capture.words)
+            ASSERT_EQ(w, 0x5a5a5a5au) << "cycle " << cycle;
+    }
+    const FaultSiteStats totals = sink.totals();
+    EXPECT_GT(totals.injected.total(), 0u);
+    EXPECT_GT(totals.corrected, 0u);
+    EXPECT_EQ(totals.residualBitErrors, 0u);
+    EXPECT_EQ(totals.silentErrors, 0u);
+}
+
+TEST(FaultSinkTest, WithoutEccErrorsAreSilent)
+{
+    CaptureSink capture;
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 4;
+    cfg.softErrorRate = 0.05;
+    FaultSink sink(capture, cfg);
+
+    const std::vector<Word> block(8, 0x0u);
+    for (std::uint64_t cycle = 0; cycle < 50; ++cycle)
+        sink.onAccess(UnitId::L2, AccessType::Read, block, 0xffu, cycle);
+
+    const FaultSiteStats totals = sink.totals();
+    EXPECT_GT(totals.injected.total(), 0u);
+    EXPECT_EQ(totals.corrected, 0u);
+    EXPECT_GT(totals.silentErrors, 0u);
+    EXPECT_EQ(totals.residualBitErrors, totals.injected.total());
+    EXPECT_GT(totals.uncorrectableRate(), 0.0);
+}
+
+} // namespace
+} // namespace bvf::fault

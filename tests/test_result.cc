@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the structured Result/Error types: success and error sides,
+ * wrong-side access panics, FatalError trapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/result.hh"
+
+namespace bvf
+{
+namespace
+{
+
+TEST(Result, SuccessSide)
+{
+    const Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.valueOr(-1), 42);
+}
+
+TEST(Result, ErrorSide)
+{
+    const Result<int> r(Error{ErrorCode::Corrupt, "bad magic"});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::Corrupt);
+    EXPECT_EQ(r.error().message, "bad magic");
+    EXPECT_EQ(r.valueOr(-1), -1);
+}
+
+TEST(Result, DescribePrefixesTheCategory)
+{
+    const Error e{ErrorCode::Truncated, "record 7 cut short"};
+    EXPECT_EQ(e.describe(), "[truncated] record 7 cut short");
+    EXPECT_EQ(errorCodeName(ErrorCode::Io), "io");
+    EXPECT_EQ(errorCodeName(ErrorCode::Unsupported), "unsupported");
+    EXPECT_EQ(errorCodeName(ErrorCode::InvalidArgument),
+              "invalid-argument");
+}
+
+TEST(Result, VoidSpecialization)
+{
+    const Result<void> good;
+    EXPECT_TRUE(good.ok());
+    const Result<void> bad(Error{ErrorCode::Io, "disk gone"});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::Io);
+}
+
+using ResultDeath = ::testing::Test;
+
+TEST(ResultDeath, WrongSideAccessPanics)
+{
+    EXPECT_DEATH(
+        {
+            const Result<int> r(Error{ErrorCode::Failed, "no"});
+            (void)r.value();
+        },
+        "Result::value\\(\\) on error");
+    EXPECT_DEATH(
+        {
+            const Result<int> r(7);
+            (void)r.error();
+        },
+        "Result::error\\(\\) on success");
+}
+
+TEST(FatalTrap, FatalThrowsInsideTrapScope)
+{
+    bool caught = false;
+    try {
+        ScopedFatalTrap trap;
+        fatal("configured to fail: %d", 3);
+    } catch (const FatalError &e) {
+        caught = true;
+        EXPECT_NE(std::string(e.what()).find("configured to fail: 3"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(caught);
+    EXPECT_FALSE(ScopedFatalTrap::active());
+}
+
+using FatalTrapDeath = ::testing::Test;
+
+TEST(FatalTrapDeath, FatalStillExitsOutsideTrapScope)
+{
+    EXPECT_EXIT(fatal("untrapped"), ::testing::ExitedWithCode(1),
+                "untrapped");
+}
+
+} // namespace
+} // namespace bvf

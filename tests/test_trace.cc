@@ -1,11 +1,14 @@
 /**
  * @file
  * Tests for trace capture/replay: offline parsing must reproduce online
- * accounting exactly (the paper's dump-then-parse methodology).
+ * accounting exactly (the paper's dump-then-parse methodology), and a
+ * damaged dump must fail as a structured error -- or salvage exactly
+ * its valid prefix -- rather than kill the process.
  */
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "core/accountant.hh"
@@ -34,6 +37,46 @@ caps()
     return m;
 }
 
+/** Counts events so salvage tests can verify the exact valid prefix. */
+class CountingSink : public sram::AccessSink
+{
+  public:
+    void
+    onAccess(UnitId, AccessType, std::span<const Word>, std::uint32_t,
+             std::uint64_t) override
+    {
+        ++events;
+    }
+
+    void
+    onFetch(UnitId, AccessType, std::span<const Word64>,
+            std::uint64_t) override
+    {
+        ++events;
+    }
+
+    void
+    onNocPacket(int, std::span<const Word>, bool, std::uint64_t) override
+    {
+        ++events;
+    }
+
+    std::uint64_t events = 0;
+};
+
+/** A v2 trace of @p n single-word access records. */
+std::string
+makeTrace(std::uint64_t n)
+{
+    std::stringstream buffer;
+    TraceWriter writer(buffer);
+    const std::vector<Word> block = {0x12345678u};
+    for (std::uint64_t i = 0; i < n; ++i)
+        writer.onAccess(UnitId::L1D, AccessType::Read, block, 0x1, i);
+    EXPECT_TRUE(writer.finish().ok());
+    return buffer.str();
+}
+
 TEST(Trace, RoundTripSingleRecords)
 {
     std::stringstream buffer;
@@ -49,7 +92,11 @@ TEST(Trace, RoundTripSingleRecords)
     }
 
     EnergyAccountant acc(caps());
-    EXPECT_EQ(replayTrace(buffer, acc), 3u);
+    const auto replayed = replayTrace(buffer, acc);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(replayed.value().records, 3u);
+    EXPECT_TRUE(replayed.value().sawFooter);
+    EXPECT_FALSE(replayed.value().salvaged);
     EXPECT_EQ(acc.unitAccount(UnitId::L1D)
                   .stats(Scenario::Baseline)
                   .reads.accesses,
@@ -77,11 +124,17 @@ TEST(Trace, OfflineReplayEqualsOnlineAccounting)
         const auto stats = machine.run();
         online.finalize(stats.cycles);
     }
-    ASSERT_GT(writer.records(), 1000u);
+    const auto finished = writer.finish();
+    ASSERT_TRUE(finished.ok());
+    ASSERT_GT(finished.value(), 1000u);
 
     // Offline: replay the dump into a fresh accountant.
     EnergyAccountant offline(capacities);
-    EXPECT_EQ(replayTrace(buffer, offline), writer.records());
+    const auto replayed = replayTrace(buffer, offline);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(replayed.value().records, finished.value());
+    EXPECT_TRUE(replayed.value().sawFooter);
+    EXPECT_GE(replayed.value().batches, 1u);
 
     for (const auto unit : coder::allUnits()) {
         if (unit == UnitId::Noc)
@@ -103,12 +156,15 @@ TEST(Trace, OfflineReplayEqualsOnlineAccounting)
     }
 }
 
-TEST(Trace, RejectsGarbage)
+TEST(Trace, GarbageIsAStructuredError)
 {
     std::stringstream buffer("not a trace at all");
     sram::NullSink sink;
-    EXPECT_EXIT(replayTrace(buffer, sink), ::testing::ExitedWithCode(1),
-                "not a BVF trace");
+    const auto replayed = replayTrace(buffer, sink);
+    ASSERT_FALSE(replayed.ok());
+    EXPECT_EQ(replayed.error().code, ErrorCode::Corrupt);
+    EXPECT_NE(replayed.error().message.find("not a BVF trace"),
+              std::string::npos);
 }
 
 TEST(Trace, EmptyTraceReplaysZeroRecords)
@@ -119,7 +175,141 @@ TEST(Trace, EmptyTraceReplaysZeroRecords)
         (void)writer;
     }
     sram::NullSink sink;
-    EXPECT_EQ(replayTrace(buffer, sink), 0u);
+    const auto replayed = replayTrace(buffer, sink);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(replayed.value().records, 0u);
+    EXPECT_TRUE(replayed.value().sawFooter);
+}
+
+TEST(Trace, TruncatedFooterIsDetected)
+{
+    const std::string full = makeTrace(100);
+    std::stringstream cut(full.substr(0, full.size() - 5));
+    sram::NullSink sink;
+    const auto replayed = replayTrace(cut, sink);
+    ASSERT_FALSE(replayed.ok());
+    EXPECT_EQ(replayed.error().code, ErrorCode::Truncated);
+}
+
+TEST(Trace, TruncationMidBatchSalvagesExactPrefix)
+{
+    // Enough records to flush several 64KiB batches.
+    const std::string full = makeTrace(5000);
+    std::stringstream cut(full.substr(0, full.size() * 7 / 10));
+
+    CountingSink counter;
+    const auto replayed =
+        replayTrace(cut, counter, ReplayOptions{.salvage = true});
+    ASSERT_TRUE(replayed.ok());
+    const auto &summary = replayed.value();
+    EXPECT_TRUE(summary.salvaged);
+    EXPECT_FALSE(summary.warning.empty());
+    EXPECT_FALSE(summary.sawFooter);
+    // The valid prefix -- whole verified batches -- was replayed...
+    EXPECT_GT(summary.records, 0u);
+    EXPECT_LT(summary.records, 5000u);
+    // ...and the sink saw exactly those records, nothing more.
+    EXPECT_EQ(counter.events, summary.records);
+
+    // Without salvage the same stream is a structured error.
+    std::stringstream cut2(full.substr(0, full.size() * 7 / 10));
+    sram::NullSink sink;
+    const auto strict = replayTrace(cut2, sink);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.error().code, ErrorCode::Truncated);
+}
+
+TEST(Trace, CorruptPayloadByteNeverReachesTheSink)
+{
+    std::string bytes = makeTrace(50);
+    // Flip one byte inside the first batch payload (after the 8-byte
+    // stream header and 16-byte batch header).
+    bytes[8 + 16 + 40] ^= 0x20;
+
+    std::stringstream damaged(bytes);
+    CountingSink counter;
+    const auto strict = replayTrace(damaged, counter);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.error().code, ErrorCode::Corrupt);
+    // CRC verification rejected the batch before dispatch.
+    EXPECT_EQ(counter.events, 0u);
+
+    std::stringstream damaged2(bytes);
+    CountingSink counter2;
+    const auto salvage =
+        replayTrace(damaged2, counter2, ReplayOptions{.salvage = true});
+    ASSERT_TRUE(salvage.ok());
+    EXPECT_TRUE(salvage.value().salvaged);
+    EXPECT_EQ(salvage.value().records, 0u);
+    EXPECT_EQ(counter2.events, 0u);
+}
+
+TEST(Trace, CorruptBatchHeaderIsDetected)
+{
+    std::string bytes = makeTrace(50);
+    bytes[9] = 'X'; // damage the "BTCH" marker
+    std::stringstream damaged(bytes);
+    sram::NullSink sink;
+    const auto replayed = replayTrace(damaged, sink);
+    ASSERT_FALSE(replayed.ok());
+    EXPECT_EQ(replayed.error().code, ErrorCode::Corrupt);
+}
+
+TEST(Trace, UnsupportedVersionIsReported)
+{
+    std::string bytes = makeTrace(1);
+    bytes[4] = 99; // version field
+    std::stringstream damaged(bytes);
+    sram::NullSink sink;
+    const auto replayed = replayTrace(damaged, sink);
+    ASSERT_FALSE(replayed.ok());
+    EXPECT_EQ(replayed.error().code, ErrorCode::Unsupported);
+}
+
+TEST(Trace, WriterLatchesStreamFailure)
+{
+    std::ofstream out("/nonexistent-dir/trace.bin", std::ios::binary);
+    ASSERT_FALSE(out);
+    TraceWriter writer(out);
+    const std::vector<Word> block = {1u};
+    writer.onAccess(UnitId::L1D, AccessType::Read, block, 0x1, 0);
+    EXPECT_FALSE(writer.ok());
+    const auto finished = writer.finish();
+    ASSERT_FALSE(finished.ok());
+    EXPECT_EQ(finished.error().code, ErrorCode::Io);
+}
+
+TEST(Trace, LegacyV1StreamStillReplayable)
+{
+    // Hand-build a version-1 stream: bare records, no batches/footer.
+    struct LegacyHeader
+    {
+        std::uint8_t kind, a, b, flags;
+        std::uint32_t activeMask;
+        std::uint64_t cycle;
+        std::uint32_t count;
+    };
+    std::string bytes = "BVFT";
+    const std::uint32_t version = 1;
+    bytes.append(reinterpret_cast<const char *>(&version), 4);
+    LegacyHeader h{};
+    h.kind = 1; // access
+    h.a = static_cast<std::uint8_t>(UnitId::L1D);
+    h.b = static_cast<std::uint8_t>(AccessType::Read);
+    h.activeMask = 0x1;
+    h.cycle = 7;
+    h.count = 1;
+    bytes.append(reinterpret_cast<const char *>(&h), sizeof(h));
+    const Word w = 0xf0f0f0f0u;
+    bytes.append(reinterpret_cast<const char *>(&w), sizeof(w));
+
+    std::stringstream in(bytes);
+    CountingSink counter;
+    const auto replayed = replayTrace(in, counter);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(replayed.value().records, 1u);
+    EXPECT_FALSE(replayed.value().sawFooter);
+    EXPECT_EQ(counter.events, 1u);
 }
 
 TEST(Trace, TeeDeliversToBothSinks)
