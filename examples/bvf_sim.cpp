@@ -5,6 +5,11 @@
  * Run any suite application (or all of them) on a configurable machine
  * and print the per-scenario chip energy report, optionally dumping the
  * access trace (the paper's methodology artifact) for offline analysis.
+ * With a journal the run becomes a crash-safe *campaign*: per-app
+ * results are persisted as they finish, a killed campaign resumes
+ * bit-identically with --resume, hanging apps are timed out by a
+ * watchdog, repeatedly failing apps are quarantined, and golden-result
+ * snapshots detect silent numerical drift across refactors.
  *
  * Usage:
  *   bvf_sim [options] APP...
@@ -23,19 +28,35 @@
  *   --fault-seed N        fault-stream seed     (default 1)
  *   --ecc                 SECDED(72,64) on every SRAM read port
  *   --cells-bitline N     bitline column height (default 128)
+ *   --log-level quiet|warn|info|debug           (default warn)
  *   --list                list the 58 applications and exit
+ *
+ * Campaign options (any of these selects campaign mode):
+ *   --journal FILE        crash-safe journal; every finished app is
+ *                         persisted via atomic write->fsync->rename
+ *   --resume              continue from an existing journal
+ *   --app-timeout SEC     wall-clock watchdog per attempt (default off)
+ *   --max-retries N       reseeded retries before quarantine (default 1)
+ *   --report FILE         write the canonical (bit-stable) report
+ *   --golden record|verify  snapshot / check per-app energy digests
+ *   --golden-file FILE    snapshot location (required with --golden)
  *
  * Selecting --cell bvf6t additionally arms the Section 7.1 read-disturb
  * model: the per-bit flip probability is derived from the transient
  * solver at the chosen node, Vdd and --cells-bitline.
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
+#include "campaign/golden.hh"
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
@@ -47,6 +68,14 @@ using namespace bvf;
 
 namespace
 {
+
+/** What --golden asks for. */
+enum class GoldenMode
+{
+    Off,
+    Record,
+    Verify,
+};
 
 struct Options
 {
@@ -64,6 +93,16 @@ struct Options
     int cellsBitline = 128;
     std::vector<std::string> apps;
     bool list = false;
+
+    // Campaign mode.
+    bool campaign = false;
+    std::string journalFile;
+    bool resume = false;
+    double appTimeoutSec = 0.0;
+    int maxRetries = 1;
+    std::string reportFile;
+    GoldenMode golden = GoldenMode::Off;
+    std::string goldenFile;
 };
 
 [[noreturn]] void
@@ -78,8 +117,85 @@ usage()
                  "[--trace FILE]\n"
                  "               [--fault-rate R] [--fault-seed N] "
                  "[--ecc] [--cells-bitline N]\n"
+                 "               [--log-level quiet|warn|info|debug]\n"
+                 "               [--journal FILE] [--resume] "
+                 "[--app-timeout SEC] [--max-retries N]\n"
+                 "               [--report FILE] "
+                 "[--golden record|verify] [--golden-file FILE]\n"
                  "               APP... | --list\n");
     std::exit(2);
+}
+
+/** Reject a malformed invocation with a diagnostic and exit code 2. */
+[[noreturn]] void
+dieUsage(const std::string &msg)
+{
+    std::fprintf(stderr, "bvf_sim: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+/** Strict numeric parse: the whole token must be a number in range. */
+double
+parseNumber(const std::string &flag, const std::string &value,
+            double min, double max)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        dieUsage(strFormat("invalid value '%s' for %s: expected a number",
+                           value.c_str(), flag.c_str()));
+    }
+    if (parsed < min || parsed > max) {
+        dieUsage(strFormat("value %s for %s is out of range [%g, %g]",
+                           value.c_str(), flag.c_str(), min, max));
+    }
+    return parsed;
+}
+
+/** Strict integer parse with range check. */
+int
+parseInteger(const std::string &flag, const std::string &value,
+             long min, long max)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        dieUsage(strFormat(
+            "invalid value '%s' for %s: expected an integer",
+            value.c_str(), flag.c_str()));
+    }
+    if (parsed < min || parsed > max) {
+        dieUsage(strFormat("value %s for %s is out of range [%ld, %ld]",
+                           value.c_str(), flag.c_str(), min, max));
+    }
+    return static_cast<int>(parsed);
+}
+
+/** Strict unsigned 64-bit parse. */
+std::uint64_t
+parseU64(const std::string &flag, const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE
+        || value.find('-') != std::string::npos) {
+        dieUsage(strFormat("invalid value '%s' for %s: expected an "
+                           "unsigned integer",
+                           value.c_str(), flag.c_str()));
+    }
+    return parsed;
+}
+
+[[noreturn]] void
+badChoice(const std::string &flag, const std::string &value,
+          const char *choices)
+{
+    dieUsage(strFormat("invalid value '%s' for %s: expected one of %s",
+                       value.c_str(), flag.c_str(), choices));
 }
 
 Options
@@ -90,61 +206,285 @@ parse(int argc, char **argv)
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
-                usage();
+                dieUsage(strFormat("%s requires a value", arg.c_str()));
             return argv[++i];
         };
         if (arg == "--node") {
             const auto v = next();
-            o.node = v == "40" ? circuit::TechNode::N40
-                               : circuit::TechNode::N28;
+            if (v == "40")
+                o.node = circuit::TechNode::N40;
+            else if (v == "28")
+                o.node = circuit::TechNode::N28;
+            else
+                badChoice(arg, v, "28, 40");
         } else if (arg == "--pstate") {
             const auto v = next();
-            o.pstate = v == "300"   ? gpu::pstateLow()
-                       : v == "500" ? gpu::pstateMid()
-                                    : gpu::pstateNominal();
+            if (v == "300")
+                o.pstate = gpu::pstateLow();
+            else if (v == "500")
+                o.pstate = gpu::pstateMid();
+            else if (v == "700")
+                o.pstate = gpu::pstateNominal();
+            else
+                badChoice(arg, v, "700, 500, 300");
         } else if (arg == "--sched") {
             const auto v = next();
-            o.sched = v == "lrr"   ? gpu::SchedulerPolicy::Lrr
-                      : v == "two" ? gpu::SchedulerPolicy::TwoLevel
-                                   : gpu::SchedulerPolicy::Gto;
+            if (v == "lrr")
+                o.sched = gpu::SchedulerPolicy::Lrr;
+            else if (v == "two")
+                o.sched = gpu::SchedulerPolicy::TwoLevel;
+            else if (v == "gto")
+                o.sched = gpu::SchedulerPolicy::Gto;
+            else
+                badChoice(arg, v, "gto, lrr, two");
         } else if (arg == "--cell") {
             const auto v = next();
-            o.cell = v == "8t"      ? circuit::CellKind::Sram8T
-                     : v == "6t"    ? circuit::CellKind::Sram6T
-                     : v == "bvf6t" ? circuit::CellKind::SramBvf6T
-                     : v == "edram" ? circuit::CellKind::Edram3T
-                                    : circuit::CellKind::SramBvf8T;
+            if (v == "8t")
+                o.cell = circuit::CellKind::Sram8T;
+            else if (v == "6t")
+                o.cell = circuit::CellKind::Sram6T;
+            else if (v == "bvf6t")
+                o.cell = circuit::CellKind::SramBvf6T;
+            else if (v == "edram")
+                o.cell = circuit::CellKind::Edram3T;
+            else if (v == "bvf8t")
+                o.cell = circuit::CellKind::SramBvf8T;
+            else
+                badChoice(arg, v, "bvf8t, bvf6t, 8t, 6t, edram");
         } else if (arg == "--arch") {
             const auto v = next();
-            o.arch = v == "fermi"     ? isa::GpuArch::Fermi
-                     : v == "kepler"  ? isa::GpuArch::Kepler
-                     : v == "maxwell" ? isa::GpuArch::Maxwell
-                                      : isa::GpuArch::Pascal;
+            if (v == "fermi")
+                o.arch = isa::GpuArch::Fermi;
+            else if (v == "kepler")
+                o.arch = isa::GpuArch::Kepler;
+            else if (v == "maxwell")
+                o.arch = isa::GpuArch::Maxwell;
+            else if (v == "pascal")
+                o.arch = isa::GpuArch::Pascal;
+            else
+                badChoice(arg, v, "fermi, kepler, maxwell, pascal");
         } else if (arg == "--pivot") {
-            o.pivot = std::atoi(next().c_str());
+            o.pivot = parseInteger(arg, next(), 0, 31);
         } else if (arg == "--dynamic-isa") {
             o.dynamicIsa = true;
         } else if (arg == "--trace") {
             o.traceFile = next();
         } else if (arg == "--fault-rate") {
-            o.faultRate = std::atof(next().c_str());
+            o.faultRate = parseNumber(arg, next(), 0.0, 1.0);
         } else if (arg == "--fault-seed") {
-            o.faultSeed = std::strtoull(next().c_str(), nullptr, 10);
+            o.faultSeed = parseU64(arg, next());
         } else if (arg == "--ecc") {
             o.ecc = true;
         } else if (arg == "--cells-bitline") {
-            o.cellsBitline = std::atoi(next().c_str());
+            o.cellsBitline = parseInteger(arg, next(), 1, 8192);
+        } else if (arg == "--log-level") {
+            const auto v = next();
+            LogLevel level;
+            if (!parseLogLevel(v, level))
+                badChoice(arg, v, "quiet, warn, info, debug");
+            setLogLevel(level);
+        } else if (arg == "--journal") {
+            o.journalFile = next();
+            o.campaign = true;
+        } else if (arg == "--resume") {
+            o.resume = true;
+            o.campaign = true;
+        } else if (arg == "--app-timeout") {
+            o.appTimeoutSec = parseNumber(arg, next(), 0.0, 86400.0);
+            o.campaign = true;
+        } else if (arg == "--max-retries") {
+            o.maxRetries = parseInteger(arg, next(), 0, 100);
+            o.campaign = true;
+        } else if (arg == "--report") {
+            o.reportFile = next();
+            o.campaign = true;
+        } else if (arg == "--golden") {
+            const auto v = next();
+            if (v == "record")
+                o.golden = GoldenMode::Record;
+            else if (v == "verify")
+                o.golden = GoldenMode::Verify;
+            else
+                badChoice(arg, v, "record, verify");
+            o.campaign = true;
+        } else if (arg == "--golden-file") {
+            o.goldenFile = next();
+            o.campaign = true;
         } else if (arg == "--list") {
             o.list = true;
         } else if (arg.rfind("--", 0) == 0) {
-            usage();
+            dieUsage(strFormat("unknown option '%s'", arg.c_str()));
         } else {
             o.apps.push_back(arg);
         }
     }
     if (!o.list && o.apps.empty())
         usage();
+    if (o.resume && o.journalFile.empty())
+        dieUsage("--resume requires --journal FILE");
+    if (o.golden != GoldenMode::Off && o.goldenFile.empty())
+        dieUsage("--golden requires --golden-file FILE");
+    if (o.goldenFile.size() && o.golden == GoldenMode::Off)
+        dieUsage("--golden-file requires --golden record|verify");
+    if (o.campaign && !o.traceFile.empty())
+        dieUsage("--trace is not supported in campaign mode");
     return o;
+}
+
+/** The fault configuration both modes share (soft errors + disturb). */
+fault::FaultConfig
+faultConfigFor(const Options &o)
+{
+    fault::FaultConfig cfg;
+    cfg.seed = o.faultSeed;
+    cfg.softErrorRate = o.faultRate;
+    cfg.readDisturbRate = fault::readDisturbFlipProbability(
+        o.cell, o.node, o.pstate.vdd, o.cellsBitline);
+    cfg.ecc = o.ecc ? fault::EccScheme::Secded72_64
+                    : fault::EccScheme::None;
+    cfg.enabled = o.faultRate > 0.0 || cfg.readDisturbRate > 0.0;
+    return cfg;
+}
+
+/** Resolve the app list ("all" expands; duplicates dropped). */
+std::vector<workload::AppSpec>
+resolveApps(const std::vector<std::string> &names)
+{
+    std::vector<workload::AppSpec> specs;
+    auto add = [&](const workload::AppSpec &spec) {
+        for (const auto &existing : specs) {
+            if (existing.abbr == spec.abbr) {
+                warn("ignoring duplicate application %s",
+                     spec.abbr.c_str());
+                return;
+            }
+        }
+        specs.push_back(spec);
+    };
+    for (const auto &name : names) {
+        if (name == "all") {
+            for (const auto &spec : workload::evaluationSuite())
+                add(spec);
+        } else {
+            add(workload::findApp(name));
+        }
+    }
+    return specs;
+}
+
+/**
+ * Campaign mode: crash-safe journaled sweep with watchdog, retry,
+ * quarantine and golden-result checking.
+ * @return process exit code
+ */
+int
+runCampaign(const Options &o)
+{
+    gpu::GpuConfig config = gpu::baselineConfig();
+    config.scheduler = o.sched;
+    config.arch = o.arch;
+    core::ExperimentDriver driver(config);
+
+    campaign::CampaignOptions copts;
+    copts.journalPath = o.journalFile;
+    copts.resume = o.resume;
+    copts.appTimeout = std::chrono::milliseconds(
+        static_cast<long long>(o.appTimeoutSec * 1000.0));
+    copts.maxRetries = o.maxRetries;
+    copts.run.dynamicIsa = o.dynamicIsa;
+    copts.run.vsRegisterPivot = o.pivot;
+    copts.run.fault = faultConfigFor(o);
+    copts.pricing.node = o.node;
+    copts.pricing.pstate = o.pstate;
+    copts.pricing.cellKind = o.cell;
+    copts.pricing.ecc = o.ecc;
+    copts.pricing.cellsPerBitline = o.cellsBitline;
+    copts.pricing.allowUnreliableCells =
+        copts.run.fault.readDisturbRate > 0.0;
+
+    const auto specs = resolveApps(o.apps);
+    campaign::CampaignRunner runner(driver, copts);
+    const auto outcome = runner.run(specs);
+    fatal_if(!outcome.ok(), "campaign failed: %s",
+             outcome.error().describe().c_str());
+    const campaign::CampaignReport &report = outcome.value();
+
+    // Human-readable summary (resume metadata included here, never in
+    // the canonical report, which must be resume-invariant).
+    TextTable table(strFormat(
+        "Campaign: %zu apps on %s / %s / %s cells / %s scheduler",
+        report.results.size(), circuit::techNodeName(o.node).c_str(),
+        o.pstate.name.c_str(), circuit::cellKindName(o.cell).c_str(),
+        gpu::schedulerName(o.sched).c_str()));
+    table.header({"Abbr", "Status", "Attempts", "Source", "Cycles",
+                  "Chip[uJ]", "BVF saving"});
+    for (const auto &r : report.results) {
+        const auto base = static_cast<std::size_t>(
+            coder::scenarioIndex(coder::Scenario::Baseline));
+        const auto all = static_cast<std::size_t>(
+            coder::scenarioIndex(coder::Scenario::AllCoders));
+        const bool done = r.status == campaign::AppStatus::Completed;
+        table.row(
+            {r.abbr, campaign::appStatusName(r.status),
+             strFormat("%u", r.attempts),
+             r.fromJournal ? "journal" : "simulated",
+             done ? strFormat("%llu", static_cast<unsigned long long>(
+                                          r.cycles))
+                  : "-",
+             done ? TextTable::num(r.chipEnergy[base] * 1e6, 3) : "-",
+             done ? TextTable::pct(1.0
+                                   - r.chipEnergy[all]
+                                         / r.chipEnergy[base])
+                  : r.error.describe()});
+    }
+    table.print();
+    std::printf("campaign: %d completed (%d resumed, %d retried), "
+                "%d quarantined\n",
+                report.completed, report.resumed, report.retried,
+                report.quarantined);
+
+    if (!o.reportFile.empty()) {
+        const auto written =
+            atomicWriteFile(o.reportFile, report.render());
+        fatal_if(!written.ok(), "cannot write report: %s",
+                 written.error().describe().c_str());
+        std::printf("report -> %s\n", o.reportFile.c_str());
+    }
+
+    if (o.golden == GoldenMode::Record) {
+        const auto recorded =
+            campaign::recordGolden(o.goldenFile, report);
+        fatal_if(!recorded.ok(), "cannot record golden snapshot: %s",
+                 recorded.error().describe().c_str());
+        std::printf("golden snapshot -> %s\n", o.goldenFile.c_str());
+    } else if (o.golden == GoldenMode::Verify) {
+        const auto checked =
+            campaign::verifyGolden(o.goldenFile, report);
+        fatal_if(!checked.ok(), "cannot verify golden snapshot: %s",
+                 checked.error().describe().c_str());
+        const campaign::GoldenCheck &check = checked.value();
+        if (!check.ok()) {
+            for (const auto &drift : check.drifts)
+                std::fprintf(stderr, "golden drift: %s\n",
+                             drift.describe().c_str());
+            for (const auto &key : check.missing)
+                std::fprintf(stderr, "golden missing: %s\n",
+                             key.c_str());
+            for (const auto &key : check.unexpected)
+                std::fprintf(stderr, "golden unexpected: %s\n",
+                             key.c_str());
+            std::fprintf(stderr,
+                         "golden verify FAILED against %s (%zu drift(s),"
+                         " %zu missing, %zu unexpected)\n",
+                         o.goldenFile.c_str(), check.drifts.size(),
+                         check.missing.size(),
+                         check.unexpected.size());
+            return 1;
+        }
+        std::printf("golden verify OK against %s\n",
+                    o.goldenFile.c_str());
+    }
+    return 0;
 }
 
 void
@@ -172,15 +512,7 @@ runOne(const Options &o, const workload::AppSpec &spec)
 
     // Fault model: explicit soft errors, plus the physics-derived
     // read-disturb rate if a BVF-6T machine was selected.
-    fault::FaultConfig fault_cfg;
-    fault_cfg.seed = o.faultSeed;
-    fault_cfg.softErrorRate = o.faultRate;
-    fault_cfg.readDisturbRate = fault::readDisturbFlipProbability(
-        o.cell, o.node, o.pstate.vdd, o.cellsBitline);
-    fault_cfg.ecc = o.ecc ? fault::EccScheme::Secded72_64
-                          : fault::EccScheme::None;
-    fault_cfg.enabled =
-        o.faultRate > 0.0 || fault_cfg.readDisturbRate > 0.0;
+    const fault::FaultConfig fault_cfg = faultConfigFor(o);
 
     std::unique_ptr<fault::FaultSink> fault_sink;
     sram::AccessSink *sink = accountant.get();
@@ -312,13 +644,9 @@ main(int argc, char **argv)
         table.print();
         return 0;
     }
-    for (const auto &abbr : o.apps) {
-        if (abbr == "all") {
-            for (const auto &spec : workload::evaluationSuite())
-                runOne(o, spec);
-        } else {
-            runOne(o, workload::findApp(abbr));
-        }
-    }
+    if (o.campaign)
+        return runCampaign(o);
+    for (const auto &spec : resolveApps(o.apps))
+        runOne(o, spec);
     return 0;
 }

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Crash-recovery acceptance check for the campaign runner.
+#
+# Runs a reference campaign to completion, then starts the identical
+# campaign again, SIGKILLs it mid-run, resumes it from the journal, and
+# asserts that the resumed report is byte-identical to the reference.
+# Also exercises the golden harness: a snapshot recorded from the
+# reference must verify cleanly against the resumed campaign, and a
+# deliberately perturbed snapshot must make verification fail.
+#
+# Usage: scripts/ci_kill_resume.sh [path/to/bvf_sim]
+# The work directory is printed on entry; CI uploads it on failure.
+
+set -u
+
+BVF_SIM="${1:-build/examples/bvf_sim}"
+APPS=(BCK BFS BTR CFD GAU HWL)
+WORK="$(mktemp -d /tmp/bvf-kill-resume.XXXXXX)"
+echo "work directory: $WORK"
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+[ -x "$BVF_SIM" ] || fail "simulator '$BVF_SIM' not found or not executable"
+
+echo "== reference campaign (uninterrupted) =="
+"$BVF_SIM" --journal "$WORK/ref.journal" --report "$WORK/ref.report" \
+    "${APPS[@]}" || fail "reference campaign exited nonzero"
+
+echo "== interrupted campaign: SIGKILL mid-run =="
+"$BVF_SIM" --journal "$WORK/int.journal" --report "$WORK/int.report" \
+    "${APPS[@]}" &
+PID=$!
+# Long enough to complete a couple of apps, far short of all six.
+sleep 1.5
+kill -9 "$PID" 2>/dev/null
+wait "$PID" 2>/dev/null
+[ -f "$WORK/int.journal" ] \
+    || fail "no journal survived the kill; nothing was persisted"
+[ ! -f "$WORK/int.report" ] \
+    || fail "interrupted campaign wrote a report; it died too late to test resume"
+
+echo "== resume from the journal =="
+"$BVF_SIM" --journal "$WORK/int.journal" --resume \
+    --report "$WORK/int.report" "${APPS[@]}" \
+    || fail "resumed campaign exited nonzero"
+
+cmp "$WORK/ref.report" "$WORK/int.report" \
+    || fail "resumed report differs from the uninterrupted reference"
+echo "resumed report is byte-identical to the reference"
+
+echo "== golden snapshot: record from reference, verify on resumed =="
+"$BVF_SIM" --journal "$WORK/ref.journal" --resume \
+    --golden record --golden-file "$WORK/golden.txt" "${APPS[@]}" \
+    >/dev/null || fail "golden record exited nonzero"
+"$BVF_SIM" --journal "$WORK/int.journal" --resume \
+    --golden verify --golden-file "$WORK/golden.txt" "${APPS[@]}" \
+    >/dev/null || fail "golden verify failed on the resumed campaign"
+echo "golden verify clean on the resumed campaign"
+
+echo "== golden snapshot: a perturbed value must be caught =="
+# Bump the mantissa of the first recorded energy value.
+awk 'BEGIN { done = 0 }
+     { if (!done && $0 !~ /^#/ && sub(/ 0x1\./, " 0x2.")) done = 1; print }
+     END { exit done ? 0 : 1 }' "$WORK/golden.txt" \
+    > "$WORK/golden-perturbed.txt" \
+    || fail "could not perturb the golden snapshot"
+cmp -s "$WORK/golden.txt" "$WORK/golden-perturbed.txt" \
+    && fail "perturbation did not change the snapshot"
+if "$BVF_SIM" --journal "$WORK/int.journal" --resume \
+    --golden verify --golden-file "$WORK/golden-perturbed.txt" \
+    "${APPS[@]}" >/dev/null 2>&1; then
+    fail "golden verify accepted a perturbed snapshot"
+fi
+echo "golden verify rejected the perturbed snapshot"
+
+rm -rf "$WORK"
+echo "PASS: kill -9 / resume / golden checks all green"

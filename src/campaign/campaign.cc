@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Campaign runner implementation.
+ */
+
+#include "campaign/campaign.hh"
+
+#include <thread>
+
+#include "common/atomic_file.hh"
+#include "common/crc32.hh"
+#include "common/logging.hh"
+
+namespace bvf::campaign
+{
+
+using coder::Scenario;
+
+namespace
+{
+
+/** Hexfloat: exact, locale-free, round-trips bit-identically. */
+std::string
+exactDouble(double v)
+{
+    return strFormat("%a", v);
+}
+
+} // namespace
+
+std::string
+CampaignReport::render() const
+{
+    std::string out;
+    out += "# BVF campaign report v1\n";
+    out += strFormat("# config %08x\n", configCrc);
+    out += strFormat("# apps %zu completed %d quarantined %d\n",
+                     results.size(), completed, quarantined);
+    out += "# columns: app status attempts cycles instructions";
+    for (const auto s : coder::allScenarios)
+        out += strFormat(" chip:%s", coder::scenarioName(s).c_str());
+    for (const auto s : coder::allScenarios)
+        out += strFormat(" units:%s", coder::scenarioName(s).c_str());
+    out += "\n";
+    for (const AppResult &r : results) {
+        out += strFormat("app %s %s %u", r.abbr.c_str(),
+                         appStatusName(r.status).c_str(), r.attempts);
+        if (r.status == AppStatus::Completed) {
+            out += strFormat(
+                " %llu %llu",
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions));
+            for (const double v : r.chipEnergy)
+                out += " " + exactDouble(v);
+            for (const double v : r.bvfUnitsEnergy)
+                out += " " + exactDouble(v);
+        } else {
+            out += strFormat(" - - error %s",
+                             r.error.describe().c_str());
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+CampaignRunner::CampaignRunner(const core::ExperimentDriver &driver,
+                               CampaignOptions options)
+    : driver_(driver), options_(std::move(options))
+{
+}
+
+std::uint32_t
+CampaignRunner::configDigest(
+    std::span<const workload::AppSpec> apps) const
+{
+    const gpu::GpuConfig &config = driver_.config();
+    const core::Pricing &p = options_.pricing;
+    const core::RunOptions &r = options_.run;
+    // Everything that changes the numbers must be in the digest;
+    // wall-clock knobs (timeout, retries, backoff) deliberately are
+    // not -- they only change *whether* an app finishes, and a journal
+    // written under a laxer watchdog is still valid under a stricter
+    // one.
+    std::string canon = strFormat(
+        "arch=%d sms=%d sched=%d node=%d vdd=%a freq=%a cell=%d "
+        "ecc=%d cpb=%d unreliable=%d dyn=%d pivot=%d "
+        "fault=%d fseed=%llu fsoft=%a fdisturb=%a fstuck=%a fecc=%d "
+        "apps=",
+        static_cast<int>(config.arch), config.numSms,
+        static_cast<int>(config.scheduler), static_cast<int>(p.node),
+        p.pstate.vdd, p.pstate.frequency, static_cast<int>(p.cellKind),
+        p.ecc ? 1 : 0, p.cellsPerBitline,
+        p.allowUnreliableCells ? 1 : 0, r.dynamicIsa ? 1 : 0,
+        r.vsRegisterPivot, r.fault.enabled ? 1 : 0,
+        static_cast<unsigned long long>(r.fault.seed),
+        r.fault.softErrorRate, r.fault.readDisturbRate,
+        r.fault.stuckAtFraction, static_cast<int>(r.fault.ecc));
+    for (const workload::AppSpec &spec : apps)
+        canon += spec.abbr + ",";
+    return crc32(canon.data(), canon.size());
+}
+
+AppResult
+CampaignRunner::runOneApp(const workload::AppSpec &spec)
+{
+    AppResult result;
+    result.name = spec.name;
+    result.abbr = spec.abbr;
+    Error last{ErrorCode::Failed, "unknown failure"};
+
+    const int maxAttempts = options_.maxRetries + 1;
+    for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+        if (attempt > 0) {
+            const auto backoff = options_.backoffBase * (1LL << (attempt - 1));
+            warn("%s attempt %d/%d failed (%s); retrying with fresh "
+                 "seed after %lld ms",
+                 spec.abbr.c_str(), attempt, maxAttempts,
+                 last.describe().c_str(),
+                 static_cast<long long>(backoff.count()));
+            if (backoff.count() > 0)
+                std::this_thread::sleep_for(backoff);
+        }
+
+        workload::AppSpec trial = spec;
+        trial.seedSalt = spec.seedSalt + static_cast<std::uint64_t>(attempt);
+
+        core::RunOptions runOptions = options_.run;
+        if (options_.appTimeout.count() > 0) {
+            watchdog_.reset();
+            watchdog_.setBudget(options_.appTimeout);
+            runOptions.cancel = &watchdog_;
+        }
+
+        auto attempted = driver_.runAppChecked(trial, runOptions);
+        if (!attempted.ok()) {
+            last = attempted.error();
+            continue;
+        }
+
+        // Pricing can also reject a configuration (e.g. an unreliable
+        // cell geometry); that is an application failure, not a crash.
+        try {
+            ScopedFatalTrap trap;
+            const core::AppEnergy energy =
+                driver_.evaluate(attempted.value(), options_.pricing);
+            result.status = AppStatus::Completed;
+            result.attempts = static_cast<std::uint32_t>(attempt + 1);
+            result.error = Error{};
+            result.cycles = attempted.value().gpuStats.cycles;
+            result.instructions = attempted.value().gpuStats.sm.issued;
+            for (const auto s : coder::allScenarios) {
+                const auto idx = static_cast<std::size_t>(
+                    coder::scenarioIndex(s));
+                result.chipEnergy[idx] = energy.at(s).chipTotal();
+                result.bvfUnitsEnergy[idx] = energy.at(s).bvfUnitsTotal();
+            }
+            return result;
+        } catch (const FatalError &e) {
+            last = Error{ErrorCode::Failed, e.what()};
+        } catch (const std::exception &e) {
+            last = Error{ErrorCode::Failed, e.what()};
+        }
+    }
+
+    result.status = AppStatus::Quarantined;
+    result.attempts = static_cast<std::uint32_t>(maxAttempts);
+    result.error = last;
+    warn("quarantining %s after %d attempt(s): %s", spec.abbr.c_str(),
+         maxAttempts, last.describe().c_str());
+    return result;
+}
+
+Result<CampaignReport>
+CampaignRunner::run(std::span<const workload::AppSpec> apps)
+{
+    CampaignReport report;
+    report.configCrc = configDigest(apps);
+
+    // Results already on disk, keyed by abbreviation.
+    std::vector<AppResult> restored;
+    std::optional<CampaignJournal> journal;
+    if (!options_.journalPath.empty()) {
+        journal.emplace(options_.journalPath, report.configCrc);
+        if (fileExists(options_.journalPath)) {
+            if (!options_.resume) {
+                return Error{
+                    ErrorCode::InvalidArgument,
+                    strFormat("journal '%s' already exists; resume the "
+                              "campaign or remove it to start over",
+                              options_.journalPath.c_str())};
+            }
+            auto loaded = journal->load();
+            if (!loaded.ok())
+                return loaded.error();
+            if (loaded.value().salvaged) {
+                warn("journal '%s': %s", options_.journalPath.c_str(),
+                     loaded.value().warning.c_str());
+            }
+            restored = std::move(loaded.value().results);
+            journal->adopt(restored);
+            inform("resuming campaign: %zu application(s) restored "
+                   "from '%s'",
+                   restored.size(), options_.journalPath.c_str());
+        } else if (options_.resume) {
+            inform("resume requested but '%s' does not exist; starting "
+                   "a fresh campaign",
+                   options_.journalPath.c_str());
+        }
+    }
+
+    auto findRestored = [&](const std::string &abbr) -> const AppResult * {
+        for (const AppResult &r : restored) {
+            if (r.abbr == abbr)
+                return &r;
+        }
+        return nullptr;
+    };
+
+    for (const workload::AppSpec &spec : apps) {
+        AppResult result;
+        if (const AppResult *prior = findRestored(spec.abbr)) {
+            result = *prior;
+            result.fromJournal = true;
+            ++report.resumed;
+        } else {
+            inform("simulating %s (%s)", spec.name.c_str(),
+                   spec.abbr.c_str());
+            result = runOneApp(spec);
+            if (journal) {
+                const auto appended = journal->append(result);
+                if (!appended.ok())
+                    return appended.error();
+            }
+        }
+        if (result.status == AppStatus::Completed)
+            ++report.completed;
+        else
+            ++report.quarantined;
+        if (result.attempts > 1)
+            ++report.retried;
+        report.results.push_back(std::move(result));
+    }
+    return report;
+}
+
+} // namespace bvf::campaign

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Resilient campaign orchestration.
+ *
+ * A campaign drives a list of applications through the experiment
+ * driver and prices each under one campaign-wide Pricing, with the
+ * robustness a multi-hour 58-app x 5-scenario sweep needs:
+ *
+ *  - crash safety: every finished application is journaled through the
+ *    atomic-rename path, so a kill -9 loses at most the in-flight app
+ *    and `resume` continues the campaign bit-identically;
+ *  - a watchdog: each attempt gets a wall-clock budget enforced by
+ *    cooperative cancellation inside the GPU cycle loop, so a
+ *    pathological specification times out instead of hanging;
+ *  - retry with exponential backoff: a failed attempt (fault, timeout,
+ *    broken spec) is reseeded and retried; an application exhausting
+ *    its attempts is quarantined and reported, never sinking the run.
+ *
+ * The rendered report deliberately excludes resume/wall-clock metadata:
+ * an interrupted-then-resumed campaign renders the same bytes as an
+ * uninterrupted one, which is what makes partial results trustworthy.
+ */
+
+#ifndef BVF_CAMPAIGN_CAMPAIGN_HH
+#define BVF_CAMPAIGN_CAMPAIGN_HH
+
+#include <chrono>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hh"
+#include "core/experiment.hh"
+
+namespace bvf::campaign
+{
+
+/** Campaign-wide knobs. */
+struct CampaignOptions
+{
+    /** Journal file; empty runs the campaign without persistence. */
+    std::string journalPath;
+
+    /**
+     * Continue from an existing journal instead of refusing to touch
+     * it. Without resume, a pre-existing journal is an error -- a
+     * half-finished campaign should never be silently overwritten.
+     */
+    bool resume = false;
+
+    /** Wall-clock budget per attempt; zero disables the watchdog. */
+    std::chrono::milliseconds appTimeout{0};
+
+    /** Extra attempts after the first failure (reseeded each time). */
+    int maxRetries = 1;
+
+    /** First retry backoff; doubled per subsequent retry. */
+    std::chrono::milliseconds backoffBase{100};
+
+    /** Simulation options applied to every application. */
+    core::RunOptions run;
+
+    /** Pricing every application's energies are evaluated under. */
+    core::Pricing pricing;
+};
+
+/** Campaign outcome: per-app results plus bookkeeping counters. */
+struct CampaignReport
+{
+    std::vector<AppResult> results; //!< campaign order, all apps
+    int completed = 0;   //!< simulated or restored successfully
+    int resumed = 0;     //!< restored from the journal, not re-run
+    int retried = 0;     //!< needed more than one attempt
+    int quarantined = 0; //!< exhausted every attempt
+    std::uint32_t configCrc = 0;
+
+    /**
+     * Canonical textual report: one line per application with exact
+     * (hexfloat) per-scenario energies. Identical bytes for resumed and
+     * uninterrupted campaigns of the same configuration.
+     */
+    std::string render() const;
+};
+
+/**
+ * Drives applications through an ExperimentDriver with journaling,
+ * watchdog, retry and quarantine.
+ */
+class CampaignRunner
+{
+  public:
+    CampaignRunner(const core::ExperimentDriver &driver,
+                   CampaignOptions options);
+
+    /**
+     * Run (or resume) the campaign over @p apps.
+     *
+     * Per-application failures are quarantined, never returned as
+     * errors; the error path is reserved for campaign-level problems
+     * (journal conflicts, persistence failures).
+     */
+    Result<CampaignReport> run(std::span<const workload::AppSpec> apps);
+
+    /**
+     * Digest of everything that determines campaign results: machine,
+     * run options, pricing and the application list. Journals carry it
+     * so a resume under a different configuration fails loudly.
+     */
+    std::uint32_t configDigest(
+        std::span<const workload::AppSpec> apps) const;
+
+  private:
+    AppResult runOneApp(const workload::AppSpec &spec);
+
+    const core::ExperimentDriver &driver_;
+    CampaignOptions options_;
+    CancelToken watchdog_;
+};
+
+} // namespace bvf::campaign
+
+#endif // BVF_CAMPAIGN_CAMPAIGN_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Golden-result snapshot and verification.
+ */
+
+#include "campaign/golden.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
+
+namespace bvf::campaign
+{
+
+namespace
+{
+
+constexpr const char *goldenHeader = "# BVF golden energies v1";
+
+/** Bit-level comparison: one ULP of drift is a drift. */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+struct GoldenEntry
+{
+    double chip = 0.0;
+    double units = 0.0;
+};
+
+} // namespace
+
+std::string
+GoldenDrift::describe() const
+{
+    return strFormat("%s %s %s: expected %a, got %a (rel %.3e)",
+                     abbr.c_str(), scenario.c_str(), field.c_str(),
+                     expected, actual,
+                     expected != 0.0
+                         ? (actual - expected) / expected
+                         : 0.0);
+}
+
+Result<void>
+recordGolden(const std::string &path, const CampaignReport &report)
+{
+    std::string out;
+    out += goldenHeader;
+    out += "\n";
+    out += strFormat("# config %08x\n", report.configCrc);
+    for (const AppResult &r : report.results) {
+        if (r.status != AppStatus::Completed)
+            continue;
+        for (const auto s : coder::allScenarios) {
+            const auto idx =
+                static_cast<std::size_t>(coder::scenarioIndex(s));
+            out += strFormat("%s %s %a %a\n", r.abbr.c_str(),
+                             coder::scenarioName(s).c_str(),
+                             r.chipEnergy[idx], r.bvfUnitsEnergy[idx]);
+        }
+    }
+    return atomicWriteFile(path, out);
+}
+
+Result<GoldenCheck>
+verifyGolden(const std::string &path, const CampaignReport &report)
+{
+    auto bytes = readFileBytes(path);
+    if (!bytes.ok())
+        return bytes.error();
+
+    std::istringstream in(bytes.value());
+    std::string line;
+    if (!std::getline(in, line) || line != goldenHeader) {
+        return Error{ErrorCode::Corrupt,
+                     strFormat("'%s' is not a golden snapshot",
+                               path.c_str())};
+    }
+
+    std::map<std::string, GoldenEntry> golden;
+    int lineNo = 1;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            unsigned crc = 0;
+            if (std::sscanf(line.c_str(), "# config %x", &crc) == 1
+                && crc != report.configCrc) {
+                return Error{
+                    ErrorCode::InvalidArgument,
+                    strFormat("golden snapshot '%s' was recorded under "
+                              "a different campaign configuration "
+                              "(digest %08x, campaign %08x)",
+                              path.c_str(), crc, report.configCrc)};
+            }
+            continue;
+        }
+        char abbr[64], scenario[64];
+        GoldenEntry entry;
+        if (std::sscanf(line.c_str(), "%63s %63s %la %la", abbr,
+                        scenario, &entry.chip, &entry.units) != 4) {
+            return Error{ErrorCode::Corrupt,
+                         strFormat("golden snapshot '%s' line %d is "
+                                   "malformed: %s",
+                                   path.c_str(), lineNo, line.c_str())};
+        }
+        golden[std::string(abbr) + " " + scenario] = entry;
+    }
+
+    GoldenCheck check;
+    std::map<std::string, GoldenEntry> seen;
+    for (const AppResult &r : report.results) {
+        if (r.status != AppStatus::Completed)
+            continue;
+        for (const auto s : coder::allScenarios) {
+            const auto idx =
+                static_cast<std::size_t>(coder::scenarioIndex(s));
+            const std::string key =
+                r.abbr + " " + coder::scenarioName(s);
+            const auto it = golden.find(key);
+            if (it == golden.end()) {
+                check.unexpected.push_back(key);
+                continue;
+            }
+            seen[key] = it->second;
+            if (!sameBits(it->second.chip, r.chipEnergy[idx])) {
+                check.drifts.push_back({r.abbr, coder::scenarioName(s),
+                                        "chip", it->second.chip,
+                                        r.chipEnergy[idx]});
+            }
+            if (!sameBits(it->second.units, r.bvfUnitsEnergy[idx])) {
+                check.drifts.push_back({r.abbr, coder::scenarioName(s),
+                                        "units", it->second.units,
+                                        r.bvfUnitsEnergy[idx]});
+            }
+        }
+    }
+    for (const auto &[key, entry] : golden) {
+        if (!seen.count(key))
+            check.missing.push_back(key);
+    }
+    return check;
+}
+
+} // namespace bvf::campaign

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Golden-result drift detection.
+ *
+ * Refactors of the coder chains, the accountant or the power model must
+ * not silently move the paper's numbers. The golden harness snapshots
+ * per-app/per-scenario energy digests from a campaign (`record`) and
+ * later compares a fresh campaign against the snapshot (`verify`),
+ * failing loudly on any bit-level drift. Energies are stored as
+ * hexfloats, which round-trip IEEE-754 doubles exactly -- a drift of one
+ * ULP is a drift.
+ *
+ * File format (text, line-oriented):
+ *   # BVF golden energies v1
+ *   # config <crc32 hex>
+ *   <abbr> <scenario> <chip hexfloat> <units hexfloat>
+ */
+
+#ifndef BVF_CAMPAIGN_GOLDEN_HH
+#define BVF_CAMPAIGN_GOLDEN_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "common/result.hh"
+
+namespace bvf::campaign
+{
+
+/** One value that moved between the snapshot and the fresh campaign. */
+struct GoldenDrift
+{
+    std::string abbr;
+    std::string scenario;
+    std::string field; //!< "chip" or "units"
+    double expected = 0.0;
+    double actual = 0.0;
+
+    std::string describe() const;
+};
+
+/** Outcome of a golden verification. */
+struct GoldenCheck
+{
+    std::vector<GoldenDrift> drifts;
+    /** Apps in the snapshot with no completed result this campaign. */
+    std::vector<std::string> missing;
+    /** Completed apps this campaign absent from the snapshot. */
+    std::vector<std::string> unexpected;
+
+    bool
+    ok() const
+    {
+        return drifts.empty() && missing.empty() && unexpected.empty();
+    }
+};
+
+/**
+ * Snapshot @p report's completed applications to @p path (atomic
+ * replace). Quarantined applications are skipped: a snapshot must only
+ * contain numbers that actually exist.
+ */
+Result<void> recordGolden(const std::string &path,
+                          const CampaignReport &report);
+
+/**
+ * Compare @p report against the snapshot at @p path. Returns the drift
+ * list (empty drifts + empty missing/unexpected means clean); parse or
+ * I/O problems are structured errors.
+ */
+Result<GoldenCheck> verifyGolden(const std::string &path,
+                                 const CampaignReport &report);
+
+} // namespace bvf::campaign
+
+#endif // BVF_CAMPAIGN_GOLDEN_HH

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Campaign journal serialization and crash-safe persistence.
+ */
+
+#include "campaign/journal.hh"
+
+#include <cstring>
+
+#include "common/atomic_file.hh"
+#include "common/crc32.hh"
+#include "common/logging.hh"
+
+namespace bvf::campaign
+{
+
+namespace
+{
+
+constexpr char journalMagic[4] = {'B', 'V', 'F', 'J'};
+constexpr char recordMagic[4] = {'J', 'R', 'E', 'C'};
+constexpr std::uint32_t journalVersion = 1;
+
+/** Upper bound on a record payload a reader will allocate. */
+constexpr std::uint32_t maxRecordBytes = 1u << 20;
+
+void
+putRaw(std::string &out, const void *data, std::size_t len)
+{
+    out.append(static_cast<const char *>(data), len);
+}
+
+template <typename T>
+void
+put(std::string &out, T value)
+{
+    putRaw(out, &value, sizeof(value));
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    put(out, static_cast<std::uint32_t>(s.size()));
+    putRaw(out, s.data(), s.size());
+}
+
+/** Bounds-checked cursor over a record payload. */
+class PayloadReader
+{
+  public:
+    explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+    template <typename T>
+    bool
+    get(T &value)
+    {
+        if (off_ + sizeof(T) > bytes_.size())
+            return false;
+        std::memcpy(&value, bytes_.data() + off_, sizeof(T));
+        off_ += sizeof(T);
+        return true;
+    }
+
+    bool
+    getString(std::string &s)
+    {
+        std::uint32_t len = 0;
+        if (!get(len) || off_ + len > bytes_.size())
+            return false;
+        s.assign(bytes_.data() + off_, len);
+        off_ += len;
+        return true;
+    }
+
+    bool done() const { return off_ == bytes_.size(); }
+
+  private:
+    std::string_view bytes_;
+    std::size_t off_ = 0;
+};
+
+/** Doubles travel as raw bit patterns so resume is bit-identical. */
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(std::uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+serializeRecord(const AppResult &r)
+{
+    std::string payload;
+    put(payload, static_cast<std::uint8_t>(r.status));
+    put(payload, r.attempts);
+    put(payload, static_cast<std::uint8_t>(r.error.code));
+    put(payload, r.cycles);
+    put(payload, r.instructions);
+    for (const double v : r.chipEnergy)
+        put(payload, doubleBits(v));
+    for (const double v : r.bvfUnitsEnergy)
+        put(payload, doubleBits(v));
+    putString(payload, r.name);
+    putString(payload, r.abbr);
+    putString(payload, r.error.message);
+    return payload;
+}
+
+bool
+parseRecord(std::string_view payload, AppResult &out)
+{
+    PayloadReader reader(payload);
+    std::uint8_t status = 0, code = 0;
+    if (!reader.get(status) || !reader.get(out.attempts)
+        || !reader.get(code) || !reader.get(out.cycles)
+        || !reader.get(out.instructions)) {
+        return false;
+    }
+    if (status > static_cast<std::uint8_t>(AppStatus::Quarantined))
+        return false;
+    out.status = static_cast<AppStatus>(status);
+    out.error.code = static_cast<ErrorCode>(code);
+    for (double &v : out.chipEnergy) {
+        std::uint64_t bits = 0;
+        if (!reader.get(bits))
+            return false;
+        v = bitsDouble(bits);
+    }
+    for (double &v : out.bvfUnitsEnergy) {
+        std::uint64_t bits = 0;
+        if (!reader.get(bits))
+            return false;
+        v = bitsDouble(bits);
+    }
+    if (!reader.getString(out.name) || !reader.getString(out.abbr)
+        || !reader.getString(out.error.message)) {
+        return false;
+    }
+    return reader.done();
+}
+
+} // namespace
+
+std::string
+appStatusName(AppStatus status)
+{
+    switch (status) {
+      case AppStatus::Completed:
+        return "ok";
+      case AppStatus::Quarantined:
+        return "quarantined";
+    }
+    return "?";
+}
+
+std::string
+serializeJournal(std::uint32_t configCrc,
+                 std::span<const AppResult> results)
+{
+    std::string out;
+    putRaw(out, journalMagic, sizeof(journalMagic));
+    put(out, journalVersion);
+    put(out, configCrc);
+    for (const AppResult &r : results) {
+        const std::string payload = serializeRecord(r);
+        putRaw(out, recordMagic, sizeof(recordMagic));
+        put(out, static_cast<std::uint32_t>(payload.size()));
+        put(out, crc32(payload.data(), payload.size()));
+        out += payload;
+    }
+    return out;
+}
+
+Result<JournalLoad>
+parseJournal(std::string_view bytes, std::uint32_t expectConfigCrc)
+{
+    const std::size_t headerBytes = sizeof(journalMagic)
+                                    + 2 * sizeof(std::uint32_t);
+    if (bytes.size() < headerBytes
+        || std::memcmp(bytes.data(), journalMagic, sizeof(journalMagic))
+               != 0) {
+        return Error{ErrorCode::Corrupt, "not a BVF campaign journal"};
+    }
+    std::uint32_t version = 0, configCrc = 0;
+    std::memcpy(&version, bytes.data() + 4, sizeof(version));
+    std::memcpy(&configCrc, bytes.data() + 8, sizeof(configCrc));
+    if (version != journalVersion) {
+        return Error{ErrorCode::Unsupported,
+                     strFormat("unsupported journal version %u", version)};
+    }
+    if (configCrc != expectConfigCrc) {
+        return Error{
+            ErrorCode::InvalidArgument,
+            strFormat("journal was written by a different campaign "
+                      "configuration (digest %08x, expected %08x); "
+                      "refusing to mix results",
+                      configCrc, expectConfigCrc)};
+    }
+
+    JournalLoad load;
+    auto salvage = [&](std::string what) {
+        load.salvaged = true;
+        load.warning = std::move(what);
+        return load;
+    };
+
+    std::size_t off = headerBytes;
+    while (off < bytes.size()) {
+        const std::size_t frameBytes = sizeof(recordMagic)
+                                       + 2 * sizeof(std::uint32_t);
+        if (off + frameBytes > bytes.size()) {
+            return salvage(strFormat(
+                "journal ends inside record %zu's frame; dropped the "
+                "in-flight tail", load.results.size()));
+        }
+        if (std::memcmp(bytes.data() + off, recordMagic,
+                        sizeof(recordMagic)) != 0) {
+            return salvage(strFormat("record %zu frame marker is corrupt",
+                                     load.results.size()));
+        }
+        std::uint32_t payloadBytes = 0, crc = 0;
+        std::memcpy(&payloadBytes, bytes.data() + off + 4,
+                    sizeof(payloadBytes));
+        std::memcpy(&crc, bytes.data() + off + 8, sizeof(crc));
+        if (payloadBytes > maxRecordBytes) {
+            return salvage(strFormat("record %zu claims implausible size "
+                                     "%u", load.results.size(),
+                                     payloadBytes));
+        }
+        if (off + frameBytes + payloadBytes > bytes.size()) {
+            return salvage(strFormat("record %zu is truncated",
+                                     load.results.size()));
+        }
+        const std::string_view payload =
+            bytes.substr(off + frameBytes, payloadBytes);
+        if (crc32(payload.data(), payload.size()) != crc) {
+            return salvage(strFormat("record %zu checksum mismatch",
+                                     load.results.size()));
+        }
+        AppResult r;
+        if (!parseRecord(payload, r)) {
+            return salvage(strFormat("record %zu payload is malformed",
+                                     load.results.size()));
+        }
+        load.results.push_back(std::move(r));
+        off += frameBytes + payloadBytes;
+    }
+    return load;
+}
+
+CampaignJournal::CampaignJournal(std::string path,
+                                 std::uint32_t configCrc)
+    : path_(std::move(path)), configCrc_(configCrc)
+{
+}
+
+Result<JournalLoad>
+CampaignJournal::load() const
+{
+    auto bytes = readFileBytes(path_);
+    if (!bytes.ok())
+        return bytes.error();
+    return parseJournal(bytes.value(), configCrc_);
+}
+
+void
+CampaignJournal::adopt(std::vector<AppResult> results)
+{
+    records_ = std::move(results);
+}
+
+Result<void>
+CampaignJournal::append(const AppResult &result)
+{
+    records_.push_back(result);
+    const std::string image = serializeJournal(configCrc_, records_);
+    const auto written = atomicWriteFile(path_, image);
+    if (!written.ok()) {
+        // Persistence failing mid-campaign must surface: a journal the
+        // operator believes in but that silently stopped updating is
+        // worse than no journal.
+        records_.pop_back();
+        return written.error();
+    }
+    debug("journal: %zu record(s) -> %s", records_.size(), path_.c_str());
+    return {};
+}
+
+} // namespace bvf::campaign

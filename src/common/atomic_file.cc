@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Atomic file I/O implementation (POSIX).
+ */
+
+#include "common/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace bvf
+{
+
+namespace
+{
+
+Error
+errnoError(const char *what, const std::string &path)
+{
+    return Error{ErrorCode::Io, strFormat("%s '%s': %s", what,
+                                          path.c_str(),
+                                          std::strerror(errno))};
+}
+
+/** Directory part of @p path ("." when the path has no slash). */
+std::string
+dirOf(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** fsync a directory so a rename inside it survives power loss. */
+Result<void>
+syncDir(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return errnoError("cannot open directory", dir);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0)
+        return errnoError("cannot fsync directory", dir);
+    return {};
+}
+
+} // namespace
+
+Result<void>
+atomicWriteFile(const std::string &path, std::string_view data)
+{
+    // mkstemp wants a mutable template in the destination directory so
+    // the final rename never crosses a filesystem.
+    std::vector<char> tmpl(path.begin(), path.end());
+    const char suffix[] = ".tmp.XXXXXX";
+    tmpl.insert(tmpl.end(), suffix, suffix + sizeof(suffix));
+
+    const int fd = ::mkstemp(tmpl.data());
+    if (fd < 0)
+        return errnoError("cannot create temporary for", path);
+    const std::string tmp(tmpl.data());
+
+    auto failAndCleanup = [&](const char *what) -> Result<void> {
+        const Error e = errnoError(what, tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return e;
+    };
+
+    std::size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n = ::write(fd, data.data() + written,
+                                  data.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return failAndCleanup("cannot write");
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0)
+        return failAndCleanup("cannot fsync");
+    if (::close(fd) != 0) {
+        const Error e = errnoError("cannot close", tmp);
+        ::unlink(tmp.c_str());
+        return e;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const Error e = errnoError("cannot rename into", path);
+        ::unlink(tmp.c_str());
+        return e;
+    }
+    return syncDir(dirOf(path));
+}
+
+Result<std::string>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return errnoError("cannot open", path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad())
+        return errnoError("cannot read", path);
+    return buffer.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+} // namespace bvf

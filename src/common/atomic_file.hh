@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Crash-safe file I/O primitives.
+ *
+ * A long campaign must be able to persist state such that a kill -9 (or
+ * power loss) at any instant leaves either the previous file or the new
+ * one on disk -- never a torn mixture. atomicWriteFile() provides the
+ * classic write-temp -> fsync -> rename -> fsync-directory sequence;
+ * readFileBytes() is its reading counterpart with structured errors.
+ */
+
+#ifndef BVF_COMMON_ATOMIC_FILE_HH
+#define BVF_COMMON_ATOMIC_FILE_HH
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hh"
+
+namespace bvf
+{
+
+/**
+ * Atomically replace (or create) @p path with @p data.
+ *
+ * The bytes are written to a unique temporary file in the same
+ * directory, fsync'ed, renamed over @p path, and the directory entry is
+ * fsync'ed, so a crash at any point leaves either the old or the new
+ * content -- never a partial file. On failure the temporary is removed.
+ */
+Result<void> atomicWriteFile(const std::string &path,
+                             std::string_view data);
+
+/** Read a whole file into memory; Io error when missing/unreadable. */
+Result<std::string> readFileBytes(const std::string &path);
+
+/** Does a regular file exist at @p path? */
+bool fileExists(const std::string &path);
+
+} // namespace bvf
+
+#endif // BVF_COMMON_ATOMIC_FILE_HH

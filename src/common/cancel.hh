@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulations.
+ *
+ * A CancelToken is shared between a driver (which arms a wall-clock
+ * deadline or requests cancellation outright) and the simulation loop
+ * (which polls expired() every few thousand cycles). Cancellation is
+ * cooperative: the loop raises a trappable fatal() at the next poll, so
+ * a pathological application times out cleanly instead of hanging a
+ * campaign -- no signals, no second thread required.
+ */
+
+#ifndef BVF_COMMON_CANCEL_HH
+#define BVF_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+
+namespace bvf
+{
+
+/** Shared cancel/deadline flag polled by simulation loops. */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Request cancellation immediately (safe from another thread). */
+    void requestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /** Arm a wall-clock deadline; expired() turns true once passed. */
+    void
+    setDeadline(Clock::time_point deadline)
+    {
+        deadline_ = deadline;
+        armed_ = true;
+    }
+
+    /** Arm a deadline @p budget from now. */
+    void
+    setBudget(Clock::duration budget)
+    {
+        setDeadline(Clock::now() + budget);
+    }
+
+    /** Clear both the deadline and any pending cancel request. */
+    void
+    reset()
+    {
+        armed_ = false;
+        cancelled_.store(false, std::memory_order_relaxed);
+    }
+
+    /** Was cancellation requested or the deadline passed? */
+    bool
+    expired() const
+    {
+        if (cancelled_.load(std::memory_order_relaxed))
+            return true;
+        return armed_ && Clock::now() >= deadline_;
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    bool armed_ = false;
+    Clock::time_point deadline_{};
+};
+
+} // namespace bvf
+
+#endif // BVF_COMMON_CANCEL_HH

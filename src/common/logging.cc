@@ -13,7 +13,7 @@ namespace bvf
 
 namespace
 {
-bool verboseFlag = false;
+LogLevel levelFlag = LogLevel::Warn;
 thread_local int fatalTrapDepth = 0;
 }
 
@@ -34,15 +34,56 @@ ScopedFatalTrap::active()
 }
 
 void
+setLogLevel(LogLevel level)
+{
+    levelFlag = level;
+}
+
+LogLevel
+logLevel()
+{
+    return levelFlag;
+}
+
+std::string
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Quiet:
+        return "quiet";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "?";
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    for (const auto level : {LogLevel::Quiet, LogLevel::Warn,
+                             LogLevel::Info, LogLevel::Debug}) {
+        if (name == logLevelName(level)) {
+            out = level;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    setLogLevel(verbose ? LogLevel::Info : LogLevel::Warn);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return levelFlag >= LogLevel::Info;
 }
 
 std::string
@@ -83,14 +124,22 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (levelFlag >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (verboseFlag)
+    if (levelFlag >= LogLevel::Info)
         std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (levelFlag >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 
 } // namespace bvf

@@ -6,6 +6,11 @@
  * fatal()  -- user/configuration error; exits with status 1.
  * warn()   -- functionality approximated; execution continues.
  * inform() -- plain status message.
+ * debug()  -- chatty diagnostics (journal writes, retry decisions).
+ *
+ * Output is gated by a global LogLevel: Quiet suppresses everything
+ * non-fatal, Warn (the default) prints warnings only, Info adds status
+ * messages, Debug adds diagnostics. fatal()/panic() always print.
  */
 
 #ifndef BVF_COMMON_LOGGING_HH
@@ -19,7 +24,32 @@
 namespace bvf
 {
 
-/** Verbosity control for inform(); warnings and errors always print. */
+/** Global verbosity threshold, in increasing chattiness. */
+enum class LogLevel
+{
+    Quiet, //!< fatal/panic only
+    Warn,  //!< + warn() (default)
+    Info,  //!< + inform()
+    Debug, //!< + debug()
+};
+
+/** Set/query the global log level. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Display name, e.g. "info". */
+std::string logLevelName(LogLevel level);
+
+/**
+ * Parse a CLI spelling ("quiet", "warn", "info", "debug") into a level.
+ * @return false when @p name is not a known level (@p out untouched)
+ */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
+/**
+ * Back-compat shim: verbose on == LogLevel::Info, off == Warn.
+ * Prefer setLogLevel() in new code.
+ */
 void setVerbose(bool verbose);
 bool verbose();
 
@@ -54,6 +84,7 @@ class ScopedFatalTrap
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 /** printf-style formatting into a std::string. */
 std::string strFormat(const char *fmt, ...)
@@ -67,6 +98,7 @@ std::string strFormat(const char *fmt, ...)
     ::bvf::fatalImpl(__FILE__, __LINE__, ::bvf::strFormat(__VA_ARGS__))
 #define warn(...) ::bvf::warnImpl(::bvf::strFormat(__VA_ARGS__))
 #define inform(...) ::bvf::informImpl(::bvf::strFormat(__VA_ARGS__))
+#define debug(...) ::bvf::debugImpl(::bvf::strFormat(__VA_ARGS__))
 
 /** panic() unless @p cond holds; used for internal invariants. */
 #define panic_if(cond, ...)                                               \

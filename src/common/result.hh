@@ -30,6 +30,7 @@ enum class ErrorCode
     Unsupported, //!< valid but unhandled (e.g. future format version)
     InvalidArgument, //!< caller passed something unusable
     Failed,      //!< operation ran and did not succeed
+    Timeout,     //!< cancelled by a watchdog deadline
 };
 
 /** Display name, e.g. "corrupt". */
@@ -49,6 +50,8 @@ errorCodeName(ErrorCode code)
         return "invalid-argument";
       case ErrorCode::Failed:
         return "failed";
+      case ErrorCode::Timeout:
+        return "timeout";
     }
     return "?";
 }

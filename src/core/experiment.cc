@@ -59,6 +59,7 @@ ExperimentDriver::runApp(const workload::AppSpec &spec,
 
     AccountantOptions opts;
     opts.arch = config_.arch;
+    opts.vsRegisterPivot = options.vsRegisterPivot;
     opts.eccAccounting = options.fault.ecc == fault::EccScheme::Secded72_64;
     if (options.dynamicIsa) {
         // The "assembler" profiles this binary and programs the mask
@@ -82,9 +83,29 @@ ExperimentDriver::runApp(const workload::AppSpec &spec,
     }
 
     gpu::Gpu machine(config_, std::move(program), *sink);
+    machine.setCancellation(options.cancel);
     run.gpuStats = machine.run();
     run.accountant->finalize(run.gpuStats.cycles);
     return run;
+}
+
+Result<AppRun>
+ExperimentDriver::runAppChecked(const workload::AppSpec &spec,
+                                const RunOptions &options) const
+{
+    auto classify = [&](const char *what) {
+        const bool timed_out = options.cancel && options.cancel->expired();
+        return Error{timed_out ? ErrorCode::Timeout : ErrorCode::Failed,
+                     what};
+    };
+    try {
+        ScopedFatalTrap trap;
+        return runApp(spec, options);
+    } catch (const FatalError &e) {
+        return classify(e.what());
+    } catch (const std::exception &e) {
+        return classify(e.what());
+    }
 }
 
 std::vector<AppRun>
@@ -115,14 +136,12 @@ ExperimentDriver::runSuiteChecked(std::span<const workload::AppSpec> apps,
             if (attempt > 0) {
                 warn("retrying %s with fresh seed", spec.abbr.c_str());
             }
-            try {
-                ScopedFatalTrap trap;
-                result.runs.push_back(runApp(trial, options));
+            auto attempted = runAppChecked(trial, options);
+            if (attempted.ok()) {
+                result.runs.push_back(std::move(attempted.value()));
                 done = true;
-            } catch (const FatalError &e) {
-                last = Error{ErrorCode::Failed, e.what()};
-            } catch (const std::exception &e) {
-                last = Error{ErrorCode::Failed, e.what()};
+            } else {
+                last = attempted.error();
             }
         }
         if (!done)

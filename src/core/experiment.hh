@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "common/result.hh"
 #include "core/accountant.hh"
 #include "fault/fault_sink.hh"
@@ -84,6 +85,9 @@ struct RunOptions
      */
     bool dynamicIsa = false;
 
+    /** VS lane pivot at the register file (paper default: 21). */
+    int vsRegisterPivot = coder::VsCoder::defaultRegisterPivot;
+
     /**
      * Fault injection + ECC. When fault.ecc is SECDED the accountant
      * also prices the check bits (they change the stored 0/1 mix).
@@ -91,6 +95,13 @@ struct RunOptions
      * inserted and accounted numbers stay bit-identical.
      */
     fault::FaultConfig fault;
+
+    /**
+     * Cooperative watchdog token polled inside the GPU cycle loop
+     * (null = never cancelled). Kept by pointer: the caller owns the
+     * token and arms its deadline per attempt.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Why one application of a suite run could not be simulated. */
@@ -130,6 +141,16 @@ class ExperimentDriver
     /** Simulate one application with full per-run options. */
     AppRun runApp(const workload::AppSpec &spec,
                   const RunOptions &options) const;
+
+    /**
+     * Single fail-soft attempt at one application: any fatal() raised
+     * while simulating (bad spec, watchdog expiry, cycle-limit blowout)
+     * comes back as a structured Error instead of killing the process.
+     * A run cancelled by options.cancel is classified ErrorCode::Timeout
+     * so callers can distinguish a hang from a broken configuration.
+     */
+    Result<AppRun> runAppChecked(const workload::AppSpec &spec,
+                                 const RunOptions &options = {}) const;
 
     /** Simulate every app of the 58-app suite. */
     std::vector<AppRun> runSuite() const;

@@ -283,11 +283,20 @@ Gpu::run()
     fatal_if(nextBlock_ == 0, "no block fits on any SM");
 
     const std::uint64_t cycle_limit = 200'000'000;
+    // Watchdog poll period: cheap enough to never matter (one clock read
+    // per ~4k simulated cycles), fine enough that a timed-out app stops
+    // within milliseconds of its deadline.
+    constexpr std::uint64_t cancel_poll_cycles = 4096;
     cycle_ = 0;
     bool work_left = true;
     while (work_left) {
         ++cycle_;
         fatal_if(cycle_ > cycle_limit, "simulation exceeded cycle limit");
+        if (cancel_ && cycle_ % cancel_poll_cycles == 0
+            && cancel_->expired()) {
+            fatal("simulation cancelled by watchdog at cycle %llu",
+                  static_cast<unsigned long long>(cycle_));
+        }
 
         for (auto &sm : sms_)
             sm->step(cycle_);

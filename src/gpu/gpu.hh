@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "gpu/cache.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/mem_ctrl.hh"
@@ -58,6 +59,16 @@ class Gpu : public ChipInterface
     /** Run the kernel to completion; returns chip statistics. */
     GpuStats run();
 
+    /**
+     * Arm cooperative cancellation: @p token (kept by pointer, may be
+     * null) is polled every few thousand cycles inside run(); once it
+     * expires the simulation aborts via fatal(), which a driver-side
+     * ScopedFatalTrap turns into a catchable FatalError. This is how a
+     * campaign watchdog times out a pathological application instead of
+     * hanging for the 200M-cycle limit.
+     */
+    void setCancellation(const CancelToken *token) { cancel_ = token; }
+
     // --- ChipInterface -------------------------------------------------
     void sendReadRequest(int smId, std::uint32_t lineAddr, bool instr,
                          std::uint64_t cycle) override;
@@ -88,6 +99,7 @@ class Gpu : public ChipInterface
     GpuConfig config_;
     isa::Program program_;
     sram::AccessSink &sink_;
+    const CancelToken *cancel_ = nullptr;
     isa::InstructionEncoder encoder_;
     std::vector<Word64> binary_;
 

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the crash-safe file primitives: atomic replace must leave
+ * either the old or the new content (never a torn mixture or a stray
+ * temporary), and the read path must return structured errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <dirent.h>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/atomic_file.hh"
+
+namespace bvf
+{
+namespace
+{
+
+/** Self-cleaning scratch directory. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/bvf-atomic-XXXXXX";
+        const char *made = mkdtemp(tmpl);
+        EXPECT_NE(made, nullptr);
+        dir_ = made ? made : "";
+    }
+
+    ~TempDir()
+    {
+        for (const auto &name : entries())
+            ::unlink(path(name).c_str());
+        ::rmdir(dir_.c_str());
+    }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return dir_ + "/" + name;
+    }
+
+    std::vector<std::string>
+    entries() const
+    {
+        std::vector<std::string> names;
+        DIR *d = ::opendir(dir_.c_str());
+        if (!d)
+            return names;
+        while (const dirent *e = ::readdir(d)) {
+            const std::string name = e->d_name;
+            if (name != "." && name != "..")
+                names.push_back(name);
+        }
+        ::closedir(d);
+        return names;
+    }
+
+  private:
+    std::string dir_;
+};
+
+TEST(AtomicFile, WriteThenReadRoundTrips)
+{
+    TempDir dir;
+    const std::string path = dir.path("data.bin");
+    const std::string payload("binary\0payload\xff ok", 18);
+
+    ASSERT_TRUE(atomicWriteFile(path, payload).ok());
+    const auto read = readFileBytes(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), payload);
+}
+
+TEST(AtomicFile, OverwriteReplacesWholeContent)
+{
+    TempDir dir;
+    const std::string path = dir.path("data.bin");
+    ASSERT_TRUE(atomicWriteFile(path, "a much longer first version").ok());
+    ASSERT_TRUE(atomicWriteFile(path, "v2").ok());
+    const auto read = readFileBytes(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), "v2");
+}
+
+TEST(AtomicFile, LeavesNoTemporariesBehind)
+{
+    TempDir dir;
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(atomicWriteFile(dir.path("data.bin"), "x").ok());
+    const auto names = dir.entries();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "data.bin");
+}
+
+TEST(AtomicFile, WriteIntoMissingDirectoryIsAStructuredError)
+{
+    const auto written =
+        atomicWriteFile("/nonexistent-dir/sub/data.bin", "x");
+    ASSERT_FALSE(written.ok());
+    EXPECT_EQ(written.error().code, ErrorCode::Io);
+}
+
+TEST(AtomicFile, ReadMissingFileIsAStructuredError)
+{
+    TempDir dir;
+    const auto read = readFileBytes(dir.path("never-written.bin"));
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.error().code, ErrorCode::Io);
+}
+
+TEST(AtomicFile, FileExistsOnlyForRegularFiles)
+{
+    TempDir dir;
+    EXPECT_FALSE(fileExists(dir.path("missing")));
+    ASSERT_TRUE(atomicWriteFile(dir.path("present"), "x").ok());
+    EXPECT_TRUE(fileExists(dir.path("present")));
+    EXPECT_FALSE(fileExists("/tmp")); // a directory is not a file
+}
+
+TEST(AtomicFile, EmptyPayloadIsValid)
+{
+    TempDir dir;
+    const std::string path = dir.path("empty.bin");
+    ASSERT_TRUE(atomicWriteFile(path, "").ok());
+    const auto read = readFileBytes(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_TRUE(read.value().empty());
+}
+
+} // namespace
+} // namespace bvf

@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Tests for the resilient campaign layer: the crash-safe journal must
+ * round-trip results bit-exactly and salvage torn tails, a resumed
+ * campaign must render byte-identically to an uninterrupted one, the
+ * watchdog must quarantine a hanging application without sinking the
+ * run, retries must be counted and exhausted into quarantine, and the
+ * golden harness must flag a single ULP of energy drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/golden.hh"
+#include "common/atomic_file.hh"
+
+namespace bvf::campaign
+{
+namespace
+{
+
+/** Self-cleaning scratch directory. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/bvf-campaign-XXXXXX";
+        const char *made = mkdtemp(tmpl);
+        EXPECT_NE(made, nullptr);
+        dir_ = made ? made : "";
+    }
+
+    ~TempDir()
+    {
+        if (DIR *d = ::opendir(dir_.c_str())) {
+            while (const dirent *e = ::readdir(d)) {
+                const std::string name = e->d_name;
+                if (name != "." && name != "..")
+                    ::unlink((dir_ + "/" + name).c_str());
+            }
+            ::closedir(d);
+        }
+        ::rmdir(dir_.c_str());
+    }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return dir_ + "/" + name;
+    }
+
+  private:
+    std::string dir_;
+};
+
+/** A completed result with awkward (non-terminating) energy values. */
+AppResult
+sampleResult(const std::string &abbr, double seed)
+{
+    AppResult r;
+    r.name = "app-" + abbr;
+    r.abbr = abbr;
+    r.status = AppStatus::Completed;
+    r.attempts = 1;
+    r.cycles = 123456 + static_cast<std::uint64_t>(seed);
+    r.instructions = 654321;
+    for (std::size_t i = 0; i < r.chipEnergy.size(); ++i) {
+        r.chipEnergy[i] = (seed + static_cast<double>(i)) / 3.0;
+        r.bvfUnitsEnergy[i] = (seed + static_cast<double>(i)) / 7.0;
+    }
+    return r;
+}
+
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(Journal, RoundTripIsBitExact)
+{
+    std::vector<AppResult> results = {sampleResult("AAA", 1.0),
+                                      sampleResult("BBB", 2.0)};
+    AppResult bad;
+    bad.name = "broken";
+    bad.abbr = "BRK";
+    bad.status = AppStatus::Quarantined;
+    bad.attempts = 3;
+    bad.error = Error{ErrorCode::Timeout, "watchdog fired"};
+    results.push_back(bad);
+
+    const std::string image = serializeJournal(0xdeadbeef, results);
+    const auto loaded = parseJournal(image, 0xdeadbeef);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_FALSE(loaded.value().salvaged);
+    const auto &parsed = loaded.value().results;
+    ASSERT_EQ(parsed.size(), results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(parsed[i].name, results[i].name);
+        EXPECT_EQ(parsed[i].abbr, results[i].abbr);
+        EXPECT_EQ(parsed[i].status, results[i].status);
+        EXPECT_EQ(parsed[i].attempts, results[i].attempts);
+        EXPECT_EQ(parsed[i].error.code, results[i].error.code);
+        EXPECT_EQ(parsed[i].error.message, results[i].error.message);
+        EXPECT_EQ(parsed[i].cycles, results[i].cycles);
+        EXPECT_EQ(parsed[i].instructions, results[i].instructions);
+        for (std::size_t s = 0; s < parsed[i].chipEnergy.size(); ++s) {
+            EXPECT_TRUE(sameBits(parsed[i].chipEnergy[s],
+                                 results[i].chipEnergy[s]));
+            EXPECT_TRUE(sameBits(parsed[i].bvfUnitsEnergy[s],
+                                 results[i].bvfUnitsEnergy[s]));
+        }
+    }
+}
+
+TEST(Journal, RejectsForeignConfiguration)
+{
+    const std::vector<AppResult> results = {sampleResult("AAA", 1.0)};
+    const std::string image = serializeJournal(0x1111, results);
+    const auto loaded = parseJournal(image, 0x2222);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::InvalidArgument);
+    EXPECT_NE(loaded.error().message.find("different campaign"),
+              std::string::npos);
+}
+
+TEST(Journal, RejectsGarbageAndForeignVersions)
+{
+    const auto garbage = parseJournal("definitely not a journal", 0);
+    ASSERT_FALSE(garbage.ok());
+    EXPECT_EQ(garbage.error().code, ErrorCode::Corrupt);
+
+    const std::vector<AppResult> one = {sampleResult("AAA", 1.0)};
+    std::string image = serializeJournal(0, one);
+    image[4] = 99; // version field
+    const auto version = parseJournal(image, 0);
+    ASSERT_FALSE(version.ok());
+    EXPECT_EQ(version.error().code, ErrorCode::Unsupported);
+}
+
+TEST(Journal, SalvagesTruncatedTail)
+{
+    const std::vector<AppResult> results = {sampleResult("AAA", 1.0),
+                                            sampleResult("BBB", 2.0),
+                                            sampleResult("CCC", 3.0)};
+    const std::string image = serializeJournal(7, results);
+
+    // Cut inside the last record: the two intact records survive.
+    const auto cut = parseJournal(
+        std::string_view(image).substr(0, image.size() - 5), 7);
+    ASSERT_TRUE(cut.ok());
+    EXPECT_TRUE(cut.value().salvaged);
+    EXPECT_FALSE(cut.value().warning.empty());
+    ASSERT_EQ(cut.value().results.size(), 2u);
+    EXPECT_EQ(cut.value().results[1].abbr, "BBB");
+}
+
+TEST(Journal, SalvagesCorruptTailChecksum)
+{
+    const std::vector<AppResult> results = {sampleResult("AAA", 1.0),
+                                            sampleResult("BBB", 2.0)};
+    std::string image = serializeJournal(7, results);
+    image[image.size() - 3] ^= 0x40; // damage the last payload
+
+    const auto loaded = parseJournal(image, 7);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_TRUE(loaded.value().salvaged);
+    EXPECT_NE(loaded.value().warning.find("checksum"),
+              std::string::npos);
+    ASSERT_EQ(loaded.value().results.size(), 1u);
+    EXPECT_EQ(loaded.value().results[0].abbr, "AAA");
+}
+
+TEST(Journal, HeaderOnlyImageHoldsZeroRecords)
+{
+    const std::string image = serializeJournal(7, {});
+    const auto loaded = parseJournal(image, 7);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_FALSE(loaded.value().salvaged);
+    EXPECT_TRUE(loaded.value().results.empty());
+}
+
+TEST(Journal, OnDiskAppendThenLoadRoundTrips)
+{
+    TempDir dir;
+    const std::string path = dir.path("campaign.journal");
+    CampaignJournal journal(path, 42);
+    ASSERT_TRUE(journal.append(sampleResult("AAA", 1.0)).ok());
+    ASSERT_TRUE(journal.append(sampleResult("BBB", 2.0)).ok());
+    EXPECT_EQ(journal.records(), 2u);
+
+    CampaignJournal reader(path, 42);
+    const auto loaded = reader.load();
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_FALSE(loaded.value().salvaged);
+    ASSERT_EQ(loaded.value().results.size(), 2u);
+    EXPECT_EQ(loaded.value().results[0].abbr, "AAA");
+    EXPECT_EQ(loaded.value().results[1].abbr, "BBB");
+}
+
+TEST(Journal, AppendFailureSurfacesAndRollsBack)
+{
+    CampaignJournal journal("/nonexistent-dir/campaign.journal", 42);
+    const auto appended = journal.append(sampleResult("AAA", 1.0));
+    ASSERT_FALSE(appended.ok());
+    EXPECT_EQ(appended.error().code, ErrorCode::Io);
+    // The in-memory image must not silently diverge from disk.
+    EXPECT_EQ(journal.records(), 0u);
+}
+
+/** Small deterministic app list for whole-campaign tests. */
+std::vector<workload::AppSpec>
+fastApps()
+{
+    return {workload::findApp("GAU"), workload::findApp("HWL")};
+}
+
+TEST(Campaign, RefusesExistingJournalWithoutResume)
+{
+    TempDir dir;
+    const std::string path = dir.path("campaign.journal");
+    ASSERT_TRUE(atomicWriteFile(path, "whatever").ok());
+
+    core::ExperimentDriver driver(gpu::baselineConfig());
+    CampaignOptions opts;
+    opts.journalPath = path;
+    CampaignRunner runner(driver, opts);
+    const auto apps = fastApps();
+    const auto outcome = runner.run(apps);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code, ErrorCode::InvalidArgument);
+    EXPECT_NE(outcome.error().message.find("already exists"),
+              std::string::npos);
+}
+
+TEST(Campaign, ResumedReportIsByteIdenticalToUninterrupted)
+{
+    TempDir dir;
+    const auto apps = fastApps();
+    core::ExperimentDriver driver(gpu::baselineConfig());
+
+    // Reference: an uninterrupted campaign.
+    CampaignOptions opts;
+    opts.journalPath = dir.path("ref.journal");
+    CampaignRunner reference(driver, opts);
+    const auto ref = reference.run(apps);
+    ASSERT_TRUE(ref.ok());
+    ASSERT_EQ(ref.value().completed, 2);
+
+    // Simulate a kill -9 after the first app: a journal holding only
+    // record zero, plus a torn frame for the in-flight second app.
+    const std::uint32_t digest = reference.configDigest(apps);
+    std::vector<AppResult> prefix = {ref.value().results[0]};
+    std::string torn = serializeJournal(digest, prefix);
+    torn += std::string("JREC\x30\x00", 6); // in-flight, cut mid-frame
+    ASSERT_TRUE(atomicWriteFile(dir.path("torn.journal"), torn).ok());
+
+    CampaignOptions resumeOpts;
+    resumeOpts.journalPath = dir.path("torn.journal");
+    resumeOpts.resume = true;
+    CampaignRunner resumed(driver, resumeOpts);
+    const auto cont = resumed.run(apps);
+    ASSERT_TRUE(cont.ok());
+    EXPECT_EQ(cont.value().resumed, 1);
+    EXPECT_EQ(cont.value().completed, 2);
+    EXPECT_TRUE(cont.value().results[0].fromJournal);
+    EXPECT_FALSE(cont.value().results[1].fromJournal);
+
+    // The acceptance bar: byte-identical reports.
+    EXPECT_EQ(ref.value().render(), cont.value().render());
+}
+
+TEST(Campaign, ResumeRequiresMatchingConfiguration)
+{
+    TempDir dir;
+    const auto apps = fastApps();
+    core::ExperimentDriver driver(gpu::baselineConfig());
+
+    // A journal stamped with a foreign digest must be refused.
+    const std::string foreign = serializeJournal(0xbad0c0de, {});
+    ASSERT_TRUE(
+        atomicWriteFile(dir.path("foreign.journal"), foreign).ok());
+
+    CampaignOptions opts;
+    opts.journalPath = dir.path("foreign.journal");
+    opts.resume = true;
+    CampaignRunner runner(driver, opts);
+    const auto outcome = runner.run(apps);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST(Campaign, DigestTracksResultsNotWallClock)
+{
+    core::ExperimentDriver driver(gpu::baselineConfig());
+    const auto apps = fastApps();
+
+    CampaignOptions a;
+    CampaignOptions b;
+    b.appTimeout = std::chrono::milliseconds(1234);
+    b.maxRetries = 9; // wall-clock knobs must not invalidate journals
+    EXPECT_EQ(CampaignRunner(driver, a).configDigest(apps),
+              CampaignRunner(driver, b).configDigest(apps));
+
+    CampaignOptions c;
+    c.pricing.ecc = true; // pricing changes the numbers
+    EXPECT_NE(CampaignRunner(driver, a).configDigest(apps),
+              CampaignRunner(driver, c).configDigest(apps));
+
+    CampaignOptions d;
+    d.run.vsRegisterPivot = 13; // so do run options
+    EXPECT_NE(CampaignRunner(driver, a).configDigest(apps),
+              CampaignRunner(driver, d).configDigest(apps));
+
+    // And so does the application list itself.
+    std::vector<workload::AppSpec> fewer = {apps[0]};
+    EXPECT_NE(CampaignRunner(driver, a).configDigest(apps),
+              CampaignRunner(driver, a).configDigest(fewer));
+}
+
+TEST(Campaign, WatchdogQuarantinesHangWithoutSinkingTheRun)
+{
+    // One pathological application that would run for minutes, then a
+    // normal one: the watchdog must reap the first and the campaign
+    // must still complete the second.
+    workload::AppSpec hang = workload::findApp("GAU");
+    hang.name = "hanging-app";
+    hang.abbr = "HNG";
+    hang.loopIters = 2000; // ~300x the stock kernel: minutes of work
+    const std::vector<workload::AppSpec> apps = {
+        hang, workload::findApp("GAU")};
+
+    core::ExperimentDriver driver(gpu::baselineConfig());
+    CampaignOptions opts;
+    opts.appTimeout = std::chrono::milliseconds(2000);
+    opts.maxRetries = 0;
+    opts.backoffBase = std::chrono::milliseconds(0);
+    CampaignRunner runner(driver, opts);
+    const auto outcome = runner.run(apps);
+    ASSERT_TRUE(outcome.ok());
+    const auto &report = outcome.value();
+    ASSERT_EQ(report.results.size(), 2u);
+    EXPECT_EQ(report.results[0].status, AppStatus::Quarantined);
+    EXPECT_EQ(report.results[0].error.code, ErrorCode::Timeout);
+    EXPECT_EQ(report.results[1].status, AppStatus::Completed);
+    EXPECT_EQ(report.completed, 1);
+    EXPECT_EQ(report.quarantined, 1);
+}
+
+TEST(Campaign, BrokenSpecExhaustsRetriesIntoQuarantine)
+{
+    workload::AppSpec broken = workload::findApp("GAU");
+    broken.name = "broken-app";
+    broken.abbr = "BRK";
+    broken.blockThreads = 33; // not a multiple of the warp size
+    const std::vector<workload::AppSpec> apps = {
+        broken, workload::findApp("GAU")};
+
+    core::ExperimentDriver driver(gpu::baselineConfig());
+    CampaignOptions opts;
+    opts.maxRetries = 2;
+    opts.backoffBase = std::chrono::milliseconds(1);
+    CampaignRunner runner(driver, opts);
+    const auto outcome = runner.run(apps);
+    ASSERT_TRUE(outcome.ok());
+    const auto &report = outcome.value();
+    ASSERT_EQ(report.results.size(), 2u);
+    EXPECT_EQ(report.results[0].status, AppStatus::Quarantined);
+    EXPECT_EQ(report.results[0].attempts, 3u);
+    EXPECT_EQ(report.results[0].error.code, ErrorCode::Failed);
+    EXPECT_EQ(report.retried, 1);
+    EXPECT_EQ(report.quarantined, 1);
+    EXPECT_EQ(report.completed, 1);
+
+    // Quarantined lines carry the failure, not fabricated numbers.
+    const std::string rendered = report.render();
+    EXPECT_NE(rendered.find("BRK quarantined 3 - - error"),
+              std::string::npos);
+}
+
+/** A synthetic two-app report; golden tests need no simulation. */
+CampaignReport
+syntheticReport()
+{
+    CampaignReport report;
+    report.configCrc = 0x5eed;
+    report.results = {sampleResult("AAA", 1.0), sampleResult("BBB", 2.0)};
+    AppResult bad;
+    bad.abbr = "BRK";
+    bad.status = AppStatus::Quarantined;
+    report.results.push_back(bad);
+    report.completed = 2;
+    report.quarantined = 1;
+    return report;
+}
+
+TEST(Golden, RecordThenVerifyIsClean)
+{
+    TempDir dir;
+    const std::string path = dir.path("golden.txt");
+    const CampaignReport report = syntheticReport();
+    ASSERT_TRUE(recordGolden(path, report).ok());
+
+    const auto checked = verifyGolden(path, report);
+    ASSERT_TRUE(checked.ok());
+    EXPECT_TRUE(checked.value().ok());
+    EXPECT_TRUE(checked.value().drifts.empty());
+}
+
+TEST(Golden, SingleUlpDriftIsDetected)
+{
+    TempDir dir;
+    const std::string path = dir.path("golden.txt");
+    CampaignReport report = syntheticReport();
+    ASSERT_TRUE(recordGolden(path, report).ok());
+
+    // Nudge one chip energy by exactly one ULP.
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &report.results[1].chipEnergy[2], sizeof(bits));
+    ++bits;
+    std::memcpy(&report.results[1].chipEnergy[2], &bits, sizeof(bits));
+
+    const auto checked = verifyGolden(path, report);
+    ASSERT_TRUE(checked.ok());
+    ASSERT_EQ(checked.value().drifts.size(), 1u);
+    const auto &drift = checked.value().drifts[0];
+    EXPECT_EQ(drift.abbr, "BBB");
+    EXPECT_EQ(drift.field, "chip");
+    EXPECT_FALSE(sameBits(drift.expected, drift.actual));
+    EXPECT_FALSE(drift.describe().empty());
+}
+
+TEST(Golden, MissingAndUnexpectedAppsAreReported)
+{
+    TempDir dir;
+    const std::string path = dir.path("golden.txt");
+    const CampaignReport full = syntheticReport();
+    ASSERT_TRUE(recordGolden(path, full).ok());
+
+    // Fresh campaign lost BBB and gained CCC.
+    CampaignReport shifted = full;
+    shifted.results[1] = sampleResult("CCC", 3.0);
+    const auto checked = verifyGolden(path, shifted);
+    ASSERT_TRUE(checked.ok());
+    EXPECT_FALSE(checked.value().ok());
+    EXPECT_TRUE(checked.value().drifts.empty());
+    ASSERT_EQ(checked.value().missing.size(),
+              static_cast<std::size_t>(coder::numScenarios));
+    EXPECT_EQ(checked.value().missing[0].rfind("BBB ", 0), 0u);
+    ASSERT_EQ(checked.value().unexpected.size(),
+              static_cast<std::size_t>(coder::numScenarios));
+    EXPECT_EQ(checked.value().unexpected[0].rfind("CCC ", 0), 0u);
+}
+
+TEST(Golden, QuarantinedAppsNeverEnterTheSnapshot)
+{
+    TempDir dir;
+    const std::string path = dir.path("golden.txt");
+    ASSERT_TRUE(recordGolden(path, syntheticReport()).ok());
+    const auto bytes = readFileBytes(path);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes.value().find("BRK"), std::string::npos);
+}
+
+TEST(Golden, ForeignConfigurationIsRefused)
+{
+    TempDir dir;
+    const std::string path = dir.path("golden.txt");
+    const CampaignReport report = syntheticReport();
+    ASSERT_TRUE(recordGolden(path, report).ok());
+
+    CampaignReport other = report;
+    other.configCrc = 0x0bad;
+    const auto checked = verifyGolden(path, other);
+    ASSERT_FALSE(checked.ok());
+    EXPECT_EQ(checked.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST(Golden, GarbageSnapshotIsAStructuredError)
+{
+    TempDir dir;
+    const std::string path = dir.path("golden.txt");
+    ASSERT_TRUE(atomicWriteFile(path, "not a snapshot\n").ok());
+    const auto checked = verifyGolden(path, syntheticReport());
+    ASSERT_FALSE(checked.ok());
+    EXPECT_EQ(checked.error().code, ErrorCode::Corrupt);
+}
+
+} // namespace
+} // namespace bvf::campaign

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the log-level machinery: parsing CLI spellings, the
+ * level-name round trip, and the legacy verbose shims that older call
+ * sites still use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace bvf
+{
+namespace
+{
+
+/** Restores the global level so tests cannot leak verbosity. */
+class LevelGuard
+{
+  public:
+    LevelGuard() : saved_(logLevel()) {}
+    ~LevelGuard() { setLogLevel(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
+TEST(Logging, DefaultLevelIsWarn)
+{
+    // The suite never raises the level except under a guard, so the
+    // process-wide default must still be visible here.
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+}
+
+TEST(Logging, SetAndQueryRoundTrips)
+{
+    LevelGuard guard;
+    for (const auto level : {LogLevel::Quiet, LogLevel::Warn,
+                             LogLevel::Info, LogLevel::Debug}) {
+        setLogLevel(level);
+        EXPECT_EQ(logLevel(), level);
+    }
+}
+
+TEST(Logging, NamesRoundTripThroughParse)
+{
+    for (const auto level : {LogLevel::Quiet, LogLevel::Warn,
+                             LogLevel::Info, LogLevel::Debug}) {
+        LogLevel parsed = LogLevel::Quiet;
+        ASSERT_TRUE(parseLogLevel(logLevelName(level), parsed))
+            << logLevelName(level);
+        EXPECT_EQ(parsed, level);
+    }
+}
+
+TEST(Logging, ParseRejectsUnknownSpellings)
+{
+    LogLevel out = LogLevel::Debug;
+    EXPECT_FALSE(parseLogLevel("", out));
+    EXPECT_FALSE(parseLogLevel("loud", out));
+    EXPECT_FALSE(parseLogLevel("WARN", out)); // spellings are exact
+    EXPECT_FALSE(parseLogLevel("warn ", out));
+    // A failed parse must leave the output untouched.
+    EXPECT_EQ(out, LogLevel::Debug);
+}
+
+TEST(Logging, VerboseShimMapsOntoLevels)
+{
+    LevelGuard guard;
+    setVerbose(true);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    EXPECT_TRUE(verbose());
+    setVerbose(false);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    EXPECT_FALSE(verbose());
+    // Debug is at least as chatty as Info, so verbose() holds there too.
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(verbose());
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_FALSE(verbose());
+}
+
+TEST(Logging, FatalTrapStillWorksAtQuiet)
+{
+    LevelGuard guard;
+    setLogLevel(LogLevel::Quiet);
+    bool thrown = false;
+    try {
+        ScopedFatalTrap trap;
+        fatal("still must throw under Quiet");
+    } catch (const FatalError &e) {
+        thrown = true;
+        EXPECT_NE(std::string(e.what()).find("still must throw"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(thrown);
+}
+
+} // namespace
+} // namespace bvf

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "common/crc32.hh"
 #include "core/accountant.hh"
 #include "core/experiment.hh"
 #include "core/trace.hh"
@@ -213,6 +215,94 @@ TEST(Trace, TruncationMidBatchSalvagesExactPrefix)
 
     // Without salvage the same stream is a structured error.
     std::stringstream cut2(full.substr(0, full.size() * 7 / 10));
+    sram::NullSink sink;
+    const auto strict = replayTrace(cut2, sink);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.error().code, ErrorCode::Truncated);
+}
+
+TEST(Trace, HeaderOnlyFileIsTruncatedButSalvageable)
+{
+    // A dump killed right after the 8-byte stream header: no batches,
+    // no footer. Strict replay calls that truncation; salvage keeps the
+    // (empty) valid prefix without inventing records.
+    std::string bytes = "BVFT";
+    const std::uint32_t v2 = 2;
+    bytes.append(reinterpret_cast<const char *>(&v2), sizeof(v2));
+
+    std::stringstream strictIn(bytes);
+    sram::NullSink sink;
+    const auto strict = replayTrace(strictIn, sink);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.error().code, ErrorCode::Truncated);
+    EXPECT_NE(strict.error().message.find("without footer"),
+              std::string::npos);
+
+    std::stringstream salvageIn(bytes);
+    CountingSink counter;
+    const auto salvaged =
+        replayTrace(salvageIn, counter, ReplayOptions{.salvage = true});
+    ASSERT_TRUE(salvaged.ok());
+    EXPECT_TRUE(salvaged.value().salvaged);
+    EXPECT_FALSE(salvaged.value().sawFooter);
+    EXPECT_EQ(salvaged.value().records, 0u);
+    EXPECT_EQ(counter.events, 0u);
+}
+
+TEST(Trace, HandBuiltZeroRecordFooterReplaysCleanly)
+{
+    // Header followed directly by a footer claiming zero records: the
+    // smallest complete v2 stream, built by hand so the writer cannot
+    // paper over format drift.
+    std::string bytes = "BVFT";
+    const std::uint32_t v2 = 2;
+    bytes.append(reinterpret_cast<const char *>(&v2), sizeof(v2));
+    bytes += "BVFE";
+    const std::uint64_t total = 0;
+    bytes.append(reinterpret_cast<const char *>(&total), sizeof(total));
+    const std::uint32_t crc = crc32(&total, sizeof(total));
+    bytes.append(reinterpret_cast<const char *>(&crc), sizeof(crc));
+
+    std::stringstream in(bytes);
+    CountingSink counter;
+    const auto replayed = replayTrace(in, counter);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(replayed.value().records, 0u);
+    EXPECT_EQ(replayed.value().batches, 0u);
+    EXPECT_TRUE(replayed.value().sawFooter);
+    EXPECT_FALSE(replayed.value().salvaged);
+    EXPECT_EQ(counter.events, 0u);
+}
+
+TEST(Trace, TruncationExactlyAtBatchBoundarySalvagesWholeBatch)
+{
+    // Enough records for several batches; read the first batch header
+    // to find the exact end of batch 0, then cut precisely there. The
+    // salvage must keep exactly that batch's records -- no partial
+    // batch, no footer confusion.
+    const std::string full = makeTrace(5000);
+    std::uint32_t batchBytes = 0, batchRecords = 0;
+    std::memcpy(&batchBytes, full.data() + 8 + 4, sizeof(batchBytes));
+    std::memcpy(&batchRecords, full.data() + 8 + 8,
+                sizeof(batchRecords));
+    ASSERT_GT(batchRecords, 0u);
+    ASSERT_LT(batchRecords, 5000u); // really multiple batches
+    const std::size_t boundary = 8 + 16 + batchBytes;
+    ASSERT_LT(boundary, full.size());
+
+    std::stringstream cut(full.substr(0, boundary));
+    CountingSink counter;
+    const auto salvaged =
+        replayTrace(cut, counter, ReplayOptions{.salvage = true});
+    ASSERT_TRUE(salvaged.ok());
+    EXPECT_TRUE(salvaged.value().salvaged);
+    EXPECT_FALSE(salvaged.value().sawFooter);
+    EXPECT_EQ(salvaged.value().batches, 1u);
+    EXPECT_EQ(salvaged.value().records, batchRecords);
+    EXPECT_EQ(counter.events, batchRecords);
+
+    // Strict replay of the same prefix is a truncation error.
+    std::stringstream cut2(full.substr(0, boundary));
     sram::NullSink sink;
     const auto strict = replayTrace(cut2, sink);
     ASSERT_FALSE(strict.ok());
