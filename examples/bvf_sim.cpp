@@ -30,6 +30,13 @@
  *   --cells-bitline N     bitline column height (default 128)
  *   --log-level quiet|warn|info|debug           (default warn)
  *   --list                list the 58 applications and exit
+ *   --analyze             static report only (lint + density bounds),
+ *                         no simulation; exit 1 on lint findings
+ *   --check-static        after simulating, verify every observed
+ *                         encoded bit ratio against the static
+ *                         predictor's proven interval and fail loudly
+ *                         on contradiction (incompatible with --ecc,
+ *                         --fault-rate and the bvf6t disturb model)
  *
  * Campaign options (any of these selects campaign mode):
  *   --journal FILE        crash-safe journal; every finished app is
@@ -51,11 +58,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "campaign/campaign.hh"
 #include "campaign/golden.hh"
+#include "core/static_check.hh"
 #include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -93,6 +103,8 @@ struct Options
     int cellsBitline = 128;
     std::vector<std::string> apps;
     bool list = false;
+    bool analyze = false;
+    bool checkStatic = false;
 
     // Campaign mode.
     bool campaign = false;
@@ -310,6 +322,10 @@ parse(int argc, char **argv)
         } else if (arg == "--golden-file") {
             o.goldenFile = next();
             o.campaign = true;
+        } else if (arg == "--analyze") {
+            o.analyze = true;
+        } else if (arg == "--check-static") {
+            o.checkStatic = true;
         } else if (arg == "--list") {
             o.list = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -328,6 +344,12 @@ parse(int argc, char **argv)
         dieUsage("--golden-file requires --golden record|verify");
     if (o.campaign && !o.traceFile.empty())
         dieUsage("--trace is not supported in campaign mode");
+    if (o.analyze && o.campaign)
+        dieUsage("--analyze is a static mode; campaign flags do not apply");
+    if (o.checkStatic && o.ecc)
+        dieUsage("--check-static is incompatible with --ecc");
+    if (o.checkStatic && o.faultRate > 0.0)
+        dieUsage("--check-static is incompatible with --fault-rate");
     return o;
 }
 
@@ -394,6 +416,7 @@ runCampaign(const Options &o)
     copts.run.dynamicIsa = o.dynamicIsa;
     copts.run.vsRegisterPivot = o.pivot;
     copts.run.fault = faultConfigFor(o);
+    copts.run.checkStatic = o.checkStatic;
     copts.pricing.node = o.node;
     copts.pricing.pstate = o.pstate;
     copts.pricing.cellKind = o.cell;
@@ -487,6 +510,71 @@ runCampaign(const Options &o)
     return 0;
 }
 
+/**
+ * Static mode (--analyze): lint the kernel and print the proven
+ * per-unit density bounds without simulating anything.
+ * @return number of lint findings
+ */
+std::size_t
+runAnalyze(const Options &o, const workload::AppSpec &spec)
+{
+    gpu::GpuConfig config = gpu::baselineConfig();
+    config.scheduler = o.sched;
+    config.arch = o.arch;
+
+    isa::Program program = workload::buildProgram(spec);
+    const auto findings = analysis::lintProgram(program);
+
+    Word64 isa_mask = 0;
+    if (o.dynamicIsa) {
+        const isa::InstructionEncoder encoder(o.arch);
+        isa_mask = isa::extractPreferenceMask(encoder.encode(program.body));
+    }
+    const core::StaticReport report =
+        core::analyzeStatic(program, config, isa_mask, o.pivot);
+
+    TextTable table(strFormat(
+        "%s (%s): proven bit-1 density intervals (%zu instructions)",
+        spec.name.c_str(), spec.abbr.c_str(), program.body.size()));
+    std::vector<std::string> head{"Unit"};
+    for (const auto s : coder::allScenarios)
+        head.push_back(coder::scenarioName(s));
+    table.header(head);
+    auto cell = [](const analysis::DensityBound &b) {
+        return b.any ? strFormat("[%.3f, %.3f]", b.lo, b.hi)
+                     : std::string("idle");
+    };
+    auto bound_row = [&](const std::string &name, const auto &bounds) {
+        std::vector<std::string> row{name};
+        for (const auto s : coder::allScenarios) {
+            row.push_back(cell(
+                bounds[static_cast<std::size_t>(coder::scenarioIndex(s))]));
+        }
+        table.row(row);
+    };
+    for (const auto &[unit, bounds] : report.prediction.units)
+        bound_row(coder::unitName(unit), bounds);
+    bound_row("NoC", report.prediction.noc);
+    table.print();
+
+    std::printf("best static scenario: %s (mean bound midpoint %.3f vs "
+                "baseline %.3f)\n",
+                coder::scenarioName(report.prediction.bestStatic).c_str(),
+                report.prediction.meanMidpoint[static_cast<std::size_t>(
+                    coder::scenarioIndex(report.prediction.bestStatic))],
+                report.prediction.meanMidpoint[static_cast<std::size_t>(
+                    coder::scenarioIndex(coder::Scenario::Baseline))]);
+
+    for (const auto &finding : findings) {
+        std::fprintf(stderr, "%s: lint: %s\n", spec.abbr.c_str(),
+                     finding.toString().c_str());
+    }
+    if (findings.empty())
+        std::printf("lint: clean\n");
+    std::printf("\n");
+    return findings.size();
+}
+
 void
 runOne(const Options &o, const workload::AppSpec &spec)
 {
@@ -513,6 +601,18 @@ runOne(const Options &o, const workload::AppSpec &spec)
     // Fault model: explicit soft errors, plus the physics-derived
     // read-disturb rate if a BVF-6T machine was selected.
     const fault::FaultConfig fault_cfg = faultConfigFor(o);
+
+    // The static report must precede the move of the program into the
+    // machine, and its knobs must mirror the accountant's.
+    std::optional<core::StaticReport> static_report;
+    if (o.checkStatic) {
+        fatal_if(fault_cfg.anyFaults(),
+                 "--check-static is incompatible with fault injection "
+                 "(the selected cell arms the read-disturb model)");
+        static_report = core::analyzeStatic(program, config,
+                                            accountant->isaMask(),
+                                            o.pivot);
+    }
 
     std::unique_ptr<fault::FaultSink> fault_sink;
     sram::AccessSink *sink = accountant.get();
@@ -542,6 +642,22 @@ runOne(const Options &o, const workload::AppSpec &spec)
         stats = machine.run();
     }
     accountant->finalize(stats.cycles);
+
+    if (static_report) {
+        const auto violations =
+            core::crossCheckRun(*static_report, *accountant);
+        for (const auto &v : violations)
+            std::fprintf(stderr, "%s: %s\n", spec.abbr.c_str(), v.c_str());
+        fatal_if(!violations.empty(),
+                 "static cross-check failed for %s: %zu observed ratios "
+                 "escaped their proven intervals",
+                 spec.abbr.c_str(), violations.size());
+        std::printf("static cross-check OK: every observed density inside "
+                    "its proven interval (best static scenario %s)\n",
+                    coder::scenarioName(
+                        static_report->prediction.bestStatic)
+                        .c_str());
+    }
 
     power::ChipModelOptions array_opts;
     array_opts.ecc = o.ecc;
@@ -646,6 +762,12 @@ main(int argc, char **argv)
     }
     if (o.campaign)
         return runCampaign(o);
+    if (o.analyze) {
+        std::size_t findings = 0;
+        for (const auto &spec : resolveApps(o.apps))
+            findings += runAnalyze(o, spec);
+        return findings ? 1 : 0;
+    }
     for (const auto &spec : resolveApps(o.apps))
         runOne(o, spec);
     return 0;

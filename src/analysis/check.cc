@@ -1,0 +1,85 @@
+#include "analysis/check.hh"
+
+#include <cstdio>
+
+namespace bvf::analysis
+{
+
+namespace
+{
+
+// Bounds are exact popcount fractions and observations exact integer
+// ratios; the slack only absorbs double rounding in the comparison.
+constexpr double eps = 1e-9;
+
+std::string
+describe(const char *what, const std::string &where, double ratio,
+         const DensityBound &bound, std::uint64_t ones, std::uint64_t bits)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s %s: observed ratio %.9f (%llu/%llu) outside proven "
+                  "[%.9f, %.9f]",
+                  what, where.c_str(), ratio,
+                  static_cast<unsigned long long>(ones),
+                  static_cast<unsigned long long>(bits), bound.lo,
+                  bound.hi);
+    return buf;
+}
+
+std::string
+describeIdle(const char *what, const std::string &where, std::uint64_t ones,
+             std::uint64_t bits)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s %s: observed %llu/%llu bits on a unit the predictor "
+                  "proved idle",
+                  what, where.c_str(),
+                  static_cast<unsigned long long>(ones),
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+void
+checkOne(const char *what, const std::string &where,
+         const DensityBound &bound, std::uint64_t ones, std::uint64_t bits,
+         std::vector<std::string> &out)
+{
+    if (bits == 0)
+        return;
+    if (!bound.any) {
+        out.push_back(describeIdle(what, where, ones, bits));
+        return;
+    }
+    const double ratio =
+        static_cast<double>(ones) / static_cast<double>(bits);
+    if (ratio < bound.lo - eps || ratio > bound.hi + eps)
+        out.push_back(describe(what, where, ratio, bound, ones, bits));
+}
+
+} // namespace
+
+std::vector<std::string>
+crossCheck(const StaticPrediction &prediction,
+           const std::vector<ObservedStream> &streams,
+           const std::vector<ObservedNoc> &noc)
+{
+    std::vector<std::string> violations;
+    for (const ObservedStream &s : streams) {
+        const std::string where = coder::unitName(s.unit) + "/"
+                                  + coder::scenarioName(s.scenario) + "/"
+                                  + s.stream;
+        checkOne("unit", where, prediction.unitBound(s.unit, s.scenario),
+                 s.ones, s.bits, violations);
+    }
+    for (const ObservedNoc &n : noc) {
+        const auto sidx = static_cast<std::size_t>(
+            coder::scenarioIndex(n.scenario));
+        checkOne("noc", coder::scenarioName(n.scenario),
+                 prediction.noc[sidx], n.ones, n.bits, violations);
+    }
+    return violations;
+}
+
+} // namespace bvf::analysis

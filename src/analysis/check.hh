@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dynamic cross-check of the static density predictor.
+ *
+ * A run's energy accountant observes, per unit and scenario, how many
+ * encoded 0/1 bits actually flowed. The predictor proves an interval
+ * that must contain every such ratio. This module compares the two and
+ * reports every contradiction -- an observed ratio outside its proven
+ * interval means either the abstract interpreter, a coder transform, or
+ * the simulator itself is wrong, so the caller should fail loudly.
+ *
+ * The checker deliberately takes plain observed tuples rather than the
+ * accountant object: the analysis layer stays independent of the core
+ * simulation layer, which is what lets the linter and predictor run
+ * without dragging in the whole machine model.
+ */
+
+#ifndef BVF_ANALYSIS_CHECK_HH
+#define BVF_ANALYSIS_CHECK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/predictor.hh"
+
+namespace bvf::analysis
+{
+
+/** One observed encoded bit stream (a unit port under one scenario). */
+struct ObservedStream
+{
+    coder::UnitId unit;
+    coder::Scenario scenario;
+    std::string stream; //!< port label, e.g. "reads" or "writes"
+    std::uint64_t ones = 0;
+    std::uint64_t bits = 0;
+};
+
+/** Observed NoC payload bits under one scenario. */
+struct ObservedNoc
+{
+    coder::Scenario scenario;
+    std::uint64_t ones = 0;
+    std::uint64_t bits = 0;
+};
+
+/**
+ * Compare observations against @p prediction. Returns one message per
+ * violation (empty = all observations inside their proven intervals).
+ * Streams with zero observed bits are vacuously consistent; nonzero
+ * traffic on a unit the predictor proved idle is itself a violation.
+ */
+std::vector<std::string> crossCheck(
+    const StaticPrediction &prediction,
+    const std::vector<ObservedStream> &streams,
+    const std::vector<ObservedNoc> &noc);
+
+} // namespace bvf::analysis
+
+#endif // BVF_ANALYSIS_CHECK_HH

@@ -1,0 +1,430 @@
+#include "analysis/interpreter.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace bvf::analysis
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace
+{
+
+// Malformed programs may carry register/predicate numbers past the
+// architectural limits; reduce them the way a hardware decoder's field
+// width would so the analysis stays memory-safe (the linter flags the
+// encoding separately).
+std::size_t
+regIndex(std::uint8_t r)
+{
+    return r % isa::numRegisters;
+}
+
+std::size_t
+predIndex(std::uint8_t p)
+{
+    return p % isa::numPredicates;
+}
+
+/** Interval-join count per pc before the interval widens to top. */
+constexpr int widenThreshold = 256;
+
+/** Outer load/store iterations before memory summaries widen to top. */
+constexpr int memoryIterations = 8;
+
+AbsState
+initialState()
+{
+    AbsState s;
+    s.regs.fill(KnownBits::constant(0));
+    s.preds.fill(Bool3::False);
+    s.regWritten = 0;
+    s.predWritten = 0;
+    s.reachable = true;
+    return s;
+}
+
+bool
+sameState(const AbsState &a, const AbsState &b)
+{
+    return a.reachable == b.reachable && a.regWritten == b.regWritten
+           && a.predWritten == b.predWritten && a.regs == b.regs
+           && a.preds == b.preds;
+}
+
+/**
+ * Join @p next into @p into. With @p widen, any register interval still
+ * growing is sent straight to [0, 2^32) so loops terminate; the bit
+ * masks and predicates live in finite lattices and never need widening.
+ */
+AbsState
+joinState(const AbsState &into, const AbsState &next, bool widen)
+{
+    AbsState r;
+    r.reachable = true;
+    r.regWritten = into.regWritten & next.regWritten;
+    r.predWritten = into.predWritten & next.predWritten;
+    for (int i = 0; i < isa::numRegisters; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        KnownBits j = join(into.regs[idx], next.regs[idx]);
+        if (widen && (j.lo < into.regs[idx].lo || j.hi > into.regs[idx].hi)) {
+            j.lo = 0;
+            j.hi = 0xffffffffu;
+            j = j.normalized();
+        }
+        r.regs[idx] = j;
+    }
+    for (int i = 0; i < isa::numPredicates; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        r.preds[idx] = join(into.preds[idx], next.preds[idx]);
+    }
+    return r;
+}
+
+KnownBits
+joinImage(const std::vector<Word> &image)
+{
+    KnownBits kb = KnownBits::constant(image.empty() ? 0 : image.front());
+    for (Word w : image)
+        kb = join(kb, KnownBits::constant(w));
+    return kb;
+}
+
+struct Successor
+{
+    int pc;
+    AbsState state;
+};
+
+/**
+ * One abstract instruction step: returns the successor program points
+ * with their OUT states and reports stored values / written results to
+ * the caller (for the memory fixpoint and regAnywhere accumulation).
+ */
+class Stepper
+{
+  public:
+    Stepper(const isa::Program &program, const MemorySummaries &memory)
+        : program_(program), memory_(memory)
+    {
+    }
+
+    /** Joined abstraction of every value stored by Stg this pass. */
+    const KnownBits &storedGlobal() const { return storedGlobal_; }
+    bool anyGlobalStore() const { return anyGlobalStore_; }
+
+    /** Joined abstraction of every value stored by Sts this pass. */
+    const KnownBits &storedShared() const { return storedShared_; }
+    bool anySharedStore() const { return anySharedStore_; }
+
+    /** Join of every register-write result, indexed by register. */
+    const std::array<KnownBits, isa::numRegisters> &written() const
+    {
+        return written_;
+    }
+    std::uint64_t writtenMask() const { return writtenMask_; }
+
+    std::vector<Successor> step(int pc, const AbsState &in);
+
+  private:
+    void
+    noteWrite(int reg, const KnownBits &value)
+    {
+        const auto idx = static_cast<std::size_t>(reg);
+        written_[idx] = (writtenMask_ >> reg) & 1u
+                            ? join(written_[idx], value)
+                            : value;
+        writtenMask_ |= std::uint64_t(1) << reg;
+    }
+
+    const isa::Program &program_;
+    const MemorySummaries &memory_;
+    KnownBits storedGlobal_;
+    KnownBits storedShared_;
+    bool anyGlobalStore_ = false;
+    bool anySharedStore_ = false;
+    std::array<KnownBits, isa::numRegisters> written_{};
+    std::uint64_t writtenMask_ = 0;
+};
+
+std::vector<Successor>
+Stepper::step(int pc, const AbsState &in)
+{
+    const Instruction &instr = program_.body[static_cast<std::size_t>(pc)];
+    const Bool3 guard = guardValue(in, instr);
+
+    switch (instr.op) {
+      case Opcode::Exit:
+        // The SM retires the warp regardless of the guard predicate.
+        return {};
+      case Opcode::Bar:
+      case Opcode::Nop:
+        return {{pc + 1, in}};
+      case Opcode::Bra: {
+        std::vector<Successor> succs;
+        if (guard != Bool3::False)
+            succs.push_back({instr.imm, in});
+        if (guard != Bool3::True)
+            succs.push_back({pc + 1, in});
+        return succs;
+      }
+      default:
+        break;
+    }
+
+    if (guard == Bool3::False)
+        return {{pc + 1, in}};
+
+    AbsState out = in;
+    const bool certain = guard == Bool3::True;
+
+    if (instr.op == Opcode::SetP) {
+        const Bool3 cmp =
+            kbCompare(static_cast<isa::CmpOp>(instr.flags),
+                      operandA(in, instr), operandB(in, instr));
+        const std::size_t idx = predIndex(instr.dst);
+        out.preds[idx] = certain ? cmp : join(in.preds[idx], cmp);
+        if (certain)
+            out.predWritten |= static_cast<std::uint8_t>(1u << idx);
+        return {{pc + 1, out}};
+    }
+
+    if (isa::isStoreOp(instr.op)) {
+        const KnownBits value = in.regs[regIndex(instr.srcB)];
+        if (instr.op == Opcode::Stg) {
+            storedGlobal_ = anyGlobalStore_ ? join(storedGlobal_, value)
+                                            : value;
+            anyGlobalStore_ = true;
+        } else {
+            storedShared_ = anySharedStore_ ? join(storedShared_, value)
+                                            : value;
+            anySharedStore_ = true;
+        }
+        return {{pc + 1, out}};
+    }
+
+    // Register-writing instructions (ALU ops and loads).
+    const KnownBits result = isa::isLoadOp(instr.op)
+                                 ? loadResult(instr, memory_)
+                                 : aluResult(instr, in, program_.launch);
+    const std::size_t idx = regIndex(instr.dst);
+    out.regs[idx] = certain ? result : join(in.regs[idx], result);
+    if (certain)
+        out.regWritten |= std::uint64_t(1) << idx;
+    noteWrite(static_cast<int>(idx), out.regs[idx]);
+    return {{pc + 1, out}};
+}
+
+} // namespace
+
+Bool3
+guardValue(const AbsState &s, const Instruction &instr)
+{
+    if (instr.pred == isa::predTrue && !instr.predNegate)
+        return Bool3::True;
+    const Bool3 v = s.preds[instr.pred % isa::numPredicates];
+    return instr.predNegate ? not3(v) : v;
+}
+
+KnownBits
+operandA(const AbsState &s, const Instruction &instr)
+{
+    return s.regs[instr.srcA % isa::numRegisters];
+}
+
+KnownBits
+operandB(const AbsState &s, const Instruction &instr)
+{
+    if (instr.immB)
+        return KnownBits::constant(static_cast<Word>(instr.imm));
+    return s.regs[instr.srcB % isa::numRegisters];
+}
+
+KnownBits
+aluResult(const Instruction &instr, const AbsState &s,
+          const isa::LaunchDims &launch)
+{
+    const KnownBits a = operandA(s, instr);
+    const KnownBits b = operandB(s, instr);
+    switch (instr.op) {
+      case Opcode::IAdd:
+        return kbAdd(a, b);
+      case Opcode::ISub:
+        return kbSub(a, b);
+      case Opcode::IMul:
+        return kbMul(a, b);
+      case Opcode::IMad:
+        return kbAdd(kbMul(a, b), s.regs[instr.dst % isa::numRegisters]);
+      case Opcode::Mov:
+        return b;
+      case Opcode::Shl:
+        return kbShl(a, b);
+      case Opcode::Shr:
+        return kbShr(a, b);
+      case Opcode::And:
+        return kbAnd(a, b);
+      case Opcode::Or:
+        return kbOr(a, b);
+      case Opcode::Xor:
+        return kbXor(a, b);
+      case Opcode::Clz:
+        return kbClz(a);
+      case Opcode::Min:
+        return kbMinSigned(a, b);
+      case Opcode::Max:
+        return kbMaxSigned(a, b);
+      case Opcode::S2R:
+        switch (static_cast<isa::SpecialReg>(instr.flags)) {
+          case isa::SpecialReg::LaneId:
+            return KnownBits::range(0, 31);
+          case isa::SpecialReg::WarpId:
+            return KnownBits::range(
+                0, static_cast<Word>(launch.warpsPerBlock() - 1));
+          case isa::SpecialReg::TidX:
+            return KnownBits::range(
+                0, static_cast<Word>(launch.blockThreads - 1));
+          case isa::SpecialReg::CtaIdX:
+            return KnownBits::range(
+                0, static_cast<Word>(launch.gridBlocks - 1));
+          case isa::SpecialReg::NTidX:
+            return KnownBits::constant(
+                static_cast<Word>(launch.blockThreads));
+          case isa::SpecialReg::GridDimX:
+            return KnownBits::constant(
+                static_cast<Word>(launch.gridBlocks));
+        }
+        return KnownBits::top();
+      case Opcode::Ffma:
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::I2F:
+      case Opcode::F2I:
+      default:
+        // Floating-point bit patterns are not tracked.
+        return KnownBits::top();
+    }
+}
+
+KnownBits
+loadResult(const Instruction &instr, const MemorySummaries &memory)
+{
+    switch (instr.op) {
+      case Opcode::Ldg:
+        return memory.global;
+      case Opcode::Lds:
+        return memory.shared;
+      case Opcode::Ldc:
+        return memory.constant;
+      case Opcode::Ldt:
+        return memory.texture;
+      default:
+        return KnownBits::top();
+    }
+}
+
+KnownBits
+memoryAddress(const AbsState &s, const Instruction &instr)
+{
+    return kbAdd(s.regs[instr.srcA % isa::numRegisters],
+                 KnownBits::constant(static_cast<Word>(instr.imm)));
+}
+
+AnalysisResult
+analyzeProgram(const isa::Program &program)
+{
+    AnalysisResult result;
+    const int size = static_cast<int>(program.body.size());
+    result.in.assign(static_cast<std::size_t>(size), AbsState{});
+    result.regAnywhere.fill(KnownBits::constant(0));
+    if (size == 0) {
+        result.fellOffEnd = true;
+        return result;
+    }
+
+    // Summaries without store feedback: image words plus the zero every
+    // out-of-range or uninitialized location yields.
+    MemorySummaries base;
+    base.global = join(joinImage(program.global), KnownBits::constant(0));
+    base.shared = KnownBits::constant(0);
+    base.constant = joinImage(program.constants);
+    base.texture = joinImage(program.texture);
+
+    MemorySummaries memory = base;
+    for (int iter = 0;; ++iter) {
+        Stepper stepper(program, memory);
+
+        for (AbsState &s : result.in)
+            s = AbsState{};
+        result.in[0] = initialState();
+        result.fellOffEnd = false;
+
+        std::vector<int> updates(static_cast<std::size_t>(size), 0);
+        std::deque<int> worklist{0};
+        std::vector<bool> queued(static_cast<std::size_t>(size), false);
+        queued[0] = true;
+        while (!worklist.empty()) {
+            const int pc = worklist.front();
+            worklist.pop_front();
+            queued[static_cast<std::size_t>(pc)] = false;
+
+            const AbsState in = result.in[static_cast<std::size_t>(pc)];
+            for (const Successor &succ : stepper.step(pc, in)) {
+                if (succ.pc < 0 || succ.pc >= size) {
+                    result.fellOffEnd = true;
+                    continue;
+                }
+                const auto sidx = static_cast<std::size_t>(succ.pc);
+                AbsState &old = result.in[sidx];
+                AbsState merged =
+                    old.reachable
+                        ? joinState(old, succ.state,
+                                    updates[sidx] >= widenThreshold)
+                        : succ.state;
+                merged.reachable = true;
+                if (!old.reachable || !sameState(merged, old)) {
+                    old = merged;
+                    ++updates[sidx];
+                    if (!queued[sidx]) {
+                        queued[sidx] = true;
+                        worklist.push_back(succ.pc);
+                    }
+                }
+            }
+        }
+
+        // Feed stored values back into the load summaries.
+        MemorySummaries next = base;
+        if (stepper.anyGlobalStore())
+            next.global = join(next.global, stepper.storedGlobal());
+        if (stepper.anySharedStore())
+            next.shared = join(next.shared, stepper.storedShared());
+        // Monotone ascent so the outer loop cannot oscillate.
+        next.global = join(next.global, memory.global);
+        next.shared = join(next.shared, memory.shared);
+
+        if (next == memory) {
+            for (int r = 0; r < isa::numRegisters; ++r) {
+                const auto idx = static_cast<std::size_t>(r);
+                for (const AbsState &s : result.in) {
+                    if (s.reachable)
+                        result.regAnywhere[idx] =
+                            join(result.regAnywhere[idx], s.regs[idx]);
+                }
+                if ((stepper.writtenMask() >> r) & 1u) {
+                    result.regAnywhere[idx] = join(result.regAnywhere[idx],
+                                                   stepper.written()[idx]);
+                }
+            }
+            result.memory = memory;
+            return result;
+        }
+        memory = iter < memoryIterations
+                     ? next
+                     : MemorySummaries{KnownBits::top(), KnownBits::top(),
+                                       next.constant, next.texture};
+    }
+}
+
+} // namespace bvf::analysis

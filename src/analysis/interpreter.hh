@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Abstract interpreter over bvf::isa::Program with the known-bits lattice.
+ *
+ * The abstraction models a single arbitrary thread of the launch: every
+ * register holds a KnownBits word, every predicate a Bool3, and control
+ * flow follows the CFG with branch successors pruned by the abstract
+ * guard. SIMT scheduling (divergence stacks, reconvergence order) only
+ * changes *when* a thread executes an instruction, never *what* it
+ * computes, so path-joins at reconvergence points fall out of the
+ * ordinary dataflow join. Memory is summarized per space (global,
+ * shared, constant, texture) with an outer fixpoint so stored values
+ * feed back into loads.
+ *
+ * The fixpoint result answers, for every reachable pc, "what can each
+ * register/predicate hold just before this instruction executes" -- the
+ * facts the linter and the static bit-density predictor consume.
+ */
+
+#ifndef BVF_ANALYSIS_INTERPRETER_HH
+#define BVF_ANALYSIS_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/known_bits.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace bvf::analysis
+{
+
+/** Abstract machine state at one program point (IN of a pc). */
+struct AbsState
+{
+    std::array<KnownBits, isa::numRegisters> regs{};
+    std::array<Bool3, isa::numPredicates> preds{};
+
+    /** Bit r set: register r written on every path to this point. */
+    std::uint64_t regWritten = 0;
+
+    /** Bit p set: predicate p written on every path to this point. */
+    std::uint8_t predWritten = 0;
+
+    /** False until the fixpoint first reaches this pc. */
+    bool reachable = false;
+};
+
+/** Per-space summaries of every value a load can observe. */
+struct MemorySummaries
+{
+    KnownBits global;    //!< image words, stores, and the OOB zero
+    KnownBits shared;    //!< zero-initialized words and Sts values
+    KnownBits constant;  //!< constant image words
+    KnownBits texture;   //!< texture image words
+
+    bool operator==(const MemorySummaries &o) const = default;
+};
+
+/** Everything the fixpoint proves about one program. */
+struct AnalysisResult
+{
+    /** IN state per pc (regs/preds just before the instruction). */
+    std::vector<AbsState> in;
+
+    MemorySummaries memory;
+
+    /**
+     * Join of register r over every program point plus the initial
+     * zero -- covers stale values in lanes that sit out an access,
+     * which the VS register pivot can expose to the accountant.
+     */
+    std::array<KnownBits, isa::numRegisters> regAnywhere{};
+
+    /** Some path runs past the last instruction (lint: FallsOffEnd). */
+    bool fellOffEnd = false;
+};
+
+/** Run the fixpoint. Handles empty bodies (returns no states). */
+AnalysisResult analyzeProgram(const isa::Program &program);
+
+// --- transfer helpers shared with the linter and predictor -------------
+
+/** Abstract value of the instruction's guard at state @p s. */
+Bool3 guardValue(const AbsState &s, const isa::Instruction &instr);
+
+/** Abstract srcA operand. */
+KnownBits operandA(const AbsState &s, const isa::Instruction &instr);
+
+/** Abstract srcB operand (immediate-aware). */
+KnownBits operandB(const AbsState &s, const isa::Instruction &instr);
+
+/**
+ * Abstract result of a register-writing data-path instruction (loads
+ * use the matching MemorySummaries member instead; see loadResult).
+ */
+KnownBits aluResult(const isa::Instruction &instr, const AbsState &s,
+                    const isa::LaunchDims &launch);
+
+/** Abstract value a load's destination receives. */
+KnownBits loadResult(const isa::Instruction &instr,
+                     const MemorySummaries &memory);
+
+/** Abstract byte address of a memory instruction (reg[srcA] + imm). */
+KnownBits memoryAddress(const AbsState &s, const isa::Instruction &instr);
+
+} // namespace bvf::analysis
+
+#endif // BVF_ANALYSIS_INTERPRETER_HH

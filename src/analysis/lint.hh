@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Kernel linter built on the known-bits abstract interpreter.
+ *
+ * Every diagnostic describes something the dynamic pipeline silently
+ * absorbs -- zero-initialized registers hide uninitialized reads, the
+ * shared/constant address wrap hides out-of-bounds offsets, the decoder
+ * ignores non-canonical fields -- so the linter is where such latent
+ * kernel and kernel-builder bugs become visible.
+ */
+
+#ifndef BVF_ANALYSIS_LINT_HH
+#define BVF_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace bvf::analysis
+{
+
+enum class LintCode
+{
+    UninitRegRead,   //!< register read before any write on some path
+    UninitPredRead,  //!< predicate guard read before any SetP on some path
+    DeadWrite,       //!< register/predicate write never observed
+    Unreachable,     //!< instruction no abstract path reaches
+    SharedOob,       //!< shared offset may exceed the block's segment
+    ConstOob,        //!< constant offset may wrap the constant image
+    TexOob,          //!< texture offset may wrap the texture image
+    NonCanonical,    //!< encoding field set that the opcode ignores
+    BadReconv,       //!< Bra reconvergence point malformed
+    FallsOffEnd,     //!< a path runs past the last instruction
+};
+
+/** Stable diagnostic name, e.g. "uninit-reg-read". */
+std::string lintCodeName(LintCode code);
+
+struct LintFinding
+{
+    LintCode code;
+    int pc;               //!< instruction index the finding anchors to
+    std::string message;  //!< human-readable detail
+
+    /** "pc 12: uninit-reg-read: ..." rendering. */
+    std::string toString() const;
+};
+
+/** Run every check over @p program. Findings are sorted by pc. */
+std::vector<LintFinding> lintProgram(const isa::Program &program);
+
+} // namespace bvf::analysis
+
+#endif // BVF_ANALYSIS_LINT_HH

@@ -1,0 +1,364 @@
+#include "analysis/predictor.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "coder/nv_coder.hh"
+
+namespace bvf::analysis
+{
+
+using coder::Scenario;
+using coder::UnitId;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace
+{
+
+RatioBound
+hull(const RatioBound &a, const RatioBound &b)
+{
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/**
+ * One source stream: a known-bits description, optionally sharpened by
+ * exact raw/NV bounds when the source is an enumerable word set (memory
+ * images), and the pivot abstraction VS register coding sees.
+ */
+struct Source
+{
+    KnownBits kb;
+    bool exact = false;
+    RatioBound rawExact;
+    RatioBound nvExact;
+
+    /** Pivot-lane abstraction for VS register coding (Reg unit only). */
+    KnownBits pivot;
+};
+
+Source
+fromKb(const KnownBits &kb)
+{
+    Source s;
+    s.kb = kb;
+    s.pivot = kb;
+    return s;
+}
+
+Source
+fromWords(const std::vector<Word> &words, bool includeZero)
+{
+    Source s;
+    s.exact = true;
+    const coder::NvCoder nv;
+    bool first = true;
+    auto feed = [&](Word w) {
+        const RatioBound raw{hammingWeight(w) / 32.0,
+                             hammingWeight(w) / 32.0};
+        const RatioBound enc{hammingWeight(nv.encode(w)) / 32.0,
+                             hammingWeight(nv.encode(w)) / 32.0};
+        if (first) {
+            s.kb = KnownBits::constant(w);
+            s.rawExact = raw;
+            s.nvExact = enc;
+            first = false;
+        } else {
+            s.kb = join(s.kb, KnownBits::constant(w));
+            s.rawExact = hull(s.rawExact, raw);
+            s.nvExact = hull(s.nvExact, enc);
+        }
+    };
+    if (includeZero || words.empty())
+        feed(0);
+    for (Word w : words)
+        feed(w);
+    s.pivot = s.kb;
+    return s;
+}
+
+RatioBound
+rawBound(const Source &s)
+{
+    return s.exact ? s.rawExact : ratioBounds(s.kb);
+}
+
+RatioBound
+nvBound(const Source &s)
+{
+    return s.exact ? s.nvExact : nvRatioBounds(s.kb);
+}
+
+/** Instruction-stream source set with raw and ISA-coded bounds. */
+struct InstrSet
+{
+    RatioBound raw{1.0, 0.0};
+    RatioBound isa{1.0, 0.0};
+    bool any = false;
+
+    void
+    feed(Word64 bin, Word64 mask)
+    {
+        const double r = hammingWeight64(bin) / 64.0;
+        const double e = hammingWeight64(xnorWord64(bin, mask)) / 64.0;
+        if (!any) {
+            raw = {r, r};
+            isa = {e, e};
+            any = true;
+        } else {
+            raw = hull(raw, {r, r});
+            isa = hull(isa, {e, e});
+        }
+    }
+};
+
+bool
+isaApplies(Scenario s)
+{
+    return s == Scenario::IsaOnly || s == Scenario::AllCoders;
+}
+
+/** Per-scenario bound for one data source at one unit (Table 1 wiring). */
+RatioBound
+dataBound(const Source &src, Scenario s, UnitId unit)
+{
+    static const auto nv_units = coder::nvSpaceUnits();
+    static const auto vs_reg_units = coder::vsRegisterSpaceUnits();
+    static const auto vs_cache_units = coder::vsCacheSpaceUnits();
+
+    const bool nv_on = (s == Scenario::NvOnly || s == Scenario::AllCoders)
+                       && nv_units.count(unit) > 0;
+    const bool vs_on = s == Scenario::VsOnly || s == Scenario::AllCoders;
+    const bool vs_reg = vs_on && vs_reg_units.count(unit) > 0;
+    const bool vs_cache = vs_on && vs_cache_units.count(unit) > 0;
+
+    const RatioBound word_bound = nv_on ? nvBound(src) : rawBound(src);
+    if (!vs_reg && !vs_cache)
+        return word_bound;
+
+    // VS rewrites every non-pivot word to word XNOR pivot; the pivot
+    // word itself passes through, so the access mixes both forms.
+    const KnownBits base = nv_on ? nvEncodeKnownBits(src.kb) : src.kb;
+    const KnownBits pivot_base =
+        vs_reg ? (nv_on ? nvEncodeKnownBits(src.pivot) : src.pivot)
+               : base; // cache-line pivot is the block's own element 0
+    return hull(xnorRatioBounds(base, pivot_base), word_bound);
+}
+
+DensityBound
+finish(const std::vector<RatioBound> &bounds)
+{
+    DensityBound d;
+    if (bounds.empty())
+        return d;
+    d.any = true;
+    d.lo = 1.0;
+    d.hi = 0.0;
+    for (const RatioBound &b : bounds) {
+        d.lo = std::min(d.lo, b.lo);
+        d.hi = std::max(d.hi, b.hi);
+    }
+    return d;
+}
+
+} // namespace
+
+StaticPrediction
+predictDensity(const isa::Program &program, const AnalysisResult &analysis,
+               const PredictorOptions &options)
+{
+    StaticPrediction out;
+
+    // --- collect per-unit data sources ---------------------------------
+    std::vector<Source> reg_sources;
+    std::vector<Source> sme_sources;
+    std::vector<Source> global_sources;
+    bool global_load = false;
+    bool global_store = false;
+    bool any_const = false;
+    bool any_tex = false;
+
+    auto add_reg = [&](std::uint8_t reg, const KnownBits &kb) {
+        Source s = fromKb(kb);
+        s.pivot = analysis.regAnywhere[reg % isa::numRegisters];
+        reg_sources.push_back(std::move(s));
+    };
+
+    const int size = static_cast<int>(program.body.size());
+    for (int pc = 0; pc < size; ++pc) {
+        const auto idx = static_cast<std::size_t>(pc);
+        const AbsState &in = analysis.in[idx];
+        if (!in.reachable)
+            continue;
+        const Instruction &instr = program.body[idx];
+        if (isa::isControlOp(instr.op))
+            continue;
+        // A provably-false guard leaves no active lane to count.
+        if (guardValue(in, instr) == Bool3::False)
+            continue;
+
+        if (isa::readsSrcA(instr.op))
+            add_reg(instr.srcA, operandA(in, instr));
+        if (isa::readsSrcB(instr.op) && !instr.immB)
+            add_reg(instr.srcB, in.regs[instr.srcB % isa::numRegisters]);
+        if (isa::readsDst(instr.op))
+            add_reg(instr.dst, in.regs[instr.dst % isa::numRegisters]);
+
+        switch (instr.op) {
+          case Opcode::Ldg:
+            add_reg(instr.dst, analysis.memory.global);
+            global_load = true;
+            break;
+          case Opcode::Stg:
+            global_sources.push_back(
+                fromKb(in.regs[instr.srcB % isa::numRegisters]));
+            global_store = true;
+            break;
+          case Opcode::Lds:
+            add_reg(instr.dst, analysis.memory.shared);
+            sme_sources.push_back(fromKb(analysis.memory.shared));
+            break;
+          case Opcode::Sts:
+            sme_sources.push_back(
+                fromKb(in.regs[instr.srcB % isa::numRegisters]));
+            break;
+          case Opcode::Ldc:
+            add_reg(instr.dst, analysis.memory.constant);
+            any_const = true;
+            break;
+          case Opcode::Ldt:
+            add_reg(instr.dst, analysis.memory.texture);
+            any_tex = true;
+            break;
+          case Opcode::SetP:
+            break;
+          default:
+            if (isa::writesRegister(instr.op))
+                add_reg(instr.dst,
+                        aluResult(instr, in, program.launch));
+            break;
+        }
+    }
+
+    // The global family covers loads, L1D/L2 fills, and store payloads;
+    // out-of-range reads yield zero.
+    if (global_load || global_store)
+        global_sources.insert(global_sources.begin(),
+                              fromWords(program.global, true));
+    else
+        global_sources.clear();
+
+    // Constant/texture fills pad the trailing line with zeros whenever
+    // the image does not end on a line boundary.
+    constexpr std::uint32_t l1cLineBytes = 64;
+    std::vector<Source> const_sources;
+    if (any_const) {
+        const auto bytes =
+            static_cast<std::uint32_t>(program.constants.size() * 4);
+        const_sources.push_back(
+            fromWords(program.constants, bytes % l1cLineBytes != 0));
+    }
+    std::vector<Source> tex_sources;
+    if (any_tex) {
+        const auto bytes =
+            static_cast<std::uint32_t>(program.texture.size() * 4);
+        tex_sources.push_back(
+            fromWords(program.texture,
+                      options.lineBytes == 0
+                          || bytes % options.lineBytes != 0));
+    }
+
+    // --- instruction-stream sources ------------------------------------
+    const Word64 mask = options.isaMask != 0 ? options.isaMask
+                                             : isa::paperIsaMask(options.arch);
+    const isa::InstructionEncoder encoder(options.arch);
+    InstrSet body_set;
+    for (const Instruction &instr : program.body)
+        body_set.feed(encoder.encode(instr), mask);
+    // NoC instruction lines pad past the body with zero binaries.
+    InstrSet noc_instr_set = body_set;
+    noc_instr_set.feed(0, mask);
+
+    // --- per-unit, per-scenario hulls ----------------------------------
+    auto unit_bounds = [&](UnitId unit,
+                           const std::vector<Source> &data,
+                           const InstrSet *instrs) {
+        std::array<DensityBound, coder::numScenarios> bounds;
+        for (const Scenario s : coder::allScenarios) {
+            std::vector<RatioBound> parts;
+            for (const Source &src : data)
+                parts.push_back(dataBound(src, s, unit));
+            if (instrs && instrs->any)
+                parts.push_back(isaApplies(s) ? instrs->isa : instrs->raw);
+            bounds[static_cast<std::size_t>(coder::scenarioIndex(s))] =
+                finish(parts);
+        }
+        return bounds;
+    };
+
+    out.units[UnitId::Reg] = unit_bounds(UnitId::Reg, reg_sources, nullptr);
+    out.units[UnitId::Sme] = unit_bounds(UnitId::Sme, sme_sources, nullptr);
+    out.units[UnitId::L1D] = unit_bounds(
+        UnitId::L1D, global_load ? global_sources : std::vector<Source>{},
+        nullptr);
+    out.units[UnitId::L1C] =
+        unit_bounds(UnitId::L1C, const_sources, nullptr);
+    out.units[UnitId::L1T] = unit_bounds(UnitId::L1T, tex_sources, nullptr);
+    out.units[UnitId::L1I] = unit_bounds(UnitId::L1I, {}, &body_set);
+    out.units[UnitId::Ifb] = unit_bounds(UnitId::Ifb, {}, &body_set);
+    out.units[UnitId::L2] =
+        unit_bounds(UnitId::L2, global_sources, &body_set);
+
+    // NoC payload: data packets, padded instruction lines, and the
+    // raw-zero flit padding added after every coder stage.
+    for (const Scenario s : coder::allScenarios) {
+        std::vector<RatioBound> parts;
+        for (const Source &src : global_sources)
+            parts.push_back(dataBound(src, s, UnitId::Noc));
+        parts.push_back(isaApplies(s) ? noc_instr_set.isa
+                                      : noc_instr_set.raw);
+        parts.push_back(RatioBound{0.0, 0.0});
+        out.noc[static_cast<std::size_t>(coder::scenarioIndex(s))] =
+            finish(parts);
+    }
+
+    // --- scenario ranking ----------------------------------------------
+    // 1 is the favored (cheap) bit value, so the best scenario is the
+    // one predicted to raise mean density the most over Baseline on the
+    // same units. Comparing gains rather than absolute midpoints keeps
+    // units the analysis knows nothing about (midpoint pinned at 0.5 by
+    // a vacuous [0, 1] interval) from drowning out units it does bound.
+    // Ties go to the later, richer coder stack: its gain can only add.
+    for (const Scenario s : coder::allScenarios) {
+        const auto sidx =
+            static_cast<std::size_t>(coder::scenarioIndex(s));
+        double sum = 0;
+        int n = 0;
+        for (const auto &[unit, bounds] : out.units) {
+            if (bounds[sidx].any) {
+                sum += (bounds[sidx].lo + bounds[sidx].hi) / 2;
+                ++n;
+            }
+        }
+        out.meanMidpoint[sidx] = n ? sum / n : 0.0;
+    }
+    const auto base_idx = static_cast<std::size_t>(
+        coder::scenarioIndex(Scenario::Baseline));
+    double best = -2.0;
+    for (const Scenario s : coder::allScenarios) {
+        if (s == Scenario::Baseline)
+            continue;
+        const auto sidx =
+            static_cast<std::size_t>(coder::scenarioIndex(s));
+        const double gain =
+            out.meanMidpoint[sidx] - out.meanMidpoint[base_idx];
+        if (gain >= best) {
+            best = gain;
+            out.bestStatic = s;
+        }
+    }
+    return out;
+}
+
+} // namespace bvf::analysis

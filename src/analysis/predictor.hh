@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Static bit-density predictor.
+ *
+ * Lowers the known-bits facts of the abstract interpreter through the
+ * paper's three coder transforms to bound, per on-chip unit and per
+ * coding scenario, the bit-1 ratio of everything the energy accountant
+ * will count during a dynamic run. The key soundness fact is the
+ * mixture bound: every counted word belongs to at least one statically
+ * identified source stream, and the aggregate ratio of any mixture of
+ * sources lies inside [min source lo, max source hi] regardless of how
+ * the run weighs them. The dynamic cross-check (check.hh) turns these
+ * intervals into a pipeline-wide invariant.
+ */
+
+#ifndef BVF_ANALYSIS_PREDICTOR_HH
+#define BVF_ANALYSIS_PREDICTOR_HH
+
+#include <array>
+#include <map>
+
+#include "analysis/interpreter.hh"
+#include "coder/bvf_space.hh"
+#include "coder/scenario.hh"
+#include "coder/vs_coder.hh"
+#include "isa/encoding.hh"
+#include "isa/program.hh"
+
+namespace bvf::analysis
+{
+
+/** Knobs that must match the accountant wiring of the run under test. */
+struct PredictorOptions
+{
+    isa::GpuArch arch = isa::GpuArch::Pascal;
+
+    /** ISA coder mask; 0 = the Table 2 mask of @ref arch. */
+    Word64 isaMask = 0;
+
+    /** VS register-space pivot lane. */
+    int vsRegisterPivot = coder::VsCoder::defaultRegisterPivot;
+
+    /** Data/texture cache line size in bytes (GpuConfig::lineBytes). */
+    std::uint32_t lineBytes = 128;
+};
+
+/** Proven interval for one unit+scenario's bit-1 ratio. */
+struct DensityBound
+{
+    double lo = 0.0;
+    double hi = 1.0;
+
+    /** False when no static source feeds the unit (it must stay idle). */
+    bool any = false;
+};
+
+/** Per-unit, per-scenario bounds plus the NoC payload bounds. */
+struct StaticPrediction
+{
+    std::map<coder::UnitId, std::array<DensityBound, coder::numScenarios>>
+        units;
+
+    /** Bounds on NocAccount payloadOnes/payloadBits. */
+    std::array<DensityBound, coder::numScenarios> noc{};
+
+    /**
+     * Mean bound midpoint across active units per scenario -- the
+     * static figure of merit the scenario ranking uses.
+     */
+    std::array<double, coder::numScenarios> meanMidpoint{};
+
+    /** Scenario with the greatest predicted density gain over Baseline. */
+    coder::Scenario bestStatic = coder::Scenario::Baseline;
+
+    const DensityBound &
+    unitBound(coder::UnitId unit, coder::Scenario s) const
+    {
+        static const DensityBound none;
+        auto it = units.find(unit);
+        if (it == units.end())
+            return none;
+        return it->second[static_cast<std::size_t>(
+            coder::scenarioIndex(s))];
+    }
+};
+
+/**
+ * Predict density bounds for @p program. @p analysis must come from
+ * analyzeProgram on the same program.
+ */
+StaticPrediction predictDensity(const isa::Program &program,
+                                const AnalysisResult &analysis,
+                                const PredictorOptions &options = {});
+
+} // namespace bvf::analysis
+
+#endif // BVF_ANALYSIS_PREDICTOR_HH

@@ -5,7 +5,10 @@
 
 #include "core/experiment.hh"
 
+#include <optional>
+
 #include "common/logging.hh"
+#include "core/static_check.hh"
 #include "workload/kernel_builder.hh"
 
 namespace bvf::core
@@ -71,6 +74,20 @@ ExperimentDriver::runApp(const workload::AppSpec &spec,
     run.accountant = std::make_shared<EnergyAccountant>(unitCapacities(),
                                                         opts);
 
+    // The static report must be built before the program is moved into
+    // the machine; the knobs must mirror the accountant's exactly or the
+    // proven intervals would describe a different encoding.
+    std::optional<StaticReport> staticReport;
+    if (options.checkStatic) {
+        fatal_if(options.fault.anyFaults(),
+                 "--check-static is incompatible with fault injection");
+        fatal_if(opts.eccAccounting,
+                 "--check-static is incompatible with ECC accounting");
+        staticReport = analyzeStatic(program, config_,
+                                     run.accountant->isaMask(),
+                                     options.vsRegisterPivot);
+    }
+
     // The fault layer sits between the machine and the accountant, so
     // the accountant prices what a faulty array would actually deliver.
     // With faults disabled no layer is inserted and the access stream
@@ -86,6 +103,17 @@ ExperimentDriver::runApp(const workload::AppSpec &spec,
     machine.setCancellation(options.cancel);
     run.gpuStats = machine.run();
     run.accountant->finalize(run.gpuStats.cycles);
+
+    if (staticReport) {
+        const auto violations = crossCheckRun(*staticReport,
+                                              *run.accountant);
+        for (const std::string &v : violations)
+            warn("%s: %s", spec.abbr.c_str(), v.c_str());
+        fatal_if(!violations.empty(),
+                 "static cross-check failed for %s: %zu observed ratios "
+                 "escaped their proven intervals",
+                 spec.abbr.c_str(), violations.size());
+    }
     return run;
 }
 

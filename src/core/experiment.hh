@@ -102,6 +102,15 @@ struct RunOptions
      * token and arms its deadline per attempt.
      */
     const CancelToken *cancel = nullptr;
+
+    /**
+     * After the run, cross-check the accountant's encoded bit
+     * statistics against the static density predictor and fatal() on
+     * any observed ratio outside its proven interval. Incompatible
+     * with fault injection and ECC accounting: both perturb the bit
+     * stream beyond what the static model covers.
+     */
+    bool checkStatic = false;
 };
 
 /** Why one application of a suite run could not be simulated. */

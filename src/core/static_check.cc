@@ -1,0 +1,60 @@
+#include "core/static_check.hh"
+
+namespace bvf::core
+{
+
+using coder::Scenario;
+using coder::UnitId;
+
+StaticReport
+analyzeStatic(const isa::Program &program, const gpu::GpuConfig &config,
+              Word64 isaMask, int vsRegisterPivot)
+{
+    StaticReport report;
+    report.analysis = analysis::analyzeProgram(program);
+
+    analysis::PredictorOptions popts;
+    popts.arch = config.arch;
+    popts.isaMask = isaMask;
+    popts.vsRegisterPivot = vsRegisterPivot;
+    popts.lineBytes = config.lineBytes;
+    report.prediction =
+        analysis::predictDensity(program, report.analysis, popts);
+    return report;
+}
+
+std::vector<analysis::ObservedStream>
+observedStreams(const EnergyAccountant &accountant)
+{
+    std::vector<analysis::ObservedStream> out;
+    for (const Scenario s : coder::allScenarios) {
+        for (const auto &[unit, stats] : accountant.unitStats(s)) {
+            out.push_back({unit, s, "reads", stats.reads.ones,
+                           stats.reads.bits()});
+            out.push_back({unit, s, "writes", stats.writes.ones,
+                           stats.writes.bits()});
+        }
+    }
+    return out;
+}
+
+std::vector<analysis::ObservedNoc>
+observedNoc(const EnergyAccountant &accountant)
+{
+    std::vector<analysis::ObservedNoc> out;
+    for (const Scenario s : coder::allScenarios) {
+        const NocAccount &n = accountant.noc(s);
+        out.push_back({s, n.payloadOnes, n.payloadBits});
+    }
+    return out;
+}
+
+std::vector<std::string>
+crossCheckRun(const StaticReport &report, const EnergyAccountant &accountant)
+{
+    return analysis::crossCheck(report.prediction,
+                                observedStreams(accountant),
+                                observedNoc(accountant));
+}
+
+} // namespace bvf::core

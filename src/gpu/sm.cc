@@ -265,8 +265,7 @@ Sm::warpReady(int slot, std::uint64_t cycle)
         && warp.regReadyCycle(instr.srcB) > cycle) {
         return false;
     }
-    if ((isa::writesRegister(instr.op) || instr.op == Opcode::Ffma
-         || instr.op == Opcode::IMad)
+    if ((isa::writesRegister(instr.op) || isa::readsDst(instr.op))
         && warp.regReadyCycle(instr.dst) > cycle) {
         return false;
     }
@@ -352,7 +351,7 @@ Sm::executeAlu(int slot, const Instruction &instr, std::uint32_t guard,
         accountRegRead(warp, instr.srcB, guard, cycle);
         sources[num_sources++] = instr.srcB;
     }
-    if (instr.op == Opcode::Ffma || instr.op == Opcode::IMad) {
+    if (isa::readsDst(instr.op)) {
         accountRegRead(warp, instr.dst, guard, cycle);
         sources[num_sources++] = instr.dst;
     }

@@ -141,6 +141,12 @@ readsSrcB(Opcode op)
     }
 }
 
+bool
+readsDst(Opcode op)
+{
+    return op == Opcode::Ffma || op == Opcode::IMad;
+}
+
 int
 opcodeLatency(Opcode op)
 {

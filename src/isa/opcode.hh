@@ -30,7 +30,7 @@ enum class Opcode : std::uint8_t
     Ldg,       //!< global load:  d = mem[a + imm]
     Stg,       //!< global store: mem[a + imm] = b
     IMad,      //!< d = a * b + d
-    S2R,       //!< d = special register (imm selects which)
+    S2R,       //!< d = special register (flags selects which)
     SetP,      //!< pred[dst] = compare(a, b) (flags select cmp)
     Lds,       //!< shared load:  d = smem[a + imm]
     Sts,       //!< shared store: smem[a + imm] = b
@@ -50,7 +50,7 @@ enum class Opcode : std::uint8_t
     Max,       //!< d = max(a, b) signed
     // Control opcodes: these clear the encoding framing bits (they are
     // the statistical minority that keeps Table 2 masks "statistical").
-    Bra,       //!< predicated branch to imm, reconverge at target2
+    Bra,       //!< predicated branch to imm, reconverge at reconv
     Exit,      //!< warp terminates
     Bar,       //!< block-wide barrier
     Nop,       //!< no operation
@@ -102,6 +102,9 @@ bool readsSrcA(Opcode op);
 
 /** Does the opcode read the srcB register (when not immediate)? */
 bool readsSrcB(Opcode op);
+
+/** Does the opcode read its own destination register (d = a * b + d)? */
+bool readsDst(Opcode op);
 
 /** Execution latency in core cycles (dependency-visible). */
 int opcodeLatency(Opcode op);

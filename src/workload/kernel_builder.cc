@@ -344,6 +344,12 @@ KernelBuilder::build() const
         data_regs.push_back(dreg);
     }
 
+    // Which loaded registers the op mix actually consumes; any left
+    // over are folded into the accumulator below so generated kernels
+    // never carry dead loads (the static linter rejects them).
+    const bool real_data = !data_regs.empty();
+    std::vector<bool> data_used(data_regs.size(), false);
+
     if (data_regs.empty())
         data_regs.push_back(25);
 
@@ -354,9 +360,11 @@ KernelBuilder::build() const
     if (spec_.mix.sharedOps > 0) {
         e.aluImm(Opcode::Shl, 14, 1, 2); // smem addr = tid * 4
         for (int s = 0; s < spec_.mix.sharedOps; ++s) {
-            e.store(Opcode::Sts, 14,
-                    data_regs[static_cast<std::size_t>(
-                        s % static_cast<int>(data_regs.size()))], 0);
+            const auto di = static_cast<std::size_t>(
+                s % static_cast<int>(data_regs.size()));
+            if (di < data_used.size())
+                data_used[di] = true;
+            e.store(Opcode::Sts, 14, data_regs[di], 0);
             Instruction barrier;
             barrier.op = Opcode::Bar;
             e.emit(barrier);
@@ -368,25 +376,38 @@ KernelBuilder::build() const
 
     // Arithmetic chain.
     for (int f = 0; f < spec_.mix.fpOps; ++f) {
-        const int a = data_regs[static_cast<std::size_t>(
-            f % static_cast<int>(data_regs.size()))];
-        const int b = data_regs[static_cast<std::size_t>(
-            (f + 1) % static_cast<int>(data_regs.size()))];
+        const auto ia = static_cast<std::size_t>(
+            f % static_cast<int>(data_regs.size()));
+        const auto ib = static_cast<std::size_t>(
+            (f + 1) % static_cast<int>(data_regs.size()));
+        const int a = data_regs[ia];
+        const int b = data_regs[ib];
         switch (f % 3) {
           case 0:
+            if (ia < data_used.size())
+                data_used[ia] = true;
+            if (ib < data_used.size())
+                data_used[ib] = true;
             e.alu(Opcode::Ffma, 24, a, b);
             break;
           case 1:
+            if (ia < data_used.size())
+                data_used[ia] = true;
             e.alu(Opcode::Fadd, 24, 24, a);
             break;
           default:
+            if (ib < data_used.size())
+                data_used[ib] = true;
             e.alu(Opcode::Fmul, 24, 24, b);
             break;
         }
     }
     for (int k = 0; k < spec_.mix.intOps; ++k) {
-        const int a = data_regs[static_cast<std::size_t>(
-            k % static_cast<int>(data_regs.size()))];
+        const auto ik = static_cast<std::size_t>(
+            k % static_cast<int>(data_regs.size()));
+        if (ik < data_used.size())
+            data_used[ik] = true;
+        const int a = data_regs[ik];
         switch (k % 4) {
           case 0:
             e.alu(Opcode::IAdd, 25, 25, a);
@@ -401,6 +422,15 @@ KernelBuilder::build() const
           default:
             e.alu(Opcode::Max, 25, 25, a);
             break;
+        }
+    }
+
+    // Fold loads the op mix skipped into the integer accumulator:
+    // every loaded value must feed the result.
+    if (real_data) {
+        for (std::size_t d = 0; d < data_used.size(); ++d) {
+            if (!data_used[d])
+                e.alu(Opcode::Xor, 25, 25, data_regs[d]);
         }
     }
 

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the abstract interpreter: reconvergence joins, write
+ * tracking, loop fixpoints, memory summaries, and special registers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/interpreter.hh"
+
+using namespace bvf;
+using namespace bvf::analysis;
+using isa::CmpOp;
+using isa::Instruction;
+using isa::Opcode;
+using isa::SpecialReg;
+
+namespace
+{
+
+Instruction
+movImm(std::uint8_t dst, std::int32_t imm)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.dst = dst;
+    i.immB = true;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+alu(Opcode op, std::uint8_t dst, std::uint8_t a, std::uint8_t b)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.srcA = a;
+    i.srcB = b;
+    return i;
+}
+
+Instruction
+aluImm(Opcode op, std::uint8_t dst, std::uint8_t a, std::int32_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.srcA = a;
+    i.immB = true;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+s2r(std::uint8_t dst, SpecialReg sr)
+{
+    Instruction i;
+    i.op = Opcode::S2R;
+    i.dst = dst;
+    i.flags = static_cast<std::uint8_t>(sr);
+    return i;
+}
+
+Instruction
+setpImm(std::uint8_t pred, CmpOp cmp, std::uint8_t a, std::int32_t imm)
+{
+    Instruction i;
+    i.op = Opcode::SetP;
+    i.dst = pred;
+    i.srcA = a;
+    i.flags = static_cast<std::uint8_t>(cmp);
+    i.immB = true;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+bra(std::int32_t target, std::int32_t reconv, std::uint8_t pred,
+    bool negate)
+{
+    Instruction i;
+    i.op = Opcode::Bra;
+    i.imm = target;
+    i.reconv = reconv;
+    i.pred = pred;
+    i.predNegate = negate;
+    return i;
+}
+
+Instruction
+exitInstr()
+{
+    Instruction i;
+    i.op = Opcode::Exit;
+    return i;
+}
+
+isa::Program
+makeProgram(std::vector<Instruction> body)
+{
+    isa::Program p;
+    p.name = "test";
+    p.body = std::move(body);
+    p.launch.gridBlocks = 1;
+    p.launch.blockThreads = 32;
+    return p;
+}
+
+} // namespace
+
+TEST(InterpreterTest, StraightLineConstants)
+{
+    auto p = makeProgram({
+        movImm(4, 0x1234),           // pc0
+        aluImm(Opcode::IAdd, 5, 4, 1), // pc1
+        exitInstr(),                 // pc2
+    });
+    const auto r = analyzeProgram(p);
+    ASSERT_EQ(r.in.size(), 3u);
+    EXPECT_TRUE(r.in[1].reachable);
+    EXPECT_TRUE(r.in[1].regs[4].isConstant());
+    EXPECT_TRUE(r.in[1].regs[4].contains(0x1234));
+    EXPECT_TRUE(r.in[2].regs[5].contains(0x1235));
+    EXPECT_FALSE(r.fellOffEnd);
+}
+
+TEST(InterpreterTest, JoinAtReconvergence)
+{
+    // if (tid < 16) r4 = 0x0F else r4 = 0xF0; arms reconverge at pc6.
+    auto p = makeProgram({
+        s2r(4, SpecialReg::TidX),     // pc0: r4 in [0, 31]
+        setpImm(1, CmpOp::Lt, 4, 16), // pc1: p1 genuinely unknown
+        bra(5, 6, 1, true),           // pc2: if !p1 goto else(pc5)
+        movImm(4, 0x0F),              // pc3: then
+        bra(6, 6, 0, false),          // pc4: goto join
+        movImm(4, 0xF0),              // pc5: else
+        exitInstr(),                  // pc6: join
+    });
+    const auto r = analyzeProgram(p);
+    const auto &join_state = r.in[6];
+    ASSERT_TRUE(join_state.reachable);
+    EXPECT_TRUE(join_state.regs[4].contains(0x0F));
+    EXPECT_TRUE(join_state.regs[4].contains(0xF0));
+    // Bits 8..31 remain known zero after the join.
+    EXPECT_EQ(join_state.regs[4].knownZero & 0xffffff00u, 0xffffff00u);
+    // r4 written on every path to the join.
+    EXPECT_TRUE(join_state.regWritten & (1ull << 4));
+}
+
+TEST(InterpreterTest, RegWrittenTracksPaths)
+{
+    // r5 written only on one arm: not written-on-every-path at the join.
+    auto p = makeProgram({
+        s2r(4, SpecialReg::TidX),     // pc0
+        setpImm(1, CmpOp::Lt, 4, 16), // pc1: p1 unknown
+        bra(4, 4, 1, true),           // pc2: if !p1 skip pc3
+        movImm(5, 7),                 // pc3: one arm only
+        exitInstr(),                  // pc4: join
+    });
+    const auto r = analyzeProgram(p);
+    ASSERT_TRUE(r.in[4].reachable);
+    EXPECT_FALSE(r.in[4].regWritten & (1ull << 5));
+    EXPECT_TRUE(r.in[4].predWritten & (1u << 1));
+    // The joined r5 still covers both the written value and initial 0.
+    EXPECT_TRUE(r.in[4].regs[5].contains(7));
+    EXPECT_TRUE(r.in[4].regs[5].contains(0));
+}
+
+TEST(InterpreterTest, LoopFixpointStaysSound)
+{
+    // for (r10 = 0; r10 < 4; ++r10); counter bounded by the loop test.
+    auto p = makeProgram({
+        movImm(10, 0),                 // pc0
+        aluImm(Opcode::IAdd, 10, 10, 1), // pc1: body
+        setpImm(1, CmpOp::Lt, 10, 4),  // pc2
+        bra(1, 3, 1, false),           // pc3: backward branch, reconv pc4
+        exitInstr(),                   // pc4
+    });
+    p.body[3].reconv = 4;
+    const auto r = analyzeProgram(p);
+    ASSERT_TRUE(r.in[4].reachable);
+    // Every concrete iterate of r10 at exit (4) must be contained.
+    EXPECT_TRUE(r.in[4].regs[10].contains(4));
+    // At the loop head, 0..4 all occur across iterations.
+    for (Word v = 0; v <= 4; ++v)
+        EXPECT_TRUE(r.in[1].regs[10].contains(v)) << v;
+}
+
+TEST(InterpreterTest, MemorySummariesCoverStores)
+{
+    // Store 0xABCD to shared, load it back: summary must contain both
+    // the stored value and the zero-initialized state.
+    auto p = makeProgram({
+        movImm(4, 0),          // pc0: address
+        movImm(5, 0xABCD),     // pc1: value
+        alu(Opcode::Sts, 0, 4, 5), // pc2
+        alu(Opcode::Lds, 6, 4, 0), // pc3
+        exitInstr(),           // pc4
+    });
+    p.sharedBytesPerBlock = 64;
+    const auto r = analyzeProgram(p);
+    EXPECT_TRUE(r.memory.shared.contains(0xABCD));
+    EXPECT_TRUE(r.memory.shared.contains(0));
+    EXPECT_TRUE(r.in[4].regs[6].contains(0xABCD));
+    EXPECT_TRUE(r.in[4].regs[6].contains(0));
+}
+
+TEST(InterpreterTest, GlobalSummaryCoversImageAndOobZero)
+{
+    auto p = makeProgram({
+        movImm(4, static_cast<std::int32_t>(isa::globalSegmentBase)),
+        alu(Opcode::Ldg, 5, 4, 0),
+        exitInstr(),
+    });
+    p.global = {0xffff0000u, 0x00ff00ffu};
+    const auto r = analyzeProgram(p);
+    EXPECT_TRUE(r.memory.global.contains(0xffff0000u));
+    EXPECT_TRUE(r.memory.global.contains(0x00ff00ffu));
+    EXPECT_TRUE(r.memory.global.contains(0)); // OOB reads yield zero
+}
+
+TEST(InterpreterTest, SpecialRegisterRanges)
+{
+    auto p = makeProgram({
+        s2r(4, SpecialReg::TidX),
+        s2r(5, SpecialReg::LaneId),
+        s2r(6, SpecialReg::NTidX),
+        exitInstr(),
+    });
+    p.launch.gridBlocks = 2;
+    p.launch.blockThreads = 64;
+    const auto r = analyzeProgram(p);
+    const auto &st = r.in[3];
+    // TidX in [0, 63].
+    EXPECT_TRUE(st.regs[4].contains(0));
+    EXPECT_TRUE(st.regs[4].contains(63));
+    EXPECT_FALSE(st.regs[4].contains(64));
+    // LaneId in [0, 31].
+    EXPECT_TRUE(st.regs[5].contains(31));
+    EXPECT_FALSE(st.regs[5].contains(32));
+    // NTidX exactly 64.
+    EXPECT_TRUE(st.regs[6].isConstant());
+    EXPECT_TRUE(st.regs[6].contains(64));
+}
+
+TEST(InterpreterTest, FellOffEndDetected)
+{
+    auto p = makeProgram({
+        movImm(4, 1),
+        // no Exit
+    });
+    const auto r = analyzeProgram(p);
+    EXPECT_TRUE(r.fellOffEnd);
+
+    auto q = makeProgram({movImm(4, 1), exitInstr()});
+    EXPECT_FALSE(analyzeProgram(q).fellOffEnd);
+}
+
+TEST(InterpreterTest, FalseGuardKillsWrite)
+{
+    // p1 provably false: the guarded write never lands.
+    auto p = makeProgram({
+        movImm(4, 10),                 // pc0
+        setpImm(1, CmpOp::Lt, 4, 5),   // pc1: 10 < 5 -> false
+        [] {
+            Instruction i = movImm(5, 0xff);
+            i.pred = 1;
+            return i;
+        }(),                            // pc2: @p1 mov r5, 0xff
+        exitInstr(),                    // pc3
+    });
+    const auto r = analyzeProgram(p);
+    ASSERT_TRUE(r.in[3].reachable);
+    EXPECT_TRUE(r.in[3].regs[5].isConstant());
+    EXPECT_TRUE(r.in[3].regs[5].contains(0));
+    EXPECT_EQ(guardValue(r.in[2], p.body[2]), Bool3::False);
+}
+
+TEST(InterpreterTest, RegAnywhereIncludesInitialZero)
+{
+    auto p = makeProgram({
+        movImm(4, 0xff),
+        exitInstr(),
+    });
+    const auto r = analyzeProgram(p);
+    // regAnywhere joins every program point with the initial zero.
+    EXPECT_TRUE(r.regAnywhere[4].contains(0));
+    EXPECT_TRUE(r.regAnywhere[4].contains(0xff));
+}
+
+TEST(InterpreterTest, EmptyBody)
+{
+    auto p = makeProgram({});
+    const auto r = analyzeProgram(p);
+    EXPECT_TRUE(r.in.empty());
+}
