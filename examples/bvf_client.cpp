@@ -1,0 +1,566 @@
+/**
+ * @file
+ * bvf_client: command-line client for the bvfd daemon.
+ *
+ * Speaks the CRC32-framed binary protocol (src/server/protocol.hh)
+ * over TCP or a Unix socket and prints human-readable results. The
+ * ping command doubles as a pipelining demo: all N requests are
+ * written back to back before the first response is read, exercising
+ * the daemon's in-order batched execution.
+ *
+ * Usage:
+ *   bvf_client (--port N [--host H] | --unix PATH) COMMAND ...
+ *
+ * Commands:
+ *   ping [N]                   N pipelined echo probes (default 1)
+ *   eval-coder KIND HEX...     run a coder over raw 64-bit words;
+ *                              KIND = identity|nv|vs|isa
+ *   density APP                per-unit encoded bit-1 density
+ *   energy APP                 per-scenario chip energy
+ *   static APP                 static predictor bounds (no simulation)
+ *   metrics                    scrape the /metrics exposition
+ *
+ * Options:
+ *   --host H      TCP host (default 127.0.0.1)
+ *   --port N      TCP port of the daemon
+ *   --unix PATH   connect over a Unix socket instead
+ *   --arch fermi|kepler|maxwell|pascal   (default pascal)
+ *   --sched gto|lrr|two                  (default gto)
+ *   --pivot N     VS register pivot      (default 21)
+ *   --dynamic-isa per-app ISA mask
+ *   --mask HEX    explicit ISA mask for eval-coder isa
+ *   --node 28|40  --pstate 700|500|300  --cell bvf8t|bvf6t|8t|6t|edram
+ *   --ecc         --cells-bitline N     (energy command)
+ */
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "circuit/mem_cell.hh"
+#include "coder/bvf_space.hh"
+#include "coder/scenario.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "server/protocol.hh"
+
+using namespace bvf;
+using namespace bvf::server;
+
+namespace
+{
+
+struct Options
+{
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::string unixPath;
+    std::string command;
+    std::vector<std::string> args;
+
+    AppQuery query;
+    std::uint64_t isaMask = 0;
+    std::uint8_t node = 0;
+    std::uint8_t pstate = 0;
+    std::uint8_t cell = static_cast<std::uint8_t>(
+        circuit::CellKind::SramBvf8T);
+    std::uint8_t ecc = 0;
+    std::uint32_t cellsBitline = 128;
+};
+
+std::uint64_t
+parseHex64(const std::string &flag, const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 16);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        cli::dieUsage(strFormat(
+            "invalid value '%s' for %s: expected a hex 64-bit word",
+            value.c_str(), flag.c_str()));
+    }
+    return parsed;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    cli::ArgStream args(argc, argv);
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--host") {
+            o.host = args.value(arg);
+        } else if (arg == "--port") {
+            o.port = cli::parseInteger(arg, args.value(arg), 1, 65535);
+        } else if (arg == "--unix") {
+            o.unixPath = args.value(arg);
+        } else if (arg == "--arch") {
+            const auto v = args.value(arg);
+            if (v == "fermi")
+                o.query.arch = 0;
+            else if (v == "kepler")
+                o.query.arch = 1;
+            else if (v == "maxwell")
+                o.query.arch = 2;
+            else if (v == "pascal")
+                o.query.arch = 3;
+            else
+                cli::badChoice(arg, v, "fermi, kepler, maxwell, pascal");
+        } else if (arg == "--sched") {
+            const auto v = args.value(arg);
+            if (v == "gto")
+                o.query.sched = 0;
+            else if (v == "lrr")
+                o.query.sched = 1;
+            else if (v == "two")
+                o.query.sched = 2;
+            else
+                cli::badChoice(arg, v, "gto, lrr, two");
+        } else if (arg == "--pivot") {
+            o.query.vsPivot = static_cast<std::uint32_t>(
+                cli::parseInteger(arg, args.value(arg), 0, 31));
+        } else if (arg == "--dynamic-isa") {
+            o.query.dynamicIsa = 1;
+        } else if (arg == "--mask") {
+            o.isaMask = parseHex64(arg, args.value(arg));
+        } else if (arg == "--node") {
+            const auto v = args.value(arg);
+            if (v == "28")
+                o.node = 0;
+            else if (v == "40")
+                o.node = 1;
+            else
+                cli::badChoice(arg, v, "28, 40");
+        } else if (arg == "--pstate") {
+            const auto v = args.value(arg);
+            if (v == "700")
+                o.pstate = 0;
+            else if (v == "500")
+                o.pstate = 1;
+            else if (v == "300")
+                o.pstate = 2;
+            else
+                cli::badChoice(arg, v, "700, 500, 300");
+        } else if (arg == "--cell") {
+            const auto v = args.value(arg);
+            if (v == "6t")
+                o.cell = 0;
+            else if (v == "8t")
+                o.cell = 1;
+            else if (v == "bvf8t")
+                o.cell = 2;
+            else if (v == "bvf6t")
+                o.cell = 3;
+            else if (v == "edram")
+                o.cell = 4;
+            else
+                cli::badChoice(arg, v, "bvf8t, bvf6t, 8t, 6t, edram");
+        } else if (arg == "--ecc") {
+            o.ecc = 1;
+        } else if (arg == "--cells-bitline") {
+            o.cellsBitline = static_cast<std::uint32_t>(
+                cli::parseInteger(arg, args.value(arg), 1, 8192));
+        } else if (arg.rfind("--", 0) == 0) {
+            cli::dieUsage("unknown option '" + arg + "'");
+        } else if (o.command.empty()) {
+            o.command = arg;
+        } else {
+            o.args.push_back(arg);
+        }
+    }
+    if (o.command.empty()) {
+        cli::dieUsage("no command (ping, eval-coder, density, energy, "
+                      "static, metrics)");
+    }
+    if (o.port == 0 && o.unixPath.empty())
+        cli::dieUsage("--port N or --unix PATH is required");
+    return o;
+}
+
+/** Connect per the options; fatal() on failure. */
+int
+connectTo(const Options &o)
+{
+    if (!o.unixPath.empty()) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        fatal_if(fd < 0, "socket(): %s", std::strerror(errno));
+        sockaddr_un addr = {};
+        addr.sun_family = AF_UNIX;
+        fatal_if(o.unixPath.size() >= sizeof(addr.sun_path),
+                 "unix path '%s' is too long", o.unixPath.c_str());
+        std::strncpy(addr.sun_path, o.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        fatal_if(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr))
+                     != 0,
+                 "connect(%s): %s", o.unixPath.c_str(),
+                 std::strerror(errno));
+        return fd;
+    }
+
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const std::string portStr = strFormat("%d", o.port);
+    const int rc = ::getaddrinfo(o.host.c_str(), portStr.c_str(), &hints,
+                                 &res);
+    fatal_if(rc != 0, "cannot resolve %s: %s", o.host.c_str(),
+             ::gai_strerror(rc));
+    int fd = -1;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    fatal_if(fd < 0, "cannot connect to %s:%d", o.host.c_str(), o.port);
+    return fd;
+}
+
+bool
+writeAll(int fd, std::string_view bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + sent, bytes.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read until one whole frame parses out of @p buf. */
+Frame
+recvFrame(int fd, std::string &buf)
+{
+    for (;;) {
+        std::size_t consumed = 0;
+        auto parsed = parseFrame(buf, consumed);
+        if (parsed.ok()) {
+            buf.erase(0, consumed);
+            return std::move(parsed.value());
+        }
+        fatal_if(parsed.error().code != ErrorCode::Truncated,
+                 "protocol error from daemon: %s",
+                 parsed.error().describe().c_str());
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        fatal_if(n == 0, "daemon hung up mid-frame");
+        if (n < 0) {
+            fatal_if(errno != EINTR, "read(): %s", std::strerror(errno));
+            continue;
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+/** Fail loudly when @p frame is an ErrorResponse. */
+void
+rejectError(const Frame &frame)
+{
+    if (frame.type != MsgType::ErrorResponse)
+        return;
+    const auto wire = WireError::decode(frame.payload);
+    fatal_if(wire.ok(), "daemon refused the request: [%u] %s",
+             static_cast<unsigned>(wire.value().code),
+             wire.value().message.c_str());
+    fatal("daemon refused the request (undecodable error payload)");
+}
+
+int
+cmdPing(const Options &o, int fd)
+{
+    int count = 1;
+    if (!o.args.empty())
+        count = cli::parseInteger("ping count", o.args[0], 1, 100000);
+
+    // Pipelining demo: the whole batch goes out before any read.
+    std::string batch;
+    for (int i = 0; i < count; ++i) {
+        Ping ping;
+        ping.nonce = 0x1000u + static_cast<std::uint64_t>(i);
+        batch += encodeFrame(MsgType::PingRequest, ping.encode());
+    }
+    fatal_if(!writeAll(fd, batch), "write(): %s", std::strerror(errno));
+
+    std::string buf;
+    for (int i = 0; i < count; ++i) {
+        const Frame frame = recvFrame(fd, buf);
+        rejectError(frame);
+        fatal_if(frame.type != MsgType::PingResponse,
+                 "expected ping-response, got %s",
+                 msgTypeName(frame.type).c_str());
+        const auto pong = Ping::decode(frame.payload);
+        fatal_if(!pong.ok(), "bad ping-response: %s",
+                 pong.error().describe().c_str());
+        fatal_if(pong.value().nonce != 0x1000u + static_cast<std::uint64_t>(i),
+                 "ping %d answered out of order (nonce %llu)", i,
+                 static_cast<unsigned long long>(pong.value().nonce));
+    }
+    std::printf("%d ping(s) echoed in order\n", count);
+    return 0;
+}
+
+int
+cmdEvalCoder(const Options &o, int fd)
+{
+    if (o.args.size() < 2) {
+        cli::dieUsage(
+            "eval-coder needs a coder kind and at least one hex word");
+    }
+    EvalCoderRequest req;
+    const std::string &kind = o.args[0];
+    if (kind == "identity")
+        req.coder = CoderKind::Identity;
+    else if (kind == "nv")
+        req.coder = CoderKind::Nv;
+    else if (kind == "vs")
+        req.coder = CoderKind::Vs;
+    else if (kind == "isa")
+        req.coder = CoderKind::Isa;
+    else
+        cli::badChoice("eval-coder", kind, "identity, nv, vs, isa");
+    req.arch = o.query.arch;
+    req.vsPivot = o.query.vsPivot;
+    req.isaMask = o.isaMask;
+    for (std::size_t i = 1; i < o.args.size(); ++i)
+        req.words.push_back(parseHex64("eval-coder word", o.args[i]));
+
+    fatal_if(!writeAll(fd, encodeFrame(MsgType::EvalCoderRequest,
+                                       req.encode())),
+             "write(): %s", std::strerror(errno));
+    std::string buf;
+    const Frame frame = recvFrame(fd, buf);
+    rejectError(frame);
+    const auto resp = EvalCoderResponse::decode(frame.payload);
+    fatal_if(!resp.ok(), "bad eval-coder response: %s",
+             resp.error().describe().c_str());
+    const EvalCoderResponse &r = resp.value();
+    std::printf("coder %s: %llu bits, ones %llu -> %llu (density "
+                "%.4f -> %.4f)\n",
+                kind.c_str(),
+                static_cast<unsigned long long>(r.totalBits),
+                static_cast<unsigned long long>(r.onesBefore),
+                static_cast<unsigned long long>(r.onesAfter),
+                static_cast<double>(r.onesBefore)
+                    / static_cast<double>(r.totalBits),
+                static_cast<double>(r.onesAfter)
+                    / static_cast<double>(r.totalBits));
+    for (std::size_t i = 0; i < r.encoded.size(); ++i) {
+        std::printf("  %016llx -> %016llx\n",
+                    static_cast<unsigned long long>(req.words[i]),
+                    static_cast<unsigned long long>(r.encoded[i]));
+    }
+    return 0;
+}
+
+AppQuery
+queryFor(const Options &o)
+{
+    fatal_if(o.args.empty(), "%s needs an application abbreviation",
+             o.command.c_str());
+    AppQuery q = o.query;
+    q.abbr = o.args[0];
+    return q;
+}
+
+int
+cmdDensity(const Options &o, int fd)
+{
+    BitDensityRequest req;
+    req.query = queryFor(o);
+    fatal_if(!writeAll(fd, encodeFrame(MsgType::BitDensityRequest,
+                                       req.encode())),
+             "write(): %s", std::strerror(errno));
+    std::string buf;
+    const Frame frame = recvFrame(fd, buf);
+    rejectError(frame);
+    const auto resp = BitDensityResponse::decode(frame.payload);
+    fatal_if(!resp.ok(), "bad density response: %s",
+             resp.error().describe().c_str());
+    const BitDensityResponse &r = resp.value();
+    std::printf("%s: %llu cycles, %llu instructions\n",
+                req.query.abbr.c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("%-10s", "unit");
+    for (const auto s : coder::allScenarios)
+        std::printf(" %10s", coder::scenarioName(s).c_str());
+    std::printf("\n");
+    for (const auto &u : r.units) {
+        std::printf("%-10s",
+                    coder::unitName(static_cast<coder::UnitId>(u.unit))
+                        .c_str());
+        for (const double d : u.density)
+            std::printf(" %10.4f", d);
+        std::printf("\n");
+    }
+    std::printf("%-10s", "NoC");
+    for (const double d : r.nocDensity)
+        std::printf(" %10.4f", d);
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdEnergy(const Options &o, int fd)
+{
+    ChipEnergyRequest req;
+    req.query = queryFor(o);
+    req.node = o.node;
+    req.pstate = o.pstate;
+    req.cell = o.cell;
+    req.ecc = o.ecc;
+    req.cellsBitline = o.cellsBitline;
+    fatal_if(!writeAll(fd, encodeFrame(MsgType::ChipEnergyRequest,
+                                       req.encode())),
+             "write(): %s", std::strerror(errno));
+    std::string buf;
+    const Frame frame = recvFrame(fd, buf);
+    rejectError(frame);
+    const auto resp = ChipEnergyResponse::decode(frame.payload);
+    fatal_if(!resp.ok(), "bad energy response: %s",
+             resp.error().describe().c_str());
+    const ChipEnergyResponse &r = resp.value();
+    std::printf("%s: %llu cycles, %llu instructions\n",
+                req.query.abbr.c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions));
+    const auto base = static_cast<std::size_t>(
+        coder::scenarioIndex(coder::Scenario::Baseline));
+    for (const auto s : coder::allScenarios) {
+        const auto idx =
+            static_cast<std::size_t>(coder::scenarioIndex(s));
+        std::printf("  %-10s chip %10.3f uJ (%+6.2f%%)  bvf-units "
+                    "%10.3f uJ\n",
+                    coder::scenarioName(s).c_str(),
+                    r.chipEnergy[idx] * 1e6,
+                    100.0 * (r.chipEnergy[idx] / r.chipEnergy[base] - 1.0),
+                    r.bvfUnitsEnergy[idx] * 1e6);
+    }
+    return 0;
+}
+
+int
+cmdStatic(const Options &o, int fd)
+{
+    StaticQueryRequest req;
+    req.query = queryFor(o);
+    fatal_if(!writeAll(fd, encodeFrame(MsgType::StaticQueryRequest,
+                                       req.encode())),
+             "write(): %s", std::strerror(errno));
+    std::string buf;
+    const Frame frame = recvFrame(fd, buf);
+    rejectError(frame);
+    const auto resp = StaticQueryResponse::decode(frame.payload);
+    fatal_if(!resp.ok(), "bad static response: %s",
+             resp.error().describe().c_str());
+    const StaticQueryResponse &r = resp.value();
+    auto printBounds = [](const std::string &name, const auto &bounds) {
+        std::printf("%-10s", name.c_str());
+        for (const auto &b : bounds) {
+            if (b.any)
+                std::printf(" [%5.3f,%5.3f]", b.lo, b.hi);
+            else
+                std::printf(" %13s", "idle");
+        }
+        std::printf("\n");
+    };
+    std::printf("%-10s", "unit");
+    for (const auto s : coder::allScenarios)
+        std::printf(" %13s", coder::scenarioName(s).c_str());
+    std::printf("\n");
+    for (const auto &u : r.units) {
+        printBounds(
+            coder::unitName(static_cast<coder::UnitId>(u.unit)),
+            u.bounds);
+    }
+    printBounds("NoC", r.noc);
+    std::printf("best static scenario: %s\n",
+                coder::scenarioName(coder::allScenarios[r.bestStatic])
+                    .c_str());
+    return 0;
+}
+
+int
+cmdMetrics(const Options &o, int fd)
+{
+    const std::string get = "GET /metrics HTTP/1.0\r\n\r\n";
+    fatal_if(!writeAll(fd, get), "write(): %s", std::strerror(errno));
+    std::string reply;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        reply.append(chunk, static_cast<std::size_t>(n));
+    }
+    fatal_if(reply.empty(), "no /metrics reply from %s:%d",
+             o.host.c_str(), o.port);
+    const auto bodyAt = reply.find("\r\n\r\n");
+    std::fputs(bodyAt == std::string::npos
+                   ? reply.c_str()
+                   : reply.c_str() + bodyAt + 4,
+               stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    try {
+        o = parse(argc, argv);
+    } catch (const cli::UsageError &e) {
+        return cli::reportUsage("bvf_client", e);
+    }
+
+    const int fd = connectTo(o);
+    int rc = 0;
+    if (o.command == "ping")
+        rc = cmdPing(o, fd);
+    else if (o.command == "eval-coder")
+        rc = cmdEvalCoder(o, fd);
+    else if (o.command == "density")
+        rc = cmdDensity(o, fd);
+    else if (o.command == "energy")
+        rc = cmdEnergy(o, fd);
+    else if (o.command == "static")
+        rc = cmdStatic(o, fd);
+    else if (o.command == "metrics")
+        rc = cmdMetrics(o, fd);
+    else {
+        ::close(fd);
+        std::fprintf(stderr,
+                     "bvf_client: unknown command '%s' (ping, "
+                     "eval-coder, density, energy, static, metrics)\n",
+                     o.command.c_str());
+        return cli::kExitUsage;
+    }
+    ::close(fd);
+    return rc;
+}

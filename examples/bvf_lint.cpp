@@ -21,31 +21,49 @@
 #include <vector>
 
 #include "analysis/lint.hh"
+#include "common/cli.hh"
 #include "workload/kernel_builder.hh"
 
 using namespace bvf;
+
+namespace
+{
+
+std::vector<std::string>
+parse(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    cli::ArgStream args(argc, argv);
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--arch") {
+            // Accepted for symmetry with bvf_sim; the linter's
+            // diagnostics are architecture-independent, but the value
+            // is validated so typos still fail loudly.
+            const auto v = args.value(arg);
+            if (v != "fermi" && v != "kepler" && v != "maxwell"
+                && v != "pascal") {
+                cli::badChoice(arg, v, "fermi, kepler, maxwell, pascal");
+            }
+        } else if (arg.rfind("--", 0) == 0) {
+            cli::dieUsage("unknown option '" + arg + "'");
+        } else {
+            names.push_back(arg);
+        }
+    }
+    return names;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     std::vector<std::string> names;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--arch") {
-            // Accepted for symmetry with bvf_sim; the linter's
-            // diagnostics are architecture-independent.
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "bvf_lint: --arch requires a value\n");
-                return 2;
-            }
-            ++i;
-        } else if (arg.rfind("--", 0) == 0) {
-            std::fprintf(stderr, "bvf_lint: unknown option '%s'\n",
-                         arg.c_str());
-            return 2;
-        } else {
-            names.push_back(arg);
-        }
+    try {
+        names = parse(argc, argv);
+    } catch (const cli::UsageError &e) {
+        return cli::reportUsage("bvf_lint", e);
     }
 
     std::vector<workload::AppSpec> specs;

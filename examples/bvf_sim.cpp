@@ -44,6 +44,8 @@
  *   --resume              continue from an existing journal
  *   --app-timeout SEC     wall-clock watchdog per attempt (default off)
  *   --max-retries N       reseeded retries before quarantine (default 1)
+ *   --jobs N              simulate N apps concurrently (default 1);
+ *                         the report stays byte-identical to --jobs 1
  *   --report FILE         write the canonical (bit-stable) report
  *   --golden record|verify  snapshot / check per-app energy digests
  *   --golden-file FILE    snapshot location (required with --golden)
@@ -67,6 +69,7 @@
 #include "campaign/golden.hh"
 #include "core/static_check.hh"
 #include "common/atomic_file.hh"
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
@@ -112,14 +115,23 @@ struct Options
     bool resume = false;
     double appTimeoutSec = 0.0;
     int maxRetries = 1;
+    int jobs = 1;
     std::string reportFile;
     GoldenMode golden = GoldenMode::Off;
     std::string goldenFile;
 };
 
+using cli::badChoice;
+using cli::dieUsage;
+using cli::parseInteger;
+using cli::parseNumber;
+using cli::parseU64;
+
 [[noreturn]] void
 usage()
 {
+    // The full usage block bypasses the "bvf_sim: ..." diagnostic
+    // prefix; throwing would reformat it, so it prints and exits here.
     std::fprintf(stderr,
                  "usage: bvf_sim [--node 28|40] [--pstate 700|500|300] "
                  "[--sched gto|lrr|two]\n"
@@ -132,95 +144,20 @@ usage()
                  "               [--log-level quiet|warn|info|debug]\n"
                  "               [--journal FILE] [--resume] "
                  "[--app-timeout SEC] [--max-retries N]\n"
-                 "               [--report FILE] "
+                 "               [--jobs N] [--report FILE] "
                  "[--golden record|verify] [--golden-file FILE]\n"
                  "               APP... | --list\n");
-    std::exit(2);
-}
-
-/** Reject a malformed invocation with a diagnostic and exit code 2. */
-[[noreturn]] void
-dieUsage(const std::string &msg)
-{
-    std::fprintf(stderr, "bvf_sim: %s\n", msg.c_str());
-    std::exit(2);
-}
-
-/** Strict numeric parse: the whole token must be a number in range. */
-double
-parseNumber(const std::string &flag, const std::string &value,
-            double min, double max)
-{
-    errno = 0;
-    char *end = nullptr;
-    const double parsed = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
-        dieUsage(strFormat("invalid value '%s' for %s: expected a number",
-                           value.c_str(), flag.c_str()));
-    }
-    if (parsed < min || parsed > max) {
-        dieUsage(strFormat("value %s for %s is out of range [%g, %g]",
-                           value.c_str(), flag.c_str(), min, max));
-    }
-    return parsed;
-}
-
-/** Strict integer parse with range check. */
-int
-parseInteger(const std::string &flag, const std::string &value,
-             long min, long max)
-{
-    errno = 0;
-    char *end = nullptr;
-    const long parsed = std::strtol(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
-        dieUsage(strFormat(
-            "invalid value '%s' for %s: expected an integer",
-            value.c_str(), flag.c_str()));
-    }
-    if (parsed < min || parsed > max) {
-        dieUsage(strFormat("value %s for %s is out of range [%ld, %ld]",
-                           value.c_str(), flag.c_str(), min, max));
-    }
-    return static_cast<int>(parsed);
-}
-
-/** Strict unsigned 64-bit parse. */
-std::uint64_t
-parseU64(const std::string &flag, const std::string &value)
-{
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long parsed =
-        std::strtoull(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0' || errno == ERANGE
-        || value.find('-') != std::string::npos) {
-        dieUsage(strFormat("invalid value '%s' for %s: expected an "
-                           "unsigned integer",
-                           value.c_str(), flag.c_str()));
-    }
-    return parsed;
-}
-
-[[noreturn]] void
-badChoice(const std::string &flag, const std::string &value,
-          const char *choices)
-{
-    dieUsage(strFormat("invalid value '%s' for %s: expected one of %s",
-                       value.c_str(), flag.c_str(), choices));
+    std::exit(cli::kExitUsage);
 }
 
 Options
 parse(int argc, char **argv)
 {
     Options o;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                dieUsage(strFormat("%s requires a value", arg.c_str()));
-            return argv[++i];
-        };
+    cli::ArgStream args(argc, argv);
+    std::string arg;
+    while (args.next(arg)) {
+        auto next = [&]() { return args.value(arg); };
         if (arg == "--node") {
             const auto v = next();
             if (v == "40")
@@ -306,6 +243,9 @@ parse(int argc, char **argv)
             o.campaign = true;
         } else if (arg == "--max-retries") {
             o.maxRetries = parseInteger(arg, next(), 0, 100);
+            o.campaign = true;
+        } else if (arg == "--jobs") {
+            o.jobs = parseInteger(arg, next(), 1, 64);
             o.campaign = true;
         } else if (arg == "--report") {
             o.reportFile = next();
@@ -413,6 +353,7 @@ runCampaign(const Options &o)
     copts.appTimeout = std::chrono::milliseconds(
         static_cast<long long>(o.appTimeoutSec * 1000.0));
     copts.maxRetries = o.maxRetries;
+    copts.jobs = o.jobs;
     copts.run.dynamicIsa = o.dynamicIsa;
     copts.run.vsRegisterPivot = o.pivot;
     copts.run.fault = faultConfigFor(o);
@@ -748,7 +689,12 @@ runOne(const Options &o, const workload::AppSpec &spec)
 int
 main(int argc, char **argv)
 {
-    const Options o = parse(argc, argv);
+    Options o;
+    try {
+        o = parse(argc, argv);
+    } catch (const cli::UsageError &e) {
+        return cli::reportUsage("bvf_sim", e);
+    }
     if (o.list) {
         TextTable table("The 58-application evaluation suite");
         table.header({"Abbr", "Name", "Suite", "Class"});

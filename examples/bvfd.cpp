@@ -1,0 +1,123 @@
+/**
+ * @file
+ * bvfd: the batch-evaluation daemon front end.
+ *
+ * Binds the Server (src/server) to TCP and/or a Unix socket, announces
+ * the bound endpoints on stdout (machine-readable, so a smoke test can
+ * scrape an ephemeral port), then parks until SIGTERM/SIGINT and
+ * drains: every request already read from a socket is answered before
+ * the process exits 0.
+ *
+ * Usage:
+ *   bvfd [--host ADDR] [--port N] [--unix PATH]
+ *        [--workers N] [--max-inflight N]
+ *        [--log-level quiet|warn|info|debug]
+ *
+ * Options:
+ *   --host ADDR      TCP bind address  (default 127.0.0.1; "" disables)
+ *   --port N         TCP port          (default 0 = ephemeral)
+ *   --unix PATH      also listen on a Unix socket
+ *   --workers N      evaluation threads (default 4)
+ *   --max-inflight N per-connection pipelining window (default 64)
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "server/server.hh"
+
+using namespace bvf;
+
+namespace
+{
+
+server::Server *activeServer = nullptr;
+
+extern "C" void
+onSignal(int)
+{
+    if (activeServer)
+        activeServer->requestStop(); // async-signal-safe
+}
+
+struct Options
+{
+    server::ServerOptions server;
+    bool hostSet = false;
+};
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    cli::ArgStream args(argc, argv);
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--host") {
+            o.server.host = args.value(arg);
+            o.hostSet = true;
+        } else if (arg == "--port") {
+            o.server.port = cli::parseInteger(arg, args.value(arg), 0, 65535);
+        } else if (arg == "--unix") {
+            o.server.unixPath = args.value(arg);
+        } else if (arg == "--workers") {
+            o.server.workers = cli::parseInteger(arg, args.value(arg), 1, 64);
+        } else if (arg == "--max-inflight") {
+            o.server.maxInflight =
+                cli::parseInteger(arg, args.value(arg), 1, 4096);
+        } else if (arg == "--log-level") {
+            const auto v = args.value(arg);
+            LogLevel level;
+            if (!parseLogLevel(v, level))
+                cli::badChoice(arg, v, "quiet, warn, info, debug");
+            setLogLevel(level);
+        } else {
+            cli::dieUsage("unknown option '" + arg + "'");
+        }
+    }
+    if (o.server.host.empty() && o.server.unixPath.empty())
+        cli::dieUsage("nothing to listen on (--host \"\" without --unix)");
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    try {
+        o = parse(argc, argv);
+    } catch (const cli::UsageError &e) {
+        return cli::reportUsage("bvfd", e);
+    }
+
+    server::Server daemon(o.server);
+    const auto started = daemon.start();
+    fatal_if(!started.ok(), "bvfd: cannot start: %s",
+             started.error().describe().c_str());
+
+    if (!o.server.host.empty()) {
+        std::printf("bvfd: listening on %s:%d\n", o.server.host.c_str(),
+                    daemon.port());
+    }
+    if (!o.server.unixPath.empty())
+        std::printf("bvfd: listening on unix:%s\n", o.server.unixPath.c_str());
+    std::fflush(stdout);
+
+    activeServer = &daemon;
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN); // a dying client must not kill the daemon
+
+    daemon.waitForStop();
+    daemon.drain();
+    activeServer = nullptr;
+    std::printf("bvfd: exiting\n");
+    return 0;
+}

@@ -5,11 +5,16 @@
 
 #include "campaign/campaign.hh"
 
+#include <atomic>
+#include <mutex>
 #include <thread>
 
 #include "common/atomic_file.hh"
+#include "common/cancel.hh"
 #include "common/crc32.hh"
 #include "common/logging.hh"
+#include "runtime/ordered.hh"
+#include "runtime/thread_pool.hh"
 
 namespace bvf::campaign
 {
@@ -101,12 +106,15 @@ CampaignRunner::configDigest(
 }
 
 AppResult
-CampaignRunner::runOneApp(const workload::AppSpec &spec)
+CampaignRunner::runOneApp(const workload::AppSpec &spec) const
 {
     AppResult result;
     result.name = spec.name;
     result.abbr = spec.abbr;
     Error last{ErrorCode::Failed, "unknown failure"};
+    // Per-call watchdog: a member token would be shared across pool
+    // workers, and one app's timeout must never cancel another's run.
+    CancelToken watchdog;
 
     const int maxAttempts = options_.maxRetries + 1;
     for (int attempt = 0; attempt < maxAttempts; ++attempt) {
@@ -126,9 +134,9 @@ CampaignRunner::runOneApp(const workload::AppSpec &spec)
 
         core::RunOptions runOptions = options_.run;
         if (options_.appTimeout.count() > 0) {
-            watchdog_.reset();
-            watchdog_.setBudget(options_.appTimeout);
-            runOptions.cancel = &watchdog_;
+            watchdog.reset();
+            watchdog.setBudget(options_.appTimeout);
+            runOptions.cancel = &watchdog;
         }
 
         auto attempted = driver_.runAppChecked(trial, runOptions);
@@ -216,29 +224,73 @@ CampaignRunner::run(std::span<const workload::AppSpec> apps)
         return nullptr;
     };
 
-    for (const workload::AppSpec &spec : apps) {
-        AppResult result;
+    // One producer shared by both execution shapes. Journal appends
+    // are serialized and happen in completion order; resume keys by
+    // abbreviation, so line order is free to vary across runs.
+    std::mutex journalMutex;
+    std::atomic<bool> journalFailed{false};
+    Error journalError;
+    auto produce = [&](const workload::AppSpec &spec) -> AppResult {
         if (const AppResult *prior = findRestored(spec.abbr)) {
-            result = *prior;
+            AppResult result = *prior;
             result.fromJournal = true;
-            ++report.resumed;
-        } else {
-            inform("simulating %s (%s)", spec.name.c_str(),
-                   spec.abbr.c_str());
-            result = runOneApp(spec);
-            if (journal) {
+            return result;
+        }
+        if (journalFailed.load(std::memory_order_acquire)) {
+            // The campaign is already doomed; don't burn hours
+            // simulating results that will be discarded.
+            AppResult skipped;
+            skipped.name = spec.name;
+            skipped.abbr = spec.abbr;
+            skipped.error = Error{ErrorCode::Failed,
+                                  "skipped after journal failure"};
+            return skipped;
+        }
+        inform("simulating %s (%s)", spec.name.c_str(),
+               spec.abbr.c_str());
+        AppResult result = runOneApp(spec);
+        if (journal) {
+            std::lock_guard<std::mutex> lock(journalMutex);
+            if (!journalFailed.load(std::memory_order_relaxed)) {
                 const auto appended = journal->append(result);
-                if (!appended.ok())
-                    return appended.error();
+                if (!appended.ok()) {
+                    journalError = appended.error();
+                    journalFailed.store(true, std::memory_order_release);
+                }
             }
         }
-        if (result.status == AppStatus::Completed)
+        return result;
+    };
+
+    if (options_.jobs > 1 && apps.size() > 1) {
+        runtime::ThreadPool pool(options_.jobs);
+        report.results = runtime::parallelMapOrdered(
+            pool, apps,
+            [&](const workload::AppSpec &spec, std::size_t) {
+                return produce(spec);
+            });
+    } else {
+        report.results.reserve(apps.size());
+        for (const workload::AppSpec &spec : apps) {
+            report.results.push_back(produce(spec));
+            if (journalFailed.load(std::memory_order_acquire))
+                break;
+        }
+    }
+    if (journalFailed.load(std::memory_order_acquire))
+        return journalError;
+
+    // Counters derive from the ordered results, never from completion
+    // order, so they match the serial campaign bit for bit.
+    for (const AppResult &r : report.results) {
+        if (r.fromJournal)
+            ++report.resumed;
+        if (r.status == AppStatus::Completed)
             ++report.completed;
         else
             ++report.quarantined;
-        if (result.attempts > 1)
+        if (r.attempts > 1)
             ++report.retried;
-        report.results.push_back(std::move(result));
     }
     return report;
 }

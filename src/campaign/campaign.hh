@@ -19,6 +19,14 @@
  * The rendered report deliberately excludes resume/wall-clock metadata:
  * an interrupted-then-resumed campaign renders the same bytes as an
  * uninterrupted one, which is what makes partial results trustworthy.
+ *
+ * With jobs > 1 applications are simulated concurrently on a
+ * work-stealing pool. Each application is still simulated by exactly
+ * one thread with all-local state and a per-call watchdog, results are
+ * merged in campaign order (runtime/ordered.hh) and journal appends are
+ * serialized, so a parallel campaign's report is byte-identical to the
+ * serial one -- only the journal's line order (irrelevant to resume,
+ * which keys by abbreviation) reflects completion order.
  */
 
 #ifndef BVF_CAMPAIGN_CAMPAIGN_HH
@@ -57,6 +65,14 @@ struct CampaignOptions
 
     /** First retry backoff; doubled per subsequent retry. */
     std::chrono::milliseconds backoffBase{100};
+
+    /**
+     * Worker threads simulating applications concurrently; <= 1 runs
+     * the classic serial loop. Absent from configDigest() for the same
+     * reason as the wall-clock knobs: parallelism must not (and, by the
+     * ordered-merge construction, does not) change any result byte.
+     */
+    int jobs = 1;
 
     /** Simulation options applied to every application. */
     core::RunOptions run;
@@ -111,11 +127,15 @@ class CampaignRunner
         std::span<const workload::AppSpec> apps) const;
 
   private:
-    AppResult runOneApp(const workload::AppSpec &spec);
+    /**
+     * Simulate one application (with watchdog, retry, quarantine).
+     * Uses only local state -- including a per-call watchdog token --
+     * so any number of pool workers may run it concurrently.
+     */
+    AppResult runOneApp(const workload::AppSpec &spec) const;
 
     const core::ExperimentDriver &driver_;
     CampaignOptions options_;
-    CancelToken watchdog_;
 };
 
 } // namespace bvf::campaign

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared CLI parsing implementation.
+ */
+
+#include "common/cli.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace bvf::cli
+{
+
+void
+dieUsage(const std::string &msg)
+{
+    throw UsageError(msg);
+}
+
+void
+badChoice(const std::string &flag, const std::string &value,
+          const char *choices)
+{
+    dieUsage(strFormat("invalid value '%s' for %s: expected one of %s",
+                       value.c_str(), flag.c_str(), choices));
+}
+
+double
+parseNumber(const std::string &flag, const std::string &value,
+            double min, double max)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        dieUsage(strFormat("invalid value '%s' for %s: expected a number",
+                           value.c_str(), flag.c_str()));
+    }
+    if (parsed < min || parsed > max) {
+        dieUsage(strFormat("value %s for %s is out of range [%g, %g]",
+                           value.c_str(), flag.c_str(), min, max));
+    }
+    return parsed;
+}
+
+int
+parseInteger(const std::string &flag, const std::string &value,
+             long min, long max)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        dieUsage(strFormat(
+            "invalid value '%s' for %s: expected an integer",
+            value.c_str(), flag.c_str()));
+    }
+    if (parsed < min || parsed > max) {
+        dieUsage(strFormat("value %s for %s is out of range [%ld, %ld]",
+                           value.c_str(), flag.c_str(), min, max));
+    }
+    return static_cast<int>(parsed);
+}
+
+std::uint64_t
+parseU64(const std::string &flag, const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE
+        || value.find('-') != std::string::npos) {
+        dieUsage(strFormat("invalid value '%s' for %s: expected an "
+                           "unsigned integer",
+                           value.c_str(), flag.c_str()));
+    }
+    return parsed;
+}
+
+bool
+ArgStream::next(std::string &arg)
+{
+    if (pos_ >= argc_)
+        return false;
+    arg = argv_[pos_++];
+    return true;
+}
+
+std::string
+ArgStream::value(const std::string &flag)
+{
+    if (pos_ >= argc_)
+        dieUsage(strFormat("%s requires a value", flag.c_str()));
+    return argv_[pos_++];
+}
+
+int
+reportUsage(const char *prog, const UsageError &error)
+{
+    std::fprintf(stderr, "%s: %s\n", prog, error.what());
+    return kExitUsage;
+}
+
+} // namespace bvf::cli

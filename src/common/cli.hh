@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared command-line parsing for the example front ends.
+ *
+ * bvf_sim and bvf_lint grew identical strict parsers -- whole-token
+ * numeric conversion, range checks, "--flag requires a value",
+ * "unknown option" -- duplicated with subtle drift. This header is the
+ * single implementation.
+ *
+ * Errors are reported by throwing UsageError rather than exiting, so
+ * the parsers are unit-testable; a front end's main() funnels the
+ * exception through reportUsage(), which preserves the repo-wide
+ * convention that a malformed invocation prints one diagnostic line to
+ * stderr and exits with status 2 (kExitUsage).
+ */
+
+#ifndef BVF_COMMON_CLI_HH
+#define BVF_COMMON_CLI_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace bvf::cli
+{
+
+/** Exit status for a malformed invocation (POSIX usage-error idiom). */
+constexpr int kExitUsage = 2;
+
+/** A malformed invocation; what() is the one-line diagnostic. */
+class UsageError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Throw UsageError with @p msg. */
+[[noreturn]] void dieUsage(const std::string &msg);
+
+/**
+ * Throw the canonical bad-choice diagnostic for flag @p flag, e.g.
+ * "invalid value 'x' for --sched: expected one of gto, lrr, two".
+ */
+[[noreturn]] void badChoice(const std::string &flag,
+                            const std::string &value, const char *choices);
+
+/**
+ * Strict numeric parse: the whole token must be a number in
+ * [@p min, @p max], else UsageError naming @p flag.
+ */
+double parseNumber(const std::string &flag, const std::string &value,
+                   double min, double max);
+
+/** Strict integer parse with range check. */
+int parseInteger(const std::string &flag, const std::string &value,
+                 long min, long max);
+
+/** Strict unsigned 64-bit parse (a leading '-' is rejected). */
+std::uint64_t parseU64(const std::string &flag, const std::string &value);
+
+/**
+ * Sequential cursor over argv (element 0, the program name, is
+ * skipped). Keeps the flag loop and its "requires a value" handling in
+ * one place:
+ *
+ *   cli::ArgStream args(argc, argv);
+ *   std::string arg;
+ *   while (args.next(arg)) {
+ *       if (arg == "--pivot")
+ *           pivot = cli::parseInteger(arg, args.value(arg), 0, 31);
+ *       ...
+ *   }
+ */
+class ArgStream
+{
+  public:
+    ArgStream(int argc, char **argv) : argc_(argc), argv_(argv) {}
+
+    /** Advance to the next token. @return false when exhausted */
+    bool next(std::string &arg);
+
+    /**
+     * Consume and return the value token for @p flag; throws the
+     * "FLAG requires a value" UsageError when argv is exhausted.
+     */
+    std::string value(const std::string &flag);
+
+  private:
+    int argc_;
+    char **argv_;
+    int pos_ = 1;
+};
+
+/**
+ * Report @p error as "PROG: DIAGNOSTIC" on stderr.
+ * @return kExitUsage, for `return cli::reportUsage(...)` from main()
+ */
+int reportUsage(const char *prog, const UsageError &error);
+
+} // namespace bvf::cli
+
+#endif // BVF_COMMON_CLI_HH

@@ -5,7 +5,9 @@
 
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace bvf
@@ -13,9 +15,36 @@ namespace bvf
 
 namespace
 {
-LogLevel levelFlag = LogLevel::Warn;
+std::atomic<LogLevel> levelFlag{LogLevel::Warn};
 thread_local int fatalTrapDepth = 0;
+
+/**
+ * One mutex for every gated line keeps concurrent warn()/inform()/
+ * debug() calls from interleaving mid-line. Function-local so the lock
+ * outlives any static-destruction-order games.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
 }
+
+LogSinkFn sinkOverride = nullptr; //!< guarded by sinkMutex()
+
+/** Serialize one finished line to the override or default stream. */
+void
+emitLine(LogLevel level, std::FILE *stream, const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    if (sinkOverride) {
+        sinkOverride(level, line);
+        return;
+    }
+    std::fputs(line.c_str(), stream);
+    std::fflush(stream);
+}
+} // namespace
 
 ScopedFatalTrap::ScopedFatalTrap()
 {
@@ -36,13 +65,22 @@ ScopedFatalTrap::active()
 void
 setLogLevel(LogLevel level)
 {
-    levelFlag = level;
+    levelFlag.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return levelFlag;
+    return levelFlag.load(std::memory_order_relaxed);
+}
+
+LogSinkFn
+setLogSink(LogSinkFn sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    LogSinkFn previous = sinkOverride;
+    sinkOverride = sink;
+    return previous;
 }
 
 std::string
@@ -83,7 +121,7 @@ setVerbose(bool verbose)
 bool
 verbose()
 {
-    return levelFlag >= LogLevel::Info;
+    return logLevel() >= LogLevel::Info;
 }
 
 std::string
@@ -117,29 +155,34 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     if (ScopedFatalTrap::active())
         throw FatalError(strFormat("%s (%s:%d)", msg.c_str(), file, line));
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitLine(LogLevel::Quiet, stderr,
+             strFormat("fatal: %s (%s:%d)\n", msg.c_str(), file, line));
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (levelFlag >= LogLevel::Warn)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        emitLine(LogLevel::Warn, stderr, strFormat("warn: %s\n", msg.c_str()));
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (levelFlag >= LogLevel::Info)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Info) {
+        emitLine(LogLevel::Info, stdout,
+                 strFormat("info: %s\n", msg.c_str()));
+    }
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (levelFlag >= LogLevel::Debug)
-        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Debug) {
+        emitLine(LogLevel::Debug, stderr,
+                 strFormat("debug: %s\n", msg.c_str()));
+    }
 }
 
 } // namespace bvf

@@ -11,6 +11,11 @@
  * Output is gated by a global LogLevel: Quiet suppresses everything
  * non-fatal, Warn (the default) prints warnings only, Info adds status
  * messages, Debug adds diagnostics. fatal()/panic() always print.
+ *
+ * All gated output funnels through one mutex-guarded sink, so lines
+ * from concurrent pool workers or daemon connections never interleave
+ * mid-line; the level flag itself is atomic. panic() bypasses the lock
+ * (it must make progress even from a thread that died holding it).
  */
 
 #ifndef BVF_COMMON_LOGGING_HH
@@ -79,6 +84,19 @@ class ScopedFatalTrap
     /** Is a trap active on this thread? */
     static bool active();
 };
+
+/**
+ * Sink receiving every gated log line (newline included) together with
+ * the level that produced it. Calls are serialized by the sink mutex.
+ */
+using LogSinkFn = void (*)(LogLevel level, const std::string &line);
+
+/**
+ * Replace the default stderr/stdout sink, e.g. to capture output in a
+ * test or forward it to a daemon's log. nullptr restores the default.
+ * @return the previous override (nullptr when none was set)
+ */
+LogSinkFn setLogSink(LogSinkFn sink);
 
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic ordered reduction over a thread pool.
+ *
+ * parallelMapOrdered() evaluates fn(item) for every item concurrently
+ * and returns the results *in submission order*, no matter which worker
+ * finished first. Each task writes only its own pre-allocated slot, so
+ * there is no merge step whose outcome could depend on scheduling --
+ * the returned vector is a pure function of (items, fn), which is what
+ * lets a parallel campaign render a report byte-identical to the serial
+ * one. The only thing parallelism may reorder is side effects *inside*
+ * fn (log lines, journal appends); anything that must be deterministic
+ * belongs in the returned value, not in a side effect.
+ *
+ * Must be called from outside the pool (the caller blocks in
+ * TaskGroup::wait(), and a pool worker blocking on its own pool can
+ * deadlock a fully-loaded pool).
+ */
+
+#ifndef BVF_RUNTIME_ORDERED_HH
+#define BVF_RUNTIME_ORDERED_HH
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "runtime/task_group.hh"
+#include "runtime/thread_pool.hh"
+
+namespace bvf::runtime
+{
+
+/**
+ * Map @p fn over @p items on @p pool; results come back in submission
+ * order. @p fn receives (item, index) and must be safe to run
+ * concurrently with itself. Exceptions propagate (first one wins)
+ * after every task has quiesced.
+ */
+template <typename Item, typename Fn>
+auto
+parallelMapOrdered(ThreadPool &pool, std::span<const Item> items, Fn fn)
+    -> std::vector<decltype(fn(items[0], std::size_t{0}))>
+{
+    using R = decltype(fn(items[0], std::size_t{0}));
+    std::vector<R> results(items.size());
+    TaskGroup group(pool);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        group.run([&, i] { results[i] = fn(items[i], i); });
+    }
+    group.wait();
+    return results;
+}
+
+} // namespace bvf::runtime
+
+#endif // BVF_RUNTIME_ORDERED_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fork/join task groups over a ThreadPool.
+ *
+ * A TaskGroup counts the tasks it has spawned and lets the owner block
+ * until every one of them has finished. Exceptions do not vanish into
+ * a worker thread: the first one thrown by any task is captured and
+ * rethrown from wait(), after the whole group has quiesced (later
+ * exceptions are dropped -- one failure is enough to fail the join,
+ * and the group still guarantees no task is left running).
+ */
+
+#ifndef BVF_RUNTIME_TASK_GROUP_HH
+#define BVF_RUNTIME_TASK_GROUP_HH
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "runtime/thread_pool.hh"
+
+namespace bvf::runtime
+{
+
+/** A joinable set of tasks on one pool. */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+
+    /** wait() must have been called (or nothing spawned). */
+    ~TaskGroup() { wait_nothrow(); }
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Spawn @p fn as one task of this group. */
+    template <typename Fn>
+    void
+    run(Fn &&fn)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++outstanding_;
+        }
+        pool_.submit([this, fn = std::forward<Fn>(fn)]() mutable {
+            try {
+                fn();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--outstanding_ == 0)
+                done_.notify_all();
+        });
+    }
+
+    /**
+     * Block until every spawned task finished; rethrow the first
+     * captured exception, if any.
+     */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return outstanding_ == 0; });
+        if (error_) {
+            std::exception_ptr e = std::exchange(error_, nullptr);
+            lock.unlock();
+            std::rethrow_exception(e);
+        }
+    }
+
+  private:
+    void
+    wait_nothrow()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return outstanding_ == 0; });
+    }
+
+    ThreadPool &pool_;
+    std::mutex mutex_;
+    std::condition_variable done_;
+    std::size_t outstanding_ = 0;
+    std::exception_ptr error_;
+};
+
+} // namespace bvf::runtime
+
+#endif // BVF_RUNTIME_TASK_GROUP_HH

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Request handler implementation.
+ */
+
+#include "server/handler.hh"
+
+#include <exception>
+
+#include "coder/bvf_space.hh"
+#include "coder/isa_coder.hh"
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "core/experiment.hh"
+#include "core/static_check.hh"
+#include "isa/encoding.hh"
+#include "workload/kernel_builder.hh"
+
+namespace bvf::server
+{
+
+namespace
+{
+
+isa::GpuArch
+archFromIndex(std::uint8_t idx)
+{
+    return isa::allGpuArchs()[idx];
+}
+
+gpu::SchedulerPolicy
+schedFromIndex(std::uint8_t idx)
+{
+    static constexpr gpu::SchedulerPolicy policies[] = {
+        gpu::SchedulerPolicy::Gto, gpu::SchedulerPolicy::Lrr,
+        gpu::SchedulerPolicy::TwoLevel};
+    return policies[idx];
+}
+
+/**
+ * Resolve an AppQuery into a configured machine. fatal() from an
+ * unknown abbreviation is trapped by the caller.
+ */
+gpu::GpuConfig
+configFor(const AppQuery &q)
+{
+    gpu::GpuConfig config = gpu::baselineConfig();
+    config.arch = archFromIndex(q.arch);
+    config.scheduler = schedFromIndex(q.sched);
+    return config;
+}
+
+core::RunOptions
+runOptionsFor(const AppQuery &q)
+{
+    core::RunOptions run;
+    run.dynamicIsa = q.dynamicIsa != 0;
+    run.vsRegisterPivot = static_cast<int>(q.vsPivot);
+    return run;
+}
+
+/**
+ * Run @p body with fatal() trapped; any failure becomes an
+ * ErrorResponse frame instead of an exception or process exit.
+ */
+template <typename Fn>
+Frame
+guarded(Fn &&body)
+{
+    try {
+        ScopedFatalTrap trap;
+        return body();
+    } catch (const FatalError &e) {
+        return errorFrame(Error{ErrorCode::InvalidArgument, e.what()});
+    } catch (const std::exception &e) {
+        return errorFrame(Error{ErrorCode::Failed, e.what()});
+    }
+}
+
+} // namespace
+
+Frame
+errorFrame(const Error &error)
+{
+    WireError wire;
+    wire.code = static_cast<std::uint8_t>(error.code);
+    wire.message = error.message;
+    Frame frame;
+    frame.type = MsgType::ErrorResponse;
+    frame.payload = wire.encode();
+    return frame;
+}
+
+Frame
+RequestHandler::handlePing(const Frame &request) const
+{
+    const auto decoded = Ping::decode(request.payload);
+    if (!decoded.ok())
+        return errorFrame(decoded.error());
+    Frame out;
+    out.type = MsgType::PingResponse;
+    out.payload = decoded.value().encode();
+    return out;
+}
+
+Frame
+RequestHandler::handleEvalCoder(const Frame &request) const
+{
+    const auto decoded = EvalCoderRequest::decode(request.payload);
+    if (!decoded.ok())
+        return errorFrame(decoded.error());
+    const EvalCoderRequest &req = decoded.value();
+
+    return guarded([&] {
+        EvalCoderResponse resp;
+        resp.encoded = req.words;
+        resp.totalBits = req.words.size() * 64;
+        for (const std::uint64_t w : req.words)
+            resp.onesBefore += static_cast<std::uint64_t>(hammingWeight64(w));
+
+        if (req.coder == CoderKind::Isa) {
+            const Word64 mask =
+                req.isaMask ? req.isaMask
+                            : isa::paperIsaMask(archFromIndex(req.arch));
+            const coder::IsaCoder isaCoder(mask);
+            isaCoder.encodeSpan(resp.encoded);
+        } else if (req.coder != CoderKind::Identity) {
+            // 32-bit coders see each u64 as two little-endian words.
+            std::vector<Word> words;
+            words.reserve(req.words.size() * 2);
+            for (const std::uint64_t w : req.words) {
+                words.push_back(static_cast<Word>(w));
+                words.push_back(static_cast<Word>(w >> 32));
+            }
+            if (req.coder == CoderKind::Nv) {
+                coder::NvCoder{}.encodeSpan(words);
+            } else {
+                coder::VsCoder(static_cast<int>(req.vsPivot))
+                    .encode(words);
+            }
+            for (std::size_t i = 0; i < resp.encoded.size(); ++i) {
+                resp.encoded[i] =
+                    static_cast<std::uint64_t>(words[2 * i])
+                    | (static_cast<std::uint64_t>(words[2 * i + 1])
+                       << 32);
+            }
+        }
+
+        for (const std::uint64_t w : resp.encoded)
+            resp.onesAfter += static_cast<std::uint64_t>(hammingWeight64(w));
+
+        Frame out;
+        out.type = MsgType::EvalCoderResponse;
+        out.payload = resp.encode();
+        return out;
+    });
+}
+
+Frame
+RequestHandler::handleBitDensity(const Frame &request) const
+{
+    const auto decoded = BitDensityRequest::decode(request.payload);
+    if (!decoded.ok())
+        return errorFrame(decoded.error());
+    const AppQuery &q = decoded.value().query;
+
+    return guarded([&] {
+        const workload::AppSpec &spec = workload::findApp(q.abbr);
+        const core::ExperimentDriver driver(configFor(q));
+        const auto run = driver.runAppChecked(spec, runOptionsFor(q));
+        if (!run.ok())
+            return errorFrame(run.error());
+
+        BitDensityResponse resp;
+        resp.cycles = run.value().gpuStats.cycles;
+        resp.instructions = run.value().gpuStats.sm.issued;
+        const core::EnergyAccountant &acc = *run.value().accountant;
+        for (const coder::UnitId unit : coder::allUnits()) {
+            if (unit == coder::UnitId::Noc)
+                continue;
+            BitDensityResponse::Unit u;
+            u.unit = static_cast<std::uint8_t>(unit);
+            bool any = false;
+            for (const coder::Scenario s : coder::allScenarios) {
+                const auto stats = acc.unitStats(s);
+                const auto it = stats.find(unit);
+                if (it == stats.end())
+                    continue;
+                BitStats all = it->second.reads;
+                all.merge(it->second.writes);
+                if (all.bits())
+                    any = true;
+                u.density[static_cast<std::size_t>(
+                    coder::scenarioIndex(s))] = all.oneRatio();
+            }
+            if (any)
+                resp.units.push_back(u);
+        }
+        for (const coder::Scenario s : coder::allScenarios) {
+            const auto &noc = acc.noc(s);
+            resp.nocDensity[static_cast<std::size_t>(
+                coder::scenarioIndex(s))] =
+                noc.payloadBits
+                    ? static_cast<double>(noc.payloadOnes)
+                          / static_cast<double>(noc.payloadBits)
+                    : 0.0;
+        }
+
+        Frame out;
+        out.type = MsgType::BitDensityResponse;
+        out.payload = resp.encode();
+        return out;
+    });
+}
+
+Frame
+RequestHandler::handleChipEnergy(const Frame &request) const
+{
+    const auto decoded = ChipEnergyRequest::decode(request.payload);
+    if (!decoded.ok())
+        return errorFrame(decoded.error());
+    const ChipEnergyRequest &req = decoded.value();
+
+    return guarded([&] {
+        const workload::AppSpec &spec = workload::findApp(req.query.abbr);
+        const core::ExperimentDriver driver(configFor(req.query));
+        const auto run =
+            driver.runAppChecked(spec, runOptionsFor(req.query));
+        if (!run.ok())
+            return errorFrame(run.error());
+
+        core::Pricing pricing;
+        pricing.node = req.node == 0 ? circuit::TechNode::N28
+                                     : circuit::TechNode::N40;
+        pricing.pstate = req.pstate == 0   ? gpu::pstateNominal()
+                         : req.pstate == 1 ? gpu::pstateMid()
+                                           : gpu::pstateLow();
+        pricing.cellKind = static_cast<circuit::CellKind>(req.cell);
+        pricing.ecc = req.ecc != 0;
+        pricing.cellsPerBitline = static_cast<int>(req.cellsBitline);
+
+        const core::AppEnergy energy =
+            driver.evaluate(run.value(), pricing);
+
+        ChipEnergyResponse resp;
+        resp.cycles = run.value().gpuStats.cycles;
+        resp.instructions = run.value().gpuStats.sm.issued;
+        for (const coder::Scenario s : coder::allScenarios) {
+            const auto idx =
+                static_cast<std::size_t>(coder::scenarioIndex(s));
+            resp.chipEnergy[idx] = energy.at(s).chipTotal();
+            resp.bvfUnitsEnergy[idx] = energy.at(s).bvfUnitsTotal();
+        }
+
+        Frame out;
+        out.type = MsgType::ChipEnergyResponse;
+        out.payload = resp.encode();
+        return out;
+    });
+}
+
+Frame
+RequestHandler::handleStaticQuery(const Frame &request) const
+{
+    const auto decoded = StaticQueryRequest::decode(request.payload);
+    if (!decoded.ok())
+        return errorFrame(decoded.error());
+    const AppQuery &q = decoded.value().query;
+
+    return guarded([&] {
+        const workload::AppSpec &spec = workload::findApp(q.abbr);
+        const gpu::GpuConfig config = configFor(q);
+        const isa::Program program = workload::buildProgram(spec);
+
+        Word64 isaMask = 0;
+        if (q.dynamicIsa) {
+            const isa::InstructionEncoder encoder(config.arch);
+            isaMask =
+                isa::extractPreferenceMask(encoder.encode(program.body));
+        }
+        const core::StaticReport report = core::analyzeStatic(
+            program, config, isaMask, static_cast<int>(q.vsPivot));
+
+        StaticQueryResponse resp;
+        resp.bestStatic = static_cast<std::uint8_t>(
+            coder::scenarioIndex(report.prediction.bestStatic));
+        for (const auto &[unit, bounds] : report.prediction.units) {
+            StaticQueryResponse::Unit u;
+            u.unit = static_cast<std::uint8_t>(unit);
+            for (const coder::Scenario s : coder::allScenarios) {
+                const auto idx =
+                    static_cast<std::size_t>(coder::scenarioIndex(s));
+                u.bounds[idx] = {bounds[idx].lo, bounds[idx].hi,
+                                 static_cast<std::uint8_t>(
+                                     bounds[idx].any ? 1 : 0)};
+            }
+            resp.units.push_back(u);
+        }
+        for (const coder::Scenario s : coder::allScenarios) {
+            const auto idx =
+                static_cast<std::size_t>(coder::scenarioIndex(s));
+            resp.noc[idx] = {report.prediction.noc[idx].lo,
+                             report.prediction.noc[idx].hi,
+                             static_cast<std::uint8_t>(
+                                 report.prediction.noc[idx].any ? 1 : 0)};
+        }
+
+        Frame out;
+        out.type = MsgType::StaticQueryResponse;
+        out.payload = resp.encode();
+        return out;
+    });
+}
+
+Frame
+RequestHandler::handle(const Frame &request) const
+{
+    switch (request.type) {
+      case MsgType::PingRequest:
+        return handlePing(request);
+      case MsgType::EvalCoderRequest:
+        return handleEvalCoder(request);
+      case MsgType::BitDensityRequest:
+        return handleBitDensity(request);
+      case MsgType::ChipEnergyRequest:
+        return handleChipEnergy(request);
+      case MsgType::StaticQueryRequest:
+        return handleStaticQuery(request);
+      default:
+        return errorFrame(Error{
+            ErrorCode::InvalidArgument,
+            strFormat("frame type %s is not a request",
+                      msgTypeName(request.type).c_str())});
+    }
+}
+
+} // namespace bvf::server

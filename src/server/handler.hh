@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Request execution, separated from socket plumbing.
+ *
+ * A RequestHandler turns one decoded request frame into one response
+ * frame. It is stateless apart from immutable configuration, so any
+ * number of pool workers may call handle() concurrently -- every
+ * simulation builds its own machine, accountant and RNG streams, which
+ * is the same property that makes the parallel campaign deterministic.
+ *
+ * Failures never escape as exceptions: a malformed payload, an unknown
+ * application or a pricing rejection comes back as an ErrorResponse
+ * frame, so one bad request cannot take down the connection, let alone
+ * the daemon.
+ */
+
+#ifndef BVF_SERVER_HANDLER_HH
+#define BVF_SERVER_HANDLER_HH
+
+#include "server/protocol.hh"
+
+namespace bvf::server
+{
+
+/** Executes decoded requests. Thread-safe; share one per daemon. */
+class RequestHandler
+{
+  public:
+    /**
+     * Execute @p request and build the response frame. Request frames
+     * with a response type are themselves answered with ErrorResponse
+     * (a client must never speak response types).
+     */
+    Frame handle(const Frame &request) const;
+
+  private:
+    Frame handlePing(const Frame &request) const;
+    Frame handleEvalCoder(const Frame &request) const;
+    Frame handleBitDensity(const Frame &request) const;
+    Frame handleChipEnergy(const Frame &request) const;
+    Frame handleStaticQuery(const Frame &request) const;
+};
+
+/** Build an ErrorResponse frame from a structured error. */
+Frame errorFrame(const Error &error);
+
+} // namespace bvf::server
+
+#endif // BVF_SERVER_HANDLER_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * bvfd service metrics.
+ *
+ * Lock-cheap counters and a log-scale latency histogram, rendered as
+ * Prometheus-style plaintext for the /metrics endpoint. Counters are
+ * atomics touched from worker and connection threads; the histogram
+ * buckets are atomics too, so recording a latency never takes a lock.
+ * Percentiles are derived from the histogram at scrape time -- an
+ * approximation whose error is bounded by the bucket width (buckets
+ * grow 2x from 1us, so the p99 is exact to within a factor of two,
+ * plenty for spotting a queue backing up).
+ */
+
+#ifndef BVF_SERVER_METRICS_HH
+#define BVF_SERVER_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.hh"
+
+namespace bvf::server
+{
+
+/** Latency histogram: 2x buckets from 1us to ~17min, plus overflow. */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBuckets = 31;
+
+    /** Record one latency sample. */
+    void record(std::chrono::nanoseconds latency);
+
+    /** Total recorded samples. */
+    std::uint64_t count() const;
+
+    /**
+     * Approximate @p quantile (0..1) in seconds: upper edge of the
+     * bucket holding that rank. 0 when nothing was recorded.
+     */
+    double quantile(double q) const;
+
+    /** Upper edge of bucket @p i in seconds. */
+    static double bucketEdge(int i);
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/**
+ * Everything bvfd exports. One instance per server; threads record
+ * into it concurrently, the metrics endpoint renders a snapshot.
+ */
+class Metrics
+{
+  public:
+    /** Count one received request frame of @p type. */
+    void onRequest(MsgType type);
+
+    /** Count one completed request with its service latency. */
+    void onResponse(MsgType type, std::chrono::nanoseconds latency);
+
+    /** Count one protocol violation (bad frame, refused request). */
+    void onProtocolError() { protocolErrors_.fetch_add(1); }
+
+    /** Count one accepted connection. */
+    void onConnection() { connections_.fetch_add(1); }
+
+    void addBytesIn(std::uint64_t n) { bytesIn_.fetch_add(n); }
+    void addBytesOut(std::uint64_t n) { bytesOut_.fetch_add(n); }
+
+    /**
+     * Render the Prometheus-style plaintext exposition.
+     * @param queueDepth  current runtime queue depth
+     * @param workers     worker count of the serving pool
+     * @param utilization pool busy fraction in [0, 1]
+     */
+    std::string render(std::size_t queueDepth, int workers,
+                       double utilization) const;
+
+    std::uint64_t requestsTotal() const;
+    std::uint64_t responsesTotal() const;
+    std::uint64_t protocolErrors() const { return protocolErrors_.load(); }
+
+  private:
+    /** Dense index for the per-type counters. */
+    static int typeSlot(MsgType type);
+    static constexpr int kTypeSlots = 6;
+
+    std::array<std::atomic<std::uint64_t>, kTypeSlots> requests_{};
+    std::array<std::atomic<std::uint64_t>, kTypeSlots> responses_{};
+    std::atomic<std::uint64_t> protocolErrors_{0};
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> bytesIn_{0};
+    std::atomic<std::uint64_t> bytesOut_{0};
+    LatencyHistogram latency_;
+};
+
+} // namespace bvf::server
+
+#endif // BVF_SERVER_METRICS_HH

@@ -1,0 +1,705 @@
+/**
+ * @file
+ * Wire protocol implementation.
+ */
+
+#include "server/protocol.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/crc32.hh"
+
+namespace bvf::server
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'B', 'V', 'F', 'P'};
+
+/** Cap on one request's word vector (fits kMaxPayload with headroom). */
+constexpr std::uint32_t kMaxWords = kMaxPayload / 8 - 16;
+
+/** Cap on strings travelling in requests (app abbreviations, errors). */
+constexpr std::uint32_t kMaxString = 4096;
+
+Error
+corrupt(const std::string &what)
+{
+    return Error{ErrorCode::Corrupt, what};
+}
+
+Error
+truncatedPayload()
+{
+    return Error{ErrorCode::Truncated, "payload ends mid-field"};
+}
+
+Error
+trailingGarbage()
+{
+    return Error{ErrorCode::Corrupt, "payload has trailing bytes"};
+}
+
+} // namespace
+
+std::string
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::PingRequest:
+        return "ping-request";
+      case MsgType::EvalCoderRequest:
+        return "eval-coder-request";
+      case MsgType::BitDensityRequest:
+        return "bit-density-request";
+      case MsgType::ChipEnergyRequest:
+        return "chip-energy-request";
+      case MsgType::StaticQueryRequest:
+        return "static-query-request";
+      case MsgType::PingResponse:
+        return "ping-response";
+      case MsgType::EvalCoderResponse:
+        return "eval-coder-response";
+      case MsgType::BitDensityResponse:
+        return "bit-density-response";
+      case MsgType::ChipEnergyResponse:
+        return "chip-energy-response";
+      case MsgType::StaticQueryResponse:
+        return "static-query-response";
+      case MsgType::ErrorResponse:
+        return "error-response";
+    }
+    return "?";
+}
+
+bool
+msgTypeKnown(std::uint8_t raw)
+{
+    switch (static_cast<MsgType>(raw)) {
+      case MsgType::PingRequest:
+      case MsgType::EvalCoderRequest:
+      case MsgType::BitDensityRequest:
+      case MsgType::ChipEnergyRequest:
+      case MsgType::StaticQueryRequest:
+      case MsgType::PingResponse:
+      case MsgType::EvalCoderResponse:
+      case MsgType::BitDensityResponse:
+      case MsgType::ChipEnergyResponse:
+      case MsgType::StaticQueryResponse:
+      case MsgType::ErrorResponse:
+        return true;
+    }
+    return false;
+}
+
+// --- Framing ----------------------------------------------------------
+
+std::string
+encodeFrame(MsgType type, std::string_view payload)
+{
+    panic_if(payload.size() > kMaxPayload,
+             "frame payload of %zu bytes exceeds the %u-byte cap",
+             payload.size(), kMaxPayload);
+    WireWriter w;
+    // The header is itself little-endian wire fields; reuse the writer.
+    std::string out;
+    out.append(kMagic, sizeof(kMagic));
+    w.putU8(kProtocolVersion);
+    w.putU8(static_cast<std::uint8_t>(type));
+    w.putU16(0); // flags
+    w.putU32(static_cast<std::uint32_t>(payload.size()));
+    out += w.str();
+    // The CRC covers the header fields before it as well as the
+    // payload: a type byte flipped into another *valid* type would
+    // otherwise parse clean.
+    Crc32 crc;
+    crc.update(out.data(), out.size());
+    crc.update(payload.data(), payload.size());
+    WireWriter c;
+    c.putU32(crc.value());
+    out += c.str();
+    out.append(payload);
+    return out;
+}
+
+Result<Frame>
+parseFrame(std::string_view bytes, std::size_t &consumed)
+{
+    if (bytes.size() < kHeaderBytes)
+        return Error{ErrorCode::Truncated, "incomplete frame header"};
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        return corrupt("bad frame magic");
+
+    WireReader r(bytes.substr(sizeof(kMagic),
+                              kHeaderBytes - sizeof(kMagic)));
+    std::uint8_t version = 0, rawType = 0;
+    std::uint16_t flags = 0;
+    std::uint32_t length = 0, crc = 0;
+    r.getU8(version);
+    r.getU8(rawType);
+    r.getU16(flags);
+    r.getU32(length);
+    r.getU32(crc);
+
+    if (version != kProtocolVersion) {
+        return Error{ErrorCode::Unsupported,
+                     strFormat("protocol version %u, this build speaks %u",
+                               version, kProtocolVersion)};
+    }
+    if (flags != 0)
+        return corrupt("reserved frame flags set");
+    if (!msgTypeKnown(rawType)) {
+        return corrupt(strFormat("unknown message type 0x%02x", rawType));
+    }
+    if (length > kMaxPayload) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("frame payload of %u bytes exceeds the "
+                               "%u-byte cap",
+                               length, kMaxPayload)};
+    }
+    if (bytes.size() < kHeaderBytes + length)
+        return Error{ErrorCode::Truncated, "incomplete frame payload"};
+
+    const std::string_view payload = bytes.substr(kHeaderBytes, length);
+    Crc32 check;
+    check.update(bytes.data(), kHeaderBytes - sizeof(crc));
+    check.update(payload.data(), payload.size());
+    if (check.value() != crc)
+        return corrupt("frame CRC mismatch");
+
+    Frame frame;
+    frame.type = static_cast<MsgType>(rawType);
+    frame.payload.assign(payload);
+    consumed = kHeaderBytes + length;
+    return frame;
+}
+
+// --- Wire primitives --------------------------------------------------
+
+void
+WireWriter::putU8(std::uint8_t v)
+{
+    buf_.push_back(static_cast<char>(v));
+}
+
+void
+WireWriter::putU16(std::uint16_t v)
+{
+    putU8(static_cast<std::uint8_t>(v));
+    putU8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+WireWriter::putU32(std::uint32_t v)
+{
+    putU16(static_cast<std::uint16_t>(v));
+    putU16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void
+WireWriter::putU64(std::uint64_t v)
+{
+    putU32(static_cast<std::uint32_t>(v));
+    putU32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+WireWriter::putF64(double v)
+{
+    putU64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+WireWriter::putString(std::string_view s)
+{
+    panic_if(s.size() > kMaxString,
+             "wire string of %zu bytes exceeds the %u-byte cap",
+             s.size(), kMaxString);
+    putU32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+}
+
+bool
+WireReader::getU8(std::uint8_t &v)
+{
+    if (pos_ + 1 > bytes_.size())
+        return false;
+    v = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+}
+
+bool
+WireReader::getU16(std::uint16_t &v)
+{
+    std::uint8_t lo = 0, hi = 0;
+    if (!getU8(lo) || !getU8(hi))
+        return false;
+    v = static_cast<std::uint16_t>(lo | (hi << 8));
+    return true;
+}
+
+bool
+WireReader::getU32(std::uint32_t &v)
+{
+    std::uint16_t lo = 0, hi = 0;
+    if (!getU16(lo) || !getU16(hi))
+        return false;
+    v = static_cast<std::uint32_t>(lo)
+        | (static_cast<std::uint32_t>(hi) << 16);
+    return true;
+}
+
+bool
+WireReader::getU64(std::uint64_t &v)
+{
+    std::uint32_t lo = 0, hi = 0;
+    if (!getU32(lo) || !getU32(hi))
+        return false;
+    v = static_cast<std::uint64_t>(lo)
+        | (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+}
+
+bool
+WireReader::getF64(double &v)
+{
+    std::uint64_t bits = 0;
+    if (!getU64(bits))
+        return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+}
+
+bool
+WireReader::getString(std::string &v, std::uint32_t maxLen)
+{
+    std::uint32_t len = 0;
+    if (!getU32(len) || len > maxLen
+        || pos_ + len > bytes_.size()) {
+        return false;
+    }
+    v.assign(bytes_.substr(pos_, len));
+    pos_ += len;
+    return true;
+}
+
+// --- Messages ---------------------------------------------------------
+
+namespace
+{
+
+void
+putAppQuery(WireWriter &w, const AppQuery &q)
+{
+    w.putString(q.abbr);
+    w.putU8(q.arch);
+    w.putU8(q.sched);
+    w.putU32(q.vsPivot);
+    w.putU8(q.dynamicIsa);
+}
+
+bool
+getAppQuery(WireReader &r, AppQuery &q)
+{
+    return r.getString(q.abbr, 64) && r.getU8(q.arch)
+           && r.getU8(q.sched) && r.getU32(q.vsPivot)
+           && r.getU8(q.dynamicIsa);
+}
+
+Result<void>
+validateAppQuery(const AppQuery &q)
+{
+    if (q.abbr.empty()) {
+        return Error{ErrorCode::InvalidArgument,
+                     "empty application abbreviation"};
+    }
+    if (q.arch > 3) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("architecture index %u out of range",
+                               q.arch)};
+    }
+    if (q.sched > 2) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("scheduler index %u out of range",
+                               q.sched)};
+    }
+    if (q.vsPivot > 31) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("VS pivot %u out of range [0, 31]",
+                               q.vsPivot)};
+    }
+    return {};
+}
+
+} // namespace
+
+std::string
+Ping::encode() const
+{
+    WireWriter w;
+    w.putU64(nonce);
+    return w.take();
+}
+
+Result<Ping>
+Ping::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    Ping p;
+    if (!r.getU64(p.nonce))
+        return truncatedPayload();
+    if (!r.exhausted())
+        return trailingGarbage();
+    return p;
+}
+
+std::string
+EvalCoderRequest::encode() const
+{
+    WireWriter w;
+    w.putU8(static_cast<std::uint8_t>(coder));
+    w.putU8(arch);
+    w.putU32(vsPivot);
+    w.putU64(isaMask);
+    w.putU32(static_cast<std::uint32_t>(words.size()));
+    for (const std::uint64_t word : words)
+        w.putU64(word);
+    return w.take();
+}
+
+Result<EvalCoderRequest>
+EvalCoderRequest::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    EvalCoderRequest req;
+    std::uint8_t rawCoder = 0;
+    std::uint32_t count = 0;
+    if (!r.getU8(rawCoder) || !r.getU8(req.arch)
+        || !r.getU32(req.vsPivot) || !r.getU64(req.isaMask)
+        || !r.getU32(count)) {
+        return truncatedPayload();
+    }
+    if (rawCoder > static_cast<std::uint8_t>(CoderKind::Isa)) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("unknown coder kind %u", rawCoder)};
+    }
+    if (req.arch > 3) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("architecture index %u out of range",
+                               req.arch)};
+    }
+    if (req.vsPivot > 31) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("VS pivot %u out of range [0, 31]",
+                               req.vsPivot)};
+    }
+    if (count > kMaxWords) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("%u words exceed the per-request cap of %u",
+                               count, kMaxWords)};
+    }
+    req.coder = static_cast<CoderKind>(rawCoder);
+    req.words.resize(count);
+    for (std::uint64_t &word : req.words) {
+        if (!r.getU64(word))
+            return truncatedPayload();
+    }
+    if (!r.exhausted())
+        return trailingGarbage();
+    return req;
+}
+
+std::string
+EvalCoderResponse::encode() const
+{
+    WireWriter w;
+    w.putU64(totalBits);
+    w.putU64(onesBefore);
+    w.putU64(onesAfter);
+    w.putU32(static_cast<std::uint32_t>(encoded.size()));
+    for (const std::uint64_t word : encoded)
+        w.putU64(word);
+    return w.take();
+}
+
+Result<EvalCoderResponse>
+EvalCoderResponse::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    EvalCoderResponse resp;
+    std::uint32_t count = 0;
+    if (!r.getU64(resp.totalBits) || !r.getU64(resp.onesBefore)
+        || !r.getU64(resp.onesAfter) || !r.getU32(count)) {
+        return truncatedPayload();
+    }
+    if (count > kMaxWords)
+        return corrupt("encoded word count exceeds cap");
+    resp.encoded.resize(count);
+    for (std::uint64_t &word : resp.encoded) {
+        if (!r.getU64(word))
+            return truncatedPayload();
+    }
+    if (!r.exhausted())
+        return trailingGarbage();
+    return resp;
+}
+
+std::string
+BitDensityRequest::encode() const
+{
+    WireWriter w;
+    putAppQuery(w, query);
+    return w.take();
+}
+
+Result<BitDensityRequest>
+BitDensityRequest::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    BitDensityRequest req;
+    if (!getAppQuery(r, req.query))
+        return truncatedPayload();
+    if (!r.exhausted())
+        return trailingGarbage();
+    if (auto valid = validateAppQuery(req.query); !valid.ok())
+        return valid.error();
+    return req;
+}
+
+std::string
+BitDensityResponse::encode() const
+{
+    WireWriter w;
+    w.putU64(cycles);
+    w.putU64(instructions);
+    w.putU32(static_cast<std::uint32_t>(units.size()));
+    for (const Unit &u : units) {
+        w.putU8(u.unit);
+        for (const double d : u.density)
+            w.putF64(d);
+    }
+    for (const double d : nocDensity)
+        w.putF64(d);
+    return w.take();
+}
+
+Result<BitDensityResponse>
+BitDensityResponse::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    BitDensityResponse resp;
+    std::uint32_t count = 0;
+    if (!r.getU64(resp.cycles) || !r.getU64(resp.instructions)
+        || !r.getU32(count)) {
+        return truncatedPayload();
+    }
+    if (count > 64)
+        return corrupt("unit count exceeds cap");
+    resp.units.resize(count);
+    for (Unit &u : resp.units) {
+        if (!r.getU8(u.unit))
+            return truncatedPayload();
+        for (double &d : u.density) {
+            if (!r.getF64(d))
+                return truncatedPayload();
+        }
+    }
+    for (double &d : resp.nocDensity) {
+        if (!r.getF64(d))
+            return truncatedPayload();
+    }
+    if (!r.exhausted())
+        return trailingGarbage();
+    return resp;
+}
+
+std::string
+ChipEnergyRequest::encode() const
+{
+    WireWriter w;
+    putAppQuery(w, query);
+    w.putU8(node);
+    w.putU8(pstate);
+    w.putU8(cell);
+    w.putU8(ecc);
+    w.putU32(cellsBitline);
+    return w.take();
+}
+
+Result<ChipEnergyRequest>
+ChipEnergyRequest::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    ChipEnergyRequest req;
+    if (!getAppQuery(r, req.query) || !r.getU8(req.node)
+        || !r.getU8(req.pstate) || !r.getU8(req.cell)
+        || !r.getU8(req.ecc) || !r.getU32(req.cellsBitline)) {
+        return truncatedPayload();
+    }
+    if (!r.exhausted())
+        return trailingGarbage();
+    if (auto valid = validateAppQuery(req.query); !valid.ok())
+        return valid.error();
+    if (req.node > 1) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("node index %u out of range", req.node)};
+    }
+    if (req.pstate > 2) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("pstate index %u out of range", req.pstate)};
+    }
+    if (req.cell > 4) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("cell index %u out of range", req.cell)};
+    }
+    if (req.cellsBitline < 1 || req.cellsBitline > 8192) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("cells per bitline %u out of range "
+                               "[1, 8192]",
+                               req.cellsBitline)};
+    }
+    return req;
+}
+
+std::string
+ChipEnergyResponse::encode() const
+{
+    WireWriter w;
+    w.putU64(cycles);
+    w.putU64(instructions);
+    for (const double e : chipEnergy)
+        w.putF64(e);
+    for (const double e : bvfUnitsEnergy)
+        w.putF64(e);
+    return w.take();
+}
+
+Result<ChipEnergyResponse>
+ChipEnergyResponse::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    ChipEnergyResponse resp;
+    if (!r.getU64(resp.cycles) || !r.getU64(resp.instructions))
+        return truncatedPayload();
+    for (double &e : resp.chipEnergy) {
+        if (!r.getF64(e))
+            return truncatedPayload();
+    }
+    for (double &e : resp.bvfUnitsEnergy) {
+        if (!r.getF64(e))
+            return truncatedPayload();
+    }
+    if (!r.exhausted())
+        return trailingGarbage();
+    return resp;
+}
+
+std::string
+StaticQueryRequest::encode() const
+{
+    WireWriter w;
+    putAppQuery(w, query);
+    return w.take();
+}
+
+Result<StaticQueryRequest>
+StaticQueryRequest::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    StaticQueryRequest req;
+    if (!getAppQuery(r, req.query))
+        return truncatedPayload();
+    if (!r.exhausted())
+        return trailingGarbage();
+    if (auto valid = validateAppQuery(req.query); !valid.ok())
+        return valid.error();
+    return req;
+}
+
+namespace
+{
+
+void
+putBound(WireWriter &w, const StaticQueryResponse::Bound &b)
+{
+    w.putF64(b.lo);
+    w.putF64(b.hi);
+    w.putU8(b.any);
+}
+
+bool
+getBound(WireReader &r, StaticQueryResponse::Bound &b)
+{
+    return r.getF64(b.lo) && r.getF64(b.hi) && r.getU8(b.any);
+}
+
+} // namespace
+
+std::string
+StaticQueryResponse::encode() const
+{
+    WireWriter w;
+    w.putU8(bestStatic);
+    w.putU32(static_cast<std::uint32_t>(units.size()));
+    for (const Unit &u : units) {
+        w.putU8(u.unit);
+        for (const Bound &b : u.bounds)
+            putBound(w, b);
+    }
+    for (const Bound &b : noc)
+        putBound(w, b);
+    return w.take();
+}
+
+Result<StaticQueryResponse>
+StaticQueryResponse::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    StaticQueryResponse resp;
+    std::uint32_t count = 0;
+    if (!r.getU8(resp.bestStatic) || !r.getU32(count))
+        return truncatedPayload();
+    if (count > 64)
+        return corrupt("unit count exceeds cap");
+    resp.units.resize(count);
+    for (Unit &u : resp.units) {
+        if (!r.getU8(u.unit))
+            return truncatedPayload();
+        for (Bound &b : u.bounds) {
+            if (!getBound(r, b))
+                return truncatedPayload();
+        }
+    }
+    for (Bound &b : resp.noc) {
+        if (!getBound(r, b))
+            return truncatedPayload();
+    }
+    if (!r.exhausted())
+        return trailingGarbage();
+    return resp;
+}
+
+std::string
+WireError::encode() const
+{
+    WireWriter w;
+    w.putU8(code);
+    w.putString(message);
+    return w.take();
+}
+
+Result<WireError>
+WireError::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    WireError e;
+    if (!r.getU8(e.code) || !r.getString(e.message, 4096))
+        return truncatedPayload();
+    if (!r.exhausted())
+        return trailingGarbage();
+    return e;
+}
+
+} // namespace bvf::server

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * bvfd wire protocol: CRC32-framed, length-prefixed binary messages.
+ *
+ * A connection carries a stream of frames in either direction. Every
+ * frame is:
+ *
+ *   magic   "BVFP"                       4 bytes
+ *   version u8   (= kProtocolVersion)    1 byte
+ *   type    u8   (MsgType)               1 byte
+ *   flags   u16  (reserved, must be 0)   2 bytes
+ *   length  u32  payload byte count      4 bytes
+ *   crc     u32  CRC-32 of the 12 header
+ *                bytes above + payload   4 bytes
+ *   payload length bytes
+ *
+ * All integers little-endian; doubles are IEEE-754 bit patterns in a
+ * u64, so energies survive the wire bit-identically. The CRC makes a
+ * torn or corrupted stream detectable before any request is executed;
+ * a length above kMaxPayload is rejected without buffering (a 4 GB
+ * length field must not allocate 4 GB); an unknown version is refused
+ * as Unsupported so old clients fail loudly against new daemons.
+ *
+ * Requests are answered *in order* per connection: a client may write a
+ * whole batch of requests back to back and read the same number of
+ * responses. The server evaluates the batch concurrently but responds
+ * in request order (see server.hh).
+ */
+
+#ifndef BVF_SERVER_PROTOCOL_HH
+#define BVF_SERVER_PROTOCOL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "coder/scenario.hh"
+#include "common/result.hh"
+
+namespace bvf::server
+{
+
+constexpr std::uint8_t kProtocolVersion = 1;
+
+/** Frame header byte count (magic through crc). */
+constexpr std::size_t kHeaderBytes = 16;
+
+/** Hard cap on one frame's payload (1 MiB). */
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+/** Frame types. Requests have the high bit clear, responses set. */
+enum class MsgType : std::uint8_t
+{
+    PingRequest = 0x01,
+    EvalCoderRequest = 0x02,
+    BitDensityRequest = 0x03,
+    ChipEnergyRequest = 0x04,
+    StaticQueryRequest = 0x05,
+
+    PingResponse = 0x81,
+    EvalCoderResponse = 0x82,
+    BitDensityResponse = 0x83,
+    ChipEnergyResponse = 0x84,
+    StaticQueryResponse = 0x85,
+    ErrorResponse = 0xff,
+};
+
+/** Display name, e.g. "eval-coder-request". */
+std::string msgTypeName(MsgType type);
+
+/** Is @p raw a defined MsgType value? */
+bool msgTypeKnown(std::uint8_t raw);
+
+/** One decoded frame. */
+struct Frame
+{
+    MsgType type = MsgType::ErrorResponse;
+    std::string payload;
+};
+
+/** Serialize one frame (header + payload). */
+std::string encodeFrame(MsgType type, std::string_view payload);
+
+/**
+ * Parse the first frame of @p bytes. On success @p consumed is the
+ * frame's total size. ErrorCode::Truncated means "feed me more bytes";
+ * every other error is a real protocol violation (bad magic or CRC,
+ * oversized length, unknown version) and the connection should die.
+ */
+Result<Frame> parseFrame(std::string_view bytes, std::size_t &consumed);
+
+// --- Payload serialization helpers -----------------------------------
+
+/** Append-only little-endian payload builder. */
+class WireWriter
+{
+  public:
+    void putU8(std::uint8_t v);
+    void putU16(std::uint16_t v);
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putF64(double v); //!< IEEE-754 bits in a u64
+    void putString(std::string_view s); //!< u32 length + bytes
+
+    const std::string &str() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+/** Cursor over a payload; every get fails softly at the end. */
+class WireReader
+{
+  public:
+    explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+    bool getU8(std::uint8_t &v);
+    bool getU16(std::uint16_t &v);
+    bool getU32(std::uint32_t &v);
+    bool getU64(std::uint64_t &v);
+    bool getF64(double &v);
+    bool getString(std::string &v, std::uint32_t maxLen);
+
+    /** Every byte consumed? (trailing garbage is a decode error) */
+    bool exhausted() const { return pos_ == bytes_.size(); }
+
+  private:
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+// --- Messages ---------------------------------------------------------
+
+/** Number of per-scenario slots every response table carries. */
+constexpr std::size_t kScenarioSlots =
+    static_cast<std::size_t>(coder::numScenarios);
+
+/** Ping: echo test and liveness probe. */
+struct Ping
+{
+    std::uint64_t nonce = 0;
+
+    std::string encode() const;
+    static Result<Ping> decode(std::string_view payload);
+};
+
+/** Which coder an EvalCoder request exercises. */
+enum class CoderKind : std::uint8_t
+{
+    Identity = 0,
+    Nv = 1,  //!< narrow-value XNOR coder (32-bit words)
+    Vs = 2,  //!< value-similarity block coder (32-bit words)
+    Isa = 3, //!< ISA-preference mask coder (64-bit encodings)
+};
+
+/**
+ * Evaluate one coder over raw words. Words travel as u64; the 32-bit
+ * coders (identity/nv/vs) treat each as two little-endian 32-bit words,
+ * the ISA coder consumes them whole.
+ */
+struct EvalCoderRequest
+{
+    CoderKind coder = CoderKind::Identity;
+    std::uint8_t arch = 3;    //!< isa::GpuArch index (isa coder)
+    std::uint32_t vsPivot = 0; //!< VS pivot lane (vs coder)
+    std::uint64_t isaMask = 0; //!< 0 = Table 2 mask of arch
+    std::vector<std::uint64_t> words;
+
+    std::string encode() const;
+    static Result<EvalCoderRequest> decode(std::string_view payload);
+};
+
+/** Bit statistics before/after encoding, plus the encoded words. */
+struct EvalCoderResponse
+{
+    std::uint64_t totalBits = 0;
+    std::uint64_t onesBefore = 0;
+    std::uint64_t onesAfter = 0;
+    std::vector<std::uint64_t> encoded;
+
+    std::string encode() const;
+    static Result<EvalCoderResponse> decode(std::string_view payload);
+};
+
+/** App-keyed request core shared by density/energy/static queries. */
+struct AppQuery
+{
+    std::string abbr;          //!< suite abbreviation, e.g. "KMN"
+    std::uint8_t arch = 3;     //!< isa::GpuArch index
+    std::uint8_t sched = 0;    //!< gpu::SchedulerPolicy index
+    std::uint32_t vsPivot = 21;
+    std::uint8_t dynamicIsa = 0;
+};
+
+/** Simulate an app; report per-unit encoded bit-1 density. */
+struct BitDensityRequest
+{
+    AppQuery query;
+
+    std::string encode() const;
+    static Result<BitDensityRequest> decode(std::string_view payload);
+};
+
+struct BitDensityResponse
+{
+    struct Unit
+    {
+        std::uint8_t unit = 0; //!< coder::UnitId index
+        std::array<double, kScenarioSlots> density{};
+    };
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::vector<Unit> units;
+    std::array<double, kScenarioSlots> nocDensity{};
+
+    std::string encode() const;
+    static Result<BitDensityResponse> decode(std::string_view payload);
+};
+
+/** Simulate an app and price it: per-scenario chip energy. */
+struct ChipEnergyRequest
+{
+    AppQuery query;
+    std::uint8_t node = 0;   //!< 0 = 28nm, 1 = 40nm
+    std::uint8_t pstate = 0; //!< 0 = 700MHz, 1 = 500MHz, 2 = 300MHz
+    std::uint8_t cell = 0;   //!< circuit::CellKind index
+    std::uint8_t ecc = 0;
+    std::uint32_t cellsBitline = 128;
+
+    std::string encode() const;
+    static Result<ChipEnergyRequest> decode(std::string_view payload);
+};
+
+struct ChipEnergyResponse
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::array<double, kScenarioSlots> chipEnergy{};
+    std::array<double, kScenarioSlots> bvfUnitsEnergy{};
+
+    std::string encode() const;
+    static Result<ChipEnergyResponse> decode(std::string_view payload);
+};
+
+/** Static predictor query: proven density bounds, no simulation. */
+struct StaticQueryRequest
+{
+    AppQuery query;
+
+    std::string encode() const;
+    static Result<StaticQueryRequest> decode(std::string_view payload);
+};
+
+struct StaticQueryResponse
+{
+    struct Bound
+    {
+        double lo = 0.0;
+        double hi = 1.0;
+        std::uint8_t any = 0;
+    };
+    struct Unit
+    {
+        std::uint8_t unit = 0; //!< coder::UnitId index
+        std::array<Bound, kScenarioSlots> bounds{};
+    };
+
+    std::uint8_t bestStatic = 0; //!< coder::Scenario index
+    std::vector<Unit> units;
+    std::array<Bound, kScenarioSlots> noc{};
+
+    std::string encode() const;
+    static Result<StaticQueryResponse> decode(std::string_view payload);
+};
+
+/** Structured failure for one request. */
+struct WireError
+{
+    std::uint8_t code = 0; //!< ErrorCode index
+    std::string message;
+
+    std::string encode() const;
+    static Result<WireError> decode(std::string_view payload);
+};
+
+} // namespace bvf::server
+
+#endif // BVF_SERVER_PROTOCOL_HH

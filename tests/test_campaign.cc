@@ -387,6 +387,93 @@ TEST(Campaign, BrokenSpecExhaustsRetriesIntoQuarantine)
               std::string::npos);
 }
 
+TEST(Campaign, ParallelReportIsByteIdenticalToSerial)
+{
+    // The headline determinism claim: --jobs changes the wall clock and
+    // nothing else. Use enough apps that the pool actually interleaves.
+    const auto &suite = workload::evaluationSuite();
+    const std::size_t count = suite.size() < 6 ? suite.size() : 6;
+    const std::vector<workload::AppSpec> apps(
+        suite.begin(),
+        suite.begin() + static_cast<std::ptrdiff_t>(count));
+    core::ExperimentDriver driver(gpu::baselineConfig());
+
+    CampaignOptions serialOpts;
+    const auto serial = CampaignRunner(driver, serialOpts).run(apps);
+    ASSERT_TRUE(serial.ok());
+
+    CampaignOptions parallelOpts;
+    parallelOpts.jobs = 4;
+    const auto parallel =
+        CampaignRunner(driver, parallelOpts).run(apps);
+    ASSERT_TRUE(parallel.ok());
+
+    EXPECT_EQ(parallel.value().completed, serial.value().completed);
+    EXPECT_EQ(parallel.value().quarantined,
+              serial.value().quarantined);
+    EXPECT_EQ(parallel.value().render(), serial.value().render());
+}
+
+TEST(Campaign, ParallelJournalHoldsEveryResultAndSupportsResume)
+{
+    TempDir dir;
+    const auto apps = fastApps();
+    core::ExperimentDriver driver(gpu::baselineConfig());
+
+    CampaignOptions opts;
+    opts.jobs = 4;
+    opts.journalPath = dir.path("parallel.journal");
+    CampaignRunner runner(driver, opts);
+    const auto outcome = runner.run(apps);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().completed, 2);
+
+    // Workers append in completion order, which may differ from app
+    // order; resume keys records by abbreviation, so a journal written
+    // under --jobs 4 must restore a serial campaign completely.
+    CampaignJournal reader(opts.journalPath,
+                           runner.configDigest(apps));
+    const auto loaded = reader.load();
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().results.size(), apps.size());
+
+    CampaignOptions resumeOpts;
+    resumeOpts.journalPath = opts.journalPath;
+    resumeOpts.resume = true;
+    const auto resumed =
+        CampaignRunner(driver, resumeOpts).run(apps);
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.value().resumed, 2);
+    EXPECT_EQ(resumed.value().render(), outcome.value().render());
+}
+
+TEST(Campaign, ParallelQuarantineMatchesSerialCounters)
+{
+    // A broken spec in a parallel run must land in the same report
+    // slot with the same counters as a serial run.
+    workload::AppSpec broken = workload::findApp("GAU");
+    broken.name = "broken-app";
+    broken.abbr = "BRK";
+    broken.blockThreads = 33;
+    const std::vector<workload::AppSpec> apps = {
+        workload::findApp("GAU"), broken, workload::findApp("HWL")};
+
+    core::ExperimentDriver driver(gpu::baselineConfig());
+    CampaignOptions opts;
+    opts.maxRetries = 1;
+    opts.backoffBase = std::chrono::milliseconds(1);
+    opts.jobs = 4;
+    const auto outcome = CampaignRunner(driver, opts).run(apps);
+    ASSERT_TRUE(outcome.ok());
+    const auto &report = outcome.value();
+    ASSERT_EQ(report.results.size(), 3u);
+    EXPECT_EQ(report.results[1].abbr, "BRK");
+    EXPECT_EQ(report.results[1].status, AppStatus::Quarantined);
+    EXPECT_EQ(report.completed, 2);
+    EXPECT_EQ(report.quarantined, 1);
+    EXPECT_EQ(report.retried, 1);
+}
+
 /** A synthetic two-app report; golden tests need no simulation. */
 CampaignReport
 syntheticReport()

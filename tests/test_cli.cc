@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the shared CLI parsing layer: strict whole-token numeric
+ * conversion, range checks, the ArgStream cursor, and the canonical
+ * diagnostics that bvf_sim and bvf_lint both relied on before the
+ * parser was unified.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+
+namespace bvf::cli
+{
+namespace
+{
+
+/** what() of the UsageError @p fn throws; fails the test if none. */
+template <typename Fn>
+std::string
+diagnosticOf(Fn fn)
+{
+    try {
+        fn();
+    } catch (const UsageError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected a UsageError";
+    return "";
+}
+
+TEST(Parse, IntegerAcceptsTheWholeRange)
+{
+    EXPECT_EQ(parseInteger("--jobs", "1", 1, 64), 1);
+    EXPECT_EQ(parseInteger("--jobs", "64", 1, 64), 64);
+    EXPECT_EQ(parseInteger("--pivot", "-3", -10, 10), -3);
+}
+
+TEST(Parse, IntegerRejectsGarbageAndPartialTokens)
+{
+    EXPECT_THROW(parseInteger("--jobs", "abc", 1, 64), UsageError);
+    EXPECT_THROW(parseInteger("--jobs", "4x", 1, 64), UsageError);
+    EXPECT_THROW(parseInteger("--jobs", "", 1, 64), UsageError);
+    EXPECT_THROW(parseInteger("--jobs", "4.5", 1, 64), UsageError);
+    EXPECT_NE(diagnosticOf([] { parseInteger("--jobs", "abc", 1, 64); })
+                  .find("expected an integer"),
+              std::string::npos);
+}
+
+TEST(Parse, IntegerRejectsOutOfRangeWithBothBounds)
+{
+    EXPECT_THROW(parseInteger("--jobs", "0", 1, 64), UsageError);
+    EXPECT_THROW(parseInteger("--jobs", "65", 1, 64), UsageError);
+    const std::string msg =
+        diagnosticOf([] { parseInteger("--jobs", "65", 1, 64); });
+    EXPECT_NE(msg.find("--jobs"), std::string::npos);
+    EXPECT_NE(msg.find("[1, 64]"), std::string::npos);
+}
+
+TEST(Parse, NumberAcceptsDecimalAndScientific)
+{
+    EXPECT_DOUBLE_EQ(parseNumber("--vdd", "1.2", 0.0, 2.0), 1.2);
+    EXPECT_DOUBLE_EQ(parseNumber("--freq", "7e8", 0.0, 1e10), 7e8);
+    EXPECT_THROW(parseNumber("--vdd", "1.2v", 0.0, 2.0), UsageError);
+    EXPECT_THROW(parseNumber("--vdd", "9.9", 0.0, 2.0), UsageError);
+}
+
+TEST(Parse, U64AcceptsFullWidthAndRejectsNegatives)
+{
+    EXPECT_EQ(parseU64("--mask", "18446744073709551615"),
+              ~std::uint64_t{0});
+    EXPECT_EQ(parseU64("--mask", "0"), 0u);
+    // strtoull silently wraps negatives; the parser must not.
+    EXPECT_THROW(parseU64("--mask", "-1"), UsageError);
+    EXPECT_THROW(parseU64("--mask", "12 "), UsageError);
+}
+
+TEST(Parse, BadChoiceNamesFlagValueAndChoices)
+{
+    const std::string msg = diagnosticOf(
+        [] { badChoice("--sched", "fifo", "gto, lrr, two"); });
+    EXPECT_EQ(msg, "invalid value 'fifo' for --sched: "
+                   "expected one of gto, lrr, two");
+}
+
+TEST(ArgStream, WalksArgvSkippingTheProgramName)
+{
+    const char *argv[] = {"prog", "--pivot", "21", "all"};
+    ArgStream args(4, const_cast<char **>(argv));
+    std::string arg;
+    std::vector<std::string> seen;
+    while (args.next(arg)) {
+        if (arg == "--pivot")
+            seen.push_back("pivot=" + args.value(arg));
+        else
+            seen.push_back(arg);
+    }
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], "pivot=21");
+    EXPECT_EQ(seen[1], "all");
+    EXPECT_FALSE(args.next(arg)); // stays exhausted
+}
+
+TEST(ArgStream, MissingValueIsTheCanonicalDiagnostic)
+{
+    const char *argv[] = {"prog", "--arch"};
+    ArgStream args(2, const_cast<char **>(argv));
+    std::string arg;
+    ASSERT_TRUE(args.next(arg));
+    const std::string msg =
+        diagnosticOf([&] { args.value(arg); });
+    EXPECT_EQ(msg, "--arch requires a value");
+}
+
+TEST(Report, UsageErrorsExitWithStatusTwo)
+{
+    EXPECT_EQ(kExitUsage, 2);
+    EXPECT_EQ(reportUsage("bvf_sim", UsageError("unknown option '--x'")),
+              kExitUsage);
+}
+
+} // namespace
+} // namespace bvf::cli

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the bvfd metrics registry: histogram bucketing and
+ * quantile bounds, per-type request/response accounting, and the
+ * Prometheus-style rendering the /metrics endpoint serves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/metrics.hh"
+
+namespace bvf::server
+{
+namespace
+{
+
+using namespace std::chrono_literals;
+
+TEST(LatencyHistogram, EmptyHistogramReportsZero)
+{
+    LatencyHistogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.quantile(0.5), 0.0);
+    EXPECT_EQ(hist.quantile(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, BucketEdgesGrowTwofold)
+{
+    for (int i = 1; i < LatencyHistogram::kBuckets; ++i) {
+        EXPECT_DOUBLE_EQ(LatencyHistogram::bucketEdge(i),
+                         2.0 * LatencyHistogram::bucketEdge(i - 1));
+    }
+    EXPECT_DOUBLE_EQ(LatencyHistogram::bucketEdge(0), 1e-6);
+}
+
+TEST(LatencyHistogram, QuantileIsBoundedByItsBucket)
+{
+    LatencyHistogram hist;
+    for (int i = 0; i < 100; ++i)
+        hist.record(1ms);
+    EXPECT_EQ(hist.count(), 100u);
+    // A 1 ms sample lands in a bucket whose upper edge is within a
+    // factor of two of the true value.
+    const double q = hist.quantile(0.5);
+    EXPECT_GE(q, 1e-3 / 2.0);
+    EXPECT_LE(q, 2e-3 + 1e-9);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotonic)
+{
+    LatencyHistogram hist;
+    hist.record(2us);
+    hist.record(50us);
+    hist.record(900us);
+    hist.record(30ms);
+    hist.record(2s);
+    double last = 0.0;
+    for (const double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const double v = hist.quantile(q);
+        EXPECT_GE(v, last) << q;
+        last = v;
+    }
+}
+
+TEST(LatencyHistogram, ExtremeSamplesStayInRange)
+{
+    LatencyHistogram hist;
+    hist.record(0ns);                      // below the first edge
+    hist.record(std::chrono::hours(24));   // far past the last edge
+    hist.record(-5ms);                     // clock went backwards
+    EXPECT_EQ(hist.count(), 3u);
+    EXPECT_LE(hist.quantile(1.0),
+              LatencyHistogram::bucketEdge(LatencyHistogram::kBuckets - 1));
+}
+
+TEST(Metrics, CountsRequestsAndResponsesPerType)
+{
+    Metrics metrics;
+    metrics.onRequest(MsgType::PingRequest);
+    metrics.onRequest(MsgType::PingRequest);
+    metrics.onRequest(MsgType::ChipEnergyRequest);
+    metrics.onResponse(MsgType::PingResponse, 5us);
+    metrics.onResponse(MsgType::ErrorResponse, 1us);
+    EXPECT_EQ(metrics.requestsTotal(), 3u);
+    EXPECT_EQ(metrics.responsesTotal(), 2u);
+    EXPECT_EQ(metrics.protocolErrors(), 0u);
+    metrics.onProtocolError();
+    EXPECT_EQ(metrics.protocolErrors(), 1u);
+}
+
+TEST(Metrics, RenderExposesEveryFamily)
+{
+    Metrics metrics;
+    metrics.onConnection();
+    metrics.onRequest(MsgType::EvalCoderRequest);
+    metrics.onResponse(MsgType::EvalCoderResponse, 42us);
+    metrics.addBytesIn(100);
+    metrics.addBytesOut(250);
+
+    const std::string text = metrics.render(7, 4, 0.5);
+    for (const char *needle :
+         {"bvfd_requests_total{type=\"eval_coder\"} 1",
+          "bvfd_responses_total{type=\"eval_coder\"} 1",
+          "bvfd_requests_total{type=\"ping\"} 0",
+          "bvfd_protocol_errors_total 0", "bvfd_connections_total 1",
+          "bvfd_bytes_in_total 100", "bvfd_bytes_out_total 250",
+          "bvfd_latency_seconds{quantile=\"0.5\"}",
+          "bvfd_latency_seconds{quantile=\"0.99\"}",
+          "bvfd_latency_samples_total 1", "bvfd_queue_depth 7",
+          "bvfd_workers 4", "bvfd_worker_utilization 0.5"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Metrics, ConcurrentRecordingLosesNothing)
+{
+    Metrics metrics;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&metrics] {
+            for (int i = 0; i < kPerThread; ++i) {
+                metrics.onRequest(MsgType::PingRequest);
+                metrics.onResponse(MsgType::PingResponse, 1us);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(metrics.requestsTotal(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(metrics.responsesTotal(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+} // namespace
+} // namespace bvf::server

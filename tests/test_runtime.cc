@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the work-stealing runtime: pool execution and draining,
+ * nested submission, steal accounting, fork/join task groups with
+ * exception propagation, and the ordered reduction whose submission-
+ * order guarantee is what makes the parallel campaign deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "runtime/ordered.hh"
+#include "runtime/task_group.hh"
+#include "runtime/thread_pool.hh"
+
+namespace bvf::runtime
+{
+namespace
+{
+
+TEST(ThreadPool, ExecutesEverySubmittedTask)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 500; ++i)
+            pool.submit([&count] { ++count; });
+        pool.shutdown();
+    }
+    EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 200; ++i) {
+            pool.submit([&count] {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                ++count;
+            });
+        }
+        // No explicit shutdown: the destructor must not drop work.
+    }
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent)
+{
+    ThreadPool pool(2);
+    pool.submit([] {});
+    pool.shutdown();
+    pool.shutdown();
+    EXPECT_EQ(pool.stats().executed, 1u);
+}
+
+TEST(ThreadPool, NestedSubmissionFromAWorker)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(3);
+        TaskGroup group(pool);
+        for (int i = 0; i < 16; ++i) {
+            group.run([&] {
+                // Fan out from inside the pool: lands on the worker's
+                // own deque, stealable by idle peers.
+                for (int j = 0; j < 8; ++j)
+                    pool.submit([&count] { ++count; });
+            });
+        }
+        group.wait();
+        pool.shutdown();
+    }
+    EXPECT_EQ(count.load(), 16 * 8);
+}
+
+TEST(ThreadPool, CurrentWorkerIndex)
+{
+    EXPECT_EQ(ThreadPool::currentWorker(), -1);
+    ThreadPool pool(3);
+    TaskGroup group(pool);
+    std::atomic<bool> sane{true};
+    for (int i = 0; i < 32; ++i) {
+        group.run([&] {
+            const int w = ThreadPool::currentWorker();
+            if (w < 0 || w >= 3)
+                sane = false;
+        });
+    }
+    group.wait();
+    EXPECT_TRUE(sane.load());
+    EXPECT_EQ(ThreadPool::currentWorker(), -1);
+}
+
+TEST(ThreadPool, TasksOverlapInTime)
+{
+    // Four sleeps of 100 ms each must overlap on four workers; even a
+    // single hardware thread overlaps blocking sleeps, so this holds
+    // on any machine.
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 4; ++i) {
+        group.run([] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        });
+    }
+    group.wait();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 0.35);
+}
+
+TEST(ThreadPool, StatsCountExecutionAndUtilization)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    for (int i = 0; i < 64; ++i) {
+        group.run([] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        });
+    }
+    group.wait();
+    const PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.executed, 64u);
+    EXPECT_GT(stats.busyNanos, 0u);
+    EXPECT_GE(stats.utilization(2), 0.0);
+    EXPECT_LE(stats.utilization(2), 1.0);
+    EXPECT_EQ(stats.utilization(0), 0.0);
+}
+
+TEST(ThreadPool, StealsHappenWhenOneWorkerHoardsWork)
+{
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    std::atomic<int> count{0};
+    // One generator task fans 64 subtasks onto its own deque; the
+    // other three workers have nothing and must steal to help.
+    group.run([&] {
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&count] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(500));
+                ++count;
+            });
+        }
+    });
+    group.wait();
+    while (count.load() < 64)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_GT(pool.stats().steals, 0u);
+}
+
+TEST(TaskGroup, WaitOnEmptyGroupReturnsImmediately)
+{
+    ThreadPool pool(1);
+    TaskGroup group(pool);
+    group.wait();
+}
+
+TEST(TaskGroup, PropagatesTheFirstException)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+        group.run([&ran, i] {
+            ++ran;
+            if (i == 3)
+                throw std::runtime_error("task 3 failed");
+        });
+    }
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    // The failure did not cancel the rest of the group.
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(OrderedMap, ResultsComeBackInSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(64);
+    std::iota(items.begin(), items.end(), 0);
+    // Later items finish first (earlier ones sleep longer), so any
+    // completion-order merge would reverse the vector.
+    const auto results = parallelMapOrdered(
+        pool, std::span<const int>(items),
+        [](int item, std::size_t) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((64 - item) * 20));
+            return item * item;
+        });
+    ASSERT_EQ(results.size(), items.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], static_cast<int>(i * i)) << i;
+}
+
+TEST(OrderedMap, RepeatedRunsAreIdentical)
+{
+    std::vector<int> items(32);
+    std::iota(items.begin(), items.end(), 0);
+    auto runOnce = [&items] {
+        ThreadPool pool(4);
+        return parallelMapOrdered(
+            pool, std::span<const int>(items),
+            [](int item, std::size_t idx) {
+                return item * 31 + static_cast<int>(idx);
+            });
+    };
+    const auto first = runOnce();
+    for (int round = 0; round < 5; ++round)
+        EXPECT_EQ(runOnce(), first);
+}
+
+TEST(OrderedMap, EmptyInputYieldsEmptyOutput)
+{
+    ThreadPool pool(2);
+    const std::vector<int> none;
+    const auto results = parallelMapOrdered(
+        pool, std::span<const int>(none),
+        [](int item, std::size_t) { return item; });
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(OrderedMap, ExceptionsPropagateAfterQuiescence)
+{
+    ThreadPool pool(2);
+    std::vector<int> items(16);
+    std::iota(items.begin(), items.end(), 0);
+    EXPECT_THROW(
+        parallelMapOrdered(pool, std::span<const int>(items),
+                           [](int item, std::size_t) -> int {
+                               if (item == 7)
+                                   throw std::logic_error("boom");
+                               return item;
+                           }),
+        std::logic_error);
+}
+
+} // namespace
+} // namespace bvf::runtime

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * End-to-end daemon tests over real sockets: ping round-trips, strict
+ * in-order pipelined batches, the one-ErrorResponse-then-hangup framing
+ * policy, semantic errors that keep the connection alive, the HTTP
+ * /metrics ride-along, Unix-socket service, and graceful drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/protocol.hh"
+#include "server/server.hh"
+
+namespace bvf::server
+{
+namespace
+{
+
+/** A raw-socket protocol client with its own reassembly buffer. */
+class TestClient
+{
+  public:
+    explicit TestClient(int port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        addr.sin_addr.s_addr = inet_addr("127.0.0.1");
+        EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+    }
+
+    explicit TestClient(const std::string &unixPath)
+    {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+    }
+
+    ~TestClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    TestClient(const TestClient &) = delete;
+    TestClient &operator=(const TestClient &) = delete;
+
+    void
+    send(const std::string &bytes)
+    {
+        std::size_t sent = 0;
+        while (sent < bytes.size()) {
+            const ssize_t n =
+                ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+            ASSERT_GT(n, 0);
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    /** Read one frame, pulling more bytes from the socket as needed. */
+    Result<Frame>
+    readFrame()
+    {
+        for (;;) {
+            std::size_t consumed = 0;
+            auto parsed = parseFrame(buf_, consumed);
+            if (parsed.ok()) {
+                buf_.erase(0, consumed);
+                return parsed;
+            }
+            if (parsed.error().code != ErrorCode::Truncated)
+                return parsed;
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                return Error{ErrorCode::Io, "connection closed"};
+            buf_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    /** Drain the socket; @return true iff the peer closed cleanly. */
+    bool
+    readUntilEof(std::string *collected = nullptr)
+    {
+        for (;;) {
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n == 0)
+                return true;
+            if (n < 0)
+                return false;
+            if (collected)
+                collected->append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+std::string
+pingBytes(std::uint64_t nonce)
+{
+    Ping ping;
+    ping.nonce = nonce;
+    return encodeFrame(MsgType::PingRequest, ping.encode());
+}
+
+ServerOptions
+smallServer()
+{
+    ServerOptions options;
+    options.workers = 2;
+    return options;
+}
+
+TEST(Server, PingRoundTripsOverTcp)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+    ASSERT_GT(server.port(), 0);
+
+    TestClient client(server.port());
+    client.send(pingBytes(0xfeedface));
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame.ok()) << frame.error().describe();
+    EXPECT_EQ(frame.value().type, MsgType::PingResponse);
+    const auto pong = Ping::decode(frame.value().payload);
+    ASSERT_TRUE(pong.ok());
+    EXPECT_EQ(pong.value().nonce, 0xfeedfaceu);
+
+    EXPECT_EQ(server.metrics().requestsTotal(), 1u);
+    EXPECT_EQ(server.metrics().responsesTotal(), 1u);
+}
+
+TEST(Server, PipelinedBatchAnswersInRequestOrder)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    constexpr int kBatch = 32;
+    std::string batch;
+    for (int i = 0; i < kBatch; ++i)
+        batch += pingBytes(0x1000u + static_cast<std::uint64_t>(i));
+    client.send(batch); // one write: the whole pipeline at once
+
+    for (int i = 0; i < kBatch; ++i) {
+        const auto frame = client.readFrame();
+        ASSERT_TRUE(frame.ok()) << i;
+        ASSERT_EQ(frame.value().type, MsgType::PingResponse) << i;
+        const auto pong = Ping::decode(frame.value().payload);
+        ASSERT_TRUE(pong.ok()) << i;
+        // Strictly in request order, never completion order.
+        EXPECT_EQ(pong.value().nonce,
+                  0x1000u + static_cast<std::uint64_t>(i));
+    }
+}
+
+TEST(Server, FramingErrorGetsOneErrorResponseThenHangup)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    std::string bad = pingBytes(1);
+    bad[0] = 'X'; // destroy the magic
+    client.send(bad);
+
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame.value().type, MsgType::ErrorResponse);
+    const auto err = WireError::decode(frame.value().payload);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err.value().code,
+              static_cast<std::uint8_t>(ErrorCode::Corrupt));
+    // After a framing error the stream offset is unreliable, so the
+    // server must hang up rather than guess at resynchronization.
+    EXPECT_TRUE(client.readUntilEof());
+    EXPECT_GE(server.metrics().protocolErrors(), 1u);
+}
+
+TEST(Server, SemanticErrorKeepsTheConnectionAlive)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    BitDensityRequest req;
+    req.query.abbr = "ZZZ"; // decodes fine, but no such application
+    client.send(encodeFrame(MsgType::BitDensityRequest, req.encode()));
+
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame.value().type, MsgType::ErrorResponse);
+
+    // The frame was well-formed, so the connection survives and the
+    // next request is served normally.
+    client.send(pingBytes(7));
+    const auto pong = client.readFrame();
+    ASSERT_TRUE(pong.ok());
+    EXPECT_EQ(pong.value().type, MsgType::PingResponse);
+}
+
+TEST(Server, MetricsRideAlongOverHttp)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    // Prime one counter so the scrape has something nonzero to show.
+    {
+        TestClient client(server.port());
+        client.send(pingBytes(1));
+        ASSERT_TRUE(client.readFrame().ok());
+    }
+
+    TestClient scraper(server.port());
+    scraper.send("GET /metrics HTTP/1.0\r\n\r\n");
+    std::string response;
+    EXPECT_TRUE(scraper.readUntilEof(&response));
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("bvfd_requests_total{type=\"ping\"} 1"),
+              std::string::npos);
+    // The same text Server::renderMetrics() returns directly.
+    EXPECT_NE(response.find("bvfd_workers 2"), std::string::npos);
+    EXPECT_NE(server.renderMetrics().find("bvfd_workers 2"),
+              std::string::npos);
+}
+
+TEST(Server, ServesTheSameProtocolOnAUnixSocket)
+{
+    const std::string path =
+        "/tmp/bvf-test-" + std::to_string(::getpid()) + ".sock";
+    ::unlink(path.c_str());
+
+    ServerOptions options = smallServer();
+    options.host.clear(); // Unix socket only
+    options.unixPath = path;
+    {
+        Server server(options);
+        ASSERT_TRUE(server.start().ok());
+        EXPECT_EQ(server.port(), 0); // no TCP listener
+
+        TestClient client(path);
+        client.send(pingBytes(0xabc));
+        const auto frame = client.readFrame();
+        ASSERT_TRUE(frame.ok());
+        const auto pong = Ping::decode(frame.value().payload);
+        ASSERT_TRUE(pong.ok());
+        EXPECT_EQ(pong.value().nonce, 0xabcu);
+    }
+    ::unlink(path.c_str());
+}
+
+TEST(Server, NothingToListenOnIsAStartError)
+{
+    ServerOptions options = smallServer();
+    options.host.clear();
+    options.unixPath.clear();
+    Server server(options);
+    EXPECT_FALSE(server.start().ok());
+}
+
+TEST(Server, WaitForStopUnblocksOnRequestStop)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+    std::thread stopper([&server] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        server.requestStop(); // async-signal-safe: what a handler does
+    });
+    server.waitForStop(); // must return once the stop is requested
+    stopper.join();
+    server.drain();
+}
+
+TEST(Server, DrainAnswersEverythingThenClosesConnections)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    client.send(pingBytes(5));
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame.ok()); // the request was served...
+
+    server.requestStop();
+    server.drain();
+    // ...and the drain closed the connection cleanly.
+    EXPECT_TRUE(client.readUntilEof());
+    EXPECT_EQ(server.metrics().requestsTotal(),
+              server.metrics().responsesTotal());
+    server.drain(); // idempotent
+}
+
+} // namespace
+} // namespace bvf::server
