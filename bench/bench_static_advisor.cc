@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Static coder advisor vs. exhaustive dynamic pivot sweeps.
+ *
+ * The advisor picks a VS register pivot per kernel from lane-affine
+ * analysis alone; the ground truth is an exhaustive sweep that encodes
+ * every register-file access under all 32 candidate pivots and keeps
+ * the densest. This bench runs both over the full evaluation suite and
+ * reports, per app: the advised and the dynamically best pivot, their
+ * measured coded densities, the measured gap, and the proven slack the
+ * advisor certified. The gap must never exceed the slack (bvf_sim
+ * --check-advice enforces the same invariant app by app); the summary
+ * quantifies how often the static pick is exactly optimal and how much
+ * density it gives up when it is not.
+ */
+
+#include <cstdio>
+
+#include "analysis/advisor.hh"
+#include "analysis/interpreter.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/pivot_sweep.hh"
+#include "gpu/gpu.hh"
+#include "workload/kernel_builder.hh"
+
+using namespace bvf;
+
+int
+main()
+{
+    const gpu::GpuConfig config = gpu::baselineConfig();
+
+    TextTable table("Static pivot advice vs exhaustive dynamic sweep "
+                    "(register file, raw VS-coded density)");
+    table.header({"App", "Advised", "Dyn best", "Adv dens", "Best dens",
+                  "Gap", "Slack", "Affine"});
+
+    int apps = 0;
+    int exact = 0;
+    int within_slack = 0;
+    double gap_sum = 0.0;
+    double gap_max = 0.0;
+    for (const auto &spec : workload::evaluationSuite()) {
+        isa::Program program = workload::buildProgram(spec);
+
+        analysis::AdvisorOptions opts;
+        opts.arch = config.arch;
+        opts.lineBytes = config.lineBytes;
+        const analysis::StaticAdvice advice = analysis::adviseProgram(
+            program, analysis::analyzeProgram(program), opts);
+
+        core::PivotSweepSink sweep;
+        gpu::Gpu machine(config, std::move(program), sweep);
+        machine.run();
+
+        const int advised = advice.pivot.bestPivot;
+        const int best = sweep.bestMeasuredPivot();
+        const double adv_density = sweep.count(advised).density();
+        const double best_density = sweep.count(best).density();
+        const double gap = best_density - adv_density;
+
+        ++apps;
+        if (gap <= 1e-12)
+            ++exact;
+        if (gap <= advice.pivot.provenSlack + 1e-9)
+            ++within_slack;
+        gap_sum += gap;
+        if (gap > gap_max)
+            gap_max = gap;
+
+        table.row({spec.abbr, strFormat("%d", advised),
+                   strFormat("%d", best), strFormat("%.4f", adv_density),
+                   strFormat("%.4f", best_density),
+                   strFormat("%.4f", gap),
+                   strFormat("%.4f", advice.pivot.provenSlack),
+                   strFormat("%d/%d", advice.pivot.affineSources,
+                             advice.pivot.totalSources)});
+    }
+    table.print();
+
+    std::printf("\napps %d, advised pivot dynamically optimal on %d "
+                "(%.1f%%), gap within proven slack on %d/%d\n",
+                apps, exact,
+                100.0 * static_cast<double>(exact)
+                    / static_cast<double>(apps),
+                within_slack, apps);
+    std::printf("mean density gap %.4f, worst %.4f\n",
+                gap_sum / static_cast<double>(apps), gap_max);
+    fatal_if(within_slack != apps,
+             "a measured gap exceeded its proven slack");
+    return 0;
+}

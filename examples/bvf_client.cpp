@@ -18,6 +18,8 @@
  *   density APP                per-unit encoded bit-1 density
  *   energy APP                 per-scenario chip energy
  *   static APP                 static predictor bounds (no simulation)
+ *   advise APP                 static coder advice: VS pivot ranking,
+ *                              specialized ISA mask, unit picks
  *   metrics                    scrape the /metrics exposition
  *
  * Options:
@@ -180,7 +182,7 @@ parse(int argc, char **argv)
     }
     if (o.command.empty()) {
         cli::dieUsage("no command (ping, eval-coder, density, energy, "
-                      "static, metrics)");
+                      "static, advise, metrics)");
     }
     if (o.port == 0 && o.unixPath.empty())
         cli::dieUsage("--port N or --unix PATH is required");
@@ -503,6 +505,55 @@ cmdStatic(const Options &o, int fd)
 }
 
 int
+cmdAdvise(const Options &o, int fd)
+{
+    StaticAdviceRequest req;
+    req.query = queryFor(o);
+    fatal_if(!writeAll(fd, encodeFrame(MsgType::StaticAdviceRequest,
+                                       req.encode())),
+             "write(): %s", std::strerror(errno));
+    std::string buf;
+    const Frame frame = recvFrame(fd, buf);
+    rejectError(frame);
+    const auto resp = StaticAdviceResponse::decode(frame.payload);
+    fatal_if(!resp.ok(), "bad advice response: %s",
+             resp.error().describe().c_str());
+    const StaticAdviceResponse &r = resp.value();
+    std::printf("%s: VS register pivot %u (proven slack %.4f, %u/%u "
+                "lane-affine sources)\n",
+                req.query.abbr.c_str(),
+                static_cast<unsigned>(r.bestPivot), r.provenSlack,
+                r.affineSources, r.totalSources);
+    const auto &best = r.pivotBounds[r.bestPivot];
+    if (best.any) {
+        std::printf("  advised-pivot density [%.4f, %.4f], score %.4f\n",
+                    best.lo, best.hi, r.pivotScores[r.bestPivot]);
+    }
+    std::printf("ISA mask: 0x%016llx%s\n",
+                static_cast<unsigned long long>(r.specializedMask),
+                r.specializedMask == r.defaultMask ? " (= Table 2)" : "");
+    if (r.defaultDensity.any) {
+        std::printf("  coded density [%.4f, %.4f] vs Table 2 "
+                    "[%.4f, %.4f]\n",
+                    r.specializedDensity.lo, r.specializedDensity.hi,
+                    r.defaultDensity.lo, r.defaultDensity.hi);
+    }
+    for (const auto &u : r.unitPicks) {
+        std::printf("  %-4s %s (%s)  NV [%.4f, %.4f]  VS [%.4f, %.4f]\n",
+                    coder::unitName(static_cast<coder::UnitId>(u.unit))
+                        .c_str(),
+                    coder::scenarioName(coder::allScenarios[u.pick])
+                        .c_str(),
+                    u.proven ? "proven" : "heuristic", u.nv.lo, u.nv.hi,
+                    u.vs.lo, u.vs.hi);
+    }
+    std::printf("best scenario under advised wiring: %s\n",
+                coder::scenarioName(coder::allScenarios[r.bestScenario])
+                    .c_str());
+    return 0;
+}
+
+int
 cmdMetrics(const Options &o, int fd)
 {
     const std::string get = "GET /metrics HTTP/1.0\r\n\r\n";
@@ -551,13 +602,16 @@ main(int argc, char **argv)
         rc = cmdEnergy(o, fd);
     else if (o.command == "static")
         rc = cmdStatic(o, fd);
+    else if (o.command == "advise")
+        rc = cmdAdvise(o, fd);
     else if (o.command == "metrics")
         rc = cmdMetrics(o, fd);
     else {
         ::close(fd);
         std::fprintf(stderr,
                      "bvf_client: unknown command '%s' (ping, "
-                     "eval-coder, density, energy, static, metrics)\n",
+                     "eval-coder, density, energy, static, advise, "
+                     "metrics)\n",
                      o.command.c_str());
         return cli::kExitUsage;
     }

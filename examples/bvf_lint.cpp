@@ -9,17 +9,27 @@
  * malformed reconvergence annotations.
  *
  * Usage:
- *   bvf_lint [--arch fermi|kepler|maxwell|pascal] [APP...]
+ *   bvf_lint [--arch fermi|kepler|maxwell|pascal] [--advise] [--json]
+ *            [APP...]
  *
  * With no APP arguments the whole 58-app suite is linted. Exit status
  * is 0 when every kernel is clean and 1 otherwise, so CI can gate on
  * it directly.
+ *
+ * --advise runs the static coder advisor on each kernel and prints a
+ * per-kernel report (proven per-pivot density bounds, the advised VS
+ * register pivot with its proven slack, the specialized ISA mask and
+ * per-unit NV-vs-VS picks). With --json the reports are emitted as one
+ * JSON array instead, for downstream tooling. Advice output never
+ * affects the exit status; only lint findings do.
  */
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "analysis/advisor.hh"
+#include "analysis/interpreter.hh"
 #include "analysis/lint.hh"
 #include "common/cli.hh"
 #include "workload/kernel_builder.hh"
@@ -29,29 +39,49 @@ using namespace bvf;
 namespace
 {
 
-std::vector<std::string>
-parse(int argc, char **argv)
+struct Options
 {
     std::vector<std::string> names;
+    isa::GpuArch arch = isa::GpuArch::Pascal;
+    bool advise = false;
+    bool json = false;
+};
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
     cli::ArgStream args(argc, argv);
     std::string arg;
     while (args.next(arg)) {
         if (arg == "--arch") {
-            // Accepted for symmetry with bvf_sim; the linter's
-            // diagnostics are architecture-independent, but the value
-            // is validated so typos still fail loudly.
+            // The linter's diagnostics are architecture-independent,
+            // but --advise specializes the ISA mask per architecture,
+            // and typos should fail loudly either way.
             const auto v = args.value(arg);
-            if (v != "fermi" && v != "kepler" && v != "maxwell"
-                && v != "pascal") {
+            if (v == "fermi")
+                opt.arch = isa::GpuArch::Fermi;
+            else if (v == "kepler")
+                opt.arch = isa::GpuArch::Kepler;
+            else if (v == "maxwell")
+                opt.arch = isa::GpuArch::Maxwell;
+            else if (v == "pascal")
+                opt.arch = isa::GpuArch::Pascal;
+            else
                 cli::badChoice(arg, v, "fermi, kepler, maxwell, pascal");
-            }
+        } else if (arg == "--advise") {
+            opt.advise = true;
+        } else if (arg == "--json") {
+            opt.json = true;
         } else if (arg.rfind("--", 0) == 0) {
             cli::dieUsage("unknown option '" + arg + "'");
         } else {
-            names.push_back(arg);
+            opt.names.push_back(arg);
         }
     }
-    return names;
+    if (opt.json && !opt.advise)
+        cli::dieUsage("--json requires --advise");
+    return opt;
 }
 
 } // namespace
@@ -59,12 +89,13 @@ parse(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> names;
+    Options opt;
     try {
-        names = parse(argc, argv);
+        opt = parse(argc, argv);
     } catch (const cli::UsageError &e) {
         return cli::reportUsage("bvf_lint", e);
     }
+    const std::vector<std::string> &names = opt.names;
 
     std::vector<workload::AppSpec> specs;
     if (names.empty()) {
@@ -75,21 +106,49 @@ main(int argc, char **argv)
             specs.push_back(workload::findApp(name));
     }
 
+    analysis::AdvisorOptions advisor_opts;
+    advisor_opts.arch = opt.arch;
+
     std::size_t total = 0;
+    bool first_json = true;
+    if (opt.json)
+        std::printf("[");
     for (const auto &spec : specs) {
         const isa::Program program = workload::buildProgram(spec);
         const auto findings = analysis::lintProgram(program);
         for (const auto &finding : findings) {
-            std::printf("%s: %s\n", spec.abbr.c_str(),
-                        finding.toString().c_str());
+            // In --json mode stdout carries only the JSON document;
+            // findings go to stderr so the stream stays parseable.
+            std::fprintf(opt.json ? stderr : stdout, "%s: %s\n",
+                         spec.abbr.c_str(), finding.toString().c_str());
         }
         total += findings.size();
+        if (opt.advise) {
+            const analysis::AnalysisResult analysis =
+                analysis::analyzeProgram(program);
+            const analysis::StaticAdvice advice =
+                analysis::adviseProgram(program, analysis, advisor_opts);
+            if (opt.json) {
+                std::printf("%s%s", first_json ? "" : ",\n",
+                            analysis::adviceJson(spec.abbr, advice)
+                                .c_str());
+                first_json = false;
+            } else {
+                std::printf("%s", analysis::renderAdviceReport(
+                                      spec.abbr, advice)
+                                      .c_str());
+            }
+        }
     }
+    if (opt.json)
+        std::printf("]\n");
     if (total) {
-        std::printf("bvf_lint: %zu finding(s) across %zu kernel(s)\n",
-                    total, specs.size());
+        std::fprintf(opt.json ? stderr : stdout,
+                     "bvf_lint: %zu finding(s) across %zu kernel(s)\n",
+                     total, specs.size());
         return 1;
     }
-    std::printf("bvf_lint: %zu kernel(s) clean\n", specs.size());
+    if (!opt.json)
+        std::printf("bvf_lint: %zu kernel(s) clean\n", specs.size());
     return 0;
 }

@@ -37,6 +37,13 @@
  *                         predictor's proven interval and fail loudly
  *                         on contradiction (incompatible with --ecc,
  *                         --fault-rate and the bvf6t disturb model)
+ *   --check-advice        after simulating, sweep all 32 VS register
+ *                         pivots dynamically and verify the static
+ *                         advisor: every measured per-pivot density
+ *                         must sit inside its proven interval, and the
+ *                         dynamic best pivot may beat the advised one
+ *                         by at most the proven slack (same
+ *                         incompatibilities as --check-static)
  *
  * Campaign options (any of these selects campaign mode):
  *   --journal FILE        crash-safe journal; every finished app is
@@ -64,9 +71,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/advisor.hh"
 #include "analysis/lint.hh"
 #include "campaign/campaign.hh"
 #include "campaign/golden.hh"
+#include "core/pivot_sweep.hh"
 #include "core/static_check.hh"
 #include "common/atomic_file.hh"
 #include "common/cli.hh"
@@ -108,6 +117,7 @@ struct Options
     bool list = false;
     bool analyze = false;
     bool checkStatic = false;
+    bool checkAdvice = false;
 
     // Campaign mode.
     bool campaign = false;
@@ -266,6 +276,8 @@ parse(int argc, char **argv)
             o.analyze = true;
         } else if (arg == "--check-static") {
             o.checkStatic = true;
+        } else if (arg == "--check-advice") {
+            o.checkAdvice = true;
         } else if (arg == "--list") {
             o.list = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -290,6 +302,14 @@ parse(int argc, char **argv)
         dieUsage("--check-static is incompatible with --ecc");
     if (o.checkStatic && o.faultRate > 0.0)
         dieUsage("--check-static is incompatible with --fault-rate");
+    if (o.checkAdvice && o.ecc)
+        dieUsage("--check-advice is incompatible with --ecc");
+    if (o.checkAdvice && o.faultRate > 0.0)
+        dieUsage("--check-advice is incompatible with --fault-rate");
+    if (o.checkAdvice && o.campaign)
+        dieUsage("--check-advice is not supported in campaign mode");
+    if (o.checkAdvice && o.analyze)
+        dieUsage("--check-advice needs a simulation; drop --analyze");
     return o;
 }
 
@@ -555,12 +575,33 @@ runOne(const Options &o, const workload::AppSpec &spec)
                                             o.pivot);
     }
 
+    // The advisor, like the static report, must see the program before
+    // it moves into the machine.
+    std::optional<analysis::StaticAdvice> advice;
+    if (o.checkAdvice) {
+        fatal_if(fault_cfg.anyFaults(),
+                 "--check-advice is incompatible with fault injection "
+                 "(the selected cell arms the read-disturb model)");
+        analysis::AdvisorOptions advisor_opts;
+        advisor_opts.arch = o.arch;
+        advisor_opts.lineBytes = config.lineBytes;
+        advice = analysis::adviseProgram(
+            program, analysis::analyzeProgram(program), advisor_opts);
+    }
+
     std::unique_ptr<fault::FaultSink> fault_sink;
     sram::AccessSink *sink = accountant.get();
     if (fault_cfg.anyFaults()) {
         fault_sink =
             std::make_unique<fault::FaultSink>(*accountant, fault_cfg);
         sink = fault_sink.get();
+    }
+
+    core::PivotSweepSink sweep;
+    std::optional<core::TeeSink> sweep_tee;
+    if (o.checkAdvice) {
+        sweep_tee.emplace(*sink, sweep);
+        sink = &*sweep_tee;
     }
 
     gpu::GpuStats stats;
@@ -598,6 +639,53 @@ runOne(const Options &o, const workload::AppSpec &spec)
                     coder::scenarioName(
                         static_report->prediction.bestStatic)
                         .c_str());
+    }
+
+    if (advice) {
+        constexpr double eps = 1e-9;
+        std::vector<std::string> violations;
+        for (int p = 0; p < 32; ++p) {
+            const auto &bound =
+                advice->pivot.bounds[static_cast<std::size_t>(p)];
+            const auto &measured = sweep.count(p);
+            if (measured.bits == 0)
+                continue; // vacuously consistent
+            if (!bound.any) {
+                violations.push_back(strFormat(
+                    "pivot %d: register traffic observed but the advisor "
+                    "proved the register file idle", p));
+                continue;
+            }
+            const double m = measured.density();
+            if (m < bound.lo - eps || m > bound.hi + eps) {
+                violations.push_back(strFormat(
+                    "pivot %d: measured density %.6f outside proven "
+                    "[%.6f, %.6f]", p, m, bound.lo, bound.hi));
+            }
+        }
+        const int dyn_best = sweep.bestMeasuredPivot();
+        const int advised = advice->pivot.bestPivot;
+        const double gap = sweep.count(dyn_best).density()
+                           - sweep.count(advised).density();
+        if (gap > advice->pivot.provenSlack + eps) {
+            violations.push_back(strFormat(
+                "dynamic best pivot %d beats advised pivot %d by %.6f, "
+                "more than the proven slack %.6f",
+                dyn_best, advised, gap, advice->pivot.provenSlack));
+        }
+        for (const auto &v : violations)
+            std::fprintf(stderr, "%s: %s\n", spec.abbr.c_str(), v.c_str());
+        fatal_if(!violations.empty(),
+                 "advice check failed for %s: %zu contradiction(s) "
+                 "between the advisor and the pivot sweep",
+                 spec.abbr.c_str(), violations.size());
+        std::printf("advice check OK: advised pivot %d (measured %.4f), "
+                    "dynamic best %d (measured %.4f), gap %.4f within "
+                    "proven slack %.4f over %llu register accesses\n",
+                    advised, sweep.count(advised).density(), dyn_best,
+                    sweep.count(dyn_best).density(), gap,
+                    advice->pivot.provenSlack,
+                    static_cast<unsigned long long>(sweep.accesses()));
     }
 
     power::ChipModelOptions array_opts;

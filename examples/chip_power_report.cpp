@@ -4,25 +4,79 @@
  * account all coding scenarios, and print a chip energy report with a
  * per-unit breakdown -- the per-app slice of the paper's Figures 16/18.
  *
- * Usage: chip_power_report [APP_ABBR] [28|40]
+ * Usage: chip_power_report [--node 28|40] [APP_ABBR] [28|40]
+ *
+ * The technology node may be given either as the --node flag or as a
+ * bare 28/40 token (the historical positional form).
  */
 
 #include <cstdio>
-#include <cstring>
+#include <string>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "core/experiment.hh"
 
 using namespace bvf;
 
+namespace
+{
+
+struct Options
+{
+    std::string abbr = "ATA";
+    circuit::TechNode node = circuit::TechNode::N28;
+};
+
+circuit::TechNode
+parseNode(const std::string &flag, const std::string &value)
+{
+    if (value == "28")
+        return circuit::TechNode::N28;
+    if (value == "40")
+        return circuit::TechNode::N40;
+    cli::badChoice(flag, value, "28, 40");
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    bool have_app = false;
+    cli::ArgStream args(argc, argv);
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--node") {
+            opt.node = parseNode(arg, args.value(arg));
+        } else if (arg.rfind("--", 0) == 0) {
+            cli::dieUsage("unknown option '" + arg + "'");
+        } else if (arg == "28" || arg == "40") {
+            opt.node = parseNode("node", arg);
+        } else if (!have_app) {
+            opt.abbr = arg;
+            have_app = true;
+        } else {
+            cli::dieUsage("unexpected argument '" + arg +
+                          "': usage is [--node 28|40] [APP_ABBR]");
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const std::string abbr = argc > 1 ? argv[1] : "ATA";
-    const bool is40 = argc > 2 && std::strcmp(argv[2], "40") == 0;
+    Options opt;
+    try {
+        opt = parse(argc, argv);
+    } catch (const cli::UsageError &e) {
+        return cli::reportUsage("chip_power_report", e);
+    }
 
-    const auto &spec = workload::findApp(abbr);
+    const auto &spec = workload::findApp(opt.abbr);
     std::printf("simulating %s (%s) on the Table 3 GPU...\n",
                 spec.name.c_str(), spec.abbr.c_str());
 
@@ -36,8 +90,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(run.gpuStats.noc.flits));
 
     core::Pricing pricing;
-    pricing.node = is40 ? circuit::TechNode::N28 : circuit::TechNode::N28;
-    pricing.node = is40 ? circuit::TechNode::N40 : circuit::TechNode::N28;
+    pricing.node = opt.node;
     const core::AppEnergy energy = driver.evaluate(run, pricing);
 
     const auto &base = energy.at(coder::Scenario::Baseline);

@@ -9,13 +9,15 @@
  * traffic, plus the per-app optimum -- quantifying how much a dynamic
  * pivot could add over static lane 21.
  *
- * Usage: pivot_explorer [APP_ABBR ...]
+ * Usage: pivot_explorer [--samples N] [APP_ABBR ...]
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "coder/vs_coder.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/app_spec.hh"
 #include "workload/value_model.hh"
@@ -24,6 +26,33 @@ using namespace bvf;
 
 namespace
 {
+
+struct Options
+{
+    std::vector<std::string> apps;
+    int samples = 3000;
+};
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    cli::ArgStream args(argc, argv);
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--samples") {
+            opt.samples =
+                cli::parseInteger(arg, args.value(arg), 1, 1000000);
+        } else if (arg.rfind("--", 0) == 0) {
+            cli::dieUsage("unknown option '" + arg + "'");
+        } else {
+            opt.apps.push_back(arg);
+        }
+    }
+    if (opt.apps.empty())
+        opt.apps = {"ATA", "BFS", "SGE", "HIS", "BH", "NW"};
+    return opt;
+}
 
 /** Mean coded one-density of warp tiles under a given pivot. */
 double
@@ -48,26 +77,25 @@ codedDensity(const workload::AppSpec &spec, int pivot, int samples)
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> apps;
-    for (int i = 1; i < argc; ++i)
-        apps.emplace_back(argv[i]);
-    if (apps.empty())
-        apps = {"ATA", "BFS", "SGE", "HIS", "BH", "NW"};
-
-    constexpr int samples = 3000;
+    Options opt;
+    try {
+        opt = parse(argc, argv);
+    } catch (const cli::UsageError &e) {
+        return cli::reportUsage("pivot_explorer", e);
+    }
 
     TextTable table("VS pivot-lane design space: coded 1-bit density");
     table.header({"App", "Pivot0", "Pivot16", "Pivot21", "Best", "At",
                   "Gain over 21"});
     double sum21 = 0.0, sum_best = 0.0;
-    for (const auto &abbr : apps) {
+    for (const auto &abbr : opt.apps) {
         const auto &spec = workload::findApp(abbr);
         double best = 0.0;
         int best_lane = 0;
         std::vector<double> density(32);
         for (int lane = 0; lane < 32; ++lane) {
             density[static_cast<std::size_t>(lane)] =
-                codedDensity(spec, lane, samples);
+                codedDensity(spec, lane, opt.samples);
             if (density[static_cast<std::size_t>(lane)] > best) {
                 best = density[static_cast<std::size_t>(lane)];
                 best_lane = lane;

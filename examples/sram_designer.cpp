@@ -5,14 +5,18 @@
  * evaluate the BVF proposal -- including the eDRAM alternative of
  * Section 7.2 and the BVF-6T reliability cliff of Section 7.1.
  *
- * Usage: sram_designer [28|40]
+ * Usage: sram_designer [--node 28|40] [28|40]
+ *
+ * The technology node may be given either as the --node flag or as a
+ * bare 28/40 token (the historical positional form).
  */
 
 #include <cstdio>
-#include <cstring>
+#include <string>
 
 #include "circuit/array_model.hh"
 #include "circuit/read_disturb.hh"
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
@@ -20,12 +24,47 @@
 using namespace bvf;
 using circuit::CellKind;
 
+namespace
+{
+
+circuit::TechNode
+parseNode(const std::string &flag, const std::string &value)
+{
+    if (value == "28")
+        return circuit::TechNode::N28;
+    if (value == "40")
+        return circuit::TechNode::N40;
+    cli::badChoice(flag, value, "28, 40");
+}
+
+circuit::TechNode
+parse(int argc, char **argv)
+{
+    circuit::TechNode node = circuit::TechNode::N28;
+    cli::ArgStream args(argc, argv);
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--node")
+            node = parseNode(arg, args.value(arg));
+        else if (arg.rfind("--", 0) == 0)
+            cli::dieUsage("unknown option '" + arg + "'");
+        else
+            node = parseNode("node", arg);
+    }
+    return node;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const auto node = (argc > 1 && std::strcmp(argv[1], "40") == 0)
-                          ? circuit::TechNode::N40
-                          : circuit::TechNode::N28;
+    circuit::TechNode node;
+    try {
+        node = parse(argc, argv);
+    } catch (const cli::UsageError &e) {
+        return cli::reportUsage("sram_designer", e);
+    }
     const auto &tech = circuit::techParams(node);
 
     // --- 1. per-bit energies across voltage --------------------------

@@ -3,8 +3,9 @@
 #
 # Starts bvfd on an ephemeral port, scrapes the bound port from its
 # stdout announcement, drives every request type through bvf_client
-# (pipelined pings, coder evaluation, static predictor, chip energy,
-# bit density), checks the /metrics exposition counted all of it, then
+# (pipelined pings, coder evaluation, static predictor, static coder
+# advice, chip energy, bit density), checks the /metrics exposition
+# counted all of it, then
 # sends SIGTERM and asserts a clean drain: exit status 0, the drained
 # log line, and the exiting banner.
 #
@@ -64,6 +65,9 @@ client eval-coder nv deadbeefcafef00d 0011223344556677 \
     > "$WORK/eval.out"
 grep -q "^coder nv:" "$WORK/eval.out" || fail "eval-coder gave no result"
 client static KMN > "$WORK/static.out"
+client advise KMN > "$WORK/advise.out"
+grep -q "VS register pivot" "$WORK/advise.out" \
+    || fail "advise gave no pivot ranking"
 client density BFS > "$WORK/density.out"
 client energy KMN > "$WORK/energy.out"
 
@@ -76,6 +80,7 @@ check_metric() {
 check_metric 'bvfd_requests_total{type="ping"} 8'
 check_metric 'bvfd_responses_total{type="eval_coder"} 1'
 check_metric 'bvfd_responses_total{type="static_query"} 1'
+check_metric 'bvfd_responses_total{type="static_advice"} 1'
 check_metric 'bvfd_responses_total{type="bit_density"} 1'
 check_metric 'bvfd_responses_total{type="chip_energy"} 1'
 check_metric 'bvfd_protocol_errors_total 0'

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Lint-ratchet gate for CI.
+#
+# Runs bvf_lint over the whole evaluation suite and compares the set of
+# findings against the checked-in baseline (scripts/lint_baseline.txt):
+#
+#   * a finding the baseline does not list fails the job -- new lint
+#     findings are never allowed to land silently;
+#   * a baseline entry the fresh run no longer reports also fails the
+#     job -- the baseline must shrink in the same change that fixes a
+#     finding, so the ratchet can only turn toward zero.
+#
+# Usage: scripts/ci_lint_ratchet.sh [path/to/bvf_lint] [baseline]
+
+set -u
+
+LINT="${1:-build/examples/bvf_lint}"
+BASELINE="${2:-scripts/lint_baseline.txt}"
+WORK="$(mktemp -d /tmp/bvf-lint-ratchet.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+[ -x "$LINT" ] || fail "linter '$LINT' not found or not executable"
+[ -f "$BASELINE" ] || fail "baseline '$BASELINE' not found"
+
+# Whole suite; exit 1 (findings present) is expected when the baseline
+# accepts findings, so only harder failures abort here.
+"$LINT" > "$WORK/lint.out" 2>&1
+STATUS=$?
+[ "$STATUS" -le 1 ] || fail "bvf_lint exited with status $STATUS:
+$(cat "$WORK/lint.out")"
+
+# Findings are "ABBR: ..." lines; the linter's own summary lines start
+# with "bvf_lint:".
+grep -v '^bvf_lint:' "$WORK/lint.out" | sort > "$WORK/current"
+grep -v '^[[:space:]]*\(#\|$\)' "$BASELINE" | sort > "$WORK/accepted"
+
+comm -23 "$WORK/current" "$WORK/accepted" > "$WORK/new"
+comm -13 "$WORK/current" "$WORK/accepted" > "$WORK/stale"
+
+if [ -s "$WORK/new" ]; then
+    echo "new lint finding(s) not in $BASELINE:" >&2
+    sed 's/^/  + /' "$WORK/new" >&2
+    fail "fix them, or add them to the baseline in the same change"
+fi
+if [ -s "$WORK/stale" ]; then
+    echo "stale baseline entr(y/ies) no longer reported:" >&2
+    sed 's/^/  - /' "$WORK/stale" >&2
+    fail "delete them from $BASELINE so the ratchet cannot back-slide"
+fi
+
+COUNT="$(wc -l < "$WORK/current")"
+echo "PASS: lint findings match the baseline ($COUNT accepted)"
+exit 0

@@ -1,0 +1,179 @@
+#include "analysis/domains.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bvf::analysis
+{
+
+namespace
+{
+
+constexpr std::int64_t kMin32 = std::numeric_limits<std::int32_t>::min();
+constexpr std::int64_t kMax32 = std::numeric_limits<std::int32_t>::max();
+
+/**
+ * Clamp a 64-bit box back into a 32-bit interval. Wrapping arithmetic
+ * means an overflowing endpoint invalidates the whole box, not just the
+ * endpoint, so anything outside [INT32_MIN, INT32_MAX] goes to top.
+ */
+SignedInterval
+fit(std::int64_t lo, std::int64_t hi)
+{
+    if (lo < kMin32 || hi > kMax32)
+        return SignedInterval::top();
+    return {static_cast<std::int32_t>(lo), static_cast<std::int32_t>(hi)};
+}
+
+} // namespace
+
+std::string
+SignedInterval::toString() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "[%d, %d]", slo, shi);
+    return buf;
+}
+
+SignedInterval
+join(const SignedInterval &a, const SignedInterval &b)
+{
+    return {std::min(a.slo, b.slo), std::max(a.shi, b.shi)};
+}
+
+SignedInterval
+widen(const SignedInterval &prev, const SignedInterval &next)
+{
+    SignedInterval w = next;
+    if (next.slo < prev.slo)
+        w.slo = std::numeric_limits<std::int32_t>::min();
+    if (next.shi > prev.shi)
+        w.shi = std::numeric_limits<std::int32_t>::max();
+    return w;
+}
+
+SignedInterval
+siAdd(const SignedInterval &a, const SignedInterval &b)
+{
+    return fit(std::int64_t(a.slo) + b.slo, std::int64_t(a.shi) + b.shi);
+}
+
+SignedInterval
+siSub(const SignedInterval &a, const SignedInterval &b)
+{
+    return fit(std::int64_t(a.slo) - b.shi, std::int64_t(a.shi) - b.slo);
+}
+
+SignedInterval
+siMul(const SignedInterval &a, const SignedInterval &b)
+{
+    const std::int64_t c[4] = {
+        std::int64_t(a.slo) * b.slo,
+        std::int64_t(a.slo) * b.shi,
+        std::int64_t(a.shi) * b.slo,
+        std::int64_t(a.shi) * b.shi,
+    };
+    return fit(*std::min_element(c, c + 4), *std::max_element(c, c + 4));
+}
+
+SignedInterval
+siMinSigned(const SignedInterval &a, const SignedInterval &b)
+{
+    return {std::min(a.slo, b.slo), std::min(a.shi, b.shi)};
+}
+
+SignedInterval
+siMaxSigned(const SignedInterval &a, const SignedInterval &b)
+{
+    return {std::max(a.slo, b.slo), std::max(a.shi, b.shi)};
+}
+
+Bool3
+siCompare(isa::CmpOp cmp, const SignedInterval &a, const SignedInterval &b)
+{
+    switch (cmp) {
+      case isa::CmpOp::Lt:
+        if (a.shi < b.slo)
+            return Bool3::True;
+        if (a.slo >= b.shi)
+            return Bool3::False;
+        return Bool3::Unknown;
+      case isa::CmpOp::Le:
+        if (a.shi <= b.slo)
+            return Bool3::True;
+        if (a.slo > b.shi)
+            return Bool3::False;
+        return Bool3::Unknown;
+      case isa::CmpOp::Gt:
+        return not3(siCompare(isa::CmpOp::Le, a, b));
+      case isa::CmpOp::Ge:
+        return not3(siCompare(isa::CmpOp::Lt, a, b));
+      case isa::CmpOp::Eq:
+        if (a.isConstant() && b.isConstant())
+            return a.slo == b.slo ? Bool3::True : Bool3::False;
+        if (a.shi < b.slo || b.shi < a.slo)
+            return Bool3::False;
+        return Bool3::Unknown;
+      case isa::CmpOp::Ne:
+        return not3(siCompare(isa::CmpOp::Eq, a, b));
+    }
+    return Bool3::Unknown;
+}
+
+bool
+LaneAffine::contains(const Word *lanes, int n) const
+{
+    if (!known)
+        return true;
+    for (int i = 1; i < n; ++i) {
+        if (lanes[i] != static_cast<Word>(lanes[0] + stride * Word(i)))
+            return false;
+    }
+    return true;
+}
+
+std::string
+LaneAffine::toString() const
+{
+    if (!known)
+        return "top";
+    if (stride == 0)
+        return "uniform";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "affine(stride %u)", stride);
+    return buf;
+}
+
+LaneAffine
+join(const LaneAffine &a, const LaneAffine &b)
+{
+    if (a.known && b.known && a.stride == b.stride)
+        return a;
+    return LaneAffine::top();
+}
+
+LaneAffine
+laAdd(const LaneAffine &a, const LaneAffine &b)
+{
+    if (a.known && b.known)
+        return LaneAffine::strided(a.stride + b.stride);
+    return LaneAffine::top();
+}
+
+LaneAffine
+laSub(const LaneAffine &a, const LaneAffine &b)
+{
+    if (a.known && b.known)
+        return LaneAffine::strided(a.stride - b.stride);
+    return LaneAffine::top();
+}
+
+LaneAffine
+laScale(const LaneAffine &a, Word c)
+{
+    if (a.known)
+        return LaneAffine::strided(a.stride * c);
+    return LaneAffine::top();
+}
+
+} // namespace bvf::analysis

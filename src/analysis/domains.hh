@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Additional abstract domains for the analysis-v2 product lattice.
+ *
+ * PR 3's interpreter hard-wired the KnownBits lattice. The product
+ * interpreter (analysis/product.hh + interpreter.hh) combines it with
+ * the two domains defined here:
+ *
+ *  - SignedInterval: a signed 32-bit interval [slo, shi]. It sees order
+ *    facts KnownBits misses (e.g. after `min` with a negative constant)
+ *    and sharpens SetP guards; the product reduction copies facts both
+ *    ways (reduceValue in interpreter.hh).
+ *
+ *  - LaneAffine: the lane-structure domain behind the static coder
+ *    advisor. A non-top element asserts that the full 32-lane warp
+ *    vector of a register is affine in the lane index: for every warp
+ *    and every pair of lanes i, j the values satisfy
+ *    v_i - v_j == stride * (i - j)  (mod 2^32). Uniform values are the
+ *    stride-0 case. Because this is a *relational* fact about a whole
+ *    warp vector -- not a per-thread fact -- it is only sound while
+ *    every write to the register was executed by all 32 lanes together;
+ *    the interpreter tops it out for writes under possibly-divergent
+ *    guards or inside divergent CFG regions.
+ *
+ * Predicate vectors get the small Uniformity lattice (Uniform <
+ * MayDiverge) used both to keep LaneAffine writes honest and to decide
+ * which branches can split a warp.
+ */
+
+#ifndef BVF_ANALYSIS_DOMAINS_HH
+#define BVF_ANALYSIS_DOMAINS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "analysis/known_bits.hh"
+#include "common/bitops.hh"
+#include "isa/opcode.hh"
+
+namespace bvf::analysis
+{
+
+// --- signed interval ---------------------------------------------------
+
+/**
+ * Signed 32-bit interval [slo, shi]. Invariant: slo <= shi (the factory
+ * functions and transfer functions maintain it; there is no empty
+ * element -- an impossible intersection is simply not applied, see
+ * reduceValue).
+ */
+struct SignedInterval
+{
+    std::int32_t slo = std::numeric_limits<std::int32_t>::min();
+    std::int32_t shi = std::numeric_limits<std::int32_t>::max();
+
+    /** The completely unknown value. */
+    static SignedInterval top() { return {}; }
+
+    /** Exact constant (reinterpreting the word as two's complement). */
+    static SignedInterval
+    constant(Word v)
+    {
+        const auto x = static_cast<std::int32_t>(v);
+        return {x, x};
+    }
+
+    /** The interval [lo, hi]; requires lo <= hi. */
+    static SignedInterval
+    range(std::int32_t lo, std::int32_t hi)
+    {
+        return {lo, hi};
+    }
+
+    bool
+    isTop() const
+    {
+        return slo == std::numeric_limits<std::int32_t>::min()
+               && shi == std::numeric_limits<std::int32_t>::max();
+    }
+
+    bool isConstant() const { return slo == shi; }
+
+    /** Does the concrete word @p v (as signed) lie in the interval? */
+    bool
+    contains(Word v) const
+    {
+        const auto x = static_cast<std::int32_t>(v);
+        return x >= slo && x <= shi;
+    }
+
+    bool operator==(const SignedInterval &o) const = default;
+
+    /** "[-8, 31]" rendering for diagnostics. */
+    std::string toString() const;
+};
+
+/** Join (least upper bound): the interval hull. */
+SignedInterval join(const SignedInterval &a, const SignedInterval &b);
+
+/**
+ * Widening: any endpoint still moving after the interpreter's widening
+ * threshold is sent straight to its extreme so loops terminate.
+ */
+SignedInterval widen(const SignedInterval &prev, const SignedInterval &next);
+
+/** a + b with 32-bit wrap; overflow anywhere in the box goes to top. */
+SignedInterval siAdd(const SignedInterval &a, const SignedInterval &b);
+
+/** a - b with 32-bit wrap; overflow anywhere in the box goes to top. */
+SignedInterval siSub(const SignedInterval &a, const SignedInterval &b);
+
+/** a * b with 32-bit wrap; overflow anywhere in the box goes to top. */
+SignedInterval siMul(const SignedInterval &a, const SignedInterval &b);
+
+/** Signed min/max, as Opcode::Min/Max compute them. */
+SignedInterval siMinSigned(const SignedInterval &a, const SignedInterval &b);
+SignedInterval siMaxSigned(const SignedInterval &a, const SignedInterval &b);
+
+/** Signed comparison as Opcode::SetP evaluates it. */
+Bool3 siCompare(isa::CmpOp cmp, const SignedInterval &a,
+                const SignedInterval &b);
+
+// --- lane-affine warp vectors ------------------------------------------
+
+/**
+ * Lane-affine abstraction of a full 32-lane warp vector; see the file
+ * comment. Top is "no lane relation known".
+ */
+struct LaneAffine
+{
+    bool known = false; //!< false => top
+    Word stride = 0;    //!< v_i - v_j == stride * (i - j) mod 2^32
+
+    static LaneAffine top() { return {}; }
+
+    /** All lanes provably equal (any uniform value, not only constants). */
+    static LaneAffine uniform() { return {true, 0}; }
+
+    /** Immediates and other compile-time constants are lane-uniform. */
+    static LaneAffine constant(Word) { return uniform(); }
+
+    static LaneAffine strided(Word s) { return {true, s}; }
+
+    bool isUniform() const { return known && stride == 0; }
+
+    /**
+     * Does the concrete 32-lane vector @p lanes satisfy the relation?
+     * Top contains every vector.
+     */
+    bool contains(const Word *lanes, int n = 32) const;
+
+    bool operator==(const LaneAffine &o) const = default;
+
+    /** "affine(stride 4)" / "uniform" / "top" rendering. */
+    std::string toString() const;
+};
+
+/** Join: equal strides agree, anything else forgets the relation. */
+LaneAffine join(const LaneAffine &a, const LaneAffine &b);
+
+/** The lattice has height 2; widening is the identity on the join. */
+inline LaneAffine
+widen(const LaneAffine &, const LaneAffine &next)
+{
+    return next;
+}
+
+/** Lanewise sum/difference of two affine vectors. */
+LaneAffine laAdd(const LaneAffine &a, const LaneAffine &b);
+LaneAffine laSub(const LaneAffine &a, const LaneAffine &b);
+
+/** Affine vector scaled by the lane-invariant constant @p c. */
+LaneAffine laScale(const LaneAffine &a, Word c);
+
+// --- predicate uniformity ----------------------------------------------
+
+/** Can the 32 lanes of a warp disagree on a predicate's value? */
+enum class Uniformity : std::uint8_t
+{
+    Uniform,    //!< all lanes provably hold the same value
+    MayDiverge, //!< lanes may disagree
+};
+
+constexpr Uniformity
+join(Uniformity a, Uniformity b)
+{
+    return a == b ? a : Uniformity::MayDiverge;
+}
+
+} // namespace bvf::analysis
+
+#endif // BVF_ANALYSIS_DOMAINS_HH

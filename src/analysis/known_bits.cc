@@ -212,6 +212,17 @@ join(const KnownBits &a, const KnownBits &b)
 }
 
 KnownBits
+widen(const KnownBits &prev, const KnownBits &next)
+{
+    if (next.lo >= prev.lo && next.hi <= prev.hi)
+        return next;
+    KnownBits w = next;
+    w.lo = 0;
+    w.hi = 0xffffffffu;
+    return w.normalized();
+}
+
+KnownBits
 kbAdd(const KnownBits &a, const KnownBits &b)
 {
     KnownBits r = rippleSum(a, b, false, Bool3::False);

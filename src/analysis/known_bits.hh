@@ -121,6 +121,13 @@ struct KnownBits
 /** Join (least upper bound): forgets bits/ranges the sides disagree on. */
 KnownBits join(const KnownBits &a, const KnownBits &b);
 
+/**
+ * Widening for the interval component: if @p next still grows past
+ * @p prev, the interval is sent straight to [0, 2^32) so loops
+ * terminate. The bit masks live in a finite lattice and pass through.
+ */
+KnownBits widen(const KnownBits &prev, const KnownBits &next);
+
 // --- transfer functions (mirror src/gpu/sm.cc exactly) -----------------
 
 /** a + b (32-bit wrapping). */

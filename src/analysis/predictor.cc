@@ -201,9 +201,11 @@ predictDensity(const isa::Program &program, const AnalysisResult &analysis,
         if (isa::readsSrcA(instr.op))
             add_reg(instr.srcA, operandA(in, instr));
         if (isa::readsSrcB(instr.op) && !instr.immB)
-            add_reg(instr.srcB, in.regs[instr.srcB % isa::numRegisters]);
+            add_reg(instr.srcB,
+                    in.regs[instr.srcB % isa::numRegisters].kb());
         if (isa::readsDst(instr.op))
-            add_reg(instr.dst, in.regs[instr.dst % isa::numRegisters]);
+            add_reg(instr.dst,
+                    in.regs[instr.dst % isa::numRegisters].kb());
 
         switch (instr.op) {
           case Opcode::Ldg:
@@ -212,7 +214,7 @@ predictDensity(const isa::Program &program, const AnalysisResult &analysis,
             break;
           case Opcode::Stg:
             global_sources.push_back(
-                fromKb(in.regs[instr.srcB % isa::numRegisters]));
+                fromKb(in.regs[instr.srcB % isa::numRegisters].kb()));
             global_store = true;
             break;
           case Opcode::Lds:
@@ -221,7 +223,7 @@ predictDensity(const isa::Program &program, const AnalysisResult &analysis,
             break;
           case Opcode::Sts:
             sme_sources.push_back(
-                fromKb(in.regs[instr.srcB % isa::numRegisters]));
+                fromKb(in.regs[instr.srcB % isa::numRegisters].kb()));
             break;
           case Opcode::Ldc:
             add_reg(instr.dst, analysis.memory.constant);

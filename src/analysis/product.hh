@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Parameterized product of abstract value domains.
+ *
+ * The PR 3 interpreter baked KnownBits into its state type; analysis v2
+ * runs a *product* of independent domains in one fixpoint. A member
+ * domain only has to provide the lattice vocabulary captured by the
+ * ValueDomain concept:
+ *
+ *   top / constant   the two distinguished elements every transfer can
+ *                    fall back to,
+ *   join             least upper bound (with ==, gives the fixpoint its
+ *                    convergence test),
+ *   widen(prev, j)   an upper bound of j that breaks infinite ascending
+ *                    chains (identity for finite-height domains).
+ *
+ * ProductValue applies all of these component-wise. Cross-domain
+ * *reduction* (components sharpening each other) is deliberately not
+ * part of the generic product -- it depends on the concrete domain mix,
+ * so the interpreter applies it at transfer-function boundaries (see
+ * reduceValue in interpreter.hh). Lattice laws for the product follow
+ * directly from the component laws: join is component-wise, so
+ * commutativity/associativity/idempotence lift pointwise, and the
+ * product order is the pointwise order.
+ */
+
+#ifndef BVF_ANALYSIS_PRODUCT_HH
+#define BVF_ANALYSIS_PRODUCT_HH
+
+#include <concepts>
+#include <tuple>
+#include <utility>
+
+#include "common/bitops.hh"
+
+namespace bvf::analysis
+{
+
+/** The interface a domain must offer to join a ProductValue. */
+template <typename D>
+concept ValueDomain = requires(const D a, const D b) {
+    { D::top() } -> std::same_as<D>;
+    { D::constant(Word{}) } -> std::same_as<D>;
+    { join(a, b) } -> std::same_as<D>;
+    { widen(a, b) } -> std::same_as<D>;
+    { a == b } -> std::convertible_to<bool>;
+};
+
+/** Component-wise product of independent abstract domains. */
+template <ValueDomain... Ds>
+struct ProductValue
+{
+    std::tuple<Ds...> parts{};
+
+    static ProductValue
+    top()
+    {
+        return {std::tuple<Ds...>{Ds::top()...}};
+    }
+
+    static ProductValue
+    constant(Word v)
+    {
+        return {std::tuple<Ds...>{Ds::constant(v)...}};
+    }
+
+    template <typename D> D &part() { return std::get<D>(parts); }
+    template <typename D> const D &
+    part() const
+    {
+        return std::get<D>(parts);
+    }
+
+    bool operator==(const ProductValue &o) const = default;
+
+    friend ProductValue
+    join(const ProductValue &a, const ProductValue &b)
+    {
+        return {[&]<std::size_t... I>(std::index_sequence<I...>) {
+            return std::tuple<Ds...>{
+                join(std::get<I>(a.parts), std::get<I>(b.parts))...};
+        }(std::index_sequence_for<Ds...>{})};
+    }
+
+    friend ProductValue
+    widen(const ProductValue &prev, const ProductValue &next)
+    {
+        return {[&]<std::size_t... I>(std::index_sequence<I...>) {
+            return std::tuple<Ds...>{
+                widen(std::get<I>(prev.parts), std::get<I>(next.parts))...};
+        }(std::index_sequence_for<Ds...>{})};
+    }
+};
+
+} // namespace bvf::analysis
+
+#endif // BVF_ANALYSIS_PRODUCT_HH

@@ -1,0 +1,42 @@
+#include "core/pivot_sweep.hh"
+
+namespace bvf::core
+{
+
+PivotSweepSink::PivotSweepSink() = default;
+
+void
+PivotSweepSink::onAccess(coder::UnitId unit, sram::AccessType,
+                         std::span<const Word> block,
+                         std::uint32_t activeMask, std::uint64_t)
+{
+    if (unit != coder::UnitId::Reg)
+        return;
+    ++accesses_;
+    for (int p = 0; p < 32; ++p) {
+        scratch_.assign(block.begin(), block.end());
+        coder::VsCoder(p).encode(scratch_);
+        PivotCount &c = counts_[static_cast<std::size_t>(p)];
+        for (std::size_t i = 0; i < scratch_.size(); ++i) {
+            if (!((activeMask >> i) & 1u))
+                continue;
+            c.ones += static_cast<std::uint64_t>(
+                hammingWeight(scratch_[i]));
+            c.bits += 32;
+        }
+    }
+}
+
+int
+PivotSweepSink::bestMeasuredPivot() const
+{
+    int best = 0;
+    for (int p = 1; p < 32; ++p) {
+        if (counts_[static_cast<std::size_t>(p)].density()
+            > counts_[static_cast<std::size_t>(best)].density())
+            best = p;
+    }
+    return best;
+}
+
+} // namespace bvf::core

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Exhaustive VS register-pivot sweep over one run's accesses.
+ *
+ * An AccessSink that VS-encodes every register-file block once per
+ * candidate pivot lane and accumulates the encoded one/bit counts, so a
+ * single simulation yields the measured coded density of all 32 pivot
+ * choices. This is the dynamic ground truth the static advisor
+ * (analysis/advisor.hh) is checked against: every measured per-pivot
+ * ratio must land inside the advisor's proven interval, and the
+ * dynamically best pivot may beat the statically advised one by at most
+ * the proven slack.
+ *
+ * Accounting semantics match EnergyAccountant::onAccess exactly: the
+ * full block (stale lanes included) is encoded, and only active-lane
+ * words are counted.
+ */
+
+#ifndef BVF_CORE_PIVOT_SWEEP_HH
+#define BVF_CORE_PIVOT_SWEEP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "coder/vs_coder.hh"
+#include "sram/access_sink.hh"
+
+namespace bvf::core
+{
+
+/** Measured encoded-bit statistics for one pivot choice. */
+struct PivotCount
+{
+    std::uint64_t ones = 0;
+    std::uint64_t bits = 0;
+
+    double
+    density() const
+    {
+        return bits == 0 ? 0.0 : static_cast<double>(ones)
+                                     / static_cast<double>(bits);
+    }
+};
+
+/** Sweeps all 32 VS pivots over the register-file access stream. */
+class PivotSweepSink : public sram::AccessSink
+{
+  public:
+    PivotSweepSink();
+
+    void onAccess(coder::UnitId unit, sram::AccessType type,
+                  std::span<const Word> block, std::uint32_t activeMask,
+                  std::uint64_t cycle) override;
+
+    void
+    onFetch(coder::UnitId, sram::AccessType, std::span<const Word64>,
+            std::uint64_t) override
+    {}
+
+    void
+    onNocPacket(int, std::span<const Word>, bool, std::uint64_t) override
+    {}
+
+    /** Measured counts for pivot lane @p pivot. */
+    const PivotCount &
+    count(int pivot) const
+    {
+        return counts_[static_cast<std::size_t>(pivot)];
+    }
+
+    /** Register accesses observed (all pivots see the same stream). */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /**
+     * Pivot lane with the greatest measured one-density (ties resolve
+     * to the lowest lane). Meaningless while accesses() == 0.
+     */
+    int bestMeasuredPivot() const;
+
+  private:
+    std::array<PivotCount, 32> counts_{};
+    std::uint64_t accesses_ = 0;
+    std::vector<Word> scratch_;
+};
+
+} // namespace bvf::core
+
+#endif // BVF_CORE_PIVOT_SWEEP_HH

@@ -69,6 +69,14 @@ class Gpu : public ChipInterface
      */
     void setCancellation(const CancelToken *token) { cancel_ = token; }
 
+    /** Install the issue-observation probe on every SM. */
+    void
+    setExecProbe(ExecProbe *probe)
+    {
+        for (auto &sm : sms_)
+            sm->setExecProbe(probe);
+    }
+
     // --- ChipInterface -------------------------------------------------
     void sendReadRequest(int smId, std::uint32_t lineAddr, bool instr,
                          std::uint64_t cycle) override;

@@ -312,6 +312,9 @@ Sm::issueWarp(int slot, std::uint64_t cycle)
     const Instruction &instr = program_.body[static_cast<std::size_t>(pc)];
     const std::uint32_t guard = warp.guardMask(instr);
 
+    if (probe_)
+        probe_->onIssue(smId_, pc, instr, warp, guard, cycle);
+
     // Memory instructions can stall structurally; bail before any
     // architectural effect or accounting.
     if (isa::isMemoryOp(instr.op)) {

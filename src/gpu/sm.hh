@@ -60,6 +60,39 @@ class ChipInterface
     virtual Word64 instrBinary(int pc) const = 0;
 };
 
+/**
+ * Validation hook observing every instruction the SM tries to issue,
+ * with the issuing warp's full architectural state. Used by the static
+ * analyzer's soundness tests to compare abstract facts against every
+ * concrete lane value at the matching pc. A memory instruction that
+ * stalls structurally re-fires the probe on its retry; observers state
+ * facts about the pre-issue state, which the stall does not change.
+ *
+ * The register file a probe sees is the microarchitectural one: a load
+ * that is still in flight has not yet written its destination, so that
+ * register holds the previous value until the response lands. The
+ * scoreboard guarantees no consumer can read it meanwhile -- probes
+ * asserting architectural facts must apply the same gate by skipping
+ * registers with Warp::regReadyCycle past the issue cycle.
+ */
+class ExecProbe
+{
+  public:
+    virtual ~ExecProbe() = default;
+
+    /**
+     * @param smId issuing SM
+     * @param pc program counter of the issued instruction
+     * @param instr the instruction at @p pc
+     * @param warp the issuing warp, pre-execution
+     * @param guard active lanes passing the instruction's guard
+     * @param cycle issue cycle, for scoreboard (readiness) queries
+     */
+    virtual void onIssue(int smId, int pc, const isa::Instruction &instr,
+                         const Warp &warp, std::uint32_t guard,
+                         std::uint64_t cycle) = 0;
+};
+
 /** Per-SM dynamic instruction statistics (feeds the power model). */
 struct SmStats
 {
@@ -113,6 +146,9 @@ class Sm
 
     const SmStats &stats() const { return stats_; }
     int smId() const { return smId_; }
+
+    /** Install (or clear, with nullptr) the issue-observation probe. */
+    void setExecProbe(ExecProbe *probe) { probe_ = probe; }
 
   private:
     /** Instructions per IFB refill. */
@@ -194,6 +230,7 @@ class Sm
     const isa::Program &program_;
     sram::AccessSink &sink_;
     ChipInterface &chip_;
+    ExecProbe *probe_ = nullptr;
 
     std::vector<Warp> warps_;
     std::vector<bool> slotUsed_;

@@ -309,4 +309,17 @@ bitPositionOneProbability(std::span<const Word64> corpus)
     return probs;
 }
 
+std::array<std::uint32_t, static_cast<std::size_t>(Opcode::NumOpcodes)>
+opcodeHistogram(const std::vector<Instruction> &body)
+{
+    std::array<std::uint32_t, static_cast<std::size_t>(Opcode::NumOpcodes)>
+        counts{};
+    for (const Instruction &instr : body) {
+        const auto op = static_cast<std::size_t>(instr.op);
+        if (op < counts.size())
+            ++counts[op];
+    }
+    return counts;
+}
+
 } // namespace bvf::isa

@@ -21,6 +21,7 @@
 #ifndef BVF_ISA_ENCODING_HH
 #define BVF_ISA_ENCODING_HH
 
+#include <array>
 #include <vector>
 
 #include "common/bitops.hh"
@@ -109,6 +110,10 @@ Word64 extractPreferenceMask(std::span<const Word64> corpus);
 /** Per-position probability of bit value 1 over a corpus (Fig. 14). */
 std::vector<double> bitPositionOneProbability(
     std::span<const Word64> corpus);
+
+/** Static opcode counts of a kernel body, indexed by Opcode value. */
+std::array<std::uint32_t, static_cast<std::size_t>(Opcode::NumOpcodes)>
+opcodeHistogram(const std::vector<Instruction> &body);
 
 } // namespace bvf::isa
 

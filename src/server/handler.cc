@@ -7,6 +7,8 @@
 
 #include <exception>
 
+#include "analysis/advisor.hh"
+#include "analysis/interpreter.hh"
 #include "coder/bvf_space.hh"
 #include "coder/isa_coder.hh"
 #include "coder/nv_coder.hh"
@@ -315,6 +317,69 @@ RequestHandler::handleStaticQuery(const Frame &request) const
 }
 
 Frame
+RequestHandler::handleStaticAdvice(const Frame &request) const
+{
+    const auto decoded = StaticAdviceRequest::decode(request.payload);
+    if (!decoded.ok())
+        return errorFrame(decoded.error());
+    const AppQuery &q = decoded.value().query;
+
+    return guarded([&] {
+        const workload::AppSpec &spec = workload::findApp(q.abbr);
+        const gpu::GpuConfig config = configFor(q);
+        const isa::Program program = workload::buildProgram(spec);
+
+        analysis::AdvisorOptions opts;
+        opts.arch = config.arch;
+        opts.lineBytes = config.lineBytes;
+        const analysis::StaticAdvice advice = analysis::adviseProgram(
+            program, analysis::analyzeProgram(program), opts);
+
+        const auto wireBound = [](const analysis::DensityBound &b) {
+            return StaticAdviceResponse::Bound{
+                b.lo, b.hi, static_cast<std::uint8_t>(b.any ? 1 : 0)};
+        };
+
+        StaticAdviceResponse resp;
+        resp.bestPivot = static_cast<std::uint8_t>(advice.pivot.bestPivot);
+        resp.provenSlack = advice.pivot.provenSlack;
+        resp.affineSources =
+            static_cast<std::uint32_t>(advice.pivot.affineSources);
+        resp.totalSources =
+            static_cast<std::uint32_t>(advice.pivot.totalSources);
+        for (std::size_t p = 0; p < 32; ++p) {
+            resp.pivotBounds[p] = wireBound(advice.pivot.bounds[p]);
+            resp.pivotScores[p] = advice.pivot.score[p];
+        }
+        resp.defaultMask = advice.isa.defaultMask;
+        resp.specializedMask = advice.isa.specializedMask;
+        const auto any =
+            static_cast<std::uint8_t>(advice.isa.anyInstruction ? 1 : 0);
+        resp.defaultDensity = {advice.isa.defaultDensity.lo,
+                               advice.isa.defaultDensity.hi, any};
+        resp.specializedDensity = {advice.isa.specializedDensity.lo,
+                                   advice.isa.specializedDensity.hi, any};
+        resp.bestScenario = static_cast<std::uint8_t>(
+            coder::scenarioIndex(advice.bestScenario));
+        for (const analysis::UnitPick &pick : advice.unitPicks) {
+            StaticAdviceResponse::UnitPick u;
+            u.unit = static_cast<std::uint8_t>(pick.unit);
+            u.pick = static_cast<std::uint8_t>(
+                coder::scenarioIndex(pick.pick));
+            u.proven = static_cast<std::uint8_t>(pick.proven ? 1 : 0);
+            u.nv = wireBound(pick.nv);
+            u.vs = wireBound(pick.vs);
+            resp.unitPicks.push_back(u);
+        }
+
+        Frame out;
+        out.type = MsgType::StaticAdviceResponse;
+        out.payload = resp.encode();
+        return out;
+    });
+}
+
+Frame
 RequestHandler::handle(const Frame &request) const
 {
     switch (request.type) {
@@ -328,6 +393,8 @@ RequestHandler::handle(const Frame &request) const
         return handleChipEnergy(request);
       case MsgType::StaticQueryRequest:
         return handleStaticQuery(request);
+      case MsgType::StaticAdviceRequest:
+        return handleStaticAdvice(request);
       default:
         return errorFrame(Error{
             ErrorCode::InvalidArgument,

@@ -39,6 +39,7 @@ class RequestHandler
     Frame handleBitDensity(const Frame &request) const;
     Frame handleChipEnergy(const Frame &request) const;
     Frame handleStaticQuery(const Frame &request) const;
+    Frame handleStaticAdvice(const Frame &request) const;
 };
 
 /** Build an ErrorResponse frame from a structured error. */

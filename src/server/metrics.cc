@@ -83,10 +83,13 @@ Metrics::typeSlot(MsgType type)
       case MsgType::StaticQueryRequest:
       case MsgType::StaticQueryResponse:
         return 4;
-      case MsgType::ErrorResponse:
+      case MsgType::StaticAdviceRequest:
+      case MsgType::StaticAdviceResponse:
         return 5;
+      case MsgType::ErrorResponse:
+        return 6;
     }
-    return 5;
+    return 6;
 }
 
 void
@@ -128,7 +131,7 @@ Metrics::render(std::size_t queueDepth, int workers,
 {
     static const char *slotNames[kTypeSlots] = {
         "ping", "eval_coder", "bit_density", "chip_energy",
-        "static_query", "error",
+        "static_query", "static_advice", "error",
     };
     std::string out;
     out += "# bvfd metrics\n";

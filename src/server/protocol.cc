@@ -58,6 +58,8 @@ msgTypeName(MsgType type)
         return "chip-energy-request";
       case MsgType::StaticQueryRequest:
         return "static-query-request";
+      case MsgType::StaticAdviceRequest:
+        return "static-advice-request";
       case MsgType::PingResponse:
         return "ping-response";
       case MsgType::EvalCoderResponse:
@@ -68,6 +70,8 @@ msgTypeName(MsgType type)
         return "chip-energy-response";
       case MsgType::StaticQueryResponse:
         return "static-query-response";
+      case MsgType::StaticAdviceResponse:
+        return "static-advice-response";
       case MsgType::ErrorResponse:
         return "error-response";
     }
@@ -83,11 +87,13 @@ msgTypeKnown(std::uint8_t raw)
       case MsgType::BitDensityRequest:
       case MsgType::ChipEnergyRequest:
       case MsgType::StaticQueryRequest:
+      case MsgType::StaticAdviceRequest:
       case MsgType::PingResponse:
       case MsgType::EvalCoderResponse:
       case MsgType::BitDensityResponse:
       case MsgType::ChipEnergyResponse:
       case MsgType::StaticQueryResponse:
+      case MsgType::StaticAdviceResponse:
       case MsgType::ErrorResponse:
         return true;
     }
@@ -674,6 +680,95 @@ StaticQueryResponse::decode(std::string_view payload)
     }
     for (Bound &b : resp.noc) {
         if (!getBound(r, b))
+            return truncatedPayload();
+    }
+    if (!r.exhausted())
+        return trailingGarbage();
+    return resp;
+}
+
+std::string
+StaticAdviceRequest::encode() const
+{
+    WireWriter w;
+    putAppQuery(w, query);
+    return w.take();
+}
+
+Result<StaticAdviceRequest>
+StaticAdviceRequest::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    StaticAdviceRequest req;
+    if (!getAppQuery(r, req.query))
+        return truncatedPayload();
+    if (!r.exhausted())
+        return trailingGarbage();
+    if (auto valid = validateAppQuery(req.query); !valid.ok())
+        return valid.error();
+    return req;
+}
+
+std::string
+StaticAdviceResponse::encode() const
+{
+    WireWriter w;
+    w.putU8(bestPivot);
+    w.putF64(provenSlack);
+    w.putU32(affineSources);
+    w.putU32(totalSources);
+    for (const Bound &b : pivotBounds)
+        putBound(w, b);
+    for (const double s : pivotScores)
+        w.putF64(s);
+    w.putU64(defaultMask);
+    w.putU64(specializedMask);
+    putBound(w, defaultDensity);
+    putBound(w, specializedDensity);
+    w.putU8(bestScenario);
+    w.putU32(static_cast<std::uint32_t>(unitPicks.size()));
+    for (const UnitPick &u : unitPicks) {
+        w.putU8(u.unit);
+        w.putU8(u.pick);
+        w.putU8(u.proven);
+        putBound(w, u.nv);
+        putBound(w, u.vs);
+    }
+    return w.take();
+}
+
+Result<StaticAdviceResponse>
+StaticAdviceResponse::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    StaticAdviceResponse resp;
+    if (!r.getU8(resp.bestPivot) || !r.getF64(resp.provenSlack)
+        || !r.getU32(resp.affineSources) || !r.getU32(resp.totalSources))
+        return truncatedPayload();
+    if (resp.bestPivot >= 32)
+        return corrupt("pivot lane out of range");
+    for (Bound &b : resp.pivotBounds) {
+        if (!getBound(r, b))
+            return truncatedPayload();
+    }
+    for (double &s : resp.pivotScores) {
+        if (!r.getF64(s))
+            return truncatedPayload();
+    }
+    if (!r.getU64(resp.defaultMask) || !r.getU64(resp.specializedMask)
+        || !getBound(r, resp.defaultDensity)
+        || !getBound(r, resp.specializedDensity)
+        || !r.getU8(resp.bestScenario))
+        return truncatedPayload();
+    std::uint32_t count = 0;
+    if (!r.getU32(count))
+        return truncatedPayload();
+    if (count > 64)
+        return corrupt("unit pick count exceeds cap");
+    resp.unitPicks.resize(count);
+    for (UnitPick &u : resp.unitPicks) {
+        if (!r.getU8(u.unit) || !r.getU8(u.pick) || !r.getU8(u.proven)
+            || !getBound(r, u.nv) || !getBound(r, u.vs))
             return truncatedPayload();
     }
     if (!r.exhausted())

@@ -58,12 +58,14 @@ enum class MsgType : std::uint8_t
     BitDensityRequest = 0x03,
     ChipEnergyRequest = 0x04,
     StaticQueryRequest = 0x05,
+    StaticAdviceRequest = 0x06,
 
     PingResponse = 0x81,
     EvalCoderResponse = 0x82,
     BitDensityResponse = 0x83,
     ChipEnergyResponse = 0x84,
     StaticQueryResponse = 0x85,
+    StaticAdviceResponse = 0x86,
     ErrorResponse = 0xff,
 };
 
@@ -275,6 +277,55 @@ struct StaticQueryResponse
 
     std::string encode() const;
     static Result<StaticQueryResponse> decode(std::string_view payload);
+};
+
+/**
+ * Static advisor query: derive the coder wiring itself (VS register
+ * pivot, specialized ISA mask, per-unit NV-vs-VS picks) from the
+ * lane-aware analysis, without simulating. Only abbr and arch of the
+ * query matter; pivot/mask are outputs here, not inputs.
+ */
+struct StaticAdviceRequest
+{
+    AppQuery query;
+
+    std::string encode() const;
+    static Result<StaticAdviceRequest> decode(std::string_view payload);
+};
+
+struct StaticAdviceResponse
+{
+    using Bound = StaticQueryResponse::Bound;
+
+    struct UnitPick
+    {
+        std::uint8_t unit = 0;   //!< coder::UnitId index
+        std::uint8_t pick = 0;   //!< coder::Scenario index (NvOnly/VsOnly)
+        std::uint8_t proven = 0; //!< winner's interval clears the loser's
+        Bound nv;
+        Bound vs;
+    };
+
+    // VS register pivot ranking.
+    std::uint8_t bestPivot = 21;
+    double provenSlack = 1.0;
+    std::uint32_t affineSources = 0;
+    std::uint32_t totalSources = 0;
+    std::array<Bound, 32> pivotBounds{};
+    std::array<double, 32> pivotScores{};
+
+    // ISA mask specialization; the density bounds' any flag mirrors
+    // IsaAdvice::anyInstruction.
+    std::uint64_t defaultMask = 0;
+    std::uint64_t specializedMask = 0;
+    Bound defaultDensity{};
+    Bound specializedDensity{};
+
+    std::uint8_t bestScenario = 0; //!< coder::Scenario index
+    std::vector<UnitPick> unitPicks;
+
+    std::string encode() const;
+    static Result<StaticAdviceResponse> decode(std::string_view payload);
 };
 
 /** Structured failure for one request. */

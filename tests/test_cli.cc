@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -120,6 +123,65 @@ TEST(Report, UsageErrorsExitWithStatusTwo)
     EXPECT_EQ(kExitUsage, 2);
     EXPECT_EQ(reportUsage("bvf_sim", UsageError("unknown option '--x'")),
               kExitUsage);
+}
+
+/**
+ * Run an example front end with the given arguments; @return its exit
+ * status, with combined stdout+stderr in @p out. -1 if it did not
+ * exit normally.
+ */
+int
+runTool(const std::string &tool, const std::string &args,
+        std::string &out)
+{
+    const std::string cmd =
+        std::string(BVF_EXAMPLES_DIR) + "/" + tool + " " + args + " 2>&1";
+    out.clear();
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    if (!pipe)
+        return -1;
+    char chunk[512];
+    while (std::fgets(chunk, sizeof(chunk), pipe))
+        out += chunk;
+    const int status = ::pclose(pipe);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(ExitTwo, PortedFrontEndsRejectUnknownOptions)
+{
+    for (const char *tool :
+         {"pivot_explorer", "chip_power_report", "sram_designer"}) {
+        std::string out;
+        EXPECT_EQ(runTool(tool, "--bogus", out), kExitUsage) << tool;
+        EXPECT_NE(out.find("unknown option '--bogus'"),
+                  std::string::npos)
+            << tool << ": " << out;
+        // The diagnostic leads with the program name.
+        EXPECT_EQ(out.rfind(tool, 0), 0u) << tool << ": " << out;
+    }
+}
+
+TEST(ExitTwo, PortedFrontEndsValidateValues)
+{
+    std::string out;
+    // Flag value outside its range.
+    EXPECT_EQ(runTool("pivot_explorer", "--samples 0", out), kExitUsage);
+    EXPECT_NE(out.find("--samples"), std::string::npos) << out;
+
+    // Bad choice for the node, flag and positional spellings.
+    EXPECT_EQ(runTool("sram_designer", "--node 90", out), kExitUsage);
+    EXPECT_NE(out.find("expected one of 28, 40"), std::string::npos)
+        << out;
+    EXPECT_EQ(runTool("sram_designer", "90nm", out), kExitUsage);
+
+    // A flag that requires a value, given none.
+    EXPECT_EQ(runTool("chip_power_report", "--node", out), kExitUsage);
+    EXPECT_NE(out.find("--node requires a value"), std::string::npos)
+        << out;
+
+    // Excess positional arguments are refused, not silently dropped.
+    EXPECT_EQ(runTool("chip_power_report", "KMN TRI", out), kExitUsage);
+    EXPECT_NE(out.find("unexpected argument"), std::string::npos) << out;
 }
 
 } // namespace

@@ -143,7 +143,7 @@ TEST(InterpreterTest, JoinAtReconvergence)
     EXPECT_TRUE(join_state.regs[4].contains(0x0F));
     EXPECT_TRUE(join_state.regs[4].contains(0xF0));
     // Bits 8..31 remain known zero after the join.
-    EXPECT_EQ(join_state.regs[4].knownZero & 0xffffff00u, 0xffffff00u);
+    EXPECT_EQ(join_state.regs[4].kb().knownZero & 0xffffff00u, 0xffffff00u);
     // r4 written on every path to the join.
     EXPECT_TRUE(join_state.regWritten & (1ull << 4));
 }

@@ -102,16 +102,21 @@ TEST(Metrics, RenderExposesEveryFamily)
     metrics.addBytesIn(100);
     metrics.addBytesOut(250);
 
+    metrics.onRequest(MsgType::StaticAdviceRequest);
+    metrics.onResponse(MsgType::StaticAdviceResponse, 13us);
+
     const std::string text = metrics.render(7, 4, 0.5);
     for (const char *needle :
          {"bvfd_requests_total{type=\"eval_coder\"} 1",
           "bvfd_responses_total{type=\"eval_coder\"} 1",
+          "bvfd_requests_total{type=\"static_advice\"} 1",
+          "bvfd_responses_total{type=\"static_advice\"} 1",
           "bvfd_requests_total{type=\"ping\"} 0",
           "bvfd_protocol_errors_total 0", "bvfd_connections_total 1",
           "bvfd_bytes_in_total 100", "bvfd_bytes_out_total 250",
           "bvfd_latency_seconds{quantile=\"0.5\"}",
           "bvfd_latency_seconds{quantile=\"0.99\"}",
-          "bvfd_latency_samples_total 1", "bvfd_queue_depth 7",
+          "bvfd_latency_samples_total 2", "bvfd_queue_depth 7",
           "bvfd_workers 4", "bvfd_worker_utilization 0.5"}) {
         EXPECT_NE(text.find(needle), std::string::npos) << needle;
     }

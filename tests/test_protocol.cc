@@ -199,6 +199,64 @@ TEST(Messages, DecodeValidatesRanges)
     EXPECT_FALSE(StaticQueryRequest::decode(stat.encode()).ok());
 }
 
+TEST(Messages, StaticAdviceRoundTrip)
+{
+    StaticAdviceRequest req;
+    req.query.abbr = "KMN";
+    req.query.arch = 2;
+    const auto decodedReq = StaticAdviceRequest::decode(req.encode());
+    ASSERT_TRUE(decodedReq.ok());
+    EXPECT_EQ(decodedReq.value().query.abbr, "KMN");
+    EXPECT_EQ(decodedReq.value().query.arch, 2);
+
+    StaticAdviceResponse resp;
+    resp.bestPivot = 21;
+    resp.provenSlack = 0.125;
+    resp.affineSources = 46;
+    resp.totalSources = 104;
+    for (std::size_t p = 0; p < 32; ++p) {
+        resp.pivotBounds[p] = {0.01 * static_cast<double>(p),
+                               0.5 + 0.01 * static_cast<double>(p), 1};
+        resp.pivotScores[p] = 1.0 / (1.0 + static_cast<double>(p));
+    }
+    resp.defaultMask = 0x4818000000070201ull;
+    resp.specializedMask = 0x4818000000070203ull;
+    resp.defaultDensity = {0.70, 0.98, 1};
+    resp.specializedDensity = {0.72, 0.99, 1};
+    resp.bestScenario = 4;
+    resp.unitPicks.push_back({0, 2, 1, {0.1, 0.2, 1}, {0.3, 0.4, 1}});
+    resp.unitPicks.push_back({8, 1, 0, {0.5, 0.6, 1}, {0.0, 1.0, 0}});
+
+    const auto decoded = StaticAdviceResponse::decode(resp.encode());
+    ASSERT_TRUE(decoded.ok());
+    const StaticAdviceResponse &r = decoded.value();
+    EXPECT_EQ(r.bestPivot, resp.bestPivot);
+    EXPECT_EQ(r.provenSlack, resp.provenSlack);
+    EXPECT_EQ(r.affineSources, resp.affineSources);
+    EXPECT_EQ(r.totalSources, resp.totalSources);
+    for (std::size_t p = 0; p < 32; ++p) {
+        EXPECT_EQ(r.pivotBounds[p].lo, resp.pivotBounds[p].lo);
+        EXPECT_EQ(r.pivotBounds[p].hi, resp.pivotBounds[p].hi);
+        EXPECT_EQ(r.pivotBounds[p].any, resp.pivotBounds[p].any);
+        EXPECT_EQ(r.pivotScores[p], resp.pivotScores[p]);
+    }
+    EXPECT_EQ(r.defaultMask, resp.defaultMask);
+    EXPECT_EQ(r.specializedMask, resp.specializedMask);
+    EXPECT_EQ(r.bestScenario, resp.bestScenario);
+    ASSERT_EQ(r.unitPicks.size(), 2u);
+    EXPECT_EQ(r.unitPicks[1].unit, 8);
+    EXPECT_EQ(r.unitPicks[1].pick, 1);
+    EXPECT_EQ(r.unitPicks[1].proven, 0);
+    EXPECT_EQ(r.unitPicks[1].vs.any, 0);
+
+    // An out-of-range pivot lane must not decode.
+    resp.bestPivot = 32;
+    EXPECT_FALSE(StaticAdviceResponse::decode(resp.encode()).ok());
+    // Neither must an invalid query.
+    req.query.abbr = "";
+    EXPECT_FALSE(StaticAdviceRequest::decode(req.encode()).ok());
+}
+
 TEST(Messages, WireErrorRoundTrip)
 {
     WireError err;

@@ -226,6 +226,62 @@ TEST(OrderedMap, EmptyInputYieldsEmptyOutput)
     EXPECT_TRUE(results.empty());
 }
 
+TEST(TaskGroup, FirstExceptionWinsUnderWorkerLocalNestedSubmission)
+{
+    // The children are spawned from *inside* a worker task, so they
+    // take the worker-local deque path rather than the round-robin
+    // external one; the group's bookkeeping must be identical.
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> children_ran{0};
+    group.run([&group, &children_ran] {
+        for (int i = 0; i < 16; ++i) {
+            group.run([&children_ran, i] {
+                ++children_ran;
+                if (i == 5)
+                    throw std::runtime_error("child 5 failed");
+                if (i == 11)
+                    throw std::runtime_error("child 11 failed");
+            });
+        }
+    });
+    std::string what;
+    try {
+        group.wait();
+    } catch (const std::runtime_error &e) {
+        what = e.what();
+    }
+    // Exactly one of the two failures is rethrown (first one wins,
+    // the other is dropped)...
+    EXPECT_TRUE(what == "child 5 failed" || what == "child 11 failed")
+        << what;
+    // ...and the failure cancelled nothing: the join still covered
+    // every nested child.
+    EXPECT_EQ(children_ran.load(), 16);
+}
+
+TEST(OrderedMap, EmptyInputFromInsideAWorkerDoesNotDeadlock)
+{
+    // parallelMapOrdered must normally be called from outside the pool
+    // (the caller blocks in TaskGroup::wait()), but with an empty span
+    // it spawns nothing and the join is immediate, so even a worker
+    // may call it. A regression here hangs; the discovered-test
+    // timeout turns that into a failure.
+    ThreadPool pool(1); // one worker: any self-wait would deadlock
+    TaskGroup group(pool);
+    std::vector<int> sizes;
+    group.run([&pool, &sizes] {
+        const std::vector<int> none;
+        const auto results = parallelMapOrdered(
+            pool, std::span<const int>(none),
+            [](int item, std::size_t) { return item * 2; });
+        sizes.push_back(static_cast<int>(results.size()));
+    });
+    group.wait();
+    ASSERT_EQ(sizes.size(), 1u);
+    EXPECT_EQ(sizes[0], 0);
+}
+
 TEST(OrderedMap, ExceptionsPropagateAfterQuiescence)
 {
     ThreadPool pool(2);

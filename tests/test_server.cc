@@ -226,6 +226,33 @@ TEST(Server, SemanticErrorKeepsTheConnectionAlive)
     EXPECT_EQ(pong.value().type, MsgType::PingResponse);
 }
 
+TEST(Server, StaticAdviceRoundTripsOverTcp)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    StaticAdviceRequest req;
+    req.query.abbr = "KMN";
+    client.send(encodeFrame(MsgType::StaticAdviceRequest, req.encode()));
+
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(frame.value().type, MsgType::StaticAdviceResponse);
+    const auto resp =
+        StaticAdviceResponse::decode(frame.value().payload);
+    ASSERT_TRUE(resp.ok());
+    const StaticAdviceResponse &r = resp.value();
+    EXPECT_LT(r.bestPivot, 32);
+    EXPECT_GE(r.provenSlack, 0.0);
+    EXPECT_GT(r.totalSources, 0u);
+    EXPECT_GT(r.affineSources, 0u);
+    // The advised pivot's bound is a live register-file bound.
+    EXPECT_EQ(r.pivotBounds[r.bestPivot].any, 1);
+    EXPECT_NE(r.defaultMask, 0u);
+    EXPECT_FALSE(r.unitPicks.empty());
+}
+
 TEST(Server, MetricsRideAlongOverHttp)
 {
     Server server(smallServer());
