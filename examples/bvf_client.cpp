@@ -33,18 +33,29 @@
  *   --mask HEX    explicit ISA mask for eval-coder isa
  *   --node 28|40  --pstate 700|500|300  --cell bvf8t|bvf6t|8t|6t|edram
  *   --ecc         --cells-bitline N     (energy command)
+ *   --retries N      transport retries after the first attempt
+ *                    (default 0; each reconnects from scratch)
+ *   --backoff-ms N   first retry delay, doubled per retry (default 100)
+ *   --deadline-ms N  per-response wait budget (default 0 = forever)
+ *
+ * Transport failures -- connection refused, daemon hung up, response
+ * deadline expired, torn frame -- are retried; an ErrorResponse is the
+ * daemon's answer and is never retried.
  */
 
 #include <arpa/inet.h>
 #include <netdb.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuit/mem_cell.hh"
@@ -76,6 +87,20 @@ struct Options
         circuit::CellKind::SramBvf8T);
     std::uint8_t ecc = 0;
     std::uint32_t cellsBitline = 128;
+
+    int retries = 0;      //!< transport retries after the first try
+    int backoffMs = 100;  //!< first retry delay, doubled per retry
+    int deadlineMs = 0;   //!< per-response wait budget; 0 = forever
+};
+
+/**
+ * A failure of the pipe, not of the request: connect refused, daemon
+ * hung up, deadline expired, torn frame. Retryable on a fresh
+ * connection -- unlike an ErrorResponse, which is an answer.
+ */
+struct TransportError
+{
+    std::string what;
 };
 
 std::uint64_t
@@ -172,6 +197,14 @@ parse(int argc, char **argv)
         } else if (arg == "--cells-bitline") {
             o.cellsBitline = static_cast<std::uint32_t>(
                 cli::parseInteger(arg, args.value(arg), 1, 8192));
+        } else if (arg == "--retries") {
+            o.retries = cli::parseInteger(arg, args.value(arg), 0, 100);
+        } else if (arg == "--backoff-ms") {
+            o.backoffMs =
+                cli::parseInteger(arg, args.value(arg), 0, 60000);
+        } else if (arg == "--deadline-ms") {
+            o.deadlineMs =
+                cli::parseInteger(arg, args.value(arg), 0, 3600000);
         } else if (arg.rfind("--", 0) == 0) {
             cli::dieUsage("unknown option '" + arg + "'");
         } else if (o.command.empty()) {
@@ -189,7 +222,7 @@ parse(int argc, char **argv)
     return o;
 }
 
-/** Connect per the options; fatal() on failure. */
+/** Connect per the options; throws TransportError on failure. */
 int
 connectTo(const Options &o)
 {
@@ -202,11 +235,15 @@ connectTo(const Options &o)
                  "unix path '%s' is too long", o.unixPath.c_str());
         std::strncpy(addr.sun_path, o.unixPath.c_str(),
                      sizeof(addr.sun_path) - 1);
-        fatal_if(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                           sizeof(addr))
-                     != 0,
-                 "connect(%s): %s", o.unixPath.c_str(),
-                 std::strerror(errno));
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr))
+            != 0) {
+            const int err = errno;
+            ::close(fd);
+            throw TransportError{strFormat("connect(%s): %s",
+                                           o.unixPath.c_str(),
+                                           std::strerror(err))};
+        }
         return fd;
     }
 
@@ -217,8 +254,11 @@ connectTo(const Options &o)
     const std::string portStr = strFormat("%d", o.port);
     const int rc = ::getaddrinfo(o.host.c_str(), portStr.c_str(), &hints,
                                  &res);
-    fatal_if(rc != 0, "cannot resolve %s: %s", o.host.c_str(),
-             ::gai_strerror(rc));
+    if (rc != 0) {
+        throw TransportError{strFormat("cannot resolve %s: %s",
+                                       o.host.c_str(),
+                                       ::gai_strerror(rc))};
+    }
     int fd = -1;
     for (addrinfo *ai = res; ai; ai = ai->ai_next) {
         fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
@@ -230,7 +270,10 @@ connectTo(const Options &o)
         fd = -1;
     }
     ::freeaddrinfo(res);
-    fatal_if(fd < 0, "cannot connect to %s:%d", o.host.c_str(), o.port);
+    if (fd < 0) {
+        throw TransportError{strFormat("cannot connect to %s:%d",
+                                       o.host.c_str(), o.port)};
+    }
     return fd;
 }
 
@@ -251,10 +294,26 @@ writeAll(int fd, std::string_view bytes)
     return true;
 }
 
-/** Read until one whole frame parses out of @p buf. */
-Frame
-recvFrame(int fd, std::string &buf)
+/** writeAll or throw TransportError. */
+void
+sendAll(int fd, std::string_view bytes)
 {
+    if (!writeAll(fd, bytes)) {
+        throw TransportError{
+            strFormat("write(): %s", std::strerror(errno))};
+    }
+}
+
+/**
+ * Read until one whole frame parses out of @p buf, waiting at most
+ * deadlineMs (per response) when nonzero. Every failure mode here --
+ * timeout, hangup, torn frame -- is a TransportError: the stream is
+ * unusable and only a fresh connection can help.
+ */
+Frame
+recvFrame(const Options &o, int fd, std::string &buf)
+{
+    const auto start = std::chrono::steady_clock::now();
     for (;;) {
         std::size_t consumed = 0;
         auto parsed = parseFrame(buf, consumed);
@@ -262,15 +321,42 @@ recvFrame(int fd, std::string &buf)
             buf.erase(0, consumed);
             return std::move(parsed.value());
         }
-        fatal_if(parsed.error().code != ErrorCode::Truncated,
-                 "protocol error from daemon: %s",
-                 parsed.error().describe().c_str());
+        if (parsed.error().code != ErrorCode::Truncated) {
+            throw TransportError{
+                strFormat("protocol error from daemon: %s",
+                          parsed.error().describe().c_str())};
+        }
+        if (o.deadlineMs > 0) {
+            const auto spent =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            const long long left = o.deadlineMs - spent;
+            if (left <= 0)
+                throw TransportError{strFormat(
+                    "no response within %d ms", o.deadlineMs)};
+            pollfd p = {fd, POLLIN, 0};
+            const int rc =
+                ::poll(&p, 1, static_cast<int>(left));
+            if (rc < 0 && errno != EINTR) {
+                throw TransportError{
+                    strFormat("poll(): %s", std::strerror(errno))};
+            }
+            if (rc == 0)
+                throw TransportError{strFormat(
+                    "no response within %d ms", o.deadlineMs)};
+            if (rc < 0)
+                continue;
+        }
         char chunk[4096];
         const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-        fatal_if(n == 0, "daemon hung up mid-frame");
+        if (n == 0)
+            throw TransportError{"daemon hung up mid-frame"};
         if (n < 0) {
-            fatal_if(errno != EINTR, "read(): %s", std::strerror(errno));
-            continue;
+            if (errno == EINTR)
+                continue;
+            throw TransportError{
+                strFormat("read(): %s", std::strerror(errno))};
         }
         buf.append(chunk, static_cast<std::size_t>(n));
     }
@@ -303,11 +389,11 @@ cmdPing(const Options &o, int fd)
         ping.nonce = 0x1000u + static_cast<std::uint64_t>(i);
         batch += encodeFrame(MsgType::PingRequest, ping.encode());
     }
-    fatal_if(!writeAll(fd, batch), "write(): %s", std::strerror(errno));
+    sendAll(fd, batch);
 
     std::string buf;
     for (int i = 0; i < count; ++i) {
-        const Frame frame = recvFrame(fd, buf);
+        const Frame frame = recvFrame(o, fd, buf);
         rejectError(frame);
         fatal_if(frame.type != MsgType::PingResponse,
                  "expected ping-response, got %s",
@@ -348,11 +434,9 @@ cmdEvalCoder(const Options &o, int fd)
     for (std::size_t i = 1; i < o.args.size(); ++i)
         req.words.push_back(parseHex64("eval-coder word", o.args[i]));
 
-    fatal_if(!writeAll(fd, encodeFrame(MsgType::EvalCoderRequest,
-                                       req.encode())),
-             "write(): %s", std::strerror(errno));
+    sendAll(fd, encodeFrame(MsgType::EvalCoderRequest, req.encode()));
     std::string buf;
-    const Frame frame = recvFrame(fd, buf);
+    const Frame frame = recvFrame(o, fd, buf);
     rejectError(frame);
     const auto resp = EvalCoderResponse::decode(frame.payload);
     fatal_if(!resp.ok(), "bad eval-coder response: %s",
@@ -391,11 +475,9 @@ cmdDensity(const Options &o, int fd)
 {
     BitDensityRequest req;
     req.query = queryFor(o);
-    fatal_if(!writeAll(fd, encodeFrame(MsgType::BitDensityRequest,
-                                       req.encode())),
-             "write(): %s", std::strerror(errno));
+    sendAll(fd, encodeFrame(MsgType::BitDensityRequest, req.encode()));
     std::string buf;
-    const Frame frame = recvFrame(fd, buf);
+    const Frame frame = recvFrame(o, fd, buf);
     rejectError(frame);
     const auto resp = BitDensityResponse::decode(frame.payload);
     fatal_if(!resp.ok(), "bad density response: %s",
@@ -434,11 +516,9 @@ cmdEnergy(const Options &o, int fd)
     req.cell = o.cell;
     req.ecc = o.ecc;
     req.cellsBitline = o.cellsBitline;
-    fatal_if(!writeAll(fd, encodeFrame(MsgType::ChipEnergyRequest,
-                                       req.encode())),
-             "write(): %s", std::strerror(errno));
+    sendAll(fd, encodeFrame(MsgType::ChipEnergyRequest, req.encode()));
     std::string buf;
-    const Frame frame = recvFrame(fd, buf);
+    const Frame frame = recvFrame(o, fd, buf);
     rejectError(frame);
     const auto resp = ChipEnergyResponse::decode(frame.payload);
     fatal_if(!resp.ok(), "bad energy response: %s",
@@ -468,11 +548,9 @@ cmdStatic(const Options &o, int fd)
 {
     StaticQueryRequest req;
     req.query = queryFor(o);
-    fatal_if(!writeAll(fd, encodeFrame(MsgType::StaticQueryRequest,
-                                       req.encode())),
-             "write(): %s", std::strerror(errno));
+    sendAll(fd, encodeFrame(MsgType::StaticQueryRequest, req.encode()));
     std::string buf;
-    const Frame frame = recvFrame(fd, buf);
+    const Frame frame = recvFrame(o, fd, buf);
     rejectError(frame);
     const auto resp = StaticQueryResponse::decode(frame.payload);
     fatal_if(!resp.ok(), "bad static response: %s",
@@ -509,11 +587,9 @@ cmdAdvise(const Options &o, int fd)
 {
     StaticAdviceRequest req;
     req.query = queryFor(o);
-    fatal_if(!writeAll(fd, encodeFrame(MsgType::StaticAdviceRequest,
-                                       req.encode())),
-             "write(): %s", std::strerror(errno));
+    sendAll(fd, encodeFrame(MsgType::StaticAdviceRequest, req.encode()));
     std::string buf;
-    const Frame frame = recvFrame(fd, buf);
+    const Frame frame = recvFrame(o, fd, buf);
     rejectError(frame);
     const auto resp = StaticAdviceResponse::decode(frame.payload);
     fatal_if(!resp.ok(), "bad advice response: %s",
@@ -557,10 +633,22 @@ int
 cmdMetrics(const Options &o, int fd)
 {
     const std::string get = "GET /metrics HTTP/1.0\r\n\r\n";
-    fatal_if(!writeAll(fd, get), "write(): %s", std::strerror(errno));
+    sendAll(fd, get);
     std::string reply;
     char chunk[4096];
     for (;;) {
+        if (o.deadlineMs > 0) {
+            pollfd p = {fd, POLLIN, 0};
+            const int rc = ::poll(&p, 1, o.deadlineMs);
+            if (rc == 0) {
+                throw TransportError{strFormat(
+                    "no /metrics reply within %d ms", o.deadlineMs)};
+            }
+            if (rc < 0 && errno != EINTR) {
+                throw TransportError{
+                    strFormat("poll(): %s", std::strerror(errno))};
+            }
+        }
         const ssize_t n = ::read(fd, chunk, sizeof(chunk));
         if (n < 0 && errno == EINTR)
             continue;
@@ -568,8 +656,10 @@ cmdMetrics(const Options &o, int fd)
             break;
         reply.append(chunk, static_cast<std::size_t>(n));
     }
-    fatal_if(reply.empty(), "no /metrics reply from %s:%d",
-             o.host.c_str(), o.port);
+    if (reply.empty()) {
+        throw TransportError{strFormat("no /metrics reply from %s:%d",
+                                       o.host.c_str(), o.port)};
+    }
     const auto bodyAt = reply.find("\r\n\r\n");
     std::fputs(bodyAt == std::string::npos
                    ? reply.c_str()
@@ -590,24 +680,27 @@ main(int argc, char **argv)
         return cli::reportUsage("bvf_client", e);
     }
 
-    const int fd = connectTo(o);
-    int rc = 0;
-    if (o.command == "ping")
-        rc = cmdPing(o, fd);
-    else if (o.command == "eval-coder")
-        rc = cmdEvalCoder(o, fd);
-    else if (o.command == "density")
-        rc = cmdDensity(o, fd);
-    else if (o.command == "energy")
-        rc = cmdEnergy(o, fd);
-    else if (o.command == "static")
-        rc = cmdStatic(o, fd);
-    else if (o.command == "advise")
-        rc = cmdAdvise(o, fd);
-    else if (o.command == "metrics")
-        rc = cmdMetrics(o, fd);
-    else {
-        ::close(fd);
+    auto dispatch = [&](int fd) -> int {
+        if (o.command == "ping")
+            return cmdPing(o, fd);
+        if (o.command == "eval-coder")
+            return cmdEvalCoder(o, fd);
+        if (o.command == "density")
+            return cmdDensity(o, fd);
+        if (o.command == "energy")
+            return cmdEnergy(o, fd);
+        if (o.command == "static")
+            return cmdStatic(o, fd);
+        if (o.command == "advise")
+            return cmdAdvise(o, fd);
+        return cmdMetrics(o, fd);
+    };
+    const bool known =
+        o.command == "ping" || o.command == "eval-coder"
+        || o.command == "density" || o.command == "energy"
+        || o.command == "static" || o.command == "advise"
+        || o.command == "metrics";
+    if (!known) {
         std::fprintf(stderr,
                      "bvf_client: unknown command '%s' (ping, "
                      "eval-coder, density, energy, static, advise, "
@@ -615,6 +708,37 @@ main(int argc, char **argv)
                      o.command.c_str());
         return cli::kExitUsage;
     }
-    ::close(fd);
-    return rc;
+
+    // Each attempt reconnects from scratch: a failed attempt's stream
+    // position is unknowable, so resuming it could pair a stale
+    // response with a fresh request.
+    for (int attempt = 0;; ++attempt) {
+        int fd = -1;
+        try {
+            fd = connectTo(o);
+            const int rc = dispatch(fd);
+            ::close(fd);
+            return rc;
+        } catch (const TransportError &e) {
+            if (fd >= 0)
+                ::close(fd);
+            if (attempt >= o.retries) {
+                std::fprintf(
+                    stderr, "bvf_client: %s (gave up after %d "
+                            "attempt(s))\n",
+                    e.what.c_str(), attempt + 1);
+                return 1;
+            }
+            const long long delay =
+                static_cast<long long>(o.backoffMs)
+                << (attempt > 16 ? 16 : attempt);
+            std::fprintf(stderr,
+                         "bvf_client: %s; retrying in %lld ms "
+                         "(attempt %d/%d)\n",
+                         e.what.c_str(), delay, attempt + 2,
+                         o.retries + 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+    }
 }

@@ -31,6 +31,7 @@ enum class ErrorCode
     InvalidArgument, //!< caller passed something unusable
     Failed,      //!< operation ran and did not succeed
     Timeout,     //!< cancelled by a watchdog deadline
+    Overloaded,  //!< no capacity now; retry later (not a data error)
 };
 
 /** Display name, e.g. "corrupt". */
@@ -52,6 +53,8 @@ errorCodeName(ErrorCode code)
         return "failed";
       case ErrorCode::Timeout:
         return "timeout";
+      case ErrorCode::Overloaded:
+        return "overloaded";
     }
     return "?";
 }

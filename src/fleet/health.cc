@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Worker health, circuit breaker and backoff implementation.
+ */
+
+#include "fleet/health.hh"
+
+namespace bvf::fleet
+{
+
+std::string
+workerStateName(WorkerState state)
+{
+    switch (state) {
+      case WorkerState::Alive:
+        return "alive";
+      case WorkerState::Suspect:
+        return "suspect";
+      case WorkerState::Dead:
+        return "dead";
+    }
+    return "?";
+}
+
+void
+WorkerHealth::onSuccess()
+{
+    if (state_ == WorkerState::Dead)
+        ++revivals_;
+    state_ = WorkerState::Alive;
+    strikes_ = 0;
+}
+
+void
+WorkerHealth::onFailure()
+{
+    ++strikes_;
+    if (state_ == WorkerState::Alive) {
+        state_ = WorkerState::Suspect;
+    } else if (state_ == WorkerState::Suspect) {
+        state_ = WorkerState::Dead;
+        ++deaths_;
+    }
+}
+
+bool
+CircuitBreaker::allow(Clock::time_point now)
+{
+    if (!open_)
+        return true;
+    if (probeInFlight_)
+        return false;
+    if (now - openedAt_ < cooldown_)
+        return false;
+    probeInFlight_ = true; // half-open: exactly one probe at a time
+    return true;
+}
+
+void
+CircuitBreaker::onSuccess()
+{
+    open_ = false;
+    probeInFlight_ = false;
+    consecutiveFailures_ = 0;
+}
+
+void
+CircuitBreaker::onFailure(Clock::time_point now)
+{
+    probeInFlight_ = false;
+    ++consecutiveFailures_;
+    if (consecutiveFailures_ >= threshold_) {
+        if (!open_)
+            ++timesOpened_;
+        open_ = true;
+        openedAt_ = now;
+    }
+}
+
+std::chrono::milliseconds
+backoffDelay(std::chrono::milliseconds base, int attempt, Rng &rng)
+{
+    if (base.count() <= 0)
+        return std::chrono::milliseconds{0};
+    if (attempt > 20)
+        attempt = 20; // cap the envelope at ~2^20 * base
+    const std::uint64_t envelope =
+        static_cast<std::uint64_t>(base.count()) << attempt;
+    return std::chrono::milliseconds(
+        static_cast<long long>(rng.nextBounded(envelope + 1)));
+}
+
+} // namespace bvf::fleet

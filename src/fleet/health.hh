@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-worker failure detection for the fleet coordinator.
+ *
+ * Three cooperating pieces, all pure state machines with time injected
+ * by the caller (no hidden clock reads, so every transition is unit
+ * testable):
+ *
+ *  - WorkerHealth: alive -> suspect -> dead on consecutive transport
+ *    failures (a missed heartbeat or a request deadline both count),
+ *    back to alive on any successful round trip. "Suspect" exists so
+ *    one dropped packet does not eject a worker from the routing set:
+ *    a suspect worker is still routable, merely deprioritized, and
+ *    only a second strike kills it. A dead worker is revived by the
+ *    heartbeat loop the moment it answers a ping again, which is what
+ *    lets a chaos-restarted worker rejoin mid-campaign.
+ *
+ *  - CircuitBreaker: opens after a burst of consecutive failures so
+ *    the coordinator stops hammering a sick worker with live traffic;
+ *    after a cooldown it goes half-open and admits one probe, closing
+ *    on success. This is distinct from health: a breaker trips on
+ *    *application-visible* overload too (a worker answering Overloaded
+ *    is alive but must not receive more load).
+ *
+ *  - backoffDelay(): the PR 2 retry discipline (base doubled per
+ *    attempt) plus full jitter from a seeded Rng, so a thousand
+ *    clients whose worker died do not retry in lockstep.
+ */
+
+#ifndef BVF_FLEET_HEALTH_HH
+#define BVF_FLEET_HEALTH_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+
+namespace bvf::fleet
+{
+
+/** Liveness verdict for one worker. */
+enum class WorkerState : std::uint8_t
+{
+    Alive = 0,
+    Suspect = 1, //!< one strike; routable but deprioritized
+    Dead = 2,    //!< skipped by routing until a heartbeat revives it
+};
+
+/** Display name, e.g. "alive". */
+std::string workerStateName(WorkerState state);
+
+/** The alive/suspect/dead state machine for one worker. */
+class WorkerHealth
+{
+  public:
+    WorkerState state() const { return state_; }
+    int strikes() const { return strikes_; }
+
+    /** A request or heartbeat round-tripped: any state -> Alive. */
+    void onSuccess();
+
+    /**
+     * A transport failure (connect refused, deadline expired, torn
+     * frame). Alive -> Suspect; Suspect -> Dead.
+     */
+    void onFailure();
+
+    /** Number of Suspect->Dead / revival transitions seen (stats). */
+    std::uint64_t deaths() const { return deaths_; }
+    std::uint64_t revivals() const { return revivals_; }
+
+  private:
+    WorkerState state_ = WorkerState::Alive;
+    int strikes_ = 0;
+    std::uint64_t deaths_ = 0;
+    std::uint64_t revivals_ = 0;
+};
+
+/** Consecutive-failure circuit breaker with a half-open probe. */
+class CircuitBreaker
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    CircuitBreaker(int failureThreshold, std::chrono::milliseconds cooldown)
+        : threshold_(failureThreshold), cooldown_(cooldown)
+    {
+    }
+
+    /**
+     * May a request be sent at @p now? Closed: always. Open: only
+     * once the cooldown has elapsed, and then exactly one caller gets
+     * a true (the half-open probe) until its outcome is reported.
+     */
+    bool allow(Clock::time_point now);
+
+    /** The admitted request succeeded: close and reset. */
+    void onSuccess();
+
+    /** The admitted request failed at @p now: count, maybe open. */
+    void onFailure(Clock::time_point now);
+
+    bool open() const { return open_; }
+    std::uint64_t timesOpened() const { return timesOpened_; }
+
+  private:
+    int threshold_;
+    std::chrono::milliseconds cooldown_;
+    int consecutiveFailures_ = 0;
+    bool open_ = false;
+    bool probeInFlight_ = false;
+    Clock::time_point openedAt_{};
+    std::uint64_t timesOpened_ = 0;
+};
+
+/**
+ * Retry delay for attempt @p attempt (0-based): full jitter over the
+ * doubling envelope base * 2^attempt. Attempt 0 therefore waits in
+ * [0, base], attempt 1 in [0, 2*base], and so on -- the same doubling
+ * discipline as the campaign runner's backoffBase, decorrelated across
+ * clients by @p rng.
+ */
+std::chrono::milliseconds backoffDelay(std::chrono::milliseconds base,
+                                       int attempt, Rng &rng);
+
+} // namespace bvf::fleet
+
+#endif // BVF_FLEET_HEALTH_HH

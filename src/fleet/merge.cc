@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shard-journal merge implementation.
+ */
+
+#include "fleet/merge.hh"
+
+#include <cstring>
+#include <map>
+
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
+
+namespace bvf::fleet
+{
+
+using campaign::AppResult;
+using campaign::AppStatus;
+
+namespace
+{
+
+/** Compare double arrays as raw bit patterns. */
+bool
+bitsEqual(const std::array<double, coder::numScenarios> &a,
+          const std::array<double, coder::numScenarios> &b)
+{
+    return std::memcmp(a.data(), b.data(), sizeof(double) * a.size())
+           == 0;
+}
+
+} // namespace
+
+bool
+appResultsIdentical(const AppResult &a, const AppResult &b)
+{
+    if (a.name != b.name || a.abbr != b.abbr || a.status != b.status
+        || a.attempts != b.attempts || a.cycles != b.cycles
+        || a.instructions != b.instructions) {
+        return false;
+    }
+    if (!bitsEqual(a.chipEnergy, b.chipEnergy)
+        || !bitsEqual(a.bvfUnitsEnergy, b.bvfUnitsEnergy)) {
+        return false;
+    }
+    if (a.status == AppStatus::Quarantined
+        && (a.error.code != b.error.code
+            || a.error.message != b.error.message)) {
+        return false;
+    }
+    return true;
+}
+
+Result<MergeOutcome>
+mergeShardJournals(std::span<const std::string> shardPaths,
+                   std::uint32_t configCrc,
+                   std::span<const workload::AppSpec> apps)
+{
+    MergeOutcome out;
+    std::map<std::string, AppResult> byAbbr;
+
+    for (const std::string &path : shardPaths) {
+        if (!fileExists(path)) {
+            // The ring routed nothing here (or the worker finished
+            // nothing before dying and its jobs replayed elsewhere).
+            ++out.missingShards;
+            continue;
+        }
+        auto bytes = readFileBytes(path);
+        if (!bytes.ok())
+            return bytes.error();
+        auto load = campaign::parseJournal(bytes.value(), configCrc);
+        if (!load.ok())
+            return load.error();
+        if (load.value().salvaged) {
+            ++out.salvagedShards;
+            out.warnings.push_back(strFormat(
+                "shard %s salvaged: %s", path.c_str(),
+                load.value().warning.c_str()));
+        }
+        for (AppResult &r : load.value().results) {
+            auto it = byAbbr.find(r.abbr);
+            if (it == byAbbr.end()) {
+                byAbbr.emplace(r.abbr, std::move(r));
+                continue;
+            }
+            if (!appResultsIdentical(it->second, r)) {
+                return Error{
+                    ErrorCode::Corrupt,
+                    strFormat("app %s has conflicting results across "
+                              "shards (first seen before %s): two "
+                              "workers disagree under config %08x",
+                              r.abbr.c_str(), path.c_str(),
+                              configCrc)};
+            }
+            // Bit-identical duplicate: failover replay finished the
+            // same app on two workers. One copy is the truth.
+            ++out.duplicatesDropped;
+        }
+    }
+
+    out.report.configCrc = configCrc;
+    for (const workload::AppSpec &spec : apps) {
+        auto it = byAbbr.find(spec.abbr);
+        if (it == byAbbr.end()) {
+            return Error{
+                ErrorCode::Corrupt,
+                strFormat("app %s (%s) missing from every shard "
+                          "journal: exactly-once delivery broken",
+                          spec.abbr.c_str(), spec.name.c_str())};
+        }
+        const AppResult &r = it->second;
+        if (r.status == AppStatus::Completed)
+            ++out.report.completed;
+        else
+            ++out.report.quarantined;
+        if (r.attempts > 1)
+            ++out.report.retried;
+        out.report.results.push_back(std::move(it->second));
+        byAbbr.erase(it);
+    }
+
+    for (const auto &[abbr, r] : byAbbr) {
+        out.warnings.push_back(strFormat(
+            "shards contain app %s which is not in this campaign; "
+            "dropped",
+            abbr.c_str()));
+    }
+    return out;
+}
+
+} // namespace bvf::fleet

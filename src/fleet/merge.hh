@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bit-identical merge of per-worker shard journals.
+ *
+ * A fleet campaign leaves one journal per worker, each holding the
+ * applications that worker finished. The merge's contract is the whole
+ * point of the fleet design: the merged CampaignReport renders the
+ * exact bytes a serial `bvf_sim campaign` run of the same
+ * configuration produces, regardless of how many workers there were,
+ * how the ring sharded the apps, or how many failovers happened
+ * mid-run. Energies are raw IEEE-754 bit patterns end to end, so
+ * "identical" here means memcmp-identical, not approximately-equal.
+ *
+ * Rules, in the order they bite:
+ *
+ *  - A missing shard file is a zero-job shard (the ring may simply
+ *    never have routed anything there), not an error.
+ *  - A shard with a damaged tail is salvaged exactly like a serial
+ *    resume would: intact records count, the damage is reported in
+ *    MergeOutcome::warnings.
+ *  - The same application appearing in two shards is legitimate --
+ *    failover replay does that -- *if* the copies are bit-identical;
+ *    the duplicate is dropped and counted. Copies that differ mean two
+ *    workers computed different results for one app under one config,
+ *    which is exactly the double-count/corruption a merge must refuse:
+ *    structured Corrupt error.
+ *  - An application missing from every shard breaks exactly-once
+ *    delivery: structured error naming the app.
+ *
+ * Results are emitted in campaign (suite) order -- shard order and
+ * completion order are erased -- and the report counters are recomputed
+ * from the merged results, so they cannot drift from the lines below
+ * them.
+ */
+
+#ifndef BVF_FLEET_MERGE_HH
+#define BVF_FLEET_MERGE_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "common/result.hh"
+#include "workload/app_spec.hh"
+
+namespace bvf::fleet
+{
+
+/** What a shard-journal merge produced. */
+struct MergeOutcome
+{
+    campaign::CampaignReport report;
+    int duplicatesDropped = 0; //!< identical failover-replay copies
+    int salvagedShards = 0;    //!< shards with a damaged tail
+    int missingShards = 0;     //!< paths with no file (zero-job shards)
+    std::vector<std::string> warnings;
+};
+
+/**
+ * Are two app results the same to the bit? Energies compare as u64 bit
+ * patterns (NaN-safe, -0.0-exact); quarantined results compare their
+ * stored error too.
+ */
+bool appResultsIdentical(const campaign::AppResult &a,
+                         const campaign::AppResult &b);
+
+/**
+ * Merge the shard journals at @p shardPaths (all written under
+ * @p configCrc) into one report covering @p apps, applying the rules
+ * above. Errors: Corrupt for conflicting duplicates or an undamaged
+ * shard that fails to parse, NotFound-flavoured Corrupt for an app no
+ * shard delivered.
+ */
+Result<MergeOutcome>
+mergeShardJournals(std::span<const std::string> shardPaths,
+                   std::uint32_t configCrc,
+                   std::span<const workload::AppSpec> apps);
+
+} // namespace bvf::fleet
+
+#endif // BVF_FLEET_MERGE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Consistent-hash ring implementation.
+ */
+
+#include "fleet/ring.hh"
+
+#include <algorithm>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+
+namespace bvf::fleet
+{
+
+namespace
+{
+
+std::uint32_t
+hashBytes(std::string_view bytes)
+{
+    return crc32(bytes.data(), bytes.size());
+}
+
+} // namespace
+
+HashRing::HashRing(const std::vector<std::string> &workerIds)
+    : workers_(workerIds.size())
+{
+    points_.reserve(workers_ * kVirtualNodes);
+    for (std::size_t w = 0; w < workers_; ++w) {
+        for (int v = 0; v < kVirtualNodes; ++v) {
+            const std::string label =
+                strFormat("%s#%d", workerIds[w].c_str(), v);
+            points_.push_back({hashBytes(label), w});
+        }
+    }
+    std::sort(points_.begin(), points_.end(),
+              [](const Point &a, const Point &b) {
+                  // Tie-break on worker index so two workers whose
+                  // virtual nodes collide still sort deterministically.
+                  return a.hash != b.hash ? a.hash < b.hash
+                                          : a.worker < b.worker;
+              });
+}
+
+std::vector<std::size_t>
+HashRing::route(std::string_view key) const
+{
+    std::vector<std::size_t> order;
+    if (workers_ == 0)
+        return order;
+    order.reserve(workers_);
+
+    const std::uint32_t h = hashBytes(key);
+    auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                               [](const Point &p, std::uint32_t value) {
+                                   return p.hash < value;
+                               });
+
+    std::vector<bool> seen(workers_, false);
+    for (std::size_t walked = 0;
+         walked < points_.size() && order.size() < workers_; ++walked) {
+        if (it == points_.end())
+            it = points_.begin(); // wrap the circle
+        if (!seen[it->worker]) {
+            seen[it->worker] = true;
+            order.push_back(it->worker);
+        }
+        ++it;
+    }
+    return order;
+}
+
+std::size_t
+HashRing::primary(std::string_view key) const
+{
+    panic_if(workers_ == 0, "HashRing::primary() on an empty ring");
+    return route(key).front();
+}
+
+} // namespace bvf::fleet

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Worker client implementation: poll()-driven framed round trips.
+ */
+
+#include "fleet/worker_client.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace bvf::fleet
+{
+
+using server::Frame;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Remaining budget; <= 0 deadline means "infinite". */
+int
+remainingMs(Clock::time_point start, std::chrono::milliseconds deadline)
+{
+    if (deadline.count() <= 0)
+        return -1; // poll(): wait forever
+    const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Clock::now() - start);
+    const auto left = deadline - spent;
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/** Wait until @p fd is ready for @p events or the budget is gone. */
+Result<void>
+waitReady(int fd, short events, Clock::time_point start,
+          std::chrono::milliseconds deadline)
+{
+    for (;;) {
+        const int budget = remainingMs(start, deadline);
+        if (budget == 0)
+            return Error{ErrorCode::Timeout, "worker deadline expired"};
+        pollfd p = {fd, events, 0};
+        const int rc = ::poll(&p, 1, budget);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return Error{ErrorCode::Io, std::strerror(errno)};
+        }
+        if (rc == 0)
+            return Error{ErrorCode::Timeout, "worker deadline expired"};
+        if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+            // Readable-with-hangup still delivers buffered bytes.
+            if (!(p.revents & POLLIN) || !(events & POLLIN))
+                return Error{ErrorCode::Io, "worker connection lost"};
+        }
+        return {};
+    }
+}
+
+Result<void>
+writeAllWithin(int fd, std::string_view bytes, Clock::time_point start,
+               std::chrono::milliseconds deadline)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        auto ready = waitReady(fd, POLLOUT, start, deadline);
+        if (!ready.ok())
+            return ready.error();
+        const ssize_t n = ::send(fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+                continue;
+            return Error{ErrorCode::Io, std::strerror(errno)};
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return {};
+}
+
+} // namespace
+
+std::string
+WorkerAddress::id() const
+{
+    if (!unixPath.empty())
+        return "unix:" + unixPath;
+    return strFormat("%s:%d", host.c_str(), port);
+}
+
+Result<WorkerAddress>
+parseWorkerAddress(const std::string &spec)
+{
+    WorkerAddress addr;
+    if (spec.rfind("unix:", 0) == 0) {
+        addr.unixPath = spec.substr(5);
+        if (addr.unixPath.empty()) {
+            return Error{ErrorCode::InvalidArgument,
+                         "empty unix socket path in worker spec"};
+        }
+        return addr;
+    }
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0
+        || colon + 1 == spec.size()) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("worker spec '%s' is not HOST:PORT or "
+                               "unix:PATH",
+                               spec.c_str())};
+    }
+    addr.host = spec.substr(0, colon);
+    char *end = nullptr;
+    const long port = std::strtol(spec.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || port < 1 || port > 65535) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("bad port in worker spec '%s'",
+                               spec.c_str())};
+    }
+    addr.port = static_cast<int>(port);
+    return addr;
+}
+
+WorkerClient::WorkerClient(WorkerAddress address)
+    : address_(std::move(address))
+{
+}
+
+WorkerClient::~WorkerClient()
+{
+    closeAll();
+}
+
+void
+WorkerClient::closeAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : idle_)
+        ::close(fd);
+    idle_.clear();
+}
+
+Result<int>
+WorkerClient::connectWithin(std::chrono::milliseconds deadline)
+{
+    const auto start = Clock::now();
+    int fd = -1;
+    int rc = -1;
+    if (!address_.unixPath.empty()) {
+        fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+        if (fd < 0)
+            return Error{ErrorCode::Io, "socket(): out of descriptors"};
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (address_.unixPath.size() >= sizeof(addr.sun_path)) {
+            ::close(fd);
+            return Error{ErrorCode::InvalidArgument,
+                         "unix socket path too long"};
+        }
+        std::strncpy(addr.sun_path, address_.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } else {
+        fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+        if (fd < 0)
+            return Error{ErrorCode::Io, "socket(): out of descriptors"};
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(address_.port));
+        if (::inet_pton(AF_INET, address_.host.c_str(), &addr.sin_addr)
+            != 1) {
+            ::close(fd);
+            return Error{ErrorCode::InvalidArgument,
+                         strFormat("bad worker address '%s'",
+                                   address_.host.c_str())};
+        }
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    }
+
+    if (rc != 0 && errno == EINPROGRESS) {
+        auto ready = waitReady(fd, POLLOUT, start, deadline);
+        if (!ready.ok()) {
+            ::close(fd);
+            return ready.error();
+        }
+        int soErr = 0;
+        socklen_t len = sizeof(soErr);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len);
+        if (soErr != 0) {
+            ::close(fd);
+            return Error{ErrorCode::Io,
+                         strFormat("connect %s: %s",
+                                   address_.id().c_str(),
+                                   std::strerror(soErr))};
+        }
+    } else if (rc != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Error{ErrorCode::Io, strFormat("connect %s: %s",
+                                              address_.id().c_str(),
+                                              std::strerror(err))};
+    }
+    return fd;
+}
+
+Result<int>
+WorkerClient::checkout(std::chrono::milliseconds deadline)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!idle_.empty()) {
+            const int fd = idle_.back();
+            idle_.pop_back();
+            return fd;
+        }
+    }
+    return connectWithin(deadline);
+}
+
+void
+WorkerClient::checkin(int fd)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(fd);
+}
+
+Result<Frame>
+WorkerClient::request(const Frame &frame,
+                      std::chrono::milliseconds deadline)
+{
+    const auto start = Clock::now();
+    auto fd = checkout(deadline);
+    if (!fd.ok())
+        return fd.error();
+
+    const std::string bytes = encodeFrame(frame.type, frame.payload);
+    auto sent = writeAllWithin(fd.value(), bytes, start, deadline);
+    if (!sent.ok()) {
+        ::close(fd.value());
+        return sent.error();
+    }
+
+    std::string buf;
+    for (;;) {
+        std::size_t consumed = 0;
+        auto parsed = server::parseFrame(buf, consumed);
+        if (parsed.ok()) {
+            checkin(fd.value()); // clean stream; reuse the connection
+            return std::move(parsed.value());
+        }
+        if (parsed.error().code != ErrorCode::Truncated) {
+            ::close(fd.value()); // stream offset is unreliable now
+            return parsed.error();
+        }
+        auto ready = waitReady(fd.value(), POLLIN, start, deadline);
+        if (!ready.ok()) {
+            ::close(fd.value());
+            return ready.error();
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd.value(), chunk, sizeof(chunk), 0);
+        if (n == 0) {
+            ::close(fd.value());
+            return Error{ErrorCode::Io, "worker hung up mid-frame"};
+        }
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN
+                || errno == EWOULDBLOCK) {
+                continue;
+            }
+            const int err = errno;
+            ::close(fd.value());
+            return Error{ErrorCode::Io, std::strerror(err)};
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace bvf::fleet

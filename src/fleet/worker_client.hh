@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deadline-bounded protocol client for one bvfd worker.
+ *
+ * The coordinator's unit of I/O: send one CRC-framed request, read one
+ * framed response, never wait past a deadline. Every blocking step --
+ * connect, write, read -- goes through poll() with the remaining
+ * budget, so a worker that was SIGKILLed mid-request surfaces as
+ * ErrorCode::Timeout (or Io on a reset) instead of hanging the
+ * coordinator forever; the caller then marks the worker and fails the
+ * job over.
+ *
+ * Connections are pooled per worker: request() checks out an idle
+ * connection (dialing a fresh one when the pool is dry), performs the
+ * round trip, and returns the connection to the pool only on success.
+ * Any failure closes the socket -- after a timeout the stream position
+ * is unknowable, and a response to a request we gave up on must never
+ * be matched to the next request. Thread-safe: any number of pool
+ * workers may call request() concurrently; each gets its own
+ * connection.
+ */
+
+#ifndef BVF_FLEET_WORKER_CLIENT_HH
+#define BVF_FLEET_WORKER_CLIENT_HH
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+#include "server/protocol.hh"
+
+namespace bvf::fleet
+{
+
+/** Where one worker listens. TCP (host:port) or a Unix socket path. */
+struct WorkerAddress
+{
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::string unixPath; //!< non-empty selects Unix-domain transport
+
+    /** Stable routing/journal identifier, e.g. "127.0.0.1:7001". */
+    std::string id() const;
+};
+
+/**
+ * Parse "HOST:PORT" or "unix:PATH" into a WorkerAddress.
+ * InvalidArgument on anything else.
+ */
+Result<WorkerAddress> parseWorkerAddress(const std::string &spec);
+
+/** Pooled, deadline-bounded connection(s) to one worker. */
+class WorkerClient
+{
+  public:
+    explicit WorkerClient(WorkerAddress address);
+    ~WorkerClient();
+
+    WorkerClient(const WorkerClient &) = delete;
+    WorkerClient &operator=(const WorkerClient &) = delete;
+
+    /**
+     * One round trip within @p deadline (<= 0 means block forever).
+     * Io: connect/reset failures. Timeout: the deadline expired.
+     * Corrupt/Truncated/Unsupported: the response stream failed
+     * framing. The returned frame may itself be an ErrorResponse --
+     * that is an *application* answer from a healthy worker, which the
+     * coordinator treats very differently from a transport error.
+     */
+    Result<server::Frame> request(const server::Frame &frame,
+                                  std::chrono::milliseconds deadline);
+
+    /** Drop every pooled connection (e.g. after the worker died). */
+    void closeAll();
+
+    const WorkerAddress &address() const { return address_; }
+
+  private:
+    Result<int> connectWithin(std::chrono::milliseconds deadline);
+    Result<int> checkout(std::chrono::milliseconds deadline);
+    void checkin(int fd);
+
+    WorkerAddress address_;
+    std::mutex mutex_;
+    std::vector<int> idle_;
+};
+
+} // namespace bvf::fleet
+
+#endif // BVF_FLEET_WORKER_CLIENT_HH

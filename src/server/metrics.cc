@@ -107,6 +107,37 @@ Metrics::onResponse(MsgType type, std::chrono::nanoseconds latency)
     latency_.record(latency);
 }
 
+void
+Metrics::onError(MsgType requestType)
+{
+    errors_[static_cast<std::size_t>(typeSlot(requestType))].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Metrics::errors(MsgType requestType) const
+{
+    return errors_[static_cast<std::size_t>(typeSlot(requestType))].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+Metrics::errorsTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : errors_)
+        total += c.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+Metrics::uptimeSeconds() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                         - started_)
+        .count();
+}
+
 std::uint64_t
 Metrics::requestsTotal() const
 {
@@ -147,6 +178,12 @@ Metrics::render(std::size_t queueDepth, int workers,
             static_cast<unsigned long long>(
                 responses_[static_cast<std::size_t>(i)].load()));
     }
+    for (int i = 0; i < kTypeSlots; ++i) {
+        out += strFormat(
+            "bvfd_request_errors_total{type=\"%s\"} %llu\n", slotNames[i],
+            static_cast<unsigned long long>(
+                errors_[static_cast<std::size_t>(i)].load()));
+    }
     out += strFormat("bvfd_protocol_errors_total %llu\n",
                      static_cast<unsigned long long>(
                          protocolErrors_.load()));
@@ -167,6 +204,10 @@ Metrics::render(std::size_t queueDepth, int workers,
     out += strFormat("bvfd_queue_depth %zu\n", queueDepth);
     out += strFormat("bvfd_workers %d\n", workers);
     out += strFormat("bvfd_worker_utilization %g\n", utilization);
+    out += strFormat("bvfd_uptime_seconds %g\n", uptimeSeconds());
+    out += strFormat(
+        "bvfd_build_info{version=\"%s\",protocol=\"%u\"} 1\n",
+        kBuildVersion, static_cast<unsigned>(kProtocolVersion));
     return out;
 }
 

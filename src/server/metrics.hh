@@ -26,6 +26,12 @@
 namespace bvf::server
 {
 
+/**
+ * Version string exported through bvfd_build_info. Health checkers use
+ * it to spot a mixed-version fleet before it corrupts a campaign.
+ */
+constexpr const char *kBuildVersion = "0.6.0";
+
 /** Latency histogram: 2x buckets from 1us to ~17min, plus overflow. */
 class LatencyHistogram
 {
@@ -64,6 +70,14 @@ class Metrics
     /** Count one completed request with its service latency. */
     void onResponse(MsgType type, std::chrono::nanoseconds latency);
 
+    /**
+     * Count one request of @p requestType that was answered with an
+     * ErrorResponse. Keyed by the *request* type -- the response type
+     * of a failure is always ErrorResponse, which would collapse every
+     * failure into one bucket and hide which request family is sick.
+     */
+    void onError(MsgType requestType);
+
     /** Count one protocol violation (bad frame, refused request). */
     void onProtocolError() { protocolErrors_.fetch_add(1); }
 
@@ -84,7 +98,12 @@ class Metrics
 
     std::uint64_t requestsTotal() const;
     std::uint64_t responsesTotal() const;
+    std::uint64_t errorsTotal() const;
+    std::uint64_t errors(MsgType requestType) const;
     std::uint64_t protocolErrors() const { return protocolErrors_.load(); }
+
+    /** Seconds since this Metrics instance was constructed. */
+    double uptimeSeconds() const;
 
   private:
     /** Dense index for the per-type counters. */
@@ -93,11 +112,14 @@ class Metrics
 
     std::array<std::atomic<std::uint64_t>, kTypeSlots> requests_{};
     std::array<std::atomic<std::uint64_t>, kTypeSlots> responses_{};
+    std::array<std::atomic<std::uint64_t>, kTypeSlots> errors_{};
     std::atomic<std::uint64_t> protocolErrors_{0};
     std::atomic<std::uint64_t> connections_{0};
     std::atomic<std::uint64_t> bytesIn_{0};
     std::atomic<std::uint64_t> bytesOut_{0};
     LatencyHistogram latency_;
+    std::chrono::steady_clock::time_point started_ =
+        std::chrono::steady_clock::now();
 };
 
 } // namespace bvf::server

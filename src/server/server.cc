@@ -69,6 +69,9 @@ struct Server::Connection
 
 Server::Server(ServerOptions options) : options_(std::move(options))
 {
+    dispatch_ = options_.handler
+                    ? options_.handler
+                    : [this](const Frame &f) { return handler_.handle(f); };
 }
 
 Server::~Server()
@@ -408,7 +411,9 @@ Server::serveConnection(int fd)
             }
             pool_->submit([this, conn, slot,
                            frame = std::move(parsed.value())] {
-                Frame response = handler_.handle(frame);
+                Frame response = dispatch_(frame);
+                if (response.type == MsgType::ErrorResponse)
+                    metrics_.onError(frame.type);
                 const auto latency =
                     std::chrono::steady_clock::now() - slot->submitted;
                 metrics_.onResponse(

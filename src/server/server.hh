@@ -34,6 +34,7 @@
 #define BVF_SERVER_SERVER_HH
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -68,6 +69,15 @@ struct ServerOptions
      * reader stops consuming the socket beyond it (backpressure).
      */
     int maxInflight = 64;
+
+    /**
+     * Request dispatch override. Empty uses the built-in evaluation
+     * RequestHandler; the fleet coordinator plugs its routing proxy in
+     * here, inheriting the whole connection/backpressure/metrics/drain
+     * machinery unchanged. Must be thread-safe: pool workers call it
+     * concurrently.
+     */
+    std::function<Frame(const Frame &)> handler;
 };
 
 /** The daemon. start() it, then drain() (or destroy) to stop. */
@@ -122,6 +132,7 @@ class Server
 
     ServerOptions options_;
     RequestHandler handler_;
+    std::function<Frame(const Frame &)> dispatch_;
     Metrics metrics_;
     std::unique_ptr<runtime::ThreadPool> pool_;
 

@@ -184,5 +184,26 @@ TEST(ExitTwo, PortedFrontEndsValidateValues)
     EXPECT_NE(out.find("unexpected argument"), std::string::npos) << out;
 }
 
+TEST(ExitTwo, ClientValidatesRetryFlags)
+{
+    std::string out;
+    // Each flag rejects non-numeric and out-of-range values before any
+    // connection attempt, so these fail fast with the usage status.
+    EXPECT_EQ(runTool("bvf_client", "--retries -1 ping", out),
+              kExitUsage);
+    EXPECT_NE(out.find("--retries"), std::string::npos) << out;
+    EXPECT_EQ(runTool("bvf_client", "--retries many ping", out),
+              kExitUsage);
+    EXPECT_EQ(runTool("bvf_client", "--backoff-ms 999999 ping", out),
+              kExitUsage);
+    EXPECT_NE(out.find("--backoff-ms"), std::string::npos) << out;
+    EXPECT_EQ(runTool("bvf_client", "--deadline-ms 2.5 ping", out),
+              kExitUsage);
+    EXPECT_NE(out.find("--deadline-ms"), std::string::npos) << out;
+    EXPECT_EQ(runTool("bvf_client", "ping --deadline-ms", out),
+              kExitUsage);
+    EXPECT_NE(out.find("requires a value"), std::string::npos) << out;
+}
+
 } // namespace
 } // namespace bvf::cli

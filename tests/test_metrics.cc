@@ -122,6 +122,39 @@ TEST(Metrics, RenderExposesEveryFamily)
     }
 }
 
+TEST(Metrics, ErrorsAreKeyedByRequestType)
+{
+    Metrics metrics;
+    EXPECT_EQ(metrics.errorsTotal(), 0u);
+    metrics.onError(MsgType::ChipEnergyRequest);
+    metrics.onError(MsgType::ChipEnergyRequest);
+    metrics.onError(MsgType::StaticAdviceRequest);
+    EXPECT_EQ(metrics.errorsTotal(), 3u);
+    EXPECT_EQ(metrics.errors(MsgType::ChipEnergyRequest), 2u);
+    EXPECT_EQ(metrics.errors(MsgType::StaticAdviceRequest), 1u);
+    EXPECT_EQ(metrics.errors(MsgType::PingRequest), 0u);
+
+    const std::string text = metrics.render(0, 1, 0.0);
+    for (const char *needle :
+         {"bvfd_request_errors_total{type=\"chip_energy\"} 2",
+          "bvfd_request_errors_total{type=\"static_advice\"} 1",
+          "bvfd_request_errors_total{type=\"ping\"} 0"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Metrics, RenderExposesUptimeAndBuildInfo)
+{
+    Metrics metrics;
+    std::this_thread::sleep_for(2ms);
+    EXPECT_GT(metrics.uptimeSeconds(), 0.0);
+    const std::string text = metrics.render(0, 1, 0.0);
+    EXPECT_NE(text.find("bvfd_uptime_seconds "), std::string::npos);
+    EXPECT_NE(
+        text.find("bvfd_build_info{version=\"0.6.0\",protocol=\"1\"} 1"),
+        std::string::npos);
+}
+
 TEST(Metrics, ConcurrentRecordingLosesNothing)
 {
     Metrics metrics;
