@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <vector>
 
@@ -56,11 +57,40 @@ syncDir(const std::string &dir)
     return {};
 }
 
+/**
+ * The fault-injection hook (atomic_file.hh). A plain function object
+ * guarded by a mutex around install/copy: the hook itself runs outside
+ * the lock so it may call atomicWriteFile() recursively if it wants to
+ * place a damaged image itself.
+ */
+std::mutex hookMutex;
+AtomicWriteHook writeHook;
+
 } // namespace
+
+AtomicWriteHook
+setAtomicWriteHook(AtomicWriteHook hook)
+{
+    std::lock_guard<std::mutex> lock(hookMutex);
+    AtomicWriteHook previous = std::move(writeHook);
+    writeHook = std::move(hook);
+    return previous;
+}
 
 Result<void>
 atomicWriteFile(const std::string &path, std::string_view data)
 {
+    AtomicWriteHook hook;
+    {
+        std::lock_guard<std::mutex> lock(hookMutex);
+        hook = writeHook;
+    }
+    if (hook) {
+        auto simulated = hook(path, data);
+        if (simulated.has_value())
+            return *simulated;
+    }
+
     // mkstemp wants a mutable template in the destination directory so
     // the final rename never crosses a filesystem.
     std::vector<char> tmpl(path.begin(), path.end());

@@ -12,6 +12,8 @@
 #ifndef BVF_COMMON_ATOMIC_FILE_HH
 #define BVF_COMMON_ATOMIC_FILE_HH
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -19,6 +21,28 @@
 
 namespace bvf
 {
+
+/**
+ * Fault-injection seam for atomicWriteFile().
+ *
+ * When set, the hook runs before any real I/O. Returning std::nullopt
+ * proceeds with the normal write; returning a Result short-circuits --
+ * the hook has simulated the outcome (a clean ENOSPC/fsync failure that
+ * leaves the old content intact, or a torn image it wrote to @p path
+ * itself before reporting the error). Tests and the simulation harness
+ * use this to sweep journal-persistence failures deterministically;
+ * production code never sets it.
+ */
+using AtomicWriteHook = std::function<std::optional<Result<void>>(
+    const std::string &path, std::string_view data)>;
+
+/**
+ * Install (or, with an empty function, clear) the write hook. Not
+ * thread-safe against concurrent atomicWriteFile() calls: install
+ * before the writers start. Returns the previous hook so scoped
+ * installers can restore it.
+ */
+AtomicWriteHook setAtomicWriteHook(AtomicWriteHook hook);
 
 /**
  * Atomically replace (or create) @p path with @p data.

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Real-time Clock implementation.
+ */
+
+#include "common/clock.hh"
+
+#include <thread>
+
+namespace bvf
+{
+
+namespace
+{
+
+class SystemClock final : public Clock
+{
+  public:
+    time_point now() override
+    {
+        return std::chrono::steady_clock::now();
+    }
+
+    void sleepFor(std::chrono::milliseconds duration) override
+    {
+        if (duration.count() > 0)
+            std::this_thread::sleep_for(duration);
+    }
+};
+
+} // namespace
+
+Clock &
+systemClock()
+{
+    static SystemClock clock;
+    return clock;
+}
+
+} // namespace bvf

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Injectable time source.
+ *
+ * Heartbeats, request deadlines and retry backoff all need "what time
+ * is it" and "wait a while". Reading std::chrono::steady_clock directly
+ * welds those decisions to wall-clock time, which makes every timing
+ * test a real sleep and makes fault schedules irreproducible. Clock is
+ * the seam: production code takes a Clock pointer (null meaning the
+ * real systemClock()), and the simulation harness substitutes a
+ * SimClock (sim/sim_clock.hh) whose time only moves when the test says
+ * so.
+ *
+ * time_point deliberately reuses steady_clock's so existing
+ * time-injected state machines (fleet/health.hh's CircuitBreaker) work
+ * against either source without conversion.
+ */
+
+#ifndef BVF_COMMON_CLOCK_HH
+#define BVF_COMMON_CLOCK_HH
+
+#include <chrono>
+
+namespace bvf
+{
+
+/** Abstract monotonic time source + sleeper. */
+class Clock
+{
+  public:
+    using time_point = std::chrono::steady_clock::time_point;
+
+    virtual ~Clock() = default;
+
+    /** Current monotonic time. */
+    virtual time_point now() = 0;
+
+    /** Block (or simulate blocking) for @p duration. */
+    virtual void sleepFor(std::chrono::milliseconds duration) = 0;
+};
+
+/** The real thing: steady_clock + this_thread::sleep_for. */
+Clock &systemClock();
+
+} // namespace bvf
+
+#endif // BVF_COMMON_CLOCK_HH

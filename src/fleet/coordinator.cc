@@ -47,6 +47,20 @@ appErrorCode(const Frame &frame)
     return static_cast<ErrorCode>(wire.value().code);
 }
 
+/**
+ * Is this ErrorResponse really a framing complaint? A worker answers
+ * Corrupt/Truncated/Unsupported when the *request stream* failed CRC
+ * or framing on its side -- which means the bytes were damaged en
+ * route, not that the job is bad. Treating it as the job's verdict
+ * would quarantine a perfectly good job because a wire hiccuped.
+ */
+bool
+isFramingError(ErrorCode code)
+{
+    return code == ErrorCode::Corrupt || code == ErrorCode::Truncated
+           || code == ErrorCode::Unsupported;
+}
+
 } // namespace
 
 Coordinator::Coordinator(FleetOptions options)
@@ -56,13 +70,25 @@ Coordinator::Coordinator(FleetOptions options)
     panic_if(options_.workers.empty(),
              "fleet coordinator needs at least one worker");
     clients_.reserve(options_.workers.size());
-    health_.resize(options_.workers.size());
+    health_.assign(options_.workers.size(),
+                   WorkerHealth(options_.deadThreshold));
     breakers_.reserve(options_.workers.size());
-    for (const auto &addr : options_.workers) {
-        clients_.push_back(std::make_unique<WorkerClient>(addr));
+    for (std::size_t i = 0; i < options_.workers.size(); ++i) {
+        const auto &addr = options_.workers[i];
+        WorkerClient::DialFn dial;
+        if (options_.dialFactory)
+            dial = options_.dialFactory(i, addr);
+        clients_.push_back(std::make_unique<WorkerClient>(
+            addr, std::move(dial), options_.clock));
         breakers_.emplace_back(options_.breakerThreshold,
                                options_.breakerCooldown);
     }
+}
+
+Clock::time_point
+Coordinator::timeNow()
+{
+    return options_.clock ? options_.clock->now() : systemClock().now();
 }
 
 Coordinator::~Coordinator()
@@ -107,7 +133,7 @@ Coordinator::pingWorker(std::size_t index)
     // A dead endpoint still fails fast (the connect itself errors);
     // the floor only buys a busy-but-alive worker time to answer.
     auto deadline = std::max(options_.heartbeatInterval,
-                             FleetOptions::kHeartbeatFloor);
+                             options_.heartbeatFloor);
     auto reply = clients_[index]->request(frame, deadline);
     return reply.ok() && reply.value().type == MsgType::PingResponse;
 }
@@ -123,15 +149,28 @@ Coordinator::heartbeatLoop()
             if (stopping_)
                 return;
         }
-        for (std::size_t i = 0; i < clients_.size(); ++i) {
-            const bool up = pingWorker(i);
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (up) {
-                health_[i].onSuccess();
+        probeWorkersOnce();
+    }
+}
+
+void
+Coordinator::probeWorkersOnce()
+{
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+        const bool up = pingWorker(i);
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (up) {
+            health_[i].onSuccess();
+            // A pong proves liveness, not capacity. An *open* breaker
+            // means live traffic was failing (or the worker said
+            // Overloaded); letting a cheap heartbeat close it would
+            // re-flood a saturated worker and defeat the half-open
+            // single-probe discipline. Only real request outcomes may
+            // close an open breaker.
+            if (!breakers_[i].open())
                 breakers_[i].onSuccess();
-            } else {
-                health_[i].onFailure();
-            }
+        } else {
+            health_[i].onFailure();
         }
     }
 }
@@ -157,13 +196,18 @@ Coordinator::execute(const Frame &frame, std::string_view routeKey,
                                      rng_);
             }
             if (delay.count() > 0) {
-                // Interruptible sleep so stop() is never held hostage
-                // by a retry pass.
-                std::unique_lock<std::mutex> lock(stopMutex_);
-                stopCv_.wait_for(lock, delay,
-                                 [this] { return stopping_; });
-                if (stopping_)
-                    break;
+                if (options_.clock) {
+                    // Simulated time: advance rather than block.
+                    options_.clock->sleepFor(delay);
+                } else {
+                    // Interruptible sleep so stop() is never held
+                    // hostage by a retry pass.
+                    std::unique_lock<std::mutex> lock(stopMutex_);
+                    stopCv_.wait_for(lock, delay,
+                                     [this] { return stopping_; });
+                    if (stopping_)
+                        break;
+                }
             }
         }
 
@@ -174,13 +218,13 @@ Coordinator::execute(const Frame &frame, std::string_view routeKey,
                     continue;
                 if (appErrorWorkers.count(w))
                     continue; // this worker's verdict is already in
-                if (!breakers_[w].allow(CircuitBreaker::Clock::now()))
+                if (!breakers_[w].allow(timeNow()))
                     continue;
             }
 
             auto reply =
                 clients_[w]->request(frame, options_.requestDeadline);
-            const auto now = CircuitBreaker::Clock::now();
+            const auto now = timeNow();
 
             if (!reply.ok()) {
                 // Transport failure: the worker is in trouble, the
@@ -205,6 +249,26 @@ Coordinator::execute(const Frame &frame, std::string_view routeKey,
                 std::lock_guard<std::mutex> lock(mutex_);
                 health_[w].onSuccess();
                 breakers_[w].onFailure(now);
+                continue;
+            }
+            if (isAppError(answer)
+                && isFramingError(appErrorCode(answer))) {
+                // The worker is complaining about the *bytes*, not the
+                // job: our request was damaged en route (or the stream
+                // desynced). Same reaction as a transport failure --
+                // strike, drop the tainted connections, fail over --
+                // and crucially NOT a quarantine verdict against the
+                // job.
+                clients_[w]->closeAll();
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    health_[w].onFailure();
+                    breakers_[w].onFailure(now);
+                }
+                ++transportFailures;
+                lastTransport =
+                    Error{appErrorCode(answer),
+                          "worker reported request framing damage"};
                 continue;
             }
 
@@ -288,6 +352,13 @@ Coordinator::workerState(std::size_t index) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return health_[index].state();
+}
+
+bool
+Coordinator::breakerOpen(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return breakers_[index].open();
 }
 
 FleetStats

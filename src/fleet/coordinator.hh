@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.hh"
 #include "common/result.hh"
 #include "common/rng.hh"
 #include "fleet/health.hh"
@@ -86,10 +87,32 @@ struct FleetOptions
      * Saturated workers answer pings late; a late pong must read as
      * "busy", not "dead", or short intervals flap the whole fleet.
      */
-    static constexpr std::chrono::milliseconds kHeartbeatFloor{2000};
+    std::chrono::milliseconds heartbeatFloor{2000};
+
+    /**
+     * Consecutive transport failures that convict a worker
+     * (Alive -> ... -> Dead); minimum 2, see WorkerHealth.
+     */
+    int deadThreshold = 2;
 
     /** Seed for retry jitter (deterministic tests). */
     std::uint64_t jitterSeed = 0x5eedf1ee7ull;
+
+    /**
+     * Time source for deadlines, breaker cooldowns and retry backoff.
+     * Null uses the real systemClock(); the simulation harness injects
+     * a SimClock so a whole fleet run happens on simulated time.
+     */
+    Clock *clock = nullptr;
+
+    /**
+     * Per-worker connection factory override. Empty dials each
+     * worker's real address; the simulation harness supplies in-memory
+     * transports here. Called once per worker at construction.
+     */
+    std::function<WorkerClient::DialFn(std::size_t index,
+                                       const WorkerAddress &address)>
+        dialFactory;
 };
 
 /** Counters a fleet run reports; snapshot via Coordinator::stats(). */
@@ -146,8 +169,19 @@ class Coordinator
      */
     std::function<server::Frame(const server::Frame &)> proxyHandler();
 
+    /**
+     * One synchronous heartbeat pass over every worker: ping, update
+     * health, revive answering dead workers. The background prober
+     * calls this each interval; tests and the simulation harness call
+     * it directly so liveness transitions need no wall-clock waiting.
+     */
+    void probeWorkersOnce();
+
     /** Current liveness verdict for worker @p index. */
     WorkerState workerState(std::size_t index) const;
+
+    /** Is worker @p index's circuit breaker currently open? */
+    bool breakerOpen(std::size_t index) const;
 
     /** Consistent counters snapshot. */
     FleetStats stats() const;
@@ -169,6 +203,7 @@ class Coordinator
   private:
     void heartbeatLoop();
     bool pingWorker(std::size_t index);
+    Clock::time_point timeNow();
 
     FleetOptions options_;
     HashRing ring_;

@@ -35,11 +35,13 @@ void
 WorkerHealth::onFailure()
 {
     ++strikes_;
-    if (state_ == WorkerState::Alive) {
-        state_ = WorkerState::Suspect;
-    } else if (state_ == WorkerState::Suspect) {
+    if (state_ == WorkerState::Dead)
+        return;
+    if (strikes_ >= strikesToDead_) {
         state_ = WorkerState::Dead;
         ++deaths_;
+    } else {
+        state_ = WorkerState::Suspect;
     }
 }
 

@@ -54,6 +54,17 @@ std::string workerStateName(WorkerState state);
 class WorkerHealth
 {
   public:
+    /**
+     * @param strikesToDead consecutive failures that convict a worker
+     * (>= 2; the suspect grace period is the point of the machine).
+     * A constructor option rather than a constant so fleets on flaky
+     * networks can demand more evidence before ejecting a worker.
+     */
+    explicit WorkerHealth(int strikesToDead = 2)
+        : strikesToDead_(strikesToDead < 2 ? 2 : strikesToDead)
+    {
+    }
+
     WorkerState state() const { return state_; }
     int strikes() const { return strikes_; }
 
@@ -71,6 +82,7 @@ class WorkerHealth
     std::uint64_t revivals() const { return revivals_; }
 
   private:
+    int strikesToDead_ = 2;
     WorkerState state_ = WorkerState::Alive;
     int strikes_ = 0;
     std::uint64_t deaths_ = 0;

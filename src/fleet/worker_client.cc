@@ -1,21 +1,11 @@
 /**
  * @file
- * Worker client implementation: poll()-driven framed round trips.
+ * Worker client implementation: framed round trips over a Transport.
  */
 
 #include "fleet/worker_client.hh"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -23,73 +13,7 @@ namespace bvf::fleet
 {
 
 using server::Frame;
-
-namespace
-{
-
-using Clock = std::chrono::steady_clock;
-
-/** Remaining budget; <= 0 deadline means "infinite". */
-int
-remainingMs(Clock::time_point start, std::chrono::milliseconds deadline)
-{
-    if (deadline.count() <= 0)
-        return -1; // poll(): wait forever
-    const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
-        Clock::now() - start);
-    const auto left = deadline - spent;
-    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
-}
-
-/** Wait until @p fd is ready for @p events or the budget is gone. */
-Result<void>
-waitReady(int fd, short events, Clock::time_point start,
-          std::chrono::milliseconds deadline)
-{
-    for (;;) {
-        const int budget = remainingMs(start, deadline);
-        if (budget == 0)
-            return Error{ErrorCode::Timeout, "worker deadline expired"};
-        pollfd p = {fd, events, 0};
-        const int rc = ::poll(&p, 1, budget);
-        if (rc < 0) {
-            if (errno == EINTR)
-                continue;
-            return Error{ErrorCode::Io, std::strerror(errno)};
-        }
-        if (rc == 0)
-            return Error{ErrorCode::Timeout, "worker deadline expired"};
-        if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
-            // Readable-with-hangup still delivers buffered bytes.
-            if (!(p.revents & POLLIN) || !(events & POLLIN))
-                return Error{ErrorCode::Io, "worker connection lost"};
-        }
-        return {};
-    }
-}
-
-Result<void>
-writeAllWithin(int fd, std::string_view bytes, Clock::time_point start,
-               std::chrono::milliseconds deadline)
-{
-    std::size_t off = 0;
-    while (off < bytes.size()) {
-        auto ready = waitReady(fd, POLLOUT, start, deadline);
-        if (!ready.ok())
-            return ready.error();
-        const ssize_t n = ::send(fd, bytes.data() + off,
-                                 bytes.size() - off, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
-                continue;
-            return Error{ErrorCode::Io, std::strerror(errno)};
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    return {};
-}
-
-} // namespace
+using server::TransportPtr;
 
 std::string
 WorkerAddress::id() const
@@ -131,9 +55,20 @@ parseWorkerAddress(const std::string &spec)
     return addr;
 }
 
-WorkerClient::WorkerClient(WorkerAddress address)
-    : address_(std::move(address))
+WorkerClient::WorkerClient(WorkerAddress address, DialFn dial,
+                           Clock *clock)
+    : address_(std::move(address)), dial_(std::move(dial)),
+      clock_(clock ? clock : &systemClock())
 {
+    if (!dial_) {
+        dial_ = [this](std::chrono::milliseconds deadline) {
+            if (!address_.unixPath.empty())
+                return server::SocketTransport::dialUnix(
+                    address_.unixPath, deadline);
+            return server::SocketTransport::dialTcp(
+                address_.host, address_.port, deadline);
+        };
+    }
 }
 
 WorkerClient::~WorkerClient()
@@ -145,110 +80,59 @@ void
 WorkerClient::closeAll()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const int fd : idle_)
-        ::close(fd);
+    for (auto &transport : idle_)
+        transport->close();
     idle_.clear();
 }
 
-Result<int>
-WorkerClient::connectWithin(std::chrono::milliseconds deadline)
-{
-    const auto start = Clock::now();
-    int fd = -1;
-    int rc = -1;
-    if (!address_.unixPath.empty()) {
-        fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
-        if (fd < 0)
-            return Error{ErrorCode::Io, "socket(): out of descriptors"};
-        sockaddr_un addr{};
-        addr.sun_family = AF_UNIX;
-        if (address_.unixPath.size() >= sizeof(addr.sun_path)) {
-            ::close(fd);
-            return Error{ErrorCode::InvalidArgument,
-                         "unix socket path too long"};
-        }
-        std::strncpy(addr.sun_path, address_.unixPath.c_str(),
-                     sizeof(addr.sun_path) - 1);
-        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                       sizeof(addr));
-    } else {
-        fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
-        if (fd < 0)
-            return Error{ErrorCode::Io, "socket(): out of descriptors"};
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_port = htons(static_cast<std::uint16_t>(address_.port));
-        if (::inet_pton(AF_INET, address_.host.c_str(), &addr.sin_addr)
-            != 1) {
-            ::close(fd);
-            return Error{ErrorCode::InvalidArgument,
-                         strFormat("bad worker address '%s'",
-                                   address_.host.c_str())};
-        }
-        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                       sizeof(addr));
-    }
-
-    if (rc != 0 && errno == EINPROGRESS) {
-        auto ready = waitReady(fd, POLLOUT, start, deadline);
-        if (!ready.ok()) {
-            ::close(fd);
-            return ready.error();
-        }
-        int soErr = 0;
-        socklen_t len = sizeof(soErr);
-        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len);
-        if (soErr != 0) {
-            ::close(fd);
-            return Error{ErrorCode::Io,
-                         strFormat("connect %s: %s",
-                                   address_.id().c_str(),
-                                   std::strerror(soErr))};
-        }
-    } else if (rc != 0) {
-        const int err = errno;
-        ::close(fd);
-        return Error{ErrorCode::Io, strFormat("connect %s: %s",
-                                              address_.id().c_str(),
-                                              std::strerror(err))};
-    }
-    return fd;
-}
-
-Result<int>
+Result<TransportPtr>
 WorkerClient::checkout(std::chrono::milliseconds deadline)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!idle_.empty()) {
-            const int fd = idle_.back();
+            TransportPtr transport = std::move(idle_.back());
             idle_.pop_back();
-            return fd;
+            return transport;
         }
     }
-    return connectWithin(deadline);
+    return dial_(deadline);
 }
 
 void
-WorkerClient::checkin(int fd)
+WorkerClient::checkin(TransportPtr transport)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    idle_.push_back(fd);
+    idle_.push_back(std::move(transport));
+}
+
+std::chrono::milliseconds
+WorkerClient::remainingBudget(Clock::time_point start,
+                              std::chrono::milliseconds deadline)
+{
+    if (deadline.count() <= 0)
+        return std::chrono::milliseconds{-1}; // block forever
+    const auto spent =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            clock_->now() - start);
+    const auto left = deadline - spent;
+    return left.count() > 0 ? left : std::chrono::milliseconds{0};
 }
 
 Result<Frame>
 WorkerClient::request(const Frame &frame,
                       std::chrono::milliseconds deadline)
 {
-    const auto start = Clock::now();
-    auto fd = checkout(deadline);
-    if (!fd.ok())
-        return fd.error();
+    const auto start = clock_->now();
+    auto checkedOut = checkout(deadline);
+    if (!checkedOut.ok())
+        return checkedOut.error();
+    TransportPtr transport = std::move(checkedOut.value());
 
     const std::string bytes = encodeFrame(frame.type, frame.payload);
-    auto sent = writeAllWithin(fd.value(), bytes, start, deadline);
+    auto sent = transport->send(bytes, remainingBudget(start, deadline));
     if (!sent.ok()) {
-        ::close(fd.value());
+        transport->close();
         return sent.error();
     }
 
@@ -257,34 +141,37 @@ WorkerClient::request(const Frame &frame,
         std::size_t consumed = 0;
         auto parsed = server::parseFrame(buf, consumed);
         if (parsed.ok()) {
-            checkin(fd.value()); // clean stream; reuse the connection
+            if (consumed == buf.size()) {
+                checkin(std::move(transport)); // provably clean stream
+            } else {
+                // Bytes beyond the response (a duplicated frame, a
+                // babbling worker): the answer we matched by position
+                // is still the answer, but a pooled connection holding
+                // leftovers would serve them as the *next* request's
+                // response. Never re-pool a desynced stream.
+                transport->close();
+            }
             return std::move(parsed.value());
         }
         if (parsed.error().code != ErrorCode::Truncated) {
-            ::close(fd.value()); // stream offset is unreliable now
+            transport->close(); // stream offset is unreliable now
             return parsed.error();
         }
-        auto ready = waitReady(fd.value(), POLLIN, start, deadline);
-        if (!ready.ok()) {
-            ::close(fd.value());
-            return ready.error();
+        const auto budget = remainingBudget(start, deadline);
+        if (budget.count() == 0) {
+            transport->close();
+            return Error{ErrorCode::Timeout, "worker deadline expired"};
         }
-        char chunk[4096];
-        const ssize_t n = ::recv(fd.value(), chunk, sizeof(chunk), 0);
-        if (n == 0) {
-            ::close(fd.value());
+        auto got = transport->recv(budget);
+        if (!got.ok()) {
+            transport->close();
+            return got.error();
+        }
+        if (got.value().empty()) {
+            transport->close();
             return Error{ErrorCode::Io, "worker hung up mid-frame"};
         }
-        if (n < 0) {
-            if (errno == EINTR || errno == EAGAIN
-                || errno == EWOULDBLOCK) {
-                continue;
-            }
-            const int err = errno;
-            ::close(fd.value());
-            return Error{ErrorCode::Io, std::strerror(err)};
-        }
-        buf.append(chunk, static_cast<std::size_t>(n));
+        buf.append(got.value());
     }
 }
 

@@ -3,19 +3,21 @@
  * Deadline-bounded protocol client for one bvfd worker.
  *
  * The coordinator's unit of I/O: send one CRC-framed request, read one
- * framed response, never wait past a deadline. Every blocking step --
- * connect, write, read -- goes through poll() with the remaining
- * budget, so a worker that was SIGKILLed mid-request surfaces as
- * ErrorCode::Timeout (or Io on a reset) instead of hanging the
- * coordinator forever; the caller then marks the worker and fails the
- * job over.
+ * framed response, never wait past a deadline. All byte movement goes
+ * through the Transport seam (server/transport.hh): by default the
+ * client dials real sockets (SocketTransport), and the simulation
+ * harness injects an in-memory transport via DialFn, which is how the
+ * whole fleet runs single-threaded on simulated time.
  *
  * Connections are pooled per worker: request() checks out an idle
- * connection (dialing a fresh one when the pool is dry), performs the
- * round trip, and returns the connection to the pool only on success.
- * Any failure closes the socket -- after a timeout the stream position
- * is unknowable, and a response to a request we gave up on must never
- * be matched to the next request. Thread-safe: any number of pool
+ * transport (dialing a fresh one when the pool is dry), performs the
+ * round trip, and returns the connection to the pool only when the
+ * stream is *provably clean* -- the response parsed and not a byte
+ * beyond it was buffered. Any failure, and any leftover bytes after
+ * the response (a duplicated frame, a babbling peer), close the
+ * connection: a stale frame sitting in a pooled connection would be
+ * served as the answer to the *next* request, which is how a fleet
+ * silently reports wrong numbers. Thread-safe: any number of pool
  * workers may call request() concurrently; each gets its own
  * connection.
  */
@@ -24,12 +26,15 @@
 #define BVF_FLEET_WORKER_CLIENT_HH
 
 #include <chrono>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/clock.hh"
 #include "common/result.hh"
 #include "server/protocol.hh"
+#include "server/transport.hh"
 
 namespace bvf::fleet
 {
@@ -55,7 +60,20 @@ Result<WorkerAddress> parseWorkerAddress(const std::string &spec);
 class WorkerClient
 {
   public:
-    explicit WorkerClient(WorkerAddress address);
+    /**
+     * Produce a fresh connected Transport within the deadline. The
+     * default dials the worker's real address; the simulation harness
+     * injects in-memory transports here.
+     */
+    using DialFn = std::function<Result<server::TransportPtr>(
+        std::chrono::milliseconds deadline)>;
+
+    /**
+     * @param dial  connection factory; empty dials @p address for real
+     * @param clock deadline time source; null uses systemClock()
+     */
+    explicit WorkerClient(WorkerAddress address, DialFn dial = {},
+                          Clock *clock = nullptr);
     ~WorkerClient();
 
     WorkerClient(const WorkerClient &) = delete;
@@ -78,13 +96,20 @@ class WorkerClient
     const WorkerAddress &address() const { return address_; }
 
   private:
-    Result<int> connectWithin(std::chrono::milliseconds deadline);
-    Result<int> checkout(std::chrono::milliseconds deadline);
-    void checkin(int fd);
+    Result<server::TransportPtr>
+    checkout(std::chrono::milliseconds deadline);
+    void checkin(server::TransportPtr transport);
+
+    /** Budget left of @p deadline measured from @p start; <=0 = forever. */
+    std::chrono::milliseconds
+    remainingBudget(Clock::time_point start,
+                    std::chrono::milliseconds deadline);
 
     WorkerAddress address_;
+    DialFn dial_;
+    Clock *clock_;
     std::mutex mutex_;
-    std::vector<int> idle_;
+    std::vector<server::TransportPtr> idle_;
 };
 
 } // namespace bvf::fleet

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * HTTP request-head scanner implementation.
+ */
+
+#include "server/http.hh"
+
+#include <cstdint>
+#include <string>
+
+namespace bvf::server
+{
+
+HttpScanResult
+scanHttpHead(std::string_view bytes)
+{
+    static constexpr std::string_view kMethod = "GET ";
+    const std::size_t checkable = std::min(bytes.size(), kMethod.size());
+    if (bytes.compare(0, checkable, kMethod, 0, checkable) != 0)
+        return {HttpScan::NotHttp, 0};
+
+    // Bound the request line first: a client streaming one endless
+    // line must be rejected before the head cap is even relevant.
+    const std::size_t lineEnd = bytes.find('\n');
+    if (lineEnd == std::string_view::npos) {
+        if (bytes.size() > kMaxHttpRequestLine)
+            return {HttpScan::RequestLineTooLong, 0};
+    } else if (lineEnd + 1 > kMaxHttpRequestLine) {
+        return {HttpScan::RequestLineTooLong, 0};
+    }
+    if (bytes.size() < kMethod.size())
+        return {HttpScan::NeedMore, 0};
+
+    // End of head: the first blank line, CRLF or bare LF framing.
+    const std::size_t crlf = bytes.find("\r\n\r\n");
+    const std::size_t lf = bytes.find("\n\n");
+    std::size_t headBytes = std::string_view::npos;
+    if (crlf != std::string_view::npos)
+        headBytes = crlf + 4;
+    if (lf != std::string_view::npos)
+        headBytes = std::min(headBytes, lf + 2);
+    if (headBytes != std::string_view::npos) {
+        if (headBytes > kMaxHttpHead)
+            return {HttpScan::HeadTooLong, 0};
+        return {HttpScan::Complete, headBytes};
+    }
+    if (bytes.size() > kMaxHttpHead)
+        return {HttpScan::HeadTooLong, 0};
+    return {HttpScan::NeedMore, 0};
+}
+
+} // namespace bvf::server

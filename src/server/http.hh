@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal HTTP/1.0 request-head scanner for the /metrics ride-along.
+ *
+ * The daemon answers plaintext metrics on its binary port by sniffing
+ * "GET " and consuming the request head. The old code buffered blindly
+ * up to a cap and answered 200 regardless, which meant a hostile
+ * client could feed an endless request line and still be served. The
+ * scanner makes the admission decision explicit and incremental: feed
+ * it the bytes read so far and it says NeedMore / Complete / too-long,
+ * so the server can reject an oversized request line *before* buffering
+ * more of it (DoS guard), with the caps in one visible place.
+ *
+ * Deliberately not a real HTTP parser: the endpoint serves one
+ * hard-coded response to any GET, so all that matters is finding the
+ * end of the head and bounding how much of it we will hold.
+ */
+
+#ifndef BVF_SERVER_HTTP_HH
+#define BVF_SERVER_HTTP_HH
+
+#include <cstddef>
+#include <string_view>
+
+namespace bvf::server
+{
+
+/** Longest request line (through its newline) we will buffer. */
+constexpr std::size_t kMaxHttpRequestLine = 4096;
+
+/** Longest whole request head (through the blank line) we will buffer. */
+constexpr std::size_t kMaxHttpHead = 16384;
+
+/** Verdict on a (possibly partial) request head. */
+enum class HttpScan : std::uint8_t
+{
+    NeedMore,           //!< no blank line yet and no cap exceeded
+    Complete,           //!< full head present; headBytes is its size
+    NotHttp,            //!< does not start with "GET "
+    RequestLineTooLong, //!< first line exceeds kMaxHttpRequestLine
+    HeadTooLong,        //!< head exceeds kMaxHttpHead
+};
+
+/** Scan result; headBytes is meaningful only for Complete. */
+struct HttpScanResult
+{
+    HttpScan state = HttpScan::NeedMore;
+    std::size_t headBytes = 0;
+};
+
+/**
+ * Classify @p bytes, the prefix of a connection's stream. Stateless:
+ * call it again with the grown buffer after each read. A rejection
+ * (NotHttp / *TooLong) is stable -- feeding more bytes cannot turn it
+ * back into NeedMore or Complete.
+ */
+HttpScanResult scanHttpHead(std::string_view bytes);
+
+} // namespace bvf::server
+
+#endif // BVF_SERVER_HTTP_HH

@@ -160,10 +160,15 @@ parseFrame(std::string_view bytes, std::size_t &consumed)
         return corrupt(strFormat("unknown message type 0x%02x", rawType));
     }
     if (length > kMaxPayload) {
-        return Error{ErrorCode::InvalidArgument,
-                     strFormat("frame payload of %u bytes exceeds the "
-                               "%u-byte cap",
-                               length, kMaxPayload)};
+        // Corrupt, not InvalidArgument: no conforming peer ever sends a
+        // length above the cap, so an oversized field means the stream
+        // itself is damaged.  The distinction matters to the fleet
+        // coordinator, which retries framing damage on another worker
+        // but records other error codes as application verdicts -- a
+        // bit flip in this field must not convict the job it hit.
+        return corrupt(strFormat("frame payload of %u bytes exceeds the "
+                                 "%u-byte cap",
+                                 length, kMaxPayload));
     }
     if (bytes.size() < kHeaderBytes + length)
         return Error{ErrorCode::Truncated, "incomplete frame payload"};
@@ -406,6 +411,8 @@ EvalCoderRequest::decode(std::string_view payload)
                      strFormat("%u words exceed the per-request cap of %u",
                                count, kMaxWords)};
     }
+    if (std::uint64_t{count} * 8 > r.remaining())
+        return truncatedPayload(); // count outruns the payload: no alloc
     req.coder = static_cast<CoderKind>(rawCoder);
     req.words.resize(count);
     for (std::uint64_t &word : req.words) {
@@ -442,6 +449,8 @@ EvalCoderResponse::decode(std::string_view payload)
     }
     if (count > kMaxWords)
         return corrupt("encoded word count exceeds cap");
+    if (std::uint64_t{count} * 8 > r.remaining())
+        return truncatedPayload(); // count outruns the payload: no alloc
     resp.encoded.resize(count);
     for (std::uint64_t &word : resp.encoded) {
         if (!r.getU64(word))

@@ -129,6 +129,13 @@ class WireReader
     /** Every byte consumed? (trailing garbage is a decode error) */
     bool exhausted() const { return pos_ == bytes_.size(); }
 
+    /**
+     * Bytes not yet consumed. Decoders check claimed element counts
+     * against this *before* allocating, so a short hostile payload
+     * cannot drive a large allocation off its count field.
+     */
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+
   private:
     std::string_view bytes_;
     std::size_t pos_ = 0;

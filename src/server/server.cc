@@ -21,6 +21,7 @@
 #include <deque>
 
 #include "common/logging.hh"
+#include "server/http.hh"
 
 namespace bvf::server
 {
@@ -268,26 +269,47 @@ Server::acceptLoop()
 void
 Server::serveMetricsHttp(int fd, std::string already)
 {
-    // Consume the rest of the request head; we answer any GET.
+    // Consume the rest of the request head, bounded *before* we
+    // buffer: an attacker feeding an endless request line must cost a
+    // rejection, not memory. We answer any complete GET head.
     char buf[1024];
-    while (already.find("\r\n\r\n") == std::string::npos
-           && already.find("\n\n") == std::string::npos) {
+    HttpScanResult scan = scanHttpHead(already);
+    while (scan.state == HttpScan::NeedMore) {
         const ssize_t n = ::read(fd, buf, sizeof(buf));
         if (n <= 0)
             break;
         already.append(buf, static_cast<std::size_t>(n));
-        if (already.size() > 16384)
-            break;
+        scan = scanHttpHead(already);
     }
-    const std::string body = renderMetrics();
-    const std::string head = strFormat(
-        "HTTP/1.0 200 OK\r\n"
-        "Content-Type: text/plain; version=0.0.4\r\n"
-        "Content-Length: %zu\r\n"
-        "Connection: close\r\n\r\n",
-        body.size());
+
+    std::string head;
+    std::string body;
+    switch (scan.state) {
+      case HttpScan::RequestLineTooLong:
+        metrics_.onProtocolError();
+        head = "HTTP/1.0 414 URI Too Long\r\n"
+               "Connection: close\r\n\r\n";
+        break;
+      case HttpScan::HeadTooLong:
+        metrics_.onProtocolError();
+        head = "HTTP/1.0 431 Request Header Fields Too Large\r\n"
+               "Connection: close\r\n\r\n";
+        break;
+      default:
+        // Complete -- or EOF mid-head, in which case answering is
+        // harmless and matches the old lenient behavior.
+        body = renderMetrics();
+        head = strFormat(
+            "HTTP/1.0 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4\r\n"
+            "Content-Length: %zu\r\n"
+            "Connection: close\r\n\r\n",
+            body.size());
+        break;
+    }
     writeAll(fd, head);
-    writeAll(fd, body);
+    if (!body.empty())
+        writeAll(fd, body);
     metrics_.addBytesOut(head.size() + body.size());
 }
 

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * SocketTransport: poll()-bounded socket I/O.
+ *
+ * Moved out of fleet/worker_client.cc so both the client and the
+ * server share one deadline discipline: every blocking step -- connect,
+ * write, read -- rides poll() with the remaining budget, so a peer that
+ * was SIGKILLed mid-request surfaces as Timeout (or Io on a reset)
+ * instead of hanging the caller.
+ */
+
+#include "server/transport.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace bvf::server
+{
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+/** Remaining poll() budget in ms; <= 0 deadline means "infinite". */
+int
+remainingMs(SteadyClock::time_point start,
+            std::chrono::milliseconds deadline)
+{
+    if (deadline.count() <= 0)
+        return -1; // poll(): wait forever
+    const auto spent =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            SteadyClock::now() - start);
+    const auto left = deadline - spent;
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/** Wait until @p fd is ready for @p events or the budget is gone. */
+Result<void>
+waitReady(int fd, short events, SteadyClock::time_point start,
+          std::chrono::milliseconds deadline)
+{
+    for (;;) {
+        const int budget = remainingMs(start, deadline);
+        if (budget == 0)
+            return Error{ErrorCode::Timeout, "transport deadline expired"};
+        pollfd p = {fd, events, 0};
+        const int rc = ::poll(&p, 1, budget);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return Error{ErrorCode::Io, std::strerror(errno)};
+        }
+        if (rc == 0)
+            return Error{ErrorCode::Timeout, "transport deadline expired"};
+        if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+            // Readable-with-hangup still delivers buffered bytes.
+            if (!(p.revents & POLLIN) || !(events & POLLIN))
+                return Error{ErrorCode::Io, "connection lost"};
+        }
+        return {};
+    }
+}
+
+/** Finish a (possibly in-progress) non-blocking connect on @p fd. */
+Result<TransportPtr>
+finishConnect(int fd, int rc, const std::string &what,
+              SteadyClock::time_point start,
+              std::chrono::milliseconds deadline)
+{
+    if (rc != 0 && errno == EINPROGRESS) {
+        auto ready = waitReady(fd, POLLOUT, start, deadline);
+        if (!ready.ok()) {
+            ::close(fd);
+            return ready.error();
+        }
+        int soErr = 0;
+        socklen_t len = sizeof(soErr);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len);
+        if (soErr != 0) {
+            ::close(fd);
+            return Error{ErrorCode::Io,
+                         strFormat("connect %s: %s", what.c_str(),
+                                   std::strerror(soErr))};
+        }
+    } else if (rc != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Error{ErrorCode::Io, strFormat("connect %s: %s",
+                                              what.c_str(),
+                                              std::strerror(err))};
+    }
+    return TransportPtr(new SocketTransport(fd, /*owned=*/true));
+}
+
+} // namespace
+
+Result<void>
+SocketTransport::send(std::string_view bytes,
+                      std::chrono::milliseconds deadline)
+{
+    if (fd_ < 0)
+        return Error{ErrorCode::Io, "transport is closed"};
+    const auto start = SteadyClock::now();
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        auto ready = waitReady(fd_, POLLOUT, start, deadline);
+        if (!ready.ok())
+            return ready.error();
+        const ssize_t n = ::send(fd_, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN
+                || errno == EWOULDBLOCK) {
+                continue;
+            }
+            return Error{ErrorCode::Io, std::strerror(errno)};
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return {};
+}
+
+Result<std::string>
+SocketTransport::recv(std::chrono::milliseconds deadline)
+{
+    if (fd_ < 0)
+        return Error{ErrorCode::Io, "transport is closed"};
+    const auto start = SteadyClock::now();
+    char chunk[4096];
+    for (;;) {
+        auto ready = waitReady(fd_, POLLIN, start, deadline);
+        if (!ready.ok())
+            return ready.error();
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            return std::string(); // orderly EOF
+        if (n > 0)
+            return std::string(chunk, static_cast<std::size_t>(n));
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            continue;
+        return Error{ErrorCode::Io, std::strerror(errno)};
+    }
+}
+
+void
+SocketTransport::close()
+{
+    if (fd_ < 0)
+        return;
+    if (owned_)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+Result<TransportPtr>
+SocketTransport::dialTcp(const std::string &host, int port,
+                         std::chrono::milliseconds deadline)
+{
+    const auto start = SteadyClock::now();
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0)
+        return Error{ErrorCode::Io, "socket(): out of descriptors"};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("bad address '%s'", host.c_str())};
+    }
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+    return finishConnect(fd, rc, strFormat("%s:%d", host.c_str(), port),
+                         start, deadline);
+}
+
+Result<TransportPtr>
+SocketTransport::dialUnix(const std::string &path,
+                          std::chrono::milliseconds deadline)
+{
+    const auto start = SteadyClock::now();
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0)
+        return Error{ErrorCode::Io, "socket(): out of descriptors"};
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return Error{ErrorCode::InvalidArgument,
+                     "unix socket path too long"};
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+    return finishConnect(fd, rc, "unix:" + path, start, deadline);
+}
+
+} // namespace bvf::server

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Byte-stream transport seam.
+ *
+ * Both sides of the wire protocol used to talk to raw file descriptors
+ * directly, which meant every fault a transport can exhibit -- a frame
+ * truncated inside its CRC, a duplicated response, a connection reset
+ * mid-write -- could only be provoked with real sockets and real
+ * processes. Transport is the seam: the coordinator's WorkerClient and
+ * the server's per-connection loops move bytes through this interface,
+ * SocketTransport is the production poll()-driven implementation, and
+ * the simulation harness (sim/sim_net.hh) substitutes an in-memory one
+ * whose fault schedule is driven from a seed.
+ *
+ * Semantics both implementations honour:
+ *  - send() writes the whole buffer or fails; a deadline of <= 0ms
+ *    means "block forever".
+ *  - recv() returns at least one byte, or an empty string on orderly
+ *    EOF, or an error (Timeout when the budget ran out, Io on reset).
+ *  - full-duplex: one thread may sit in recv() while another send()s;
+ *    implementations keep no state shared between the directions.
+ */
+
+#ifndef BVF_SERVER_TRANSPORT_HH
+#define BVF_SERVER_TRANSPORT_HH
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.hh"
+
+namespace bvf::server
+{
+
+/** One bidirectional byte stream. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Write all of @p bytes within @p deadline (<= 0 blocks forever). */
+    virtual Result<void> send(std::string_view bytes,
+                              std::chrono::milliseconds deadline) = 0;
+
+    /**
+     * Read some bytes within @p deadline (<= 0 blocks forever).
+     * Empty string = orderly EOF.
+     */
+    virtual Result<std::string>
+    recv(std::chrono::milliseconds deadline) = 0;
+
+    /** Tear the stream down; further send/recv fail. Idempotent. */
+    virtual void close() = 0;
+};
+
+using TransportPtr = std::unique_ptr<Transport>;
+
+/** poll()-driven Transport over a connected socket descriptor. */
+class SocketTransport final : public Transport
+{
+  public:
+    /**
+     * Wrap @p fd. When @p owned, close() (and the destructor) close
+     * the descriptor; a non-owning wrapper leaves lifetime with the
+     * caller (the server's connection loop owns its fd elsewhere).
+     */
+    explicit SocketTransport(int fd, bool owned = true)
+        : fd_(fd), owned_(owned)
+    {
+    }
+
+    ~SocketTransport() override { close(); }
+
+    SocketTransport(const SocketTransport &) = delete;
+    SocketTransport &operator=(const SocketTransport &) = delete;
+
+    Result<void> send(std::string_view bytes,
+                      std::chrono::milliseconds deadline) override;
+    Result<std::string> recv(std::chrono::milliseconds deadline) override;
+    void close() override;
+
+    int fd() const { return fd_; }
+
+    /**
+     * Deadline-bounded non-blocking connect to @p host:@p port
+     * (IPv4 dotted quad).
+     */
+    static Result<TransportPtr>
+    dialTcp(const std::string &host, int port,
+            std::chrono::milliseconds deadline);
+
+    /** Deadline-bounded connect to a Unix-domain socket at @p path. */
+    static Result<TransportPtr>
+    dialUnix(const std::string &path, std::chrono::milliseconds deadline);
+
+  private:
+    int fd_ = -1;
+    bool owned_ = true;
+};
+
+} // namespace bvf::server
+
+#endif // BVF_SERVER_TRANSPORT_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Simulated clock implementation.
+ */
+
+#include "sim/sim_clock.hh"
+
+#include <utility>
+
+namespace bvf::sim
+{
+
+void
+SimClock::advance(std::chrono::milliseconds duration)
+{
+    if (duration.count() < 0)
+        duration = std::chrono::milliseconds{0};
+    const time_point target = now_ + duration;
+    // Re-query begin() every pass: an event may schedule new events,
+    // including ones due before the target.
+    while (!events_.empty() && events_.begin()->first <= target) {
+        auto it = events_.begin();
+        if (it->first > now_)
+            now_ = it->first;
+        auto fn = std::move(it->second);
+        events_.erase(it);
+        fn();
+    }
+    if (target > now_)
+        now_ = target;
+}
+
+void
+SimClock::schedule(std::chrono::milliseconds at, std::function<void()> fn)
+{
+    events_.emplace(time_point{} + at, std::move(fn));
+}
+
+} // namespace bvf::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simulated time for the fault-simulation harness.
+ *
+ * SimClock is a bvf::Clock whose now() only moves when someone asks it
+ * to: sleepFor() *advances* the clock instead of blocking, so a whole
+ * fleet run -- deadlines, breaker cooldowns, retry backoff -- executes
+ * in microseconds of real time while experiencing seconds of simulated
+ * time. Events (a worker restart, a scheduled fault) are registered
+ * with schedule() and fire, in time order, from inside advance() as
+ * the clock sweeps past their due time.
+ *
+ * Single-threaded by design: the scenario runner drives coordinator,
+ * workers and campaign from one thread, so every advance() is a
+ * deterministic function of the call sequence. Determinism is the
+ * entire point -- the same seed must replay the same run byte for
+ * byte.
+ */
+
+#ifndef BVF_SIM_SIM_CLOCK_HH
+#define BVF_SIM_SIM_CLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/clock.hh"
+
+namespace bvf::sim
+{
+
+/** Deterministic, manually advanced clock with scheduled events. */
+class SimClock final : public Clock
+{
+  public:
+    SimClock() = default;
+
+    time_point now() override { return now_; }
+
+    /** Advance simulated time (fires due events); never blocks. */
+    void sleepFor(std::chrono::milliseconds duration) override
+    {
+        advance(duration);
+    }
+
+    /**
+     * Move the clock forward by @p duration, firing every event whose
+     * due time is reached, in time order. An event may schedule
+     * further events (even at already-passed times: they fire within
+     * this same advance). now() reads the event's due time while it
+     * runs, so code the event calls sees consistent time.
+     */
+    void advance(std::chrono::milliseconds duration);
+
+    /**
+     * Run @p fn when the clock reaches @p at (measured from the
+     * epoch, i.e. a default-constructed time_point). An @p at in the
+     * past fires on the next advance(), however short.
+     */
+    void schedule(std::chrono::milliseconds at, std::function<void()> fn);
+
+    /** Milliseconds since the epoch. */
+    std::chrono::milliseconds elapsed() const
+    {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+            now_ - time_point{});
+    }
+
+  private:
+    time_point now_{};
+    std::multimap<time_point, std::function<void()>> events_;
+};
+
+} // namespace bvf::sim
+
+#endif // BVF_SIM_SIM_CLOCK_HH

@@ -524,6 +524,41 @@ TEST(Merge, TruncatedShardIsSalvagedWhenReplayCovers)
     EXPECT_EQ(merged.value().report.completed, 2);
 }
 
+TEST(Merge, TornShardAtEveryOffsetSalvagesOrRefusesCleanly)
+{
+    TempDir dir;
+    const std::uint32_t crc = 77;
+    const AppResult first = sampleResult("AAA", 1.0);
+    const AppResult second = sampleResult("BBB", 2.0);
+    const std::vector<AppResult> both = {first, second};
+    const std::string full = campaign::serializeJournal(crc, both);
+
+    // Shard 1 is intact and covers every app, so whenever the torn
+    // shard 0 parses (salvaged or whole), the merge must succeed and
+    // deliver each app exactly once.
+    ASSERT_TRUE(atomicWriteFile(dir.path("s1.bvfj"), full).ok());
+    const std::vector<std::string> paths = {dir.path("s0.bvfj"),
+                                            dir.path("s1.bvfj")};
+    const auto apps = specsFor({"AAA", "BBB"});
+
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        ASSERT_TRUE(
+            atomicWriteFile(dir.path("s0.bvfj"), full.substr(0, cut))
+                .ok());
+        auto merged = mergeShardJournals(paths, crc, apps);
+        if (merged.ok()) {
+            // Exactly-once delivery must survive the tear: two apps,
+            // no double count, duplicates (failover replays) dropped.
+            EXPECT_EQ(merged.value().report.completed, 2) << cut;
+            EXPECT_LE(merged.value().duplicatesDropped, 2) << cut;
+        } else {
+            // A refusal must come from the taxonomy, never a crash or
+            // a hang: header damage is Corrupt by design.
+            EXPECT_EQ(merged.error().code, ErrorCode::Corrupt) << cut;
+        }
+    }
+}
+
 // --- Coordinator against real servers ---------------------------------
 
 /** One in-process bvfd worker on an ephemeral TCP port. */
@@ -692,35 +727,45 @@ TEST(Coordinator, HeartbeatKillsAndRevivesOverUnixSocket)
     WorkerAddress addr;
     addr.unixPath = sock;
     FleetOptions opts = fleetOver({addr});
-    opts.heartbeatInterval = 50ms;
+    // Drive beats synchronously via probeWorkersOnce(): the same code
+    // the heartbeat thread runs, without real sleeps or polling.
+    opts.heartbeatFloor = 200ms;
     Coordinator coord(opts);
-    coord.start();
 
-    // Kill the worker and wait for two missed beats to convict it.
+    // Kill the worker; two missed beats convict it.
     worker->requestStop();
     worker->drain();
     worker.reset();
-    const auto deadline =
-        std::chrono::steady_clock::now() + 5s;
-    while (coord.workerState(0) != WorkerState::Dead
-           && std::chrono::steady_clock::now() < deadline) {
-        std::this_thread::sleep_for(10ms);
-    }
+    coord.probeWorkersOnce();
+    EXPECT_EQ(coord.workerState(0), WorkerState::Suspect);
+    coord.probeWorkersOnce();
     EXPECT_EQ(coord.workerState(0), WorkerState::Dead);
 
     // Chaos restart on the same endpoint: the next beat revives it.
     worker = makeWorker();
-    const auto deadline2 =
-        std::chrono::steady_clock::now() + 5s;
-    while (coord.workerState(0) != WorkerState::Alive
-           && std::chrono::steady_clock::now() < deadline2) {
-        std::this_thread::sleep_for(10ms);
-    }
+    coord.probeWorkersOnce();
     EXPECT_EQ(coord.workerState(0), WorkerState::Alive);
     EXPECT_GE(coord.stats().revivals, 1u);
-    coord.stop();
     worker->requestStop();
     worker->drain();
+}
+
+TEST(WorkerHealth, DeadThresholdIsConfigurable)
+{
+    WorkerHealth slow(4);
+    for (int i = 0; i < 3; ++i)
+        slow.onFailure();
+    EXPECT_EQ(slow.state(), WorkerState::Suspect);
+    slow.onFailure();
+    EXPECT_EQ(slow.state(), WorkerState::Dead);
+
+    // Below the floor of 2 the threshold clamps up: one strike can
+    // only ever mean Suspect.
+    WorkerHealth clamped(0);
+    clamped.onFailure();
+    EXPECT_EQ(clamped.state(), WorkerState::Suspect);
+    clamped.onFailure();
+    EXPECT_EQ(clamped.state(), WorkerState::Dead);
 }
 
 TEST(Coordinator, ProxyHandlerTurnsAServerIntoALoadBalancer)

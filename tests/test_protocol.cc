@@ -105,8 +105,10 @@ TEST(Framing, OversizedLengthIsRejectedWithoutBuffering)
     auto parsed = parseFrame(bytes, consumed);
     ASSERT_FALSE(parsed.ok());
     // Not Truncated: a 4 GB length field must fail fast, not make the
-    // reader wait for 4 GB that will never come.
-    EXPECT_EQ(parsed.error().code, ErrorCode::InvalidArgument);
+    // reader wait for 4 GB that will never come.  Corrupt rather than
+    // InvalidArgument so the fleet coordinator treats it as transport
+    // damage instead of an application verdict.
+    EXPECT_EQ(parsed.error().code, ErrorCode::Corrupt);
 }
 
 TEST(Framing, CorruptedPayloadFailsTheCrc)
@@ -154,6 +156,34 @@ TEST(Messages, EvalCoderRoundTrip)
     EXPECT_EQ(decoded.value().vsPivot, req.vsPivot);
     EXPECT_EQ(decoded.value().isaMask, req.isaMask);
     EXPECT_EQ(decoded.value().words, req.words);
+}
+
+TEST(Messages, WordCountOutrunningThePayloadIsTruncatedNotAllocated)
+{
+    // A hostile payload claims ~131k words but carries none. The
+    // decoder must check the claim against the bytes actually present
+    // *before* sizing its vector -- a megabyte allocation driven by a
+    // 4-byte lie is an amplification primitive.
+    EvalCoderRequest req;
+    req.coder = CoderKind::Nv;
+    std::string bytes = req.encode(); // zero words: count is the tail
+    const std::uint32_t lie = 131000;
+    std::memcpy(&bytes[bytes.size() - sizeof(lie)], &lie, sizeof(lie));
+    const auto decoded = EvalCoderRequest::decode(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::Truncated);
+}
+
+TEST(Messages, ResponseWordCountIsCheckedBeforeAllocatingToo)
+{
+    EvalCoderResponse resp;
+    resp.totalBits = 64;
+    std::string bytes = resp.encode(); // empty vector: count is the tail
+    const std::uint32_t lie = 131000;
+    std::memcpy(&bytes[bytes.size() - sizeof(lie)], &lie, sizeof(lie));
+    const auto decoded = EvalCoderResponse::decode(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::Truncated);
 }
 
 TEST(Messages, DoublesSurviveBitExactly)

@@ -20,6 +20,7 @@
 #include <string>
 #include <thread>
 
+#include "server/http.hh"
 #include "server/protocol.hh"
 #include "server/server.hh"
 
@@ -276,6 +277,76 @@ TEST(Server, MetricsRideAlongOverHttp)
     EXPECT_NE(response.find("bvfd_workers 2"), std::string::npos);
     EXPECT_NE(server.renderMetrics().find("bvfd_workers 2"),
               std::string::npos);
+}
+
+TEST(HttpScan, CompleteHeadIsMeasuredExactly)
+{
+    const std::string head = "GET /metrics HTTP/1.0\r\n\r\n";
+    const auto scan = scanHttpHead(head + "trailing junk");
+    EXPECT_EQ(scan.state, HttpScan::Complete);
+    EXPECT_EQ(scan.headBytes, head.size());
+
+    // Bare-LF heads (curl-style hand tests) work too.
+    const auto bare = scanHttpHead("GET / HTTP/1.1\n\n");
+    EXPECT_EQ(bare.state, HttpScan::Complete);
+}
+
+TEST(HttpScan, PartialHeadAsksForMore)
+{
+    EXPECT_EQ(scanHttpHead("GET /met").state, HttpScan::NeedMore);
+    EXPECT_EQ(scanHttpHead("GET /metrics HTTP/1.0\r\n").state,
+              HttpScan::NeedMore);
+}
+
+TEST(HttpScan, OversizedRequestLineIsRejectedBeforeItEnds)
+{
+    // No newline anywhere: a scanner that waited for the line to end
+    // would buffer forever. The verdict must come from length alone.
+    const std::string endless =
+        "GET /" + std::string(kMaxHttpRequestLine, 'a');
+    EXPECT_EQ(scanHttpHead(endless).state, HttpScan::RequestLineTooLong);
+}
+
+TEST(HttpScan, OversizedHeadIsRejected)
+{
+    std::string head = "GET /metrics HTTP/1.0\r\n";
+    while (head.size() <= kMaxHttpHead)
+        head += "X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+    EXPECT_EQ(scanHttpHead(head).state, HttpScan::HeadTooLong);
+}
+
+TEST(Server, OversizedMetricsRequestLineGets414)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient scraper(server.port());
+    // "GET /aaaa..." with no newline: the request line never ends.
+    scraper.send("GET /" + std::string(kMaxHttpRequestLine, 'a'));
+    std::string response;
+    EXPECT_TRUE(scraper.readUntilEof(&response));
+    EXPECT_NE(response.find("414 URI Too Long"), std::string::npos);
+    // The rejection must not include a metrics body.
+    EXPECT_EQ(response.find("bvfd_workers"), std::string::npos);
+    EXPECT_GE(server.metrics().protocolErrors(), 1u);
+}
+
+TEST(Server, OversizedMetricsHeadGets431)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient scraper(server.port());
+    std::string head = "GET /metrics HTTP/1.0\r\n";
+    while (head.size() <= kMaxHttpHead)
+        head += "X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+    scraper.send(head);
+    std::string response;
+    EXPECT_TRUE(scraper.readUntilEof(&response));
+    EXPECT_NE(response.find("431 Request Header Fields Too Large"),
+              std::string::npos);
+    EXPECT_EQ(response.find("bvfd_workers"), std::string::npos);
+    EXPECT_GE(server.metrics().protocolErrors(), 1u);
 }
 
 TEST(Server, ServesTheSameProtocolOnAUnixSocket)
