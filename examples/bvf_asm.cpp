@@ -1,0 +1,186 @@
+/**
+ * @file
+ * bvf_asm: assembler / disassembler for BVF kernel IR.
+ *
+ * Bridges the three program representations: textual assembly
+ * (isa/asm.hh), BVFK binary bytecode (isa/bytecode.hh) and the
+ * compiled-in evaluation suite (workload/kernel_builder.hh). Every
+ * conversion goes through isa::Program, so a successful round trip is
+ * also a structural validation of the input.
+ *
+ * Usage:
+ *   bvf_asm asm FILE [-o OUT]      assemble text -> BVFK bytecode
+ *   bvf_asm dis FILE [-o OUT]      disassemble BVFK bytecode -> text
+ *   bvf_asm roundtrip FILE         check text -> bytecode -> text is
+ *                                  exact; exit 1 on any mismatch
+ *   bvf_asm dump APP [-o OUT]      render a suite kernel as assembly
+ *   bvf_asm encode APP [-o OUT]    encode a suite kernel as bytecode
+ *   bvf_asm list                   list suite kernel abbreviations
+ *
+ * With no -o the output goes to stdout (bytecode included: pipe it).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "isa/asm.hh"
+#include "isa/bytecode.hh"
+#include "workload/kernel_builder.hh"
+
+using namespace bvf;
+
+namespace
+{
+
+struct Options
+{
+    std::string command;
+    std::string input;
+    std::string output; //!< empty = stdout
+};
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    cli::ArgStream args(argc, argv);
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "-o" || arg == "--output") {
+            o.output = args.value(arg);
+        } else if (arg.rfind("--", 0) == 0) {
+            cli::dieUsage("unknown option '" + arg + "'");
+        } else if (o.command.empty()) {
+            o.command = arg;
+        } else if (o.input.empty()) {
+            o.input = arg;
+        } else {
+            cli::dieUsage("unexpected argument '" + arg + "'");
+        }
+    }
+    if (o.command.empty()) {
+        cli::dieUsage(
+            "no command (asm, dis, roundtrip, dump, encode, list)");
+    }
+    const bool known = o.command == "asm" || o.command == "dis"
+                       || o.command == "roundtrip" || o.command == "dump"
+                       || o.command == "encode" || o.command == "list";
+    if (!known)
+        cli::dieUsage("unknown command '" + o.command + "'");
+    if (o.command == "list") {
+        if (!o.input.empty())
+            cli::dieUsage("list takes no arguments");
+    } else if (o.input.empty()) {
+        cli::dieUsage(o.command + " needs an input argument");
+    }
+    return o;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open '%s'", path.c_str());
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    return raw.str();
+}
+
+void
+emit(const Options &o, std::string_view bytes)
+{
+    if (o.output.empty()) {
+        std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+        return;
+    }
+    std::ofstream out(o.output, std::ios::binary);
+    fatal_if(!out, "cannot open '%s' for writing", o.output.c_str());
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    fatal_if(!out, "write to '%s' failed", o.output.c_str());
+}
+
+isa::Program
+parseOrDie(const std::string &path, const std::string &text)
+{
+    const auto parsed = isa::parseAsm(text);
+    fatal_if(!parsed.ok(), "%s: %s", path.c_str(),
+             parsed.error().describe().c_str());
+    return parsed.value();
+}
+
+isa::Program
+decodeOrDie(const std::string &path, const std::string &bytes)
+{
+    auto decoded = isa::decodeProgram(bytes);
+    fatal_if(!decoded.ok(), "%s: %s", path.c_str(),
+             decoded.error().describe().c_str());
+    return std::move(decoded.value());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    try {
+        o = parse(argc, argv);
+    } catch (const cli::UsageError &e) {
+        return cli::reportUsage("bvf_asm", e);
+    }
+
+    if (o.command == "list") {
+        for (const auto &spec : workload::evaluationSuite())
+            std::printf("%s\n", spec.abbr.c_str());
+        return 0;
+    }
+    if (o.command == "asm") {
+        emit(o, isa::encodeProgram(parseOrDie(o.input,
+                                              readFile(o.input))));
+        return 0;
+    }
+    if (o.command == "dis") {
+        emit(o, isa::renderAsm(decodeOrDie(o.input, readFile(o.input))));
+        return 0;
+    }
+    if (o.command == "roundtrip") {
+        const std::string text = readFile(o.input);
+        const isa::Program prog = parseOrDie(o.input, text);
+        const std::string bytecode = isa::encodeProgram(prog);
+        const isa::Program back = decodeOrDie(o.input, bytecode);
+        if (isa::encodeProgram(back) != bytecode) {
+            std::fprintf(stderr,
+                         "%s: bytecode round trip is not stable\n",
+                         o.input.c_str());
+            return 1;
+        }
+        const std::string rendered = isa::renderAsm(back);
+        const isa::Program again = parseOrDie(o.input + " (rendered)",
+                                              rendered);
+        if (isa::encodeProgram(again) != bytecode) {
+            std::fprintf(stderr,
+                         "%s: assembly round trip diverged\n",
+                         o.input.c_str());
+            return 1;
+        }
+        std::printf("%s: round trip exact (%zu instructions, %zu "
+                    "bytecode bytes)\n",
+                    o.input.c_str(), prog.body.size(), bytecode.size());
+        return 0;
+    }
+
+    // dump / encode take a suite abbreviation.
+    const workload::AppSpec &spec = workload::findApp(o.input);
+    const isa::Program prog = workload::buildProgram(spec);
+    if (o.command == "dump")
+        emit(o, isa::renderAsm(prog));
+    else
+        emit(o, isa::encodeProgram(prog));
+    return 0;
+}

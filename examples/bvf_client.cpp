@@ -20,6 +20,12 @@
  *   static APP                 static predictor bounds (no simulation)
  *   advise APP                 static coder advice: VS pivot ranking,
  *                              specialized ISA mask, unit picks
+ *   submit FILE                submit an untrusted kernel (BVFK
+ *                              bytecode, or assembly text which is
+ *                              assembled client-side) for static
+ *                              admission; --eval also simulates it
+ *   eval DIGEST                simulate + price a previously admitted
+ *                              kernel by its digest
  *   metrics                    scrape the /metrics exposition
  *
  * Options:
@@ -58,11 +64,17 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
+#include "analysis/verifier.hh"
 #include "circuit/mem_cell.hh"
 #include "coder/bvf_space.hh"
 #include "coder/scenario.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "isa/asm.hh"
+#include "isa/bytecode.hh"
 #include "server/protocol.hh"
 
 using namespace bvf;
@@ -91,6 +103,8 @@ struct Options
     int retries = 0;      //!< transport retries after the first try
     int backoffMs = 100;  //!< first retry delay, doubled per retry
     int deadlineMs = 0;   //!< per-response wait budget; 0 = forever
+
+    bool evalAfterSubmit = false; //!< submit --eval
 };
 
 /**
@@ -194,6 +208,8 @@ parse(int argc, char **argv)
                 cli::badChoice(arg, v, "bvf8t, bvf6t, 8t, 6t, edram");
         } else if (arg == "--ecc") {
             o.ecc = 1;
+        } else if (arg == "--eval") {
+            o.evalAfterSubmit = true;
         } else if (arg == "--cells-bitline") {
             o.cellsBitline = static_cast<std::uint32_t>(
                 cli::parseInteger(arg, args.value(arg), 1, 8192));
@@ -215,8 +231,14 @@ parse(int argc, char **argv)
     }
     if (o.command.empty()) {
         cli::dieUsage("no command (ping, eval-coder, density, energy, "
-                      "static, advise, metrics)");
+                      "static, advise, submit, eval, metrics)");
     }
+    if (o.command == "submit" && o.args.size() != 1)
+        cli::dieUsage("submit needs exactly one kernel file");
+    if (o.command == "eval" && o.args.size() != 1)
+        cli::dieUsage("eval needs exactly one kernel digest");
+    if (o.evalAfterSubmit && o.command != "submit")
+        cli::dieUsage("--eval only applies to the submit command");
     if (o.port == 0 && o.unixPath.empty())
         cli::dieUsage("--port N or --unix PATH is required");
     return o;
@@ -629,6 +651,119 @@ cmdAdvise(const Options &o, int fd)
     return 0;
 }
 
+/**
+ * Load the kernel to submit: a BVFK bytecode file is sent verbatim;
+ * anything else is treated as assembly text and assembled client-side.
+ */
+std::string
+loadKernelBytecode(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open kernel file '%s'", path.c_str());
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    const std::string bytes = raw.str();
+    fatal_if(bytes.empty(), "kernel file '%s' is empty", path.c_str());
+    if (bytes.size() >= 4 && bytes.compare(0, 4, "BVFK") == 0)
+        return bytes;
+    const auto parsed = isa::parseAsm(bytes);
+    fatal_if(!parsed.ok(), "%s: %s", path.c_str(),
+             parsed.error().describe().c_str());
+    return isa::encodeProgram(parsed.value());
+}
+
+void
+printEnergyTable(const std::array<double, kScenarioSlots> &chip,
+                 const std::array<double, kScenarioSlots> &bvfUnits)
+{
+    const auto base = static_cast<std::size_t>(
+        coder::scenarioIndex(coder::Scenario::Baseline));
+    for (const auto s : coder::allScenarios) {
+        const auto idx =
+            static_cast<std::size_t>(coder::scenarioIndex(s));
+        std::printf("  %-10s chip %10.3f uJ (%+6.2f%%)  bvf-units "
+                    "%10.3f uJ\n",
+                    coder::scenarioName(s).c_str(), chip[idx] * 1e6,
+                    100.0 * (chip[idx] / chip[base] - 1.0),
+                    bvfUnits[idx] * 1e6);
+    }
+}
+
+/** Send one EvalSubmitted request and print the result. */
+int
+evalByDigest(const Options &o, int fd, const std::string &digest)
+{
+    EvalSubmittedRequest req;
+    req.digest = digest;
+    req.arch = o.query.arch;
+    req.sched = o.query.sched;
+    req.vsPivot = o.query.vsPivot;
+    req.dynamicIsa = o.query.dynamicIsa;
+    req.node = o.node;
+    req.pstate = o.pstate;
+    req.cell = o.cell;
+    req.ecc = o.ecc;
+    req.cellsBitline = o.cellsBitline;
+    sendAll(fd, encodeFrame(MsgType::EvalSubmittedRequest, req.encode()));
+    std::string buf;
+    const Frame frame = recvFrame(o, fd, buf);
+    rejectError(frame);
+    const auto resp = EvalSubmittedResponse::decode(frame.payload);
+    fatal_if(!resp.ok(), "bad eval-submitted response: %s",
+             resp.error().describe().c_str());
+    const EvalSubmittedResponse &r = resp.value();
+    std::printf("%s: %llu cycles, %llu instructions\n", digest.c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("  contract: max warp issue %llu, %llu accesses "
+                "checked\n",
+                static_cast<unsigned long long>(r.maxWarpIssue),
+                static_cast<unsigned long long>(r.checkedAccesses));
+    printEnergyTable(r.chipEnergy, r.bvfUnitsEnergy);
+    return 0;
+}
+
+int
+cmdSubmit(const Options &o, int fd)
+{
+    SubmitKernelRequest req;
+    req.bytecode = loadKernelBytecode(o.args[0]);
+    sendAll(fd, encodeFrame(MsgType::SubmitKernelRequest, req.encode()));
+    std::string buf;
+    const Frame frame = recvFrame(o, fd, buf);
+    rejectError(frame);
+    const auto resp = SubmitKernelResponse::decode(frame.payload);
+    fatal_if(!resp.ok(), "bad submit response: %s",
+             resp.error().describe().c_str());
+    const SubmitKernelResponse &r = resp.value();
+    if (!r.admitted) {
+        std::printf("rejected: %zu finding(s)\n", r.rejections.size());
+        for (const auto &rej : r.rejections) {
+            std::printf("  pc %u [%s] %s\n", rej.pc,
+                        analysis::rejectReasonName(
+                            static_cast<analysis::RejectReason>(
+                                rej.reason))
+                            .c_str(),
+                        rej.message.c_str());
+        }
+        return 1;
+    }
+    std::printf("admitted %s\n", r.digest.c_str());
+    std::printf("  certificate: warp trip bound %llu, global footprint "
+                "[0x%08x, 0x%08x]\n",
+                static_cast<unsigned long long>(r.tripBound), r.globalLo,
+                r.globalHi);
+    if (o.evalAfterSubmit)
+        return evalByDigest(o, fd, r.digest);
+    return 0;
+}
+
+int
+cmdEval(const Options &o, int fd)
+{
+    return evalByDigest(o, fd, o.args[0]);
+}
+
 int
 cmdMetrics(const Options &o, int fd)
 {
@@ -693,18 +828,23 @@ main(int argc, char **argv)
             return cmdStatic(o, fd);
         if (o.command == "advise")
             return cmdAdvise(o, fd);
+        if (o.command == "submit")
+            return cmdSubmit(o, fd);
+        if (o.command == "eval")
+            return cmdEval(o, fd);
         return cmdMetrics(o, fd);
     };
     const bool known =
         o.command == "ping" || o.command == "eval-coder"
         || o.command == "density" || o.command == "energy"
         || o.command == "static" || o.command == "advise"
+        || o.command == "submit" || o.command == "eval"
         || o.command == "metrics";
     if (!known) {
         std::fprintf(stderr,
                      "bvf_client: unknown command '%s' (ping, "
                      "eval-coder, density, energy, static, advise, "
-                     "metrics)\n",
+                     "submit, eval, metrics)\n",
                      o.command.c_str());
         return cli::kExitUsage;
     }

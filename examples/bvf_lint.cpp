@@ -9,8 +9,8 @@
  * malformed reconvergence annotations.
  *
  * Usage:
- *   bvf_lint [--arch fermi|kepler|maxwell|pascal] [--advise] [--json]
- *            [APP...]
+ *   bvf_lint [--arch fermi|kepler|maxwell|pascal] [--advise]
+ *            [--verify] [--json] [APP...]
  *
  * With no APP arguments the whole 58-app suite is linted. Exit status
  * is 0 when every kernel is clean and 1 otherwise, so CI can gate on
@@ -22,6 +22,13 @@
  * per-unit NV-vs-VS picks). With --json the reports are emitted as one
  * JSON array instead, for downstream tooling. Advice output never
  * affects the exit status; only lint findings do.
+ *
+ * --verify additionally runs the static admission verifier
+ * (analysis/verifier.hh) on each kernel -- the same pass bvfd applies
+ * to untrusted bytecode submissions. Verifier rejections count as
+ * findings and fail the exit status; an admitted kernel prints its
+ * certificate (proven warp trip bound and memory footprints). With
+ * --json the verdicts are emitted as one JSON array.
  */
 
 #include <cstdio>
@@ -31,6 +38,7 @@
 #include "analysis/advisor.hh"
 #include "analysis/interpreter.hh"
 #include "analysis/lint.hh"
+#include "analysis/verifier.hh"
 #include "common/cli.hh"
 #include "workload/kernel_builder.hh"
 
@@ -44,6 +52,7 @@ struct Options
     std::vector<std::string> names;
     isa::GpuArch arch = isa::GpuArch::Pascal;
     bool advise = false;
+    bool verify = false;
     bool json = false;
 };
 
@@ -71,6 +80,8 @@ parse(int argc, char **argv)
                 cli::badChoice(arg, v, "fermi, kepler, maxwell, pascal");
         } else if (arg == "--advise") {
             opt.advise = true;
+        } else if (arg == "--verify") {
+            opt.verify = true;
         } else if (arg == "--json") {
             opt.json = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -79,8 +90,12 @@ parse(int argc, char **argv)
             opt.names.push_back(arg);
         }
     }
-    if (opt.json && !opt.advise)
-        cli::dieUsage("--json requires --advise");
+    if (opt.json && !opt.advise && !opt.verify)
+        cli::dieUsage("--json requires --advise or --verify");
+    if (opt.json && opt.advise && opt.verify) {
+        cli::dieUsage(
+            "--json emits one document: pick --advise or --verify");
+    }
     return opt;
 }
 
@@ -123,6 +138,47 @@ main(int argc, char **argv)
                          spec.abbr.c_str(), finding.toString().c_str());
         }
         total += findings.size();
+        if (opt.verify) {
+            const analysis::Verdict verdict =
+                analysis::verifyProgram(program);
+            if (opt.json) {
+                std::printf("%s{\"version\": 1, \"kernel\": \"%s\", "
+                            "\"admitted\": %s",
+                            first_json ? "" : ",\n", spec.abbr.c_str(),
+                            verdict.admitted ? "true" : "false");
+                if (verdict.admitted) {
+                    std::printf(", \"trip_bound\": %llu, "
+                                "\"global_footprint\": [%u, %u]",
+                                static_cast<unsigned long long>(
+                                    verdict.certificate.warpTripBound),
+                                verdict.certificate.global.lo,
+                                verdict.certificate.global.hi);
+                }
+                std::printf(", \"rejections\": [");
+                bool first_rej = true;
+                for (const auto &rej : verdict.rejections) {
+                    std::printf("%s{\"reason\": \"%s\", \"pc\": %d}",
+                                first_rej ? "" : ", ",
+                                analysis::rejectReasonName(rej.reason)
+                                    .c_str(),
+                                rej.pc);
+                    first_rej = false;
+                }
+                std::printf("]}");
+                first_json = false;
+            } else if (verdict.admitted) {
+                std::printf("%s: admitted (warp trip bound %llu)\n",
+                            spec.abbr.c_str(),
+                            static_cast<unsigned long long>(
+                                verdict.certificate.warpTripBound));
+            }
+            for (const auto &rej : verdict.rejections) {
+                std::fprintf(opt.json ? stderr : stdout,
+                             "%s: %s\n", spec.abbr.c_str(),
+                             rej.toString().c_str());
+            }
+            total += verdict.rejections.size();
+        }
         if (opt.advise) {
             const analysis::AnalysisResult analysis =
                 analysis::analyzeProgram(program);

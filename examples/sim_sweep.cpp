@@ -37,7 +37,8 @@
  *                      /tmp/bvf-simsweep-<pid>)
  *   --phases N         fault phases per scenario (default: seeded 1-3)
  *   --fuzz-iters N     run the fuzz drivers instead of scenarios
- *   --fuzz-target T    frame|http|trace|journal|merge (default: all)
+ *   --fuzz-target T    frame|http|trace|journal|merge|bytecode|asm
+ *                      (default: all)
  *   --corpus DIR       replay DIR/<target>/* before fuzzing
  *   --write-corpus DIR write each target's seed inputs there and exit
  *   --verbose          per-seed / per-target progress lines

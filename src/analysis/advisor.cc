@@ -402,7 +402,9 @@ adviceJson(const std::string &name, const StaticAdvice &advice)
         return j.str();
     };
 
-    os << "{\"kernel\": \"" << name << "\", \"pivot\": {";
+    // Schema version for downstream tooling; bump on any shape change
+    // (docs/ADVISOR.md documents the schema).
+    os << "{\"version\": 1, \"kernel\": \"" << name << "\", \"pivot\": {";
     os << "\"best\": " << advice.pivot.bestPivot
        << ", \"proven_slack\": " << advice.pivot.provenSlack
        << ", \"affine_sources\": " << advice.pivot.affineSources

@@ -53,12 +53,22 @@ AppRun
 ExperimentDriver::runApp(const workload::AppSpec &spec,
                          const RunOptions &options) const
 {
-    AppRun run;
+    AppRun run = runProgram(workload::buildProgram(spec), options);
     run.name = spec.name;
     run.abbr = spec.abbr;
     run.memoryIntensive = spec.memoryIntensive;
+    return run;
+}
 
-    isa::Program program = workload::buildProgram(spec);
+AppRun
+ExperimentDriver::runProgram(isa::Program program,
+                             const RunOptions &options) const
+{
+    AppRun run;
+    run.name = program.name;
+    run.abbr = program.name;
+    const std::string label = program.name.empty() ? "kernel"
+                                                   : program.name;
 
     AccountantOptions opts;
     opts.arch = config_.arch;
@@ -101,6 +111,8 @@ ExperimentDriver::runApp(const workload::AppSpec &spec,
 
     gpu::Gpu machine(config_, std::move(program), *sink);
     machine.setCancellation(options.cancel);
+    if (options.probe)
+        machine.setExecProbe(options.probe);
     run.gpuStats = machine.run();
     run.accountant->finalize(run.gpuStats.cycles);
 
@@ -108,13 +120,32 @@ ExperimentDriver::runApp(const workload::AppSpec &spec,
         const auto violations = crossCheckRun(*staticReport,
                                               *run.accountant);
         for (const std::string &v : violations)
-            warn("%s: %s", spec.abbr.c_str(), v.c_str());
+            warn("%s: %s", label.c_str(), v.c_str());
         fatal_if(!violations.empty(),
                  "static cross-check failed for %s: %zu observed ratios "
                  "escaped their proven intervals",
-                 spec.abbr.c_str(), violations.size());
+                 label.c_str(), violations.size());
     }
     return run;
+}
+
+Result<AppRun>
+ExperimentDriver::runProgramChecked(isa::Program program,
+                                    const RunOptions &options) const
+{
+    auto classify = [&](const char *what) {
+        const bool timed_out = options.cancel && options.cancel->expired();
+        return Error{timed_out ? ErrorCode::Timeout : ErrorCode::Failed,
+                     what};
+    };
+    try {
+        ScopedFatalTrap trap;
+        return runProgram(std::move(program), options);
+    } catch (const FatalError &e) {
+        return classify(e.what());
+    } catch (const std::exception &e) {
+        return classify(e.what());
+    }
 }
 
 Result<AppRun>

@@ -111,6 +111,13 @@ struct RunOptions
      * stream beyond what the static model covers.
      */
     bool checkStatic = false;
+
+    /**
+     * Issue-observation probe installed on every SM for this run
+     * (null = none). The submitted-kernel path uses it to enforce an
+     * admission certificate (core/contract.hh) while the kernel runs.
+     */
+    gpu::ExecProbe *probe = nullptr;
 };
 
 /** Why one application of a suite run could not be simulated. */
@@ -160,6 +167,20 @@ class ExperimentDriver
      */
     Result<AppRun> runAppChecked(const workload::AppSpec &spec,
                                  const RunOptions &options = {}) const;
+
+    /**
+     * Simulate an already-built kernel. This is the only simulation
+     * entry point for programs that did not come out of the trusted
+     * kernel builder (bytecode submissions, assembled text); callers
+     * must gate it behind analysis::verifyProgram and should install a
+     * ContractProbe via options.probe so the certificate is enforced.
+     */
+    AppRun runProgram(isa::Program program,
+                      const RunOptions &options = {}) const;
+
+    /** Fail-soft runProgram: fatal() becomes a structured Error. */
+    Result<AppRun> runProgramChecked(isa::Program program,
+                                     const RunOptions &options = {}) const;
 
     /** Simulate every app of the 58-app suite. */
     std::vector<AppRun> runSuite() const;

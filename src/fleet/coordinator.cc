@@ -10,6 +10,7 @@
 
 #include "common/crc32.hh"
 #include "common/logging.hh"
+#include "server/kernel_store.hh"
 
 namespace bvf::fleet
 {
@@ -392,6 +393,27 @@ Coordinator::routeKeyForFrame(const Frame &frame)
         std::string abbr;
         if (reader.getString(abbr, 64) && !abbr.empty())
             return abbr;
+        break;
+      }
+      case MsgType::SubmitKernelRequest: {
+        // Route by the kernel's content digest so the later
+        // EvalSubmitted for the same kernel shards to the worker
+        // whose store holds it.
+        server::WireReader reader(frame.payload);
+        std::string bytecode;
+        if (reader.getString(bytecode, server::kMaxPayload)
+            && !bytecode.empty())
+            return server::kernelDigest(bytecode);
+        break;
+      }
+      case MsgType::EvalSubmittedRequest: {
+        // Payload starts with the digest string: same key as the
+        // submit that stored the kernel.
+        server::WireReader reader(frame.payload);
+        std::string digest;
+        if (reader.getString(digest, server::kMaxDigestBytes)
+            && !digest.empty())
+            return digest;
         break;
       }
       default:

@@ -15,6 +15,7 @@
 #include "coder/vs_coder.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "core/contract.hh"
 #include "core/experiment.hh"
 #include "core/static_check.hh"
 #include "isa/encoding.hh"
@@ -380,6 +381,111 @@ RequestHandler::handleStaticAdvice(const Frame &request) const
 }
 
 Frame
+RequestHandler::handleSubmitKernel(const Frame &request) const
+{
+    const auto decoded = SubmitKernelRequest::decode(request.payload);
+    if (!decoded.ok())
+        return errorFrame(decoded.error());
+    const SubmitKernelRequest &req = decoded.value();
+
+    return guarded([&] {
+        const auto outcome = kernels_->submit(req.bytecode);
+        if (!outcome.ok())
+            return errorFrame(outcome.error());
+        const SubmitOutcome &sub = outcome.value();
+
+        SubmitKernelResponse resp;
+        resp.admitted = sub.admitted ? 1 : 0;
+        resp.digest = sub.digest;
+        resp.tripBound = sub.certificate.warpTripBound;
+        resp.globalLo = sub.certificate.global.lo;
+        resp.globalHi = sub.certificate.global.hi;
+        for (const analysis::Rejection &rej : sub.rejections) {
+            if (resp.rejections.size() >= kMaxWireRejections)
+                break;
+            SubmitKernelResponse::WireRejection wire;
+            wire.reason = static_cast<std::uint8_t>(rej.reason);
+            wire.pc = static_cast<std::uint32_t>(rej.pc);
+            wire.message = rej.message.substr(0, 4096);
+            resp.rejections.push_back(std::move(wire));
+        }
+
+        Frame out;
+        out.type = MsgType::SubmitKernelResponse;
+        out.payload = resp.encode();
+        return out;
+    });
+}
+
+Frame
+RequestHandler::handleEvalSubmitted(const Frame &request) const
+{
+    const auto decoded = EvalSubmittedRequest::decode(request.payload);
+    if (!decoded.ok())
+        return errorFrame(decoded.error());
+    const EvalSubmittedRequest &req = decoded.value();
+
+    const auto stored = kernels_->find(req.digest);
+    if (!stored) {
+        return errorFrame(Error{
+            ErrorCode::InvalidArgument,
+            strFormat("no admitted kernel under digest '%s'",
+                      req.digest.c_str())});
+    }
+
+    return guarded([&] {
+        gpu::GpuConfig config = gpu::baselineConfig();
+        config.arch = archFromIndex(req.arch);
+        config.scheduler = schedFromIndex(req.sched);
+        const core::ExperimentDriver driver(config);
+
+        // The certificate is enforced while the kernel runs: the probe
+        // fatal()s -- trapped by guarded() -- on any trip-count or
+        // footprint escape, which would be a verifier soundness bug.
+        core::ContractProbe probe(stored->certificate);
+        core::RunOptions options;
+        options.dynamicIsa = req.dynamicIsa != 0;
+        options.vsRegisterPivot = static_cast<int>(req.vsPivot);
+        options.probe = &probe;
+
+        const auto run =
+            driver.runProgramChecked(stored->program, options);
+        if (!run.ok())
+            return errorFrame(run.error());
+
+        core::Pricing pricing;
+        pricing.node = req.node == 0 ? circuit::TechNode::N28
+                                     : circuit::TechNode::N40;
+        pricing.pstate = req.pstate == 0   ? gpu::pstateNominal()
+                         : req.pstate == 1 ? gpu::pstateMid()
+                                           : gpu::pstateLow();
+        pricing.cellKind = static_cast<circuit::CellKind>(req.cell);
+        pricing.ecc = req.ecc != 0;
+        pricing.cellsPerBitline = static_cast<int>(req.cellsBitline);
+
+        const core::AppEnergy energy =
+            driver.evaluate(run.value(), pricing);
+
+        EvalSubmittedResponse resp;
+        resp.cycles = run.value().gpuStats.cycles;
+        resp.instructions = run.value().gpuStats.sm.issued;
+        resp.maxWarpIssue = probe.maxIssued();
+        resp.checkedAccesses = probe.checkedAccesses();
+        for (const coder::Scenario s : coder::allScenarios) {
+            const auto idx =
+                static_cast<std::size_t>(coder::scenarioIndex(s));
+            resp.chipEnergy[idx] = energy.at(s).chipTotal();
+            resp.bvfUnitsEnergy[idx] = energy.at(s).bvfUnitsTotal();
+        }
+
+        Frame out;
+        out.type = MsgType::EvalSubmittedResponse;
+        out.payload = resp.encode();
+        return out;
+    });
+}
+
+Frame
 RequestHandler::handle(const Frame &request) const
 {
     switch (request.type) {
@@ -395,6 +501,10 @@ RequestHandler::handle(const Frame &request) const
         return handleStaticQuery(request);
       case MsgType::StaticAdviceRequest:
         return handleStaticAdvice(request);
+      case MsgType::SubmitKernelRequest:
+        return handleSubmitKernel(request);
+      case MsgType::EvalSubmittedRequest:
+        return handleEvalSubmitted(request);
       default:
         return errorFrame(Error{
             ErrorCode::InvalidArgument,

@@ -17,6 +17,9 @@
 #ifndef BVF_SERVER_HANDLER_HH
 #define BVF_SERVER_HANDLER_HH
 
+#include <memory>
+
+#include "server/kernel_store.hh"
 #include "server/protocol.hh"
 
 namespace bvf::server
@@ -26,12 +29,17 @@ namespace bvf::server
 class RequestHandler
 {
   public:
+    RequestHandler() : kernels_(std::make_shared<KernelStore>()) {}
+
     /**
      * Execute @p request and build the response frame. Request frames
      * with a response type are themselves answered with ErrorResponse
      * (a client must never speak response types).
      */
     Frame handle(const Frame &request) const;
+
+    /** Admission store shared by every worker (metrics, lookups). */
+    const KernelStore &kernelStore() const { return *kernels_; }
 
   private:
     Frame handlePing(const Frame &request) const;
@@ -40,6 +48,14 @@ class RequestHandler
     Frame handleChipEnergy(const Frame &request) const;
     Frame handleStaticQuery(const Frame &request) const;
     Frame handleStaticAdvice(const Frame &request) const;
+    Frame handleSubmitKernel(const Frame &request) const;
+    Frame handleEvalSubmitted(const Frame &request) const;
+
+    /**
+     * Shared (not a value) so RequestHandler stays copyable -- copies
+     * used by transports and the fleet proxy all see one store.
+     */
+    std::shared_ptr<KernelStore> kernels_;
 };
 
 /** Build an ErrorResponse frame from a structured error. */

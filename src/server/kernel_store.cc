@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Kernel store implementation.
+ */
+
+#include "server/kernel_store.hh"
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+#include "isa/bytecode.hh"
+
+namespace bvf::server
+{
+
+/**
+ * CRC32 plus length is not collision-resistant against adversaries,
+ * but an attacker who crafts a collision only aliases *their own*
+ * earlier submission -- the stored program under a digest is always one
+ * that passed the verifier, so the admission property is unaffected.
+ */
+std::string
+kernelDigest(std::string_view bytecode)
+{
+    return strFormat("k%08x-%zx", crc32(bytecode.data(), bytecode.size()),
+                     bytecode.size());
+}
+
+Result<SubmitOutcome>
+KernelStore::submit(std::string_view bytecode)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++submitted_;
+    }
+
+    auto decoded = isa::decodeProgram(bytecode);
+    if (!decoded.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++decodeFailures_;
+        return decoded.error();
+    }
+
+    const analysis::Verdict verdict =
+        analysis::verifyProgram(decoded.value());
+    if (!verdict.admitted) {
+        SubmitOutcome out;
+        out.admitted = false;
+        out.rejections = verdict.rejections;
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const analysis::Rejection &rej : verdict.rejections)
+            ++rejectedBy_[static_cast<std::size_t>(rej.reason)];
+        return out;
+    }
+
+    SubmitOutcome out;
+    out.admitted = true;
+    out.digest = kernelDigest(bytecode);
+    out.certificate = verdict.certificate;
+
+    auto stored = std::make_shared<const StoredKernel>(
+        StoredKernel{std::move(decoded.value()), verdict.certificate});
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = kernels_.find(out.digest);
+    if (it == kernels_.end()) {
+        if (kernels_.size() >= kMaxResident) {
+            return Error{ErrorCode::Overloaded,
+                         strFormat("kernel store is full (%zu resident)",
+                                   kernels_.size())};
+        }
+        kernels_.emplace(out.digest, std::move(stored));
+    }
+    ++admitted_;
+    return out;
+}
+
+std::shared_ptr<const StoredKernel>
+KernelStore::find(const std::string &digest) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = kernels_.find(digest);
+    return it == kernels_.end() ? nullptr : it->second;
+}
+
+std::string
+KernelStore::renderMetrics() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    out += "# HELP bvfd_kernels_submitted_total Kernel submissions "
+           "received.\n";
+    out += "# TYPE bvfd_kernels_submitted_total counter\n";
+    out += strFormat("bvfd_kernels_submitted_total %llu\n",
+                     static_cast<unsigned long long>(submitted_));
+    out += "# HELP bvfd_kernels_admitted_total Submissions that passed "
+           "the static verifier.\n";
+    out += "# TYPE bvfd_kernels_admitted_total counter\n";
+    out += strFormat("bvfd_kernels_admitted_total %llu\n",
+                     static_cast<unsigned long long>(admitted_));
+    out += "# HELP bvfd_kernels_decode_failures_total Submissions whose "
+           "bytecode did not decode.\n";
+    out += "# TYPE bvfd_kernels_decode_failures_total counter\n";
+    out += strFormat("bvfd_kernels_decode_failures_total %llu\n",
+                     static_cast<unsigned long long>(decodeFailures_));
+    out += "# HELP bvfd_kernels_rejected_total Verifier rejections by "
+           "machine-readable reason.\n";
+    out += "# TYPE bvfd_kernels_rejected_total counter\n";
+    for (int i = 0; i < analysis::kNumRejectReasons; ++i) {
+        out += strFormat(
+            "bvfd_kernels_rejected_total{reason=\"%s\"} %llu\n",
+            analysis::rejectReasonName(
+                static_cast<analysis::RejectReason>(i))
+                .c_str(),
+            static_cast<unsigned long long>(
+                rejectedBy_[static_cast<std::size_t>(i)]));
+    }
+    out += "# HELP bvfd_kernels_resident Admitted kernels currently "
+           "stored.\n";
+    out += "# TYPE bvfd_kernels_resident gauge\n";
+    out += strFormat("bvfd_kernels_resident %zu\n", kernels_.size());
+    return out;
+}
+
+} // namespace bvf::server

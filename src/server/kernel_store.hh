@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Daemon-side store of admitted untrusted kernels.
+ *
+ * A KernelStore owns the admission boundary for bytecode submissions:
+ * submit() decodes a BVFK frame, runs the static verifier, and only an
+ * *admitted* program is stored -- keyed by a content digest computed
+ * over the bytecode bytes -- together with its admission certificate.
+ * EvalSubmitted looks kernels up by that digest, so a rejected kernel
+ * cannot reach an SM by construction: there is no handle to name it by.
+ *
+ * The store also keeps the admission counters surfaced on /metrics:
+ * submissions, admissions, rejections broken down by machine-readable
+ * reason, and bytecode that did not even decode. All methods are
+ * thread-safe; pool workers share one store per daemon.
+ */
+
+#ifndef BVF_SERVER_KERNEL_STORE_HH
+#define BVF_SERVER_KERNEL_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/verifier.hh"
+#include "common/result.hh"
+#include "isa/program.hh"
+
+namespace bvf::server
+{
+
+/**
+ * Content digest of submitted bytecode -- the EvalSubmitted lookup
+ * handle, and the fleet's routing key (submit and eval of one kernel
+ * must shard to the same worker, since the store is per-worker).
+ */
+std::string kernelDigest(std::string_view bytecode);
+
+/** One admitted kernel: the program plus its proven certificate. */
+struct StoredKernel
+{
+    isa::Program program;
+    analysis::Certificate certificate;
+};
+
+/** Outcome of one submission (admitted or statically rejected). */
+struct SubmitOutcome
+{
+    bool admitted = false;
+    std::string digest; //!< lookup handle; empty when rejected
+    analysis::Certificate certificate;
+    std::vector<analysis::Rejection> rejections;
+};
+
+/** Thread-safe store of verified kernels. */
+class KernelStore
+{
+  public:
+    /** Resident-kernel cap; past it submissions fail Overloaded. */
+    static constexpr std::size_t kMaxResident = 128;
+
+    /**
+     * Decode, verify and (if admitted) store @p bytecode. A decode
+     * failure or a full store is an Error; a verifier rejection is a
+     * successful SubmitOutcome with admitted=false. Resubmitting
+     * identical bytecode is idempotent: same digest, no second slot.
+     */
+    Result<SubmitOutcome> submit(std::string_view bytecode);
+
+    /** Look up an admitted kernel; null when the digest is unknown. */
+    std::shared_ptr<const StoredKernel> find(const std::string &digest) const;
+
+    /** Admission counters in Prometheus text format. */
+    std::string renderMetrics() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const StoredKernel>>
+        kernels_;
+
+    std::uint64_t submitted_ = 0;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t decodeFailures_ = 0;
+    std::array<std::uint64_t, analysis::kNumRejectReasons> rejectedBy_{};
+};
+
+} // namespace bvf::server
+
+#endif // BVF_SERVER_KERNEL_STORE_HH

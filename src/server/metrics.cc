@@ -86,10 +86,16 @@ Metrics::typeSlot(MsgType type)
       case MsgType::StaticAdviceRequest:
       case MsgType::StaticAdviceResponse:
         return 5;
-      case MsgType::ErrorResponse:
+      case MsgType::SubmitKernelRequest:
+      case MsgType::SubmitKernelResponse:
         return 6;
+      case MsgType::EvalSubmittedRequest:
+      case MsgType::EvalSubmittedResponse:
+        return 7;
+      case MsgType::ErrorResponse:
+        return 8;
     }
-    return 6;
+    return 8;
 }
 
 void
@@ -162,7 +168,8 @@ Metrics::render(std::size_t queueDepth, int workers,
 {
     static const char *slotNames[kTypeSlots] = {
         "ping", "eval_coder", "bit_density", "chip_energy",
-        "static_query", "static_advice", "error",
+        "static_query", "static_advice", "submit_kernel",
+        "eval_submitted", "error",
     };
     std::string out;
     out += "# bvfd metrics\n";

@@ -108,7 +108,7 @@ class Metrics
   private:
     /** Dense index for the per-type counters. */
     static int typeSlot(MsgType type);
-    static constexpr int kTypeSlots = 7;
+    static constexpr int kTypeSlots = 9;
 
     std::array<std::atomic<std::uint64_t>, kTypeSlots> requests_{};
     std::array<std::atomic<std::uint64_t>, kTypeSlots> responses_{};

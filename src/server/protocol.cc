@@ -8,6 +8,7 @@
 #include <bit>
 #include <cstring>
 
+#include "analysis/verifier.hh"
 #include "common/crc32.hh"
 
 namespace bvf::server
@@ -60,6 +61,10 @@ msgTypeName(MsgType type)
         return "static-query-request";
       case MsgType::StaticAdviceRequest:
         return "static-advice-request";
+      case MsgType::SubmitKernelRequest:
+        return "submit-kernel-request";
+      case MsgType::EvalSubmittedRequest:
+        return "eval-submitted-request";
       case MsgType::PingResponse:
         return "ping-response";
       case MsgType::EvalCoderResponse:
@@ -72,6 +77,10 @@ msgTypeName(MsgType type)
         return "static-query-response";
       case MsgType::StaticAdviceResponse:
         return "static-advice-response";
+      case MsgType::SubmitKernelResponse:
+        return "submit-kernel-response";
+      case MsgType::EvalSubmittedResponse:
+        return "eval-submitted-response";
       case MsgType::ErrorResponse:
         return "error-response";
     }
@@ -88,12 +97,16 @@ msgTypeKnown(std::uint8_t raw)
       case MsgType::ChipEnergyRequest:
       case MsgType::StaticQueryRequest:
       case MsgType::StaticAdviceRequest:
+      case MsgType::SubmitKernelRequest:
+      case MsgType::EvalSubmittedRequest:
       case MsgType::PingResponse:
       case MsgType::EvalCoderResponse:
       case MsgType::BitDensityResponse:
       case MsgType::ChipEnergyResponse:
       case MsgType::StaticQueryResponse:
       case MsgType::StaticAdviceResponse:
+      case MsgType::SubmitKernelResponse:
+      case MsgType::EvalSubmittedResponse:
       case MsgType::ErrorResponse:
         return true;
     }
@@ -228,6 +241,19 @@ WireWriter::putString(std::string_view s)
     panic_if(s.size() > kMaxString,
              "wire string of %zu bytes exceeds the %u-byte cap",
              s.size(), kMaxString);
+    putU32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+}
+
+void
+WireWriter::putBlob(std::string_view s)
+{
+    // Blobs (kernel bytecode) are capped by the frame payload, not the
+    // short-string cap; 64 bytes of headroom cover the rest of the
+    // message around the blob.
+    panic_if(s.size() > kMaxPayload - 64,
+             "wire blob of %zu bytes exceeds the frame payload cap",
+             s.size());
     putU32(static_cast<std::uint32_t>(s.size()));
     buf_.append(s);
 }
@@ -778,6 +804,199 @@ StaticAdviceResponse::decode(std::string_view payload)
     for (UnitPick &u : resp.unitPicks) {
         if (!r.getU8(u.unit) || !r.getU8(u.pick) || !r.getU8(u.proven)
             || !getBound(r, u.nv) || !getBound(r, u.vs))
+            return truncatedPayload();
+    }
+    if (!r.exhausted())
+        return trailingGarbage();
+    return resp;
+}
+
+std::string
+SubmitKernelRequest::encode() const
+{
+    WireWriter w;
+    w.putBlob(bytecode);
+    return w.take();
+}
+
+Result<SubmitKernelRequest>
+SubmitKernelRequest::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    SubmitKernelRequest req;
+    if (!r.getString(req.bytecode, kMaxPayload))
+        return truncatedPayload();
+    if (!r.exhausted())
+        return trailingGarbage();
+    if (req.bytecode.empty())
+        return Error{ErrorCode::InvalidArgument, "empty kernel bytecode"};
+    return req;
+}
+
+std::string
+SubmitKernelResponse::encode() const
+{
+    WireWriter w;
+    w.putU8(admitted);
+    w.putString(digest);
+    w.putU64(tripBound);
+    w.putU32(globalLo);
+    w.putU32(globalHi);
+    w.putU32(static_cast<std::uint32_t>(rejections.size()));
+    for (const WireRejection &rej : rejections) {
+        w.putU8(rej.reason);
+        w.putU32(rej.pc);
+        w.putString(rej.message);
+    }
+    return w.take();
+}
+
+Result<SubmitKernelResponse>
+SubmitKernelResponse::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    SubmitKernelResponse resp;
+    std::uint32_t count = 0;
+    if (!r.getU8(resp.admitted)
+        || !r.getString(resp.digest, kMaxDigestBytes)
+        || !r.getU64(resp.tripBound) || !r.getU32(resp.globalLo)
+        || !r.getU32(resp.globalHi) || !r.getU32(count)) {
+        return truncatedPayload();
+    }
+    if (resp.admitted > 1)
+        return corrupt("admitted flag is not boolean");
+    if (count > kMaxWireRejections)
+        return corrupt("rejection count exceeds cap");
+    // Every rejection record needs at least its fixed 9-byte prefix;
+    // a count that outruns the payload must not drive the alloc.
+    if (std::uint64_t{count} * 9 > r.remaining())
+        return truncatedPayload();
+    resp.rejections.resize(count);
+    for (WireRejection &rej : resp.rejections) {
+        if (!r.getU8(rej.reason) || !r.getU32(rej.pc)
+            || !r.getString(rej.message, kMaxString)) {
+            return truncatedPayload();
+        }
+        if (rej.reason >= analysis::kNumRejectReasons) {
+            return Error{ErrorCode::InvalidArgument,
+                         strFormat("unknown rejection reason %u",
+                                   rej.reason)};
+        }
+    }
+    if (!r.exhausted())
+        return trailingGarbage();
+    if (resp.admitted && !resp.rejections.empty())
+        return corrupt("admitted response carries rejections");
+    return resp;
+}
+
+std::string
+EvalSubmittedRequest::encode() const
+{
+    WireWriter w;
+    w.putString(digest);
+    w.putU8(arch);
+    w.putU8(sched);
+    w.putU32(vsPivot);
+    w.putU8(dynamicIsa);
+    w.putU8(node);
+    w.putU8(pstate);
+    w.putU8(cell);
+    w.putU8(ecc);
+    w.putU32(cellsBitline);
+    return w.take();
+}
+
+Result<EvalSubmittedRequest>
+EvalSubmittedRequest::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    EvalSubmittedRequest req;
+    if (!r.getString(req.digest, kMaxDigestBytes) || !r.getU8(req.arch)
+        || !r.getU8(req.sched) || !r.getU32(req.vsPivot)
+        || !r.getU8(req.dynamicIsa) || !r.getU8(req.node)
+        || !r.getU8(req.pstate) || !r.getU8(req.cell)
+        || !r.getU8(req.ecc) || !r.getU32(req.cellsBitline)) {
+        return truncatedPayload();
+    }
+    if (!r.exhausted())
+        return trailingGarbage();
+    if (req.digest.empty())
+        return Error{ErrorCode::InvalidArgument, "empty kernel digest"};
+    if (req.arch > 3) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("architecture index %u out of range",
+                               req.arch)};
+    }
+    if (req.sched > 2) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("scheduler index %u out of range",
+                               req.sched)};
+    }
+    if (req.vsPivot > 31) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("VS pivot %u out of range [0, 31]",
+                               req.vsPivot)};
+    }
+    if (req.dynamicIsa > 1 || req.ecc > 1) {
+        return Error{ErrorCode::InvalidArgument,
+                     "boolean flag is not 0 or 1"};
+    }
+    if (req.node > 1) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("technology node index %u out of range",
+                               req.node)};
+    }
+    if (req.pstate > 2) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("P-state index %u out of range",
+                               req.pstate)};
+    }
+    if (req.cell > 4) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("cell kind index %u out of range",
+                               req.cell)};
+    }
+    if (req.cellsBitline == 0 || req.cellsBitline > 1024) {
+        return Error{ErrorCode::InvalidArgument,
+                     strFormat("cells per bitline %u out of range "
+                               "[1, 1024]",
+                               req.cellsBitline)};
+    }
+    return req;
+}
+
+std::string
+EvalSubmittedResponse::encode() const
+{
+    WireWriter w;
+    w.putU64(cycles);
+    w.putU64(instructions);
+    w.putU64(maxWarpIssue);
+    w.putU64(checkedAccesses);
+    for (const double d : chipEnergy)
+        w.putF64(d);
+    for (const double d : bvfUnitsEnergy)
+        w.putF64(d);
+    return w.take();
+}
+
+Result<EvalSubmittedResponse>
+EvalSubmittedResponse::decode(std::string_view payload)
+{
+    WireReader r(payload);
+    EvalSubmittedResponse resp;
+    if (!r.getU64(resp.cycles) || !r.getU64(resp.instructions)
+        || !r.getU64(resp.maxWarpIssue)
+        || !r.getU64(resp.checkedAccesses)) {
+        return truncatedPayload();
+    }
+    for (double &d : resp.chipEnergy) {
+        if (!r.getF64(d))
+            return truncatedPayload();
+    }
+    for (double &d : resp.bvfUnitsEnergy) {
+        if (!r.getF64(d))
             return truncatedPayload();
     }
     if (!r.exhausted())

@@ -59,6 +59,8 @@ enum class MsgType : std::uint8_t
     ChipEnergyRequest = 0x04,
     StaticQueryRequest = 0x05,
     StaticAdviceRequest = 0x06,
+    SubmitKernelRequest = 0x07,
+    EvalSubmittedRequest = 0x08,
 
     PingResponse = 0x81,
     EvalCoderResponse = 0x82,
@@ -66,6 +68,8 @@ enum class MsgType : std::uint8_t
     ChipEnergyResponse = 0x84,
     StaticQueryResponse = 0x85,
     StaticAdviceResponse = 0x86,
+    SubmitKernelResponse = 0x87,
+    EvalSubmittedResponse = 0x88,
     ErrorResponse = 0xff,
 };
 
@@ -105,6 +109,10 @@ class WireWriter
     void putU64(std::uint64_t v);
     void putF64(double v); //!< IEEE-754 bits in a u64
     void putString(std::string_view s); //!< u32 length + bytes
+
+    /** u32 length + bytes, capped by the frame payload rather than the
+     *  short-string limit (kernel bytecode rides here). */
+    void putBlob(std::string_view s);
 
     const std::string &str() const { return buf_; }
     std::string take() { return std::move(buf_); }
@@ -333,6 +341,83 @@ struct StaticAdviceResponse
 
     std::string encode() const;
     static Result<StaticAdviceResponse> decode(std::string_view payload);
+};
+
+/** Caps for the kernel-submission messages. */
+constexpr std::uint32_t kMaxDigestBytes = 64;
+constexpr std::uint32_t kMaxWireRejections = 256;
+
+/**
+ * Submit an untrusted kernel -- a BVFK bytecode frame (isa/bytecode.hh)
+ * -- for static admission. The daemon decodes and verifies it; an
+ * admitted kernel is stored under a content digest for later
+ * EvalSubmitted requests and never reaches an SM without one. A
+ * *rejection* is a successful response carrying the machine-readable
+ * reasons; only undecodable bytecode or a full kernel store comes back
+ * as an ErrorResponse.
+ */
+struct SubmitKernelRequest
+{
+    std::string bytecode;
+
+    std::string encode() const;
+    static Result<SubmitKernelRequest> decode(std::string_view payload);
+};
+
+struct SubmitKernelResponse
+{
+    struct WireRejection
+    {
+        std::uint8_t reason = 0; //!< analysis::RejectReason index
+        std::uint32_t pc = 0;
+        std::string message;
+    };
+
+    std::uint8_t admitted = 0;
+    std::string digest;          //!< handle for EvalSubmitted ("" if rejected)
+    std::uint64_t tripBound = 0; //!< proven per-warp issue bound
+    std::uint32_t globalLo = 0;  //!< proven global footprint hull [lo, hi]
+    std::uint32_t globalHi = 0;
+
+    /** First kMaxWireRejections rejections, sorted by pc. */
+    std::vector<WireRejection> rejections;
+
+    std::string encode() const;
+    static Result<SubmitKernelResponse> decode(std::string_view payload);
+};
+
+/** Simulate and price a previously admitted kernel by digest. */
+struct EvalSubmittedRequest
+{
+    std::string digest;
+    std::uint8_t arch = 3;     //!< isa::GpuArch index
+    std::uint8_t sched = 0;    //!< gpu::SchedulerPolicy index
+    std::uint32_t vsPivot = 21;
+    std::uint8_t dynamicIsa = 0;
+    std::uint8_t node = 0;     //!< 0 = 28nm, 1 = 40nm
+    std::uint8_t pstate = 0;   //!< 0 = 700MHz, 1 = 500MHz, 2 = 300MHz
+    std::uint8_t cell = 0;     //!< circuit::CellKind index
+    std::uint8_t ecc = 0;
+    std::uint32_t cellsBitline = 128;
+
+    std::string encode() const;
+    static Result<EvalSubmittedRequest> decode(std::string_view payload);
+};
+
+struct EvalSubmittedResponse
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    /** Contract-probe observations (certificate enforcement). */
+    std::uint64_t maxWarpIssue = 0;
+    std::uint64_t checkedAccesses = 0;
+
+    std::array<double, kScenarioSlots> chipEnergy{};
+    std::array<double, kScenarioSlots> bvfUnitsEnergy{};
+
+    std::string encode() const;
+    static Result<EvalSubmittedResponse> decode(std::string_view payload);
 };
 
 /** Structured failure for one request. */

@@ -320,7 +320,8 @@ Server::renderMetrics() const
         pool_ ? pool_->stats() : runtime::PoolStats{};
     return metrics_.render(pool_ ? pool_->queueDepth() : 0,
                            options_.workers,
-                           stats.utilization(options_.workers));
+                           stats.utilization(options_.workers))
+           + handler_.kernelStore().renderMetrics();
 }
 
 void

@@ -10,12 +10,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/verifier.hh"
 #include "campaign/journal.hh"
 #include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "core/trace.hh"
 #include "fleet/merge.hh"
+#include "isa/asm.hh"
+#include "isa/bytecode.hh"
 #include "server/http.hh"
 #include "server/protocol.hh"
 #include "sram/access_sink.hh"
@@ -333,6 +336,80 @@ checkMerge(const std::string &bytes, const std::string &scratchDir)
     return {};
 }
 
+/**
+ * Small, terminating kernel text used to seed both kernel targets.
+ * Shared-memory only, so it stays admissible without a data image.
+ */
+const char *const kSeedAsm = ".kernel fuzz-seed\n"
+                             ".launch 2 64\n"
+                             ".shared 256\n"
+                             "\n"
+                             "    S2R R1, SR_TIDX\n"
+                             "    MOV R2, #0\n"
+                             "    SHL R3, R1, #2\n"
+                             "    AND R3, R3, #252\n"
+                             "L4:\n"
+                             "    STS [R3 + 0], R2\n"
+                             "    LDS R4, [R3 + 0]\n"
+                             "    IADD R2, R2, #1\n"
+                             "    SETP.LT P1, R2, #4\n"
+                             "    @P1 BRA L4, join=L9\n"
+                             "L9:\n"
+                             "    EXIT\n";
+
+/** Verifier budget for fuzz totality checks: small but non-trivial. */
+analysis::VerifyOptions
+fuzzVerifyOptions()
+{
+    analysis::VerifyOptions opts;
+    opts.stepBudget = 1u << 14;
+    return opts;
+}
+
+Result<void>
+checkBytecode(const std::string &bytes)
+{
+    auto decoded = isa::decodeProgram(bytes);
+    if (!decoded.ok())
+        return {}; // structured refusal is a correct outcome
+    // Strict decoding admits only canonical encodings, so acceptance
+    // must re-encode byte-identically -- otherwise two distinct wire
+    // forms alias one program and content digests stop being stable.
+    if (isa::encodeProgram(decoded.value()) != bytes) {
+        return Error{ErrorCode::Failed,
+                     fail("accepted bytecode does not re-encode "
+                          "byte-identically")};
+    }
+    // The admission verifier must be total over everything the decoder
+    // accepts: any verdict is fine, crashing or fatal()ing is not.
+    (void)analysis::verifyProgram(decoded.value(), fuzzVerifyOptions());
+    return {};
+}
+
+Result<void>
+checkAsm(const std::string &text)
+{
+    auto parsed = isa::parseAsm(text);
+    if (!parsed.ok())
+        return {}; // structured refusal is a correct outcome
+    // parseAsm(renderAsm(p)) == p for every program parseAsm produces;
+    // compare through the bytecode encoder, which is injective on
+    // canonical programs.
+    const std::string rendered = isa::renderAsm(parsed.value());
+    auto again = isa::parseAsm(rendered);
+    if (!again.ok()) {
+        return Error{ErrorCode::Failed,
+                     fail("rendered assembly does not reparse")};
+    }
+    if (isa::encodeProgram(again.value())
+        != isa::encodeProgram(parsed.value())) {
+        return Error{ErrorCode::Failed,
+                     fail("assembly round trip changed the program")};
+    }
+    (void)analysis::verifyProgram(parsed.value(), fuzzVerifyOptions());
+    return {};
+}
+
 } // namespace
 
 std::string
@@ -349,6 +426,10 @@ fuzzTargetName(FuzzTarget target)
         return "journal";
       case FuzzTarget::Merge:
         return "merge";
+      case FuzzTarget::Bytecode:
+        return "bytecode";
+      case FuzzTarget::Asm:
+        return "asm";
     }
     return "?";
 }
@@ -362,7 +443,8 @@ fuzzTargetFromName(const std::string &name)
     }
     return Error{ErrorCode::InvalidArgument,
                  strFormat("unknown fuzz target '%s' (want frame, "
-                           "http, trace, journal or merge)",
+                           "http, trace, journal, merge, bytecode or "
+                           "asm)",
                            name.c_str())};
 }
 
@@ -418,6 +500,32 @@ corpusSeeds(FuzzTarget target)
       case FuzzTarget::Merge:
         seeds.push_back(goodJournalBytes());
         break;
+      case FuzzTarget::Bytecode: {
+        const auto seedProg = isa::parseAsm(kSeedAsm);
+        fatal_if(!seedProg.ok(), "fuzz seed kernel does not assemble: %s",
+                 seedProg.error().describe().c_str());
+        seeds.push_back(isa::encodeProgram(seedProg.value()));
+        // A one-instruction kernel: the smallest canonical encoding.
+        const auto tiny = isa::parseAsm(".kernel tiny\n.launch 1 32\n"
+                                        "    EXIT\n");
+        fatal_if(!tiny.ok(), "tiny fuzz seed does not assemble");
+        seeds.push_back(isa::encodeProgram(tiny.value()));
+        break;
+      }
+      case FuzzTarget::Asm: {
+        seeds.push_back(kSeedAsm);
+        seeds.push_back(".kernel tiny\n.launch 1 32\n    EXIT\n");
+        // Guards, comments and a data directive: the grammar's corners.
+        seeds.push_back(".kernel corners\n.launch 1 32\n.global 65536\n"
+                        "# comment line\n"
+                        ".data global 0 0x1 0x2\n"
+                        "    MOV R1, #0 // trailing comment\n"
+                        "    SETP.EQ P1, R1, #0\n"
+                        "    @!P1 BRA end, join=end\n"
+                        "end:\n"
+                        "    EXIT\n");
+        break;
+      }
     }
     return seeds;
 }
@@ -437,6 +545,10 @@ checkFuzzInput(FuzzTarget target, const std::string &bytes,
         return checkJournal(bytes);
       case FuzzTarget::Merge:
         return checkMerge(bytes, scratchDir);
+      case FuzzTarget::Bytecode:
+        return checkBytecode(bytes);
+      case FuzzTarget::Asm:
+        return checkAsm(bytes);
     }
     return Error{ErrorCode::InvalidArgument, "bad fuzz target"};
 }

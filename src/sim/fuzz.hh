@@ -2,10 +2,11 @@
  * @file
  * Deterministic byte-mutation fuzzing for every untrusted parser.
  *
- * Five parsers accept bytes from outside the process's trust boundary:
- * wire-protocol frames, the /metrics HTTP request head, trace v2
- * streams (salvage included), campaign journals (salvage included) and
- * the shard-journal merge. Each gets a driver that feeds mutated
+ * Seven parsers accept bytes from outside the process's trust
+ * boundary: wire-protocol frames, the /metrics HTTP request head,
+ * trace v2 streams (salvage included), campaign journals (salvage
+ * included), the shard-journal merge, BVFK kernel bytecode and kernel
+ * assembly text. Each gets a driver that feeds mutated
  * inputs -- valid seed inputs built with the real encoders, then
  * bit-flipped, truncated, spliced and extended by a seeded Rng -- and
  * checks structural invariants on every outcome: parse results stay
@@ -37,16 +38,19 @@ namespace bvf::sim
 /** One untrusted parser under fuzz. */
 enum class FuzzTarget : std::uint8_t
 {
-    Frame,   //!< server::parseFrame over a byte stream
-    Http,    //!< server::scanHttpHead
-    Trace,   //!< core::replayTrace, strict and salvage
-    Journal, //!< campaign::parseJournal, salvage included
-    Merge,   //!< fleet::mergeShardJournals over a hostile shard
+    Frame,    //!< server::parseFrame over a byte stream
+    Http,     //!< server::scanHttpHead
+    Trace,    //!< core::replayTrace, strict and salvage
+    Journal,  //!< campaign::parseJournal, salvage included
+    Merge,    //!< fleet::mergeShardJournals over a hostile shard
+    Bytecode, //!< isa::decodeProgram + the admission verifier
+    Asm,      //!< isa::parseAsm + render round trip + verifier
 };
 
-constexpr std::array<FuzzTarget, 5> kAllFuzzTargets = {
-    FuzzTarget::Frame, FuzzTarget::Http, FuzzTarget::Trace,
-    FuzzTarget::Journal, FuzzTarget::Merge};
+constexpr std::array<FuzzTarget, 7> kAllFuzzTargets = {
+    FuzzTarget::Frame,    FuzzTarget::Http,  FuzzTarget::Trace,
+    FuzzTarget::Journal,  FuzzTarget::Merge, FuzzTarget::Bytecode,
+    FuzzTarget::Asm};
 
 /** Display name, e.g. "frame". */
 std::string fuzzTargetName(FuzzTarget target);

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * BVFK bytecode framing: strict decode, byte-exact round trips, and
+ * hostile-input rejection for the untrusted kernel container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/asm.hh"
+#include "isa/bytecode.hh"
+#include "workload/kernel_builder.hh"
+
+using namespace bvf;
+
+namespace
+{
+
+isa::Program
+tinyProgram()
+{
+    auto parsed = isa::parseAsm(".kernel tiny\n"
+                                ".launch 1 32\n"
+                                "    EXIT\n");
+    EXPECT_TRUE(parsed.ok()) << parsed.error().message;
+    return parsed.value();
+}
+
+} // namespace
+
+TEST(Bytecode, EverySuiteKernelRoundTripsByteExactly)
+{
+    for (const auto &spec : workload::evaluationSuite()) {
+        const isa::Program program = workload::buildProgram(spec);
+        const std::string bytes = isa::encodeProgram(program);
+
+        auto decoded = isa::decodeProgram(bytes);
+        ASSERT_TRUE(decoded.ok())
+            << spec.abbr << ": " << decoded.error().message;
+        EXPECT_EQ(isa::encodeProgram(decoded.value()), bytes)
+            << spec.abbr;
+        EXPECT_EQ(decoded.value().name, program.name);
+        EXPECT_EQ(decoded.value().body.size(), program.body.size());
+        EXPECT_EQ(decoded.value().global, program.global);
+        EXPECT_EQ(decoded.value().constants, program.constants);
+        EXPECT_EQ(decoded.value().texture, program.texture);
+    }
+}
+
+TEST(Bytecode, DecodePreservesEveryInstructionField)
+{
+    auto parsed = isa::parseAsm(".kernel fields\n"
+                                ".launch 2 64\n"
+                                ".shared 128\n"
+                                "    S2R R1, SR_TIDX\n"
+                                "    MOV R2, #-7\n"
+                                "    SETP.LT P1, R1, #3\n"
+                                "L3:\n"
+                                "    @!P1 IADD R2, R2, #1\n"
+                                "    EXIT\n");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+
+    auto decoded = isa::decodeProgram(isa::encodeProgram(parsed.value()));
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    ASSERT_EQ(decoded.value().body.size(), parsed.value().body.size());
+    for (std::size_t i = 0; i < parsed.value().body.size(); ++i)
+        EXPECT_EQ(decoded.value().body[i], parsed.value().body[i]) << i;
+    EXPECT_EQ(decoded.value().launch.gridBlocks, 2);
+    EXPECT_EQ(decoded.value().launch.blockThreads, 64);
+    EXPECT_EQ(decoded.value().sharedBytesPerBlock, 128u);
+}
+
+TEST(Bytecode, TruncationAtEveryPrefixIsAStructuredError)
+{
+    const std::string bytes = isa::encodeProgram(tinyProgram());
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        auto decoded = isa::decodeProgram(bytes.substr(0, len));
+        ASSERT_FALSE(decoded.ok()) << "prefix " << len;
+    }
+}
+
+TEST(Bytecode, BadMagicIsRejected)
+{
+    std::string bytes = isa::encodeProgram(tinyProgram());
+    bytes[0] = 'X';
+    auto decoded = isa::decodeProgram(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::Corrupt);
+}
+
+TEST(Bytecode, UnknownVersionIsUnsupported)
+{
+    std::string bytes = isa::encodeProgram(tinyProgram());
+    bytes[4] = static_cast<char>(isa::kBytecodeVersion + 1);
+    auto decoded = isa::decodeProgram(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::Unsupported);
+}
+
+TEST(Bytecode, FlippedPayloadBitFailsTheCrc)
+{
+    std::string bytes = isa::encodeProgram(tinyProgram());
+    bytes[bytes.size() - 1] =
+        static_cast<char>(bytes[bytes.size() - 1] ^ 0x01);
+    auto decoded = isa::decodeProgram(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::Corrupt);
+}
+
+TEST(Bytecode, TrailingBytesAreCorrupt)
+{
+    const std::string bytes = isa::encodeProgram(tinyProgram()) + "x";
+    auto decoded = isa::decodeProgram(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::Corrupt);
+}
+
+TEST(Bytecode, HostileLengthFieldCannotDriveAnAllocation)
+{
+    // A header whose length claims 4 GiB must be rejected from the 16
+    // bytes present, not buffered.
+    std::string bytes = isa::encodeProgram(tinyProgram());
+    bytes.resize(isa::kBytecodeHeaderBytes);
+    for (int i = 0; i < 4; ++i)
+        bytes[8 + i] = static_cast<char>(0xff);
+    auto decoded = isa::decodeProgram(bytes);
+    ASSERT_FALSE(decoded.ok());
+}
+
+TEST(Bytecode, EncodingIsDeterministic)
+{
+    const isa::Program program = tinyProgram();
+    EXPECT_EQ(isa::encodeProgram(program), isa::encodeProgram(program));
+}

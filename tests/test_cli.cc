@@ -205,5 +205,49 @@ TEST(ExitTwo, ClientValidatesRetryFlags)
     EXPECT_NE(out.find("requires a value"), std::string::npos) << out;
 }
 
+TEST(ExitTwo, ClientValidatesSubmitAndEvalArguments)
+{
+    std::string out;
+    // All of these fail during argument validation, before any
+    // connection attempt.
+    EXPECT_EQ(runTool("bvf_client", "submit", out), kExitUsage);
+    EXPECT_NE(out.find("submit needs exactly one kernel file"),
+              std::string::npos)
+        << out;
+    EXPECT_EQ(runTool("bvf_client", "submit a.bvfk b.bvfk", out),
+              kExitUsage);
+    EXPECT_EQ(runTool("bvf_client", "eval", out), kExitUsage);
+    EXPECT_NE(out.find("eval needs exactly one kernel digest"),
+              std::string::npos)
+        << out;
+    EXPECT_EQ(runTool("bvf_client", "ping --eval", out), kExitUsage);
+    EXPECT_NE(out.find("--eval only applies to the submit command"),
+              std::string::npos)
+        << out;
+}
+
+TEST(ExitTwo, LintValidatesVerifyAndJsonCombinations)
+{
+    std::string out;
+    EXPECT_EQ(runTool("bvf_lint", "--json", out), kExitUsage);
+    EXPECT_NE(out.find("--json requires --advise or --verify"),
+              std::string::npos)
+        << out;
+    EXPECT_EQ(runTool("bvf_lint", "--json --advise --verify", out),
+              kExitUsage);
+    EXPECT_NE(out.find("pick --advise or --verify"), std::string::npos)
+        << out;
+}
+
+TEST(ExitTwo, AssemblerValidatesItsCommandLine)
+{
+    std::string out;
+    EXPECT_EQ(runTool("bvf_asm", "", out), kExitUsage);
+    EXPECT_EQ(runTool("bvf_asm", "frobnicate x", out), kExitUsage);
+    EXPECT_NE(out.find("unknown command"), std::string::npos) << out;
+    EXPECT_EQ(runTool("bvf_asm", "asm", out), kExitUsage);
+    EXPECT_EQ(runTool("bvf_asm", "dump", out), kExitUsage);
+}
+
 } // namespace
 } // namespace bvf::cli

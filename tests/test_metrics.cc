@@ -177,5 +177,30 @@ TEST(Metrics, ConcurrentRecordingLosesNothing)
               static_cast<std::uint64_t>(kThreads * kPerThread));
 }
 
+TEST(Metrics, KernelAdmissionTypesGetTheirOwnSlots)
+{
+    Metrics metrics;
+    metrics.onRequest(MsgType::SubmitKernelRequest);
+    metrics.onResponse(MsgType::SubmitKernelResponse, 3us);
+    metrics.onRequest(MsgType::EvalSubmittedRequest);
+    metrics.onRequest(MsgType::EvalSubmittedRequest);
+    metrics.onResponse(MsgType::EvalSubmittedResponse, 9us);
+    metrics.onError(MsgType::EvalSubmittedRequest);
+
+    const std::string text = metrics.render(0, 1, 0.0);
+    for (const char *needle :
+         {"bvfd_requests_total{type=\"submit_kernel\"} 1",
+          "bvfd_responses_total{type=\"submit_kernel\"} 1",
+          "bvfd_requests_total{type=\"eval_submitted\"} 2",
+          "bvfd_responses_total{type=\"eval_submitted\"} 1",
+          "bvfd_request_errors_total{type=\"eval_submitted\"} 1",
+          // The new slots must not alias the ping slot.
+          "bvfd_requests_total{type=\"ping\"} 0"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+    EXPECT_EQ(metrics.errors(MsgType::SubmitKernelRequest), 0u);
+    EXPECT_EQ(metrics.errors(MsgType::EvalSubmittedRequest), 1u);
+}
+
 } // namespace
 } // namespace bvf::server

@@ -353,5 +353,168 @@ TEST(Fuzz, RandomFramesRoundTripAndRandomBytesNeverCrash)
     }
 }
 
+TEST(Messages, SubmitKernelRoundTrip)
+{
+    SubmitKernelRequest req;
+    req.bytecode = std::string("BVFK-ish blob \x00\xff\x7f with NULs", 29);
+    const auto decoded = SubmitKernelRequest::decode(req.encode());
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    EXPECT_EQ(decoded.value().bytecode, req.bytecode);
+}
+
+TEST(Messages, EmptySubmittedBytecodeIsInvalid)
+{
+    SubmitKernelRequest req;
+    const auto decoded = SubmitKernelRequest::decode(req.encode());
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST(Messages, SubmitKernelResponseRoundTripsBothOutcomes)
+{
+    SubmitKernelResponse admitted;
+    admitted.admitted = 1;
+    admitted.digest = "k824ee515-5957c";
+    admitted.tripBound = 233;
+    admitted.globalLo = 0x10000;
+    admitted.globalHi = 0x74ffc;
+    auto decodedA = SubmitKernelResponse::decode(admitted.encode());
+    ASSERT_TRUE(decodedA.ok()) << decodedA.error().message;
+    EXPECT_EQ(decodedA.value().digest, admitted.digest);
+    EXPECT_EQ(decodedA.value().tripBound, admitted.tripBound);
+    EXPECT_EQ(decodedA.value().globalLo, admitted.globalLo);
+    EXPECT_EQ(decodedA.value().globalHi, admitted.globalHi);
+
+    SubmitKernelResponse rejected;
+    rejected.admitted = 0;
+    rejected.rejections.push_back({8, 12, "not provably terminating"});
+    rejected.rejections.push_back({4, 30, "R7 read before any write"});
+    auto decodedR = SubmitKernelResponse::decode(rejected.encode());
+    ASSERT_TRUE(decodedR.ok()) << decodedR.error().message;
+    ASSERT_EQ(decodedR.value().rejections.size(), 2u);
+    EXPECT_EQ(decodedR.value().rejections[0].reason, 8);
+    EXPECT_EQ(decodedR.value().rejections[0].pc, 12u);
+    EXPECT_EQ(decodedR.value().rejections[1].message,
+              "R7 read before any write");
+}
+
+TEST(Messages, AdmittedResponseCarryingRejectionsIsCorrupt)
+{
+    SubmitKernelResponse resp;
+    resp.admitted = 1;
+    resp.digest = "k0-0";
+    resp.rejections.push_back({0, 0, "contradiction"});
+    const auto decoded = SubmitKernelResponse::decode(resp.encode());
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::Corrupt);
+}
+
+TEST(Messages, RejectionReasonOutsideTheEnumIsRejected)
+{
+    SubmitKernelResponse resp;
+    resp.rejections.push_back({200, 0, "reason from the future"});
+    const auto decoded = SubmitKernelResponse::decode(resp.encode());
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST(Messages, RejectionCountOutrunningThePayloadIsNotAllocated)
+{
+    SubmitKernelResponse resp;
+    std::string bytes = resp.encode();
+    // The rejection count is the trailing u32; claim 200 entries
+    // (inside the cap) with zero record bytes behind them.
+    bytes[bytes.size() - 4] = static_cast<char>(200);
+    const auto decoded = SubmitKernelResponse::decode(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::Truncated);
+
+    // Beyond the cap is structurally corrupt, also without allocating.
+    bytes[bytes.size() - 1] = static_cast<char>(0x80);
+    const auto capped = SubmitKernelResponse::decode(bytes);
+    ASSERT_FALSE(capped.ok());
+    EXPECT_EQ(capped.error().code, ErrorCode::Corrupt);
+}
+
+TEST(Messages, EvalSubmittedRoundTrip)
+{
+    EvalSubmittedRequest req;
+    req.digest = "k824ee515-5957c";
+    req.arch = 2;
+    req.sched = 1;
+    req.vsPivot = 19;
+    req.dynamicIsa = 1;
+    req.node = 1;
+    req.pstate = 2;
+    req.cell = 4;
+    req.ecc = 1;
+    req.cellsBitline = 256;
+    const auto decoded = EvalSubmittedRequest::decode(req.encode());
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    EXPECT_EQ(decoded.value().digest, req.digest);
+    EXPECT_EQ(decoded.value().arch, req.arch);
+    EXPECT_EQ(decoded.value().sched, req.sched);
+    EXPECT_EQ(decoded.value().vsPivot, req.vsPivot);
+    EXPECT_EQ(decoded.value().dynamicIsa, req.dynamicIsa);
+    EXPECT_EQ(decoded.value().node, req.node);
+    EXPECT_EQ(decoded.value().pstate, req.pstate);
+    EXPECT_EQ(decoded.value().cell, req.cell);
+    EXPECT_EQ(decoded.value().ecc, req.ecc);
+    EXPECT_EQ(decoded.value().cellsBitline, req.cellsBitline);
+}
+
+TEST(Messages, EvalSubmittedValidatesEveryEnumIndex)
+{
+    EvalSubmittedRequest good;
+    good.digest = "k0-0";
+    for (auto mutate : {+[](EvalSubmittedRequest &r) { r.digest = ""; },
+                        +[](EvalSubmittedRequest &r) { r.arch = 4; },
+                        +[](EvalSubmittedRequest &r) { r.sched = 3; },
+                        +[](EvalSubmittedRequest &r) { r.vsPivot = 32; },
+                        +[](EvalSubmittedRequest &r) { r.cell = 5; },
+                        +[](EvalSubmittedRequest &r) { r.node = 2; },
+                        +[](EvalSubmittedRequest &r) { r.pstate = 3; },
+                        +[](EvalSubmittedRequest &r) {
+                            r.cellsBitline = 0;
+                        }}) {
+        EvalSubmittedRequest req = good;
+        mutate(req);
+        EXPECT_FALSE(EvalSubmittedRequest::decode(req.encode()).ok());
+    }
+    EXPECT_TRUE(EvalSubmittedRequest::decode(good.encode()).ok());
+}
+
+TEST(Messages, EvalSubmittedResponseRoundTrip)
+{
+    EvalSubmittedResponse resp;
+    resp.cycles = 16552;
+    resp.instructions = 37280;
+    resp.maxWarpIssue = 233;
+    resp.checkedAccesses = 204800;
+    for (int i = 0; i < kScenarioSlots; ++i) {
+        resp.chipEnergy[static_cast<std::size_t>(i)] = 1.5 * i;
+        resp.bvfUnitsEnergy[static_cast<std::size_t>(i)] = 0.25 * i;
+    }
+    const auto decoded = EvalSubmittedResponse::decode(resp.encode());
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    EXPECT_EQ(decoded.value().cycles, resp.cycles);
+    EXPECT_EQ(decoded.value().instructions, resp.instructions);
+    EXPECT_EQ(decoded.value().maxWarpIssue, resp.maxWarpIssue);
+    EXPECT_EQ(decoded.value().checkedAccesses, resp.checkedAccesses);
+    EXPECT_EQ(decoded.value().chipEnergy, resp.chipEnergy);
+    EXPECT_EQ(decoded.value().bvfUnitsEnergy, resp.bvfUnitsEnergy);
+}
+
+TEST(Messages, NewMessageTypesHaveStableNamesAndAreKnown)
+{
+    for (const MsgType type :
+         {MsgType::SubmitKernelRequest, MsgType::SubmitKernelResponse,
+          MsgType::EvalSubmittedRequest,
+          MsgType::EvalSubmittedResponse}) {
+        EXPECT_TRUE(msgTypeKnown(static_cast<std::uint8_t>(type)));
+        EXPECT_EQ(msgTypeName(type).find("unknown"), std::string::npos);
+    }
+}
+
 } // namespace
 } // namespace bvf::server

@@ -20,7 +20,10 @@
 #include <string>
 #include <thread>
 
+#include "isa/asm.hh"
+#include "isa/bytecode.hh"
 #include "server/http.hh"
+#include "server/kernel_store.hh"
 #include "server/protocol.hh"
 #include "server/server.hh"
 
@@ -413,6 +416,148 @@ TEST(Server, DrainAnswersEverythingThenClosesConnections)
     EXPECT_EQ(server.metrics().requestsTotal(),
               server.metrics().responsesTotal());
     server.drain(); // idempotent
+}
+
+namespace
+{
+
+std::string
+assembleBytecode(const std::string &text)
+{
+    auto parsed = isa::parseAsm(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error().message;
+    return isa::encodeProgram(parsed.value());
+}
+
+constexpr const char *kTinyKernel = ".kernel tiny\n"
+                                    ".launch 1 32\n"
+                                    "    S2R R1, SR_TIDX\n"
+                                    "    IADD R2, R1, #1\n"
+                                    "    EXIT\n";
+
+} // namespace
+
+TEST(Server, SubmitThenEvalRunsUnderTheAdmissionContract)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    const std::string bytecode = assembleBytecode(kTinyKernel);
+    SubmitKernelRequest submit;
+    submit.bytecode = bytecode;
+    client.send(
+        encodeFrame(MsgType::SubmitKernelRequest, submit.encode()));
+
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame.ok()) << frame.error().describe();
+    ASSERT_EQ(frame.value().type, MsgType::SubmitKernelResponse);
+    const auto resp = SubmitKernelResponse::decode(frame.value().payload);
+    ASSERT_TRUE(resp.ok()) << resp.error().message;
+    EXPECT_EQ(resp.value().admitted, 1);
+    EXPECT_EQ(resp.value().digest, kernelDigest(bytecode));
+    EXPECT_GT(resp.value().tripBound, 0u);
+    EXPECT_TRUE(resp.value().rejections.empty());
+
+    // The admitted digest is immediately evaluable on the same
+    // connection, under the certificate's runtime contract.
+    EvalSubmittedRequest eval;
+    eval.digest = resp.value().digest;
+    client.send(
+        encodeFrame(MsgType::EvalSubmittedRequest, eval.encode()));
+    const auto evalFrame = client.readFrame();
+    ASSERT_TRUE(evalFrame.ok());
+    ASSERT_EQ(evalFrame.value().type, MsgType::EvalSubmittedResponse);
+    const auto evalResp =
+        EvalSubmittedResponse::decode(evalFrame.value().payload);
+    ASSERT_TRUE(evalResp.ok()) << evalResp.error().message;
+    EXPECT_GT(evalResp.value().cycles, 0u);
+    EXPECT_GT(evalResp.value().maxWarpIssue, 0u);
+    EXPECT_LE(evalResp.value().maxWarpIssue, resp.value().tripBound);
+}
+
+TEST(Server, RejectedKernelNeverGainsADigestAndKeepsTheConnection)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    SubmitKernelRequest submit;
+    submit.bytecode = assembleBytecode(".kernel spin\n"
+                                       ".launch 1 32\n"
+                                       "L0:\n"
+                                       "    BRA L0, join=L1\n"
+                                       "L1:\n"
+                                       "    EXIT\n");
+    client.send(
+        encodeFrame(MsgType::SubmitKernelRequest, submit.encode()));
+
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(frame.value().type, MsgType::SubmitKernelResponse);
+    const auto resp = SubmitKernelResponse::decode(frame.value().payload);
+    ASSERT_TRUE(resp.ok()) << resp.error().message;
+    EXPECT_EQ(resp.value().admitted, 0);
+    EXPECT_TRUE(resp.value().digest.empty());
+    ASSERT_FALSE(resp.value().rejections.empty());
+    EXPECT_EQ(resp.value().rejections[0].reason,
+              static_cast<std::uint8_t>(
+                  analysis::RejectReason::BudgetExceeded));
+
+    // Evaluating the digest the kernel WOULD have had is a semantic
+    // error: the reject really kept it out of the store.
+    EvalSubmittedRequest eval;
+    eval.digest = kernelDigest(submit.bytecode);
+    client.send(
+        encodeFrame(MsgType::EvalSubmittedRequest, eval.encode()));
+    const auto evalFrame = client.readFrame();
+    ASSERT_TRUE(evalFrame.ok());
+    EXPECT_EQ(evalFrame.value().type, MsgType::ErrorResponse);
+
+    // Semantic errors keep the connection alive.
+    client.send(pingBytes(11));
+    const auto pong = client.readFrame();
+    ASSERT_TRUE(pong.ok());
+    EXPECT_EQ(pong.value().type, MsgType::PingResponse);
+}
+
+TEST(Server, UndecodableBytecodeIsAnErrorResponse)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    SubmitKernelRequest submit;
+    submit.bytecode = "definitely not a BVFK frame";
+    client.send(
+        encodeFrame(MsgType::SubmitKernelRequest, submit.encode()));
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame.value().type, MsgType::ErrorResponse);
+}
+
+TEST(Server, KernelStoreCountersRideAlongInMetrics)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    SubmitKernelRequest submit;
+    submit.bytecode = assembleBytecode(kTinyKernel);
+    client.send(
+        encodeFrame(MsgType::SubmitKernelRequest, submit.encode()));
+    ASSERT_TRUE(client.readFrame().ok());
+
+    const std::string text = server.renderMetrics();
+    for (const char *needle :
+         {"bvfd_kernels_submitted_total 1",
+          "bvfd_kernels_admitted_total 1", "bvfd_kernels_resident 1",
+          "bvfd_kernels_decode_failures_total 0",
+          "bvfd_kernels_rejected_total{reason=\"budget-exceeded\"} 0",
+          "bvfd_requests_total{type=\"submit_kernel\"} 1",
+          "bvfd_responses_total{type=\"submit_kernel\"} 1"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
 }
 
 } // namespace
