@@ -40,6 +40,7 @@
 #include "analysis/lint.hh"
 #include "analysis/verifier.hh"
 #include "common/cli.hh"
+#include "common/json.hh"
 #include "workload/kernel_builder.hh"
 
 using namespace bvf;
@@ -142,9 +143,10 @@ main(int argc, char **argv)
             const analysis::Verdict verdict =
                 analysis::verifyProgram(program);
             if (opt.json) {
-                std::printf("%s{\"version\": 1, \"kernel\": \"%s\", "
+                std::printf("%s{\"version\": 1, \"kernel\": %s, "
                             "\"admitted\": %s",
-                            first_json ? "" : ",\n", spec.abbr.c_str(),
+                            first_json ? "" : ",\n",
+                            bvf::jsonQuote(spec.abbr).c_str(),
                             verdict.admitted ? "true" : "false");
                 if (verdict.admitted) {
                     std::printf(", \"trip_bound\": %llu, "
@@ -157,9 +159,11 @@ main(int argc, char **argv)
                 std::printf(", \"rejections\": [");
                 bool first_rej = true;
                 for (const auto &rej : verdict.rejections) {
-                    std::printf("%s{\"reason\": \"%s\", \"pc\": %d}",
+                    std::printf("%s{\"reason\": %s, \"pc\": %d}",
                                 first_rej ? "" : ", ",
-                                analysis::rejectReasonName(rej.reason)
+                                bvf::jsonQuote(
+                                    analysis::rejectReasonName(
+                                        rej.reason))
                                     .c_str(),
                                 rej.pc);
                     first_rej = false;

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# RTL co-simulation gate for the netlist subsystem.
+#
+# Three checks, any failure is fatal:
+#  1. Emission: every canonical netlist (NV, both VS pivots, the four
+#     paper ISA masks plus every suite-specialized mask, SECDED
+#     encoder/decoder) is written to disk; the emitter round-trip
+#     (emit -> parse -> re-emit byte-identical) runs as part of `emit`,
+#     so this is also the syntax check for the .v files.
+#  2. Co-simulation: the full 58-application suite is replayed through
+#     the CosimSink (every word the machine touches goes through both
+#     the netlist and the C++ coder) plus 10k seeded random vectors per
+#     generator, SECDED fault injection included. Any bit mismatch
+#     exits nonzero.
+#  3. Gate-count drift: `stats --json` must match the checked-in
+#     baseline exactly. A generator change that shifts a gate count
+#     must update scripts/rtl_gate_baseline.json in the same commit.
+#
+# Usage: scripts/ci_rtl_cosim.sh [path/to/bvf_rtl] [baseline.json]
+
+set -u
+
+RTL="${1:-build/examples/bvf_rtl}"
+BASELINE="${2:-scripts/rtl_gate_baseline.json}"
+WORK="$(mktemp -d /tmp/bvf-rtl-cosim.XXXXXX)"
+echo "work directory: $WORK"
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+[ -x "$RTL" ] || fail "bvf_rtl '$RTL' not found or not executable"
+[ -f "$BASELINE" ] || fail "baseline '$BASELINE' missing"
+
+echo "== emit every canonical netlist (round-trip checked) =="
+"$RTL" emit -o "$WORK/rtl" --suite-masks > "$WORK/emit.log" 2>&1 \
+    || { cat "$WORK/emit.log"; fail "netlist emission failed"; }
+cat "$WORK/emit.log"
+V_COUNT="$(ls "$WORK"/rtl/*.v 2>/dev/null | wc -l)"
+# NV + 2 VS + SECDED enc/dec + 4 paper masks = 9 floor; suite masks
+# dedupe on top of the paper masks.
+[ "$V_COUNT" -ge 9 ] || fail "only $V_COUNT .v files emitted (want >= 9)"
+
+echo "== co-simulate the full suite + 10k random vectors =="
+"$RTL" cosim --vectors 10000 --seed 1 > "$WORK/cosim.log" 2>&1 \
+    || { tail -20 "$WORK/cosim.log"; fail "co-simulation mismatch"; }
+tail -3 "$WORK/cosim.log"
+
+echo "== gate-count drift vs checked-in baseline =="
+"$RTL" stats --json > "$WORK/stats.json" 2>&1 \
+    || { cat "$WORK/stats.json"; fail "stats failed"; }
+if ! diff -u "$BASELINE" "$WORK/stats.json"; then
+    fail "gate counts drifted from $BASELINE (update the baseline if \
+the generator change is intentional)"
+fi
+
+echo "PASS: emission, co-simulation and gate-count baseline all green"
+rm -rf "$WORK"

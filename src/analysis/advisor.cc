@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/json.hh"
+
 namespace bvf::analysis
 {
 
@@ -404,7 +406,11 @@ adviceJson(const std::string &name, const StaticAdvice &advice)
 
     // Schema version for downstream tooling; bump on any shape change
     // (docs/ADVISOR.md documents the schema).
-    os << "{\"version\": 1, \"kernel\": \"" << name << "\", \"pivot\": {";
+    // The kernel name comes from untrusted .bvfasm/.bvfk inputs;
+    // escape it so a quote or control character cannot break the
+    // document.
+    os << "{\"version\": 1, \"kernel\": " << jsonQuote(name)
+       << ", \"pivot\": {";
     os << "\"best\": " << advice.pivot.bestPivot
        << ", \"proven_slack\": " << advice.pivot.provenSlack
        << ", \"affine_sources\": " << advice.pivot.affineSources

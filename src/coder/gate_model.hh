@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Analytic gate-count model for the BVF coder hardware.
+ *
+ * Single source of truth for "how many XNOR gates does a full chip of
+ * coders take" -- shared by the power overhead accounting
+ * (power/overhead.cc), the overhead benchmark table and the RTL gate
+ * statistics (rtl/stats.cc), which cross-checks these constants
+ * against counts derived from the emitted netlists.
+ *
+ * Everything here is a pure function of the machine shape (SM count,
+ * L2 bank count, cache line width); no dependency on gpu/ headers so
+ * the coder layer stays at the bottom of the stack.
+ */
+
+#ifndef BVF_CODER_GATE_MODEL_HH
+#define BVF_CODER_GATE_MODEL_HH
+
+#include <cstdint>
+
+namespace bvf::coder::gate_model
+{
+
+/** XNORs in one NV coder instance (32-bit word, sign passes through). */
+constexpr std::uint64_t kNvXnorPerWordPort = 31;
+
+/** XNORs per non-pivot word of a VS coder instance. */
+constexpr std::uint64_t kVsXnorPerNonPivotWord = 32;
+
+/** XNORs in one ISA coder instance (64-bit instruction port). */
+constexpr std::uint64_t kIsaXnorPerPort = 64;
+
+/**
+ * The paper's fixed inventory for its Table 3 machine. Kept separate
+ * from the rebuilt formula below, which lands ~7.7% higher on the same
+ * shape; the benchmark prints both.
+ */
+constexpr std::uint64_t kPaperXnorGateTotal = 133920;
+
+/**
+ * Where the coders sit on the machine: port counts by coder type.
+ *
+ * NV coders sit on every 32-bit word port: one warp-wide register
+ * read/write port pair per SM (2 x 32 lanes) plus shared-memory ports
+ * (32 lanes), and both sides of each L2-bank line port. VS coders
+ * cover each warp register port pair (32-word block, register pivot)
+ * and the line ports at L1D/L1T/L1C and both L2-bank sides (line-sized
+ * block, pivot 0). ISA coders sit on the IFB issue port per SM and the
+ * instruction-side MC port per bank.
+ */
+struct CoderPortCounts
+{
+    std::uint64_t nvWordPorts = 0;     //!< 32-bit word lanes with NV
+    std::uint64_t vsRegisterPorts = 0; //!< warp-wide register ports
+    std::uint64_t vsCachePorts = 0;    //!< cache-line ports
+    std::uint64_t isaPorts = 0;        //!< 64-bit instruction ports
+};
+
+/** Port counts for a machine shape (lineBytes per cache line). */
+constexpr CoderPortCounts
+coderPortCounts(int numSms, int l2Banks, std::uint32_t lineBytes)
+{
+    const auto sms = static_cast<std::uint64_t>(numSms);
+    const auto banks = static_cast<std::uint64_t>(l2Banks);
+    const std::uint64_t lineWords = lineBytes / 4;
+
+    CoderPortCounts ports;
+    ports.nvWordPorts = sms * (2 * 32 + 32) + banks * lineWords * 2;
+    ports.vsRegisterPorts = sms * 2;
+    ports.vsCachePorts = sms * 3 + banks * 2;
+    ports.isaPorts = sms + banks;
+    return ports;
+}
+
+/** Per-space XNOR totals for a full chip of coders. */
+struct XnorInventory
+{
+    std::uint64_t nvGates = 0;  //!< NV coders, all word ports
+    std::uint64_t vsGates = 0;  //!< VS coders, register + cache spaces
+    std::uint64_t isaGates = 0; //!< ISA coders, fetch ports
+
+    constexpr std::uint64_t
+    total() const
+    {
+        return nvGates + vsGates + isaGates;
+    }
+};
+
+/**
+ * Rebuild the chip-wide coder inventory for a machine with @p numSms
+ * SMs, @p l2Banks L2/MC banks and @p lineBytes cache lines: the port
+ * counts above times the per-instance gate constants. Register VS
+ * blocks are 32 words (31 non-pivot), cache VS blocks are line-sized.
+ */
+constexpr XnorInventory
+analyticXnorInventory(int numSms, int l2Banks, std::uint32_t lineBytes)
+{
+    const CoderPortCounts ports =
+        coderPortCounts(numSms, l2Banks, lineBytes);
+    const std::uint64_t lineWords = lineBytes / 4;
+
+    XnorInventory inv;
+    inv.nvGates = ports.nvWordPorts * kNvXnorPerWordPort;
+    inv.vsGates = (ports.vsRegisterPorts * 31
+                   + ports.vsCachePorts * (lineWords - 1))
+                  * kVsXnorPerNonPivotWord;
+    inv.isaGates = ports.isaPorts * kIsaXnorPerPort;
+    return inv;
+}
+
+} // namespace bvf::coder::gate_model
+
+#endif // BVF_CODER_GATE_MODEL_HH

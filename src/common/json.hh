@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal JSON string escaping.
+ *
+ * Every tool that prints JSON (bvf_lint --verify --json, the advisor's
+ * adviceJson, bvf_rtl stats --json) embeds externally influenced
+ * strings -- kernel names, file paths, error messages -- into its
+ * output. This is the one escaper they all share, so a control
+ * character or quote in a kernel name can never produce an unparseable
+ * document. UTF-8 multi-byte sequences pass through untouched (JSON is
+ * UTF-8 native; only the mandatory escapes and C0 controls are
+ * rewritten).
+ */
+
+#ifndef BVF_COMMON_JSON_HH
+#define BVF_COMMON_JSON_HH
+
+#include <string>
+#include <string_view>
+
+namespace bvf
+{
+
+/** Escape @p s for placement inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/** jsonEscape wrapped in double quotes. */
+std::string jsonQuote(std::string_view s);
+
+} // namespace bvf
+
+#endif // BVF_COMMON_JSON_HH

@@ -5,6 +5,7 @@
 
 #include "power/overhead.hh"
 
+#include "coder/gate_model.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
 
@@ -28,17 +29,19 @@ gateFigures(circuit::TechNode node)
     // Chosen so that the paper's 133,920-gate machine lands on its
     // published totals: 0.207/0.294 mm^2, 46.5/60.5 mW dynamic and
     // 18.7/24.2 uW static for 28nm/40nm.
+    const auto paperGates = static_cast<double>(
+        coder::gate_model::kPaperXnorGateTotal);
     if (node == circuit::TechNode::N28) {
         return GateFigures{
-            .area = 0.207e-6 / 133920.0,
-            .dynamicPower = 46.5e-3 / 133920.0,
-            .staticPower = 18.7e-6 / 133920.0,
+            .area = 0.207e-6 / paperGates,
+            .dynamicPower = 46.5e-3 / paperGates,
+            .staticPower = 18.7e-6 / paperGates,
         };
     }
     return GateFigures{
-        .area = 0.294e-6 / 133920.0,
-        .dynamicPower = 60.5e-3 / 133920.0,
-        .staticPower = 24.2e-6 / 133920.0,
+        .area = 0.294e-6 / paperGates,
+        .dynamicPower = 60.5e-3 / paperGates,
+        .staticPower = 24.2e-6 / paperGates,
     };
 }
 
@@ -47,30 +50,14 @@ gateFigures(circuit::TechNode node)
 CoderOverhead
 coderOverhead(const gpu::GpuConfig &config, circuit::TechNode node)
 {
-    const auto sms = static_cast<std::uint64_t>(config.numSms);
-    const auto banks = static_cast<std::uint64_t>(config.l2Banks);
-
-    std::uint64_t gates = 0;
-
-    // NV coders: 31 XNORs per 32-bit word lane. Upper interface at the
-    // register ports (one warp-wide read/write port pair per SM: 2 ports
-    // x 32 lanes) plus shared-memory ports (32 lanes), lower interface
-    // at each MC/L2-bank port (line width / 32 bits).
-    const std::uint64_t line_words = config.lineBytes / 4;
-    gates += sms * (2 * 32 + 32) * 31;
-    gates += banks * line_words * 31 * 2; // bank in + out
-
-    // VS coders: 32 XNORs per non-pivot word. Register space: warp-wide
-    // port pair per SM (31 non-pivot lanes); cache space: line ports at
-    // L1D/L1T/L1C fill+read and both L2-bank sides.
-    gates += sms * 2 * 31 * 32;
-    gates += sms * 3 * (line_words - 1) * 32;
-    gates += banks * 2 * (line_words - 1) * 32;
-
-    // ISA coders: 64 XNORs per instruction port: IFB issue port per SM
-    // and the instruction-side MC port per bank.
-    gates += sms * 64;
-    gates += banks * 64;
+    // The shared analytic inventory: port counts times per-instance
+    // gate constants (rtl/stats.cc cross-checks the same numbers
+    // against the generated netlists).
+    const std::uint64_t gates =
+        coder::gate_model::analyticXnorInventory(config.numSms,
+                                                 config.l2Banks,
+                                                 config.lineBytes)
+            .total();
 
     const GateFigures fig = gateFigures(node);
     CoderOverhead oh;
@@ -87,7 +74,7 @@ coderOverheadForNode(circuit::TechNode node)
     // The paper's fixed inventory on the Table 3 machine.
     const GateFigures fig = gateFigures(node);
     CoderOverhead oh;
-    oh.xnorGates = 133920;
+    oh.xnorGates = coder::gate_model::kPaperXnorGateTotal;
     oh.area = static_cast<double>(oh.xnorGates) * fig.area;
     oh.dynamicPower = static_cast<double>(oh.xnorGates) * fig.dynamicPower;
     oh.staticPower = static_cast<double>(oh.xnorGates) * fig.staticPower;

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Co-simulation implementation.
+ */
+
+#include "rtl/cosim.hh"
+
+#include <array>
+
+#include "coder/bvf_space.hh"
+#include "coder/isa_coder.hh"
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fault/secded.hh"
+#include "rtl/gen.hh"
+#include "rtl/verilog.hh"
+
+namespace bvf::rtl
+{
+
+namespace
+{
+
+/**
+ * Build an evaluator the long way round -- emit the module to Verilog,
+ * parse it back, evaluate the parsed copy -- so every co-simulated
+ * vector also vouches for the emitter and parser. Generator output
+ * failing this pipeline is an internal bug, not an input problem.
+ */
+Evaluator
+evaluatorViaVerilog(const Module &m)
+{
+    const std::string text = emitVerilog(m);
+    auto parsed = parseVerilog(text);
+    fatal_if(!parsed.ok(), "emitted %s does not parse back: %s",
+             m.name().c_str(), parsed.error().message.c_str());
+    auto ev = Evaluator::build(parsed.value());
+    fatal_if(!ev.ok(), "emitted %s does not evaluate: %s",
+             m.name().c_str(), ev.error().message.c_str());
+    const std::string again = emitVerilog(parsed.value());
+    fatal_if(again != text, "%s: emit/parse/emit is not a fixed point",
+             m.name().c_str());
+    return std::move(ev.value());
+}
+
+/**
+ * Count one comparison; @p detail is a callable so the diagnostic
+ * string is only built on an actual mismatch (the trace path runs
+ * millions of checks).
+ */
+template <typename DetailFn>
+void
+recordCheck(CosimReport &report, bool match, const char *module,
+            DetailFn &&detail)
+{
+    ++report.checks;
+    if (match)
+        return;
+    ++report.mismatches;
+    if (report.firstMismatch.empty()) {
+        report.firstMismatch =
+            strFormat("%s: %s", module, detail().c_str());
+    }
+}
+
+} // namespace
+
+void
+CosimReport::merge(const CosimReport &other)
+{
+    checks += other.checks;
+    mismatches += other.mismatches;
+    if (firstMismatch.empty())
+        firstMismatch = other.firstMismatch;
+}
+
+CosimSink::CosimSink(int vsRegisterPivot, Word64 isaMask)
+    : vsRegisterPivot_(vsRegisterPivot), isaMask_(isaMask),
+      nvEv_(evaluatorViaVerilog(nvCoderNetlist())),
+      isaEv_(evaluatorViaVerilog(isaCoderNetlist(isaMask)))
+{
+    nvPend_.reserve(64);
+    isaPend_.reserve(64);
+}
+
+void
+CosimSink::pushNvWord(Word w)
+{
+    nvPend_.push_back(w);
+    if (nvPend_.size() == 64)
+        flushNv();
+}
+
+void
+CosimSink::flushNv()
+{
+    if (nvPend_.empty())
+        return;
+    const std::size_t n = nvPend_.size();
+    std::array<std::uint64_t, 32> lanes{};
+    for (std::size_t l = 0; l < n; ++l) {
+        const Word w = nvPend_[l];
+        for (int i = 0; i < 32; ++i)
+            lanes[static_cast<std::size_t>(i)] |=
+                static_cast<std::uint64_t>((w >> i) & 1u) << l;
+    }
+    for (int i = 0; i < 32; ++i)
+        nvEv_.setInput(i, lanes[static_cast<std::size_t>(i)]);
+    nvEv_.eval();
+    std::array<std::uint64_t, 32> out{};
+    for (int i = 0; i < 32; ++i)
+        out[static_cast<std::size_t>(i)] = nvEv_.output(i);
+
+    const coder::NvCoder nv;
+    for (std::size_t l = 0; l < n; ++l) {
+        Word got = 0;
+        for (int i = 0; i < 32; ++i) {
+            got |= static_cast<Word>(
+                       (out[static_cast<std::size_t>(i)] >> l) & 1u)
+                   << i;
+        }
+        const Word want = nv.encode(nvPend_[l]);
+        const Word in = nvPend_[l];
+        recordCheck(report_, got == want, "bvf_nv32", [&] {
+            return strFormat("word %08x -> netlist %08x, model %08x",
+                             in, got, want);
+        });
+    }
+    nvPend_.clear();
+}
+
+void
+CosimSink::pushVsBlock(std::span<const Word> block, int pivot)
+{
+    if (block.empty())
+        return;
+    const int words = static_cast<int>(block.size());
+    const auto key = std::make_pair(words, pivot);
+    auto it = vsBatches_.find(key);
+    if (it == vsBatches_.end()) {
+        VsBatch batch{evaluatorViaVerilog(vsCoderNetlist(words, pivot)),
+                      words, pivot, {}, 0};
+        batch.data.reserve(static_cast<std::size_t>(words) * 64);
+        it = vsBatches_.emplace(key, std::move(batch)).first;
+    }
+    VsBatch &batch = it->second;
+    batch.data.insert(batch.data.end(), block.begin(), block.end());
+    if (++batch.count == 64)
+        flushVs(batch);
+}
+
+void
+CosimSink::flushVs(VsBatch &batch)
+{
+    if (batch.count == 0)
+        return;
+    const int words = batch.words;
+    const std::size_t bits = static_cast<std::size_t>(words) * 32;
+    std::vector<std::uint64_t> lanes(bits, 0);
+    for (int l = 0; l < batch.count; ++l) {
+        const Word *block =
+            batch.data.data() + static_cast<std::size_t>(l) * words;
+        for (int w = 0; w < words; ++w) {
+            const Word v = block[w];
+            for (int i = 0; i < 32; ++i) {
+                lanes[static_cast<std::size_t>(w) * 32
+                      + static_cast<std::size_t>(i)] |=
+                    static_cast<std::uint64_t>((v >> i) & 1u) << l;
+            }
+        }
+    }
+    for (std::size_t b = 0; b < bits; ++b)
+        batch.ev.setInput(static_cast<int>(b), lanes[b]);
+    batch.ev.eval();
+    std::vector<std::uint64_t> out(bits, 0);
+    for (std::size_t b = 0; b < bits; ++b)
+        out[b] = batch.ev.output(static_cast<int>(b));
+
+    const coder::VsCoder vs(batch.pivot);
+    std::vector<Word> want(static_cast<std::size_t>(words));
+    const char *module = batch.pivot == 0 ? "bvf_vs_p0" : "bvf_vs_reg";
+    for (int l = 0; l < batch.count; ++l) {
+        const Word *block =
+            batch.data.data() + static_cast<std::size_t>(l) * words;
+        want.assign(block, block + words);
+        vs.encode(want);
+        bool match = true;
+        int badWord = -1;
+        Word gotBad = 0;
+        for (int w = 0; w < words && match; ++w) {
+            Word got = 0;
+            for (int i = 0; i < 32; ++i) {
+                got |= static_cast<Word>(
+                           (out[static_cast<std::size_t>(w) * 32
+                                + static_cast<std::size_t>(i)]
+                            >> l)
+                           & 1u)
+                       << i;
+            }
+            if (got != want[static_cast<std::size_t>(w)]) {
+                match = false;
+                badWord = w;
+                gotBad = got;
+            }
+        }
+        recordCheck(report_, match, module, [&] {
+            return strFormat("%d-word block pivot %d: word %d netlist "
+                             "%08x, model %08x",
+                             words, batch.pivot, badWord, gotBad,
+                             want[static_cast<std::size_t>(badWord)]);
+        });
+    }
+    batch.data.clear();
+    batch.count = 0;
+}
+
+void
+CosimSink::pushIsaInstr(Word64 instr)
+{
+    isaPend_.push_back(instr);
+    if (isaPend_.size() == 64)
+        flushIsa();
+}
+
+void
+CosimSink::flushIsa()
+{
+    if (isaPend_.empty())
+        return;
+    const std::size_t n = isaPend_.size();
+    std::array<std::uint64_t, 64> lanes{};
+    for (std::size_t l = 0; l < n; ++l) {
+        const Word64 w = isaPend_[l];
+        for (int i = 0; i < 64; ++i)
+            lanes[static_cast<std::size_t>(i)] |=
+                ((w >> i) & 1u) << l;
+    }
+    for (int i = 0; i < 64; ++i)
+        isaEv_.setInput(i, lanes[static_cast<std::size_t>(i)]);
+    isaEv_.eval();
+    std::array<std::uint64_t, 64> out{};
+    for (int i = 0; i < 64; ++i)
+        out[static_cast<std::size_t>(i)] = isaEv_.output(i);
+
+    const coder::IsaCoder isa(isaMask_);
+    for (std::size_t l = 0; l < n; ++l) {
+        Word64 got = 0;
+        for (int i = 0; i < 64; ++i) {
+            got |= ((out[static_cast<std::size_t>(i)] >> l) & 1u)
+                   << i;
+        }
+        const Word64 want = isa.encode(isaPend_[l]);
+        const Word64 in = isaPend_[l];
+        recordCheck(report_, got == want, "bvf_isa", [&] {
+            return strFormat(
+                "instr %016llx -> netlist %016llx, model %016llx",
+                static_cast<unsigned long long>(in),
+                static_cast<unsigned long long>(got),
+                static_cast<unsigned long long>(want));
+        });
+    }
+    isaPend_.clear();
+}
+
+void
+CosimSink::onAccess(coder::UnitId unit, sram::AccessType type,
+                    std::span<const Word> block, std::uint32_t activeMask,
+                    std::uint64_t cycle)
+{
+    (void)type;
+    (void)activeMask;
+    (void)cycle;
+    // NV covers every word of the block on data-path units; the coder
+    // itself is maskless (the accountant applies activeMask only when
+    // counting bits), so co-sim covers all words.
+    if (coder::nvSpaceUnits().count(unit)) {
+        for (const Word w : block)
+            pushNvWord(w);
+    }
+    if (coder::vsRegisterSpaceUnits().count(unit))
+        pushVsBlock(block, vsRegisterPivot_);
+    else if (coder::vsCacheSpaceUnits().count(unit))
+        pushVsBlock(block, coder::VsCoder::cacheLinePivot);
+}
+
+void
+CosimSink::onFetch(coder::UnitId unit, sram::AccessType type,
+                   std::span<const Word64> instrs, std::uint64_t cycle)
+{
+    (void)unit;
+    (void)type;
+    (void)cycle;
+    for (const Word64 w : instrs)
+        pushIsaInstr(w);
+}
+
+void
+CosimSink::onNocPacket(int channel, std::span<const Word> payload,
+                       bool instrStream, std::uint64_t cycle)
+{
+    (void)channel;
+    (void)cycle;
+    if (instrStream) {
+        // Instruction payloads carry 64-bit binaries as word pairs,
+        // low word first (accountant convention).
+        for (std::size_t i = 0; i + 1 < payload.size(); i += 2) {
+            pushIsaInstr(static_cast<Word64>(payload[i])
+                         | (static_cast<Word64>(payload[i + 1]) << 32));
+        }
+    } else {
+        for (const Word w : payload)
+            pushNvWord(w);
+        pushVsBlock(payload, coder::VsCoder::cacheLinePivot);
+    }
+}
+
+void
+CosimSink::flush()
+{
+    flushNv();
+    for (auto &[key, batch] : vsBatches_)
+        flushVs(batch);
+    flushIsa();
+}
+
+// --- Random-vector co-simulation --------------------------------------
+
+namespace
+{
+
+/** Drive @p vectors random words through the NV netlist. */
+void
+cosimNvRandom(CosimReport &report, std::uint64_t vectors, Rng &rng)
+{
+    CosimSink sink(coder::VsCoder::defaultRegisterPivot, 0);
+    // Reuse the sink's batching; only the NV path is fed.
+    for (std::uint64_t v = 0; v < vectors; ++v)
+        sink.onAccess(coder::UnitId::Sme, sram::AccessType::Write,
+                      std::array<Word, 1>{rng.nextU32()}, 1, 0);
+    sink.flush();
+    report.merge(sink.report());
+}
+
+void
+cosimVsRandom(CosimReport &report, std::uint64_t vectors, int words,
+              int pivot, Rng &rng)
+{
+    Evaluator ev = evaluatorViaVerilog(vsCoderNetlist(words, pivot));
+    const coder::VsCoder vs(pivot);
+    std::vector<Word> block(static_cast<std::size_t>(words));
+    std::vector<Word> want(static_cast<std::size_t>(words));
+    for (std::uint64_t v = 0; v < vectors; ++v) {
+        for (Word &w : block)
+            w = rng.nextU32();
+        want = block;
+        vs.encode(want);
+        for (int w = 0; w < words; ++w) {
+            for (int i = 0; i < 32; ++i) {
+                ev.setInput(w * 32 + i,
+                            ((block[static_cast<std::size_t>(w)] >> i)
+                             & 1u)
+                                ? ~std::uint64_t(0)
+                                : 0);
+            }
+        }
+        ev.eval();
+        bool match = true;
+        for (int w = 0; w < words && match; ++w) {
+            Word got = 0;
+            for (int i = 0; i < 32; ++i)
+                got |= static_cast<Word>(ev.output(w * 32 + i) & 1u)
+                       << i;
+            match = got == want[static_cast<std::size_t>(w)];
+        }
+        recordCheck(report, match, "bvf_vs", [&] {
+            return strFormat("random block of %d words, pivot %d",
+                             words, pivot);
+        });
+    }
+}
+
+void
+cosimIsaRandom(CosimReport &report, std::uint64_t vectors, Word64 mask,
+               Rng &rng)
+{
+    Evaluator ev = evaluatorViaVerilog(isaCoderNetlist(mask));
+    const coder::IsaCoder isa(mask);
+    for (std::uint64_t v = 0; v < vectors; ++v) {
+        const Word64 instr = rng.nextU64();
+        for (int i = 0; i < 64; ++i)
+            ev.setInput(i, ((instr >> i) & 1u) ? ~std::uint64_t(0) : 0);
+        ev.eval();
+        Word64 got = 0;
+        for (int i = 0; i < 64; ++i)
+            got |= (ev.output(i) & 1u) << i;
+        recordCheck(report, got == isa.encode(instr), "bvf_isa", [&] {
+            return strFormat("random instr %016llx mask %016llx",
+                             static_cast<unsigned long long>(instr),
+                             static_cast<unsigned long long>(mask));
+        });
+    }
+}
+
+void
+setSecdedInputs(Evaluator &ev, Word64 data, std::uint8_t check)
+{
+    for (int i = 0; i < 64; ++i)
+        ev.setInput(i, ((data >> i) & 1u) ? ~std::uint64_t(0) : 0);
+    for (int j = 0; j < 8; ++j) {
+        ev.setInput(64 + j,
+                    ((check >> j) & 1u) ? ~std::uint64_t(0) : 0);
+    }
+}
+
+void
+cosimSecdedRandom(CosimReport &report, std::uint64_t vectors, Rng &rng)
+{
+    Evaluator enc = evaluatorViaVerilog(secdedEncoderNetlist());
+    Evaluator dec = evaluatorViaVerilog(secdedDecoderNetlist());
+
+    for (std::uint64_t v = 0; v < vectors; ++v) {
+        const Word64 data = rng.nextU64();
+
+        // Encoder against fault::secdedEncode.
+        for (int i = 0; i < 64; ++i)
+            enc.setInput(i,
+                         ((data >> i) & 1u) ? ~std::uint64_t(0) : 0);
+        enc.eval();
+        std::uint8_t gotCheck = 0;
+        for (int j = 0; j < 8; ++j) {
+            gotCheck = static_cast<std::uint8_t>(
+                gotCheck | ((enc.output(j) & 1u) << j));
+        }
+        const std::uint8_t wantCheck = fault::secdedEncode(data);
+        recordCheck(report, gotCheck == wantCheck, "bvf_secded72_enc",
+                    [&] {
+                        return strFormat(
+                            "data %016llx -> netlist %02x, model %02x",
+                            static_cast<unsigned long long>(data),
+                            gotCheck, wantCheck);
+                    });
+
+        // Decoder over the clean word plus 0, 1 or 2 injected flips.
+        Word64 stored = data;
+        std::uint8_t storedCheck = wantCheck;
+        const int flips = static_cast<int>(v % 3);
+        int first = -1;
+        for (int f = 0; f < flips; ++f) {
+            int pos;
+            do {
+                pos = static_cast<int>(rng.nextBounded(72));
+            } while (pos == first);
+            if (f == 0)
+                first = pos;
+            fault::secdedFlipBit(stored, storedCheck, pos);
+        }
+
+        setSecdedInputs(dec, stored, storedCheck);
+        dec.eval();
+        Word64 gotData = 0;
+        for (int i = 0; i < 64; ++i)
+            gotData |= (dec.output(i) & 1u) << i;
+        std::uint8_t gotQc = 0;
+        for (int j = 0; j < 8; ++j) {
+            gotQc = static_cast<std::uint8_t>(
+                gotQc | ((dec.output(64 + j) & 1u) << j));
+        }
+        const bool gotCorrected = (dec.output(72) & 1u) != 0;
+        const bool gotUncorrectable = (dec.output(73) & 1u) != 0;
+
+        const fault::SecdedDecoded want =
+            fault::secdedDecode(stored, storedCheck);
+        const bool wantCorrected =
+            want.status == fault::EccStatus::Corrected;
+        const bool wantUncorrectable =
+            want.status == fault::EccStatus::Uncorrectable;
+        const bool match = gotData == want.data && gotQc == want.check
+                           && gotCorrected == wantCorrected
+                           && gotUncorrectable == wantUncorrectable;
+        recordCheck(report, match, "bvf_secded72_dec", [&] {
+            return strFormat(
+                "codeword %016llx/%02x (%d flips): netlist "
+                "%016llx/%02x c=%d u=%d, model %016llx/%02x "
+                "c=%d u=%d",
+                static_cast<unsigned long long>(stored), storedCheck,
+                flips, static_cast<unsigned long long>(gotData), gotQc,
+                gotCorrected ? 1 : 0, gotUncorrectable ? 1 : 0,
+                static_cast<unsigned long long>(want.data), want.check,
+                wantCorrected ? 1 : 0, wantUncorrectable ? 1 : 0);
+        });
+    }
+}
+
+} // namespace
+
+CosimReport
+cosimRandomVectors(std::uint64_t vectors, std::uint64_t seed)
+{
+    CosimReport report;
+    Rng rng(seed);
+    cosimNvRandom(report, vectors, rng);
+    cosimVsRandom(report, vectors, 32,
+                  coder::VsCoder::defaultRegisterPivot, rng);
+    cosimVsRandom(report, vectors, 32, coder::VsCoder::cacheLinePivot,
+                  rng);
+    cosimIsaRandom(report, vectors, rng.nextU64(), rng);
+    cosimSecdedRandom(report, vectors, rng);
+    return report;
+}
+
+} // namespace bvf::rtl

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Bit-sliced netlist evaluator implementation.
+ */
+
+#include "rtl/eval.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::rtl
+{
+
+Result<Evaluator>
+Evaluator::build(const Module &m)
+{
+    if (auto valid = m.validate(); !valid.ok())
+        return valid.error();
+
+    Evaluator ev;
+    ev.module_ = m;
+    const auto &gates = ev.module_.gates();
+
+    // Which gate drives each net (input bits and DFF/const outputs are
+    // sources for ordering purposes).
+    constexpr std::uint32_t kNone = ~std::uint32_t(0);
+    std::vector<std::uint32_t> drivingGate(m.numNets(), kNone);
+    for (std::uint32_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        // DFF outputs read their state, not their D input, during
+        // eval(); treating them as sources is what makes feedback
+        // through a register legal.
+        if (g.op != GateOp::Dff)
+            drivingGate[g.out] = i;
+    }
+
+    // Kahn over combinational gates.
+    std::vector<std::uint32_t> pending(gates.size(), 0);
+    std::vector<std::vector<std::uint32_t>> dependents(gates.size());
+    for (std::uint32_t i = 0; i < gates.size(); ++i) {
+        for (const NetId n : gates[i].in) {
+            const std::uint32_t src = drivingGate[n];
+            if (src != kNone && src != i) {
+                ++pending[i];
+                dependents[src].push_back(i);
+            } else if (src == i) {
+                // Direct self-loop through a combinational gate.
+                return Error{
+                    ErrorCode::Corrupt,
+                    strFormat("module %s: combinational cycle at "
+                              "gate %u",
+                              m.name().c_str(), i)};
+            }
+        }
+    }
+
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t i = 0; i < gates.size(); ++i) {
+        if (pending[i] == 0)
+            ready.push_back(i);
+    }
+    ev.order_.reserve(gates.size());
+    for (std::size_t head = 0; head < ready.size(); ++head) {
+        const std::uint32_t i = ready[head];
+        ev.order_.push_back(i);
+        for (const std::uint32_t dep : dependents[i]) {
+            if (--pending[dep] == 0)
+                ready.push_back(dep);
+        }
+    }
+    if (ev.order_.size() != gates.size()) {
+        return Error{ErrorCode::Corrupt,
+                     strFormat("module %s: combinational cycle "
+                               "(%zu of %zu gates unreachable)",
+                               m.name().c_str(),
+                               gates.size() - ev.order_.size(),
+                               gates.size())};
+    }
+
+    ev.values_.assign(m.numNets(), 0);
+    ev.dffState_.assign(gates.size(), 0);
+    for (const Port &p : ev.module_.inputs()) {
+        for (const NetId n : p.bits)
+            ev.inputNets_.push_back(n);
+    }
+    for (const Port &p : ev.module_.outputs()) {
+        for (const NetId n : p.bits)
+            ev.outputNets_.push_back(n);
+    }
+    ev.inputBits_ = static_cast<int>(ev.inputNets_.size());
+    ev.outputBits_ = static_cast<int>(ev.outputNets_.size());
+    return ev;
+}
+
+void
+Evaluator::setInput(int flat, std::uint64_t lanes)
+{
+    panic_if(flat < 0 || flat >= inputBits_,
+             "input bit %d out of range [0, %d)", flat, inputBits_);
+    values_[inputNets_[static_cast<std::size_t>(flat)]] = lanes;
+}
+
+void
+Evaluator::setInput(const std::string &name, int bit, std::uint64_t lanes)
+{
+    const Port *p = module_.findInput(name);
+    panic_if(!p, "no input port '%s'", name.c_str());
+    panic_if(bit < 0 || bit >= static_cast<int>(p->bits.size()),
+             "input %s bit %d out of range", name.c_str(), bit);
+    values_[p->bits[static_cast<std::size_t>(bit)]] = lanes;
+}
+
+void
+Evaluator::eval()
+{
+    const auto &gates = module_.gates();
+    // DFF outputs present their state before propagation.
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (gates[i].op == GateOp::Dff)
+            values_[gates[i].out] = dffState_[i];
+    }
+    for (const std::uint32_t idx : order_) {
+        const Gate &g = gates[idx];
+        switch (g.op) {
+          case GateOp::Buf:
+            values_[g.out] = values_[g.in[0]];
+            break;
+          case GateOp::Not:
+            values_[g.out] = ~values_[g.in[0]];
+            break;
+          case GateOp::And:
+            values_[g.out] = values_[g.in[0]] & values_[g.in[1]];
+            break;
+          case GateOp::Or:
+            values_[g.out] = values_[g.in[0]] | values_[g.in[1]];
+            break;
+          case GateOp::Xor:
+            values_[g.out] = values_[g.in[0]] ^ values_[g.in[1]];
+            break;
+          case GateOp::Xnor:
+            values_[g.out] = ~(values_[g.in[0]] ^ values_[g.in[1]]);
+            break;
+          case GateOp::Mux: {
+            const std::uint64_t s = values_[g.in[0]];
+            values_[g.out] =
+                (s & values_[g.in[1]]) | (~s & values_[g.in[2]]);
+            break;
+          }
+          case GateOp::Dff:
+            // State was presented above; D is latched in step().
+            break;
+          case GateOp::Const0:
+            values_[g.out] = 0;
+            break;
+          case GateOp::Const1:
+            values_[g.out] = ~std::uint64_t(0);
+            break;
+        }
+    }
+}
+
+void
+Evaluator::step()
+{
+    const auto &gates = module_.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (gates[i].op == GateOp::Dff)
+            dffState_[i] = values_[gates[i].in[0]];
+    }
+}
+
+void
+Evaluator::reset()
+{
+    for (std::uint64_t &s : dffState_)
+        s = 0;
+}
+
+std::uint64_t
+Evaluator::output(int flat) const
+{
+    panic_if(flat < 0 || flat >= outputBits_,
+             "output bit %d out of range [0, %d)", flat, outputBits_);
+    return values_[outputNets_[static_cast<std::size_t>(flat)]];
+}
+
+std::uint64_t
+Evaluator::output(const std::string &name, int bit) const
+{
+    const Port *p = module_.findOutput(name);
+    panic_if(!p, "no output port '%s'", name.c_str());
+    panic_if(bit < 0 || bit >= static_cast<int>(p->bits.size()),
+             "output %s bit %d out of range", name.c_str(), bit);
+    return values_[p->bits[static_cast<std::size_t>(bit)]];
+}
+
+} // namespace bvf::rtl

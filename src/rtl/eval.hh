@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cycle-free netlist evaluation over packed 64-wide lanes.
+ *
+ * The co-simulation harness needs to push millions of coder blocks
+ * through the emitted netlists, so the evaluator is bit-sliced: every
+ * net carries a 64-bit word whose lane L is the net's value in test
+ * vector L. One eval() pass therefore simulates 64 independent input
+ * vectors at the cost of one walk over the gate list.
+ *
+ * Gates are sorted topologically at build time (Kahn); DFF outputs and
+ * constants are sources, so sequential logic is legal while genuine
+ * combinational cycles are rejected with a structured error -- the
+ * Verilog parser feeds untrusted text into build(), which must refuse
+ * rather than loop.
+ */
+
+#ifndef BVF_RTL_EVAL_HH
+#define BVF_RTL_EVAL_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+#include "rtl/netlist.hh"
+
+namespace bvf::rtl
+{
+
+/** Bit-sliced evaluator for one Module. */
+class Evaluator
+{
+  public:
+    /**
+     * Validate @p m, topologically order its gates and capture the
+     * port layout. Corrupt = combinational cycle; InvalidArgument =
+     * design-rule violation (from Module::validate).
+     *
+     * The module is copied into the evaluator, so the source Module
+     * may be discarded.
+     */
+    static Result<Evaluator> build(const Module &m);
+
+    /** Flattened input width (sum over input ports, in port order). */
+    int inputBits() const { return inputBits_; }
+
+    /** Flattened output width. */
+    int outputBits() const { return outputBits_; }
+
+    /**
+     * Set input bit @p flat (flattened port order, LSB-first within a
+     * port) to @p lanes: bit L of @p lanes is the value in vector L.
+     */
+    void setInput(int flat, std::uint64_t lanes);
+
+    /** Set input port @p name bit @p bit. Dies on unknown port. */
+    void setInput(const std::string &name, int bit, std::uint64_t lanes);
+
+    /** Propagate all combinational logic (DFFs hold their state). */
+    void eval();
+
+    /** Clock edge: latch every DFF's D input into its state. */
+    void step();
+
+    /** Reset every DFF to 0 in all lanes. */
+    void reset();
+
+    /** Output bit @p flat after eval(). */
+    std::uint64_t output(int flat) const;
+
+    /** Output port @p name bit @p bit after eval(). */
+    std::uint64_t output(const std::string &name, int bit) const;
+
+    /** Gate count actually evaluated (diagnostics). */
+    std::size_t gateCount() const { return order_.size(); }
+
+  private:
+    Evaluator() = default;
+
+    Module module_{""};
+    std::vector<std::uint32_t> order_; //!< gate indices, topo order
+    std::vector<std::uint64_t> values_;      //!< per net
+    std::vector<std::uint64_t> dffState_;    //!< per gate (0 for others)
+    std::vector<NetId> inputNets_;           //!< flattened input bits
+    std::vector<NetId> outputNets_;          //!< flattened output bits
+    int inputBits_ = 0;
+    int outputBits_ = 0;
+};
+
+} // namespace bvf::rtl
+
+#endif // BVF_RTL_EVAL_HH

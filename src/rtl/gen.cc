@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Coder-to-netlist generators.
+ */
+
+#include "rtl/gen.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace bvf::rtl
+{
+
+Module
+nvCoderNetlist()
+{
+    Module m("bvf_nv32");
+    const auto d = m.addInput("d", 32);
+    std::vector<NetId> q(32);
+    for (int i = 0; i < 31; ++i)
+        q[static_cast<std::size_t>(i)] = m.mkXnor(d[i], d[31]);
+    q[31] = m.mkBuf(d[31]);
+    m.addOutput("q", q);
+    return m;
+}
+
+Module
+vsCoderNetlist(int words, int pivot)
+{
+    panic_if(words <= 0, "VS netlist needs a positive block size");
+    // Same clamp VsCoder::encode applies to out-of-range pivots.
+    const int p = (pivot >= 0 && pivot < words) ? pivot : 0;
+    Module m(strFormat("bvf_vs%d_p%d", words, p));
+    const auto d =
+        m.addInput("d", words * 32);
+    std::vector<NetId> q(static_cast<std::size_t>(words) * 32);
+    for (int w = 0; w < words; ++w) {
+        for (int i = 0; i < 32; ++i) {
+            const std::size_t at =
+                static_cast<std::size_t>(w) * 32
+                + static_cast<std::size_t>(i);
+            q[at] = (w == p) ? m.mkBuf(d[at])
+                             : m.mkXnor(d[at], d[p * 32 + i]);
+        }
+    }
+    m.addOutput("q", q);
+    return m;
+}
+
+Module
+isaCoderNetlist(Word64 mask)
+{
+    Module m(strFormat("bvf_isa_%016llx",
+                       static_cast<unsigned long long>(mask)));
+    const auto d = m.addInput("d", 64);
+    std::vector<NetId> q(64);
+    for (int i = 0; i < 64; ++i) {
+        const NetId tie = m.mkConst(((mask >> i) & 1) != 0);
+        q[static_cast<std::size_t>(i)] = m.mkXnor(d[i], tie);
+    }
+    m.addOutput("q", q);
+    return m;
+}
+
+namespace
+{
+
+constexpr bool
+genIsPow2(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Codeword position of each data bit, re-derived here: the i-th
+ * position in 1..71 that is neither the overall-parity slot (0) nor a
+ * Hamming check slot (powers of two).
+ */
+constexpr std::array<int, 64>
+genDataPositions()
+{
+    std::array<int, 64> pos{};
+    int next = 0;
+    for (int p = 1; p <= 71 && next < 64; ++p) {
+        if (!genIsPow2(p))
+            pos[next++] = p;
+    }
+    return pos;
+}
+
+constexpr std::array<int, 64> kDataPos = genDataPositions();
+
+/**
+ * Hamming check nets: h[j] = XOR over the data bits whose codeword
+ * position has bit j set. Shared by encoder and decoder.
+ */
+std::array<NetId, 7>
+hammingCheckNets(Module &m, std::span<const NetId> d)
+{
+    std::array<NetId, 7> h{};
+    for (int j = 0; j < 7; ++j) {
+        std::vector<NetId> taps;
+        for (int i = 0; i < 64; ++i) {
+            if ((kDataPos[static_cast<std::size_t>(i)] >> j) & 1)
+                taps.push_back(d[static_cast<std::size_t>(i)]);
+        }
+        h[static_cast<std::size_t>(j)] = m.xorTree(taps);
+    }
+    return h;
+}
+
+} // namespace
+
+Module
+secdedEncoderNetlist()
+{
+    Module m("bvf_secded72_enc");
+    const auto d = m.addInput("d", 64);
+    const auto h = hammingCheckNets(m, d);
+
+    std::vector<NetId> c(h.begin(), h.end());
+    // c[7]: even parity over the whole codeword = XOR of all data and
+    // Hamming check bits.
+    std::vector<NetId> all(d.begin(), d.end());
+    all.insert(all.end(), h.begin(), h.end());
+    c.push_back(m.xorTree(all));
+    m.addOutput("c", c);
+    return m;
+}
+
+Module
+secdedDecoderNetlist()
+{
+    Module m("bvf_secded72_dec");
+    const auto d = m.addInput("d", 64);
+    const auto c = m.addInput("c", 8);
+
+    const auto h = hammingCheckNets(m, d);
+    std::array<NetId, 7> syn{};
+    std::array<NetId, 7> nsyn{};
+    for (int j = 0; j < 7; ++j) {
+        syn[static_cast<std::size_t>(j)] =
+            m.mkXor(h[static_cast<std::size_t>(j)],
+                    c[static_cast<std::size_t>(j)]);
+        nsyn[static_cast<std::size_t>(j)] =
+            m.mkNot(syn[static_cast<std::size_t>(j)]);
+    }
+
+    // Odd number of flips anywhere in the codeword = XOR of every
+    // stored bit (encode() balances the total to even parity).
+    std::vector<NetId> all(d.begin(), d.end());
+    all.insert(all.end(), c.begin(), c.end());
+    const NetId parityErr = m.xorTree(all);
+
+    const NetId synZero = m.andTree(nsyn);
+
+    // One comparator per codeword position 1..71: the syndrome *is*
+    // the position of a single flipped bit.
+    std::array<NetId, 72> match{};
+    for (int p = 1; p <= 71; ++p) {
+        std::array<NetId, 7> terms{};
+        for (int j = 0; j < 7; ++j) {
+            terms[static_cast<std::size_t>(j)] =
+                ((p >> j) & 1) ? syn[static_cast<std::size_t>(j)]
+                               : nsyn[static_cast<std::size_t>(j)];
+        }
+        match[static_cast<std::size_t>(p)] = m.andTree(terms);
+    }
+
+    // A syndrome is valid when it is zero (parity bit itself flipped)
+    // or points inside the codeword; anything else means >= 3 flips.
+    std::vector<NetId> validTaps;
+    validTaps.push_back(synZero);
+    for (int p = 1; p <= 71; ++p)
+        validTaps.push_back(match[static_cast<std::size_t>(p)]);
+    const NetId valid = m.orTree(validTaps);
+
+    const NetId corrected = m.mkAnd(parityErr, valid);
+    const NetId uncorrectable =
+        m.mkOr(m.mkAnd(parityErr, m.mkNot(valid)),
+               m.mkAnd(m.mkNot(parityErr), m.mkNot(synZero)));
+
+    // Repairs only fire on odd flip counts; double errors whose
+    // syndrome happens to alias a position must leave data untouched.
+    std::vector<NetId> q(64);
+    for (int i = 0; i < 64; ++i) {
+        const int pos = kDataPos[static_cast<std::size_t>(i)];
+        const NetId flip = m.mkAnd(
+            match[static_cast<std::size_t>(pos)], parityErr);
+        q[static_cast<std::size_t>(i)] = m.mkXor(d[i], flip);
+    }
+    std::vector<NetId> qc(8);
+    for (int j = 0; j < 7; ++j) {
+        const NetId flip = m.mkAnd(
+            match[static_cast<std::size_t>(1 << j)], parityErr);
+        qc[static_cast<std::size_t>(j)] = m.mkXor(c[j], flip);
+    }
+    qc[7] = m.mkXor(c[7], m.mkAnd(synZero, parityErr));
+
+    m.addOutput("q", q);
+    m.addOutput("qc", qc);
+    m.addOutput("corrected", std::array<NetId, 1>{corrected});
+    m.addOutput("uncorrectable",
+                std::array<NetId, 1>{uncorrectable});
+    return m;
+}
+
+} // namespace bvf::rtl

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Netlist generators: lower the C++ coder models to hardware.
+ *
+ * Each generator builds a combinational Module whose ports mirror the
+ * corresponding C++ entry point, so the co-simulation harness can push
+ * the same values through both and demand bit-for-bit agreement:
+ *
+ *   nvCoderNetlist()          <->  coder::NvCoder::encode (32-bit word)
+ *   vsCoderNetlist(w, p)      <->  coder::VsCoder(p).encode (w words)
+ *   isaCoderNetlist(mask)     <->  coder::IsaCoder(mask).encode
+ *   secdedEncoderNetlist()    <->  fault::secdedEncode
+ *   secdedDecoderNetlist()    <->  fault::secdedDecode
+ *
+ * The SECDED generators re-derive the extended-Hamming position tables
+ * from first principles rather than reusing fault/secded.cc internals;
+ * agreement between the two constructions is part of what the co-sim
+ * checks.
+ */
+
+#ifndef BVF_RTL_GEN_HH
+#define BVF_RTL_GEN_HH
+
+#include "common/bitops.hh"
+#include "rtl/netlist.hh"
+
+namespace bvf::rtl
+{
+
+/**
+ * NV coder for one 32-bit word: d[32] -> q[32]. Bits 0..30 are XNORed
+ * with the sign bit d[31]; the sign passes through a BUF. 31 XNORs,
+ * matching coder::gate_model::kNvXnorPerWordPort.
+ */
+Module nvCoderNetlist();
+
+/**
+ * VS coder over a block of @p words 32-bit words with pivot index
+ * @p pivot: d[words*32] -> q[words*32], word w at bits [w*32, w*32+31].
+ * Out-of-range pivots clamp to word 0, mirroring VsCoder. Non-pivot
+ * words are XNORed with the pivot word (32 XNORs each); the pivot word
+ * passes through BUFs.
+ */
+Module vsCoderNetlist(int words, int pivot);
+
+/**
+ * ISA coder specialized to @p mask: d[64] -> q[64], one XNOR per bit
+ * against a Const0/Const1 tie of the mask bit. Keeping the mask as tie
+ * cells (rather than folding XNOR-with-constant into BUF/NOT) preserves
+ * the per-port XNOR count the analytic model charges.
+ */
+Module isaCoderNetlist(Word64 mask);
+
+/** SECDED(72,64) encoder: d[64] -> c[8] (c[7] = overall parity). */
+Module secdedEncoderNetlist();
+
+/**
+ * SECDED(72,64) decoder: d[64], c[8] -> q[64], qc[8], corrected,
+ * uncorrectable. Status mapping: corrected=0 uncorrectable=0 is
+ * EccStatus::Ok, corrected=1 is Corrected, uncorrectable=1 is
+ * Uncorrectable (never both). Invalid syndromes (outside the codeword)
+ * assert uncorrectable and leave q/qc untouched, matching
+ * fault::secdedDecode.
+ */
+Module secdedDecoderNetlist();
+
+} // namespace bvf::rtl
+
+#endif // BVF_RTL_GEN_HH

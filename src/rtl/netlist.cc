@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Netlist IR implementation.
+ */
+
+#include "rtl/netlist.hh"
+
+#include "common/logging.hh"
+
+namespace bvf::rtl
+{
+
+std::string
+gateOpName(GateOp op)
+{
+    switch (op) {
+      case GateOp::Buf:
+        return "buf";
+      case GateOp::Not:
+        return "not";
+      case GateOp::And:
+        return "and";
+      case GateOp::Or:
+        return "or";
+      case GateOp::Xor:
+        return "xor";
+      case GateOp::Xnor:
+        return "xnor";
+      case GateOp::Mux:
+        return "mux";
+      case GateOp::Dff:
+        return "dff";
+      case GateOp::Const0:
+        return "const0";
+      case GateOp::Const1:
+        return "const1";
+    }
+    return "?";
+}
+
+int
+gateOpArity(GateOp op)
+{
+    switch (op) {
+      case GateOp::Buf:
+      case GateOp::Not:
+      case GateOp::Dff:
+        return 1;
+      case GateOp::And:
+      case GateOp::Or:
+      case GateOp::Xor:
+      case GateOp::Xnor:
+        return 2;
+      case GateOp::Mux:
+        return 3;
+      case GateOp::Const0:
+      case GateOp::Const1:
+        return 0;
+    }
+    return 0;
+}
+
+std::vector<NetId>
+Module::addInput(const std::string &port, int width)
+{
+    panic_if(width <= 0, "input port '%s' needs positive width",
+             port.c_str());
+    Port p;
+    p.name = port;
+    p.bits.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i)
+        p.bits.push_back(addNet());
+    inputs_.push_back(p);
+    return inputs_.back().bits;
+}
+
+void
+Module::addOutput(const std::string &port, std::span<const NetId> bits)
+{
+    panic_if(bits.empty(), "output port '%s' needs at least one bit",
+             port.c_str());
+    Port p;
+    p.name = port;
+    p.bits.assign(bits.begin(), bits.end());
+    outputs_.push_back(std::move(p));
+}
+
+NetId
+Module::addNet()
+{
+    return numNets_++;
+}
+
+void
+Module::addGate(Gate gate)
+{
+    gates_.push_back(std::move(gate));
+}
+
+void
+Module::addInputPort(Port port)
+{
+    inputs_.push_back(std::move(port));
+}
+
+NetId
+Module::mkGate(GateOp op, std::vector<NetId> in)
+{
+    panic_if(static_cast<int>(in.size()) != gateOpArity(op),
+             "gate %s wants %d operands, got %zu",
+             gateOpName(op).c_str(), gateOpArity(op), in.size());
+    for (const NetId n : in) {
+        panic_if(n >= numNets_, "gate %s reads undeclared net %u",
+                 gateOpName(op).c_str(), n);
+    }
+    Gate g;
+    g.op = op;
+    g.out = addNet();
+    g.in = std::move(in);
+    gates_.push_back(std::move(g));
+    return gates_.back().out;
+}
+
+namespace
+{
+
+/** Balanced binary reduction, deterministic association order. */
+template <typename F>
+NetId
+reduceTree(std::span<const NetId> bits, F &&combine)
+{
+    std::vector<NetId> level(bits.begin(), bits.end());
+    while (level.size() > 1) {
+        std::vector<NetId> next;
+        next.reserve(level.size() / 2 + 1);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(combine(level[i], level[i + 1]));
+        if (level.size() % 2)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+} // namespace
+
+NetId
+Module::xorTree(std::span<const NetId> bits)
+{
+    panic_if(bits.empty(), "xorTree over zero bits");
+    return reduceTree(bits,
+                      [this](NetId a, NetId b) { return mkXor(a, b); });
+}
+
+NetId
+Module::andTree(std::span<const NetId> bits)
+{
+    panic_if(bits.empty(), "andTree over zero bits");
+    return reduceTree(bits,
+                      [this](NetId a, NetId b) { return mkAnd(a, b); });
+}
+
+NetId
+Module::orTree(std::span<const NetId> bits)
+{
+    panic_if(bits.empty(), "orTree over zero bits");
+    return reduceTree(bits,
+                      [this](NetId a, NetId b) { return mkOr(a, b); });
+}
+
+int
+Module::inputBits() const
+{
+    int total = 0;
+    for (const Port &p : inputs_)
+        total += static_cast<int>(p.bits.size());
+    return total;
+}
+
+int
+Module::outputBits() const
+{
+    int total = 0;
+    for (const Port &p : outputs_)
+        total += static_cast<int>(p.bits.size());
+    return total;
+}
+
+bool
+Module::hasState() const
+{
+    for (const Gate &g : gates_) {
+        if (g.op == GateOp::Dff)
+            return true;
+    }
+    return false;
+}
+
+const Port *
+Module::findInput(const std::string &name) const
+{
+    for (const Port &p : inputs_) {
+        if (p.name == name)
+            return &p;
+    }
+    return nullptr;
+}
+
+const Port *
+Module::findOutput(const std::string &name) const
+{
+    for (const Port &p : outputs_) {
+        if (p.name == name)
+            return &p;
+    }
+    return nullptr;
+}
+
+Result<void>
+Module::validate() const
+{
+    // 0 = undriven, 1 = input bit, 2 = gate output.
+    std::vector<std::uint8_t> driver(numNets_, 0);
+
+    for (const Port &p : inputs_) {
+        if (p.name.empty()) {
+            return Error{ErrorCode::InvalidArgument,
+                         strFormat("module %s: empty input port name",
+                                   name_.c_str())};
+        }
+        for (const NetId n : p.bits) {
+            if (n >= numNets_) {
+                return Error{ErrorCode::InvalidArgument,
+                             strFormat("module %s: input %s references "
+                                       "undeclared net %u",
+                                       name_.c_str(), p.name.c_str(), n)};
+            }
+            if (driver[n]) {
+                return Error{ErrorCode::InvalidArgument,
+                             strFormat("module %s: net %u has multiple "
+                                       "drivers",
+                                       name_.c_str(), n)};
+            }
+            driver[n] = 1;
+        }
+    }
+
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const Gate &g = gates_[i];
+        if (static_cast<int>(g.in.size()) != gateOpArity(g.op)) {
+            return Error{ErrorCode::InvalidArgument,
+                         strFormat("module %s: gate %zu (%s) has %zu "
+                                   "operands, wants %d",
+                                   name_.c_str(), i,
+                                   gateOpName(g.op).c_str(), g.in.size(),
+                                   gateOpArity(g.op))};
+        }
+        if (g.out >= numNets_) {
+            return Error{ErrorCode::InvalidArgument,
+                         strFormat("module %s: gate %zu drives "
+                                   "undeclared net %u",
+                                   name_.c_str(), i, g.out)};
+        }
+        if (driver[g.out]) {
+            return Error{ErrorCode::InvalidArgument,
+                         strFormat("module %s: net %u has multiple "
+                                   "drivers",
+                                   name_.c_str(), g.out)};
+        }
+        driver[g.out] = 2;
+        for (const NetId n : g.in) {
+            if (n >= numNets_) {
+                return Error{ErrorCode::InvalidArgument,
+                             strFormat("module %s: gate %zu reads "
+                                       "undeclared net %u",
+                                       name_.c_str(), i, n)};
+            }
+        }
+    }
+
+    // Every net a gate reads must be driven by something.
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        for (const NetId n : gates_[i].in) {
+            if (!driver[n]) {
+                return Error{ErrorCode::InvalidArgument,
+                             strFormat("module %s: gate %zu reads "
+                                       "undriven net %u",
+                                       name_.c_str(), i, n)};
+            }
+        }
+    }
+
+    std::vector<std::uint8_t> seenOut(numNets_, 0);
+    for (const Port &p : outputs_) {
+        if (p.name.empty()) {
+            return Error{ErrorCode::InvalidArgument,
+                         strFormat("module %s: empty output port name",
+                                   name_.c_str())};
+        }
+        for (const NetId n : p.bits) {
+            if (n >= numNets_ || driver[n] != 2) {
+                return Error{ErrorCode::InvalidArgument,
+                             strFormat("module %s: output %s bit is not "
+                                       "gate-driven (net %u)",
+                                       name_.c_str(), p.name.c_str(), n)};
+            }
+            if (seenOut[n]) {
+                return Error{ErrorCode::InvalidArgument,
+                             strFormat("module %s: net %u appears in "
+                                       "two output bits",
+                                       name_.c_str(), n)};
+            }
+            seenOut[n] = 1;
+        }
+    }
+
+    // Unique port names across both directions (the Verilog namespace
+    // is flat).
+    std::vector<std::string> names;
+    for (const Port &p : inputs_)
+        names.push_back(p.name);
+    for (const Port &p : outputs_)
+        names.push_back(p.name);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = i + 1; j < names.size(); ++j) {
+            if (names[i] == names[j]) {
+                return Error{ErrorCode::InvalidArgument,
+                             strFormat("module %s: duplicate port "
+                                       "name '%s'",
+                                       name_.c_str(), names[i].c_str())};
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace bvf::rtl

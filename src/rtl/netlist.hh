@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Gate-level netlist IR.
+ *
+ * The RTL subsystem derives synthesizable hardware for the BVF coders
+ * from the same C++ models the simulator executes, so the paper's
+ * overhead table (133,920 XNOR gates) can be validated against an
+ * independent construction instead of an inlined constant. This header
+ * is the common currency: a Module is a bag of single-bit nets, a list
+ * of gates driving them, and named multi-bit ports referencing them.
+ *
+ * Design rules (checked by Module::validate):
+ *  - every net has exactly one driver: an input-port bit, or one gate;
+ *  - output-port bits are gate-driven (pass-throughs go through a BUF,
+ *    which keeps the emitted Verilog purely structural);
+ *  - port names are unique and non-empty; port bits are distinct nets.
+ *
+ * Combinational cycles are legal in the IR (a parser must be able to
+ * represent what it read) but rejected when an Evaluator is built.
+ */
+
+#ifndef BVF_RTL_NETLIST_HH
+#define BVF_RTL_NETLIST_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+
+namespace bvf::rtl
+{
+
+/** Index of a single-bit net within its Module. */
+using NetId = std::uint32_t;
+
+/** Gate kinds: the vocabulary of the emitted Verilog. */
+enum class GateOp : std::uint8_t
+{
+    Buf,    //!< o = a           (pass-through / fanout stage)
+    Not,    //!< o = ~a
+    And,    //!< o = a & b
+    Or,     //!< o = a | b
+    Xor,    //!< o = a ^ b
+    Xnor,   //!< o = ~(a ^ b)    (the paper's coder gate)
+    Mux,    //!< o = s ? a : b   (inputs ordered s, a, b)
+    Dff,    //!< o <= d at posedge clk (state element)
+    Const0, //!< o = 1'b0        (tie cell, e.g. ISA mask bits)
+    Const1, //!< o = 1'b1
+};
+
+/** Number of distinct GateOp values (for per-op count arrays). */
+constexpr int kNumGateOps = 10;
+
+/** Display name, e.g. "xnor". */
+std::string gateOpName(GateOp op);
+
+/** Number of input operands @p op takes. */
+int gateOpArity(GateOp op);
+
+/** One gate: op, operand nets and the single net it drives. */
+struct Gate
+{
+    GateOp op = GateOp::Buf;
+    NetId out = 0;
+    std::vector<NetId> in;
+};
+
+/** A named, multi-bit port; bits are LSB-first. */
+struct Port
+{
+    std::string name;
+    std::vector<NetId> bits;
+};
+
+/**
+ * One hardware module under construction or analysis.
+ *
+ * The builder API (addInput, the mk helpers, addOutput) produces valid-by-
+ * construction modules: every mk* call allocates a fresh net driven by
+ * the new gate. The parser uses the raw mutators and relies on
+ * validate() afterwards.
+ */
+class Module
+{
+  public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    // --- builder API ---------------------------------------------------
+
+    /** Declare an input port of @p width bits; returns its bit nets. */
+    std::vector<NetId> addInput(const std::string &port, int width);
+
+    /** Declare an output port wired to the given (gate-driven) nets. */
+    void addOutput(const std::string &port, std::span<const NetId> bits);
+
+    NetId mkBuf(NetId a) { return mkGate(GateOp::Buf, {a}); }
+    NetId mkNot(NetId a) { return mkGate(GateOp::Not, {a}); }
+    NetId mkAnd(NetId a, NetId b) { return mkGate(GateOp::And, {a, b}); }
+    NetId mkOr(NetId a, NetId b) { return mkGate(GateOp::Or, {a, b}); }
+    NetId mkXor(NetId a, NetId b) { return mkGate(GateOp::Xor, {a, b}); }
+    NetId mkXnor(NetId a, NetId b)
+    {
+        return mkGate(GateOp::Xnor, {a, b});
+    }
+    /** o = s ? a : b. */
+    NetId mkMux(NetId s, NetId a, NetId b)
+    {
+        return mkGate(GateOp::Mux, {s, a, b});
+    }
+    NetId mkDff(NetId d) { return mkGate(GateOp::Dff, {d}); }
+    NetId mkConst(bool v)
+    {
+        return mkGate(v ? GateOp::Const1 : GateOp::Const0, {});
+    }
+
+    /** Balanced XOR reduction over @p bits (must be non-empty). */
+    NetId xorTree(std::span<const NetId> bits);
+
+    /** Balanced AND reduction over @p bits (must be non-empty). */
+    NetId andTree(std::span<const NetId> bits);
+
+    /** Balanced OR reduction over @p bits (must be non-empty). */
+    NetId orTree(std::span<const NetId> bits);
+
+    // --- raw mutators (parser use) -------------------------------------
+
+    /** Allocate an undriven net (the parser resolves drivers later). */
+    NetId addNet();
+
+    /** Append a gate as parsed; validate() checks driver uniqueness. */
+    void addGate(Gate gate);
+
+    /** Append an input port over pre-allocated nets (parser use). */
+    void addInputPort(Port port);
+
+    // --- inspection ----------------------------------------------------
+
+    std::uint32_t numNets() const { return numNets_; }
+    const std::vector<Gate> &gates() const { return gates_; }
+    const std::vector<Port> &inputs() const { return inputs_; }
+    const std::vector<Port> &outputs() const { return outputs_; }
+
+    /** Total input/output bit counts (flattened, port order). */
+    int inputBits() const;
+    int outputBits() const;
+
+    /** Does any gate hold state? (Emitter adds a clk port if so.) */
+    bool hasState() const;
+
+    /** Port lookup by name; nullptr when absent. */
+    const Port *findInput(const std::string &name) const;
+    const Port *findOutput(const std::string &name) const;
+
+    /**
+     * Check the design rules in the header comment. The error message
+     * names the first offending net/port/gate.
+     */
+    Result<void> validate() const;
+
+  private:
+    NetId mkGate(GateOp op, std::vector<NetId> in);
+
+    std::string name_;
+    std::uint32_t numNets_ = 0;
+    std::vector<Gate> gates_;
+    std::vector<Port> inputs_;
+    std::vector<Port> outputs_;
+};
+
+} // namespace bvf::rtl
+
+#endif // BVF_RTL_NETLIST_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Netlist statistics implementation.
+ */
+
+#include "rtl/stats.hh"
+
+#include <algorithm>
+
+#include "coder/gate_model.hh"
+#include "common/logging.hh"
+#include "rtl/gen.hh"
+
+namespace bvf::rtl
+{
+
+Result<GateStats>
+analyzeModule(const Module &m)
+{
+    if (auto valid = m.validate(); !valid.ok())
+        return valid.error();
+
+    const auto &gates = m.gates();
+    GateStats st;
+    st.totalGates = gates.size();
+    for (const Gate &g : gates)
+        ++st.opCount[static_cast<std::size_t>(g.op)];
+
+    // Fanout: how many gate operands read each net.
+    std::vector<std::uint32_t> fanout(m.numNets(), 0);
+    std::uint64_t operands = 0;
+    for (const Gate &g : gates) {
+        for (const NetId n : g.in) {
+            ++fanout[n];
+            ++operands;
+        }
+    }
+    for (const std::uint32_t f : fanout)
+        st.maxFanout = std::max(st.maxFanout, static_cast<int>(f));
+
+    std::uint64_t driven = 0;
+    for (const Port &p : m.inputs())
+        driven += p.bits.size();
+    driven += gates.size();
+    st.meanFanout = driven == 0 ? 0.0
+                                : static_cast<double>(operands)
+                                      / static_cast<double>(driven);
+
+    // Longest combinational path, counting every combinational gate
+    // (BUFs included) as one level. DFF outputs and const ties are
+    // sources. Same Kahn structure the evaluator uses; a cycle here
+    // means depth is undefined.
+    constexpr std::uint32_t kNone = ~std::uint32_t(0);
+    std::vector<std::uint32_t> drivingGate(m.numNets(), kNone);
+    for (std::uint32_t i = 0; i < gates.size(); ++i) {
+        const GateOp op = gates[i].op;
+        if (op != GateOp::Dff && op != GateOp::Const0
+            && op != GateOp::Const1) {
+            drivingGate[gates[i].out] = i;
+        }
+    }
+    std::vector<std::uint32_t> pending(gates.size(), 0);
+    std::vector<std::vector<std::uint32_t>> dependents(gates.size());
+    for (std::uint32_t i = 0; i < gates.size(); ++i) {
+        for (const NetId n : gates[i].in) {
+            const std::uint32_t src = drivingGate[n];
+            if (src != kNone && src != i) {
+                ++pending[i];
+                dependents[src].push_back(i);
+            } else if (src == i) {
+                return Error{ErrorCode::Corrupt,
+                             strFormat("module %s: combinational cycle "
+                                       "at gate %u",
+                                       m.name().c_str(), i)};
+            }
+        }
+    }
+    std::vector<int> depth(gates.size(), 0);
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t i = 0; i < gates.size(); ++i) {
+        if (pending[i] == 0)
+            ready.push_back(i);
+    }
+    std::size_t ordered = 0;
+    for (std::size_t head = 0; head < ready.size(); ++head) {
+        const std::uint32_t i = ready[head];
+        ++ordered;
+        const GateOp op = gates[i].op;
+        const bool comb = op != GateOp::Dff && op != GateOp::Const0
+                          && op != GateOp::Const1;
+        if (comb) {
+            int best = 0;
+            for (const NetId n : gates[i].in) {
+                const std::uint32_t src = drivingGate[n];
+                if (src != kNone)
+                    best = std::max(best, depth[src]);
+            }
+            depth[i] = best + 1;
+            st.criticalDepth = std::max(st.criticalDepth, depth[i]);
+        }
+        for (const std::uint32_t dep : dependents[i]) {
+            if (--pending[dep] == 0)
+                ready.push_back(dep);
+        }
+    }
+    if (ordered != gates.size()) {
+        return Error{ErrorCode::Corrupt,
+                     strFormat("module %s: combinational cycle (%zu "
+                               "gates unreachable)",
+                               m.name().c_str(), gates.size() - ordered)};
+    }
+    return st;
+}
+
+namespace
+{
+
+std::uint64_t
+xnorCountOf(const Module &m)
+{
+    std::uint64_t count = 0;
+    for (const Gate &g : m.gates()) {
+        if (g.op == GateOp::Xnor)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace
+
+NetlistXnorInventory
+netlistXnorInventory(int numSms, int l2Banks, std::uint32_t lineBytes,
+                     int regPivot)
+{
+    const coder::gate_model::CoderPortCounts ports =
+        coder::gate_model::coderPortCounts(numSms, l2Banks, lineBytes);
+    const int lineWords = static_cast<int>(lineBytes / 4);
+
+    // The ISA XNOR count is mask-independent (ties absorb the mask),
+    // so any representative mask works here.
+    NetlistXnorInventory inv;
+    inv.nvGates = ports.nvWordPorts * xnorCountOf(nvCoderNetlist());
+    inv.vsRegGates = ports.vsRegisterPorts
+                     * xnorCountOf(vsCoderNetlist(32, regPivot));
+    inv.vsCacheGates = ports.vsCachePorts
+                       * xnorCountOf(vsCoderNetlist(lineWords, 0));
+    inv.isaGates = ports.isaPorts * xnorCountOf(isaCoderNetlist(0));
+    return inv;
+}
+
+} // namespace bvf::rtl

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structural accounting over generated netlists.
+ *
+ * Two layers: per-module gate statistics (counts by gate type, fanout,
+ * critical-path depth) and the chip-wide XNOR inventory derived by
+ * instantiating the real generators once per port type and multiplying
+ * by the port counts of the machine shape. CI diffs both against
+ * checked-in baselines, so any change to the generators that shifts a
+ * gate count is caught, and bench_tab_overhead can place the
+ * netlist-derived total next to the analytic one from
+ * coder/gate_model.hh.
+ */
+
+#ifndef BVF_RTL_STATS_HH
+#define BVF_RTL_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/result.hh"
+#include "rtl/netlist.hh"
+
+namespace bvf::rtl
+{
+
+/** Structural figures for one module. */
+struct GateStats
+{
+    std::array<std::uint64_t, kNumGateOps> opCount{}; //!< by GateOp
+    std::uint64_t totalGates = 0;
+    int maxFanout = 0;     //!< most-read net (gate operands only)
+    double meanFanout = 0; //!< gate operands / driven nets
+    int criticalDepth = 0; //!< longest combinational path, in gates
+
+    std::uint64_t
+    count(GateOp op) const
+    {
+        return opCount[static_cast<std::size_t>(op)];
+    }
+};
+
+/**
+ * Analyze @p m. Corrupt if the module has a combinational cycle (depth
+ * is undefined there); InvalidArgument if validation fails.
+ */
+Result<GateStats> analyzeModule(const Module &m);
+
+/** Chip-wide XNOR totals rebuilt from the generators themselves. */
+struct NetlistXnorInventory
+{
+    std::uint64_t nvGates = 0;      //!< NV word ports
+    std::uint64_t vsRegGates = 0;   //!< VS register-space ports
+    std::uint64_t vsCacheGates = 0; //!< VS cache/NoC-space ports
+    std::uint64_t isaGates = 0;     //!< ISA fetch ports
+
+    std::uint64_t
+    total() const
+    {
+        return nvGates + vsRegGates + vsCacheGates + isaGates;
+    }
+};
+
+/**
+ * Instantiate each coder generator once per port type, count its XNOR
+ * gates and scale by the same port inventory
+ * coder::gate_model::analyticXnorInventory charges. @p regPivot is the
+ * register-space VS pivot (block size is fixed at 32 words).
+ */
+NetlistXnorInventory netlistXnorInventory(int numSms, int l2Banks,
+                                          std::uint32_t lineBytes,
+                                          int regPivot);
+
+} // namespace bvf::rtl
+
+#endif // BVF_RTL_STATS_HH

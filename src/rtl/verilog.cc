@@ -1,0 +1,755 @@
+/**
+ * @file
+ * Verilog emitter and subset parser.
+ *
+ * Canonical form contract (what makes emit -> parse -> emit a fixed
+ * point): internal nets are renamed w0..wN-1 in ascending NetId order
+ * at emission time and declared in exactly that order, so the parser's
+ * fresh net numbering reproduces the same textual order; port bits are
+ * referenced as name[i] (bare name for 1-bit ports); gate instances
+ * are named g<gate-index>. Nothing in the text depends on transient
+ * identifiers of the source IR.
+ */
+
+#include "rtl/verilog.hh"
+
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "rtl/eval.hh"
+
+namespace bvf::rtl
+{
+
+namespace
+{
+
+/** Hard caps so hostile text cannot balloon the IR. */
+constexpr int kMaxPortWidth = 4096;
+constexpr std::uint32_t kMaxNets = 1u << 20;
+constexpr std::size_t kMaxGates = 1u << 20;
+
+// --- Emission ---------------------------------------------------------
+
+/** Printable name per net under the canonical relabeling. */
+class NetNames
+{
+  public:
+    explicit NetNames(const Module &m) : names_(m.numNets())
+    {
+        auto nameport = [&](const Port &p) {
+            for (std::size_t i = 0; i < p.bits.size(); ++i) {
+                names_[p.bits[i]] =
+                    p.bits.size() == 1
+                        ? p.name
+                        : strFormat("%s[%zu]", p.name.c_str(), i);
+            }
+        };
+        for (const Port &p : m.inputs())
+            nameport(p);
+        for (const Port &p : m.outputs())
+            nameport(p);
+        std::uint32_t next = 0;
+        for (NetId n = 0; n < m.numNets(); ++n) {
+            if (names_[n].empty()) {
+                names_[n] = strFormat("w%u", next++);
+                internal_.push_back(n);
+            }
+        }
+    }
+
+    const std::string &operator[](NetId n) const { return names_[n]; }
+
+    /** Internal nets in declaration (= relabeling) order. */
+    const std::vector<NetId> &internal() const { return internal_; }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<NetId> internal_;
+};
+
+} // namespace
+
+std::string
+emitVerilog(const Module &m)
+{
+    const NetNames names(m);
+    const bool state = m.hasState();
+
+    // Which nets a DFF drives (they are declared 'reg').
+    std::vector<std::uint8_t> isReg(m.numNets(), 0);
+    for (const Gate &g : m.gates()) {
+        if (g.op == GateOp::Dff)
+            isReg[g.out] = 1;
+    }
+
+    std::ostringstream os;
+    os << "module " << m.name() << " (\n";
+    bool first = true;
+    auto portDecl = [&](const Port &p, bool input) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        // A port is 'reg' only when every bit is DFF-driven; mixed
+        // ports (unreachable from the generators) stay 'wire'.
+        bool reg = !input && !p.bits.empty();
+        for (const NetId n : p.bits)
+            reg = reg && isReg[n];
+        os << "  " << (input ? "input" : "output") << " "
+           << (reg ? "reg" : "wire");
+        if (p.bits.size() > 1)
+            os << " [" << p.bits.size() - 1 << ":0]";
+        os << " " << p.name;
+    };
+    const bool needClk = state && m.findInput("clk") == nullptr;
+    if (needClk) {
+        os << "  input wire clk";
+        first = false;
+    }
+    for (const Port &p : m.inputs())
+        portDecl(p, true);
+    for (const Port &p : m.outputs())
+        portDecl(p, false);
+    os << "\n);\n";
+
+    for (const NetId n : names.internal()) {
+        os << "  " << (isReg[n] ? "reg" : "wire") << " " << names[n]
+           << ";\n";
+    }
+
+    const auto &gates = m.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        switch (g.op) {
+          case GateOp::Buf:
+          case GateOp::Not:
+          case GateOp::And:
+          case GateOp::Or:
+          case GateOp::Xor:
+          case GateOp::Xnor: {
+            os << "  " << gateOpName(g.op) << " g" << i << " ("
+               << names[g.out];
+            for (const NetId n : g.in)
+                os << ", " << names[n];
+            os << ");\n";
+            break;
+          }
+          case GateOp::Mux:
+            os << "  assign " << names[g.out] << " = " << names[g.in[0]]
+               << " ? " << names[g.in[1]] << " : " << names[g.in[2]]
+               << ";\n";
+            break;
+          case GateOp::Dff:
+            os << "  always @(posedge clk) " << names[g.out] << " <= "
+               << names[g.in[0]] << ";\n";
+            break;
+          case GateOp::Const0:
+            os << "  assign " << names[g.out] << " = 1'b0;\n";
+            break;
+          case GateOp::Const1:
+            os << "  assign " << names[g.out] << " = 1'b1;\n";
+            break;
+        }
+    }
+    os << "endmodule\n";
+    return os.str();
+}
+
+// --- Parsing ----------------------------------------------------------
+
+namespace
+{
+
+enum class Tok : std::uint8_t
+{
+    Ident,
+    Number,
+    Const0, //!< 1'b0
+    Const1, //!< 1'b1
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Colon,
+    Semicolon,
+    Comma,
+    Assign,   //!< =
+    Question, //!< ?
+    At,       //!< @
+    NonBlock, //!< <=
+    End,      //!< end of input
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text; //!< ident text or number digits
+    int line = 0;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &text) : text_(text) {}
+
+    Result<std::vector<Token>>
+    run()
+    {
+        std::vector<Token> out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+                continue;
+            }
+            if (c == ' ' || c == '\t' || c == '\r') {
+                ++pos_;
+                continue;
+            }
+            if (c == '/' && pos_ + 1 < text_.size()
+                && text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    ++pos_;
+                continue;
+            }
+            if (isIdentStart(c)) {
+                const std::size_t start = pos_;
+                while (pos_ < text_.size() && isIdentChar(text_[pos_]))
+                    ++pos_;
+                out.push_back({Tok::Ident,
+                               text_.substr(start, pos_ - start), line_});
+                continue;
+            }
+            if (c >= '0' && c <= '9') {
+                const std::size_t start = pos_;
+                while (pos_ < text_.size() && text_[pos_] >= '0'
+                       && text_[pos_] <= '9')
+                    ++pos_;
+                // 1'b0 / 1'b1 constant literal.
+                if (pos_ + 2 < text_.size() && text_[pos_] == '\''
+                    && text_[pos_ + 1] == 'b'
+                    && (text_[pos_ + 2] == '0'
+                        || text_[pos_ + 2] == '1')) {
+                    if (text_.substr(start, pos_ - start) != "1") {
+                        return err("unsupported constant width");
+                    }
+                    const bool one = text_[pos_ + 2] == '1';
+                    pos_ += 3;
+                    out.push_back({one ? Tok::Const1 : Tok::Const0, "",
+                                   line_});
+                    continue;
+                }
+                out.push_back({Tok::Number,
+                               text_.substr(start, pos_ - start), line_});
+                continue;
+            }
+            switch (c) {
+              case '(':
+                out.push_back({Tok::LParen, "", line_});
+                break;
+              case ')':
+                out.push_back({Tok::RParen, "", line_});
+                break;
+              case '[':
+                out.push_back({Tok::LBracket, "", line_});
+                break;
+              case ']':
+                out.push_back({Tok::RBracket, "", line_});
+                break;
+              case ':':
+                out.push_back({Tok::Colon, "", line_});
+                break;
+              case ';':
+                out.push_back({Tok::Semicolon, "", line_});
+                break;
+              case ',':
+                out.push_back({Tok::Comma, "", line_});
+                break;
+              case '?':
+                out.push_back({Tok::Question, "", line_});
+                break;
+              case '@':
+                out.push_back({Tok::At, "", line_});
+                break;
+              case '=':
+                out.push_back({Tok::Assign, "", line_});
+                break;
+              case '<':
+                if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+                    ++pos_;
+                    out.push_back({Tok::NonBlock, "", line_});
+                    break;
+                }
+                return err("stray '<'");
+              default:
+                return err(strFormat("unexpected character '%c'", c));
+            }
+            ++pos_;
+        }
+        out.push_back({Tok::End, "", line_});
+        return out;
+    }
+
+  private:
+    static bool
+    isIdentStart(char c)
+    {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+               || c == '_';
+    }
+
+    static bool
+    isIdentChar(char c)
+    {
+        return isIdentStart(c) || (c >= '0' && c <= '9');
+    }
+
+    Error
+    err(const std::string &what) const
+    {
+        return Error{ErrorCode::Corrupt,
+                     strFormat("verilog:%d: %s", line_, what.c_str())};
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+/** Recursive-descent parser over the token stream. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    Result<Module>
+    run()
+    {
+        auto mod = parseModule();
+        if (!mod.ok())
+            return mod.error();
+        if (cur().kind != Tok::End)
+            return err("trailing text after endmodule");
+        return mod;
+    }
+
+  private:
+    struct NetRef
+    {
+        std::string name;
+        bool indexed = false;
+        int index = 0;
+    };
+
+    const Token &cur() const { return toks_[pos_]; }
+
+    void advance() { ++pos_; }
+
+    bool
+    eatIdent(const char *word)
+    {
+        if (cur().kind == Tok::Ident && cur().text == word) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    Error
+    err(const std::string &what) const
+    {
+        return Error{ErrorCode::Corrupt,
+                     strFormat("verilog:%d: %s", cur().line,
+                               what.c_str())};
+    }
+
+    Result<void>
+    expect(Tok kind, const char *what)
+    {
+        if (cur().kind != kind)
+            return err(strFormat("expected %s", what));
+        advance();
+        return {};
+    }
+
+    Result<std::string>
+    expectIdent(const char *what)
+    {
+        if (cur().kind != Tok::Ident)
+            return err(strFormat("expected %s", what));
+        std::string text = cur().text;
+        advance();
+        return text;
+    }
+
+    Result<int>
+    expectNumber()
+    {
+        if (cur().kind != Tok::Number)
+            return err("expected number");
+        if (cur().text.size() > 7)
+            return err("number out of range");
+        const int v = std::stoi(cur().text);
+        advance();
+        return v;
+    }
+
+    Result<Module> parseModule();
+    Result<void> parsePortList(Module &m);
+    Result<void> parseBody(Module &m);
+    Result<NetRef> parseNetRef();
+    Result<NetId> resolve(const NetRef &ref);
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+
+    struct PortInfo
+    {
+        bool isInput = false;
+        std::vector<NetId> bits;
+    };
+    std::map<std::string, PortInfo> ports_;
+    std::map<std::string, NetId> wires_; //!< scalar wire/reg decls
+    std::vector<Port> outputPorts_;      //!< declaration order
+};
+
+Result<Module>
+Parser::parseModule()
+{
+    if (!eatIdent("module"))
+        return err("expected 'module'");
+    auto name = expectIdent("module name");
+    if (!name.ok())
+        return name.error();
+    Module m(name.value());
+    if (auto ok = expect(Tok::LParen, "'('"); !ok.ok())
+        return ok.error();
+    if (auto ok = parsePortList(m); !ok.ok())
+        return ok.error();
+    if (auto ok = expect(Tok::Semicolon, "';'"); !ok.ok())
+        return ok.error();
+    if (auto ok = parseBody(m); !ok.ok())
+        return ok.error();
+    for (const Port &p : outputPorts_)
+        m.addOutput(p.name, p.bits);
+    return m;
+}
+
+Result<void>
+Parser::parsePortList(Module &m)
+{
+    bool first = true;
+    while (cur().kind != Tok::RParen) {
+        if (!first) {
+            if (auto ok = expect(Tok::Comma, "','"); !ok.ok())
+                return ok.error();
+        }
+        first = false;
+        bool input = false;
+        if (eatIdent("input"))
+            input = true;
+        else if (eatIdent("output"))
+            input = false;
+        else
+            return err("expected 'input' or 'output'");
+        if (!eatIdent("wire") && !eatIdent("reg"))
+            return err("expected 'wire' or 'reg'");
+        int width = 1;
+        if (cur().kind == Tok::LBracket) {
+            advance();
+            auto hi = expectNumber();
+            if (!hi.ok())
+                return hi.error();
+            if (auto ok = expect(Tok::Colon, "':'"); !ok.ok())
+                return ok.error();
+            auto lo = expectNumber();
+            if (!lo.ok())
+                return lo.error();
+            if (auto ok = expect(Tok::RBracket, "']'"); !ok.ok())
+                return ok.error();
+            if (lo.value() != 0 || hi.value() < 0
+                || hi.value() >= kMaxPortWidth)
+                return err("unsupported port range");
+            width = hi.value() + 1;
+        }
+        auto pname = expectIdent("port name");
+        if (!pname.ok())
+            return pname.error();
+        if (ports_.count(pname.value()))
+            return err(strFormat("duplicate port '%s'",
+                                 pname.value().c_str()));
+        PortInfo info;
+        info.isInput = input;
+        if (input) {
+            info.bits = m.addInput(pname.value(), width);
+        } else {
+            Port out;
+            out.name = pname.value();
+            for (int i = 0; i < width; ++i) {
+                info.bits.push_back(m.addNet());
+                out.bits.push_back(info.bits.back());
+            }
+            outputPorts_.push_back(std::move(out));
+        }
+        ports_.emplace(pname.value(), std::move(info));
+    }
+    advance(); // ')'
+    return {};
+}
+
+Result<Parser::NetRef>
+Parser::parseNetRef()
+{
+    NetRef ref;
+    auto name = expectIdent("net name");
+    if (!name.ok())
+        return name.error();
+    ref.name = name.value();
+    if (cur().kind == Tok::LBracket) {
+        advance();
+        auto idx = expectNumber();
+        if (!idx.ok())
+            return idx.error();
+        if (auto ok = expect(Tok::RBracket, "']'"); !ok.ok())
+            return ok.error();
+        ref.indexed = true;
+        ref.index = idx.value();
+    }
+    return ref;
+}
+
+Result<NetId>
+Parser::resolve(const NetRef &ref)
+{
+    const auto port = ports_.find(ref.name);
+    if (port != ports_.end()) {
+        const auto &bits = port->second.bits;
+        const int idx = ref.indexed ? ref.index : 0;
+        if (!ref.indexed && bits.size() != 1)
+            return err(strFormat("port '%s' needs an index",
+                                 ref.name.c_str()));
+        if (idx < 0 || static_cast<std::size_t>(idx) >= bits.size())
+            return err(strFormat("index out of range on '%s'",
+                                 ref.name.c_str()));
+        return bits[static_cast<std::size_t>(idx)];
+    }
+    const auto wire = wires_.find(ref.name);
+    if (wire != wires_.end()) {
+        if (ref.indexed)
+            return err(strFormat("scalar wire '%s' indexed",
+                                 ref.name.c_str()));
+        return wire->second;
+    }
+    return err(strFormat("undeclared net '%s'", ref.name.c_str()));
+}
+
+Result<void>
+Parser::parseBody(Module &m)
+{
+    while (!eatIdent("endmodule")) {
+        if (cur().kind == Tok::End)
+            return err("unexpected end of input (missing endmodule)");
+
+        if (eatIdent("wire") || eatIdent("reg")) {
+            auto name = expectIdent("wire name");
+            if (!name.ok())
+                return name.error();
+            if (ports_.count(name.value())
+                || wires_.count(name.value()))
+                return err(strFormat("duplicate declaration '%s'",
+                                     name.value().c_str()));
+            if (m.numNets() >= kMaxNets)
+                return err("too many nets");
+            wires_.emplace(name.value(), m.addNet());
+            if (auto ok = expect(Tok::Semicolon, "';'"); !ok.ok())
+                return ok.error();
+            continue;
+        }
+
+        if (eatIdent("assign")) {
+            auto lhs = parseNetRef();
+            if (!lhs.ok())
+                return lhs.error();
+            auto out = resolve(lhs.value());
+            if (!out.ok())
+                return out.error();
+            if (auto ok = expect(Tok::Assign, "'='"); !ok.ok())
+                return ok.error();
+            Gate g;
+            g.out = out.value();
+            if (cur().kind == Tok::Const0
+                || cur().kind == Tok::Const1) {
+                g.op = cur().kind == Tok::Const1 ? GateOp::Const1
+                                                 : GateOp::Const0;
+                advance();
+            } else {
+                auto sel = parseNetRef();
+                if (!sel.ok())
+                    return sel.error();
+                auto s = resolve(sel.value());
+                if (!s.ok())
+                    return s.error();
+                if (auto ok = expect(Tok::Question, "'?'"); !ok.ok())
+                    return ok.error();
+                auto aref = parseNetRef();
+                if (!aref.ok())
+                    return aref.error();
+                auto a = resolve(aref.value());
+                if (!a.ok())
+                    return a.error();
+                if (auto ok = expect(Tok::Colon, "':'"); !ok.ok())
+                    return ok.error();
+                auto bref = parseNetRef();
+                if (!bref.ok())
+                    return bref.error();
+                auto b = resolve(bref.value());
+                if (!b.ok())
+                    return b.error();
+                g.op = GateOp::Mux;
+                g.in = {s.value(), a.value(), b.value()};
+            }
+            if (auto ok = expect(Tok::Semicolon, "';'"); !ok.ok())
+                return ok.error();
+            if (m.gates().size() >= kMaxGates)
+                return err("too many gates");
+            m.addGate(std::move(g));
+            continue;
+        }
+
+        if (eatIdent("always")) {
+            if (auto ok = expect(Tok::At, "'@'"); !ok.ok())
+                return ok.error();
+            if (auto ok = expect(Tok::LParen, "'('"); !ok.ok())
+                return ok.error();
+            if (!eatIdent("posedge"))
+                return err("expected 'posedge'");
+            if (!eatIdent("clk"))
+                return err("expected 'clk'");
+            if (auto ok = expect(Tok::RParen, "')'"); !ok.ok())
+                return ok.error();
+            auto lhs = parseNetRef();
+            if (!lhs.ok())
+                return lhs.error();
+            auto out = resolve(lhs.value());
+            if (!out.ok())
+                return out.error();
+            if (auto ok = expect(Tok::NonBlock, "'<='"); !ok.ok())
+                return ok.error();
+            auto rhs = parseNetRef();
+            if (!rhs.ok())
+                return rhs.error();
+            auto d = resolve(rhs.value());
+            if (!d.ok())
+                return d.error();
+            if (auto ok = expect(Tok::Semicolon, "';'"); !ok.ok())
+                return ok.error();
+            if (m.gates().size() >= kMaxGates)
+                return err("too many gates");
+            Gate g;
+            g.op = GateOp::Dff;
+            g.out = out.value();
+            g.in = {d.value()};
+            m.addGate(std::move(g));
+            continue;
+        }
+
+        // Gate primitive: <op> <instance> (out, in...);
+        if (cur().kind != Tok::Ident)
+            return err("expected statement");
+        GateOp op;
+        const std::string &word = cur().text;
+        if (word == "buf")
+            op = GateOp::Buf;
+        else if (word == "not")
+            op = GateOp::Not;
+        else if (word == "and")
+            op = GateOp::And;
+        else if (word == "or")
+            op = GateOp::Or;
+        else if (word == "xor")
+            op = GateOp::Xor;
+        else if (word == "xnor")
+            op = GateOp::Xnor;
+        else
+            return err(strFormat("unknown statement '%s'",
+                                 word.c_str()));
+        advance();
+        auto inst = expectIdent("instance name");
+        if (!inst.ok())
+            return inst.error();
+        if (auto ok = expect(Tok::LParen, "'('"); !ok.ok())
+            return ok.error();
+        auto lhs = parseNetRef();
+        if (!lhs.ok())
+            return lhs.error();
+        auto out = resolve(lhs.value());
+        if (!out.ok())
+            return out.error();
+        Gate g;
+        g.op = op;
+        g.out = out.value();
+        for (int i = 0; i < gateOpArity(op); ++i) {
+            if (auto ok = expect(Tok::Comma, "','"); !ok.ok())
+                return ok.error();
+            auto ref = parseNetRef();
+            if (!ref.ok())
+                return ref.error();
+            auto n = resolve(ref.value());
+            if (!n.ok())
+                return n.error();
+            g.in.push_back(n.value());
+        }
+        if (auto ok = expect(Tok::RParen, "')'"); !ok.ok())
+            return ok.error();
+        if (auto ok = expect(Tok::Semicolon, "';'"); !ok.ok())
+            return ok.error();
+        if (m.gates().size() >= kMaxGates)
+            return err("too many gates");
+        m.addGate(std::move(g));
+    }
+    return {};
+}
+
+} // namespace
+
+Result<Module>
+parseVerilog(const std::string &text)
+{
+    Lexer lexer(text);
+    auto toks = lexer.run();
+    if (!toks.ok())
+        return toks.error();
+    Parser parser(std::move(toks.value()));
+    auto mod = parser.run();
+    if (!mod.ok())
+        return mod.error();
+    if (auto valid = mod.value().validate(); !valid.ok()) {
+        // Parsed-but-inconsistent text is corrupt input, not a caller
+        // bug: keep the taxonomy uniform for the fuzz harness.
+        return Error{ErrorCode::Corrupt, valid.error().message};
+    }
+    return mod;
+}
+
+Result<void>
+verilogRoundTrip(const std::string &text)
+{
+    auto mod = parseVerilog(text);
+    if (!mod.ok())
+        return mod.error();
+    auto ev = Evaluator::build(mod.value());
+    if (!ev.ok())
+        return ev.error();
+    const std::string again = emitVerilog(mod.value());
+    if (again != text) {
+        return Error{ErrorCode::Failed,
+                     strFormat("module %s: emitted text is not a "
+                               "round-trip fixed point",
+                               mod.value().name().c_str())};
+    }
+    return {};
+}
+
+} // namespace bvf::rtl

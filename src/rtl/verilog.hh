@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Verilog-2001 emission and (subset) parsing for netlist modules.
+ *
+ * emitVerilog() renders a Module as self-contained structural
+ * Verilog-2001: ANSI port list, scalar wire declarations, gate
+ * primitives (buf/not/and/or/xor/xnor), `assign` for MUX and constant
+ * ties, and one always-block per DFF. Naming is deterministic -- port
+ * bits as name[i], internal nets as w<net>, instances as g<index> --
+ * so equal IR yields byte-equal text and CI can diff emitted files.
+ *
+ * parseVerilog() accepts exactly that subset back into the IR. It is
+ * the repo's syntax check for emitted files (emit -> parse -> emit
+ * must be a fixed point) and an untrusted-text parser in the fuzz
+ * sweep: any malformed input must come back as a structured Corrupt
+ * error naming the line, never a crash or a fatal().
+ */
+
+#ifndef BVF_RTL_VERILOG_HH
+#define BVF_RTL_VERILOG_HH
+
+#include <string>
+
+#include "common/result.hh"
+#include "rtl/netlist.hh"
+
+namespace bvf::rtl
+{
+
+/** Render @p m as structural Verilog-2001 (deterministic text). */
+std::string emitVerilog(const Module &m);
+
+/**
+ * Parse one module of the emitted subset. Corrupt errors carry the
+ * 1-based line number of the offending construct.
+ */
+Result<Module> parseVerilog(const std::string &text);
+
+/**
+ * The round-trip syntax check for an emitted file: parse @p text,
+ * validate the module, build an evaluator (rejects combinational
+ * cycles) and require re-emission to reproduce @p text byte-for-byte.
+ */
+Result<void> verilogRoundTrip(const std::string &text);
+
+} // namespace bvf::rtl
+
+#endif // BVF_RTL_VERILOG_HH

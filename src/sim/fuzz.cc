@@ -12,13 +12,20 @@
 
 #include "analysis/verifier.hh"
 #include "campaign/journal.hh"
+#include "coder/isa_coder.hh"
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
 #include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "core/trace.hh"
+#include "fault/secded.hh"
 #include "fleet/merge.hh"
 #include "isa/asm.hh"
 #include "isa/bytecode.hh"
+#include "rtl/eval.hh"
+#include "rtl/gen.hh"
+#include "rtl/verilog.hh"
 #include "server/http.hh"
 #include "server/protocol.hh"
 #include "sram/access_sink.hh"
@@ -410,6 +417,224 @@ checkAsm(const std::string &text)
     return {};
 }
 
+Result<void>
+checkRtl(const std::string &text)
+{
+    auto parsed = rtl::parseVerilog(text);
+    if (!parsed.ok()) {
+        // Untrusted Verilog must come back as a structured Corrupt
+        // refusal; any other code means a cap or validation failure
+        // leaked out under the wrong taxonomy.
+        if (parsed.error().code != ErrorCode::Corrupt) {
+            return Error{ErrorCode::Failed,
+                         fail("parseVerilog refusal escaped the "
+                              "Corrupt taxonomy")};
+        }
+        return {};
+    }
+    // Whatever the parser accepts must canonicalize to a fixed point:
+    // emit, reparse, re-emit -- byte-identical both times.
+    const std::string first = rtl::emitVerilog(parsed.value());
+    auto again = rtl::parseVerilog(first);
+    if (!again.ok()) {
+        return Error{ErrorCode::Failed,
+                     fail("emitted Verilog does not reparse")};
+    }
+    if (rtl::emitVerilog(again.value()) != first) {
+        return Error{ErrorCode::Failed,
+                     fail("Verilog canonical form is not a fixed "
+                          "point")};
+    }
+    // The evaluator must either take the module or refuse a
+    // combinational cycle with a structured error.
+    auto ev = rtl::Evaluator::build(parsed.value());
+    if (!ev.ok() && ev.error().code != ErrorCode::Corrupt
+        && ev.error().code != ErrorCode::InvalidArgument) {
+        return Error{ErrorCode::Failed,
+                     fail("Evaluator::build refusal escaped the "
+                          "error taxonomy")};
+    }
+    return {};
+}
+
+/** Little-endian word reader over the fuzz input, zero-padded. */
+template <typename T>
+T
+rtlVecWord(const std::string &bytes, std::size_t at)
+{
+    T w = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        if (at + i < bytes.size()) {
+            w |= static_cast<T>(
+                     static_cast<unsigned char>(bytes[at + i]))
+                 << (8 * i);
+        }
+    }
+    return w;
+}
+
+/** Drive @p ev's input bits from @p value starting at @p flatBase. */
+void
+rtlVecDrive(rtl::Evaluator &ev, int flatBase, Word64 value, int bits)
+{
+    for (int b = 0; b < bits; ++b) {
+        ev.setInput(flatBase + b,
+                    (value >> b) & 1u ? ~0ull : 0ull);
+    }
+}
+
+/** Read @p bits output bits (lane 0) starting at @p flatBase. */
+Word64
+rtlVecCollect(const rtl::Evaluator &ev, int flatBase, int bits)
+{
+    Word64 value = 0;
+    for (int b = 0; b < bits; ++b)
+        value |= (ev.output(flatBase + b) & 1u) << b;
+    return value;
+}
+
+Result<void>
+checkRtlVec(const std::string &bytes)
+{
+    if (bytes.empty())
+        return {};
+    // Byte 0 selects the netlist; the rest are input lanes. Every
+    // input is in-domain for every coder, so the only correct outcome
+    // is bit-for-bit agreement with the C++ model -- twice, because
+    // re-evaluation must be deterministic.
+    const unsigned sel =
+        static_cast<unsigned char>(bytes[0]) % 5u;
+    rtl::Module m = [&] {
+        switch (sel) {
+          case 0:
+            return rtl::nvCoderNetlist();
+          case 1:
+            return rtl::vsCoderNetlist(
+                4, static_cast<int>(rtlVecWord<Word>(bytes, 1) % 4u));
+          case 2:
+            return rtl::isaCoderNetlist(rtlVecWord<Word64>(bytes, 1));
+          case 3:
+            return rtl::secdedEncoderNetlist();
+          default:
+            return rtl::secdedDecoderNetlist();
+        }
+    }();
+    auto built = rtl::Evaluator::build(m);
+    if (!built.ok()) {
+        return Error{ErrorCode::Failed,
+                     fail("generated netlist failed to build")};
+    }
+    rtl::Evaluator &ev = built.value();
+
+    // The payload starts after the selector (and the netlist
+    // parameter, where one was consumed).
+    const std::size_t at = sel == 1 ? 5 : sel == 2 ? 9 : 1;
+    std::string expect;
+    switch (sel) {
+      case 0: {
+        const Word w = rtlVecWord<Word>(bytes, at);
+        rtlVecDrive(ev, 0, w, 32);
+        expect = strFormat("%08x", coder::NvCoder().encode(w));
+        break;
+      }
+      case 1: {
+        const int pivot =
+            static_cast<int>(rtlVecWord<Word>(bytes, 1) % 4u);
+        std::array<Word, 4> block{};
+        for (int i = 0; i < 4; ++i) {
+            block[static_cast<std::size_t>(i)] =
+                rtlVecWord<Word>(bytes,
+                                 at + static_cast<std::size_t>(i) * 4);
+            rtlVecDrive(ev, i * 32,
+                        block[static_cast<std::size_t>(i)], 32);
+        }
+        coder::VsCoder(pivot).encode(block);
+        for (const Word w : block)
+            expect += strFormat("%08x", w);
+        break;
+      }
+      case 2: {
+        const Word64 mask = rtlVecWord<Word64>(bytes, 1);
+        const Word64 instr = rtlVecWord<Word64>(bytes, at);
+        rtlVecDrive(ev, 0, instr, 64);
+        expect = strFormat("%016llx",
+                           static_cast<unsigned long long>(
+                               coder::IsaCoder(mask).encode(instr)));
+        break;
+      }
+      case 3: {
+        const Word64 data = rtlVecWord<Word64>(bytes, at);
+        rtlVecDrive(ev, 0, data, 64);
+        expect = strFormat("%02x", fault::secdedEncode(data));
+        break;
+      }
+      default: {
+        const Word64 data = rtlVecWord<Word64>(bytes, at);
+        const auto check =
+            static_cast<std::uint8_t>(rtlVecWord<Word>(bytes, at + 8));
+        rtlVecDrive(ev, 0, data, 64);
+        rtlVecDrive(ev, 64, check, 8);
+        const fault::SecdedDecoded dec =
+            fault::secdedDecode(data, check);
+        expect = strFormat(
+            "%016llx %02x %d %d",
+            static_cast<unsigned long long>(dec.data), dec.check,
+            dec.status == fault::EccStatus::Corrected ? 1 : 0,
+            dec.status == fault::EccStatus::Uncorrectable ? 1 : 0);
+        break;
+      }
+    }
+
+    std::string firstGot;
+    for (int pass = 0; pass < 2; ++pass) {
+        ev.eval();
+        std::string got;
+        switch (sel) {
+          case 0:
+            got = strFormat("%08x",
+                            static_cast<Word>(rtlVecCollect(ev, 0, 32)));
+            break;
+          case 1:
+            for (int i = 0; i < 4; ++i) {
+                got += strFormat(
+                    "%08x",
+                    static_cast<Word>(rtlVecCollect(ev, i * 32, 32)));
+            }
+            break;
+          case 2:
+            got = strFormat("%016llx",
+                            static_cast<unsigned long long>(
+                                rtlVecCollect(ev, 0, 64)));
+            break;
+          case 3:
+            got = strFormat(
+                "%02x", static_cast<unsigned>(rtlVecCollect(ev, 0, 8)));
+            break;
+          default:
+            got = strFormat(
+                "%016llx %02x %d %d",
+                static_cast<unsigned long long>(rtlVecCollect(ev, 0, 64)),
+                static_cast<unsigned>(rtlVecCollect(ev, 64, 8)),
+                static_cast<int>(ev.output(72) & 1u),
+                static_cast<int>(ev.output(73) & 1u));
+            break;
+        }
+        if (got != expect) {
+            return Error{ErrorCode::Failed,
+                         fail("netlist output diverged from the C++ "
+                              "model")};
+        }
+        if (pass == 0)
+            firstGot = got;
+        else if (got != firstGot) {
+            return Error{ErrorCode::Failed,
+                         fail("netlist re-evaluation is "
+                              "nondeterministic")};
+        }
+    }
+    return {};
+}
+
 } // namespace
 
 std::string
@@ -430,6 +655,10 @@ fuzzTargetName(FuzzTarget target)
         return "bytecode";
       case FuzzTarget::Asm:
         return "asm";
+      case FuzzTarget::Rtl:
+        return "rtl";
+      case FuzzTarget::RtlVec:
+        return "rtlvec";
     }
     return "?";
 }
@@ -443,8 +672,8 @@ fuzzTargetFromName(const std::string &name)
     }
     return Error{ErrorCode::InvalidArgument,
                  strFormat("unknown fuzz target '%s' (want frame, "
-                           "http, trace, journal, merge, bytecode or "
-                           "asm)",
+                           "http, trace, journal, merge, bytecode, "
+                           "asm, rtl or rtlvec)",
                            name.c_str())};
 }
 
@@ -526,6 +755,48 @@ corpusSeeds(FuzzTarget target)
                         "    EXIT\n");
         break;
       }
+      case FuzzTarget::Rtl: {
+        // Real emitted netlists: combinational coders of different
+        // shapes, plus a hand-built sequential module so the DFF
+        // grammar (always-block, reg declarations, clk synthesis)
+        // gets mutated too.
+        seeds.push_back(rtl::emitVerilog(rtl::nvCoderNetlist()));
+        seeds.push_back(rtl::emitVerilog(rtl::vsCoderNetlist(4, 1)));
+        seeds.push_back(rtl::emitVerilog(
+            rtl::isaCoderNetlist(0x123456789abcdef0ull)));
+        seeds.push_back(
+            rtl::emitVerilog(rtl::secdedEncoderNetlist()));
+        rtl::Module seq("fuzz_seq");
+        const auto d = seq.addInput("d", 2);
+        const rtl::NetId q0 = seq.mkDff(d[0]);
+        const rtl::NetId q1 =
+            seq.mkDff(seq.mkMux(d[1], q0, seq.mkConst(true)));
+        const std::array<rtl::NetId, 2> qs = {q0, q1};
+        seq.addOutput("q", qs);
+        seeds.push_back(rtl::emitVerilog(seq));
+        break;
+      }
+      case FuzzTarget::RtlVec: {
+        // One seed per netlist selector, with non-trivial payloads.
+        const auto packed = [](unsigned char sel,
+                               std::initializer_list<unsigned char> tail) {
+            std::string s(1, static_cast<char>(sel));
+            for (const unsigned char b : tail)
+                s.push_back(static_cast<char>(b));
+            return s;
+        };
+        seeds.push_back(packed(0, {0xef, 0xbe, 0xad, 0xde}));
+        seeds.push_back(packed(1, {2, 0, 0, 0, // pivot word
+                                   1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                   12, 13, 14, 15, 16}));
+        seeds.push_back(packed(2, {0x21, 0x43, 0x65, 0x87, 0xa9, 0xcb,
+                                   0xed, 0x0f, // mask
+                                   1, 0, 0, 0, 0, 0, 0, 0x80}));
+        seeds.push_back(packed(3, {0xff, 0xff, 0, 0, 0, 0, 0, 0}));
+        seeds.push_back(packed(4, {0xaa, 0x55, 0xaa, 0x55, 0, 0, 0, 0,
+                                   0x5a})); // data + check bits
+        break;
+      }
     }
     return seeds;
 }
@@ -549,6 +820,10 @@ checkFuzzInput(FuzzTarget target, const std::string &bytes,
         return checkBytecode(bytes);
       case FuzzTarget::Asm:
         return checkAsm(bytes);
+      case FuzzTarget::Rtl:
+        return checkRtl(bytes);
+      case FuzzTarget::RtlVec:
+        return checkRtlVec(bytes);
     }
     return Error{ErrorCode::InvalidArgument, "bad fuzz target"};
 }

@@ -2,11 +2,12 @@
  * @file
  * Deterministic byte-mutation fuzzing for every untrusted parser.
  *
- * Seven parsers accept bytes from outside the process's trust
+ * Nine surfaces accept bytes from outside the process's trust
  * boundary: wire-protocol frames, the /metrics HTTP request head,
  * trace v2 streams (salvage included), campaign journals (salvage
- * included), the shard-journal merge, BVFK kernel bytecode and kernel
- * assembly text. Each gets a driver that feeds mutated
+ * included), the shard-journal merge, BVFK kernel bytecode, kernel
+ * assembly text, Verilog netlist text and packed netlist test
+ * vectors. Each gets a driver that feeds mutated
  * inputs -- valid seed inputs built with the real encoders, then
  * bit-flipped, truncated, spliced and extended by a seeded Rng -- and
  * checks structural invariants on every outcome: parse results stay
@@ -45,12 +46,14 @@ enum class FuzzTarget : std::uint8_t
     Merge,    //!< fleet::mergeShardJournals over a hostile shard
     Bytecode, //!< isa::decodeProgram + the admission verifier
     Asm,      //!< isa::parseAsm + render round trip + verifier
+    Rtl,      //!< rtl::parseVerilog + canonical re-emission fixed point
+    RtlVec,   //!< packed vectors through a netlist vs the C++ coder
 };
 
-constexpr std::array<FuzzTarget, 7> kAllFuzzTargets = {
+constexpr std::array<FuzzTarget, 9> kAllFuzzTargets = {
     FuzzTarget::Frame,    FuzzTarget::Http,  FuzzTarget::Trace,
     FuzzTarget::Journal,  FuzzTarget::Merge, FuzzTarget::Bytecode,
-    FuzzTarget::Asm};
+    FuzzTarget::Asm,      FuzzTarget::Rtl,   FuzzTarget::RtlVec};
 
 /** Display name, e.g. "frame". */
 std::string fuzzTargetName(FuzzTarget target);

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * JSON string-escaping tests: the mandatory escapes, every C0 control
+ * character, UTF-8 passthrough, and the quoting wrapper the CLI tools
+ * embed untrusted names with.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+namespace bvf
+{
+namespace
+{
+
+TEST(Json, PlainTextPassesThrough)
+{
+    EXPECT_EQ(jsonEscape("hello world"), "hello world");
+    EXPECT_EQ(jsonEscape(""), "");
+    EXPECT_EQ(jsonEscape("a/b.c-d_e"), "a/b.c-d_e");
+}
+
+TEST(Json, MandatoryEscapes)
+{
+    EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape("a\bb"), "a\\bb");
+    EXPECT_EQ(jsonEscape("a\fb"), "a\\fb");
+}
+
+TEST(Json, EveryC0ControlIsEscaped)
+{
+    for (int c = 0; c < 0x20; ++c) {
+        const std::string in(1, static_cast<char>(c));
+        const std::string out = jsonEscape(in);
+        // No raw control byte may survive.
+        for (const char ch : out)
+            EXPECT_GE(static_cast<unsigned char>(ch), 0x20u) << c;
+        EXPECT_EQ(out.front(), '\\') << c;
+    }
+    // Spot-check the \u form for a control without a short escape.
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+    EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(Json, Utf8PassesThroughUntouched)
+{
+    // JSON is UTF-8 native: multi-byte sequences are not escaped.
+    const std::string snowman = "\xe2\x98\x83";
+    EXPECT_EQ(jsonEscape(snowman), snowman);
+    const std::string mixed = "caf\xc3\xa9 \"quoted\"";
+    EXPECT_EQ(jsonEscape(mixed), "caf\xc3\xa9 \\\"quoted\\\"");
+}
+
+TEST(Json, QuoteWrapsAndEscapes)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonQuote(""), "\"\"");
+}
+
+TEST(Json, EmbeddedNulIsPreserved)
+{
+    const std::string withNul("a\0b", 3);
+    EXPECT_EQ(jsonEscape(withNul), "a\\u0000b");
+}
+
+} // namespace
+} // namespace bvf

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Generator tests: every lowered netlist agrees with the C++ coder it
+ * mirrors on randomized vectors, the per-module XNOR counts match the
+ * analytic constants in coder/gate_model.hh, and the chip-wide
+ * netlist-derived inventory lands exactly on the analytic total.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coder/gate_model.hh"
+#include "coder/isa_coder.hh"
+#include "coder/nv_coder.hh"
+#include "coder/vs_coder.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "gpu/gpu_config.hh"
+#include "rtl/eval.hh"
+#include "rtl/gen.hh"
+#include "rtl/stats.hh"
+
+namespace bvf::rtl
+{
+namespace
+{
+
+void
+driveWord(Evaluator &ev, int base, Word64 value, int bits)
+{
+    for (int b = 0; b < bits; ++b)
+        ev.setInput(base + b, (value >> b) & 1u ? ~0ull : 0ull);
+}
+
+Word64
+collectWord(const Evaluator &ev, int base, int bits)
+{
+    Word64 v = 0;
+    for (int b = 0; b < bits; ++b)
+        v |= (ev.output(base + b) & 1u) << b;
+    return v;
+}
+
+TEST(Gen, NvNetlistMatchesCoder)
+{
+    auto built = Evaluator::build(nvCoderNetlist());
+    ASSERT_TRUE(built.ok());
+    Evaluator &ev = built.value();
+    Rng rng(11);
+    const coder::NvCoder nv;
+    for (int i = 0; i < 256; ++i) {
+        const Word w = rng.nextU32();
+        driveWord(ev, 0, w, 32);
+        ev.eval();
+        EXPECT_EQ(static_cast<Word>(collectWord(ev, 0, 32)),
+                  nv.encode(w))
+            << strFormat("word %08x", w);
+    }
+}
+
+TEST(Gen, VsNetlistMatchesCoderForEveryPivot)
+{
+    Rng rng(12);
+    for (const int pivot : {0, 1, 7}) {
+        auto built = Evaluator::build(vsCoderNetlist(8, pivot));
+        ASSERT_TRUE(built.ok());
+        Evaluator &ev = built.value();
+        for (int i = 0; i < 64; ++i) {
+            std::array<Word, 8> block;
+            for (int w = 0; w < 8; ++w) {
+                block[static_cast<std::size_t>(w)] = rng.nextU32();
+                driveWord(ev, w * 32,
+                          block[static_cast<std::size_t>(w)], 32);
+            }
+            ev.eval();
+            coder::VsCoder(pivot).encode(block);
+            for (int w = 0; w < 8; ++w) {
+                EXPECT_EQ(static_cast<Word>(collectWord(ev, w * 32, 32)),
+                          block[static_cast<std::size_t>(w)])
+                    << "pivot " << pivot << " word " << w;
+            }
+        }
+    }
+}
+
+TEST(Gen, VsNetlistClampsOutOfRangePivotLikeTheCoder)
+{
+    // VsCoder clamps an out-of-range pivot to word 0; the generator
+    // must lower the same choice.
+    auto built = Evaluator::build(vsCoderNetlist(4, 99));
+    ASSERT_TRUE(built.ok());
+    Evaluator &ev = built.value();
+    std::array<Word, 4> block = {0xdeadbeefu, 0x0u, 0xffffffffu,
+                                 0x12345678u};
+    for (int w = 0; w < 4; ++w)
+        driveWord(ev, w * 32, block[static_cast<std::size_t>(w)], 32);
+    ev.eval();
+    coder::VsCoder(99).encode(block);
+    for (int w = 0; w < 4; ++w) {
+        EXPECT_EQ(static_cast<Word>(collectWord(ev, w * 32, 32)),
+                  block[static_cast<std::size_t>(w)]);
+    }
+}
+
+TEST(Gen, IsaNetlistMatchesCoder)
+{
+    Rng rng(13);
+    for (int m = 0; m < 4; ++m) {
+        const Word64 mask = rng.nextU64();
+        auto built = Evaluator::build(isaCoderNetlist(mask));
+        ASSERT_TRUE(built.ok());
+        Evaluator &ev = built.value();
+        const coder::IsaCoder coder(mask);
+        for (int i = 0; i < 64; ++i) {
+            const Word64 instr = rng.nextU64();
+            driveWord(ev, 0, instr, 64);
+            ev.eval();
+            EXPECT_EQ(collectWord(ev, 0, 64), coder.encode(instr));
+        }
+    }
+}
+
+TEST(Gen, XnorCountsMatchTheAnalyticConstants)
+{
+    using coder::gate_model::kIsaXnorPerPort;
+    using coder::gate_model::kNvXnorPerWordPort;
+    using coder::gate_model::kVsXnorPerNonPivotWord;
+
+    auto nv = analyzeModule(nvCoderNetlist());
+    ASSERT_TRUE(nv.ok());
+    EXPECT_EQ(nv.value().count(GateOp::Xnor),
+              static_cast<std::uint64_t>(kNvXnorPerWordPort));
+
+    auto vs = analyzeModule(vsCoderNetlist(32, 21));
+    ASSERT_TRUE(vs.ok());
+    EXPECT_EQ(vs.value().count(GateOp::Xnor),
+              static_cast<std::uint64_t>(31 * kVsXnorPerNonPivotWord));
+
+    auto isa = analyzeModule(isaCoderNetlist(0));
+    ASSERT_TRUE(isa.ok());
+    EXPECT_EQ(isa.value().count(GateOp::Xnor),
+              static_cast<std::uint64_t>(kIsaXnorPerPort));
+    // The mask is lowered as tie cells, not folded away.
+    EXPECT_EQ(isa.value().count(GateOp::Const0)
+                  + isa.value().count(GateOp::Const1),
+              64u);
+
+    // Single-stage coders: depth 1 from input to output.
+    EXPECT_EQ(nv.value().criticalDepth, 1);
+    EXPECT_EQ(vs.value().criticalDepth, 1);
+    EXPECT_EQ(isa.value().criticalDepth, 1);
+}
+
+TEST(Gen, NetlistInventoryEqualsAnalyticInventory)
+{
+    const gpu::GpuConfig config = gpu::baselineConfig();
+    const auto analytic = coder::gate_model::analyticXnorInventory(
+        config.numSms, config.l2Banks, config.lineBytes);
+    const auto netlist = netlistXnorInventory(
+        config.numSms, config.l2Banks, config.lineBytes,
+        coder::VsCoder::defaultRegisterPivot);
+    EXPECT_EQ(netlist.nvGates, analytic.nvGates);
+    EXPECT_EQ(netlist.vsRegGates + netlist.vsCacheGates,
+              analytic.vsGates);
+    EXPECT_EQ(netlist.isaGates, analytic.isaGates);
+    EXPECT_EQ(netlist.total(), analytic.total());
+}
+
+TEST(Gen, AnalyzeModuleFanoutAndDepth)
+{
+    // b := a; c := b&b; d := c|b  ->  b is read 3 times.
+    Module m("t");
+    const auto a = m.addInput("a", 1);
+    const NetId b = m.mkBuf(a[0]);
+    const NetId c = m.mkAnd(b, b);
+    const NetId d = m.mkOr(c, b);
+    const std::array<NetId, 1> outs = {d};
+    m.addOutput("q", outs);
+    auto stats = analyzeModule(m);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().totalGates, 3u);
+    EXPECT_EQ(stats.value().maxFanout, 3);
+    EXPECT_EQ(stats.value().criticalDepth, 3);
+}
+
+} // namespace
+} // namespace bvf::rtl

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Netlist IR tests: the builder API produces valid-by-construction
+ * modules, the design rules catch every class of structural damage a
+ * parser could smuggle in, and the reduction trees compute what their
+ * names promise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/netlist.hh"
+
+namespace bvf::rtl
+{
+namespace
+{
+
+TEST(Netlist, BuilderModulesValidate)
+{
+    Module m("t");
+    const auto a = m.addInput("a", 2);
+    const auto b = m.addInput("b", 1);
+    const NetId x = m.mkXor(a[0], a[1]);
+    const NetId y = m.mkMux(b[0], x, m.mkConst(false));
+    const std::array<NetId, 1> out = {y};
+    m.addOutput("q", out);
+
+    EXPECT_TRUE(m.validate().ok());
+    EXPECT_EQ(m.inputBits(), 3);
+    EXPECT_EQ(m.outputBits(), 1);
+    EXPECT_FALSE(m.hasState());
+    ASSERT_NE(m.findInput("a"), nullptr);
+    EXPECT_EQ(m.findInput("a")->bits.size(), 2u);
+    EXPECT_EQ(m.findInput("q"), nullptr);
+    ASSERT_NE(m.findOutput("q"), nullptr);
+}
+
+TEST(Netlist, HasStateSeesDffs)
+{
+    Module m("t");
+    const auto d = m.addInput("d", 1);
+    const NetId q = m.mkDff(d[0]);
+    const std::array<NetId, 1> out = {q};
+    m.addOutput("q", out);
+    EXPECT_TRUE(m.hasState());
+    EXPECT_TRUE(m.validate().ok());
+}
+
+TEST(Netlist, ValidateRejectsDoubleDriver)
+{
+    Module m("t");
+    const auto a = m.addInput("a", 1);
+    const NetId x = m.mkNot(a[0]);
+    // Second gate claiming the same output net.
+    m.addGate(Gate{GateOp::Buf, x, {a[0]}});
+    EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(Netlist, ValidateRejectsWrongArity)
+{
+    Module m("t");
+    const auto a = m.addInput("a", 1);
+    const NetId out = m.addNet();
+    m.addGate(Gate{GateOp::And, out, {a[0]}}); // AND wants 2 operands
+    const std::array<NetId, 1> bits = {out};
+    m.addOutput("q", bits);
+    EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(Netlist, ValidateRejectsOutOfRangeNet)
+{
+    Module m("t");
+    const auto a = m.addInput("a", 1);
+    const NetId out = m.addNet();
+    m.addGate(Gate{GateOp::Buf, out, {static_cast<NetId>(a[0] + 999)}});
+    const std::array<NetId, 1> bits = {out};
+    m.addOutput("q", bits);
+    EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(Netlist, ReductionTreesCoverEveryLeaf)
+{
+    Module m("t");
+    const auto a = m.addInput("a", 7);
+    const std::array<NetId, 3> outs = {m.xorTree(a), m.andTree(a),
+                                       m.orTree(a)};
+    m.addOutput("q", outs);
+    ASSERT_TRUE(m.validate().ok());
+    // A reduction over n leaves takes exactly n-1 two-input gates.
+    int xors = 0, ands = 0, ors = 0;
+    for (const Gate &g : m.gates()) {
+        xors += g.op == GateOp::Xor;
+        ands += g.op == GateOp::And;
+        ors += g.op == GateOp::Or;
+    }
+    EXPECT_EQ(xors, 6);
+    EXPECT_EQ(ands, 6);
+    EXPECT_EQ(ors, 6);
+}
+
+TEST(Netlist, GateOpNamesAreDistinct)
+{
+    for (int i = 0; i < kNumGateOps; ++i) {
+        for (int j = i + 1; j < kNumGateOps; ++j) {
+            EXPECT_NE(gateOpName(static_cast<GateOp>(i)),
+                      gateOpName(static_cast<GateOp>(j)));
+        }
+    }
+}
+
+} // namespace
+} // namespace bvf::rtl
