@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Interpreter-dispatch baseline: what the `uniformControlFlow`
+ * certificate bit is worth at simulation time.
+ *
+ * Every suite kernel whose admission certificate proves uniform
+ * control flow is run through the SM loop twice -- generic dispatch
+ * and certificate-specialized dispatch (`RunOptions.uniformDispatch`,
+ * which skips the per-instruction reconvergence bookkeeping) -- and
+ * the best-of-REPS wall times are compared. Speed alone is not the
+ * verdict: the two runs must account byte-identical per-unit bit
+ * densities, NoC traffic and priced energy, because a fast path that
+ * changes the campaign report is a correctness bug, not a win.
+ *
+ * scripts/ci_perf_ratchet.sh runs this against BENCH_interp.json and
+ * fails on a >10% speedup-ratio regression or any accounting drift.
+ *
+ * Usage: bench_interp_dispatch [KERNELS] [REPS] [JSON_PATH]
+ *   KERNELS    certified-uniform suite kernels to run (default 12)
+ *   REPS       timed repetitions per configuration    (default 3)
+ *   JSON_PATH  write a machine-readable summary       (default: none)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hh"
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "gpu/gpu_config.hh"
+#include "workload/app_spec.hh"
+#include "workload/kernel_builder.hh"
+
+using namespace bvf;
+
+namespace
+{
+
+double
+timedRun(const core::ExperimentDriver &driver,
+         const isa::Program &program, const core::RunOptions &o,
+         core::AppRun &out)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    out = driver.runProgram(program, o);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool
+sameBits(const BitStats &a, const BitStats &b)
+{
+    return a.ones == b.ones && a.zeros == b.zeros
+           && a.accesses == b.accesses && a.toggles == b.toggles;
+}
+
+/** True when two runs accounted byte-identically everywhere. */
+bool
+runsIdentical(const core::ExperimentDriver &driver,
+              const core::AppRun &a, const core::AppRun &b)
+{
+    if (a.gpuStats.cycles != b.gpuStats.cycles
+        || a.gpuStats.sm.issued != b.gpuStats.sm.issued
+        || a.gpuStats.sm.loads != b.gpuStats.sm.loads
+        || a.gpuStats.sm.stores != b.gpuStats.sm.stores)
+        return false;
+    for (const coder::Scenario s : coder::allScenarios) {
+        const auto sa = a.accountant->unitStats(s);
+        const auto sb = b.accountant->unitStats(s);
+        if (sa.size() != sb.size())
+            return false;
+        for (const auto &[unit, ua] : sa) {
+            const auto it = sb.find(unit);
+            if (it == sb.end())
+                return false;
+            const auto &ub = it->second;
+            if (!sameBits(ua.reads, ub.reads)
+                || !sameBits(ua.writes, ub.writes)
+                || ua.storedOnesFracCycles != ub.storedOnesFracCycles
+                || ua.allocatedFracCycles != ub.allocatedFracCycles)
+                return false;
+        }
+        const auto &na = a.accountant->noc(s);
+        const auto &nb = b.accountant->noc(s);
+        if (na.toggles != nb.toggles || na.flits != nb.flits
+            || na.payloadOnes != nb.payloadOnes
+            || na.payloadBits != nb.payloadBits)
+            return false;
+    }
+    const core::AppEnergy ea = driver.evaluate(a, core::Pricing{});
+    const core::AppEnergy eb = driver.evaluate(b, core::Pricing{});
+    for (const coder::Scenario s : coder::allScenarios) {
+        if (ea.at(s).chipTotal() != eb.at(s).chipTotal()
+            || ea.at(s).bvfUnitsTotal() != eb.at(s).bvfUnitsTotal())
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    long kernels = 12, reps = 3;
+    std::string jsonPath;
+    if (argc > 1)
+        kernels = std::strtol(argv[1], nullptr, 10);
+    if (argc > 2)
+        reps = std::strtol(argv[2], nullptr, 10);
+    if (argc > 3)
+        jsonPath = argv[3];
+    if (kernels <= 0 || reps <= 0) {
+        std::fprintf(stderr, "usage: bench_interp_dispatch [KERNELS] "
+                             "[REPS] [JSON_PATH]\n");
+        return 2;
+    }
+
+    const core::ExperimentDriver driver(gpu::baselineConfig());
+    TextTable table("certificate-specialized dispatch");
+    table.header({"app", "baseline_ms", "specialized_ms", "speedup",
+                  "identical"});
+
+    double baseTotal = 0.0, fastTotal = 0.0;
+    long compared = 0;
+    bool identical = true;
+    for (const auto &spec : workload::evaluationSuite()) {
+        if (compared == kernels)
+            break;
+        const isa::Program program = workload::buildProgram(spec);
+        const auto verdict = analysis::verifyProgram(program);
+        if (!verdict.admitted) {
+            std::fprintf(stderr, "FAIL: suite kernel %s not admitted\n",
+                         spec.abbr.c_str());
+            return 1;
+        }
+        if (!verdict.certificate.uniformControlFlow)
+            continue;
+        ++compared;
+
+        // Interleave the two configurations rep by rep so clock
+        // drift and cache state hit both sides equally; best-of-reps
+        // on each side drops scheduler noise.
+        core::RunOptions base;
+        core::RunOptions fast;
+        fast.uniformDispatch = true;
+        core::AppRun a, b;
+        double bs = 0.0, fs = 0.0;
+        for (long r = 0; r < reps; ++r) {
+            core::AppRun ra, rb;
+            const double sb = timedRun(driver, program, base, ra);
+            const double sf = timedRun(driver, program, fast, rb);
+            if (r == 0 || sb < bs) {
+                bs = sb;
+                a = std::move(ra);
+            }
+            if (r == 0 || sf < fs) {
+                fs = sf;
+                b = std::move(rb);
+            }
+        }
+
+        const bool same = runsIdentical(driver, a, b);
+        identical = identical && same;
+        baseTotal += bs;
+        fastTotal += fs;
+        table.row({spec.abbr, strFormat("%.2f", bs * 1e3),
+                   strFormat("%.2f", fs * 1e3),
+                   strFormat("%.3f", bs / fs), same ? "yes" : "NO"});
+    }
+
+    if (compared == 0) {
+        std::fprintf(stderr, "FAIL: no certified-uniform suite "
+                             "kernels found\n");
+        return 1;
+    }
+
+    table.print();
+    const double speedup = baseTotal / fastTotal;
+    std::printf("%ld kernels, best of %ld reps: baseline %.1f ms, "
+                "specialized %.1f ms, speedup %.3fx, accounting %s\n",
+                compared, reps, baseTotal * 1e3, fastTotal * 1e3,
+                speedup, identical ? "byte-identical" : "DIVERGED");
+
+    if (!jsonPath.empty()) {
+        const std::string json = strFormat(
+            "{\n"
+            "  \"bench\": \"bench_interp_dispatch\",\n"
+            "  \"kernels\": %ld,\n"
+            "  \"reps\": %ld,\n"
+            "  \"baseline_ms\": %.2f,\n"
+            "  \"specialized_ms\": %.2f,\n"
+            "  \"speedup\": %.3f,\n"
+            "  \"energy_identical\": %s\n"
+            "}\n",
+            compared, reps, baseTotal * 1e3, fastTotal * 1e3, speedup,
+            identical ? "true" : "false");
+        if (const auto wrote = atomicWriteFile(jsonPath, json);
+            !wrote.ok()) {
+            std::fprintf(stderr, "could not write %s: %s\n",
+                         jsonPath.c_str(),
+                         wrote.error().describe().c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+
+    if (!identical) {
+        std::fprintf(stderr, "FAIL: specialized dispatch changed the "
+                             "accounting\n");
+        return 1;
+    }
+    return 0;
+}

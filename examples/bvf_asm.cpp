@@ -15,6 +15,9 @@
  *                                  exact; exit 1 on any mismatch
  *   bvf_asm dump APP [-o OUT]      render a suite kernel as assembly
  *   bvf_asm encode APP [-o OUT]    encode a suite kernel as bytecode
+ *   bvf_asm opt FILE [-o OUT]      optimize BVFK bytecode (validated;
+ *                                  falls back to the input program and
+ *                                  exits 1 if nothing was accepted)
  *   bvf_asm list                   list suite kernel abbreviations
  *
  * With no -o the output goes to stdout (bytecode included: pipe it).
@@ -26,6 +29,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/optimizer.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "isa/asm.hh"
@@ -65,11 +69,12 @@ parse(int argc, char **argv)
     }
     if (o.command.empty()) {
         cli::dieUsage(
-            "no command (asm, dis, roundtrip, dump, encode, list)");
+            "no command (asm, dis, roundtrip, dump, encode, opt, list)");
     }
     const bool known = o.command == "asm" || o.command == "dis"
                        || o.command == "roundtrip" || o.command == "dump"
-                       || o.command == "encode" || o.command == "list";
+                       || o.command == "encode" || o.command == "opt"
+                       || o.command == "list";
     if (!known)
         cli::dieUsage("unknown command '" + o.command + "'");
     if (o.command == "list") {
@@ -147,6 +152,26 @@ main(int argc, char **argv)
     }
     if (o.command == "dis") {
         emit(o, isa::renderAsm(decodeOrDie(o.input, readFile(o.input))));
+        return 0;
+    }
+    if (o.command == "opt") {
+        const isa::Program prog = decodeOrDie(o.input, readFile(o.input));
+        const analysis::OptimizeResult res =
+            analysis::optimizeProgram(prog);
+        if (!res.accepted) {
+            std::fprintf(stderr, "%s: optimizer fell back: %s\n",
+                         o.input.c_str(),
+                         res.note.empty() ? "nothing to do"
+                                          : res.note.c_str());
+            emit(o, isa::encodeProgram(prog));
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "%s: %zu -> %zu instructions (%u rewrites, "
+                     "validated, re-admitted)\n",
+                     o.input.c_str(), prog.body.size(),
+                     res.program.body.size(), res.stats.total());
+        emit(o, isa::encodeProgram(res.program));
         return 0;
     }
     if (o.command == "roundtrip") {

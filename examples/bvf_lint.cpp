@@ -10,7 +10,7 @@
  *
  * Usage:
  *   bvf_lint [--arch fermi|kepler|maxwell|pascal] [--advise]
- *            [--verify] [--json] [APP...]
+ *            [--verify] [--optimize] [--json] [APP...]
  *
  * With no APP arguments the whole 58-app suite is linted. Exit status
  * is 0 when every kernel is clean and 1 otherwise, so CI can gate on
@@ -29,15 +29,27 @@
  * findings and fail the exit status; an admitted kernel prints its
  * certificate (proven warp trip bound and memory footprints). With
  * --json the verdicts are emitted as one JSON array.
+ *
+ * --optimize runs the certificate-guided optimizer pipeline
+ * (analysis/optimizer.hh) on each kernel. Available rewrites are
+ * findings -- the shipped kernels are expected to already carry every
+ * win the optimizer can prove, so anything it still finds fails the
+ * exit status (and the CI lint ratchet) until either the kernel or the
+ * baseline is updated. A validation fallback is also a finding: it
+ * means the optimizer produced something its own validator refused.
+ * With --json the per-kernel results are emitted as one JSON array.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/advisor.hh"
 #include "analysis/interpreter.hh"
 #include "analysis/lint.hh"
+#include "analysis/optimizer.hh"
 #include "analysis/verifier.hh"
 #include "common/cli.hh"
 #include "common/json.hh"
@@ -54,8 +66,37 @@ struct Options
     isa::GpuArch arch = isa::GpuArch::Pascal;
     bool advise = false;
     bool verify = false;
+    bool optimize = false;
     bool json = false;
 };
+
+/** Per-pass counters as "name=N" pairs, zero passes skipped. */
+std::string
+statsSummary(const analysis::OptStats &s)
+{
+    std::string out;
+    const std::pair<const char *, std::uint32_t> passes[] = {
+        {"dead-write", s.removedDead},
+        {"unreachable", s.removedUnreachable},
+        {"guard-false", s.removedGuardFalse},
+        {"nop", s.removedNops},
+        {"branch-collapse", s.removedBranches},
+        {"constant-fold", s.foldedConstants},
+        {"copy-propagation", s.propagatedCopies},
+        {"strength-reduction", s.reducedStrength},
+        {"branch-flatten", s.flattenedBranches},
+    };
+    for (const auto &[name, count] : passes) {
+        if (!count)
+            continue;
+        if (!out.empty())
+            out += " ";
+        out += name;
+        out += "=";
+        out += std::to_string(count);
+    }
+    return out;
+}
 
 Options
 parse(int argc, char **argv)
@@ -83,6 +124,8 @@ parse(int argc, char **argv)
             opt.advise = true;
         } else if (arg == "--verify") {
             opt.verify = true;
+        } else if (arg == "--optimize") {
+            opt.optimize = true;
         } else if (arg == "--json") {
             opt.json = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -91,11 +134,12 @@ parse(int argc, char **argv)
             opt.names.push_back(arg);
         }
     }
-    if (opt.json && !opt.advise && !opt.verify)
-        cli::dieUsage("--json requires --advise or --verify");
-    if (opt.json && opt.advise && opt.verify) {
-        cli::dieUsage(
-            "--json emits one document: pick --advise or --verify");
+    if (opt.json && !opt.advise && !opt.verify && !opt.optimize)
+        cli::dieUsage("--json requires --advise, --verify or --optimize");
+    if (opt.json
+        && (int(opt.advise) + int(opt.verify) + int(opt.optimize)) > 1) {
+        cli::dieUsage("--json emits one document: pick one of "
+                      "--advise, --verify, --optimize");
     }
     return opt;
 }
@@ -182,6 +226,57 @@ main(int argc, char **argv)
                              rej.toString().c_str());
             }
             total += verdict.rejections.size();
+        }
+        if (opt.optimize) {
+            const analysis::OptimizeResult res =
+                analysis::optimizeProgram(program);
+            if (opt.json) {
+                const analysis::OptStats &s = res.stats;
+                std::printf(
+                    "%s{\"version\": 1, \"kernel\": %s, "
+                    "\"admitted\": %s, \"accepted\": %s, "
+                    "\"instructions\": [%zu, %zu], "
+                    "\"rewrites\": {\"dead_write\": %u, "
+                    "\"unreachable\": %u, \"guard_false\": %u, "
+                    "\"nop\": %u, \"branch_collapse\": %u, "
+                    "\"constant_fold\": %u, \"copy_propagation\": %u, "
+                    "\"strength_reduction\": %u, "
+                    "\"branch_flatten\": %u}, \"note\": %s}",
+                    first_json ? "" : ",\n",
+                    bvf::jsonQuote(spec.abbr).c_str(),
+                    res.originalAdmitted ? "true" : "false",
+                    res.accepted ? "true" : "false",
+                    program.body.size(), res.program.body.size(),
+                    s.removedDead, s.removedUnreachable,
+                    s.removedGuardFalse, s.removedNops,
+                    s.removedBranches, s.foldedConstants,
+                    s.propagatedCopies, s.reducedStrength,
+                    s.flattenedBranches,
+                    bvf::jsonQuote(res.note).c_str());
+                first_json = false;
+            }
+            // Findings: any available rewrite (a kernel should ship
+            // already optimal) and any optimizer fallback.
+            std::size_t opt_findings = 0;
+            if (!res.originalAdmitted) {
+                std::fprintf(opt.json ? stderr : stdout,
+                             "%s: optimizer: original not admitted "
+                             "(%s)\n",
+                             spec.abbr.c_str(), res.note.c_str());
+                ++opt_findings;
+            } else if (res.stats.total() > 0) {
+                const std::string tail =
+                    res.accepted ? std::string()
+                                 : " [fallback: " + res.note + "]";
+                std::fprintf(opt.json ? stderr : stdout,
+                             "%s: optimizer: %u rewrite(s) available: "
+                             "%s%s\n",
+                             spec.abbr.c_str(), res.stats.total(),
+                             statsSummary(res.stats).c_str(),
+                             tail.c_str());
+                ++opt_findings;
+            }
+            total += opt_findings;
         }
         if (opt.advise) {
             const analysis::AnalysisResult analysis =

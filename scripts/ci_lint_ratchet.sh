@@ -2,9 +2,11 @@
 # Lint-ratchet gate for CI.
 #
 # Runs bvf_lint (with --verify, so static admission-verifier rejections
-# count as findings too) over the whole evaluation suite and compares
-# the set of findings against the checked-in baseline
-# (scripts/lint_baseline.txt):
+# count as findings too, and --optimize, so any rewrite the
+# certificate-guided optimizer can still prove on a shipped kernel --
+# or any optimizer validation fallback -- counts as a finding) over the
+# whole evaluation suite and compares the set of findings against the
+# checked-in baseline (scripts/lint_baseline.txt):
 #
 #   * a finding the baseline does not list fails the job -- new lint
 #     findings are never allowed to land silently;
@@ -31,7 +33,7 @@ fail() {
 
 # Whole suite; exit 1 (findings present) is expected when the baseline
 # accepts findings, so only harder failures abort here.
-"$LINT" --verify > "$WORK/lint.out" 2>&1
+"$LINT" --verify --optimize > "$WORK/lint.out" 2>&1
 STATUS=$?
 [ "$STATUS" -le 1 ] || fail "bvf_lint exited with status $STATUS:
 $(cat "$WORK/lint.out")"

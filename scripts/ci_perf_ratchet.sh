@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Perf-ratchet gate for the certificate-specialized dispatch loop.
+#
+# Runs bench_interp_dispatch (certified-uniform suite kernels, generic
+# vs uniform-dispatch SM loop) and compares the fresh summary against
+# the checked-in baseline (BENCH_interp.json):
+#
+#   * energy_identical must be true -- a fast path that changes a
+#     single accounted bit is a correctness bug, not a perf problem,
+#     and fails immediately;
+#   * the speedup ratio may not regress more than 10% below the
+#     recorded baseline -- the specialization must keep earning its
+#     keep, within the noise floor of a shared CI box.
+#
+# A faster-than-baseline run passes (and prints a hint to re-record the
+# baseline); only regressions fail.
+#
+# Usage: scripts/ci_perf_ratchet.sh [path/to/bench_interp_dispatch] [baseline]
+
+set -u
+
+BENCH="${1:-build/bench/bench_interp_dispatch}"
+BASELINE="${2:-BENCH_interp.json}"
+WORK="$(mktemp -d /tmp/bvf-perf-ratchet.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# Extract a scalar field from a flat one-level JSON document.
+json_field() {
+    sed -n 's/.*"'"$2"'":[[:space:]]*\([^,}[:space:]]*\).*/\1/p' "$1" \
+        | head -n 1
+}
+
+[ -x "$BENCH" ] || fail "benchmark '$BENCH' not found or not executable"
+[ -f "$BASELINE" ] || fail "baseline '$BASELINE' not found"
+
+BASE_SPEEDUP="$(json_field "$BASELINE" speedup)"
+BASE_KERNELS="$(json_field "$BASELINE" kernels)"
+BASE_REPS="$(json_field "$BASELINE" reps)"
+[ -n "$BASE_SPEEDUP" ] || fail "no speedup field in $BASELINE"
+[ -n "$BASE_KERNELS" ] || fail "no kernels field in $BASELINE"
+[ -n "$BASE_REPS" ] || fail "no reps field in $BASELINE"
+
+# Same workload shape as the recorded baseline, fresh measurement.
+"$BENCH" "$BASE_KERNELS" "$BASE_REPS" "$WORK/fresh.json" \
+    > "$WORK/bench.out" 2>&1 \
+    || fail "bench_interp_dispatch failed:
+$(cat "$WORK/bench.out")"
+
+IDENTICAL="$(json_field "$WORK/fresh.json" energy_identical)"
+SPEEDUP="$(json_field "$WORK/fresh.json" speedup)"
+[ "$IDENTICAL" = "true" ] \
+    || fail "specialized dispatch changed the accounting (energy_identical=$IDENTICAL)"
+[ -n "$SPEEDUP" ] || fail "no speedup field in the fresh summary"
+
+# speedup >= 0.9 * baseline, in awk because sh has no floats.
+awk -v s="$SPEEDUP" -v b="$BASE_SPEEDUP" \
+    'BEGIN { exit !(s >= 0.9 * b) }' \
+    || fail "dispatch speedup regressed: $SPEEDUP vs baseline $BASE_SPEEDUP (floor $(awk -v b="$BASE_SPEEDUP" 'BEGIN { printf "%.3f", 0.9 * b }'))"
+
+awk -v s="$SPEEDUP" -v b="$BASE_SPEEDUP" 'BEGIN { exit !(s > b) }' \
+    && echo "note: fresh speedup $SPEEDUP beats the baseline $BASE_SPEEDUP; consider re-recording $BASELINE"
+
+echo "PASS: dispatch speedup $SPEEDUP (baseline $BASE_SPEEDUP), accounting byte-identical"
+exit 0

@@ -582,6 +582,29 @@ Verifier::run()
     if (!rejections_.empty())
         return finish();
 
+    // Uniform-control-flow certificate bit: every reachable branch
+    // whose guard is decided (taken by all or by none) or proven
+    // warp-uniform can never split the warp, so the SIMT stack stays
+    // at its initial frame for the whole run.
+    cert_.uniformControlFlow = true;
+    for (int pc = 0; pc < size; ++pc) {
+        const auto idx = static_cast<std::size_t>(pc);
+        if (!analysis_->in[idx].reachable)
+            continue;
+        const Instruction &instr = program_.body[idx];
+        if (instr.op != Opcode::Bra)
+            continue;
+        const bool decided =
+            guardValue(analysis_->in[idx], instr) != Bool3::Unknown;
+        const bool uniform =
+            guardUniformity(analysis_->in[idx], instr)
+            == Uniformity::Uniform;
+        if (!decided && !uniform) {
+            cert_.uniformControlFlow = false;
+            break;
+        }
+    }
+
     // Pass 3: trip-count and footprint exploration.
     auto walk = explore(0, -1, size, entryState(), 0);
     cert_.abstractSteps = stepsUsed_;

@@ -123,6 +123,16 @@ struct Certificate
     FootprintBounds shared;   //!< segment-relative byte offsets
     FootprintBounds constant; //!< image-relative byte offsets
     FootprintBounds texture;  //!< image-relative byte offsets
+
+    /**
+     * Every reachable branch is proven non-divergent: its guard is
+     * either decided (all-taken or none-taken) or uniform across the
+     * warp, so the SIMT reconvergence stack provably never grows past
+     * its initial frame. The SM uses this to run the specialized
+     * dispatch loop that skips divergence bookkeeping; Warp::diverge
+     * firing under this flag is a verifier soundness bug.
+     */
+    bool uniformControlFlow = false;
 };
 
 /** Admission limits; the defaults fit the Table 3 machine. */

@@ -113,6 +113,8 @@ ExperimentDriver::runProgram(isa::Program program,
     machine.setCancellation(options.cancel);
     if (options.probe)
         machine.setExecProbe(options.probe);
+    if (options.uniformDispatch)
+        machine.setUniformDispatch(true);
     run.gpuStats = machine.run();
     run.accountant->finalize(run.gpuStats.cycles);
 

@@ -118,6 +118,15 @@ struct RunOptions
      * admission certificate (core/contract.hh) while the kernel runs.
      */
     gpu::ExecProbe *probe = nullptr;
+
+    /**
+     * Run the SMs' dispatch loop specialized for certified-uniform
+     * control flow (Certificate::uniformControlFlow). Only legal when
+     * the program's admission certificate carries that bit; results
+     * (statistics and energy) are byte-identical either way, the run
+     * is just faster.
+     */
+    bool uniformDispatch = false;
 };
 
 /** Why one application of a suite run could not be simulated. */

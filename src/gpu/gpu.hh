@@ -77,6 +77,14 @@ class Gpu : public ChipInterface
             sm->setExecProbe(probe);
     }
 
+    /** Certified-uniform dispatch specialization on every SM. */
+    void
+    setUniformDispatch(bool on)
+    {
+        for (auto &sm : sms_)
+            sm->setUniformDispatch(on);
+    }
+
     // --- ChipInterface -------------------------------------------------
     void sendReadRequest(int smId, std::uint32_t lineAddr, bool instr,
                          std::uint64_t cycle) override;

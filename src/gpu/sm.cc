@@ -244,7 +244,11 @@ Sm::warpReady(int slot, std::uint64_t cycle)
     if (warp.done() || warp.atBarrier)
         return false;
 
-    warp.reconvergeIfNeeded();
+    // Under the uniform-dispatch contract the SIMT stack provably never
+    // grows past its initial frame, so reconvergence maintenance is
+    // dead work.
+    if (!uniformDispatch_)
+        warp.reconvergeIfNeeded();
     if (!fetchReady(slot, cycle))
         return false;
 
@@ -281,9 +285,10 @@ Sm::step(std::uint64_t cycle)
 {
     checkLocalFills(cycle);
 
-    std::vector<bool> ready(static_cast<std::size_t>(config_.maxWarpsPerSm));
-    std::vector<std::uint64_t> last(
-        static_cast<std::size_t>(config_.maxWarpsPerSm), 0);
+    std::vector<bool> &ready = readyScratch_;
+    std::vector<std::uint64_t> &last = lastScratch_;
+    ready.assign(static_cast<std::size_t>(config_.maxWarpsPerSm), false);
+    last.assign(static_cast<std::size_t>(config_.maxWarpsPerSm), 0);
     bool any = false;
     for (int s = 0; s < config_.maxWarpsPerSm; ++s) {
         const bool r = warpReady(s, cycle);
@@ -374,6 +379,10 @@ Sm::executeAlu(int slot, const Instruction &instr, std::uint32_t guard,
         } else if (guard == active) {
             warp.setPc(target);
         } else {
+            panic_if(uniformDispatch_,
+                     "certified-uniform branch diverged at pc %d "
+                     "(verifier soundness bug)",
+                     warp.pc());
             warp.diverge(guard, target, warp.pc() + 1, instr.reconv);
         }
         return;

@@ -150,6 +150,16 @@ class Sm
     /** Install (or clear, with nullptr) the issue-observation probe. */
     void setExecProbe(ExecProbe *probe) { probe_ = probe; }
 
+    /**
+     * Run the dispatch loop specialized for programs whose admission
+     * certificate proves uniform control flow (Certificate::
+     * uniformControlFlow): per-issue reconvergence-stack maintenance is
+     * skipped, and Warp::diverge firing becomes a hard contract
+     * violation. Purely a fast path -- issue order, statistics and
+     * energy accounting are byte-identical to the general loop.
+     */
+    void setUniformDispatch(bool on) { uniformDispatch_ = on; }
+
   private:
     /** Instructions per IFB refill. */
     static constexpr int ifbInstrs = 8;
@@ -231,6 +241,7 @@ class Sm
     sram::AccessSink &sink_;
     ChipInterface &chip_;
     ExecProbe *probe_ = nullptr;
+    bool uniformDispatch_ = false;
 
     std::vector<Warp> warps_;
     std::vector<bool> slotUsed_;
@@ -253,6 +264,11 @@ class Sm
     std::unordered_map<std::uint32_t, std::vector<int>> waitingData_;
     std::unordered_map<std::uint32_t, std::vector<int>> waitingInstr_;
     std::vector<LocalFill> localFills_;
+
+    // Per-cycle scheduler scratch, hoisted out of step() so the hot
+    // loop does not allocate.
+    std::vector<bool> readyScratch_;
+    std::vector<std::uint64_t> lastScratch_;
 
     SmStats stats_;
 };

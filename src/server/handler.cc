@@ -389,7 +389,8 @@ RequestHandler::handleSubmitKernel(const Frame &request) const
     const SubmitKernelRequest &req = decoded.value();
 
     return guarded([&] {
-        const auto outcome = kernels_->submit(req.bytecode);
+        const auto outcome =
+            kernels_->submit(req.bytecode, req.optimize != 0);
         if (!outcome.ok())
             return errorFrame(outcome.error());
         const SubmitOutcome &sub = outcome.value();
@@ -397,6 +398,9 @@ RequestHandler::handleSubmitKernel(const Frame &request) const
         SubmitKernelResponse resp;
         resp.admitted = sub.admitted ? 1 : 0;
         resp.digest = sub.digest;
+        resp.optimizeRequested = req.optimize;
+        resp.optimized = sub.optimized ? 1 : 0;
+        resp.optimizedDigest = sub.optimizedDigest;
         resp.tripBound = sub.certificate.warpTripBound;
         resp.globalLo = sub.certificate.global.lo;
         resp.globalHi = sub.certificate.global.hi;
@@ -447,6 +451,10 @@ RequestHandler::handleEvalSubmitted(const Frame &request) const
         options.dynamicIsa = req.dynamicIsa != 0;
         options.vsRegisterPivot = static_cast<int>(req.vsPivot);
         options.probe = &probe;
+        // A certificate proving uniform control flow unlocks the SM's
+        // specialized dispatch loop (results are byte-identical).
+        options.uniformDispatch =
+            stored->certificate.uniformControlFlow;
 
         const auto run =
             driver.runProgramChecked(stored->program, options);

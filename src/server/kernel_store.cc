@@ -5,6 +5,8 @@
 
 #include "server/kernel_store.hh"
 
+#include <utility>
+
 #include "common/crc32.hh"
 #include "common/logging.hh"
 #include "isa/bytecode.hh"
@@ -26,7 +28,7 @@ kernelDigest(std::string_view bytecode)
 }
 
 Result<SubmitOutcome>
-KernelStore::submit(std::string_view bytecode)
+KernelStore::submit(std::string_view bytecode, bool optimize)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -60,6 +62,27 @@ KernelStore::submit(std::string_view bytecode)
     auto stored = std::make_shared<const StoredKernel>(
         StoredKernel{std::move(decoded.value()), verdict.certificate});
 
+    // Optimize outside the lock: the passes plus the translation
+    // validator are pure functions of the program.
+    std::string opt_bytes;
+    std::shared_ptr<const StoredKernel> opt_stored;
+    if (optimize) {
+        analysis::OptimizeResult opt =
+            analysis::optimizeProgram(stored->program);
+        out.optStats = opt.stats;
+        if (opt.accepted && opt.changed) {
+            opt_bytes = isa::encodeProgram(opt.program);
+            out.optimized = true;
+            out.optimizedDigest = kernelDigest(opt_bytes);
+            opt_stored = std::make_shared<const StoredKernel>(
+                StoredKernel{std::move(opt.program), opt.certificate});
+        } else {
+            out.optimizeNote = opt.note.empty()
+                                   ? std::string("no rewrite applied")
+                                   : opt.note;
+        }
+    }
+
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = kernels_.find(out.digest);
     if (it == kernels_.end()) {
@@ -71,6 +94,34 @@ KernelStore::submit(std::string_view bytecode)
         kernels_.emplace(out.digest, std::move(stored));
     }
     ++admitted_;
+
+    if (optimize) {
+        ++optimizeRequested_;
+        if (out.optimized
+            && (kernels_.count(out.optimizedDigest) != 0
+                || kernels_.size() < kMaxResident)) {
+            kernels_.emplace(out.optimizedDigest, std::move(opt_stored));
+            ++optimizeAccepted_;
+            const analysis::OptStats &s = out.optStats;
+            optimizerApplied_.removedDead += s.removedDead;
+            optimizerApplied_.removedUnreachable += s.removedUnreachable;
+            optimizerApplied_.removedGuardFalse += s.removedGuardFalse;
+            optimizerApplied_.removedNops += s.removedNops;
+            optimizerApplied_.removedBranches += s.removedBranches;
+            optimizerApplied_.foldedConstants += s.foldedConstants;
+            optimizerApplied_.propagatedCopies += s.propagatedCopies;
+            optimizerApplied_.reducedStrength += s.reducedStrength;
+            optimizerApplied_.flattenedBranches += s.flattenedBranches;
+        } else {
+            if (out.optimized) {
+                // Validated but no slot left: surface it as fallback.
+                out.optimized = false;
+                out.optimizedDigest.clear();
+                out.optimizeNote = "kernel store is full";
+            }
+            ++optimizeFallback_;
+        }
+    }
     return out;
 }
 
@@ -113,6 +164,41 @@ KernelStore::renderMetrics() const
                 .c_str(),
             static_cast<unsigned long long>(
                 rejectedBy_[static_cast<std::size_t>(i)]));
+    }
+    out += "# HELP bvfd_kernels_optimize_requested_total Submissions "
+           "that asked for optimize-on-submit.\n";
+    out += "# TYPE bvfd_kernels_optimize_requested_total counter\n";
+    out += strFormat("bvfd_kernels_optimize_requested_total %llu\n",
+                     static_cast<unsigned long long>(optimizeRequested_));
+    out += "# HELP bvfd_kernels_optimize_accepted_total Optimized "
+           "programs that passed translation validation and "
+           "re-admission and were stored.\n";
+    out += "# TYPE bvfd_kernels_optimize_accepted_total counter\n";
+    out += strFormat("bvfd_kernels_optimize_accepted_total %llu\n",
+                     static_cast<unsigned long long>(optimizeAccepted_));
+    out += "# HELP bvfd_kernels_optimize_fallback_total Optimize "
+           "requests answered with the original program.\n";
+    out += "# TYPE bvfd_kernels_optimize_fallback_total counter\n";
+    out += strFormat("bvfd_kernels_optimize_fallback_total %llu\n",
+                     static_cast<unsigned long long>(optimizeFallback_));
+    out += "# HELP bvfd_kernels_optimizer_rewrites_total Rewrites "
+           "shipped in accepted optimized kernels, by pass.\n";
+    out += "# TYPE bvfd_kernels_optimizer_rewrites_total counter\n";
+    const std::pair<const char *, std::uint64_t> passes[] = {
+        {"dead-write", optimizerApplied_.removedDead},
+        {"unreachable", optimizerApplied_.removedUnreachable},
+        {"guard-false", optimizerApplied_.removedGuardFalse},
+        {"nop", optimizerApplied_.removedNops},
+        {"branch-collapse", optimizerApplied_.removedBranches},
+        {"constant-fold", optimizerApplied_.foldedConstants},
+        {"copy-propagation", optimizerApplied_.propagatedCopies},
+        {"strength-reduction", optimizerApplied_.reducedStrength},
+        {"branch-flatten", optimizerApplied_.flattenedBranches},
+    };
+    for (const auto &[pass, count] : passes) {
+        out += strFormat(
+            "bvfd_kernels_optimizer_rewrites_total{pass=\"%s\"} %llu\n",
+            pass, static_cast<unsigned long long>(count));
     }
     out += "# HELP bvfd_kernels_resident Admitted kernels currently "
            "stored.\n";

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/optimizer.hh"
 #include "analysis/verifier.hh"
 #include "common/result.hh"
 #include "isa/program.hh"
@@ -55,6 +56,19 @@ struct SubmitOutcome
     std::string digest; //!< lookup handle; empty when rejected
     analysis::Certificate certificate;
     std::vector<analysis::Rejection> rejections;
+
+    /**
+     * Optimize-on-submit result (meaningful only when it was
+     * requested): when the optimizer's output passed translation
+     * validation and re-admitted with a no-weaker certificate, the
+     * optimized program is stored as a first-class kernel under
+     * `optimizedDigest`. On fallback the digest stays empty and
+     * `optimizeNote` says why.
+     */
+    bool optimized = false;
+    std::string optimizedDigest;
+    analysis::OptStats optStats;
+    std::string optimizeNote;
 };
 
 /** Thread-safe store of verified kernels. */
@@ -69,8 +83,14 @@ class KernelStore
      * failure or a full store is an Error; a verifier rejection is a
      * successful SubmitOutcome with admitted=false. Resubmitting
      * identical bytecode is idempotent: same digest, no second slot.
+     *
+     * With @p optimize set, an admitted kernel is additionally run
+     * through the certificate-guided optimizer; an accepted result is
+     * stored under its own digest (see SubmitOutcome). Optimizer
+     * fallback is never an error -- the original admission stands.
      */
-    Result<SubmitOutcome> submit(std::string_view bytecode);
+    Result<SubmitOutcome> submit(std::string_view bytecode,
+                                 bool optimize = false);
 
     /** Look up an admitted kernel; null when the digest is unknown. */
     std::shared_ptr<const StoredKernel> find(const std::string &digest) const;
@@ -87,6 +107,13 @@ class KernelStore
     std::uint64_t admitted_ = 0;
     std::uint64_t decodeFailures_ = 0;
     std::array<std::uint64_t, analysis::kNumRejectReasons> rejectedBy_{};
+
+    // Optimize-on-submit counters (per-pass totals count rewrites the
+    // accepted optimized programs actually shipped with).
+    std::uint64_t optimizeRequested_ = 0;
+    std::uint64_t optimizeAccepted_ = 0;
+    std::uint64_t optimizeFallback_ = 0;
+    analysis::OptStats optimizerApplied_{};
 };
 
 } // namespace bvf::server

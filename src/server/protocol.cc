@@ -816,6 +816,10 @@ SubmitKernelRequest::encode() const
 {
     WireWriter w;
     w.putBlob(bytecode);
+    // Optional tail; omitted when clear so default-shaped requests are
+    // byte-identical to the pre-optimizer wire format.
+    if (optimize)
+        w.putU8(optimize);
     return w.take();
 }
 
@@ -826,8 +830,14 @@ SubmitKernelRequest::decode(std::string_view payload)
     SubmitKernelRequest req;
     if (!r.getString(req.bytecode, kMaxPayload))
         return truncatedPayload();
-    if (!r.exhausted())
-        return trailingGarbage();
+    if (!r.exhausted()) {
+        if (!r.getU8(req.optimize))
+            return truncatedPayload();
+        if (req.optimize > 1)
+            return corrupt("optimize flag is not boolean");
+        if (!r.exhausted())
+            return trailingGarbage();
+    }
     if (req.bytecode.empty())
         return Error{ErrorCode::InvalidArgument, "empty kernel bytecode"};
     return req;
@@ -847,6 +857,11 @@ SubmitKernelResponse::encode() const
         w.putU8(rej.reason);
         w.putU32(rej.pc);
         w.putString(rej.message);
+    }
+    // Optional optimize-on-submit tail (mirrors the request flag).
+    if (optimizeRequested) {
+        w.putU8(optimized);
+        w.putString(optimizedDigest);
     }
     return w.take();
 }
@@ -883,8 +898,22 @@ SubmitKernelResponse::decode(std::string_view payload)
                                    rej.reason)};
         }
     }
-    if (!r.exhausted())
-        return trailingGarbage();
+    if (!r.exhausted()) {
+        resp.optimizeRequested = 1;
+        if (!r.getU8(resp.optimized)
+            || !r.getString(resp.optimizedDigest, kMaxDigestBytes))
+            return truncatedPayload();
+        if (!r.exhausted())
+            return trailingGarbage();
+        if (resp.optimized > 1)
+            return corrupt("optimized flag is not boolean");
+        if (resp.optimized && resp.optimizedDigest.empty())
+            return corrupt("optimized response without a digest");
+        if (!resp.optimized && !resp.optimizedDigest.empty())
+            return corrupt("fallback response carries a digest");
+        if (resp.optimized && !resp.admitted)
+            return corrupt("optimized response without admission");
+    }
     if (resp.admitted && !resp.rejections.empty())
         return corrupt("admitted response carries rejections");
     return resp;

@@ -360,6 +360,15 @@ struct SubmitKernelRequest
 {
     std::string bytecode;
 
+    /**
+     * Optimize-on-submit: after admission, run the certificate-guided
+     * optimizer and store the validated optimized program alongside
+     * the original. Encoded as an optional trailing byte -- absent
+     * (old clients) means 0, so the wire format is fully backward
+     * compatible in both directions.
+     */
+    std::uint8_t optimize = 0;
+
     std::string encode() const;
     static Result<SubmitKernelRequest> decode(std::string_view payload);
 };
@@ -381,6 +390,19 @@ struct SubmitKernelResponse
 
     /** First kMaxWireRejections rejections, sorted by pc. */
     std::vector<WireRejection> rejections;
+
+    /**
+     * Optimize-on-submit tail, present on the wire only when set (the
+     * daemon sets it iff the request carried the optimize flag).
+     * `optimized` says whether a validated optimized program was
+     * stored; its digest then names a first-class kernel usable with
+     * EvalSubmitted. optimized=0 with the tail present means the
+     * optimizer fell back to the original (nothing to do, validation
+     * failure, or a weaker certificate).
+     */
+    std::uint8_t optimizeRequested = 0;
+    std::uint8_t optimized = 0;
+    std::string optimizedDigest;
 
     std::string encode() const;
     static Result<SubmitKernelResponse> decode(std::string_view payload);

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/equiv.hh"
+#include "analysis/optimizer.hh"
 #include "analysis/verifier.hh"
 #include "campaign/journal.hh"
 #include "coder/isa_coder.hh"
@@ -394,6 +396,65 @@ checkBytecode(const std::string &bytes)
 }
 
 Result<void>
+checkOpt(const std::string &bytes)
+{
+    auto decoded = isa::decodeProgram(bytes);
+    if (!decoded.ok())
+        return {}; // structured refusal is a correct outcome
+    analysis::OptimizeOptions opts;
+    opts.verify = fuzzVerifyOptions();
+    opts.equiv.seeds = 2;
+    opts.equiv.maxSteps = 1u << 14;
+    const analysis::OptimizeResult res =
+        analysis::optimizeProgram(decoded.value(), opts);
+    if (!res.accepted) {
+        // Fallback contract: the caller gets the input program back,
+        // byte for byte, whatever went wrong inside the pipeline.
+        if (isa::encodeProgram(res.program) != bytes) {
+            return Error{ErrorCode::Failed,
+                         fail("optimizer fallback is not "
+                              "byte-identical to the input")};
+        }
+        return {};
+    }
+    // Accepted: the optimizer claims validated equivalence and
+    // re-admission. Check both against oracles outside the pipeline.
+    if (!res.originalAdmitted) {
+        return Error{ErrorCode::Failed,
+                     fail("optimizer accepted a rewrite without "
+                          "admitting the original")};
+    }
+    const std::string optBytes = isa::encodeProgram(res.program);
+    auto reDecoded = isa::decodeProgram(optBytes);
+    if (!reDecoded.ok()
+        || isa::encodeProgram(reDecoded.value()) != optBytes) {
+        return Error{ErrorCode::Failed,
+                     fail("optimized program is not canonical "
+                          "bytecode")};
+    }
+    if (!analysis::verifyProgram(res.program, fuzzVerifyOptions())
+             .admitted) {
+        return Error{ErrorCode::Failed,
+                     fail("accepted optimized program does not "
+                          "re-admit")};
+    }
+    // Differential oracle independent of the validator's own layer 2:
+    // the reference interpreter must observe identical stores and
+    // final memory on both programs (compared only when both finish
+    // inside the budget, so a budget cliff cannot fake a divergence).
+    const analysis::RefObservation before =
+        analysis::runReference(decoded.value(), 1u << 14);
+    const analysis::RefObservation after =
+        analysis::runReference(res.program, 1u << 14);
+    if (before.finished && after.finished && !(before == after)) {
+        return Error{ErrorCode::Failed,
+                     fail("validator passed a behaviorally different "
+                          "program")};
+    }
+    return {};
+}
+
+Result<void>
 checkAsm(const std::string &text)
 {
     auto parsed = isa::parseAsm(text);
@@ -659,6 +720,8 @@ fuzzTargetName(FuzzTarget target)
         return "rtl";
       case FuzzTarget::RtlVec:
         return "rtlvec";
+      case FuzzTarget::Opt:
+        return "opt";
     }
     return "?";
 }
@@ -673,7 +736,7 @@ fuzzTargetFromName(const std::string &name)
     return Error{ErrorCode::InvalidArgument,
                  strFormat("unknown fuzz target '%s' (want frame, "
                            "http, trace, journal, merge, bytecode, "
-                           "asm, rtl or rtlvec)",
+                           "asm, rtl, rtlvec or opt)",
                            name.c_str())};
 }
 
@@ -729,7 +792,8 @@ corpusSeeds(FuzzTarget target)
       case FuzzTarget::Merge:
         seeds.push_back(goodJournalBytes());
         break;
-      case FuzzTarget::Bytecode: {
+      case FuzzTarget::Bytecode:
+      case FuzzTarget::Opt: {
         const auto seedProg = isa::parseAsm(kSeedAsm);
         fatal_if(!seedProg.ok(), "fuzz seed kernel does not assemble: %s",
                  seedProg.error().describe().c_str());
@@ -739,6 +803,33 @@ corpusSeeds(FuzzTarget target)
                                         "    EXIT\n");
         fatal_if(!tiny.ok(), "tiny fuzz seed does not assemble");
         seeds.push_back(isa::encodeProgram(tiny.value()));
+        if (target == FuzzTarget::Opt) {
+            // A deliberately unoptimized kernel so mutations explore
+            // the accept path too: foldable constants, a copy chain,
+            // identity and power-of-two strength reductions, a dead
+            // write and a provably-false guarded branch.
+            const auto rich = isa::parseAsm(
+                ".kernel opt-seed\n.launch 2 64\n.shared 256\n"
+                "    S2R R1, SR_TIDX\n"
+                "    MOV R2, #5\n"
+                "    IADD R3, R2, #7\n"
+                "    MOV R4, R1\n"
+                "    SHL R5, R4, #0\n"
+                "    IMUL R6, R5, #8\n"
+                "    MOV R7, #9\n"
+                "    SETP.LT P1, R2, #3\n"
+                "    @P1 BRA skip, join=skip\n"
+                "skip:\n"
+                "    SHL R8, R1, #2\n"
+                "    AND R8, R8, #252\n"
+                "    STS [R8 + 0], R6\n"
+                "    IADD R9, R3, #0\n"
+                "    STS [R8 + 0], R9\n"
+                "    EXIT\n");
+            fatal_if(!rich.ok(), "opt fuzz seed does not assemble: %s",
+                     rich.error().describe().c_str());
+            seeds.push_back(isa::encodeProgram(rich.value()));
+        }
         break;
       }
       case FuzzTarget::Asm: {
@@ -824,6 +915,8 @@ checkFuzzInput(FuzzTarget target, const std::string &bytes,
         return checkRtl(bytes);
       case FuzzTarget::RtlVec:
         return checkRtlVec(bytes);
+      case FuzzTarget::Opt:
+        return checkOpt(bytes);
     }
     return Error{ErrorCode::InvalidArgument, "bad fuzz target"};
 }

@@ -2,12 +2,14 @@
  * @file
  * Deterministic byte-mutation fuzzing for every untrusted parser.
  *
- * Nine surfaces accept bytes from outside the process's trust
+ * Ten surfaces accept bytes from outside the process's trust
  * boundary: wire-protocol frames, the /metrics HTTP request head,
  * trace v2 streams (salvage included), campaign journals (salvage
  * included), the shard-journal merge, BVFK kernel bytecode, kernel
- * assembly text, Verilog netlist text and packed netlist test
- * vectors. Each gets a driver that feeds mutated
+ * assembly text, Verilog netlist text, packed netlist test vectors
+ * and the certificate-guided optimizer pipeline (bytecode in,
+ * validated bytecode or byte-identical fallback out). Each gets a
+ * driver that feeds mutated
  * inputs -- valid seed inputs built with the real encoders, then
  * bit-flipped, truncated, spliced and extended by a seeded Rng -- and
  * checks structural invariants on every outcome: parse results stay
@@ -48,12 +50,14 @@ enum class FuzzTarget : std::uint8_t
     Asm,      //!< isa::parseAsm + render round trip + verifier
     Rtl,      //!< rtl::parseVerilog + canonical re-emission fixed point
     RtlVec,   //!< packed vectors through a netlist vs the C++ coder
+    Opt,      //!< analysis::optimizeProgram + translation validation
 };
 
-constexpr std::array<FuzzTarget, 9> kAllFuzzTargets = {
+constexpr std::array<FuzzTarget, 10> kAllFuzzTargets = {
     FuzzTarget::Frame,    FuzzTarget::Http,  FuzzTarget::Trace,
     FuzzTarget::Journal,  FuzzTarget::Merge, FuzzTarget::Bytecode,
-    FuzzTarget::Asm,      FuzzTarget::Rtl,   FuzzTarget::RtlVec};
+    FuzzTarget::Asm,      FuzzTarget::Rtl,   FuzzTarget::RtlVec,
+    FuzzTarget::Opt};
 
 /** Display name, e.g. "frame". */
 std::string fuzzTargetName(FuzzTarget target);

@@ -3,7 +3,7 @@
  * Kernel builder implementation.
  *
  * Register convention used by generated code:
- *   r1..r3   special values (lane/cta/ntid)
+ *   r1..r3   thread index values (tid/cta special regs, ntid immediate)
  *   r4       global element index
  *   r5       byte offset of this thread's current element
  *   r6..r9   array base addresses (64KB-aligned, so a MOV+SHL pair
@@ -249,7 +249,10 @@ KernelBuilder::build() const
     // Prologue: global index and byte offset.
     e.s2r(1, SpecialReg::TidX);
     e.s2r(2, SpecialReg::CtaIdX);
-    e.s2r(3, SpecialReg::NTidX);
+    // NTidX is a launch constant; materialize it as an immediate (the
+    // optimizer proves this fold on every suite kernel -- committed
+    // here so the shipped programs carry the cheaper encoding).
+    e.movImm(3, spec_.blockThreads);
     e.alu(Opcode::Mov, 4, 0, 1);     // r4 = tid
     e.alu(Opcode::IMad, 4, 2, 3);    // r4 += ctaid * ntid
     e.aluImm(Opcode::Shl, 5, 4, 2);  // r5 = r4 * 4 (byte offset)

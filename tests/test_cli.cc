@@ -230,12 +230,19 @@ TEST(ExitTwo, LintValidatesVerifyAndJsonCombinations)
 {
     std::string out;
     EXPECT_EQ(runTool("bvf_lint", "--json", out), kExitUsage);
-    EXPECT_NE(out.find("--json requires --advise or --verify"),
+    EXPECT_NE(out.find("--json requires --advise, --verify or "
+                       "--optimize"),
               std::string::npos)
         << out;
     EXPECT_EQ(runTool("bvf_lint", "--json --advise --verify", out),
               kExitUsage);
-    EXPECT_NE(out.find("pick --advise or --verify"), std::string::npos)
+    EXPECT_NE(out.find("pick one of --advise, --verify, --optimize"),
+              std::string::npos)
+        << out;
+    EXPECT_EQ(runTool("bvf_lint", "--json --optimize --verify", out),
+              kExitUsage);
+    EXPECT_NE(out.find("pick one of --advise, --verify, --optimize"),
+              std::string::npos)
         << out;
 }
 

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Translation validator: the identity translation validates on every
+ * suite kernel, genuine optimizer edit sets validate, and unjustified
+ * rewrites -- changed constants, deleted stores, malformed source
+ * maps -- are refused with a reason. The reference interpreter
+ * backing the differential layer is deterministic and actually
+ * distinguishes behaviorally different programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "analysis/equiv.hh"
+#include "analysis/optimizer.hh"
+#include "isa/asm.hh"
+#include "isa/bytecode.hh"
+#include "workload/kernel_builder.hh"
+
+using namespace bvf;
+
+namespace
+{
+
+isa::Program
+mustParse(const std::string &text)
+{
+    auto parsed = isa::parseAsm(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error().message;
+    return parsed.ok() ? parsed.value() : isa::Program{};
+}
+
+std::vector<int>
+identityMap(const isa::Program &p)
+{
+    std::vector<int> id(p.body.size());
+    std::iota(id.begin(), id.end(), 0);
+    return id;
+}
+
+/** A small kernel whose store value flows through some arithmetic. */
+const char *const kStoreKernel = ".kernel store\n"
+                                 ".launch 1 32\n"
+                                 ".shared 256\n"
+                                 "    S2R R1, SR_TIDX\n"
+                                 "    AND R2, R1, #31\n"
+                                 "    SHL R2, R2, #2\n"
+                                 "    IADD R3, R1, #5\n"
+                                 "    STS [R2 + 0], R3\n"
+                                 "    EXIT\n";
+
+// Identity validation over the whole suite -- the "58/58" acceptance
+// criterion. Split by index parity to stay inside the per-test
+// timeout under sanitizers (the differential layer simulates every
+// kernel on several seeded inputs).
+void
+identityValidatesSuiteHalf(std::size_t parity)
+{
+    const auto &suite = workload::evaluationSuite();
+    for (std::size_t i = parity; i < suite.size(); i += 2) {
+        const auto &spec = suite[i];
+        const isa::Program p = workload::buildProgram(spec);
+        const auto v =
+            analysis::validateTranslation(p, p, identityMap(p));
+        EXPECT_TRUE(v.equivalent) << spec.abbr << ": " << v.reason;
+        EXPECT_GT(v.simulatedSeeds, 0) << spec.abbr;
+    }
+}
+
+} // namespace
+
+TEST(Equiv, IdentityValidatesEverySuiteKernelFirstHalf)
+{
+    identityValidatesSuiteHalf(0);
+}
+
+TEST(Equiv, IdentityValidatesEverySuiteKernelSecondHalf)
+{
+    identityValidatesSuiteHalf(1);
+}
+
+TEST(Equiv, AcceptsGenuineOptimizerEditSet)
+{
+    const isa::Program p = mustParse(".kernel edit\n"
+                                     ".launch 1 32\n"
+                                     ".shared 256\n"
+                                     "    S2R R1, SR_TIDX\n"
+                                     "    MOV R2, #5\n"
+                                     "    IADD R3, R2, #7\n"
+                                     "    AND R4, R1, #31\n"
+                                     "    SHL R4, R4, #2\n"
+                                     "    STS [R4 + 0], R3\n"
+                                     "    MOV R9, #1\n"
+                                     "    EXIT\n");
+    analysis::OptimizeOptions opts;
+    opts.validate = false; // produce the edit, validate it here
+    const auto res = analysis::optimizeProgram(p, opts);
+    ASSERT_TRUE(res.originalAdmitted);
+    ASSERT_TRUE(res.changed);
+    const auto v =
+        analysis::validateTranslation(p, res.program, res.sourcePc);
+    EXPECT_TRUE(v.equivalent) << v.reason;
+}
+
+TEST(Equiv, RejectsChangedConstant)
+{
+    const isa::Program p = mustParse(kStoreKernel);
+    isa::Program wrong = p;
+    wrong.body[3].imm = 6; // IADD R3, R1, #5 -> #6: different store
+    const auto v =
+        analysis::validateTranslation(p, wrong, identityMap(p));
+    EXPECT_FALSE(v.equivalent);
+    EXPECT_FALSE(v.reason.empty());
+}
+
+TEST(Equiv, RejectsDeletedStore)
+{
+    const isa::Program p = mustParse(kStoreKernel);
+    isa::Program wrong = p;
+    std::vector<int> map = identityMap(p);
+    // Drop the STS (index 4): observable behavior disappears.
+    wrong.body.erase(wrong.body.begin() + 4);
+    map.erase(map.begin() + 4);
+    const auto v = analysis::validateTranslation(p, wrong, map);
+    EXPECT_FALSE(v.equivalent);
+}
+
+TEST(Equiv, RejectsMalformedSourceMaps)
+{
+    const isa::Program p = mustParse(kStoreKernel);
+
+    // Wrong length.
+    std::vector<int> tooShort = identityMap(p);
+    tooShort.pop_back();
+    EXPECT_FALSE(
+        analysis::validateTranslation(p, p, tooShort).equivalent);
+
+    // Not strictly increasing.
+    std::vector<int> repeated = identityMap(p);
+    repeated[1] = repeated[0];
+    EXPECT_FALSE(
+        analysis::validateTranslation(p, p, repeated).equivalent);
+
+    // Out of range.
+    std::vector<int> oob = identityMap(p);
+    oob.back() = static_cast<int>(p.body.size()) + 3;
+    EXPECT_FALSE(analysis::validateTranslation(p, p, oob).equivalent);
+}
+
+TEST(Equiv, ReferenceInterpreterIsDeterministic)
+{
+    const isa::Program p = mustParse(kStoreKernel);
+    const auto a = analysis::runReference(p, 1u << 20);
+    const auto b = analysis::runReference(p, 1u << 20);
+    EXPECT_TRUE(a.finished);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Equiv, ReferenceInterpreterSeesBehavioralDifferences)
+{
+    const isa::Program p = mustParse(kStoreKernel);
+    isa::Program other = p;
+    other.body[3].imm = 6; // stored values differ by one
+    const auto a = analysis::runReference(p, 1u << 20);
+    const auto b = analysis::runReference(other, 1u << 20);
+    ASSERT_TRUE(a.finished);
+    ASSERT_TRUE(b.finished);
+    EXPECT_FALSE(a == b);
+}

@@ -370,6 +370,81 @@ TEST(Messages, EmptySubmittedBytecodeIsInvalid)
     EXPECT_EQ(decoded.error().code, ErrorCode::InvalidArgument);
 }
 
+TEST(Messages, SubmitKernelOptimizeFlagRoundTrips)
+{
+    // Default requests must stay byte-identical to the pre-flag wire
+    // format: the optimize byte is a trailing option, not a new field
+    // every old peer would choke on.
+    SubmitKernelRequest plain;
+    plain.bytecode = "blob";
+    SubmitKernelRequest flagged;
+    flagged.bytecode = "blob";
+    flagged.optimize = 1;
+    EXPECT_EQ(plain.encode().size() + 1, flagged.encode().size());
+
+    const auto decodedPlain = SubmitKernelRequest::decode(plain.encode());
+    ASSERT_TRUE(decodedPlain.ok());
+    EXPECT_EQ(decodedPlain.value().optimize, 0);
+
+    const auto decodedFlag =
+        SubmitKernelRequest::decode(flagged.encode());
+    ASSERT_TRUE(decodedFlag.ok()) << decodedFlag.error().message;
+    EXPECT_EQ(decodedFlag.value().optimize, 1);
+
+    // A non-boolean flag byte is corrupt, not silently truthy.
+    std::string bent = flagged.encode();
+    bent.back() = 2;
+    EXPECT_FALSE(SubmitKernelRequest::decode(bent).ok());
+}
+
+TEST(Messages, SubmitKernelResponseOptimizeTailRoundTrips)
+{
+    SubmitKernelResponse resp;
+    resp.admitted = 1;
+    resp.digest = "k824ee515-5957c";
+    resp.tripBound = 12;
+    resp.optimizeRequested = 1;
+    resp.optimized = 1;
+    resp.optimizedDigest = "k11223344-40";
+    auto decoded = SubmitKernelResponse::decode(resp.encode());
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    EXPECT_EQ(decoded.value().optimizeRequested, 1);
+    EXPECT_EQ(decoded.value().optimized, 1);
+    EXPECT_EQ(decoded.value().optimizedDigest, resp.optimizedDigest);
+
+    // Fallback: requested but not optimized, digest must stay empty.
+    SubmitKernelResponse fallback;
+    fallback.admitted = 1;
+    fallback.digest = "k824ee515-5957c";
+    fallback.tripBound = 12;
+    fallback.optimizeRequested = 1;
+    auto decodedFb = SubmitKernelResponse::decode(fallback.encode());
+    ASSERT_TRUE(decodedFb.ok()) << decodedFb.error().message;
+    EXPECT_EQ(decodedFb.value().optimizeRequested, 1);
+    EXPECT_EQ(decodedFb.value().optimized, 0);
+    EXPECT_TRUE(decodedFb.value().optimizedDigest.empty());
+
+    // Without the request flag the tail is absent from the wire and
+    // decodes to all-defaults -- old responses still parse.
+    SubmitKernelResponse plain;
+    plain.admitted = 1;
+    plain.digest = "k824ee515-5957c";
+    plain.tripBound = 12;
+    auto decodedPlain = SubmitKernelResponse::decode(plain.encode());
+    ASSERT_TRUE(decodedPlain.ok());
+    EXPECT_EQ(decodedPlain.value().optimizeRequested, 0);
+    EXPECT_EQ(decodedPlain.value().optimized, 0);
+
+    // Inconsistent tails are corrupt: an optimized claim without a
+    // digest, and a fallback carrying one.
+    SubmitKernelResponse noDigest = resp;
+    noDigest.optimizedDigest.clear();
+    EXPECT_FALSE(SubmitKernelResponse::decode(noDigest.encode()).ok());
+    SubmitKernelResponse fbDigest = fallback;
+    fbDigest.optimizedDigest = "k11223344-40";
+    EXPECT_FALSE(SubmitKernelResponse::decode(fbDigest.encode()).ok());
+}
+
 TEST(Messages, SubmitKernelResponseRoundTripsBothOutcomes)
 {
     SubmitKernelResponse admitted;

@@ -476,6 +476,115 @@ TEST(Server, SubmitThenEvalRunsUnderTheAdmissionContract)
     EXPECT_LE(evalResp.value().maxWarpIssue, resp.value().tripBound);
 }
 
+TEST(Server, OptimizeOnSubmitStoresAValidatedSecondKernel)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    // A deliberately unoptimized kernel: the add folds to an
+    // immediate and its operand's producer dies.
+    const std::string bytecode =
+        assembleBytecode(".kernel foldme\n"
+                         ".launch 1 32\n"
+                         ".shared 256\n"
+                         "    S2R R1, SR_TIDX\n"
+                         "    AND R2, R1, #31\n"
+                         "    SHL R2, R2, #2\n"
+                         "    MOV R3, #5\n"
+                         "    IADD R4, R3, #7\n"
+                         "    STS [R2 + 0], R4\n"
+                         "    EXIT\n");
+    SubmitKernelRequest submit;
+    submit.bytecode = bytecode;
+    submit.optimize = 1;
+    client.send(
+        encodeFrame(MsgType::SubmitKernelRequest, submit.encode()));
+
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame.ok()) << frame.error().describe();
+    ASSERT_EQ(frame.value().type, MsgType::SubmitKernelResponse);
+    const auto resp = SubmitKernelResponse::decode(frame.value().payload);
+    ASSERT_TRUE(resp.ok()) << resp.error().message;
+    EXPECT_EQ(resp.value().admitted, 1);
+    EXPECT_EQ(resp.value().optimizeRequested, 1);
+    ASSERT_EQ(resp.value().optimized, 1);
+    EXPECT_EQ(resp.value().digest, kernelDigest(bytecode));
+    ASSERT_FALSE(resp.value().optimizedDigest.empty());
+    EXPECT_NE(resp.value().optimizedDigest, resp.value().digest);
+
+    // Both digests are evaluable: the original admission stands and
+    // the optimized program is a first-class stored kernel.
+    for (const std::string &digest :
+         {resp.value().digest, resp.value().optimizedDigest}) {
+        EvalSubmittedRequest eval;
+        eval.digest = digest;
+        client.send(
+            encodeFrame(MsgType::EvalSubmittedRequest, eval.encode()));
+        const auto evalFrame = client.readFrame();
+        ASSERT_TRUE(evalFrame.ok()) << digest;
+        ASSERT_EQ(evalFrame.value().type,
+                  MsgType::EvalSubmittedResponse)
+            << digest;
+        const auto evalResp =
+            EvalSubmittedResponse::decode(evalFrame.value().payload);
+        ASSERT_TRUE(evalResp.ok()) << digest;
+        EXPECT_GT(evalResp.value().cycles, 0u) << digest;
+    }
+
+    const std::string text = server.renderMetrics();
+    for (const char *needle :
+         {"bvfd_kernels_optimize_requested_total 1",
+          "bvfd_kernels_optimize_accepted_total 1",
+          "bvfd_kernels_optimize_fallback_total 0",
+          "bvfd_kernels_optimizer_rewrites_total{pass="
+          "\"constant-fold\"} 1",
+          "bvfd_kernels_resident 2"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Server, OptimizeOnSubmitFallsBackToTheOriginalAdmission)
+{
+    Server server(smallServer());
+    ASSERT_TRUE(server.start().ok());
+
+    TestClient client(server.port());
+    // An already-optimal kernel (every instruction feeds the store):
+    // the optimizer proves nothing and the response reports an honest
+    // fallback.
+    SubmitKernelRequest submit;
+    submit.bytecode = assembleBytecode(".kernel minimal\n"
+                                       ".launch 1 32\n"
+                                       ".shared 256\n"
+                                       "    S2R R1, SR_TIDX\n"
+                                       "    AND R2, R1, #31\n"
+                                       "    SHL R2, R2, #2\n"
+                                       "    STS [R2 + 0], R1\n"
+                                       "    EXIT\n");
+    submit.optimize = 1;
+    client.send(
+        encodeFrame(MsgType::SubmitKernelRequest, submit.encode()));
+
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame.ok());
+    const auto resp = SubmitKernelResponse::decode(frame.value().payload);
+    ASSERT_TRUE(resp.ok()) << resp.error().message;
+    EXPECT_EQ(resp.value().admitted, 1);
+    EXPECT_EQ(resp.value().optimizeRequested, 1);
+    EXPECT_EQ(resp.value().optimized, 0);
+    EXPECT_TRUE(resp.value().optimizedDigest.empty());
+
+    const std::string text = server.renderMetrics();
+    for (const char *needle :
+         {"bvfd_kernels_optimize_requested_total 1",
+          "bvfd_kernels_optimize_accepted_total 0",
+          "bvfd_kernels_optimize_fallback_total 1",
+          "bvfd_kernels_resident 1"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
 TEST(Server, RejectedKernelNeverGainsADigestAndKeepsTheConnection)
 {
     Server server(smallServer());

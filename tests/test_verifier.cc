@@ -22,6 +22,8 @@
 #include "isa/bytecode.hh"
 #include "workload/kernel_builder.hh"
 
+#include "random_kernel.hh"
+
 using namespace bvf;
 
 namespace
@@ -301,108 +303,6 @@ TEST(Verifier, RejectionNamesAreStableAndKebabCase)
               "budget-exceeded");
 }
 
-namespace
-{
-
-/**
- * Seeded random-kernel generator for the soundness property. Every
- * generated kernel is syntactically valid assembly; most are built to
- * be admissible (initialized registers, masked in-bounds addressing,
- * counted loops), and a seeded minority gets one hostile mutation so
- * the rejection paths stay exercised inside the same property run.
- */
-std::string
-randomKernelAsm(Rng &rng)
-{
-    const int threads = rng.nextBool(0.5) ? 32 : 64;
-    const int blocks = static_cast<int>(rng.nextRange(1, 2));
-    std::string text = strFormat(".kernel rand\n"
-                                 ".launch %d %d\n"
-                                 ".shared 256\n"
-                                 ".global 64\n",
-                                 blocks, threads);
-
-    // Seed a pool of initialized registers. R1 = tid; R2..R5 = small
-    // immediates; R8 = a masked in-bounds shared byte offset; R9 = an
-    // in-bounds absolute global address.
-    text += "    S2R R1, SR_TIDX\n";
-    for (int r = 2; r <= 5; ++r)
-        text += strFormat("    MOV R%d, #%d\n", r,
-                          static_cast<int>(rng.nextRange(-7, 7)));
-    text += "    AND R8, R1, #31\n"
-            "    SHL R8, R8, #2\n"   // [0, 124] within 256 shared bytes
-            "    MOV R9, #1\n"
-            "    SHL R9, R9, #16\n"
-            "    IADD R9, R9, R8\n"; // within the 256-byte global image
-
-    const int ops = static_cast<int>(rng.nextRange(2, 12));
-    for (int i = 0; i < ops; ++i) {
-        const int dst = static_cast<int>(rng.nextRange(2, 5));
-        const int srcA = static_cast<int>(rng.nextRange(1, 5));
-        static const char *const kAlu[] = {"IADD", "AND", "XOR", "SHL"};
-        const char *op = kAlu[rng.nextBounded(4)];
-        // SHL by a register can shift by >31; keep it immediate.
-        if (std::string(op) == "SHL" || rng.nextBool(0.4)) {
-            text += strFormat("    %s R%d, R%d, #%d\n", op, dst, srcA,
-                              static_cast<int>(rng.nextRange(0, 7)));
-        } else {
-            text += strFormat("    %s R%d, R%d, R%d\n", op, dst, srcA,
-                              static_cast<int>(rng.nextRange(1, 5)));
-        }
-    }
-
-    if (rng.nextBool(0.5)) { // a memory pair in a random space
-        if (rng.nextBool(0.5)) {
-            text += "    STS [R8 + 0], R2\n"
-                    "    BAR\n"
-                    "    LDS R3, [R8 + 0]\n";
-        } else {
-            text += "    LDG R4, [R9 + 0]\n"
-                    "    STG [R9 + 0], R4\n";
-        }
-    }
-
-    if (rng.nextBool(0.4)) { // a counted loop with a provable bound
-        const int trips = static_cast<int>(rng.nextRange(1, 6));
-        text += strFormat("    MOV R10, #0\n"
-                          "Lloop:\n"
-                          "    IADD R10, R10, #1\n"
-                          "    IADD R2, R2, R3\n"
-                          "    SETP.LT P1, R10, #%d\n"
-                          "    @P1 BRA Lloop, join=Ldone\n"
-                          "Ldone:\n",
-                          trips);
-    }
-
-    if (rng.nextBool(0.4)) { // a data-dependent forward branch
-        text += "    SETP.NE P2, R1, #0\n"
-                "    @P2 BRA Lskip, join=Lskip\n"
-                "    IADD R2, R2, #1\n"
-                "Lskip:\n";
-    }
-
-    // A seeded minority of kernels gets one hostile mutation.
-    switch (rng.nextBounded(10)) {
-    case 0:
-        text += "    IADD R2, R20, R21\n"; // uninitialized read
-        break;
-    case 1:
-        text += "    STS [R8 + 8192], R2\n"; // shared OOB
-        break;
-    case 2:
-        text += "Lspin:\n"
-                "    BRA Lspin, join=Lend\n"
-                "Lend:\n"; // non-terminating
-        break;
-    default:
-        break;
-    }
-
-    text += "    EXIT\n";
-    return text;
-}
-
-} // namespace
 
 namespace {
 
@@ -417,7 +317,7 @@ void randomKernelProperty(std::uint64_t seed, int count,
     int rejected = 0;
 
     for (int k = 0; k < count; ++k) {
-        const std::string text = randomKernelAsm(rng);
+        const std::string text = tests::randomKernelAsm(rng);
         auto parsed = isa::parseAsm(text);
         ASSERT_TRUE(parsed.ok())
             << "kernel " << k << ": " << parsed.error().message
